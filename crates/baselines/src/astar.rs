@@ -1,0 +1,208 @@
+//! A* search with a pluggable heuristic — optimal when the heuristic is
+//! admissible. The memory-hungry informed baseline.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gaplan_core::{Domain, OpId};
+use rustc_hash::FxHashMap;
+
+use crate::heuristics::Heuristic;
+use crate::result::{SearchLimits, SearchOutcome, SearchResult};
+
+/// Priority-queue entry ordered by lowest `f = g + h` (then lowest `h` as a
+/// tie-break, which prefers states closer to the goal).
+struct Node {
+    f: f64,
+    h: f64,
+    id: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f && self.h == other.h
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reverse: BinaryHeap is a max-heap, we need min-f
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.h.partial_cmp(&self.h).unwrap_or(Ordering::Equal))
+    }
+}
+
+/// Run A* from the domain's initial state using heuristic `h`.
+pub fn astar<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, limits: SearchLimits) -> SearchResult {
+    let start = domain.initial_state();
+    let mut states: Vec<D::State> = vec![start.clone()];
+    let mut parent: Vec<(usize, OpId)> = vec![(usize::MAX, OpId(u32::MAX))];
+    let mut g: Vec<f64> = vec![0.0];
+    let mut index: FxHashMap<D::State, usize> = FxHashMap::default();
+    index.insert(start.clone(), 0);
+
+    let mut open = BinaryHeap::new();
+    let h0 = heuristic.estimate(domain, &start);
+    open.push(Node { f: h0, h: h0, id: 0 });
+
+    let mut expanded = 0usize;
+    let mut scratch = Vec::new();
+
+    while let Some(Node { id, f, .. }) = open.pop() {
+        // stale entry: a better g was found after this push
+        if f > g[id] + heuristic.estimate(domain, &states[id]) + 1e-9 {
+            continue;
+        }
+        if domain.is_goal(&states[id]) {
+            return SearchResult::solved(reconstruct(&parent, id), expanded, states.len());
+        }
+        if expanded >= limits.max_expansions || states.len() >= limits.max_states {
+            return SearchResult::unsolved(SearchOutcome::LimitReached, expanded, states.len());
+        }
+        expanded += 1;
+
+        scratch.clear();
+        domain.valid_operations(&states[id], &mut scratch);
+        let ops = scratch.clone();
+        for op in ops {
+            let next = domain.apply(&states[id], op);
+            let tentative = g[id] + domain.op_cost(op);
+            let next_id = match index.get(&next) {
+                Some(&existing) => {
+                    if tentative + 1e-12 >= g[existing] {
+                        continue;
+                    }
+                    g[existing] = tentative;
+                    parent[existing] = (id, op);
+                    existing
+                }
+                None => {
+                    let new_id = states.len();
+                    index.insert(next.clone(), new_id);
+                    states.push(next);
+                    parent.push((id, op));
+                    g.push(tentative);
+                    new_id
+                }
+            };
+            let h = heuristic.estimate(domain, &states[next_id]);
+            open.push(Node {
+                f: tentative + h,
+                h,
+                id: next_id,
+            });
+        }
+    }
+    SearchResult::unsolved(SearchOutcome::Exhausted, expanded, states.len())
+}
+
+fn reconstruct(parent: &[(usize, OpId)], mut id: usize) -> Vec<OpId> {
+    let mut ops = Vec::new();
+    while parent[id].0 != usize::MAX {
+        ops.push(parent[id].1);
+        id = parent[id].0;
+    }
+    ops.reverse();
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use crate::heuristics::{HanoiLowerBound, LinearConflict, ManhattanH, ZeroH};
+    use gaplan_domains::{Hanoi, SlidingTile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn astar_with_admissible_heuristic_is_optimal_on_hanoi() {
+        for n in 2..=6 {
+            let h = Hanoi::new(n);
+            let r = astar(&h, &HanoiLowerBound, SearchLimits::default());
+            assert!(r.is_solved());
+            assert_eq!(r.plan_len(), Some((1 << n) - 1));
+        }
+    }
+
+    #[test]
+    fn astar_expands_fewer_nodes_than_bfs() {
+        let h = Hanoi::new(6);
+        let informed = astar(&h, &HanoiLowerBound, SearchLimits::default());
+        let blind = bfs(&h, SearchLimits::default());
+        assert!(informed.is_solved() && blind.is_solved());
+        assert!(
+            informed.expanded < blind.expanded,
+            "A* {} vs BFS {}",
+            informed.expanded,
+            blind.expanded
+        );
+    }
+
+    #[test]
+    fn astar_matches_bfs_length_on_random_8_puzzles() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let a = astar(&p, &ManhattanH, SearchLimits::default());
+            let b = bfs(&p, SearchLimits::default());
+            assert!(a.is_solved() && b.is_solved());
+            assert_eq!(a.plan_len(), b.plan_len(), "optimality mismatch");
+            // the plan must replay
+            let out = a.plan.unwrap().simulate(&p, &p.initial_state()).unwrap();
+            assert!(out.solves);
+        }
+    }
+
+    #[test]
+    fn linear_conflict_expands_no_more_than_manhattan() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total_md = 0usize;
+        let mut total_lc = 0usize;
+        for _ in 0..5 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let md = astar(&p, &ManhattanH, SearchLimits::default());
+            let lc = astar(&p, &LinearConflict, SearchLimits::default());
+            assert_eq!(md.plan_len(), lc.plan_len());
+            total_md += md.expanded;
+            total_lc += lc.expanded;
+        }
+        assert!(total_lc <= total_md, "LC {total_lc} vs MD {total_md}");
+    }
+
+    #[test]
+    fn zero_heuristic_reduces_to_uniform_cost() {
+        let h = Hanoi::new(4);
+        let r = astar(&h, &ZeroH, SearchLimits::default());
+        assert_eq!(r.plan_len(), Some(15));
+    }
+
+    #[test]
+    fn astar_respects_limits() {
+        let h = Hanoi::new(12);
+        let r = astar(
+            &h,
+            &ZeroH,
+            SearchLimits {
+                max_expansions: 50,
+                max_states: 10_000,
+            },
+        );
+        assert_eq!(r.outcome, SearchOutcome::LimitReached);
+    }
+
+    #[test]
+    fn goal_at_start() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let r = astar(&p, &ManhattanH, SearchLimits::default());
+        assert_eq!(r.plan_len(), Some(0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Forward and backward chaining over ground STRIPS problems — the paper's
+//! §1 examples of deterministic general planning algorithms that "require a
+//! search over the entire problem space" and therefore "perform well only on
+//! small problems with a very limited search space".
+
+use gaplan_core::strips::{CondSet, StripsProblem};
+use gaplan_core::{Domain, OpId};
+use rustc_hash::FxHashSet;
+
+use crate::heuristics::{GoalCount, Heuristic};
+use crate::result::{SearchLimits, SearchOutcome, SearchResult};
+
+/// Forward chaining: depth-first search from the initial state, ordering
+/// applicable operators greedily by goal-count (most satisfied goal
+/// conditions first) and pruning revisited states. Deterministic; finds
+/// *a* plan, not an optimal one.
+pub fn forward_chain(problem: &StripsProblem, limits: SearchLimits) -> SearchResult {
+    let mut visited: FxHashSet<CondSet> = FxHashSet::default();
+    let mut plan: Vec<OpId> = Vec::new();
+    let mut expanded = 0usize;
+    let start = problem.initial_state();
+    visited.insert(start.clone());
+    let outcome = fwd_dfs(problem, &start, &mut visited, &mut plan, &mut expanded, limits);
+    match outcome {
+        FwdOutcome::Found => SearchResult::solved(plan, expanded, visited.len()),
+        FwdOutcome::Exhausted => SearchResult::unsolved(SearchOutcome::Exhausted, expanded, visited.len()),
+        FwdOutcome::Limit => SearchResult::unsolved(SearchOutcome::LimitReached, expanded, visited.len()),
+    }
+}
+
+enum FwdOutcome {
+    Found,
+    Exhausted,
+    Limit,
+}
+
+fn fwd_dfs(
+    problem: &StripsProblem,
+    state: &CondSet,
+    visited: &mut FxHashSet<CondSet>,
+    plan: &mut Vec<OpId>,
+    expanded: &mut usize,
+    limits: SearchLimits,
+) -> FwdOutcome {
+    if problem.is_goal(state) {
+        return FwdOutcome::Found;
+    }
+    if *expanded >= limits.max_expansions || visited.len() >= limits.max_states {
+        return FwdOutcome::Limit;
+    }
+    *expanded += 1;
+
+    let mut ops = Vec::new();
+    problem.valid_operations(state, &mut ops);
+    // greedy ordering: successors closest to the goal first
+    let mut scored: Vec<(f64, OpId, CondSet)> = ops
+        .into_iter()
+        .map(|op| {
+            let next = problem.apply(state, op);
+            (GoalCount.estimate(problem, &next), op, next)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    for (_, op, next) in scored {
+        if !visited.insert(next.clone()) {
+            continue;
+        }
+        plan.push(op);
+        match fwd_dfs(problem, &next, visited, plan, expanded, limits) {
+            FwdOutcome::Found => return FwdOutcome::Found,
+            FwdOutcome::Limit => return FwdOutcome::Limit,
+            FwdOutcome::Exhausted => {
+                plan.pop();
+            }
+        }
+    }
+    FwdOutcome::Exhausted
+}
+
+/// Backward chaining (goal regression): search backwards from the goal
+/// condition set. Operator `o` is *relevant* to subgoal `G` when it adds
+/// some condition of `G` and deletes none; regressing through `o` yields
+/// `G' = (G ∖ add(o)) ∪ pre(o)`. Success when the subgoal is satisfied by
+/// the initial state.
+pub fn backward_chain(problem: &StripsProblem, limits: SearchLimits) -> SearchResult {
+    let init = problem.initial_state();
+    let mut visited: FxHashSet<CondSet> = FxHashSet::default();
+    let mut plan_rev: Vec<OpId> = Vec::new();
+    let mut expanded = 0usize;
+    let goal = problem.goal().clone();
+    visited.insert(goal.clone());
+    let outcome = bwd_dfs(problem, &goal, &init, &mut visited, &mut plan_rev, &mut expanded, limits);
+    match outcome {
+        FwdOutcome::Found => {
+            // regression discovered ops goal-to-init; execution order is the
+            // reverse
+            plan_rev.reverse();
+            // Regression with delete-relaxed relevance can produce plans
+            // whose preconditions interleave badly; validate and reject
+            // invalid plans as Exhausted (sound, possibly incomplete — the
+            // classic trade-off the paper alludes to).
+            let plan = gaplan_core::Plan::from_ops(plan_rev.clone());
+            match plan.simulate(problem, &init) {
+                Ok(out) if out.solves => SearchResult::solved(plan_rev, expanded, visited.len()),
+                _ => SearchResult::unsolved(SearchOutcome::Exhausted, expanded, visited.len()),
+            }
+        }
+        FwdOutcome::Exhausted => SearchResult::unsolved(SearchOutcome::Exhausted, expanded, visited.len()),
+        FwdOutcome::Limit => SearchResult::unsolved(SearchOutcome::LimitReached, expanded, visited.len()),
+    }
+}
+
+fn bwd_dfs(
+    problem: &StripsProblem,
+    subgoal: &CondSet,
+    init: &CondSet,
+    visited: &mut FxHashSet<CondSet>,
+    plan_rev: &mut Vec<OpId>,
+    expanded: &mut usize,
+    limits: SearchLimits,
+) -> FwdOutcome {
+    if subgoal.is_subset_of(init) {
+        return FwdOutcome::Found;
+    }
+    if *expanded >= limits.max_expansions || visited.len() >= limits.max_states {
+        return FwdOutcome::Limit;
+    }
+    *expanded += 1;
+
+    // candidate relevant operators, preferring those that satisfy more of
+    // the subgoal
+    let mut candidates: Vec<(usize, OpId, CondSet)> = Vec::new();
+    for (i, op) in problem.operators().iter().enumerate() {
+        let adds = op.add.intersection_count(subgoal);
+        if adds == 0 || op.del.intersection_count(subgoal) > 0 {
+            continue;
+        }
+        // G' = (G \ add) ∪ pre
+        let mut regressed = subgoal.clone();
+        regressed.apply_effects(&op.pre, &op.add);
+        candidates.push((adds, OpId(i as u32), regressed));
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+
+    for (_, op, regressed) in candidates {
+        if !visited.insert(regressed.clone()) {
+            continue;
+        }
+        plan_rev.push(op);
+        match bwd_dfs(problem, &regressed, init, visited, plan_rev, expanded, limits) {
+            FwdOutcome::Found => return FwdOutcome::Found,
+            FwdOutcome::Limit => return FwdOutcome::Limit,
+            FwdOutcome::Exhausted => {
+                plan_rev.pop();
+            }
+        }
+    }
+    FwdOutcome::Exhausted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::strips::StripsBuilder;
+    use gaplan_domains::blocks_world;
+
+    fn logistics_chain() -> StripsProblem {
+        // linear chain s0 -> s1 -> s2 -> s3
+        let mut b = StripsBuilder::new();
+        for i in 0..4 {
+            b.condition(&format!("s{i}")).unwrap();
+        }
+        for i in 0..3 {
+            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
+                .unwrap();
+        }
+        b.init(&["s0"]).unwrap();
+        b.goal(&["s3"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forward_chain_solves_linear_chain() {
+        let p = logistics_chain();
+        let r = forward_chain(&p, SearchLimits::default());
+        assert!(r.is_solved());
+        assert_eq!(r.plan_len(), Some(3));
+        let out = r.plan.unwrap().simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn backward_chain_solves_linear_chain() {
+        let p = logistics_chain();
+        let r = backward_chain(&p, SearchLimits::default());
+        assert!(r.is_solved());
+        assert_eq!(r.plan_len(), Some(3));
+        let out = r.plan.unwrap().simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn forward_chain_solves_blocks_world() {
+        let p = blocks_world(3, &vec![vec![1, 0], vec![2]], &vec![vec![2, 1, 0]]).unwrap();
+        let r = forward_chain(&p, SearchLimits::default());
+        assert!(r.is_solved());
+        let out = r.plan.unwrap().simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn backward_chain_result_is_validated() {
+        let p = blocks_world(3, &vec![vec![0], vec![1], vec![2]], &vec![vec![0, 1, 2]]).unwrap();
+        let r = backward_chain(&p, SearchLimits::default());
+        // whatever the outcome, a solved result must carry a valid plan
+        if let Some(plan) = r.plan {
+            let out = plan.simulate(&p, &p.initial_state()).unwrap();
+            assert!(out.solves);
+        }
+    }
+
+    #[test]
+    fn unsolvable_goal_is_exhausted() {
+        let mut b = StripsBuilder::new();
+        b.condition("a").unwrap();
+        b.condition("unreachable").unwrap();
+        b.op("noop", &["a"], &["a"], &[], 1.0).unwrap();
+        b.init(&["a"]).unwrap();
+        b.goal(&["unreachable"]).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(forward_chain(&p, SearchLimits::default()).outcome, SearchOutcome::Exhausted);
+        assert_eq!(backward_chain(&p, SearchLimits::default()).outcome, SearchOutcome::Exhausted);
+    }
+
+    #[test]
+    fn limits_respected() {
+        let p = blocks_world(5, &vec![vec![0, 1, 2, 3, 4]], &vec![vec![4, 3, 2, 1, 0]]).unwrap();
+        let limits = SearchLimits {
+            max_expansions: 3,
+            max_states: 10,
+        };
+        let f = forward_chain(&p, limits);
+        assert!(matches!(f.outcome, SearchOutcome::LimitReached | SearchOutcome::Solved));
+    }
+
+    #[test]
+    fn goal_satisfied_initially() {
+        let mut b = StripsBuilder::new();
+        b.condition("a").unwrap();
+        b.op("noop", &["a"], &["a"], &[], 1.0).unwrap();
+        b.init(&["a"]).unwrap();
+        b.goal(&["a"]).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(forward_chain(&p, SearchLimits::default()).plan_len(), Some(0));
+        assert_eq!(backward_chain(&p, SearchLimits::default()).plan_len(), Some(0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Heuristic functions for the informed baselines, following the paper's
+//! related-work pointers: Manhattan distance and linear conflict for the
+//! sliding-tile puzzle (Korf & Taylor), goal-count for STRIPS (the HSP
+//! family's additive flavour, simplified), and the standard Towers of Hanoi
+//! lower bound.
+
+use gaplan_core::strips::StripsProblem;
+use gaplan_core::Domain;
+use gaplan_domains::hanoi::HanoiState;
+use gaplan_domains::sliding_tile::TileState;
+use gaplan_domains::{Hanoi, SlidingTile};
+
+/// A heuristic estimate of the cost-to-goal from a state of domain `D`.
+pub trait Heuristic<D: Domain>: Send + Sync {
+    /// Estimated remaining cost. Admissible heuristics never overestimate.
+    fn estimate(&self, domain: &D, state: &D::State) -> f64;
+}
+
+/// The zero heuristic: turns A* into uniform-cost search / IDA* into
+/// iterative deepening.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroH;
+
+impl<D: Domain> Heuristic<D> for ZeroH {
+    fn estimate(&self, _domain: &D, _state: &D::State) -> f64 {
+        0.0
+    }
+}
+
+/// Summed Manhattan distance of all tiles — the classic admissible
+/// sliding-tile heuristic (paper §4.2 cites it via Russell & Norvig).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManhattanH;
+
+impl Heuristic<SlidingTile> for ManhattanH {
+    fn estimate(&self, domain: &SlidingTile, state: &TileState) -> f64 {
+        f64::from(domain.manhattan(state))
+    }
+}
+
+/// Number of misplaced tiles (blank excluded) — weaker than Manhattan but
+/// still admissible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisplacedTiles;
+
+impl Heuristic<SlidingTile> for MisplacedTiles {
+    fn estimate(&self, domain: &SlidingTile, state: &TileState) -> f64 {
+        let goal = domain.goal();
+        state
+            .iter()
+            .zip(goal)
+            .filter(|&(&s, &g)| s != 0 && s != g)
+            .count() as f64
+    }
+}
+
+/// Manhattan distance plus the linear-conflict correction (Korf & Taylor,
+/// cited in §2): two tiles in their goal row (or column) but in reversed
+/// order must pass around each other, adding 2 moves per conflict. Remains
+/// admissible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearConflict;
+
+impl Heuristic<SlidingTile> for LinearConflict {
+    fn estimate(&self, domain: &SlidingTile, state: &TileState) -> f64 {
+        let n = domain.side();
+        let goal = domain.goal();
+        // goal coordinates per value
+        let mut goal_pos = vec![(0usize, 0usize); n * n];
+        for (i, &v) in goal.iter().enumerate() {
+            goal_pos[v as usize] = (i / n, i % n);
+        }
+        let mut conflicts = 0u32;
+        // row conflicts
+        for r in 0..n {
+            for c1 in 0..n {
+                let v1 = state[r * n + c1];
+                if v1 == 0 || goal_pos[v1 as usize].0 != r {
+                    continue;
+                }
+                for c2 in (c1 + 1)..n {
+                    let v2 = state[r * n + c2];
+                    if v2 == 0 || goal_pos[v2 as usize].0 != r {
+                        continue;
+                    }
+                    if goal_pos[v1 as usize].1 > goal_pos[v2 as usize].1 {
+                        conflicts += 1;
+                    }
+                }
+            }
+        }
+        // column conflicts
+        for c in 0..n {
+            for r1 in 0..n {
+                let v1 = state[r1 * n + c];
+                if v1 == 0 || goal_pos[v1 as usize].1 != c {
+                    continue;
+                }
+                for r2 in (r1 + 1)..n {
+                    let v2 = state[r2 * n + c];
+                    if v2 == 0 || goal_pos[v2 as usize].1 != c {
+                        continue;
+                    }
+                    if goal_pos[v1 as usize].0 > goal_pos[v2 as usize].0 {
+                        conflicts += 1;
+                    }
+                }
+            }
+        }
+        f64::from(domain.manhattan(state) + 2 * conflicts)
+    }
+}
+
+/// Standard admissible Towers of Hanoi lower bound: scan disks from largest
+/// to smallest tracking the stake the current sub-tower must reach; each
+/// disk not already on that stake costs at least one move and redirects the
+/// smaller disks to the third stake.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HanoiLowerBound;
+
+impl Heuristic<Hanoi> for HanoiLowerBound {
+    fn estimate(&self, domain: &Hanoi, state: &HanoiState) -> f64 {
+        let mut target = domain.goal_peg();
+        let mut bound = 0u64;
+        for disk in (0..state.len()).rev() {
+            if state[disk] == target {
+                continue;
+            }
+            // disk must move to `target`; the disks above must first clear
+            // to the third stake, then this disk moves (>= 2^disk moves
+            // counting the sub-tower relocation lower bound of 2^disk - 1
+            // plus 1).
+            bound += 1u64 << disk;
+            target = 3 - target - state[disk];
+        }
+        bound as f64
+    }
+}
+
+/// Number of unsatisfied goal conditions of a ground STRIPS problem — the
+/// (inadmissible in general, cheap) goal-count heuristic in the spirit of
+/// HSP's independence assumption.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoalCount;
+
+impl Heuristic<StripsProblem> for GoalCount {
+    fn estimate(&self, domain: &StripsProblem, state: &<StripsProblem as Domain>::State) -> f64 {
+        let goal = domain.goal();
+        (goal.count() - goal.intersection_count(state)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_all_distances;
+    use crate::result::SearchLimits;
+    use gaplan_core::DomainExt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_heuristic_is_zero() {
+        let h = Hanoi::new(3);
+        assert_eq!(ZeroH.estimate(&h, &h.initial_state()), 0.0);
+    }
+
+    #[test]
+    fn manhattan_is_zero_at_goal() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        assert_eq!(ManhattanH.estimate(&p, &p.initial_state()), 0.0);
+        assert_eq!(LinearConflict.estimate(&p, &p.initial_state()), 0.0);
+        assert_eq!(MisplacedTiles.estimate(&p, &p.initial_state()), 0.0);
+    }
+
+    #[test]
+    fn linear_conflict_dominates_manhattan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let s = p.initial_state();
+            assert!(LinearConflict.estimate(&p, &s) >= ManhattanH.estimate(&p, &s));
+            assert!(ManhattanH.estimate(&p, &s) >= MisplacedTiles.estimate(&p, &s));
+        }
+    }
+
+    #[test]
+    fn linear_conflict_detects_reversed_row_pair() {
+        // 8 and 7 reversed in the bottom row (both belong to goal row 2):
+        // one linear conflict adds 2 on top of the Manhattan distance.
+        // estimate() is state-only, so the (unsolvable) swapped board can be
+        // evaluated against a domain built from the standard goal.
+        let q = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let swapped = vec![1, 2, 3, 4, 5, 6, 8, 7, 0];
+        let md = ManhattanH.estimate(&q, &swapped);
+        let lc = LinearConflict.estimate(&q, &swapped);
+        assert_eq!(md, 2.0);
+        assert_eq!(lc, 4.0, "lc = {lc}, md = {md}");
+    }
+
+    #[test]
+    fn hanoi_lower_bound_is_exact_at_extremes() {
+        let h = Hanoi::new(5);
+        // initial state: full relocation needs 2^5 - 1 = 31
+        assert_eq!(HanoiLowerBound.estimate(&h, &h.initial_state()), 31.0);
+        // goal state: 0
+        assert_eq!(HanoiLowerBound.estimate(&h, &vec![1; 5]), 0.0);
+    }
+
+    #[test]
+    fn hanoi_lower_bound_admissible_everywhere() {
+        // compare against exact distances-to-goal computed by BFS from the
+        // goal state (moves are reversible, so distance is symmetric).
+        let n = 4;
+        let goal_first = Hanoi::with_init(n, vec![1; n], 1);
+        let dist_from_goal = bfs_all_distances(&goal_first, SearchLimits::default());
+        let h = Hanoi::new(n);
+        for (state, &d) in &dist_from_goal {
+            let est = HanoiLowerBound.estimate(&h, state);
+            assert!(
+                est <= d as f64,
+                "inadmissible at {state:?}: est {est} > true {d}"
+            );
+        }
+        assert_eq!(dist_from_goal.len(), 81);
+    }
+
+    #[test]
+    fn manhattan_admissible_on_8_puzzle_sample() {
+        // BFS from the goal gives true distances; Manhattan must not exceed.
+        let goal = SlidingTile::standard_goal(3);
+        let from_goal = SlidingTile::new(3, goal.clone());
+        let limits = SearchLimits {
+            max_expansions: 50_000,
+            max_states: 100_000,
+        };
+        let dist = bfs_all_distances(&from_goal, limits);
+        let dom = SlidingTile::new(3, goal);
+        for (state, &d) in dist.iter().take(20_000) {
+            let md = ManhattanH.estimate(&dom, state);
+            let lc = LinearConflict.estimate(&dom, state);
+            assert!(md <= d as f64, "MD inadmissible at {state:?}");
+            assert!(lc <= d as f64, "LC inadmissible at {state:?}");
+        }
+    }
+
+    #[test]
+    fn goal_count_counts_unsatisfied_conditions() {
+        use gaplan_core::strips::StripsBuilder;
+        let mut b = StripsBuilder::new();
+        for c in ["a", "b", "c"] {
+            b.condition(c).unwrap();
+        }
+        b.op("mk-a", &[], &["a"], &[], 1.0).unwrap();
+        b.op("mk-b", &[], &["b"], &[], 1.0).unwrap();
+        b.init(&[]).unwrap();
+        b.goal(&["a", "b"]).unwrap();
+        let p = b.build().unwrap();
+        let s0 = p.initial_state();
+        assert_eq!(GoalCount.estimate(&p, &s0), 2.0);
+        let s1 = p.apply(&s0, gaplan_core::OpId(0));
+        assert_eq!(GoalCount.estimate(&p, &s1), 1.0);
+        let s2 = p.apply(&s1, gaplan_core::OpId(1));
+        assert_eq!(GoalCount.estimate(&p, &s2), 0.0);
+        assert!(p.is_goal(&s2));
+        // unused imports guard
+        let _ = p.valid_ops_vec(&s2);
+    }
+}

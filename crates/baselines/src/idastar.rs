@@ -1,0 +1,153 @@
+//! IDA* — iterative-deepening A* (Korf), the memory-light optimal search
+//! used by the sliding-tile literature the paper cites (§2: Korf & Taylor's
+//! twenty-four puzzle work, disjoint pattern databases).
+
+use gaplan_core::{Domain, OpId};
+
+use crate::heuristics::Heuristic;
+use crate::result::{SearchLimits, SearchOutcome, SearchResult};
+
+/// Run IDA* from the domain's initial state. Optimal for admissible
+/// heuristics and unit costs; memory is O(solution depth).
+pub fn idastar<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, limits: SearchLimits) -> SearchResult {
+    let start = domain.initial_state();
+    if domain.is_goal(&start) {
+        return SearchResult::solved(vec![], 0, 0);
+    }
+    let mut bound = heuristic.estimate(domain, &start);
+    let mut expanded = 0usize;
+    let mut path_ops: Vec<OpId> = Vec::new();
+    let mut path_states: Vec<D::State> = vec![start];
+
+    loop {
+        match dfs(domain, heuristic, &mut path_states, &mut path_ops, 0.0, bound, &mut expanded, limits) {
+            DfsOutcome::Found => {
+                return SearchResult::solved(path_ops, expanded, 0);
+            }
+            DfsOutcome::NextBound(nb) => {
+                if !nb.is_finite() {
+                    return SearchResult::unsolved(SearchOutcome::Exhausted, expanded, 0);
+                }
+                bound = nb;
+            }
+            DfsOutcome::Limit => {
+                return SearchResult::unsolved(SearchOutcome::LimitReached, expanded, 0);
+            }
+        }
+    }
+}
+
+enum DfsOutcome {
+    Found,
+    NextBound(f64),
+    Limit,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<D: Domain, H: Heuristic<D>>(
+    domain: &D,
+    heuristic: &H,
+    path_states: &mut Vec<D::State>,
+    path_ops: &mut Vec<OpId>,
+    g: f64,
+    bound: f64,
+    expanded: &mut usize,
+    limits: SearchLimits,
+) -> DfsOutcome {
+    let state = path_states.last().expect("path is never empty").clone();
+    let f = g + heuristic.estimate(domain, &state);
+    if f > bound + 1e-9 {
+        return DfsOutcome::NextBound(f);
+    }
+    if domain.is_goal(&state) {
+        return DfsOutcome::Found;
+    }
+    if *expanded >= limits.max_expansions {
+        return DfsOutcome::Limit;
+    }
+    *expanded += 1;
+
+    let mut next_bound = f64::INFINITY;
+    let mut ops = Vec::new();
+    domain.valid_operations(&state, &mut ops);
+    for op in ops {
+        let next = domain.apply(&state, op);
+        // cycle check along the current path (classic IDA* pruning)
+        if path_states.contains(&next) {
+            continue;
+        }
+        path_states.push(next);
+        path_ops.push(op);
+        match dfs(domain, heuristic, path_states, path_ops, g + domain.op_cost(op), bound, expanded, limits) {
+            DfsOutcome::Found => return DfsOutcome::Found,
+            DfsOutcome::NextBound(nb) => next_bound = next_bound.min(nb),
+            DfsOutcome::Limit => return DfsOutcome::Limit,
+        }
+        path_states.pop();
+        path_ops.pop();
+    }
+    DfsOutcome::NextBound(next_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::astar;
+    use crate::heuristics::{HanoiLowerBound, LinearConflict, ManhattanH};
+    use crate::result::SearchLimits;
+    use gaplan_domains::{Hanoi, SlidingTile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idastar_optimal_on_hanoi() {
+        for n in 2..=5 {
+            let h = Hanoi::new(n);
+            let r = idastar(&h, &HanoiLowerBound, SearchLimits::default());
+            assert!(r.is_solved(), "n = {n}");
+            assert_eq!(r.plan_len(), Some((1 << n) - 1));
+            let out = r.plan.unwrap().simulate(&h, &h.initial_state()).unwrap();
+            assert!(out.solves);
+        }
+    }
+
+    #[test]
+    fn idastar_matches_astar_on_random_8_puzzles() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..3 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let a = astar(&p, &ManhattanH, SearchLimits::default());
+            let i = idastar(&p, &LinearConflict, SearchLimits::default());
+            assert!(a.is_solved() && i.is_solved());
+            assert_eq!(a.plan_len(), i.plan_len());
+        }
+    }
+
+    #[test]
+    fn idastar_uses_no_state_store() {
+        let h = Hanoi::new(4);
+        let r = idastar(&h, &HanoiLowerBound, SearchLimits::default());
+        assert_eq!(r.peak_states, 0);
+    }
+
+    #[test]
+    fn idastar_goal_at_start() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let r = idastar(&p, &ManhattanH, SearchLimits::default());
+        assert_eq!(r.plan_len(), Some(0));
+    }
+
+    #[test]
+    fn idastar_respects_limits() {
+        let h = Hanoi::new(10);
+        let r = idastar(
+            &h,
+            &HanoiLowerBound,
+            SearchLimits {
+                max_expansions: 100,
+                max_states: 0,
+            },
+        );
+        assert_eq!(r.outcome, SearchOutcome::LimitReached);
+    }
+}

@@ -1,0 +1,223 @@
+//! Local / greedy searches in the spirit of Bonet & Geffner's planners
+//! (paper §2): HSP is "a hill-climbing planner" and HSP2 "a best-first
+//! planner"; both are forward state planners guided by a heuristic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gaplan_core::{Domain, OpId};
+use rustc_hash::FxHashSet;
+
+use crate::heuristics::Heuristic;
+use crate::result::{SearchLimits, SearchOutcome, SearchResult};
+
+/// Steepest-ascent hill climbing with sideways moves disallowed and a step
+/// budget: from each state move to the lowest-heuristic successor as long
+/// as it improves. Returns the path when it reaches the goal; stops at a
+/// local minimum otherwise (HSP-style behaviour without its restarts —
+/// restarts belong to the caller, which can vary tie-breaking by seed).
+pub fn hill_climb<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, limits: SearchLimits) -> SearchResult {
+    let mut state = domain.initial_state();
+    let mut ops_taken: Vec<OpId> = Vec::new();
+    let mut expanded = 0usize;
+    let mut scratch = Vec::new();
+
+    loop {
+        if domain.is_goal(&state) {
+            return SearchResult::solved(ops_taken, expanded, 0);
+        }
+        if expanded >= limits.max_expansions {
+            return SearchResult::unsolved(SearchOutcome::LimitReached, expanded, 0);
+        }
+        expanded += 1;
+
+        let current_h = heuristic.estimate(domain, &state);
+        scratch.clear();
+        domain.valid_operations(&state, &mut scratch);
+        let mut best: Option<(f64, OpId, D::State)> = None;
+        for &op in &scratch {
+            let next = domain.apply(&state, op);
+            let h = heuristic.estimate(domain, &next);
+            if best.as_ref().is_none_or(|(bh, _, _)| h < *bh) {
+                best = Some((h, op, next));
+            }
+        }
+        match best {
+            Some((h, op, next)) if h < current_h => {
+                ops_taken.push(op);
+                state = next;
+            }
+            // local minimum or plateau: stop (outcome Exhausted = no
+            // improving move exists)
+            _ => return SearchResult::unsolved(SearchOutcome::Exhausted, expanded, 0),
+        }
+    }
+}
+
+/// Greedy best-first search: expand the open state with the smallest
+/// heuristic value, ignoring path cost (HSP2-style). Complete on finite
+/// spaces (within limits) but not optimal.
+pub fn greedy_best_first<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, limits: SearchLimits) -> SearchResult {
+    struct Node {
+        h: f64,
+        id: usize,
+    }
+    impl PartialEq for Node {
+        fn eq(&self, other: &Self) -> bool {
+            self.h == other.h
+        }
+    }
+    impl Eq for Node {}
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.h.partial_cmp(&self.h).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let start = domain.initial_state();
+    let mut states: Vec<D::State> = vec![start.clone()];
+    let mut parent: Vec<(usize, OpId)> = vec![(usize::MAX, OpId(u32::MAX))];
+    let mut seen: FxHashSet<D::State> = FxHashSet::default();
+    seen.insert(start.clone());
+
+    let mut open = BinaryHeap::new();
+    open.push(Node {
+        h: heuristic.estimate(domain, &start),
+        id: 0,
+    });
+    let mut expanded = 0usize;
+    let mut scratch = Vec::new();
+
+    while let Some(Node { id, .. }) = open.pop() {
+        if domain.is_goal(&states[id]) {
+            return SearchResult::solved(reconstruct(&parent, id), expanded, states.len());
+        }
+        if expanded >= limits.max_expansions || states.len() >= limits.max_states {
+            return SearchResult::unsolved(SearchOutcome::LimitReached, expanded, states.len());
+        }
+        expanded += 1;
+        scratch.clear();
+        domain.valid_operations(&states[id], &mut scratch);
+        let ops = scratch.clone();
+        for op in ops {
+            let next = domain.apply(&states[id], op);
+            if !seen.insert(next.clone()) {
+                continue;
+            }
+            let new_id = states.len();
+            parent.push((id, op));
+            open.push(Node {
+                h: heuristic.estimate(domain, &next),
+                id: new_id,
+            });
+            states.push(next);
+        }
+    }
+    SearchResult::unsolved(SearchOutcome::Exhausted, expanded, states.len())
+}
+
+fn reconstruct(parent: &[(usize, OpId)], mut id: usize) -> Vec<OpId> {
+    let mut ops = Vec::new();
+    while parent[id].0 != usize::MAX {
+        ops.push(parent[id].1);
+        id = parent[id].0;
+    }
+    ops.reverse();
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{HanoiLowerBound, ManhattanH};
+    use gaplan_domains::{Hanoi, SlidingTile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hill_climb_descends_perfect_heuristic() {
+        // HanoiLowerBound is the exact distance, so hill climbing follows
+        // the optimal path with no local minima.
+        let h = Hanoi::new(5);
+        let r = hill_climb(&h, &HanoiLowerBound, SearchLimits::default());
+        assert!(r.is_solved());
+        assert_eq!(r.plan_len(), Some(31));
+    }
+
+    #[test]
+    fn hill_climb_can_get_stuck_on_8_puzzle() {
+        // Manhattan has local minima; over several random instances hill
+        // climbing should fail at least once (and when it succeeds the plan
+        // must be valid).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut failures = 0;
+        for _ in 0..10 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let r = hill_climb(&p, &ManhattanH, SearchLimits::default());
+            if let Some(plan) = r.plan {
+                let out = plan.simulate(&p, &p.initial_state()).unwrap();
+                assert!(out.solves);
+            } else {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "Manhattan hill-climbing should hit local minima");
+    }
+
+    #[test]
+    fn greedy_best_first_solves_8_puzzles() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let r = greedy_best_first(&p, &ManhattanH, SearchLimits::default());
+            assert!(r.is_solved(), "greedy best-first is complete on the 8-puzzle");
+            let out = r.plan.unwrap().simulate(&p, &p.initial_state()).unwrap();
+            assert!(out.solves);
+        }
+    }
+
+    #[test]
+    fn greedy_best_first_is_not_optimal_in_general() {
+        // compare against A*'s optimum over instances; greedy must never be
+        // shorter and should be longer at least once
+        use crate::astar::astar;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut strictly_longer = 0;
+        for _ in 0..8 {
+            let p = SlidingTile::random_solvable(3, &mut rng);
+            let g = greedy_best_first(&p, &ManhattanH, SearchLimits::default());
+            let a = astar(&p, &ManhattanH, SearchLimits::default());
+            let (gl, al) = (g.plan_len().unwrap(), a.plan_len().unwrap());
+            assert!(gl >= al);
+            if gl > al {
+                strictly_longer += 1;
+            }
+        }
+        assert!(strictly_longer > 0);
+    }
+
+    #[test]
+    fn limits_respected() {
+        // a 12-disk solution needs 4095 moves, far beyond 10 expansions
+        let h = Hanoi::new(12);
+        let limits = SearchLimits {
+            max_expansions: 10,
+            max_states: 1000,
+        };
+        assert_eq!(greedy_best_first(&h, &HanoiLowerBound, limits).outcome, SearchOutcome::LimitReached);
+        assert_eq!(hill_climb(&h, &HanoiLowerBound, limits).outcome, SearchOutcome::LimitReached);
+    }
+
+    #[test]
+    fn hill_climb_goal_at_start() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let r = hill_climb(&p, &ManhattanH, SearchLimits::default());
+        assert_eq!(r.plan_len(), Some(0));
+        assert_eq!(r.expanded, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Random walk: the weakest stochastic baseline. At each step pick a valid
+//! operation uniformly; stop at the goal or after `max_steps`. Equivalent to
+//! decoding one random genome of the paper's indirect encoding — i.e. the
+//! GA's generation-zero behaviour without any selection pressure.
+
+use gaplan_core::{Domain, OpId};
+use rand::Rng;
+
+use crate::result::{SearchOutcome, SearchResult};
+
+/// Walk randomly from the initial state for at most `max_steps` operations.
+pub fn random_walk<D: Domain, R: Rng + ?Sized>(domain: &D, rng: &mut R, max_steps: usize) -> SearchResult {
+    let mut state = domain.initial_state();
+    let mut ops_taken: Vec<OpId> = Vec::new();
+    let mut scratch = Vec::new();
+    for step in 0..max_steps {
+        if domain.is_goal(&state) {
+            return SearchResult::solved(ops_taken, step, 0);
+        }
+        scratch.clear();
+        domain.valid_operations(&state, &mut scratch);
+        if scratch.is_empty() {
+            return SearchResult::unsolved(SearchOutcome::Exhausted, step, 0);
+        }
+        let op = scratch[rng.gen_range(0..scratch.len())];
+        state = domain.apply(&state, op);
+        ops_taken.push(op);
+    }
+    if domain.is_goal(&state) {
+        SearchResult::solved(ops_taken, max_steps, 0)
+    } else {
+        SearchResult::unsolved(SearchOutcome::LimitReached, max_steps, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_domains::Hanoi;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_eventually_solves_tiny_hanoi() {
+        // 1-disk Hanoi: goal one move away; a long walk certainly hits it
+        let h = Hanoi::new(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = random_walk(&h, &mut rng, 10_000);
+        assert!(r.is_solved());
+        let out = r.plan.unwrap().simulate(&h, &h.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn walk_rarely_solves_7_disk_hanoi() {
+        // the paper's point: undirected search fails where the GA succeeds
+        let h = Hanoi::new(7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut solved = 0;
+        for _ in 0..10 {
+            if random_walk(&h, &mut rng, 635).is_solved() {
+                solved += 1;
+            }
+        }
+        assert!(solved <= 1, "random walk should almost never solve 7 disks");
+    }
+
+    #[test]
+    fn walk_respects_step_budget() {
+        let h = Hanoi::new(7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = random_walk(&h, &mut rng, 50);
+        if !r.is_solved() {
+            assert_eq!(r.outcome, SearchOutcome::LimitReached);
+        }
+    }
+
+    #[test]
+    fn zero_steps_solves_only_goal_start() {
+        let h = Hanoi::with_init(2, vec![1, 1], 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = random_walk(&h, &mut rng, 0);
+        assert!(r.is_solved());
+        assert_eq!(r.plan_len(), Some(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h = Hanoi::new(4);
+        let a = random_walk(&h, &mut StdRng::seed_from_u64(9), 100);
+        let b = random_walk(&h, &mut StdRng::seed_from_u64(9), 100);
+        match (&a.plan, &b.plan) {
+            (Some(pa), Some(pb)) => assert_eq!(pa.ops(), pb.ops()),
+            (None, None) => {}
+            _ => panic!("runs diverged"),
+        }
+    }
+}

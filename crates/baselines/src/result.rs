@@ -1,0 +1,117 @@
+//! Common result and resource-limit types for the baseline planners.
+
+use gaplan_core::{OpId, Plan};
+
+/// Resource limits for a search. Planning state spaces explode (the paper's
+/// core motivation for a heuristic method), so every baseline is bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Maximum number of node expansions.
+    pub max_expansions: usize,
+    /// Maximum number of stored states (frontier + visited), where
+    /// applicable.
+    pub max_states: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_expansions: 2_000_000,
+            max_states: 4_000_000,
+        }
+    }
+}
+
+impl SearchLimits {
+    /// A small limit for tests.
+    pub fn tiny() -> Self {
+        SearchLimits {
+            max_expansions: 20_000,
+            max_states: 40_000,
+        }
+    }
+}
+
+/// Why a search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A plan reaching the goal was found.
+    Solved,
+    /// The reachable space was exhausted without reaching the goal.
+    Exhausted,
+    /// A resource limit was hit.
+    LimitReached,
+}
+
+/// The outcome of a baseline planner run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The plan, when solved.
+    pub plan: Option<Plan>,
+    /// Termination reason.
+    pub outcome: SearchOutcome,
+    /// Number of node expansions performed.
+    pub expanded: usize,
+    /// Peak number of stored states (0 for memoryless searches).
+    pub peak_states: usize,
+}
+
+impl SearchResult {
+    /// Construct a solved result.
+    pub fn solved(ops: Vec<OpId>, expanded: usize, peak_states: usize) -> Self {
+        SearchResult {
+            plan: Some(Plan::from_ops(ops)),
+            outcome: SearchOutcome::Solved,
+            expanded,
+            peak_states,
+        }
+    }
+
+    /// Construct an unsolved result.
+    pub fn unsolved(outcome: SearchOutcome, expanded: usize, peak_states: usize) -> Self {
+        debug_assert_ne!(outcome, SearchOutcome::Solved);
+        SearchResult {
+            plan: None,
+            outcome,
+            expanded,
+            peak_states,
+        }
+    }
+
+    /// Plan length, when solved.
+    pub fn plan_len(&self) -> Option<usize> {
+        self.plan.as_ref().map(Plan::len)
+    }
+
+    /// Did the search solve the problem?
+    pub fn is_solved(&self) -> bool {
+        self.outcome == SearchOutcome::Solved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solved_result_accessors() {
+        let r = SearchResult::solved(vec![OpId(1), OpId(2)], 10, 5);
+        assert!(r.is_solved());
+        assert_eq!(r.plan_len(), Some(2));
+        assert_eq!(r.expanded, 10);
+    }
+
+    #[test]
+    fn unsolved_result_accessors() {
+        let r = SearchResult::unsolved(SearchOutcome::LimitReached, 100, 50);
+        assert!(!r.is_solved());
+        assert_eq!(r.plan_len(), None);
+    }
+
+    #[test]
+    fn default_limits_are_generous() {
+        let l = SearchLimits::default();
+        assert!(l.max_expansions >= 1_000_000);
+        assert!(SearchLimits::tiny().max_expansions < l.max_expansions);
+    }
+}

@@ -1,0 +1,275 @@
+//! Universal planning (paper §2, Jonsson, Haslum & Bäckström): instead of
+//! one plan from one initial state, compute a *policy* mapping every
+//! reachable state to an action, so the agent can act from wherever it
+//! finds itself — including after perturbations no linear plan survives.
+//!
+//! The paper's summary: universal planners that run in polynomial time and
+//! space "cannot satisfy even the weakest types of completeness", but
+//! dropping one polynomial bound makes completeness attainable. This
+//! implementation takes the complete-but-exponential corner deliberately:
+//! it enumerates the reachable state space (bounded by [`SearchLimits`]),
+//! computes exact distances-to-goal by backward induction over the explored
+//! graph, and extracts the greedy policy — exact on small problems, a
+//! resource-limited approximation on large ones (which is precisely the
+//! trade-off the cited work formalizes).
+
+use std::collections::VecDeque;
+
+use gaplan_core::{Domain, OpId};
+use rustc_hash::FxHashMap;
+
+use crate::result::SearchLimits;
+
+/// A universal plan: a state → action policy with exact distances-to-goal
+/// over the explored region.
+pub struct UniversalPlan<S> {
+    /// Explored states, interned.
+    states: Vec<S>,
+    index: FxHashMap<S, usize>,
+    /// For each state: chosen action and distance-to-goal, when the goal is
+    /// reachable from it within the explored region.
+    policy: Vec<Option<(OpId, u32)>>,
+    /// True when exploration hit a resource limit (policy may be partial).
+    truncated: bool,
+}
+
+/// Outcome of executing a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyOutcome {
+    /// Reached the goal in the given number of steps.
+    Reached(usize),
+    /// Entered a state the policy does not cover.
+    OffPolicy,
+    /// Exceeded the step budget.
+    StepLimit,
+}
+
+impl<S: Clone + Eq + std::hash::Hash> UniversalPlan<S> {
+    /// Build the policy for `domain`: forward exploration from the initial
+    /// state, then backward induction from every goal state found.
+    pub fn build<D: Domain<State = S>>(domain: &D, limits: SearchLimits) -> UniversalPlan<S> {
+        // 1. forward exploration
+        let start = domain.initial_state();
+        let mut states: Vec<S> = vec![start.clone()];
+        let mut index: FxHashMap<S, usize> = FxHashMap::default();
+        index.insert(start, 0);
+        // transitions[i] = (op, successor index)
+        let mut transitions: Vec<Vec<(OpId, usize)>> = vec![Vec::new()];
+        let mut queue = VecDeque::from([0usize]);
+        let mut truncated = false;
+        let mut scratch = Vec::new();
+        let mut expanded = 0usize;
+
+        while let Some(cur) = queue.pop_front() {
+            if expanded >= limits.max_expansions || states.len() >= limits.max_states {
+                truncated = true;
+                break;
+            }
+            expanded += 1;
+            scratch.clear();
+            domain.valid_operations(&states[cur], &mut scratch);
+            let ops = scratch.clone();
+            for op in ops {
+                let next = domain.apply(&states[cur], op);
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len();
+                        index.insert(next.clone(), id);
+                        states.push(next);
+                        transitions.push(Vec::new());
+                        queue.push_back(id);
+                        id
+                    }
+                };
+                transitions[cur].push((op, id));
+            }
+        }
+
+        // 2. backward induction: multi-source BFS from goal states over
+        //    reversed transitions
+        let mut reverse: Vec<Vec<(OpId, usize)>> = vec![Vec::new(); states.len()];
+        for (from, outs) in transitions.iter().enumerate() {
+            for &(op, to) in outs {
+                reverse[to].push((op, from));
+            }
+        }
+        let mut policy: Vec<Option<(OpId, u32)>> = vec![None; states.len()];
+        let mut back = VecDeque::new();
+        for (i, s) in states.iter().enumerate() {
+            if domain.is_goal(s) {
+                // distance 0; the action is irrelevant at the goal
+                policy[i] = Some((OpId(u32::MAX), 0));
+                back.push_back(i);
+            }
+        }
+        while let Some(cur) = back.pop_front() {
+            let (_, d) = policy[cur].expect("popped states are decided");
+            for &(op, from) in &reverse[cur] {
+                if policy[from].is_none() {
+                    policy[from] = Some((op, d + 1));
+                    back.push_back(from);
+                }
+            }
+        }
+
+        UniversalPlan {
+            states,
+            index,
+            policy,
+            truncated,
+        }
+    }
+
+    /// Number of explored states.
+    pub fn coverage(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of states from which the policy reaches the goal.
+    pub fn solvable_states(&self) -> usize {
+        self.policy.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Was exploration truncated by resource limits?
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The action prescribed at `state`, if covered and solvable.
+    pub fn action(&self, state: &S) -> Option<OpId> {
+        let &i = self.index.get(state)?;
+        match self.policy[i] {
+            Some((op, d)) if d > 0 => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Exact distance-to-goal from `state`, if known.
+    pub fn distance(&self, state: &S) -> Option<u32> {
+        let &i = self.index.get(state)?;
+        self.policy[i].map(|(_, d)| d)
+    }
+
+    /// Execute the policy from `state` for at most `max_steps`.
+    pub fn execute<D: Domain<State = S>>(&self, domain: &D, state: &S, max_steps: usize) -> PolicyOutcome {
+        let mut current = state.clone();
+        for step in 0..=max_steps {
+            if domain.is_goal(&current) {
+                return PolicyOutcome::Reached(step);
+            }
+            if step == max_steps {
+                break;
+            }
+            match self.action(&current) {
+                Some(op) => current = domain.apply(&current, op),
+                None => return PolicyOutcome::OffPolicy,
+            }
+        }
+        PolicyOutcome::StepLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use gaplan_domains::{Hanoi, SlidingTile};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn covers_full_hanoi_space_and_is_exact() {
+        let h = Hanoi::new(4);
+        let up = UniversalPlan::build(&h, SearchLimits::default());
+        assert!(!up.truncated());
+        assert_eq!(up.coverage(), 81); // 3^4 states
+        assert_eq!(up.solvable_states(), 81, "every Hanoi state can reach the goal");
+        // distance from the initial state equals BFS's optimum
+        let optimal = bfs(&h, SearchLimits::default()).plan_len().unwrap() as u32;
+        assert_eq!(up.distance(&h.initial_state()), Some(optimal));
+    }
+
+    #[test]
+    fn policy_executes_optimally_from_any_state() {
+        let h = Hanoi::new(4);
+        let up = UniversalPlan::build(&h, SearchLimits::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..25 {
+            // perturb: a random legal state (all peg assignments are states)
+            let state: Vec<u8> = (0..4).map(|_| rng.gen_range(0..3u8)).collect();
+            let d = up.distance(&state).expect("covered") as usize;
+            assert_eq!(up.execute(&h, &state, d), PolicyOutcome::Reached(d), "suboptimal from {state:?}");
+        }
+    }
+
+    #[test]
+    fn policy_survives_perturbation_where_linear_plans_break() {
+        // execute the policy; midway, teleport the agent to a random state;
+        // the policy still finishes (a fixed linear plan would be invalid)
+        let h = Hanoi::new(5);
+        let up = UniversalPlan::build(&h, SearchLimits::default());
+        let mut state = h.initial_state();
+        // follow policy for 7 steps
+        for _ in 0..7 {
+            let op = up.action(&state).unwrap();
+            state = h.apply(&state, op);
+        }
+        // perturbation: an adversary moves a disk
+        let mut rng = StdRng::seed_from_u64(3);
+        let ops = gaplan_core::DomainExt::valid_ops_vec(&h, &state);
+        state = h.apply(&state, ops[rng.gen_range(0..ops.len())]);
+        assert!(matches!(
+            up.execute(&h, &state, 1 << 6),
+            PolicyOutcome::Reached(_)
+        ));
+    }
+
+    #[test]
+    fn unreachable_goal_leaves_states_unsolvable() {
+        use gaplan_core::strips::StripsBuilder;
+        let mut b = StripsBuilder::new();
+        b.condition("a").unwrap();
+        b.condition("never").unwrap();
+        b.op("spin", &["a"], &["a"], &[], 1.0).unwrap();
+        b.init(&["a"]).unwrap();
+        b.goal(&["never"]).unwrap();
+        let p = b.build().unwrap();
+        let up = UniversalPlan::build(&p, SearchLimits::default());
+        assert_eq!(up.solvable_states(), 0);
+        assert_eq!(up.action(&p.initial_state()), None);
+        assert_eq!(
+            up.execute(&p, &p.initial_state(), 10),
+            PolicyOutcome::OffPolicy
+        );
+    }
+
+    #[test]
+    fn truncation_is_reported_on_large_spaces() {
+        let p = SlidingTile::new(4, SlidingTile::standard_goal(4));
+        let up = UniversalPlan::build(
+            &p,
+            SearchLimits {
+                max_expansions: 1_000,
+                max_states: 2_000,
+            },
+        );
+        assert!(up.truncated());
+        assert!(up.coverage() <= 2_000 + 4); // frontier slack of one expansion
+    }
+
+    #[test]
+    fn distances_decrease_along_policy() {
+        let h = Hanoi::new(3);
+        let up = UniversalPlan::build(&h, SearchLimits::default());
+        let mut state = h.initial_state();
+        let mut last = up.distance(&state).unwrap();
+        while last > 0 {
+            state = h.apply(&state, up.action(&state).unwrap());
+            let d = up.distance(&state).unwrap();
+            assert_eq!(d, last - 1, "policy must descend the distance field");
+            last = d;
+        }
+        assert!(h.is_goal(&state));
+    }
+}

@@ -1,0 +1,36 @@
+//! Benchmarks for the deterministic baselines: search effort per planner
+//! (the Ext-D table's wall-clock column at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaplan_baselines::{astar, bfs, idastar, HanoiLowerBound, LinearConflict, ManhattanH, SearchLimits};
+use gaplan_domains::{Hanoi, SlidingTile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+
+    let hanoi = Hanoi::new(6);
+    group.bench_function("bfs_hanoi6", |b| b.iter(|| bfs(&hanoi, SearchLimits::default())));
+    group.bench_function("astar_hanoi6", |b| {
+        b.iter(|| astar(&hanoi, &HanoiLowerBound, SearchLimits::default()))
+    });
+    group.bench_function("idastar_hanoi6", |b| {
+        b.iter(|| idastar(&hanoi, &HanoiLowerBound, SearchLimits::default()))
+    });
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let tile = SlidingTile::random_solvable(3, &mut rng);
+    group.bench_function("astar_md_tile3", |b| {
+        b.iter(|| astar(&tile, &ManhattanH, SearchLimits::default()))
+    });
+    group.bench_function("astar_lc_tile3", |b| {
+        b.iter(|| astar(&tile, &LinearConflict, SearchLimits::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

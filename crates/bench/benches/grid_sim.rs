@@ -1,0 +1,53 @@
+//! Benchmarks for the grid substrate: workflow-domain operations, activity
+//! graph construction, and the discrete-event coordination service.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaplan_core::{Domain, DomainExt, Plan};
+use gaplan_grid::{image_pipeline, ActivityGraph, Coordinator};
+
+fn pipeline_plan(world: &gaplan_grid::GridWorld) -> Plan {
+    let mut state = world.initial_state();
+    let mut ops = Vec::new();
+    for name in ["run histeq @ orion", "run highpass @ orion", "run fft @ orion"] {
+        let op = world
+            .valid_ops_vec(&state)
+            .into_iter()
+            .find(|&o| world.op_name(o) == name)
+            .expect("pipeline op valid");
+        state = world.apply(&state, op);
+        ops.push(op);
+    }
+    Plan::from_ops(ops)
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid");
+    group.sample_size(30);
+
+    let sc = image_pipeline();
+    let world = &sc.world;
+    let start = world.initial_state();
+
+    group.bench_function("valid_operations", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            world.valid_operations(&start, &mut out);
+            out.len()
+        });
+    });
+
+    let plan = pipeline_plan(world);
+    group.bench_function("activity_graph_from_plan", |b| {
+        b.iter(|| ActivityGraph::from_plan(world, &start, &plan));
+    });
+
+    group.bench_function("coordinator_run", |b| {
+        b.iter(|| Coordinator::new(world).run(&plan, None));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Macro-benchmarks: one full GA phase per domain — the unit of cost behind
+//! every table in the paper (Tables 2, 4, 5 are built from phases).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaplan_domains::{Hanoi, SlidingTile};
+use gaplan_ga::{GaConfig, Phase};
+
+fn bench_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase");
+    group.sample_size(10);
+
+    let hanoi = Hanoi::new(5);
+    let hanoi_cfg = GaConfig {
+        population_size: 200,
+        generations_per_phase: 20, // a 1/5-phase slice keeps the bench quick
+        initial_len: 31,
+        max_len: 155,
+        seed: 1,
+        parallel: false,
+        ..GaConfig::default()
+    };
+    group.bench_function("hanoi5_pop200_gens20", |b| {
+        b.iter(|| Phase::new(&hanoi, hanoi_cfg.clone()).run());
+    });
+
+    let tile = SlidingTile::new(3, SlidingTile::standard_goal(3));
+    let tile_cfg = GaConfig {
+        population_size: 200,
+        generations_per_phase: 20,
+        initial_len: 29,
+        max_len: 145,
+        seed: 1,
+        parallel: false,
+        ..GaConfig::default()
+    };
+    group.bench_function("tile3_pop200_gens20", |b| {
+        b.iter(|| Phase::new(&tile, tile_cfg.clone()).run());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase);
+criterion_main!(benches);

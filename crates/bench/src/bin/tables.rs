@@ -1,0 +1,172 @@
+//! Regenerate every table and figure of the paper, plus the extension
+//! experiments.
+//!
+//! Usage:
+//! ```text
+//! tables [--quick] [--runs N] [--budget F] [--seed S] [--json DIR] CMD...
+//! CMD: table1 table2 table3 table4 table5 figures
+//!      ext-crossover-hanoi ext-fitness ext-phases ext-baselines ext-grid
+//!      ext-sensitivity paper all
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gaplan_bench::table::TextTable;
+use gaplan_bench::{baseline_exp, figures, grid_exp, hanoi_exp, history_exp, metaheuristic_exp, seeding_exp, sensitivity_exp, tile_exp, ExpScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExpScale::default();
+    let mut json_dir: Option<String> = None;
+    let mut commands: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = ExpScale::quick(),
+            "--runs" => {
+                i += 1;
+                scale.runs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage("--runs N"));
+            }
+            "--budget" => {
+                i += 1;
+                scale.budget = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|b| *b > 0.0 && *b <= 1.0)
+                    .unwrap_or_else(|| usage("--budget F in (0,1]"));
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage("--seed S"));
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage("--json DIR")));
+            }
+            cmd if !cmd.starts_with('-') => commands.push(cmd.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if commands.is_empty() {
+        usage("no command given");
+    }
+
+    // expand meta-commands
+    let expand = |cmd: &str| -> Vec<&'static str> {
+        match cmd {
+            "paper" => vec!["figures", "table1", "table2", "table3", "table4", "table5"],
+            "ext-baselines" => vec!["ext-baselines-hanoi", "ext-baselines-tile", "ext-baselines-strips"],
+            "ext-sensitivity" => vec!["ext-mutation", "ext-selection", "ext-state-match", "ext-goal-eval", "ext-elitism", "ext-cost-fitness"],
+            "all" => vec![
+                "figures",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "ext-crossover-hanoi",
+                "ext-fitness",
+                "ext-phases",
+                "ext-baselines-hanoi",
+                "ext-baselines-tile",
+                "ext-baselines-strips",
+                "ext-grid",
+                "ext-grid-climate",
+                "ext-mutation",
+                "ext-selection",
+                "ext-state-match",
+                "ext-goal-eval",
+                "ext-elitism",
+                "ext-cost-fitness",
+                "ext-seeding",
+                "ext-metaheuristics-hanoi",
+                "ext-metaheuristics-tile",
+            ],
+            "table1" => vec!["table1"],
+            "table2" => vec!["table2"],
+            "table3" => vec!["table3"],
+            "table4" => vec!["table4"],
+            "table5" => vec!["table5"],
+            "figures" => vec!["figures"],
+            "history" => vec!["history"],
+            "ext-crossover-hanoi" => vec!["ext-crossover-hanoi"],
+            "ext-fitness" => vec!["ext-fitness"],
+            "ext-phases" => vec!["ext-phases"],
+            "ext-baselines-hanoi" => vec!["ext-baselines-hanoi"],
+            "ext-baselines-tile" => vec!["ext-baselines-tile"],
+            "ext-baselines-strips" => vec!["ext-baselines-strips"],
+            "ext-grid" => vec!["ext-grid", "ext-grid-climate"],
+            "ext-grid-climate" => vec!["ext-grid-climate"],
+            "ext-mutation" => vec!["ext-mutation"],
+            "ext-selection" => vec!["ext-selection"],
+            "ext-state-match" => vec!["ext-state-match"],
+            "ext-goal-eval" => vec!["ext-goal-eval"],
+            "ext-elitism" => vec!["ext-elitism"],
+            "ext-cost-fitness" => vec!["ext-cost-fitness"],
+            "ext-seeding" => vec!["ext-seeding"],
+            "ext-metaheuristics" => vec!["ext-metaheuristics-hanoi", "ext-metaheuristics-tile"],
+            "ext-metaheuristics-hanoi" => vec!["ext-metaheuristics-hanoi"],
+            "ext-metaheuristics-tile" => vec!["ext-metaheuristics-tile"],
+            other => usage(&format!("unknown command {other}")),
+        }
+    };
+    let expanded: Vec<&str> = commands.iter().flat_map(|c| expand(c)).collect();
+
+    for cmd in expanded {
+        let started = Instant::now();
+        eprintln!(">> running {cmd} ...");
+        match cmd {
+            "figures" => println!("{}", figures::all_figures()),
+            name => {
+                let table: TextTable = match name {
+                    "table1" => hanoi_exp::table1(&scale),
+                    "table2" => hanoi_exp::table2(&scale),
+                    "table3" => tile_exp::table3(&scale),
+                    "table4" => tile_exp::table4(&scale),
+                    "table5" => tile_exp::table5(&scale),
+                    "history" => history_exp::history(&scale),
+                    "ext-crossover-hanoi" => hanoi_exp::ext_crossover_hanoi(&scale),
+                    "ext-fitness" => hanoi_exp::ext_fitness(&scale),
+                    "ext-phases" => hanoi_exp::ext_phases(&scale),
+                    "ext-baselines-hanoi" => baseline_exp::ext_baselines_hanoi(&scale),
+                    "ext-baselines-tile" => baseline_exp::ext_baselines_tile(&scale),
+                    "ext-baselines-strips" => baseline_exp::ext_baselines_strips(&scale),
+                    "ext-grid" => grid_exp::ext_grid(&scale),
+                    "ext-grid-climate" => grid_exp::ext_grid_climate(&scale),
+                    "ext-mutation" => sensitivity_exp::ext_mutation(&scale),
+                    "ext-selection" => sensitivity_exp::ext_selection(&scale),
+                    "ext-state-match" => sensitivity_exp::ext_state_match(&scale),
+                    "ext-goal-eval" => sensitivity_exp::ext_goal_eval(&scale),
+                    "ext-elitism" => sensitivity_exp::ext_elitism(&scale),
+                    "ext-cost-fitness" => sensitivity_exp::ext_cost_fitness(&scale),
+                    "ext-seeding" => seeding_exp::ext_seeding(&scale),
+                    "ext-metaheuristics-hanoi" => metaheuristic_exp::ext_metaheuristics_hanoi(&scale),
+                    "ext-metaheuristics-tile" => metaheuristic_exp::ext_metaheuristics_tile(&scale),
+                    _ => unreachable!("expanded commands are known"),
+                };
+                println!("{}", table.render());
+                if let Some(dir) = &json_dir {
+                    std::fs::create_dir_all(dir).expect("create json dir");
+                    let path = format!("{dir}/{name}.json");
+                    let mut f = std::fs::File::create(&path).expect("create json file");
+                    f.write_all(table.to_json().as_bytes()).expect("write json");
+                    eprintln!(">> wrote {path}");
+                }
+            }
+        }
+        eprintln!(">> {cmd} done in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tables [--quick] [--runs N] [--budget F] [--seed S] [--json DIR] CMD...\n\
+         CMD: table1 table2 table3 table4 table5 figures paper\n\
+              ext-crossover-hanoi ext-fitness ext-phases ext-baselines ext-grid ext-sensitivity all"
+    );
+    std::process::exit(2);
+}

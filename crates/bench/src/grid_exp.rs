@@ -1,0 +1,209 @@
+//! Ext-E: the grid-workflow experiment — the paper's §1 motivating claim,
+//! measured: "A static script is incapable of taking advantage of the full
+//! range of alternatives to carry out a computation, while planning does."
+//!
+//! Protocol: plan the image pipeline with the multi-phase GA; execute it
+//! under a scheduled overload of the home site; compare the static script
+//! (no replanning) against the coordinator that replans with the GA when
+//! the load changes.
+
+use gaplan_core::{Domain, Plan};
+use gaplan_ga::{CostFitnessMode, GaConfig, MultiPhase};
+use gaplan_grid::{climate_ensemble, greedy_plan, image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy};
+
+use crate::table::{f1, f3, TextTable};
+use crate::ExpScale;
+
+/// The GA configuration used for grid workflow planning: goal truncation on
+/// (a workflow stops when the results exist), general cost fitness, short
+/// genomes (pipelines are a handful of steps).
+pub fn grid_ga_config(scale: &ExpScale) -> GaConfig {
+    GaConfig {
+        population_size: 100,
+        generations_per_phase: scale.gens(60),
+        max_phases: 3,
+        initial_len: 8,
+        max_len: 16,
+        truncate_at_goal: true,
+        cost_fitness: CostFitnessMode::InverseCost,
+        seed: scale.seed,
+        ..GaConfig::default()
+    }
+}
+
+/// Plan a workflow with the multi-phase GA.
+pub fn ga_plan(world: &GridWorld, cfg: &GaConfig) -> Plan {
+    MultiPhase::new(world, cfg.clone()).run().plan
+}
+
+/// Ext-E: static script vs GA replanning under a load spike.
+pub fn ext_grid(scale: &ExpScale) -> TextTable {
+    let sc = image_pipeline();
+    let world = &sc.world;
+    let cfg = grid_ga_config(scale);
+
+    // initial plan, from the unloaded world
+    let plan = ga_plan(world, &cfg);
+    let graph = ActivityGraph::from_plan(world, &world.initial_state(), &plan);
+
+    let overload = ExternalEvent::LoadChange {
+        time: 3.0,
+        site: sc.sites[0],
+        load: 0.95,
+    };
+
+    // baseline: calm weather, no events
+    let calm = Coordinator::new(world).run(&plan, None);
+
+    // static script under overload
+    let mut static_coord = Coordinator::new(world);
+    static_coord.schedule(overload);
+    let static_trace = static_coord.run(&plan, None);
+
+    // replanning coordinator: the GA replans from the current artifact set
+    // whenever the resource picture changes
+    let mut cfg_replan = cfg.clone();
+    cfg_replan.seed ^= 0xD1CE;
+    let replanner = move |snapshot: &GridWorld| -> Plan { ga_plan(snapshot, &cfg_replan) };
+    let mut replan_coord = Coordinator::new(world);
+    replan_coord.schedule(overload).policy(ReplanPolicy::OnLoadChange);
+    let replanned = replan_coord.run(&plan, Some(&replanner));
+
+    let mut t = TextTable::new(
+        "Ext-E. Grid workflow: static script vs GA replanning under a home-site overload.",
+        &["Scenario", "Goal Reached", "Makespan (s)", "Busy Time (s)", "Tasks", "Replans"],
+    );
+    let mut row = |name: &str, tr: &gaplan_grid::ExecutionTrace| {
+        t.row(vec![
+            name.into(),
+            if tr.reached_goal() { "yes".into() } else { "no".into() },
+            f1(tr.makespan),
+            f1(tr.busy_time),
+            tr.tasks.len().to_string(),
+            tr.replans.to_string(),
+        ]);
+    };
+    row("GA plan, no disturbance", &calm);
+    row("GA plan, overload, static script", &static_trace);
+    row("GA plan, overload, GA replanning", &replanned);
+
+    // the broker's deterministic planner as a non-evolutionary comparator
+    if let Some(greedy) = greedy_plan(world, 6) {
+        let greedy_calm = Coordinator::new(world).run(&greedy, None);
+        row("greedy broker plan, no disturbance", &greedy_calm);
+        let greedy_replanner = |snapshot: &GridWorld| greedy_plan(snapshot, 6).unwrap_or_default();
+        let mut gc = Coordinator::new(world);
+        gc.schedule(overload).policy(ReplanPolicy::OnLoadChange);
+        let greedy_replanned = gc.run(&greedy, Some(&greedy_replanner));
+        row("greedy plan, overload, greedy replanning", &greedy_replanned);
+    }
+
+    let mut meta = format!(
+        "\nplanned ops: {} (activity graph: {} nodes, width {}, critical path {:.1}s)\n",
+        plan.len(),
+        graph.len(),
+        graph.width(),
+        graph.critical_path()
+    );
+    for (i, op) in plan.ops().iter().enumerate() {
+        meta.push_str(&format!("  {:2}. {}\n", i + 1, world.op_name(*op)));
+    }
+    t.title.push_str(&meta);
+    t
+}
+
+/// Ext-E2: the five-site multi-goal climate ensemble — scale test for the
+/// workflow domain (134 ground operations, a multi-input program, two
+/// weighted goals) with an overload on the primary HPC system.
+pub fn ext_grid_climate(scale: &ExpScale) -> TextTable {
+    let sc = climate_ensemble();
+    let world = &sc.world;
+    let cfg = GaConfig {
+        population_size: 200,
+        generations_per_phase: scale.gens(120),
+        max_phases: 5,
+        initial_len: 14,
+        max_len: 40,
+        cost_fitness: CostFitnessMode::InverseCost,
+        truncate_at_goal: true,
+        seed: scale.seed,
+        ..GaConfig::default()
+    };
+
+    let plan = ga_plan(world, &cfg);
+    let graph = ActivityGraph::from_plan(world, &world.initial_state(), &plan);
+    let overload = ExternalEvent::LoadChange {
+        time: 2.0,
+        site: sc.sites[1], // hpc1
+        load: 0.97,
+    };
+
+    let calm = Coordinator::new(world).run(&plan, None);
+    let mut static_coord = Coordinator::new(world);
+    static_coord.schedule(overload);
+    let static_trace = static_coord.run(&plan, None);
+    let mut cfg_replan = cfg.clone();
+    cfg_replan.seed ^= 0xC11A;
+    let replanner = move |snapshot: &GridWorld| -> Plan { ga_plan(snapshot, &cfg_replan) };
+    let mut replan_coord = Coordinator::new(world);
+    replan_coord.schedule(overload).policy(ReplanPolicy::OnLoadChange);
+    let replanned = replan_coord.run(&plan, Some(&replanner));
+
+    let mut t = TextTable::new(
+        "Ext-E2. Climate-ensemble workflow (5 sites, 2 weighted goals) under an HPC overload.",
+        &["Scenario", "Goal Fitness", "Makespan (s)", "Busy Time (s)", "Tasks", "Replans"],
+    );
+    let mut row = |name: &str, tr: &gaplan_grid::ExecutionTrace| {
+        t.row(vec![
+            name.into(),
+            f3(tr.goal_fitness),
+            f1(tr.makespan),
+            f1(tr.busy_time),
+            tr.tasks.len().to_string(),
+            tr.replans.to_string(),
+        ]);
+    };
+    row("GA plan, no disturbance", &calm);
+    row("GA plan, overload, static script", &static_trace);
+    row("GA plan, overload, GA replanning", &replanned);
+
+    t.title.push_str(&format!(
+        "
+planned ops: {} (activity graph: {} nodes, width {}, critical path {:.1}s)
+",
+        plan.len(),
+        graph.len(),
+        graph.width(),
+        graph.critical_path()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ga_plans_the_pipeline() {
+        let sc = image_pipeline();
+        let scale = ExpScale {
+            budget: 0.5, // keep the test quick; the full budget runs in `tables`
+            ..ExpScale::default()
+        };
+        let cfg = grid_ga_config(&scale);
+        let result = MultiPhase::new(&sc.world, cfg).run();
+        assert!(result.solved, "GA must plan the image pipeline (fitness {})", result.goal_fitness);
+        // the plan replays validly
+        let out = result.plan.simulate(&sc.world, &sc.world.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn ext_grid_quick_produces_five_scenarios() {
+        let t = ext_grid(&ExpScale::quick());
+        assert_eq!(t.rows.len(), 5);
+        // calm runs (GA and greedy) must reach the goal
+        assert_eq!(t.rows[0][1], "yes");
+        assert_eq!(t.rows[3][1], "yes");
+    }
+}

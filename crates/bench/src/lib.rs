@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # gaplan-bench
+//!
+//! The experiment harness: one function per table and figure of the paper,
+//! plus the extension experiments listed in DESIGN.md. The `tables` binary
+//! is a thin CLI over this library; integration tests call the same
+//! functions with reduced budgets.
+
+pub mod baseline_exp;
+pub mod figures;
+pub mod grid_exp;
+pub mod hanoi_exp;
+pub mod history_exp;
+pub mod metaheuristic_exp;
+pub mod runner;
+pub mod seeding_exp;
+pub mod sensitivity_exp;
+pub mod table;
+pub mod tile_exp;
+
+/// Shared experiment scaling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpScale {
+    /// Runs per configuration (paper: 10 for Hanoi, 50 for tiles).
+    pub runs: usize,
+    /// Generation budget multiplier in (0, 1]; 1.0 reproduces the paper,
+    /// smaller values give quick smoke runs.
+    pub budget: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpScale {
+    fn default() -> Self {
+        ExpScale {
+            runs: 0, // 0 = per-experiment paper default
+            budget: 1.0,
+            seed: 0x1dd5_2003,
+        }
+    }
+}
+
+impl ExpScale {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        ExpScale {
+            runs: 3,
+            budget: 0.2,
+            seed: 0x1dd5_2003,
+        }
+    }
+
+    /// Runs to execute, given the paper's default for this experiment.
+    pub fn runs_or(&self, paper_default: usize) -> usize {
+        if self.runs == 0 {
+            paper_default
+        } else {
+            self.runs
+        }
+    }
+
+    /// Scale a generation budget.
+    pub fn gens(&self, paper_default: u32) -> u32 {
+        ((f64::from(paper_default) * self.budget).round() as u32).max(5)
+    }
+}

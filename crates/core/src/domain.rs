@@ -1,0 +1,233 @@
+//! The [`Domain`] trait: the interface between planning domains and every
+//! planner in this workspace (the GA, and the deterministic baselines).
+
+use std::hash::Hash;
+
+use crate::sig::hash_one;
+
+/// Identifier of a *ground* operation within a domain.
+///
+/// Domains enumerate their ground operations up front (`0..num_operations()`)
+/// so planners can store plans as flat `Vec<OpId>` and domains can decode an
+/// id without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for OpId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        OpId(i as u32)
+    }
+}
+
+/// A planning domain in the sense of the paper's four-tuple `⟨C, O, I, G⟩`.
+///
+/// The state space is implicit: planners only ever see states produced by
+/// [`Domain::initial_state`] and [`Domain::apply`]. The contract mirrors the
+/// paper's definitions:
+///
+/// * an operation is **valid** in a state iff its preconditions hold there;
+///   [`Domain::valid_operations`] returns exactly the valid set,
+/// * [`Domain::apply`] may assume the operation is valid (callers must only
+///   pass ids previously returned by `valid_operations` for that state),
+/// * [`Domain::goal_fitness`] is the paper's domain-specific `F_goal`
+///   (§3.3): a value in `[0, 1]` that is `1.0` exactly on goal states.
+pub trait Domain: Send + Sync {
+    /// The state type. Hash/Eq are required by the deterministic baselines
+    /// (duplicate detection) and by state-aware crossover (state matching).
+    type State: Clone + PartialEq + Eq + Hash + Send + Sync;
+
+    /// The initial state `I`.
+    fn initial_state(&self) -> Self::State;
+
+    /// Total number of ground operations; valid [`OpId`]s are
+    /// `0..num_operations()`.
+    fn num_operations(&self) -> usize;
+
+    /// Append every operation valid in `state` to `out` (which the caller
+    /// has cleared). Ordering must be deterministic for a given state: the
+    /// indirect genome encoding maps a float to a *position* in this list,
+    /// so a stable order is what makes decoding reproducible.
+    fn valid_operations(&self, state: &Self::State, out: &mut Vec<OpId>);
+
+    /// Apply a valid operation, producing the successor state.
+    fn apply(&self, state: &Self::State, op: OpId) -> Self::State;
+
+    /// Does `state` satisfy every condition of the goal `G`?
+    fn is_goal(&self, state: &Self::State) -> bool {
+        self.goal_fitness(state) >= 1.0
+    }
+
+    /// Domain-specific goal fitness `F_goal ∈ [0, 1]`, `1.0` iff goal.
+    fn goal_fitness(&self, state: &Self::State) -> f64;
+
+    /// Cost of a ground operation (paper: `cost(o)`); defaults to unit cost.
+    fn op_cost(&self, _op: OpId) -> f64 {
+        1.0
+    }
+
+    /// Human-readable name of a ground operation, for plan printing.
+    fn op_name(&self, op: OpId) -> String {
+        format!("op{}", op.0)
+    }
+
+    /// A 64-bit signature of the state, used by state-aware crossover: two
+    /// loci "match" when their decode states are identical, which guarantees
+    /// the paper's condition that "the same genetic code will be mapped to
+    /// the same sequence of operations from these two states".
+    fn state_signature(&self, state: &Self::State) -> u64 {
+        hash_one(state)
+    }
+}
+
+/// Convenience extensions implemented for every [`Domain`].
+pub trait DomainExt: Domain {
+    /// Collect the valid operations of `state` into a fresh vector.
+    fn valid_ops_vec(&self, state: &Self::State) -> Vec<OpId> {
+        let mut v = Vec::new();
+        self.valid_operations(state, &mut v);
+        v
+    }
+
+    /// Is `op` valid in `state`?
+    fn is_valid(&self, state: &Self::State, op: OpId) -> bool {
+        self.valid_ops_vec(state).contains(&op)
+    }
+
+    /// Total cost of a sequence of operations (costs are state-independent
+    /// in this model, per the paper's `cost(o)` attribute).
+    fn plan_cost(&self, ops: &[OpId]) -> f64 {
+        ops.iter().map(|&o| self.op_cost(o)).sum()
+    }
+}
+
+impl<D: Domain + ?Sized> DomainExt for D {}
+
+/// Blanket access to a domain behind a reference, so planners can be generic
+/// over `&D` as well as `D`.
+impl<D: Domain + ?Sized> Domain for &D {
+    type State = D::State;
+
+    fn initial_state(&self) -> Self::State {
+        (**self).initial_state()
+    }
+    fn num_operations(&self) -> usize {
+        (**self).num_operations()
+    }
+    fn valid_operations(&self, state: &Self::State, out: &mut Vec<OpId>) {
+        (**self).valid_operations(state, out)
+    }
+    fn apply(&self, state: &Self::State, op: OpId) -> Self::State {
+        (**self).apply(state, op)
+    }
+    fn is_goal(&self, state: &Self::State) -> bool {
+        (**self).is_goal(state)
+    }
+    fn goal_fitness(&self, state: &Self::State) -> f64 {
+        (**self).goal_fitness(state)
+    }
+    fn op_cost(&self, op: OpId) -> f64 {
+        (**self).op_cost(op)
+    }
+    fn op_name(&self, op: OpId) -> String {
+        (**self).op_name(op)
+    }
+    fn state_signature(&self, state: &Self::State) -> u64 {
+        (**self).state_signature(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial counter domain: state is an integer, ops are +1 (always
+    /// valid) and -1 (valid when positive); goal is reaching `target`.
+    struct Counter {
+        target: i64,
+    }
+
+    impl Domain for Counter {
+        type State = i64;
+
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn num_operations(&self) -> usize {
+            2
+        }
+        fn valid_operations(&self, state: &i64, out: &mut Vec<OpId>) {
+            out.push(OpId(0));
+            if *state > 0 {
+                out.push(OpId(1));
+            }
+        }
+        fn apply(&self, state: &i64, op: OpId) -> i64 {
+            match op.0 {
+                0 => state + 1,
+                1 => state - 1,
+                _ => unreachable!(),
+            }
+        }
+        fn goal_fitness(&self, state: &i64) -> f64 {
+            let d = (self.target - state).unsigned_abs() as f64;
+            1.0 - (d / (self.target.unsigned_abs() as f64 + 1.0)).min(1.0)
+        }
+    }
+
+    #[test]
+    fn valid_ops_depend_on_state() {
+        let d = Counter { target: 3 };
+        assert_eq!(d.valid_ops_vec(&0), vec![OpId(0)]);
+        assert_eq!(d.valid_ops_vec(&2), vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn apply_and_goal() {
+        let d = Counter { target: 3 };
+        let mut s = d.initial_state();
+        for _ in 0..3 {
+            s = d.apply(&s, OpId(0));
+        }
+        assert!(d.is_goal(&s));
+        assert_eq!(d.goal_fitness(&s), 1.0);
+    }
+
+    #[test]
+    fn plan_cost_defaults_to_unit() {
+        let d = Counter { target: 3 };
+        assert_eq!(d.plan_cost(&[OpId(0), OpId(0), OpId(1)]), 3.0);
+    }
+
+    #[test]
+    fn reference_blanket_impl_matches() {
+        let d = Counter { target: 3 };
+        let r: &Counter = &d;
+        assert_eq!(r.num_operations(), 2);
+        assert_eq!(r.initial_state(), 0);
+        assert_eq!(r.valid_ops_vec(&5), vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn state_signature_distinguishes_states() {
+        let d = Counter { target: 3 };
+        assert_ne!(d.state_signature(&0), d.state_signature(&1));
+        assert_eq!(d.state_signature(&7), d.state_signature(&7));
+    }
+
+    #[test]
+    fn is_valid_helper() {
+        let d = Counter { target: 3 };
+        assert!(d.is_valid(&0, OpId(0)));
+        assert!(!d.is_valid(&0, OpId(1)));
+        assert!(d.is_valid(&1, OpId(1)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Plans: finite sequences of operations, plus simulation and validation.
+
+use crate::domain::{Domain, OpId};
+
+/// A plan is a finite sequence of operations (paper §1: "A plan is a finite
+/// sequence of operations. An operation may occur more than once in a
+/// plan.").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Plan {
+    ops: Vec<OpId>,
+}
+
+/// The result of simulating a plan from some state.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome<S> {
+    /// State after executing every operation.
+    pub final_state: S,
+    /// Goal fitness of the final state.
+    pub goal_fitness: f64,
+    /// Whether the final state satisfies the goal — the paper's definition
+    /// of the plan *solving* the instance (given all ops were valid).
+    pub solves: bool,
+    /// Total cost of the executed operations.
+    pub cost: f64,
+}
+
+/// Simulation error: an operation was invalid in the state it was applied to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Index of the offending operation within the plan.
+    pub at: usize,
+    /// The offending operation.
+    pub op: OpId,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid operation {:?} at plan index {}", self.op, self.at)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan { ops: Vec::new() }
+    }
+
+    /// Build a plan from raw operation ids.
+    pub fn from_ops(ops: Vec<OpId>) -> Self {
+        Plan { ops }
+    }
+
+    /// The operations of the plan, in execution order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: OpId) {
+        self.ops.push(op);
+    }
+
+    /// Concatenate another plan onto this one (used by the multi-phase GA,
+    /// paper §3.5 step 3: "Construct the final solution by concatenating the
+    /// best solutions from all the phases").
+    pub fn extend_from(&mut self, other: &Plan) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// Simulate the plan from `start`, *checking validity of every
+    /// operation* (paper §1: a plan solves the instance iff every operation
+    /// is valid and the final state satisfies the goal).
+    pub fn simulate<D: Domain>(&self, domain: &D, start: &D::State) -> Result<PlanOutcome<D::State>, SimError> {
+        let mut state = start.clone();
+        let mut cost = 0.0;
+        let mut scratch = Vec::new();
+        for (i, &op) in self.ops.iter().enumerate() {
+            scratch.clear();
+            domain.valid_operations(&state, &mut scratch);
+            if !scratch.contains(&op) {
+                return Err(SimError { at: i, op });
+            }
+            cost += domain.op_cost(op);
+            state = domain.apply(&state, op);
+        }
+        let goal_fitness = domain.goal_fitness(&state);
+        Ok(PlanOutcome {
+            solves: domain.is_goal(&state),
+            final_state: state,
+            goal_fitness,
+            cost,
+        })
+    }
+
+    /// Simulate without validity checks (callers that constructed the plan
+    /// through decode already know every op is valid — the point of the
+    /// paper's indirect encoding).
+    pub fn simulate_unchecked<D: Domain>(&self, domain: &D, start: &D::State) -> PlanOutcome<D::State> {
+        let mut state = start.clone();
+        let mut cost = 0.0;
+        for &op in &self.ops {
+            cost += domain.op_cost(op);
+            state = domain.apply(&state, op);
+        }
+        let goal_fitness = domain.goal_fitness(&state);
+        PlanOutcome {
+            solves: domain.is_goal(&state),
+            final_state: state,
+            goal_fitness,
+            cost,
+        }
+    }
+
+    /// Render the plan as a numbered list of operation names.
+    pub fn display<D: Domain>(&self, domain: &D) -> String {
+        let mut s = String::new();
+        for (i, &op) in self.ops.iter().enumerate() {
+            s.push_str(&format!("{:4}. {}\n", i + 1, domain.op_name(op)));
+        }
+        s
+    }
+}
+
+impl FromIterator<OpId> for Plan {
+    fn from_iter<I: IntoIterator<Item = OpId>>(iter: I) -> Self {
+        Plan { ops: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Domain over `u8` states: op 0 doubles (valid when state < 128),
+    /// op 1 increments (always valid). Goal: exactly 9.
+    struct Arith;
+
+    impl Domain for Arith {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            1
+        }
+        fn num_operations(&self) -> usize {
+            2
+        }
+        fn valid_operations(&self, state: &u8, out: &mut Vec<OpId>) {
+            if *state < 128 {
+                out.push(OpId(0));
+            }
+            out.push(OpId(1));
+        }
+        fn apply(&self, state: &u8, op: OpId) -> u8 {
+            match op.0 {
+                0 => state * 2,
+                _ => state.saturating_add(1),
+            }
+        }
+        fn goal_fitness(&self, state: &u8) -> f64 {
+            if *state == 9 {
+                1.0
+            } else {
+                1.0 / (1.0 + f64::from(state.abs_diff(9)))
+            }
+        }
+        fn op_cost(&self, op: OpId) -> f64 {
+            if op.0 == 0 {
+                2.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_valid_plan_solves() {
+        // 1 -> 2 -> 4 -> 8 -> 9
+        let plan = Plan::from_ops(vec![OpId(0), OpId(0), OpId(0), OpId(1)]);
+        let out = plan.simulate(&Arith, &1).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.final_state, 9);
+        assert_eq!(out.cost, 7.0);
+        assert_eq!(out.goal_fitness, 1.0);
+    }
+
+    #[test]
+    fn simulate_detects_invalid_op() {
+        let plan = Plan::from_ops(vec![OpId(0)]);
+        let err = plan.simulate(&Arith, &200).unwrap_err();
+        assert_eq!(err.at, 0);
+        assert_eq!(err.op, OpId(0));
+    }
+
+    #[test]
+    fn simulate_unchecked_matches_checked_on_valid_plans() {
+        let plan = Plan::from_ops(vec![OpId(1), OpId(0), OpId(1)]);
+        let checked = plan.simulate(&Arith, &1).unwrap();
+        let unchecked = plan.simulate_unchecked(&Arith, &1);
+        assert_eq!(checked.final_state, unchecked.final_state);
+        assert_eq!(checked.cost, unchecked.cost);
+        assert_eq!(checked.solves, unchecked.solves);
+    }
+
+    #[test]
+    fn concatenation_appends_in_order() {
+        let mut a = Plan::from_ops(vec![OpId(0)]);
+        let b = Plan::from_ops(vec![OpId(1), OpId(1)]);
+        a.extend_from(&b);
+        assert_eq!(a.ops(), &[OpId(0), OpId(1), OpId(1)]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn empty_plan_outcome_is_start_state() {
+        let plan = Plan::new();
+        assert!(plan.is_empty());
+        let out = plan.simulate(&Arith, &9).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn display_lists_op_names() {
+        let plan = Plan::from_ops(vec![OpId(0), OpId(1)]);
+        let text = plan.display(&Arith);
+        assert!(text.contains("1. op0"));
+        assert!(text.contains("2. op1"));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let plan: Plan = [OpId(3), OpId(4)].into_iter().collect();
+        assert_eq!(plan.ops(), &[OpId(3), OpId(4)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! State signatures: stable 64-bit hashes used for state matching in
+//! state-aware crossover and for duplicate detection diagnostics.
+
+use std::hash::{Hash, Hasher};
+
+use rustc_hash::FxHasher;
+
+/// Hash a single value with the (fast, non-cryptographic) FxHash algorithm.
+///
+/// FxHash is used rather than SipHash because state signatures are computed
+/// once per gene per individual per generation — they are on the decode hot
+/// path — and HashDoS resistance is irrelevant for a research planner.
+#[inline]
+pub fn hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Combine two signatures order-sensitively (Boost `hash_combine` flavour).
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    a ^ (b
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(a << 6)
+        .wrapping_add(a >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
+    }
+
+    #[test]
+    fn hash_distinguishes_values() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let (a, b) = (hash_one(&1u32), hash_one(&2u32));
+        assert_ne!(combine(a, b), combine(b, a));
+    }
+
+    #[test]
+    fn combine_differs_from_inputs() {
+        let (a, b) = (hash_one(&1u32), hash_one(&2u32));
+        let c = combine(a, b);
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+    }
+}

@@ -1,0 +1,199 @@
+//! A small line-oriented text format for ground STRIPS problems, so domains
+//! can be written as data files (the paper's ontology descriptions of
+//! programs — preconditions / postconditions / cost — map directly onto it).
+//!
+//! Format (`#` starts a comment; blank lines ignored):
+//!
+//! ```text
+//! conditions: at-home at-work rested
+//! init: at-home rested
+//! goal: at-work
+//!
+//! op commute
+//!   pre: at-home
+//!   add: at-work
+//!   del: at-home rested
+//!   cost: 2.5
+//! ```
+//!
+//! `pre`/`add`/`del`/`cost` lines are optional inside an `op` block and
+//! default to empty / `1.0`.
+
+use super::problem::{StripsBuilder, StripsProblem};
+use crate::{Error, Result};
+
+fn perr(line: usize, msg: impl Into<String>) -> Error {
+    Error::Parse { line, msg: msg.into() }
+}
+
+/// Parse the text format described at module level.
+pub fn parse_strips(text: &str) -> Result<StripsProblem> {
+    let mut b = StripsBuilder::new();
+    // (line_no, name, pre, add, del, cost)
+    struct PendingOp {
+        line: usize,
+        name: String,
+        pre: Vec<String>,
+        add: Vec<String>,
+        del: Vec<String>,
+        cost: f64,
+    }
+    let mut ops: Vec<PendingOp> = Vec::new();
+    let mut init: Option<Vec<String>> = None;
+    let mut goal: Option<Vec<String>> = None;
+    let mut saw_conditions = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("conditions:") {
+            saw_conditions = true;
+            for name in rest.split_whitespace() {
+                b.condition(name)
+                    .map_err(|_| perr(lineno, format!("duplicate condition `{name}`")))?;
+            }
+        } else if let Some(rest) = line.strip_prefix("init:") {
+            if init.is_some() {
+                return Err(perr(lineno, "duplicate init:"));
+            }
+            init = Some(rest.split_whitespace().map(String::from).collect());
+        } else if let Some(rest) = line.strip_prefix("goal:") {
+            if goal.is_some() {
+                return Err(perr(lineno, "duplicate goal:"));
+            }
+            goal = Some(rest.split_whitespace().map(String::from).collect());
+        } else if let Some(rest) = line.strip_prefix("op ") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(perr(lineno, "op requires a name"));
+            }
+            ops.push(PendingOp {
+                line: lineno,
+                name: name.to_string(),
+                pre: vec![],
+                add: vec![],
+                del: vec![],
+                cost: 1.0,
+            });
+        } else {
+            // op-block field lines
+            let op = ops
+                .last_mut()
+                .ok_or_else(|| perr(lineno, format!("unexpected line outside op block: `{line}`")))?;
+            if let Some(rest) = line.strip_prefix("pre:") {
+                op.pre.extend(rest.split_whitespace().map(String::from));
+            } else if let Some(rest) = line.strip_prefix("add:") {
+                op.add.extend(rest.split_whitespace().map(String::from));
+            } else if let Some(rest) = line.strip_prefix("del:") {
+                op.del.extend(rest.split_whitespace().map(String::from));
+            } else if let Some(rest) = line.strip_prefix("cost:") {
+                op.cost = rest
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|e| perr(lineno, format!("bad cost: {e}")))?;
+            } else {
+                return Err(perr(lineno, format!("unknown directive: `{line}`")));
+            }
+        }
+    }
+
+    if !saw_conditions {
+        return Err(perr(0, "missing conditions: section"));
+    }
+    fn as_refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+    for op in &ops {
+        b.op(&op.name, &as_refs(&op.pre), &as_refs(&op.add), &as_refs(&op.del), op.cost)
+            .map_err(|e| perr(op.line, format!("in op `{}`: {e}", op.name)))?;
+    }
+    let init = init.ok_or_else(|| perr(0, "missing init: section"))?;
+    let goal = goal.ok_or_else(|| perr(0, "missing goal: section"))?;
+    b.init(&as_refs(&init)).map_err(|e| perr(0, format!("in init: {e}")))?;
+    b.goal(&as_refs(&goal)).map_err(|e| perr(0, format!("in goal: {e}")))?;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, DomainExt, OpId};
+    use crate::plan::Plan;
+
+    const COMMUTE: &str = "
+# a tiny domain
+conditions: at-home at-work rested
+init: at-home rested
+goal: at-work
+
+op commute
+  pre: at-home
+  add: at-work
+  del: at-home rested
+  cost: 2.5
+
+op rest
+  pre: at-work
+  add: rested
+";
+
+    #[test]
+    fn parses_and_plans() {
+        let p = parse_strips(COMMUTE).unwrap();
+        assert_eq!(p.num_conditions(), 3);
+        assert_eq!(p.num_operations(), 2);
+        assert_eq!(p.op_cost(OpId(0)), 2.5);
+        assert_eq!(p.op_cost(OpId(1)), 1.0); // default cost
+        let plan = Plan::from_ops(vec![OpId(0)]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.cost, 2.5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_strips("conditions: a b # trailing\ninit: a\ngoal: b\n\nop go\n pre: a\n add: b\n").unwrap();
+        assert_eq!(p.num_operations(), 1);
+        assert_eq!(p.valid_ops_vec(&p.initial_state()), vec![OpId(0)]);
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(parse_strips("init: a\ngoal: a\n").is_err());
+        assert!(parse_strips("conditions: a\ngoal: a\nop o\n add: a\n").is_err());
+        assert!(parse_strips("conditions: a\ninit: a\nop o\n add: a\n").is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_reported_with_op_context() {
+        let err = parse_strips("conditions: a\ninit: a\ngoal: a\nop o\n pre: zz\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("zz"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn field_line_outside_op_block_rejected() {
+        let err = parse_strips("conditions: a\n pre: a\n").unwrap_err();
+        assert!(err.to_string().contains("outside op block"));
+    }
+
+    #[test]
+    fn duplicate_sections_rejected() {
+        assert!(parse_strips("conditions: a\ninit: a\ninit: a\ngoal: a\nop o\n add: a\n").is_err());
+        assert!(parse_strips("conditions: a\ninit: a\ngoal: a\ngoal: a\nop o\n add: a\n").is_err());
+    }
+
+    #[test]
+    fn bad_cost_rejected() {
+        let err = parse_strips("conditions: a\ninit: a\ngoal: a\nop o\n cost: abc\n").unwrap_err();
+        assert!(err.to_string().contains("bad cost"));
+    }
+
+    #[test]
+    fn no_ops_rejected() {
+        assert!(parse_strips("conditions: a\ninit: a\ngoal: a\n").is_err());
+    }
+}

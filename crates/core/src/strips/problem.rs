@@ -1,0 +1,433 @@
+//! Ground STRIPS problems: the paper's four-tuple `⟨C, O, I, G⟩` as data.
+
+use rustc_hash::FxHashMap;
+
+use super::{CondId, CondSet};
+use crate::domain::{Domain, OpId};
+use crate::{Error, Result};
+
+/// A ground STRIPS operator: preconditions, postconditions split into an
+/// add list and a delete list, and a cost (paper §1: "Each operation has
+/// three attributes: a set of preconditions, a set of postconditions, and a
+/// cost").
+#[derive(Debug, Clone)]
+pub struct StripsOp {
+    /// Human-readable operator name.
+    pub name: String,
+    /// Conditions that must hold for the operator to be valid.
+    pub pre: CondSet,
+    /// Conditions made true by the operator.
+    pub add: CondSet,
+    /// Conditions made false by the operator.
+    pub del: CondSet,
+    /// Cost of executing the operator.
+    pub cost: f64,
+}
+
+/// How [`StripsProblem::goal_fitness`] scores non-goal states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GoalFitnessMode {
+    /// Fraction of goal conditions satisfied (uniform weights). This is the
+    /// generic analogue of the paper's per-disk-weighted Hanoi fitness.
+    #[default]
+    FractionSatisfied,
+    /// All-or-nothing: 1.0 on goal states, 0.0 otherwise. Useful to expose
+    /// how much the GA depends on a graded fitness signal (paper §4.1
+    /// discusses exactly this sensitivity).
+    Exact,
+}
+
+/// A ground STRIPS planning problem.
+///
+/// Implements [`Domain`] with `State = CondSet`, so every planner in the
+/// workspace (GA and baselines) runs on it unchanged.
+#[derive(Debug, Clone)]
+pub struct StripsProblem {
+    conditions: Vec<String>,
+    ops: Vec<StripsOp>,
+    init: CondSet,
+    goal: CondSet,
+    fitness_mode: GoalFitnessMode,
+    /// Per-goal-condition weights, parallel to `goal.iter()` order; uniform
+    /// (all 1.0) unless customized via [`StripsBuilder::goal_weight`].
+    goal_weights: FxHashMap<CondId, f64>,
+}
+
+impl StripsProblem {
+    /// Number of ground conditions `|C|`.
+    pub fn num_conditions(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Name of a condition.
+    pub fn condition_name(&self, id: CondId) -> &str {
+        &self.conditions[id.index()]
+    }
+
+    /// Look up a condition id by name.
+    pub fn condition_id(&self, name: &str) -> Option<CondId> {
+        self.conditions
+            .iter()
+            .position(|c| c == name)
+            .map(|i| CondId(i as u32))
+    }
+
+    /// The operators `O`.
+    pub fn operators(&self) -> &[StripsOp] {
+        &self.ops
+    }
+
+    /// The goal condition set `G`.
+    pub fn goal(&self) -> &CondSet {
+        &self.goal
+    }
+
+    /// Select how non-goal states are scored.
+    pub fn set_fitness_mode(&mut self, mode: GoalFitnessMode) {
+        self.fitness_mode = mode;
+    }
+
+    /// Sum of weights over all goal conditions.
+    fn total_goal_weight(&self) -> f64 {
+        self.goal
+            .iter()
+            .map(|c| self.goal_weights.get(&c).copied().unwrap_or(1.0))
+            .sum()
+    }
+}
+
+impl Domain for StripsProblem {
+    type State = CondSet;
+
+    fn initial_state(&self) -> CondSet {
+        self.init.clone()
+    }
+
+    fn num_operations(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn valid_operations(&self, state: &CondSet, out: &mut Vec<OpId>) {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.pre.is_subset_of(state) {
+                out.push(OpId(i as u32));
+            }
+        }
+    }
+
+    fn apply(&self, state: &CondSet, op: OpId) -> CondSet {
+        let o = &self.ops[op.index()];
+        debug_assert!(o.pre.is_subset_of(state), "apply() called with invalid op");
+        let mut next = state.clone();
+        next.apply_effects(&o.add, &o.del);
+        next
+    }
+
+    fn is_goal(&self, state: &CondSet) -> bool {
+        self.goal.is_subset_of(state)
+    }
+
+    fn goal_fitness(&self, state: &CondSet) -> f64 {
+        match self.fitness_mode {
+            GoalFitnessMode::Exact => {
+                if self.goal.is_subset_of(state) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            GoalFitnessMode::FractionSatisfied => {
+                let total = self.total_goal_weight();
+                if total == 0.0 {
+                    return 1.0; // empty goal: every state is a goal state
+                }
+                let satisfied: f64 = self
+                    .goal
+                    .iter()
+                    .filter(|&c| state.contains(c))
+                    .map(|c| self.goal_weights.get(&c).copied().unwrap_or(1.0))
+                    .sum();
+                satisfied / total
+            }
+        }
+    }
+
+    fn op_cost(&self, op: OpId) -> f64 {
+        self.ops[op.index()].cost
+    }
+
+    fn op_name(&self, op: OpId) -> String {
+        self.ops[op.index()].name.clone()
+    }
+}
+
+/// Pending operator inside the builder: (name, pre, add, del, cost).
+type PendingOp = (String, Vec<CondId>, Vec<CondId>, Vec<CondId>, f64);
+
+/// Programmatic builder for [`StripsProblem`].
+///
+/// ```
+/// use gaplan_core::strips::StripsBuilder;
+/// use gaplan_core::{Domain, DomainExt};
+///
+/// let mut b = StripsBuilder::new();
+/// b.condition("at-home").unwrap();
+/// b.condition("at-work").unwrap();
+/// b.op("commute", &["at-home"], &["at-work"], &["at-home"], 1.0).unwrap();
+/// b.init(&["at-home"]).unwrap();
+/// b.goal(&["at-work"]).unwrap();
+/// let p = b.build().unwrap();
+/// let s = p.initial_state();
+/// assert_eq!(p.valid_ops_vec(&s).len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct StripsBuilder {
+    conditions: Vec<String>,
+    index: FxHashMap<String, CondId>,
+    ops: Vec<PendingOp>,
+    init: Vec<CondId>,
+    goal: Vec<CondId>,
+    goal_weights: FxHashMap<CondId, f64>,
+}
+
+impl StripsBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a ground condition; returns its id.
+    pub fn condition(&mut self, name: &str) -> Result<CondId> {
+        if self.index.contains_key(name) {
+            return Err(Error::DuplicateSymbol(name.to_string()));
+        }
+        let id = CondId(self.conditions.len() as u32);
+        self.conditions.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declare a condition if new; either way return its id.
+    pub fn condition_or_existing(&mut self, name: &str) -> CondId {
+        if let Some(&id) = self.index.get(name) {
+            id
+        } else {
+            self.condition(name).expect("checked for existence")
+        }
+    }
+
+    fn resolve(&self, names: &[&str]) -> Result<Vec<CondId>> {
+        names
+            .iter()
+            .map(|n| {
+                self.index
+                    .get(*n)
+                    .copied()
+                    .ok_or_else(|| Error::UnknownSymbol((*n).to_string()))
+            })
+            .collect()
+    }
+
+    /// Declare an operator with precondition / add / delete condition names.
+    pub fn op(&mut self, name: &str, pre: &[&str], add: &[&str], del: &[&str], cost: f64) -> Result<()> {
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(Error::Invalid(format!("operator `{name}` has invalid cost {cost}")));
+        }
+        let (pre, add, del) = (self.resolve(pre)?, self.resolve(add)?, self.resolve(del)?);
+        self.ops.push((name.to_string(), pre, add, del, cost));
+        Ok(())
+    }
+
+    /// Set the initial state.
+    pub fn init(&mut self, conds: &[&str]) -> Result<()> {
+        self.init = self.resolve(conds)?;
+        Ok(())
+    }
+
+    /// Set the goal conditions.
+    pub fn goal(&mut self, conds: &[&str]) -> Result<()> {
+        self.goal = self.resolve(conds)?;
+        Ok(())
+    }
+
+    /// Assign a goal-fitness weight to one goal condition (analogue of the
+    /// paper's per-disk weights in the Hanoi goal fitness, Eq. 5).
+    pub fn goal_weight(&mut self, cond: &str, weight: f64) -> Result<()> {
+        let id = self
+            .index
+            .get(cond)
+            .copied()
+            .ok_or_else(|| Error::UnknownSymbol(cond.to_string()))?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(Error::Invalid(format!("invalid goal weight {weight} for `{cond}`")));
+        }
+        self.goal_weights.insert(id, weight);
+        Ok(())
+    }
+
+    /// Finalize into a [`StripsProblem`].
+    pub fn build(self) -> Result<StripsProblem> {
+        if self.conditions.is_empty() {
+            return Err(Error::Invalid("no conditions declared".into()));
+        }
+        if self.ops.is_empty() {
+            return Err(Error::Invalid("no operators declared".into()));
+        }
+        let w = self.conditions.len();
+        let mk = |ids: &[CondId]| CondSet::from_ids(w, ids.iter().copied());
+        let ops = self
+            .ops
+            .iter()
+            .map(|(name, pre, add, del, cost)| StripsOp {
+                name: name.clone(),
+                pre: mk(pre),
+                add: mk(add),
+                del: mk(del),
+                cost: *cost,
+            })
+            .collect();
+        Ok(StripsProblem {
+            conditions: self.conditions,
+            ops,
+            init: mk(&self.init),
+            goal: mk(&self.goal),
+            fitness_mode: GoalFitnessMode::default(),
+            goal_weights: self.goal_weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainExt;
+    use crate::plan::Plan;
+
+    /// Two-room robot: move between rooms, pick/drop a ball.
+    fn robot() -> StripsProblem {
+        let mut b = StripsBuilder::new();
+        for c in ["robot-a", "robot-b", "ball-a", "ball-b", "holding"] {
+            b.condition(c).unwrap();
+        }
+        b.op("move-a-b", &["robot-a"], &["robot-b"], &["robot-a"], 1.0).unwrap();
+        b.op("move-b-a", &["robot-b"], &["robot-a"], &["robot-b"], 1.0).unwrap();
+        b.op("pick-a", &["robot-a", "ball-a"], &["holding"], &["ball-a"], 1.0).unwrap();
+        b.op("drop-b", &["robot-b", "holding"], &["ball-b"], &["holding"], 1.0).unwrap();
+        b.init(&["robot-a", "ball-a"]).unwrap();
+        b.goal(&["ball-b"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_operations_respect_preconditions() {
+        let p = robot();
+        let s = p.initial_state();
+        let names: Vec<String> = p.valid_ops_vec(&s).iter().map(|&o| p.op_name(o)).collect();
+        assert_eq!(names, vec!["move-a-b", "pick-a"]);
+    }
+
+    #[test]
+    fn plan_reaches_goal() {
+        let p = robot();
+        let pick = OpId(2);
+        let mv = OpId(0);
+        let drop = OpId(3);
+        let plan = Plan::from_ops(vec![pick, mv, drop]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.cost, 3.0);
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let p = robot();
+        // drop before holding anything
+        let plan = Plan::from_ops(vec![OpId(3)]);
+        assert!(plan.simulate(&p, &p.initial_state()).is_err());
+    }
+
+    #[test]
+    fn fraction_goal_fitness_grades_progress() {
+        let mut b = StripsBuilder::new();
+        for c in ["x", "y", "sx", "sy"] {
+            b.condition(c).unwrap();
+        }
+        b.op("do-x", &["sx"], &["x"], &[], 1.0).unwrap();
+        b.op("do-y", &["sy"], &["y"], &[], 1.0).unwrap();
+        b.init(&["sx", "sy"]).unwrap();
+        b.goal(&["x", "y"]).unwrap();
+        let p = b.build().unwrap();
+        let s0 = p.initial_state();
+        assert_eq!(p.goal_fitness(&s0), 0.0);
+        let s1 = p.apply(&s0, OpId(0));
+        assert_eq!(p.goal_fitness(&s1), 0.5);
+        let s2 = p.apply(&s1, OpId(1));
+        assert_eq!(p.goal_fitness(&s2), 1.0);
+        assert!(p.is_goal(&s2));
+    }
+
+    #[test]
+    fn weighted_goal_fitness() {
+        let mut b = StripsBuilder::new();
+        for c in ["x", "y", "s"] {
+            b.condition(c).unwrap();
+        }
+        b.op("do-x", &["s"], &["x"], &[], 1.0).unwrap();
+        b.op("do-y", &["s"], &["y"], &[], 1.0).unwrap();
+        b.init(&["s"]).unwrap();
+        b.goal(&["x", "y"]).unwrap();
+        b.goal_weight("x", 3.0).unwrap();
+        let p = b.build().unwrap();
+        let s1 = p.apply(&p.initial_state(), OpId(0)); // x satisfied
+        assert!((p.goal_fitness(&s1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_fitness_mode_is_all_or_nothing() {
+        let mut p = robot();
+        p.set_fitness_mode(GoalFitnessMode::Exact);
+        assert_eq!(p.goal_fitness(&p.initial_state()), 0.0);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_unknowns() {
+        let mut b = StripsBuilder::new();
+        b.condition("a").unwrap();
+        assert_eq!(b.condition("a"), Err(Error::DuplicateSymbol("a".into())));
+        assert!(matches!(
+            b.op("o", &["missing"], &[], &[], 1.0),
+            Err(Error::UnknownSymbol(_))
+        ));
+        assert!(matches!(b.init(&["nope"]), Err(Error::UnknownSymbol(_))));
+    }
+
+    #[test]
+    fn builder_rejects_bad_cost_and_empty_problem() {
+        let mut b = StripsBuilder::new();
+        b.condition("a").unwrap();
+        assert!(b.op("o", &["a"], &[], &[], -1.0).is_err());
+        assert!(b.op("o", &["a"], &[], &[], f64::NAN).is_err());
+        assert!(StripsBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn condition_lookup_roundtrip() {
+        let p = robot();
+        let id = p.condition_id("holding").unwrap();
+        assert_eq!(p.condition_name(id), "holding");
+        assert!(p.condition_id("absent").is_none());
+        assert_eq!(p.num_conditions(), 5);
+    }
+
+    #[test]
+    fn empty_goal_means_every_state_is_goal() {
+        let mut b = StripsBuilder::new();
+        b.condition("a").unwrap();
+        b.op("noop", &[], &["a"], &[], 1.0).unwrap();
+        b.init(&[]).unwrap();
+        b.goal(&[]).unwrap();
+        let p = b.build().unwrap();
+        assert!(p.is_goal(&p.initial_state()));
+        assert_eq!(p.goal_fitness(&p.initial_state()), 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the STRIPS substrate: bitset algebra, operator
+//! application, parser/builder agreement.
+
+use gaplan_core::strips::{parse_strips, CondId, CondSet, StripsBuilder};
+use gaplan_core::{Domain, DomainExt, OpId};
+use proptest::prelude::*;
+
+fn arb_ids(width: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..width as u32, 0..width)
+}
+
+proptest! {
+    /// `apply_effects` equals the set-theoretic definition `(s \ del) ∪ add`.
+    #[test]
+    fn apply_effects_matches_set_algebra(width in 1usize..200, s in arb_ids(200), add in arb_ids(200), del in arb_ids(200)) {
+        let clamp = |v: &[u32]| v.iter().copied().filter(|&i| (i as usize) < width).map(CondId).collect::<Vec<_>>();
+        let (s, add, del) = (clamp(&s), clamp(&add), clamp(&del));
+        let mut state = CondSet::from_ids(width, s.iter().copied());
+        let add_set = CondSet::from_ids(width, add.iter().copied());
+        let del_set = CondSet::from_ids(width, del.iter().copied());
+        state.apply_effects(&add_set, &del_set);
+        for i in 0..width {
+            let id = CondId(i as u32);
+            let expected = add.contains(&id) || (s.contains(&id) && !del.contains(&id));
+            prop_assert_eq!(state.contains(id), expected, "condition {}", i);
+        }
+    }
+
+    /// Subset is a partial order consistent with membership.
+    #[test]
+    fn subset_is_consistent_with_membership(width in 1usize..150, a in arb_ids(150), b in arb_ids(150)) {
+        fn clamp(width: usize, v: &[u32]) -> impl Iterator<Item = CondId> + '_ {
+            v.iter().copied().filter(move |&i| (i as usize) < width).map(CondId)
+        }
+        let sa = CondSet::from_ids(width, clamp(width, &a));
+        let sb = CondSet::from_ids(width, clamp(width, &b));
+        let subset = sa.is_subset_of(&sb);
+        let by_membership = sa.iter().all(|id| sb.contains(id));
+        prop_assert_eq!(subset, by_membership);
+        // reflexivity and empty-set bottom
+        prop_assert!(sa.is_subset_of(&sa));
+        prop_assert!(CondSet::empty(width).is_subset_of(&sa));
+    }
+
+    /// count/intersection agree with the iterator view.
+    #[test]
+    fn counting_matches_iteration(width in 1usize..150, a in arb_ids(150), b in arb_ids(150)) {
+        fn clamp(width: usize, v: &[u32]) -> impl Iterator<Item = CondId> + '_ {
+            v.iter().copied().filter(move |&i| (i as usize) < width).map(CondId)
+        }
+        let sa = CondSet::from_ids(width, clamp(width, &a));
+        let sb = CondSet::from_ids(width, clamp(width, &b));
+        prop_assert_eq!(sa.count(), sa.iter().count());
+        let inter = sa.iter().filter(|&id| sb.contains(id)).count();
+        prop_assert_eq!(sa.intersection_count(&sb), inter);
+    }
+
+    /// A builder-constructed chain problem round-trips through the text
+    /// format with identical planning behaviour.
+    #[test]
+    fn parser_and_builder_agree_on_chains(n in 2usize..8) {
+        let mut b = StripsBuilder::new();
+        for i in 0..=n {
+            b.condition(&format!("s{i}")).unwrap();
+        }
+        for i in 0..n {
+            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0).unwrap();
+        }
+        b.init(&["s0"]).unwrap();
+        b.goal(&[&format!("s{n}")]).unwrap();
+        let built = b.build().unwrap();
+
+        let mut text = format!("conditions: {}\n", (0..=n).map(|i| format!("s{i}")).collect::<Vec<_>>().join(" "));
+        text.push_str("init: s0\n");
+        text.push_str(&format!("goal: s{n}\n"));
+        for i in 0..n {
+            text.push_str(&format!("op go{i}\n pre: s{i}\n add: s{}\n del: s{i}\n", i + 1));
+        }
+        let parsed = parse_strips(&text).unwrap();
+
+        prop_assert_eq!(built.num_conditions(), parsed.num_conditions());
+        prop_assert_eq!(built.num_operations(), parsed.num_operations());
+        let mut sb = built.initial_state();
+        let mut sp = parsed.initial_state();
+        for i in 0..n {
+            let ob = built.valid_ops_vec(&sb);
+            let op = parsed.valid_ops_vec(&sp);
+            prop_assert_eq!(ob.len(), 1);
+            prop_assert_eq!(op.len(), 1);
+            prop_assert_eq!(ob[0], OpId(i as u32));
+            sb = built.apply(&sb, ob[0]);
+            sp = parsed.apply(&sp, op[0]);
+        }
+        prop_assert!(built.is_goal(&sb));
+        prop_assert!(parsed.is_goal(&sp));
+    }
+}

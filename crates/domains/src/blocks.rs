@@ -1,0 +1,219 @@
+//! Blocks World, generated as a ground STRIPS problem.
+//!
+//! The domain used by GenPlan's seeding-strategy study (paper §2). Blocks
+//! are stacked on a table; a block can move when clear, either onto another
+//! clear block or onto the table. Generating it through [`StripsBuilder`]
+//! exercises the data-driven substrate end-to-end: the GA and every
+//! baseline plan over the exact same bitset representation.
+
+use gaplan_core::strips::{StripsBuilder, StripsProblem};
+use gaplan_core::Result;
+
+/// A tower layout: each inner vector is one tower listed bottom-up; blocks
+/// are identified by index `0..k`.
+pub type Towers = Vec<Vec<usize>>;
+
+fn on(a: usize, b: usize) -> String {
+    format!("on-{a}-{b}")
+}
+fn on_table(a: usize) -> String {
+    format!("table-{a}")
+}
+fn clear(a: usize) -> String {
+    format!("clear-{a}")
+}
+
+/// Conditions describing a tower layout of `k` blocks.
+fn layout_conditions(k: usize, towers: &Towers) -> Vec<String> {
+    let mut conds = Vec::new();
+    let mut placed = vec![false; k];
+    for tower in towers {
+        for (i, &b) in tower.iter().enumerate() {
+            assert!(b < k, "block {b} out of range");
+            assert!(!placed[b], "block {b} appears twice");
+            placed[b] = true;
+            if i == 0 {
+                conds.push(on_table(b));
+            } else {
+                conds.push(on(b, tower[i - 1]));
+            }
+            if i == tower.len() - 1 {
+                conds.push(clear(b));
+            }
+        }
+    }
+    assert!(placed.iter().all(|&p| p), "every block must be placed");
+    conds
+}
+
+/// Build a ground Blocks World STRIPS problem with `k` blocks, an initial
+/// tower layout, and a goal tower layout.
+///
+/// Ground operators:
+/// * `move-A-from-B-to-C` — unstack `A` from `B` onto `C`,
+/// * `move-A-from-B-to-table`,
+/// * `move-A-from-table-to-C`.
+///
+/// # Errors
+/// Propagates builder errors (duplicate/unknown symbols) — none occur for
+/// well-formed layouts.
+pub fn blocks_world(k: usize, init: &Towers, goal: &Towers) -> Result<StripsProblem> {
+    assert!(k >= 2, "need at least two blocks");
+    let mut b = StripsBuilder::new();
+    for x in 0..k {
+        b.condition(&on_table(x))?;
+        b.condition(&clear(x))?;
+        for y in 0..k {
+            if x != y {
+                b.condition(&on(x, y))?;
+            }
+        }
+    }
+    // move x from y to z
+    for x in 0..k {
+        for y in 0..k {
+            if y == x {
+                continue;
+            }
+            for z in 0..k {
+                if z == x || z == y {
+                    continue;
+                }
+                b.op(
+                    &format!("move-{x}-from-{y}-to-{z}"),
+                    &[&clear(x), &on(x, y), &clear(z)],
+                    &[&on(x, z), &clear(y)],
+                    &[&on(x, y), &clear(z)],
+                    1.0,
+                )?;
+            }
+            // move x from y to table
+            b.op(
+                &format!("move-{x}-from-{y}-to-table"),
+                &[&clear(x), &on(x, y)],
+                &[&on_table(x), &clear(y)],
+                &[&on(x, y)],
+                1.0,
+            )?;
+        }
+        // move x from table to z
+        for z in 0..k {
+            if z == x {
+                continue;
+            }
+            b.op(
+                &format!("move-{x}-from-table-to-{z}"),
+                &[&clear(x), &on_table(x), &clear(z)],
+                &[&on(x, z)],
+                &[&on_table(x), &clear(z)],
+                1.0,
+            )?;
+        }
+    }
+    let init_conds = layout_conditions(k, init);
+    let goal_conds = layout_conditions(k, goal);
+    fn refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+    b.init(&refs(&init_conds))?;
+    b.goal(&refs(&goal_conds))?;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{Domain, DomainExt, OpId, Plan};
+
+    /// 3 blocks: init A(0) on B(1) on table, C(2) on table; goal the
+    /// classic stack 2-1-0 bottom-up (tower [2,1,0] = 0 on 1 on 2).
+    fn small() -> StripsProblem {
+        blocks_world(3, &vec![vec![1, 0], vec![2]], &vec![vec![2, 1, 0]]).unwrap()
+    }
+
+    #[test]
+    fn initial_state_validity() {
+        let p = small();
+        let s = p.initial_state();
+        // clear blocks: 0 (top of tower) and 2
+        let ops = p.valid_ops_vec(&s);
+        let names: Vec<String> = ops.iter().map(|&o| p.op_name(o)).collect();
+        // block 0 can move from 1 to 2 or to table; block 2 can move from
+        // table onto 0.
+        assert!(names.contains(&"move-0-from-1-to-2".to_string()));
+        assert!(names.contains(&"move-0-from-1-to-table".to_string()));
+        assert!(names.contains(&"move-2-from-table-to-0".to_string()));
+        assert_eq!(names.len(), 3, "{names:?}");
+    }
+
+    #[test]
+    fn solvable_by_hand() {
+        let p = small();
+        let find = |name: &str| {
+            (0..p.num_operations())
+                .map(|i| OpId(i as u32))
+                .find(|&o| p.op_name(o) == name)
+                .unwrap_or_else(|| panic!("missing op {name}"))
+        };
+        // 0 off 1; 1 onto 2; 0 onto 1
+        let plan = Plan::from_ops(vec![
+            find("move-0-from-1-to-table"),
+            find("move-1-from-table-to-2"),
+            find("move-0-from-table-to-1"),
+        ]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn goal_fitness_grades_partial_stacks() {
+        let p = small();
+        let s = p.initial_state();
+        // goal conditions: table-2, on-1-2, on-0-1, clear-0; init satisfies
+        // all but on-1-2 -> 3/4.
+        let f0 = p.goal_fitness(&s);
+        assert!((f0 - 0.75).abs() < 1e-12, "f0 = {f0}");
+        let find = |name: &str| {
+            (0..p.num_operations())
+                .map(|i| OpId(i as u32))
+                .find(|&o| p.op_name(o) == name)
+                .unwrap()
+        };
+        // unstacking 0 temporarily loses on-0-1 -> 2/4
+        let s1 = p.apply(&s, find("move-0-from-1-to-table"));
+        assert!((p.goal_fitness(&s1) - 0.5).abs() < 1e-12);
+        let s2 = p.apply(&s1, find("move-1-from-table-to-2"));
+        assert!((p.goal_fitness(&s2) - 0.75).abs() < 1e-12);
+        let s3 = p.apply(&s2, find("move-0-from-table-to-1"));
+        assert_eq!(p.goal_fitness(&s3), 1.0);
+        assert!(p.is_goal(&s3));
+    }
+
+    #[test]
+    fn operator_count_matches_formula() {
+        // per block x: (k-1)(k-2) block-to-block + (k-1) to-table + (k-1)
+        // from-table = (k-1)k total per block -> k^2(k-1) overall? compute
+        // for k = 3: per x: 2*1 + 2 + 2 = 6; total 18.
+        let p = small();
+        assert_eq!(p.num_operations(), 18);
+    }
+
+    #[test]
+    fn four_block_instance_builds() {
+        let p = blocks_world(4, &vec![vec![0, 1, 2, 3]], &vec![vec![3, 2, 1, 0]]).unwrap();
+        assert!(p.num_operations() > 0);
+        assert!(!p.is_goal(&p.initial_state()));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_block_in_layout_rejected() {
+        let _ = blocks_world(3, &vec![vec![0, 0], vec![1, 2]], &vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be placed")]
+    fn missing_block_in_layout_rejected() {
+        let _ = blocks_world(3, &vec![vec![0, 1]], &vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,190 @@
+//! The Briefcase domain (Sinergy's second evaluation domain, paper §2),
+//! generated as a ground STRIPS problem.
+//!
+//! A briefcase and `k` objects live among `m` locations. Objects at the
+//! briefcase's location can be put in or taken out; moving the briefcase
+//! carries its contents. The goal places each object at a target location.
+//!
+//! The classic subtlety: moving with an object inside changes that object's
+//! location, which the ground encoding captures with one move operator per
+//! (origin, destination, carried-subset) — exponential in `k`, so instead we
+//! use the standard ground trick: `in-case` objects have no `at` condition;
+//! their location is resolved on `take-out`.
+
+use gaplan_core::strips::{StripsBuilder, StripsProblem};
+use gaplan_core::Result;
+
+fn at_obj(o: usize, l: usize) -> String {
+    format!("obj{o}-at-{l}")
+}
+fn in_case(o: usize) -> String {
+    format!("obj{o}-in-case")
+}
+fn case_at(l: usize) -> String {
+    format!("case-at-{l}")
+}
+
+/// Build a ground Briefcase STRIPS problem.
+///
+/// * `locations` — number of locations `m` (≥ 2).
+/// * `obj_init[o]` — initial location of object `o`.
+/// * `obj_goal[o]` — goal location of object `o`.
+/// * `case_init` — initial briefcase location.
+///
+/// Ground operators: `move-L1-L2`, `put-in-O-at-L`, `take-out-O-at-L`.
+pub fn briefcase(locations: usize, obj_init: &[usize], obj_goal: &[usize], case_init: usize) -> Result<StripsProblem> {
+    assert!(locations >= 2, "need at least two locations");
+    assert_eq!(obj_init.len(), obj_goal.len(), "one goal per object");
+    assert!(!obj_init.is_empty(), "need at least one object");
+    assert!(case_init < locations, "briefcase location out of range");
+    let k = obj_init.len();
+    for &l in obj_init.iter().chain(obj_goal) {
+        assert!(l < locations, "object location out of range");
+    }
+
+    let mut b = StripsBuilder::new();
+    for l in 0..locations {
+        b.condition(&case_at(l))?;
+    }
+    for o in 0..k {
+        b.condition(&in_case(o))?;
+        for l in 0..locations {
+            b.condition(&at_obj(o, l))?;
+        }
+    }
+    // move the briefcase (contents implicitly travel: their only location
+    // fact is `in-case`)
+    for l1 in 0..locations {
+        for l2 in 0..locations {
+            if l1 != l2 {
+                b.op(
+                    &format!("move-{l1}-{l2}"),
+                    &[&case_at(l1)],
+                    &[&case_at(l2)],
+                    &[&case_at(l1)],
+                    1.0,
+                )?;
+            }
+        }
+    }
+    for o in 0..k {
+        for l in 0..locations {
+            b.op(
+                &format!("put-in-{o}-at-{l}"),
+                &[&case_at(l), &at_obj(o, l)],
+                &[&in_case(o)],
+                &[&at_obj(o, l)],
+                1.0,
+            )?;
+            b.op(
+                &format!("take-out-{o}-at-{l}"),
+                &[&case_at(l), &in_case(o)],
+                &[&at_obj(o, l)],
+                &[&in_case(o)],
+                1.0,
+            )?;
+        }
+    }
+
+    let mut init = vec![case_at(case_init)];
+    for (o, &l) in obj_init.iter().enumerate() {
+        init.push(at_obj(o, l));
+    }
+    let goal: Vec<String> = obj_goal.iter().enumerate().map(|(o, &l)| at_obj(o, l)).collect();
+    let init_refs: Vec<&str> = init.iter().map(String::as_str).collect();
+    let goal_refs: Vec<&str> = goal.iter().map(String::as_str).collect();
+    b.init(&init_refs)?;
+    b.goal(&goal_refs)?;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{Domain, DomainExt, OpId, Plan};
+
+    fn find(p: &StripsProblem, name: &str) -> OpId {
+        (0..p.num_operations())
+            .map(|i| OpId(i as u32))
+            .find(|&o| p.op_name(o) == name)
+            .unwrap_or_else(|| panic!("missing op {name}"))
+    }
+
+    #[test]
+    fn carry_one_object_between_locations() {
+        // object 0 at loc 0, goal loc 1; case at loc 0
+        let p = briefcase(2, &[0], &[1], 0).unwrap();
+        let plan = Plan::from_ops(vec![
+            find(&p, "put-in-0-at-0"),
+            find(&p, "move-0-1"),
+            find(&p, "take-out-0-at-1"),
+        ]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.cost, 3.0);
+    }
+
+    #[test]
+    fn cannot_take_out_what_is_not_inside() {
+        let p = briefcase(2, &[0], &[1], 0).unwrap();
+        let s = p.initial_state();
+        let ops = p.valid_ops_vec(&s);
+        let names: Vec<String> = ops.iter().map(|&o| p.op_name(o)).collect();
+        assert!(names.contains(&"put-in-0-at-0".to_string()));
+        assert!(!names.iter().any(|n| n.starts_with("take-out")));
+    }
+
+    #[test]
+    fn object_inside_travels_with_case() {
+        let p = briefcase(3, &[0], &[2], 0).unwrap();
+        let mut s = p.initial_state();
+        for name in ["put-in-0-at-0", "move-0-1", "move-1-2", "take-out-0-at-2"] {
+            let op = find(&p, name);
+            assert!(p.valid_ops_vec(&s).contains(&op), "{name} should be valid");
+            s = p.apply(&s, op);
+        }
+        assert!(p.is_goal(&s));
+    }
+
+    #[test]
+    fn two_objects_opposite_directions() {
+        // obj0: 0 -> 1, obj1: 1 -> 0; case starts at 0
+        let p = briefcase(2, &[0, 1], &[1, 0], 0).unwrap();
+        let plan = Plan::from_ops(vec![
+            find(&p, "put-in-0-at-0"),
+            find(&p, "move-0-1"),
+            find(&p, "take-out-0-at-1"),
+            find(&p, "put-in-1-at-1"),
+            find(&p, "move-1-0"),
+            find(&p, "take-out-1-at-0"),
+        ]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn goal_fitness_counts_delivered_objects() {
+        let p = briefcase(2, &[0, 0], &[1, 1], 0).unwrap();
+        let s = p.initial_state();
+        assert_eq!(p.goal_fitness(&s), 0.0);
+        // deliver the first object only
+        let mut s1 = s.clone();
+        for name in ["put-in-0-at-0", "move-0-1", "take-out-0-at-1"] {
+            s1 = p.apply(&s1, find(&p, name));
+        }
+        assert_eq!(p.goal_fitness(&s1), 0.5);
+    }
+
+    #[test]
+    fn operator_count() {
+        let p = briefcase(3, &[0, 1], &[2, 2], 0).unwrap();
+        // moves: 3*2 = 6; per object per location: put + take = 2 -> 2*3*2 = 12
+        assert_eq!(p.num_operations(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_location_rejected() {
+        let _ = briefcase(2, &[5], &[1], 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Gripper — the classic STRIPS benchmark (a robot with two grippers
+//! ferries balls between rooms), generated as a ground STRIPS problem.
+//! A staple of the planning-competition era the paper's related work
+//! belongs to, and a good stress case for the GA: solutions require long
+//! repetitive pick–move–drop cycles.
+
+use gaplan_core::strips::{StripsBuilder, StripsProblem};
+use gaplan_core::Result;
+
+fn robot_at(r: usize) -> String {
+    format!("robot-at-{r}")
+}
+fn ball_at(b: usize, r: usize) -> String {
+    format!("ball{b}-at-{r}")
+}
+fn holding(g: usize, b: usize) -> String {
+    format!("grip{g}-holding-ball{b}")
+}
+fn free(g: usize) -> String {
+    format!("grip{g}-free")
+}
+
+/// Build a Gripper instance: `rooms` rooms (≥ 2), `balls` balls starting in
+/// room 0, `grippers` grippers (≥ 1); the goal is every ball in the last
+/// room.
+///
+/// Ground operators: `move-R1-R2`, `pick-B-in-R-with-G`,
+/// `drop-B-in-R-from-G`.
+pub fn gripper(rooms: usize, balls: usize, grippers: usize) -> Result<StripsProblem> {
+    assert!(rooms >= 2, "need at least two rooms");
+    assert!(balls >= 1, "need at least one ball");
+    assert!(grippers >= 1, "need at least one gripper");
+
+    let mut builder = StripsBuilder::new();
+    for r in 0..rooms {
+        builder.condition(&robot_at(r))?;
+    }
+    for b in 0..balls {
+        for r in 0..rooms {
+            builder.condition(&ball_at(b, r))?;
+        }
+    }
+    for g in 0..grippers {
+        builder.condition(&free(g))?;
+        for b in 0..balls {
+            builder.condition(&holding(g, b))?;
+        }
+    }
+
+    for r1 in 0..rooms {
+        for r2 in 0..rooms {
+            if r1 != r2 {
+                builder.op(
+                    &format!("move-{r1}-{r2}"),
+                    &[&robot_at(r1)],
+                    &[&robot_at(r2)],
+                    &[&robot_at(r1)],
+                    1.0,
+                )?;
+            }
+        }
+    }
+    for b in 0..balls {
+        for r in 0..rooms {
+            for g in 0..grippers {
+                builder.op(
+                    &format!("pick-{b}-in-{r}-with-{g}"),
+                    &[&robot_at(r), &ball_at(b, r), &free(g)],
+                    &[&holding(g, b)],
+                    &[&ball_at(b, r), &free(g)],
+                    1.0,
+                )?;
+                builder.op(
+                    &format!("drop-{b}-in-{r}-from-{g}"),
+                    &[&robot_at(r), &holding(g, b)],
+                    &[&ball_at(b, r), &free(g)],
+                    &[&holding(g, b)],
+                    1.0,
+                )?;
+            }
+        }
+    }
+
+    let mut init: Vec<String> = vec![robot_at(0)];
+    for b in 0..balls {
+        init.push(ball_at(b, 0));
+    }
+    for g in 0..grippers {
+        init.push(free(g));
+    }
+    let goal: Vec<String> = (0..balls).map(|b| ball_at(b, rooms - 1)).collect();
+    let init_refs: Vec<&str> = init.iter().map(String::as_str).collect();
+    let goal_refs: Vec<&str> = goal.iter().map(String::as_str).collect();
+    builder.init(&init_refs)?;
+    builder.goal(&goal_refs)?;
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{Domain, DomainExt, OpId, Plan};
+
+    fn find(p: &StripsProblem, name: &str) -> OpId {
+        (0..p.num_operations())
+            .map(|i| OpId(i as u32))
+            .find(|&o| p.op_name(o) == name)
+            .unwrap_or_else(|| panic!("missing op {name}"))
+    }
+
+    #[test]
+    fn one_ball_two_rooms_solved_by_hand() {
+        let p = gripper(2, 1, 1).unwrap();
+        let plan = Plan::from_ops(vec![
+            find(&p, "pick-0-in-0-with-0"),
+            find(&p, "move-0-1"),
+            find(&p, "drop-0-in-1-from-0"),
+        ]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn two_grippers_carry_two_balls_per_trip() {
+        let p = gripper(2, 2, 2).unwrap();
+        let plan = Plan::from_ops(vec![
+            find(&p, "pick-0-in-0-with-0"),
+            find(&p, "pick-1-in-0-with-1"),
+            find(&p, "move-0-1"),
+            find(&p, "drop-0-in-1-from-0"),
+            find(&p, "drop-1-in-1-from-1"),
+        ]);
+        let out = plan.simulate(&p, &p.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.cost, 5.0);
+    }
+
+    #[test]
+    fn gripper_must_be_free_to_pick() {
+        let p = gripper(2, 2, 1).unwrap();
+        let s = p.apply(&p.initial_state(), find(&p, "pick-0-in-0-with-0"));
+        let names: Vec<String> = p.valid_ops_vec(&s).iter().map(|&o| p.op_name(o)).collect();
+        assert!(
+            !names.contains(&"pick-1-in-0-with-0".to_string()),
+            "occupied gripper must not pick: {names:?}"
+        );
+    }
+
+    #[test]
+    fn goal_fitness_counts_delivered_balls() {
+        let p = gripper(2, 2, 2).unwrap();
+        let mut s = p.initial_state();
+        assert_eq!(p.goal_fitness(&s), 0.0);
+        for name in ["pick-0-in-0-with-0", "move-0-1", "drop-0-in-1-from-0"] {
+            s = p.apply(&s, find(&p, name));
+        }
+        assert_eq!(p.goal_fitness(&s), 0.5);
+    }
+
+    #[test]
+    fn operator_count_matches_formula() {
+        // moves: rooms*(rooms-1); pick+drop: 2 * balls*rooms*grippers
+        let p = gripper(3, 2, 2).unwrap();
+        assert_eq!(p.num_operations(), 3 * 2 + 2 * 2 * 3 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two rooms")]
+    fn one_room_rejected() {
+        let _ = gripper(1, 1, 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Towers of Hanoi (paper §4.1).
+//!
+//! Three stakes A, B, C and `n` disks of increasing size, all initially on
+//! stake A (Figure 1); the goal is to move every disk to stake B (Figure 2).
+//! Only a stake's top disk may move, and never onto a smaller disk. The
+//! optimal solution takes `2^n − 1` moves.
+//!
+//! Goal fitness (Eq. 5): disk `i` (1-based, 1 = smallest) has weight `2^i`;
+//! `F_goal` = (total weight of disks on the goal stake) / (total weight of
+//! all disks). The paper notes the trap this creates: a state with every
+//! disk *except the largest* on B scores just under 0.5 yet is farther from
+//! the goal than the initial state.
+
+use gaplan_core::{Domain, OpId};
+
+/// Number of stakes (fixed by the puzzle).
+pub const PEGS: usize = 3;
+
+/// Stake labels used in rendering and operation names.
+pub const PEG_NAMES: [char; PEGS] = ['A', 'B', 'C'];
+
+/// State: `disks[i]` is the stake (0 = A, 1 = B, 2 = C) holding disk `i`,
+/// where disk 0 is the smallest. The stacking order within a stake is
+/// implied: smaller disks are always above larger ones.
+pub type HanoiState = Vec<u8>;
+
+/// The Towers of Hanoi planning domain.
+#[derive(Debug, Clone)]
+pub struct Hanoi {
+    n: usize,
+    init: HanoiState,
+    goal_peg: u8,
+    /// Precomputed per-disk weights `2^(i+1)` (Eq. 5, disk index 0-based).
+    weights: Vec<f64>,
+    total_weight: f64,
+}
+
+/// The six directed stake pairs, in ground-operation order.
+const MOVES: [(u8, u8); 6] = [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)];
+
+impl Hanoi {
+    /// Standard instance: `n` disks on stake A, goal stake B.
+    pub fn new(n: usize) -> Self {
+        Self::with_init(n, vec![0; n], 1)
+    }
+
+    /// Custom instance (used by tests and the dynamic-replanning example).
+    ///
+    /// # Panics
+    /// If `init` length differs from `n`, any entry or `goal_peg` is not a
+    /// valid stake, or `n == 0`.
+    pub fn with_init(n: usize, init: HanoiState, goal_peg: u8) -> Self {
+        assert!(n > 0, "need at least one disk");
+        assert_eq!(init.len(), n, "init must assign every disk a stake");
+        assert!(init.iter().all(|&p| (p as usize) < PEGS), "invalid stake in init");
+        assert!((goal_peg as usize) < PEGS, "invalid goal stake");
+        // paper Eq. 5: disk i (1-based) weighs 2^i
+        let weights: Vec<f64> = (0..n).map(|i| f64::powi(2.0, i as i32 + 1)).collect();
+        let total_weight = weights.iter().sum();
+        Hanoi {
+            n,
+            init,
+            goal_peg,
+            weights,
+            total_weight,
+        }
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        self.n
+    }
+
+    /// The goal stake.
+    pub fn goal_peg(&self) -> u8 {
+        self.goal_peg
+    }
+
+    /// Minimum number of moves for the standard instance: `2^n − 1`.
+    pub fn optimal_len(&self) -> usize {
+        (1usize << self.n) - 1
+    }
+
+    /// Index of the top (smallest) disk on `peg`, if any.
+    #[inline]
+    pub fn top_disk(state: &HanoiState, peg: u8) -> Option<usize> {
+        state.iter().position(|&p| p == peg)
+    }
+
+    /// The provably optimal plan for moving all disks from stake A to the
+    /// goal stake (classic recursive construction). Used as ground truth in
+    /// tests and baseline comparisons.
+    pub fn optimal_plan(&self) -> Vec<OpId> {
+        fn solve(n: usize, from: u8, to: u8, via: u8, out: &mut Vec<OpId>) {
+            if n == 0 {
+                return;
+            }
+            solve(n - 1, from, via, to, out);
+            let mv = MOVES
+                .iter()
+                .position(|&(f, t)| f == from && t == to)
+                .expect("every directed pair is in MOVES");
+            out.push(OpId(mv as u32));
+            solve(n - 1, via, to, from, out);
+        }
+        let mut out = Vec::with_capacity(self.optimal_len());
+        let aux = (0..PEGS as u8)
+            .find(|&p| p != 0 && p != self.goal_peg)
+            .expect("three stakes always leave one auxiliary");
+        solve(self.n, 0, self.goal_peg, aux, &mut out);
+        out
+    }
+
+    /// Render a state as ASCII art in the style of the paper's Figures 1–2.
+    pub fn render(&self, state: &HanoiState) -> String {
+        let mut pegs: Vec<Vec<usize>> = vec![Vec::new(); PEGS];
+        // push large disks first so the stack prints bottom-up correctly
+        for disk in (0..self.n).rev() {
+            pegs[state[disk] as usize].push(disk);
+        }
+        let height = self.n;
+        let width = 2 * self.n + 1; // widest disk rendering
+        let mut out = String::new();
+        for level in (0..height).rev() {
+            for peg in &pegs {
+                let cell = if level < peg.len() {
+                    let disk = peg[peg.len() - 1 - level];
+                    // disk d has printed width 2d+3 ("=" runs around the pole)
+                    let w = 2 * disk + 3;
+                    format!("{:^width$}", "=".repeat(w), width = width + 2)
+                } else {
+                    format!("{:^width$}", "|", width = width + 2)
+                };
+                out.push_str(&cell);
+            }
+            out.push('\n');
+        }
+        for &name in &PEG_NAMES {
+            out.push_str(&format!("{:^width$}", name, width = width + 2));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl Domain for Hanoi {
+    type State = HanoiState;
+
+    fn initial_state(&self) -> HanoiState {
+        self.init.clone()
+    }
+
+    fn num_operations(&self) -> usize {
+        MOVES.len()
+    }
+
+    fn valid_operations(&self, state: &HanoiState, out: &mut Vec<OpId>) {
+        let tops: [Option<usize>; PEGS] = [
+            Self::top_disk(state, 0),
+            Self::top_disk(state, 1),
+            Self::top_disk(state, 2),
+        ];
+        for (i, &(from, to)) in MOVES.iter().enumerate() {
+            if let Some(d) = tops[from as usize] {
+                if tops[to as usize].is_none_or(|t| d < t) {
+                    out.push(OpId(i as u32));
+                }
+            }
+        }
+    }
+
+    fn apply(&self, state: &HanoiState, op: OpId) -> HanoiState {
+        let (from, to) = MOVES[op.index()];
+        let disk = Self::top_disk(state, from).expect("apply() requires a valid move");
+        debug_assert!(
+            Self::top_disk(state, to).is_none_or(|t| disk < t),
+            "cannot place disk {disk} on a smaller disk"
+        );
+        let mut next = state.clone();
+        next[disk] = to;
+        next
+    }
+
+    fn goal_fitness(&self, state: &HanoiState) -> f64 {
+        let on_goal: f64 = state
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == self.goal_peg)
+            .map(|(i, _)| self.weights[i])
+            .sum();
+        on_goal / self.total_weight
+    }
+
+    fn op_cost(&self, _op: OpId) -> f64 {
+        1.0 // paper: all Hanoi moves have the same cost
+    }
+
+    fn op_name(&self, op: OpId) -> String {
+        let (from, to) = MOVES[op.index()];
+        format!("move {}->{}", PEG_NAMES[from as usize], PEG_NAMES[to as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{DomainExt, Plan};
+
+    #[test]
+    fn initial_state_all_on_a() {
+        let h = Hanoi::new(5);
+        assert_eq!(h.initial_state(), vec![0; 5]);
+        assert_eq!(h.disks(), 5);
+    }
+
+    #[test]
+    fn initial_valid_moves_are_smallest_disk_only() {
+        let h = Hanoi::new(3);
+        let ops = h.valid_ops_vec(&h.initial_state());
+        let names: Vec<String> = ops.iter().map(|&o| h.op_name(o)).collect();
+        assert_eq!(names, vec!["move A->B", "move A->C"]);
+    }
+
+    #[test]
+    fn cannot_place_large_on_small() {
+        let h = Hanoi::new(3);
+        // disk 0 on B, disks 1,2 on A: top of A is disk 1; A->B invalid
+        let state = vec![1, 0, 0];
+        let names: Vec<String> = h.valid_ops_vec(&state).iter().map(|&o| h.op_name(o)).collect();
+        assert_eq!(names, vec!["move A->C", "move B->A", "move B->C"]);
+    }
+
+    #[test]
+    fn optimal_plan_has_length_2n_minus_1_and_solves() {
+        for n in 1..=7 {
+            let h = Hanoi::new(n);
+            let ops = h.optimal_plan();
+            assert_eq!(ops.len(), (1 << n) - 1);
+            let plan = Plan::from_ops(ops);
+            let out = plan.simulate(&h, &h.initial_state()).expect("optimal plan is valid");
+            assert!(out.solves, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn goal_fitness_matches_eq5() {
+        let h = Hanoi::new(3);
+        // weights: disk0=2, disk1=4, disk2=8; total 14
+        assert_eq!(h.goal_fitness(&vec![0, 0, 0]), 0.0);
+        assert!((h.goal_fitness(&vec![1, 0, 0]) - 2.0 / 14.0).abs() < 1e-12);
+        assert!((h.goal_fitness(&vec![1, 1, 0]) - 6.0 / 14.0).abs() < 1e-12);
+        assert_eq!(h.goal_fitness(&vec![1, 1, 1]), 1.0);
+        assert!(h.is_goal(&vec![1, 1, 1]));
+    }
+
+    #[test]
+    fn paper_fitness_trap_state_scores_just_under_half() {
+        // paper §4.1: "all disks except the largest one are on stake B …
+        // will receive a goal fitness slightly less than 0.5"
+        let n = 7;
+        let h = Hanoi::new(n);
+        let mut state = vec![1; n];
+        state[n - 1] = 0; // largest disk still on A
+        let f = h.goal_fitness(&state);
+        assert!(f < 0.5, "f = {f}");
+        assert!(f > 0.49, "f = {f}");
+    }
+
+    #[test]
+    fn largest_disk_alone_scores_just_over_half() {
+        let n = 7;
+        let h = Hanoi::new(n);
+        let mut state = vec![0; n];
+        state[n - 1] = 1;
+        let f = h.goal_fitness(&state);
+        assert!(f > 0.5, "f = {f}");
+    }
+
+    #[test]
+    fn apply_moves_only_the_top_disk() {
+        let h = Hanoi::new(4);
+        let s = h.initial_state();
+        let next = h.apply(&s, OpId(0)); // A->B
+        assert_eq!(next, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn custom_goal_peg() {
+        let h = Hanoi::with_init(3, vec![0, 0, 0], 2);
+        let ops = h.optimal_plan();
+        let out = Plan::from_ops(ops).simulate(&h, &h.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.final_state, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn every_state_has_at_least_two_valid_moves() {
+        // Hanoi never dead-ends: the smallest disk can always move to two
+        // other stakes.
+        let h = Hanoi::new(4);
+        let mut stack = vec![h.initial_state()];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            let ops = h.valid_ops_vec(&s);
+            assert!(ops.len() >= 2, "state {s:?} has {} moves", ops.len());
+            for op in ops {
+                stack.push(h.apply(&s, op));
+            }
+        }
+        assert_eq!(seen.len(), 81); // 3^4 reachable states
+    }
+
+    #[test]
+    fn render_shows_all_disks_and_labels() {
+        let h = Hanoi::new(5);
+        let art = h.render(&h.initial_state());
+        assert!(art.contains('A') && art.contains('B') && art.contains('C'));
+        // widest disk: 2*4+3 = 11 '=' characters
+        assert!(art.contains(&"=".repeat(11)));
+        // empty stakes show their pole
+        assert!(art.contains('|'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        Hanoi::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stake")]
+    fn bad_init_rejected() {
+        Hanoi::with_init(2, vec![0, 3], 1);
+    }
+}

@@ -1,0 +1,474 @@
+//! The Sliding-tile puzzle (paper §4.2).
+//!
+//! An `n×n` board holds `n²−1` numbered tiles and one blank. A move slides a
+//! tile adjacent to the blank into the blank. The paper evaluates `n = 3`
+//! (8-puzzle, "9 tiles") and `n = 4` (15-puzzle, "16 tiles"); Figure 3 shows
+//! the reversed 15-puzzle instance.
+//!
+//! Goal fitness (Eq. 6): `1 − MD(state, goal) / upper`, where `MD` is the
+//! summed Manhattan distance of all tiles from their goal positions and
+//! `upper = (n²−1)·2(n−1)` (every tile at the longest possible single-tile
+//! distance).
+//!
+//! Solvability follows Johnson & Story (1879): a configuration is reachable
+//! from another iff the permutation parity between them equals the parity of
+//! the blank's Manhattan displacement.
+
+use gaplan_core::{Domain, OpId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Board state in row-major order; `0` is the blank.
+pub type TileState = Vec<u8>;
+
+/// Blank movement directions, in ground-operation order. "Up" means the
+/// blank moves up (the tile above slides down).
+const DIRS: [(i32, i32, &str); 4] = [(-1, 0, "up"), (1, 0, "down"), (0, -1, "left"), (0, 1, "right")];
+
+/// The Sliding-tile planning domain.
+#[derive(Debug, Clone)]
+pub struct SlidingTile {
+    n: usize,
+    init: TileState,
+    goal: TileState,
+    /// goal_pos[v] = (row, col) of value `v` in the goal board.
+    goal_pos: Vec<(i32, i32)>,
+    upper: f64,
+}
+
+impl SlidingTile {
+    /// Instance with the standard goal (tiles `1..n²−1` in order, blank in
+    /// the bottom-right corner — the paper's Figure 3(b)).
+    ///
+    /// # Panics
+    /// If `init` is not a permutation of `0..n²` or is unsolvable.
+    pub fn new(n: usize, init: TileState) -> Self {
+        Self::with_goal(n, init, Self::standard_goal(n))
+    }
+
+    /// Instance with an explicit goal board.
+    pub fn with_goal(n: usize, init: TileState, goal: TileState) -> Self {
+        assert!(n >= 2, "board must be at least 2x2");
+        validate_board(n, &init);
+        validate_board(n, &goal);
+        assert!(
+            is_reachable(n, &init, &goal),
+            "initial board is not reachable from the goal (Johnson & Story parity)"
+        );
+        let mut goal_pos = vec![(0, 0); n * n];
+        for (i, &v) in goal.iter().enumerate() {
+            goal_pos[v as usize] = ((i / n) as i32, (i % n) as i32);
+        }
+        let upper = ((n * n - 1) * 2 * (n - 1)) as f64;
+        SlidingTile {
+            n,
+            init,
+            goal,
+            goal_pos,
+            upper,
+        }
+    }
+
+    /// The standard goal board: `1, 2, …, n²−1, blank`.
+    pub fn standard_goal(n: usize) -> TileState {
+        let mut g: TileState = (1..(n * n) as u8).collect();
+        g.push(0);
+        g
+    }
+
+    /// The paper's Figure 3(a) board: tiles in descending order with the
+    /// blank in the bottom-right corner. By the Johnson & Story criterion
+    /// this is solvable for odd `n` (e.g. the 8-puzzle) but **not** for
+    /// even `n`: reversing the 15 tiles of the 15-puzzle is an odd
+    /// permutation while the blank does not move — exactly the kind of
+    /// configuration the paper notes has no solution.
+    pub fn reversed_board(n: usize) -> TileState {
+        let mut b: TileState = ((1..(n * n) as u8).rev()).collect();
+        b.push(0);
+        b
+    }
+
+    /// A uniformly random solvable instance (random permutation; parity
+    /// fixed, if needed, by swapping two non-blank tiles — a standard
+    /// construction that preserves uniformity over the solvable class).
+    pub fn random_solvable<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let goal = Self::standard_goal(n);
+        let mut init: TileState = (0..(n * n) as u8).collect();
+        init.shuffle(rng);
+        if !is_reachable(n, &init, &goal) {
+            // swap the first two non-blank entries to flip permutation parity
+            let mut idx = init
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0)
+                .map(|(i, _)| i);
+            let (a, b) = (idx.next().unwrap(), idx.next().unwrap());
+            init.swap(a, b);
+        }
+        Self::new(n, init)
+    }
+
+    /// Board side length.
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// Number of board cells (`n²`; the paper's "number of tiles": 9, 16).
+    pub fn tiles(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The goal board.
+    pub fn goal(&self) -> &TileState {
+        &self.goal
+    }
+
+    /// Summed Manhattan distance of all tiles (blank excluded) from their
+    /// goal positions — the paper's distance measure (citing Russell &
+    /// Norvig) and the classic admissible heuristic.
+    pub fn manhattan(&self, state: &TileState) -> u32 {
+        let mut d = 0u32;
+        for (i, &v) in state.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            let (gr, gc) = self.goal_pos[v as usize];
+            let (r, c) = ((i / self.n) as i32, (i % self.n) as i32);
+            d += (r - gr).unsigned_abs() + (c - gc).unsigned_abs();
+        }
+        d
+    }
+
+    /// Eq. 6's normalization constant: `(n²−1)·2(n−1)`.
+    pub fn distance_upper_bound(&self) -> f64 {
+        self.upper
+    }
+
+    /// Position of the blank.
+    #[inline]
+    pub fn blank_pos(state: &TileState) -> usize {
+        state.iter().position(|&v| v == 0).expect("board always has a blank")
+    }
+
+    /// Render a board in the style of the paper's Figure 3.
+    pub fn render(&self, state: &TileState) -> String {
+        render_board(self.n, state)
+    }
+}
+
+/// Render any `n×n` board (including unsolvable illustration boards such as
+/// the paper's Figure 3(a)) in the style of the paper's Figure 3.
+pub fn render_board(n: usize, state: &TileState) -> String {
+    assert_eq!(state.len(), n * n, "board must have n*n cells");
+    let mut out = String::new();
+    let sep = format!("+{}\n", "----+".repeat(n));
+    for r in 0..n {
+        out.push_str(&sep);
+        for c in 0..n {
+            let v = state[r * n + c];
+            if v == 0 {
+                out.push_str("|    ");
+            } else {
+                out.push_str(&format!("| {v:2} "));
+            }
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&sep);
+    out
+}
+
+fn validate_board(n: usize, board: &TileState) {
+    assert_eq!(board.len(), n * n, "board must have n*n cells");
+    let mut seen = vec![false; n * n];
+    for &v in board {
+        let v = v as usize;
+        assert!(v < n * n, "tile value {v} out of range");
+        assert!(!seen[v], "duplicate tile value {v}");
+        seen[v] = true;
+    }
+}
+
+/// Johnson & Story reachability: `a` and `b` are mutually reachable iff the
+/// permutation parity between them equals the parity of the blank's
+/// Manhattan displacement (each move is one transposition and one blank
+/// step).
+pub fn is_reachable(n: usize, a: &TileState, b: &TileState) -> bool {
+    // permutation p with b[i] = a[p(i)]; count parity via cycle
+    // decomposition over positions.
+    let mut pos_in_a = vec![0usize; n * n];
+    for (i, &v) in a.iter().enumerate() {
+        pos_in_a[v as usize] = i;
+    }
+    let perm: Vec<usize> = b.iter().map(|&v| pos_in_a[v as usize]).collect();
+    let mut visited = vec![false; perm.len()];
+    let mut transpositions = 0usize;
+    for start in 0..perm.len() {
+        if visited[start] {
+            continue;
+        }
+        let mut len = 0;
+        let mut i = start;
+        while !visited[i] {
+            visited[i] = true;
+            i = perm[i];
+            len += 1;
+        }
+        transpositions += len - 1;
+    }
+    let blank_a = SlidingTile::blank_pos(a);
+    let blank_b = SlidingTile::blank_pos(b);
+    let (ra, ca) = (blank_a / n, blank_a % n);
+    let (rb, cb) = (blank_b / n, blank_b % n);
+    let blank_dist = ra.abs_diff(rb) + ca.abs_diff(cb);
+    transpositions % 2 == blank_dist % 2
+}
+
+impl Domain for SlidingTile {
+    type State = TileState;
+
+    fn initial_state(&self) -> TileState {
+        self.init.clone()
+    }
+
+    fn num_operations(&self) -> usize {
+        DIRS.len()
+    }
+
+    fn valid_operations(&self, state: &TileState, out: &mut Vec<OpId>) {
+        let blank = Self::blank_pos(state);
+        let (r, c) = ((blank / self.n) as i32, (blank % self.n) as i32);
+        for (i, &(dr, dc, _)) in DIRS.iter().enumerate() {
+            let (nr, nc) = (r + dr, c + dc);
+            if nr >= 0 && nr < self.n as i32 && nc >= 0 && nc < self.n as i32 {
+                out.push(OpId(i as u32));
+            }
+        }
+    }
+
+    fn apply(&self, state: &TileState, op: OpId) -> TileState {
+        let blank = Self::blank_pos(state);
+        let (r, c) = ((blank / self.n) as i32, (blank % self.n) as i32);
+        let (dr, dc, _) = DIRS[op.index()];
+        let (nr, nc) = (r + dr, c + dc);
+        debug_assert!(
+            nr >= 0 && nr < self.n as i32 && nc >= 0 && nc < self.n as i32,
+            "apply() requires a valid move"
+        );
+        let target = (nr as usize) * self.n + nc as usize;
+        let mut next = state.clone();
+        next.swap(blank, target);
+        next
+    }
+
+    fn goal_fitness(&self, state: &TileState) -> f64 {
+        // paper Eq. 6
+        1.0 - f64::from(self.manhattan(state)) / self.upper
+    }
+
+    fn op_cost(&self, _op: OpId) -> f64 {
+        1.0
+    }
+
+    fn op_name(&self, op: OpId) -> String {
+        format!("slide blank {}", DIRS[op.index()].2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{DomainExt, Plan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_goal_layout() {
+        assert_eq!(SlidingTile::standard_goal(3), vec![1, 2, 3, 4, 5, 6, 7, 8, 0]);
+    }
+
+    #[test]
+    fn goal_state_has_fitness_one() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        assert_eq!(p.goal_fitness(&p.initial_state()), 1.0);
+        assert!(p.is_goal(&p.initial_state()));
+        assert_eq!(p.manhattan(&p.initial_state()), 0);
+    }
+
+    #[test]
+    fn corner_blank_has_two_moves_center_has_four() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        // goal: blank bottom-right corner
+        assert_eq!(p.valid_ops_vec(&p.initial_state()).len(), 2);
+        // blank in the center
+        let center = vec![1, 2, 3, 4, 0, 5, 6, 7, 8];
+        if is_reachable(3, &center, p.goal()) {
+            assert_eq!(p.valid_ops_vec(&center).len(), 4);
+        } else {
+            // validity of moves doesn't depend on solvability
+            let mut ops = Vec::new();
+            p.valid_operations(&center, &mut ops);
+            assert_eq!(ops.len(), 4);
+        }
+    }
+
+    #[test]
+    fn apply_slides_tile_into_blank() {
+        let p = SlidingTile::new(2, vec![1, 2, 3, 0]);
+        // blank bottom-right; "up" moves blank up: swap with tile above (2)
+        let up = p.apply(&vec![1, 2, 3, 0], OpId(0));
+        assert_eq!(up, vec![1, 0, 3, 2]);
+        // "left": swap with tile to the left (3)
+        let left = p.apply(&vec![1, 2, 3, 0], OpId(2));
+        assert_eq!(left, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn moves_are_involutions() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let s = p.initial_state();
+        // up then down restores
+        let s2 = p.apply(&p.apply(&s, OpId(0)), OpId(1));
+        assert_eq!(s, s2);
+        // left then right restores
+        let s3 = p.apply(&p.apply(&s, OpId(2)), OpId(3));
+        assert_eq!(s, s3);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        // swap tiles 1 and 2 (adjacent): each 1 away
+        let s = vec![2, 1, 3, 4, 5, 6, 7, 8, 0];
+        assert_eq!(p.manhattan(&s), 2);
+        // tile 1 in bottom-right area
+        let s = vec![0, 2, 3, 4, 5, 6, 7, 8, 1];
+        assert_eq!(p.manhattan(&s), 4); // tile 1 from (2,2) to (0,0)
+    }
+
+    #[test]
+    fn eq6_normalization() {
+        let p = SlidingTile::new(4, SlidingTile::standard_goal(4));
+        assert_eq!(p.distance_upper_bound(), (15 * 6) as f64);
+        let p3 = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        assert_eq!(p3.distance_upper_bound(), (8 * 4) as f64);
+    }
+
+    #[test]
+    fn reversed_8_puzzle_is_solvable_but_reversed_15_puzzle_is_not() {
+        // reversing an even number of tiles (8-puzzle: 8 tiles) is an even
+        // permutation; reversing an odd number (15-puzzle: 15 tiles) is odd
+        // while the blank stays put — Johnson & Story says unreachable.
+        let goal3 = SlidingTile::standard_goal(3);
+        assert!(is_reachable(3, &SlidingTile::reversed_board(3), &goal3));
+        let goal4 = SlidingTile::standard_goal(4);
+        assert!(!is_reachable(4, &SlidingTile::reversed_board(4), &goal4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not reachable")]
+    fn unsolvable_instance_rejected() {
+        // classic: swap two tiles of the goal -> unsolvable
+        SlidingTile::new(3, vec![2, 1, 3, 4, 5, 6, 7, 8, 0]);
+    }
+
+    #[test]
+    fn reachability_is_exact_on_2x2() {
+        // BFS the full 2x2 state space from the goal and compare with the
+        // parity predicate on all 24 permutations.
+        let goal = SlidingTile::standard_goal(2);
+        let dom = SlidingTile::new(2, goal.clone());
+        let mut reached = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([goal.clone()]);
+        reached.insert(goal.clone());
+        while let Some(s) = queue.pop_front() {
+            for op in dom.valid_ops_vec(&s) {
+                let t = dom.apply(&s, op);
+                if reached.insert(t.clone()) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        // enumerate all permutations of [0,1,2,3]
+        let mut all = Vec::new();
+        let mut vals = [0u8, 1, 2, 3];
+        permute(&mut vals, 0, &mut all);
+        let mut reachable_count = 0;
+        for p in all {
+            let pred = is_reachable(2, &p, &goal);
+            let actual = reached.contains(&p);
+            assert_eq!(pred, actual, "board {p:?}");
+            if actual {
+                reachable_count += 1;
+            }
+        }
+        assert_eq!(reachable_count, 12); // half of 24
+    }
+
+    fn permute(vals: &mut [u8; 4], k: usize, out: &mut Vec<TileState>) {
+        if k == 4 {
+            out.push(vals.to_vec());
+            return;
+        }
+        for i in k..4 {
+            vals.swap(k, i);
+            permute(vals, k + 1, out);
+            vals.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn random_solvable_instances_are_solvable_and_varied() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let goal = SlidingTile::standard_goal(4);
+        let mut boards = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let p = SlidingTile::random_solvable(4, &mut rng);
+            assert!(is_reachable(4, &p.initial_state(), &goal));
+            boards.insert(p.initial_state());
+        }
+        assert!(boards.len() > 45, "instances should be diverse: {}", boards.len());
+    }
+
+    #[test]
+    fn decoded_random_walk_stays_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = SlidingTile::random_solvable(3, &mut rng);
+        let mut s = p.initial_state();
+        let mut ops = Vec::new();
+        for i in 0..200 {
+            let valid = p.valid_ops_vec(&s);
+            let op = valid[i % valid.len()];
+            ops.push(op);
+            s = p.apply(&s, op);
+        }
+        Plan::from_ops(ops).simulate(&p, &p.initial_state()).expect("walk is valid");
+    }
+
+    #[test]
+    fn goal_fitness_decreases_with_distance() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let g = p.initial_state();
+        let s1 = p.apply(&g, OpId(0)); // one move away
+        assert!(p.goal_fitness(&s1) < 1.0);
+        assert!(p.goal_fitness(&s1) > 0.9);
+    }
+
+    #[test]
+    fn render_contains_all_tiles() {
+        // render_board works even for the unsolvable Figure 3(a) board
+        let art = render_board(4, &SlidingTile::reversed_board(4));
+        for v in 1..=15 {
+            assert!(art.contains(&format!("{v:2}")), "missing tile {v}");
+        }
+        let p = SlidingTile::new(3, SlidingTile::reversed_board(3));
+        let art3 = p.render(&p.initial_state());
+        assert!(art3.contains(" 8 "));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tile")]
+    fn duplicate_tiles_rejected() {
+        SlidingTile::new(2, vec![1, 1, 2, 0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the puzzle domains.
+
+use gaplan_core::{Domain, DomainExt};
+use gaplan_domains::sliding_tile::is_reachable;
+use gaplan_domains::{Hanoi, Navigation, SlidingTile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    /// Hanoi goal fitness (Eq. 5) is normalized, 1 exactly on the goal, and
+    /// monotone in the weighted disk mass on the goal stake.
+    #[test]
+    fn hanoi_goal_fitness_normalized(n in 1usize..9, state_seed in any::<u64>()) {
+        let h = Hanoi::new(n);
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..3u8)).collect();
+        let f = h.goal_fitness(&state);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert_eq!(f >= 1.0, state.iter().all(|&p| p == 1));
+    }
+
+    /// Hanoi: every state (reachable or not as a stacking, all peg
+    /// assignments are legal states) has between 2 and 3 valid moves.
+    #[test]
+    fn hanoi_branching_factor(n in 1usize..9, state_seed in any::<u64>()) {
+        let h = Hanoi::new(n);
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..3u8)).collect();
+        let ops = h.valid_ops_vec(&state);
+        let expected_max = if n == 1 { 2 } else { 3 };
+        prop_assert!((2..=expected_max).contains(&ops.len()), "ops = {}", ops.len());
+    }
+
+    /// Optimal Hanoi plan length for custom goal stakes.
+    #[test]
+    fn hanoi_optimal_plan_any_goal(n in 1usize..8, goal in 1u8..3) {
+        let h = Hanoi::with_init(n, vec![0; n], goal);
+        let plan = gaplan_core::Plan::from_ops(h.optimal_plan());
+        let out = plan.simulate(&h, &h.initial_state()).unwrap();
+        prop_assert!(out.solves);
+        prop_assert_eq!(plan.len(), (1 << n) - 1);
+    }
+
+    /// Tile: random solvable instances really are reachable from the goal,
+    /// and blank moves are inverses of each other.
+    #[test]
+    fn tile_random_instances_solvable(n in 2usize..5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = SlidingTile::random_solvable(n, &mut rng);
+        prop_assert!(is_reachable(n, &p.initial_state(), p.goal()));
+        // up/down and left/right are mutual inverses wherever both valid
+        let s = p.initial_state();
+        for (a, b) in [(0u32, 1u32), (2, 3)] {
+            let ops = p.valid_ops_vec(&s);
+            if ops.contains(&gaplan_core::OpId(a)) {
+                let mid = p.apply(&s, gaplan_core::OpId(a));
+                let back = p.apply(&mid, gaplan_core::OpId(b));
+                prop_assert_eq!(&back, &s);
+            }
+        }
+    }
+
+    /// Tile: Manhattan distance changes by exactly ±1 per move.
+    #[test]
+    fn tile_manhattan_steps_by_one(seed in any::<u64>(), moves in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = SlidingTile::random_solvable(3, &mut rng);
+        let mut s = p.initial_state();
+        let mut d = p.manhattan(&s);
+        for _ in 0..moves {
+            let ops = p.valid_ops_vec(&s);
+            let op = ops[rng.gen_range(0..ops.len())];
+            s = p.apply(&s, op);
+            let nd = p.manhattan(&s);
+            prop_assert_eq!(nd.abs_diff(d), 1, "MD must step by one");
+            d = nd;
+        }
+    }
+
+    /// Navigation: robots never leave the map, enter walls, or collide
+    /// along random valid walks.
+    #[test]
+    fn navigation_safety_invariants(seed in any::<u64>(), moves in 1usize..60) {
+        let nav = Navigation::new(
+            &["....#", ".##..", ".....", "..#.."],
+            vec![(0, 0), (3, 4)],
+            vec![(3, 4), (0, 0)],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = nav.initial_state();
+        for _ in 0..moves {
+            let ops = nav.valid_ops_vec(&s);
+            prop_assert!(!ops.is_empty());
+            let op = ops[rng.gen_range(0..ops.len())];
+            s = nav.apply(&s, op);
+            // no collisions
+            prop_assert!(s[0] != s[1]);
+            // in bounds (u8 coordinates; map is 4x5)
+            for &(r, c) in &s {
+                prop_assert!(r < 4 && c < 5);
+            }
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! GA configuration: every knob from the paper's Tables 1 and 3 plus the
+//! ambiguity-resolution and extension options called out in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Which crossover mechanism to use (paper §3.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CrossoverKind {
+    /// One-point crossover with independently chosen cut points on each
+    /// parent. Cheap, but the suffix genes decode against a different state
+    /// after the swap.
+    #[default]
+    Random,
+    /// The paper's novel mechanism: the second parent's cut point is
+    /// restricted to loci whose decode state *matches* the first cut's
+    /// state, so the exchanged suffixes keep their meaning. When no matching
+    /// locus exists the parents pass through unchanged.
+    StateAware,
+    /// Try state-aware; if no matching cut point exists, fall back to a
+    /// random second cut point.
+    Mixed,
+    /// Extension (not in the paper): two-point crossover with independent
+    /// cut pairs — included for ablation.
+    TwoPoint,
+}
+
+impl CrossoverKind {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossoverKind::Random => "random",
+            CrossoverKind::StateAware => "state-aware",
+            CrossoverKind::Mixed => "mixed",
+            CrossoverKind::TwoPoint => "two-point",
+        }
+    }
+}
+
+/// How two decode states are considered "matching" for state-aware
+/// crossover. The paper requires that "the same genetic code will be mapped
+/// to the same sequence of operations from these two states".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StateMatchMode {
+    /// Full state identity (by signature). Sound and conservative: equal
+    /// states trivially decode any suffix identically — but exact matches
+    /// are so rare in large state spaces that state-aware crossover
+    /// degenerates to no-op pass-through (measured in Ext-F3).
+    ExactState,
+    /// Match on the *valid-operation set* of the state. This satisfies the
+    /// paper's wording for the immediately following gene (it maps to the
+    /// same operation) though not transitively; matches are plentiful
+    /// (e.g. tile boards share a valid-op set whenever the blank sits in
+    /// the same cell class), which is what makes state-aware crossover an
+    /// active operator. Default, per the EXPERIMENTS.md calibration.
+    #[default]
+    ValidOpSet,
+}
+
+/// Which state of the decoded plan the goal fitness `F_goal` scores.
+///
+/// The paper's §3.3 says the goal fitness "evaluates the quality of
+/// matching between the final state of the solution and the goal state",
+/// but is silent on whether a plan that *passes through* the goal counts as
+/// a solution (its prefix trivially is one). The two readings differ
+/// sharply in search dynamics — see EXPERIMENTS.md's calibration note.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GoalEval {
+    /// Score the state after the last decoded operation (strict reading).
+    #[default]
+    FinalState,
+    /// Score the best state visited along the plan. A plan passing through
+    /// the goal then scores 1.0, and its prefix up to the goal hit is the
+    /// reported solution (combine with `truncate_at_goal`).
+    BestPrefix,
+}
+
+/// Parent-selection scheme (§3.4.1 uses tournament with size 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionScheme {
+    /// Pick `k` individuals uniformly with replacement; the fittest wins.
+    Tournament(u32),
+    /// Fitness-proportional (roulette-wheel) selection. Extension.
+    Roulette,
+    /// Linear-rank selection. Extension.
+    Rank,
+}
+
+impl Default for SelectionScheme {
+    fn default() -> Self {
+        SelectionScheme::Tournament(2) // paper: "Tournament (2)"
+    }
+}
+
+/// Weights of the fitness components (paper Eq. 3–4). The match-fitness
+/// component is identically 1 under indirect encoding, so only the goal and
+/// cost weights matter (the paper drops the match term for the same reason).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitnessWeights {
+    /// Weight of the goal fitness `F_goal`. Paper: 0.9.
+    pub goal: f64,
+    /// Weight of the cost fitness `F_cost`. Paper: 0.1.
+    pub cost: f64,
+}
+
+impl Default for FitnessWeights {
+    fn default() -> Self {
+        FitnessWeights { goal: 0.9, cost: 0.1 }
+    }
+}
+
+impl FitnessWeights {
+    /// Validate: weights must be non-negative and sum to 1 (paper: "where
+    /// w1 and w2 are weights and w1 + w2 = 1").
+    pub fn validate(&self) -> Result<(), String> {
+        if self.goal < 0.0 || self.cost < 0.0 {
+            return Err(format!("negative fitness weight: goal={} cost={}", self.goal, self.cost));
+        }
+        if (self.goal + self.cost - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "fitness weights must sum to 1 (goal={} cost={})",
+                self.goal, self.cost
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How the cost fitness `F_cost` is computed.
+///
+/// The paper's Eq. 2 (the unit-cost case) is illegible in the surviving
+/// text. Two standard readings exist: `1/len` and `1 − len/MaxLen`. The
+/// reciprocal reading creates an *empty-plan attractor*: near the goal, a
+/// zero-length plan (cost fitness 1) outscores any plan that makes real
+/// progress, so multi-phase search stalls — which contradicts the paper's
+/// reported 92–96% tile solve rates. The linear reading has no such trap,
+/// so it is the default; the reciprocal is kept and ablated (Ext-F5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CostFitnessMode {
+    /// `F_cost = 1 − len/MaxLen` (clamped to `[0, 1]`): linear in plan
+    /// length, normalized by the configured `MaxLen`.
+    #[default]
+    LinearLength,
+    /// `F_cost = 1 / len(plan)`; an empty plan scores 1. See the enum docs
+    /// for why this reading is rejected as the default.
+    InverseLength,
+    /// General-cost analogue used by the grid domain: `F_cost = 1 / (1 +
+    /// total_cost)`, monotone decreasing in cost and equal to 1 at zero cost.
+    InverseCost,
+    /// Ignore cost entirely (`F_cost = 0`); used in ablations.
+    Zero,
+}
+
+/// Full GA configuration.
+///
+/// Defaults reproduce the shared parameter block of the paper's Tables 1
+/// and 3: population 200, 500 generations, crossover rate 0.9, mutation rate
+/// 0.01, tournament(2), weights 0.9/0.1, 5 phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Number of individuals per generation. Paper: 200.
+    pub population_size: usize,
+    /// Generations evolved within one phase. Paper: 500 single-phase, 100
+    /// per phase in the multi-phase runs.
+    pub generations_per_phase: u32,
+    /// Maximum number of phases (paper: 5). `1` gives the single-phase GA.
+    pub max_phases: u32,
+    /// Crossover mechanism.
+    pub crossover: CrossoverKind,
+    /// Probability that a selected pair undergoes crossover. Paper: 0.9.
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability. Paper: 0.01.
+    pub mutation_rate: f64,
+    /// Number of best individuals copied unchanged into the next
+    /// generation. The paper does not state its elitism policy, but its
+    /// reported convergence speeds (e.g. a valid 5-disk Hanoi solution after
+    /// 43 generations on average) are unattainable when crossover at rate
+    /// 0.9 can destroy every copy of the best individual; keeping one elite
+    /// reproduces the paper's convergence regime (see EXPERIMENTS.md
+    /// calibration note). Set to 0 for strict generational replacement.
+    pub elitism: usize,
+    /// Extension: probability (per individual) of a length mutation that
+    /// inserts or deletes one gene. 0 disables (paper behaviour).
+    pub length_mutation_rate: f64,
+    /// Parent-selection scheme. Paper: tournament(2).
+    pub selection: SelectionScheme,
+    /// Fitness weights. Paper: goal 0.9, cost 0.1.
+    pub weights: FitnessWeights,
+    /// Cost-fitness mode (Eq. 2 by default).
+    pub cost_fitness: CostFitnessMode,
+    /// Nominal length of the randomly generated initial individuals (§3.2:
+    /// "The lengths of the initial population of solutions are set to
+    /// reasonable values" — the experiments use the optimal length for
+    /// Hanoi and an `n² log n²` bound for the tile puzzle).
+    pub initial_len: usize,
+    /// Relative half-width of the initial length distribution: individual
+    /// lengths are drawn uniformly from `[initial_len·(1−s), initial_len·(1+s)]`
+    /// (clamped to `[1, max_len]`). A spread matters because plan length can
+    /// only change through crossover cut points afterwards — with all-equal
+    /// (say, odd) lengths, domains whose goal distance has a parity (the
+    /// tile puzzle) start in a trap where no individual can end on the
+    /// goal. Default 0.5.
+    pub initial_len_spread: f64,
+    /// Upper bound `MaxLen` on individual length (§3.1). Crossover children
+    /// are truncated to this length.
+    pub max_len: usize,
+    /// How the goal fitness samples the decoded trajectory.
+    pub goal_eval: GoalEval,
+    /// If true, decoding stops as soon as the goal state is reached, so
+    /// genes past the first goal hit are ignored. The paper's formal
+    /// definition scores the *final* state, so this defaults to false; the
+    /// toggle is ablated in EXPERIMENTS.md.
+    pub truncate_at_goal: bool,
+    /// State-matching rule for state-aware crossover.
+    pub state_match: StateMatchMode,
+    /// Stop a phase as soon as some individual solves the problem. The paper
+    /// reports sub-budget generation counts for the single-phase GA
+    /// (e.g. 42.9 avg for 5 disks) but phase-multiples for the multi-phase
+    /// GA, so [`crate::MultiPhase`] sets this automatically; it is exposed
+    /// for single-phase use.
+    pub early_stop_on_solution: bool,
+    /// Evaluate individuals in parallel with rayon. Deterministic: decoding
+    /// and fitness are pure functions of the genome.
+    pub parallel: bool,
+    /// Master RNG seed; every run derived from a config is reproducible.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population_size: 200,
+            generations_per_phase: 100,
+            max_phases: 5,
+            crossover: CrossoverKind::Random,
+            crossover_rate: 0.9,
+            mutation_rate: 0.01,
+            elitism: 1,
+            length_mutation_rate: 0.0,
+            selection: SelectionScheme::default(),
+            weights: FitnessWeights::default(),
+            cost_fitness: CostFitnessMode::default(),
+            initial_len: 32,
+            initial_len_spread: 0.5,
+            max_len: 128,
+            goal_eval: GoalEval::BestPrefix,
+            truncate_at_goal: true,
+            state_match: StateMatchMode::default(),
+            early_stop_on_solution: false,
+            parallel: true,
+            seed: 0x9a_9a_9a,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Validate parameter ranges; returns a human-readable error message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population_size < 2 {
+            return Err("population_size must be at least 2".into());
+        }
+        if self.elitism >= self.population_size {
+            return Err(format!(
+                "elitism ({}) must be smaller than the population ({})",
+                self.elitism, self.population_size
+            ));
+        }
+        if self.generations_per_phase == 0 {
+            return Err("generations_per_phase must be positive".into());
+        }
+        if self.max_phases == 0 {
+            return Err("max_phases must be positive".into());
+        }
+        for (name, v) in [
+            ("crossover_rate", self.crossover_rate),
+            ("mutation_rate", self.mutation_rate),
+            ("length_mutation_rate", self.length_mutation_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if let SelectionScheme::Tournament(k) = self.selection {
+            if k == 0 {
+                return Err("tournament size must be positive".into());
+            }
+        }
+        self.weights.validate()?;
+        if self.initial_len == 0 {
+            return Err("initial_len must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.initial_len_spread) {
+            return Err(format!(
+                "initial_len_spread must be in [0, 1], got {}",
+                self.initial_len_spread
+            ));
+        }
+        if self.max_len < self.initial_len {
+            return Err(format!(
+                "max_len ({}) must be >= initial_len ({})",
+                self.max_len, self.initial_len
+            ));
+        }
+        Ok(())
+    }
+
+    /// The paper's single-phase configuration: one phase of 500 generations
+    /// with early stopping at the first valid solution.
+    pub fn single_phase(mut self) -> Self {
+        self.max_phases = 1;
+        self.generations_per_phase = 500;
+        self.early_stop_on_solution = true;
+        self
+    }
+
+    /// The paper's multi-phase configuration: up to 5 phases of 100
+    /// generations each; each phase runs its full budget.
+    pub fn multi_phase(mut self) -> Self {
+        self.max_phases = 5;
+        self.generations_per_phase = 100;
+        self.early_stop_on_solution = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_tables() {
+        let c = GaConfig::default();
+        assert_eq!(c.population_size, 200);
+        assert_eq!(c.crossover_rate, 0.9);
+        assert_eq!(c.mutation_rate, 0.01);
+        assert_eq!(c.selection, SelectionScheme::Tournament(2));
+        assert_eq!(c.weights.goal, 0.9);
+        assert_eq!(c.weights.cost, 0.1);
+        assert_eq!(c.max_phases, 5);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_configure_phases() {
+        let s = GaConfig::default().single_phase();
+        assert_eq!(s.max_phases, 1);
+        assert_eq!(s.generations_per_phase, 500);
+        assert!(s.early_stop_on_solution);
+        let m = GaConfig::default().multi_phase();
+        assert_eq!(m.max_phases, 5);
+        assert_eq!(m.generations_per_phase, 100);
+        assert!(!m.early_stop_on_solution);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let c = GaConfig { crossover_rate: 1.5, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GaConfig { mutation_rate: -0.1, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_weights() {
+        let c = GaConfig { weights: FitnessWeights { goal: 0.5, cost: 0.1 }, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GaConfig { weights: FitnessWeights { goal: -0.5, cost: 1.5 }, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_sizes() {
+        let c = GaConfig { population_size: 1, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GaConfig { initial_len: 10, max_len: 5, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GaConfig { selection: SelectionScheme::Tournament(0), ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GaConfig { elitism: 300, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn crossover_names() {
+        assert_eq!(CrossoverKind::Random.name(), "random");
+        assert_eq!(CrossoverKind::StateAware.name(), "state-aware");
+        assert_eq!(CrossoverKind::Mixed.name(), "mixed");
+        assert_eq!(CrossoverKind::TwoPoint.name(), "two-point");
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = GaConfig::default().multi_phase();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.population_size, c.population_size);
+        assert_eq!(back.crossover, c.crossover);
+        assert_eq!(back.max_phases, c.max_phases);
+    }
+}

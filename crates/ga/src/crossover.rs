@@ -1,0 +1,289 @@
+//! The three crossover mechanisms (paper §3.4.2): random, state-aware and
+//! mixed, plus a two-point extension.
+//!
+//! State-aware crossover is the paper's novel operator. Because the encoding
+//! is indirect, the genes to the right of a random cut decode against a
+//! *different* state after the swap and may therefore mean a completely
+//! different operation sequence. State-aware crossover restricts the second
+//! parent's cut to a locus whose decode state matches the first cut's state,
+//! so the exchanged suffixes keep their meaning — "attempts to preserve
+//! partial solutions that have been evolved in the search".
+
+use rand::Rng;
+
+use crate::config::CrossoverKind;
+use crate::genome::Genome;
+use crate::individual::Evaluated;
+
+/// Outcome of a crossover attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossoverOutcome {
+    /// Two children were produced (they replace their parents).
+    Children(Genome, Genome),
+    /// No matching cut point existed (state-aware only): "we do not perform
+    /// the crossover and both parents are included in the population of the
+    /// next generation".
+    Unchanged,
+}
+
+/// Apply crossover `kind` to two evaluated parents, producing children
+/// truncated to `max_len`.
+pub fn crossover<R: Rng + ?Sized, S>(
+    rng: &mut R,
+    kind: CrossoverKind,
+    a: &Evaluated<S>,
+    b: &Evaluated<S>,
+    max_len: usize,
+) -> CrossoverOutcome {
+    match kind {
+        CrossoverKind::Random => {
+            let c1 = rng.gen_range(0..=a.genome.len());
+            let c2 = rng.gen_range(0..=b.genome.len());
+            children(a, c1, b, c2, max_len)
+        }
+        CrossoverKind::StateAware => {
+            // Cut points must lie in the decoded region: match keys identify
+            // decode states, which only exist for decoded loci.
+            let c1 = rng.gen_range(0..=a.decoded_len);
+            match matching_cut(rng, a.match_keys[c1], b) {
+                Some(c2) => children(a, c1, b, c2, max_len),
+                None => CrossoverOutcome::Unchanged,
+            }
+        }
+        CrossoverKind::Mixed => {
+            // "We randomly select the first crossover point and check if
+            // state-aware crossover can be performed. … Otherwise, we
+            // randomly select the second crossover point and carry out a
+            // random crossover."
+            let c1 = rng.gen_range(0..=a.decoded_len);
+            let c2 = match matching_cut(rng, a.match_keys[c1], b) {
+                Some(c2) => c2,
+                None => rng.gen_range(0..=b.genome.len()),
+            };
+            children(a, c1, b, c2, max_len)
+        }
+        CrossoverKind::TwoPoint => {
+            let (a1, a2) = sorted_pair(rng, a.genome.len());
+            let (b1, b2) = sorted_pair(rng, b.genome.len());
+            let mid_a = &a.genome.genes()[a1..a2];
+            let mid_b = &b.genome.genes()[b1..b2];
+            let mut g1 = Vec::with_capacity(a.genome.len() - mid_a.len() + mid_b.len());
+            g1.extend_from_slice(&a.genome.genes()[..a1]);
+            g1.extend_from_slice(mid_b);
+            g1.extend_from_slice(&a.genome.genes()[a2..]);
+            g1.truncate(max_len);
+            let mut g2 = Vec::with_capacity(b.genome.len() - mid_b.len() + mid_a.len());
+            g2.extend_from_slice(&b.genome.genes()[..b1]);
+            g2.extend_from_slice(mid_a);
+            g2.extend_from_slice(&b.genome.genes()[b2..]);
+            g2.truncate(max_len);
+            CrossoverOutcome::Children(Genome::from_genes(g1), Genome::from_genes(g2))
+        }
+    }
+}
+
+fn children<S>(a: &Evaluated<S>, c1: usize, b: &Evaluated<S>, c2: usize, max_len: usize) -> CrossoverOutcome {
+    CrossoverOutcome::Children(
+        a.genome.splice(c1, &b.genome, c2, max_len),
+        b.genome.splice(c2, &a.genome, c1, max_len),
+    )
+}
+
+/// Find a cut point on `b` whose decode state matches `key`, chosen
+/// uniformly at random among all matches. Returns `None` when no locus of
+/// `b` matches.
+fn matching_cut<R: Rng + ?Sized, S>(rng: &mut R, key: u64, b: &Evaluated<S>) -> Option<usize> {
+    // Reservoir-sample a uniform match in one pass without allocating.
+    let mut chosen = None;
+    let mut seen = 0usize;
+    for (i, &k) in b.match_keys.iter().enumerate().take(b.decoded_len + 1) {
+        if k == key {
+            seen += 1;
+            if rng.gen_range(0..seen) == 0 {
+                chosen = Some(i);
+            }
+        }
+    }
+    chosen
+}
+
+fn sorted_pair<R: Rng + ?Sized>(rng: &mut R, len: usize) -> (usize, usize) {
+    let x = rng.gen_range(0..=len);
+    let y = rng.gen_range(0..=len);
+    (x.min(y), x.max(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::Fitness;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build an Evaluated with the given genes and match keys; state carried
+    /// as `()` because crossover never inspects it.
+    fn ind(genes: Vec<f64>, keys: Vec<u64>) -> Evaluated<()> {
+        let decoded_len = genes.len();
+        assert_eq!(keys.len(), decoded_len + 1);
+        Evaluated {
+            genome: Genome::from_genes(genes),
+            ops: vec![],
+            match_keys: keys,
+            final_state: (),
+            decoded_len,
+            best_prefix_at: 0,
+            best_prefix_state: (),
+            fitness: Fitness::default(),
+        }
+    }
+
+    #[test]
+    fn random_crossover_preserves_total_length_when_unbounded() {
+        let a = ind(vec![0.1; 10], (0..=10).collect());
+        let b = ind(vec![0.9; 6], (100..=106).collect());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            match crossover(&mut rng, CrossoverKind::Random, &a, &b, usize::MAX) {
+                CrossoverOutcome::Children(c1, c2) => {
+                    assert_eq!(c1.len() + c2.len(), 16);
+                }
+                CrossoverOutcome::Unchanged => panic!("random crossover always produces children"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_crossover_children_respect_max_len() {
+        let a = ind(vec![0.1; 10], (0..=10).collect());
+        let b = ind(vec![0.9; 10], (100..=110).collect());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            if let CrossoverOutcome::Children(c1, c2) = crossover(&mut rng, CrossoverKind::Random, &a, &b, 12) {
+                assert!(c1.len() <= 12 && c2.len() <= 12);
+            }
+        }
+    }
+
+    #[test]
+    fn state_aware_returns_unchanged_without_matching_state() {
+        let a = ind(vec![0.1; 4], vec![1, 2, 3, 4, 5]);
+        let b = ind(vec![0.9; 4], vec![10, 20, 30, 40, 50]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(
+                crossover(&mut rng, CrossoverKind::StateAware, &a, &b, 100),
+                CrossoverOutcome::Unchanged
+            );
+        }
+    }
+
+    #[test]
+    fn state_aware_swaps_at_matching_state() {
+        // a's locus 2 has key 7; b's locus 1 has key 7; all others unique.
+        let a = ind(vec![0.1, 0.2, 0.3], vec![1, 2, 7, 4]);
+        let b = ind(vec![0.7, 0.8, 0.9], vec![5, 7, 6, 8]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut produced = 0;
+        for _ in 0..200 {
+            if let CrossoverOutcome::Children(c1, c2) = crossover(&mut rng, CrossoverKind::StateAware, &a, &b, 100) {
+                produced += 1;
+                // the only matching pair is (c1=2, c2=1)
+                assert_eq!(c1.genes(), &[0.1, 0.2, 0.8, 0.9]);
+                assert_eq!(c2.genes(), &[0.7, 0.3]);
+            }
+        }
+        // cut c1 is uniform over 0..=3; only c1 = 2 matches, so about 1/4
+        // of attempts succeed.
+        assert!((20..=90).contains(&produced), "produced = {produced}");
+    }
+
+    #[test]
+    fn state_aware_suffix_decodes_identically() {
+        // If key(c1 on a) == key(c2 on b), the child gene suffix is b's
+        // suffix and will decode from the same state it decoded from in b —
+        // the operator's entire point. Verified structurally here: the swap
+        // only happens at equal keys.
+        let a = ind(vec![0.1, 0.2], vec![100, 42, 100]);
+        let b = ind(vec![0.9, 0.8], vec![42, 100, 42]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            if let CrossoverOutcome::Children(c1, _c2) = crossover(&mut rng, CrossoverKind::StateAware, &a, &b, 100) {
+                // any produced child is a splice at loci with equal keys
+                assert!(c1.len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_always_produces_children() {
+        let a = ind(vec![0.1; 4], vec![1, 2, 3, 4, 5]);
+        let b = ind(vec![0.9; 4], vec![10, 20, 30, 40, 50]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert!(matches!(
+                crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100),
+                CrossoverOutcome::Children(..)
+            ));
+        }
+    }
+
+    #[test]
+    fn mixed_prefers_state_aware_cut() {
+        // every locus matches (all keys equal): mixed == state-aware here,
+        // and children must cut within the decoded region.
+        let a = ind(vec![0.1, 0.2], vec![7, 7, 7]);
+        let b = ind(vec![0.9, 0.8], vec![7, 7, 7]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            match crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100) {
+                CrossoverOutcome::Children(c1, c2) => assert_eq!(c1.len() + c2.len(), 4),
+                CrossoverOutcome::Unchanged => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_preserves_flanks() {
+        let a = ind(vec![0.1, 0.2, 0.3, 0.4], (0..=4).collect());
+        let b = ind(vec![0.9, 0.8, 0.7, 0.6], (10..=14).collect());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            if let CrossoverOutcome::Children(c1, c2) = crossover(&mut rng, CrossoverKind::TwoPoint, &a, &b, 100) {
+                assert_eq!(c1.len() + c2.len(), 8);
+                // first gene of c1 is from a (or mid-swap from b if cut at 0)
+                assert!(c1.genes().iter().all(|&g| (0.0..1.0).contains(&g)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parents_are_handled() {
+        let a = ind(vec![], vec![1]);
+        let b = ind(vec![0.5], vec![1, 2]);
+        let mut rng = StdRng::seed_from_u64(8);
+        for kind in [
+            CrossoverKind::Random,
+            CrossoverKind::StateAware,
+            CrossoverKind::Mixed,
+            CrossoverKind::TwoPoint,
+        ] {
+            // must not panic; state-aware can match at key 1
+            let _ = crossover(&mut rng, kind, &a, &b, 100);
+        }
+    }
+
+    #[test]
+    fn matching_cut_is_uniform_over_matches() {
+        let b = ind(vec![0.5; 4], vec![7, 9, 7, 9, 7]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0usize; 5];
+        for _ in 0..9000 {
+            let c = matching_cut(&mut rng, 7, &b).unwrap();
+            counts[c] += 1;
+        }
+        assert_eq!(counts[1] + counts[3], 0);
+        for &i in &[0usize, 2, 4] {
+            assert!((2_500..3_500).contains(&counts[i]), "counts = {counts:?}");
+        }
+    }
+}

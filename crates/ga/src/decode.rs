@@ -1,0 +1,332 @@
+//! Indirect genome decoding (paper §3.1).
+//!
+//! Each gene is a float `g ∈ [0, 1)`. If the state reached so far has `k`
+//! valid operations, the gene maps to the operation at index `⌊g·k⌋` of the
+//! domain's deterministic valid-operation ordering. The paper's example:
+//! with four valid operations `o1..o4`, `[0, 0.25) → o1`, `[0.25, 0.5) → o2`
+//! and so on. Decoding therefore *cannot* produce an invalid operation, and
+//! the match fitness (Eq. 1) is identically 1.
+
+use gaplan_core::{Domain, OpId};
+
+use crate::config::{GoalEval, StateMatchMode};
+use crate::genome::Genome;
+use crate::Fitness;
+
+/// The result of decoding a genome from a start state.
+#[derive(Debug, Clone)]
+pub struct Decoded<S> {
+    /// The decoded operation sequence (all valid by construction).
+    pub ops: Vec<OpId>,
+    /// Per-locus match keys: `match_keys[i]` identifies the decode state
+    /// *before* gene `i`; the final entry identifies the final state. Used
+    /// by state-aware crossover (two loci match iff their keys are equal).
+    pub match_keys: Vec<u64>,
+    /// The state after applying every decoded operation.
+    pub final_state: S,
+    /// Total cost of the decoded operations.
+    pub cost: f64,
+    /// Number of genes actually decoded. Less than the genome length when
+    /// decoding stopped early (goal truncation or a dead-end state with no
+    /// valid operations).
+    pub decoded_len: usize,
+    /// Whether some decoded prefix (or the final state) satisfies the goal.
+    pub reached_goal: bool,
+    /// Highest goal fitness over all states visited (including start and
+    /// final), used by `GoalEval::BestPrefix`.
+    pub best_prefix_goal: f64,
+    /// Number of operations of the prefix achieving `best_prefix_goal`.
+    pub best_prefix_at: usize,
+    /// The state reached by that prefix (used for phase chaining under
+    /// `GoalEval::BestPrefix`).
+    pub best_prefix_state: S,
+}
+
+/// A reusable decoder. Holds the scratch buffer for valid-operation lists so
+/// per-individual decoding allocates only the output vectors; rayon workers
+/// each keep their own `Decoder` (`map_init`).
+#[derive(Debug, Default, Clone)]
+pub struct Decoder {
+    scratch: Vec<OpId>,
+}
+
+/// Map one gene to an index into a `k`-element valid-operation list.
+#[inline]
+pub fn gene_to_index(gene: f64, k: usize) -> usize {
+    debug_assert!(k > 0);
+    // genes live in [0,1) so gene*k < k, but guard against accumulated
+    // floating error at the boundary anyway.
+    ((gene * k as f64) as usize).min(k - 1)
+}
+
+impl Decoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Decode `genome` against `domain`, starting from `start`.
+    ///
+    /// * `truncate_at_goal`: stop decoding at the first goal state reached
+    ///   (see `GaConfig::truncate_at_goal` for the fidelity discussion).
+    /// * `match_mode`: what the per-locus match keys identify (full state
+    ///   signature, or the valid-op multiset of the state).
+    pub fn decode<D: Domain>(
+        &mut self,
+        domain: &D,
+        start: &D::State,
+        genome: &Genome,
+        truncate_at_goal: bool,
+        match_mode: StateMatchMode,
+    ) -> Decoded<D::State> {
+        let genes = genome.genes();
+        let mut ops = Vec::with_capacity(genes.len());
+        let mut match_keys = Vec::with_capacity(genes.len() + 1);
+        let mut state = start.clone();
+        let mut cost = 0.0;
+        let mut best_prefix_goal = domain.goal_fitness(&state);
+        let mut best_prefix_at = 0usize;
+        let mut best_prefix_state = state.clone();
+        let mut reached_goal = best_prefix_goal >= 1.0;
+
+        for &gene in genes {
+            if truncate_at_goal && reached_goal {
+                break;
+            }
+            self.scratch.clear();
+            domain.valid_operations(&state, &mut self.scratch);
+            if self.scratch.is_empty() {
+                // dead-end state: the paper's domains always have valid
+                // operations, but STRIPS/grid domains may not. Remaining
+                // genes are ignored.
+                break;
+            }
+            match_keys.push(self.match_key(domain, &state, match_mode));
+            let op = self.scratch[gene_to_index(gene, self.scratch.len())];
+            cost += domain.op_cost(op);
+            state = domain.apply(&state, op);
+            ops.push(op);
+            let g = domain.goal_fitness(&state);
+            if g > best_prefix_goal {
+                best_prefix_goal = g;
+                best_prefix_at = ops.len();
+                best_prefix_state = state.clone();
+            }
+            if !reached_goal && g >= 1.0 {
+                reached_goal = true;
+            }
+        }
+        match_keys.push(self.match_key(domain, &state, match_mode));
+
+        Decoded {
+            decoded_len: ops.len(),
+            ops,
+            match_keys,
+            final_state: state,
+            cost,
+            reached_goal,
+            best_prefix_goal,
+            best_prefix_at,
+            best_prefix_state,
+        }
+    }
+
+    #[inline]
+    fn match_key<D: Domain>(&mut self, domain: &D, state: &D::State, mode: StateMatchMode) -> u64 {
+        match mode {
+            StateMatchMode::ExactState => domain.state_signature(state),
+            StateMatchMode::ValidOpSet => {
+                self.scratch.clear();
+                domain.valid_operations(state, &mut self.scratch);
+                gaplan_core::hash_one(&self.scratch)
+            }
+        }
+    }
+
+    /// Decode and score in one pass: the standard evaluation path.
+    pub fn evaluate<D: Domain>(
+        &mut self,
+        domain: &D,
+        start: &D::State,
+        genome: &Genome,
+        cfg: &crate::GaConfig,
+    ) -> (Decoded<D::State>, Fitness) {
+        let decoded = self.decode(domain, start, genome, cfg.truncate_at_goal, cfg.state_match);
+        let goal = match cfg.goal_eval {
+            GoalEval::FinalState => domain.goal_fitness(&decoded.final_state),
+            GoalEval::BestPrefix => decoded.best_prefix_goal,
+        };
+        let fitness = Fitness::compute(goal, decoded.ops.len(), decoded.cost, cfg.weights, cfg.cost_fitness, cfg.max_len);
+        (decoded, fitness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::strips::StripsBuilder;
+    use gaplan_core::{Domain, Plan};
+
+    /// line domain: positions 0..=4 as conditions; ops move right (always
+    /// from i to i+1 when at i) and left; goal at 4.
+    fn line() -> gaplan_core::strips::StripsProblem {
+        let mut b = StripsBuilder::new();
+        for i in 0..5 {
+            b.condition(&format!("at{i}")).unwrap();
+        }
+        for i in 0..4 {
+            b.op(
+                &format!("right{i}"),
+                &[&format!("at{i}")],
+                &[&format!("at{}", i + 1)],
+                &[&format!("at{i}")],
+                1.0,
+            )
+            .unwrap();
+        }
+        for i in 1..5 {
+            b.op(
+                &format!("left{i}"),
+                &[&format!("at{i}")],
+                &[&format!("at{}", i - 1)],
+                &[&format!("at{i}")],
+                1.0,
+            )
+            .unwrap();
+        }
+        b.init(&["at0"]).unwrap();
+        b.goal(&["at4"]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn decode_simple(
+        d: &gaplan_core::strips::StripsProblem,
+        genes: Vec<f64>,
+    ) -> Decoded<<gaplan_core::strips::StripsProblem as Domain>::State> {
+        Decoder::new().decode(
+            d,
+            &d.initial_state(),
+            &Genome::from_genes(genes),
+            false,
+            StateMatchMode::ExactState,
+        )
+    }
+
+    #[test]
+    fn gene_to_index_partitions_unit_interval() {
+        // paper example: 4 valid ops, 0.62 -> third op (index 2)
+        assert_eq!(gene_to_index(0.62, 4), 2);
+        assert_eq!(gene_to_index(0.0, 4), 0);
+        assert_eq!(gene_to_index(0.249, 4), 0);
+        assert_eq!(gene_to_index(0.25, 4), 1);
+        assert_eq!(gene_to_index(0.999_999, 4), 3);
+        assert_eq!(gene_to_index(0.5, 1), 0);
+    }
+
+    #[test]
+    fn decoded_ops_are_always_valid() {
+        let d = line();
+        let dec = decode_simple(&d, vec![0.9, 0.1, 0.7, 0.99, 0.3, 0.5]);
+        // replay as a *checked* plan: must never error
+        let plan = Plan::from_ops(dec.ops.clone());
+        plan.simulate(&d, &d.initial_state()).expect("decoded plan must be valid");
+    }
+
+    #[test]
+    fn decode_reaches_goal_with_all_right_moves() {
+        let d = line();
+        // at position 0 only `right0` is valid -> any gene moves right;
+        // at interior positions the valid list is [rightK, leftK]; gene < 0.5
+        // picks right.
+        let dec = decode_simple(&d, vec![0.1, 0.1, 0.1, 0.1]);
+        assert!(dec.reached_goal);
+        assert_eq!(d.goal_fitness(&dec.final_state), 1.0);
+        assert_eq!(dec.ops.len(), 4);
+        assert_eq!(dec.cost, 4.0);
+    }
+
+    #[test]
+    fn truncate_at_goal_stops_decoding() {
+        let d = line();
+        let genes = vec![0.1, 0.1, 0.1, 0.1, 0.9, 0.9]; // reach goal then walk back
+        let full = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(genes.clone()),
+            false,
+            StateMatchMode::ExactState,
+        );
+        assert_eq!(full.decoded_len, 6);
+        assert!(!d.is_goal(&full.final_state)); // walked past the goal
+
+        let trunc = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(genes),
+            true,
+            StateMatchMode::ExactState,
+        );
+        assert_eq!(trunc.decoded_len, 4);
+        assert!(d.is_goal(&trunc.final_state));
+    }
+
+    #[test]
+    fn match_keys_align_with_states() {
+        let d = line();
+        let dec = decode_simple(&d, vec![0.1, 0.9]); // right, then left: back at 0
+        assert_eq!(dec.match_keys.len(), 3);
+        // state before gene 0 and state after gene 1 are both `at0`
+        assert_eq!(dec.match_keys[0], dec.match_keys[2]);
+        assert_ne!(dec.match_keys[0], dec.match_keys[1]);
+    }
+
+    #[test]
+    fn dead_end_stops_decoding() {
+        let mut b = StripsBuilder::new();
+        b.condition("alive").unwrap();
+        b.condition("dead").unwrap();
+        b.op("die", &["alive"], &["dead"], &["alive"], 1.0).unwrap();
+        b.init(&["alive"]).unwrap();
+        b.goal(&["dead"]).unwrap();
+        let d = b.build().unwrap();
+        let dec = decode_simple(&d, vec![0.5, 0.5, 0.5]);
+        assert_eq!(dec.decoded_len, 1); // only `die` decodable; then no valid ops
+        assert!(dec.reached_goal);
+    }
+
+    #[test]
+    fn identical_genomes_decode_identically() {
+        let d = line();
+        let genes = vec![0.3, 0.8, 0.44, 0.9];
+        let a = decode_simple(&d, genes.clone());
+        let b = decode_simple(&d, genes);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.match_keys, b.match_keys);
+        assert_eq!(a.final_state, b.final_state);
+    }
+
+    #[test]
+    fn valid_op_set_match_mode_produces_keys() {
+        let d = line();
+        let dec = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(vec![0.1, 0.1, 0.9]),
+            false,
+            StateMatchMode::ValidOpSet,
+        );
+        // positions visited: 0, 1, 2, 1. Valid-op sets at position 1 (locus 1)
+        // and position 1 again (final) coincide.
+        assert_eq!(dec.match_keys[1], dec.match_keys[3]);
+    }
+
+    #[test]
+    fn empty_genome_decodes_to_empty_plan() {
+        let d = line();
+        let dec = decode_simple(&d, vec![]);
+        assert!(dec.ops.is_empty());
+        assert_eq!(dec.match_keys.len(), 1);
+        assert_eq!(dec.cost, 0.0);
+        assert!(!dec.reached_goal);
+    }
+}

@@ -1,0 +1,413 @@
+//! The single-phase GA engine: one "independent GA run" in the paper's
+//! terminology (§3.5 step 2a): evaluate → select → crossover → mutate →
+//! replace, for a fixed number of generations.
+
+use gaplan_core::Domain;
+use rand::Rng;
+
+use crate::config::GaConfig;
+use crate::crossover::{crossover, CrossoverOutcome};
+use crate::individual::Evaluated;
+use crate::mutation::{length_mutate, mutate};
+use crate::population::{evaluate_all, init_population, phase_rng};
+use crate::seeding::{seeded_population, SeedStrategy};
+use crate::selection::select_parent;
+use crate::stats::GenStats;
+
+/// One GA phase: an independent run over a fixed generation budget,
+/// starting from a given state.
+pub struct Phase<'d, D: Domain> {
+    domain: &'d D,
+    cfg: GaConfig,
+    start: D::State,
+    phase_index: u32,
+    seeder: Option<(SeedStrategy, f64)>,
+}
+
+/// The outcome of a phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult<S> {
+    /// The best individual found across all generations of the phase,
+    /// ranked by `(goal fitness, total fitness)` lexicographically — the
+    /// paper both reports and chains phases on "the individual with the
+    /// highest goal fitness".
+    pub best: Evaluated<S>,
+    /// Per-generation statistics.
+    pub history: Vec<GenStats>,
+    /// Number of generations actually evolved (< budget iff early-stopped).
+    pub generations_executed: u32,
+    /// First generation (0-based) at which some individual solved the
+    /// problem, if any.
+    pub first_solution_gen: Option<u32>,
+}
+
+/// Ranking used for "best individual": goal fitness first (the paper picks
+/// by goal fitness), total fitness as tie-break (prefers cheaper plans).
+#[inline]
+fn better<S>(a: &Evaluated<S>, b: &Evaluated<S>) -> bool {
+    (a.fitness.goal, a.fitness.total) > (b.fitness.goal, b.fitness.total)
+}
+
+impl<'d, D: Domain> Phase<'d, D> {
+    /// Create a phase starting from the domain's initial state.
+    pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
+        let start = domain.initial_state();
+        Phase {
+            domain,
+            cfg,
+            start,
+            phase_index: 0,
+            seeder: None,
+        }
+    }
+
+    /// Create a phase starting from an arbitrary state (used by the
+    /// multi-phase driver: "the final state of the solution is taken as the
+    /// initial state for the search during the next phase"). `phase_index`
+    /// selects an independent RNG stream.
+    pub fn with_start(domain: &'d D, cfg: GaConfig, start: D::State, phase_index: u32) -> Self {
+        Phase {
+            domain,
+            cfg,
+            start,
+            phase_index,
+            seeder: None,
+        }
+    }
+
+    /// Seed a fraction of the initial population with heuristic individuals
+    /// (Westerberg & Levine-style seeding; see [`crate::seeding`]).
+    pub fn with_seeder(mut self, strategy: SeedStrategy, fraction: f64) -> Self {
+        self.seeder = Some((strategy, fraction));
+        self
+    }
+
+    /// Run the phase to completion (or early stop) and return the result.
+    pub fn run(&self) -> PhaseResult<D::State> {
+        self.cfg.validate().expect("invalid GaConfig");
+        let cfg = &self.cfg;
+        let mut rng = phase_rng(cfg, self.phase_index);
+        let mut genomes = match &self.seeder {
+            Some((strategy, fraction)) => {
+                seeded_population(self.domain, &self.start, cfg, strategy, *fraction, &mut rng)
+            }
+            None => init_population(&mut rng, cfg),
+        };
+
+        let mut best: Option<Evaluated<D::State>> = None;
+        let mut history = Vec::with_capacity(cfg.generations_per_phase as usize);
+        let mut first_solution_gen = None;
+        let mut generations_executed = 0;
+
+        for gen in 0..cfg.generations_per_phase {
+            // (i) evaluate each individual
+            let evaluated = evaluate_all(self.domain, &self.start, genomes, cfg);
+            generations_executed = gen + 1;
+
+            let stats = GenStats::from_population(gen, &evaluated);
+            if stats.solvers > 0 && first_solution_gen.is_none() {
+                first_solution_gen = Some(gen);
+            }
+            history.push(stats);
+
+            // track best-ever across the phase
+            if let Some(gen_best) = evaluated.iter().max_by(|a, b| {
+                (a.fitness.goal, a.fitness.total)
+                    .partial_cmp(&(b.fitness.goal, b.fitness.total))
+                    .expect("fitness values are never NaN")
+            }) {
+                if best.as_ref().is_none_or(|b| better(gen_best, b)) {
+                    best = Some(gen_best.clone());
+                }
+            }
+
+            let stop_early = cfg.early_stop_on_solution && best.as_ref().is_some_and(|b| b.solves());
+            if stop_early || gen + 1 == cfg.generations_per_phase {
+                break;
+            }
+
+            // (ii) select individuals for the next generation
+            let fitnesses: Vec<f64> = evaluated.iter().map(|e| e.fitness.total).collect();
+            let parents: Vec<usize> = (0..cfg.population_size)
+                .map(|_| select_parent(&mut rng, &fitnesses, cfg.selection))
+                .collect();
+
+            // (iii) crossover and mutation; children replace their parents
+            let mut next = Vec::with_capacity(cfg.population_size);
+            let mut i = 0;
+            while i + 1 < parents.len() {
+                let (pa, pb) = (&evaluated[parents[i]], &evaluated[parents[i + 1]]);
+                if rng.gen::<f64>() < cfg.crossover_rate {
+                    match crossover(&mut rng, cfg.crossover, pa, pb, cfg.max_len) {
+                        CrossoverOutcome::Children(c1, c2) => {
+                            next.push(c1);
+                            next.push(c2);
+                        }
+                        CrossoverOutcome::Unchanged => {
+                            // state-aware found no matching cut: "both
+                            // parents are included in the population of the
+                            // next generation"
+                            next.push(pa.genome.clone());
+                            next.push(pb.genome.clone());
+                        }
+                    }
+                } else {
+                    next.push(pa.genome.clone());
+                    next.push(pb.genome.clone());
+                }
+                i += 2;
+            }
+            if i < parents.len() {
+                next.push(evaluated[parents[i]].genome.clone());
+            }
+            for genome in &mut next {
+                mutate(&mut rng, genome, cfg.mutation_rate);
+                length_mutate(&mut rng, genome, cfg.length_mutation_rate, cfg.max_len);
+            }
+
+            // elitism: the best `elitism` individuals survive unchanged,
+            // overwriting the tail of the offspring pool
+            if cfg.elitism > 0 {
+                let mut order: Vec<usize> = (0..evaluated.len()).collect();
+                order.sort_by(|&a, &b| {
+                    evaluated[b]
+                        .fitness
+                        .total
+                        .partial_cmp(&evaluated[a].fitness.total)
+                        .expect("fitness values are never NaN")
+                });
+                let n = next.len();
+                for (slot, &idx) in order.iter().take(cfg.elitism.min(n)).enumerate() {
+                    next[n - 1 - slot] = evaluated[idx].genome.clone();
+                }
+            }
+
+            // (iv) replace old with new population
+            genomes = next;
+        }
+
+        PhaseResult {
+            best: best.expect("at least one generation was evaluated"),
+            history,
+            generations_executed,
+            first_solution_gen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CrossoverKind, SelectionScheme};
+    use gaplan_core::strips::{StripsBuilder, StripsProblem};
+    use gaplan_core::{DomainExt, Plan};
+
+    /// Linear chain domain of length n with a distractor "undo" op at each
+    /// step; goal-fitness graded by progress.
+    fn chain(n: usize) -> StripsProblem {
+        let mut b = StripsBuilder::new();
+        for i in 0..=n {
+            b.condition(&format!("s{i}")).unwrap();
+        }
+        for i in 0..n {
+            b.op(&format!("fwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
+                .unwrap();
+        }
+        for i in 1..=n {
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
+                .unwrap();
+        }
+        b.init(&["s0"]).unwrap();
+        b.goal(&[&format!("s{n}")]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg() -> GaConfig {
+        GaConfig {
+            population_size: 40,
+            generations_per_phase: 60,
+            initial_len: 10,
+            max_len: 24,
+            seed: 7,
+            parallel: false,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn phase_solves_small_chain() {
+        let d = chain(6);
+        let r = Phase::new(&d, cfg()).run();
+        assert!(r.best.solves(), "best goal fitness = {}", r.best.fitness.goal);
+        assert!(r.first_solution_gen.is_some());
+        // the decoded best must replay as a valid plan that solves
+        let plan = Plan::from_ops(r.best.ops.clone());
+        let out = plan.simulate(&d, &d.initial_state()).unwrap();
+        assert!(out.solves);
+    }
+
+    #[test]
+    fn early_stop_shortens_run() {
+        let d = chain(4);
+        let mut c = cfg();
+        c.early_stop_on_solution = true;
+        let r = Phase::new(&d, c).run();
+        assert!(r.best.solves());
+        assert!(r.generations_executed < 60, "executed {}", r.generations_executed);
+        assert_eq!(r.history.len() as u32, r.generations_executed);
+    }
+
+    #[test]
+    fn run_is_deterministic_for_fixed_seed() {
+        let d = chain(5);
+        let a = Phase::new(&d, cfg()).run();
+        let b = Phase::new(&d, cfg()).run();
+        assert_eq!(a.best.genome, b.best.genome);
+        assert_eq!(a.best.fitness.total, b.best.fitness.total);
+        assert_eq!(a.generations_executed, b.generations_executed);
+        assert_eq!(a.first_solution_gen, b.first_solution_gen);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = chain(5);
+        let mut c2 = cfg();
+        c2.seed = 8;
+        let a = Phase::new(&d, cfg()).run();
+        let b = Phase::new(&d, c2).run();
+        // overwhelmingly likely the runs diverge
+        assert!(a.best.genome != b.best.genome || a.first_solution_gen != b.first_solution_gen);
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_in_history() {
+        let d = chain(8);
+        let r = Phase::new(&d, cfg()).run();
+        let mut peak = f64::NEG_INFINITY;
+        for s in &r.history {
+            peak = peak.max(s.best_goal);
+        }
+        assert_eq!(peak, r.best.fitness.goal);
+    }
+
+    #[test]
+    fn all_crossover_kinds_run_and_respect_max_len() {
+        let d = chain(5);
+        for kind in [
+            CrossoverKind::Random,
+            CrossoverKind::StateAware,
+            CrossoverKind::Mixed,
+            CrossoverKind::TwoPoint,
+        ] {
+            let mut c = cfg();
+            c.crossover = kind;
+            c.generations_per_phase = 20;
+            let r = Phase::new(&d, c).run();
+            assert!(r.best.genome.len() <= 24, "{kind:?} overflowed MaxLen");
+        }
+    }
+
+    #[test]
+    fn alternative_selection_schemes_run() {
+        let d = chain(4);
+        for sel in [SelectionScheme::Roulette, SelectionScheme::Rank, SelectionScheme::Tournament(4)] {
+            let mut c = cfg();
+            c.selection = sel;
+            c.generations_per_phase = 30;
+            let r = Phase::new(&d, c).run();
+            assert!(r.best.fitness.goal > 0.0);
+        }
+    }
+
+    #[test]
+    fn with_start_searches_from_given_state() {
+        let d = chain(6);
+        // start two steps in
+        let mut s = d.initial_state();
+        for _ in 0..2 {
+            let ops = d.valid_ops_vec(&s);
+            let fwd = ops
+                .iter()
+                .copied()
+                .find(|&o| d.op_name(o).starts_with("fwd"))
+                .unwrap();
+            s = d.apply(&s, fwd);
+        }
+        let r = Phase::with_start(&d, cfg(), s.clone(), 3).run();
+        // plan must replay validly from the custom start
+        let plan = Plan::from_ops(r.best.ops.clone());
+        plan.simulate(&d, &s).unwrap();
+    }
+
+    #[test]
+    fn odd_population_size_is_handled() {
+        let d = chain(3);
+        let mut c = cfg();
+        c.population_size = 31;
+        let r = Phase::new(&d, c).run();
+        assert!(r.best.fitness.goal > 0.0);
+    }
+
+    #[test]
+    fn elitism_makes_population_best_monotone() {
+        let d = chain(8);
+        let mut c = cfg();
+        c.elitism = 1;
+        c.generations_per_phase = 40;
+        let r = Phase::new(&d, c).run();
+        // with one elite surviving every generation, the population's best
+        // total fitness never decreases
+        for w in r.history.windows(2) {
+            assert!(
+                w[1].best_total >= w[0].best_total - 1e-9,
+                "best regressed: {} -> {}",
+                w[0].best_total,
+                w[1].best_total
+            );
+        }
+    }
+
+    #[test]
+    fn without_elitism_best_can_regress() {
+        // stochastic property: across a handful of seeds, strict
+        // generational replacement loses its best individual at least once
+        let d = chain(8);
+        let regressed = (0..5).any(|seed| {
+            let mut c = cfg();
+            c.elitism = 0;
+            c.generations_per_phase = 60;
+            c.seed = 100 + seed;
+            let r = Phase::new(&d, c).run();
+            r.history
+                .windows(2)
+                .any(|w| w[1].best_total < w[0].best_total - 1e-9)
+        });
+        assert!(regressed, "no regression across 5 seeds - elitism would be redundant");
+    }
+
+    #[test]
+    fn seeded_phase_uses_heuristic_individuals() {
+        use crate::seeding::SeedStrategy;
+        let d = chain(8);
+        let mut c = cfg();
+        c.generations_per_phase = 5;
+        let seeded = Phase::new(&d, c.clone()).with_seeder(SeedStrategy::GreedyWalk, 0.5).run();
+        let unseeded = Phase::new(&d, c).run();
+        // greedy seeds give the seeded phase a head start on this graded chain
+        assert!(
+            seeded.history[0].best_goal >= unseeded.history[0].best_goal,
+            "seeded gen-0 best {} < unseeded {}",
+            seeded.history[0].best_goal,
+            unseeded.history[0].best_goal
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GaConfig")]
+    fn invalid_config_panics() {
+        let d = chain(3);
+        let mut c = cfg();
+        c.crossover_rate = 2.0;
+        Phase::new(&d, c).run();
+    }
+}

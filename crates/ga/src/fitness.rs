@@ -1,0 +1,148 @@
+//! Fitness evaluation (paper §3.3, Eq. 1–4).
+//!
+//! With indirect encoding the match fitness is identically 1 (every decoded
+//! operation is valid), so — exactly as the paper does — the total drops the
+//! match term and combines only goal and cost fitness:
+//! `F = w_goal·F_goal + w_cost·F_cost` (Eq. 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CostFitnessMode, FitnessWeights};
+
+/// The three figures of merit plus the weighted total.
+///
+/// `max_len` is the normalizer for [`CostFitnessMode::LinearLength`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fitness {
+    /// `F_match` (Eq. 1). Always 1.0 under indirect encoding; kept so
+    /// reports can show the invariant explicitly.
+    pub match_: f64,
+    /// `F_goal`: domain-specific goal proximity in `[0, 1]`.
+    pub goal: f64,
+    /// `F_cost` (Eq. 2 or the general-cost analogue).
+    pub cost: f64,
+    /// `F = w_goal·F_goal + w_cost·F_cost` (Eq. 4).
+    pub total: f64,
+}
+
+impl Fitness {
+    /// Compute fitness for a decoded plan of `len` operations with total
+    /// operation cost `cost_sum` whose final state has goal fitness `goal`.
+    /// `max_len` is the `MaxLen` bound used by the linear cost fitness.
+    pub fn compute(
+        goal: f64,
+        len: usize,
+        cost_sum: f64,
+        w: FitnessWeights,
+        mode: CostFitnessMode,
+        max_len: usize,
+    ) -> Fitness {
+        let cost = match mode {
+            CostFitnessMode::LinearLength => (1.0 - len as f64 / max_len.max(1) as f64).clamp(0.0, 1.0),
+            // reciprocal reading of Eq. 2: 1 / number of operations
+            CostFitnessMode::InverseLength => {
+                if len == 0 {
+                    1.0
+                } else {
+                    1.0 / len as f64
+                }
+            }
+            CostFitnessMode::InverseCost => 1.0 / (1.0 + cost_sum.max(0.0)),
+            CostFitnessMode::Zero => 0.0,
+        };
+        Fitness {
+            match_: 1.0,
+            goal,
+            cost,
+            total: w.goal * goal + w.cost * cost,
+        }
+    }
+
+    /// Is this a valid solution in the paper's sense (final state satisfies
+    /// the goal)? Uses a tolerance because `F_goal` may be computed from
+    /// floating-point ratios.
+    pub fn solves(&self) -> bool {
+        self.goal >= 1.0 - 1e-12
+    }
+}
+
+impl Default for Fitness {
+    fn default() -> Self {
+        Fitness {
+            match_: 1.0,
+            goal: 0.0,
+            cost: 0.0,
+            total: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: FitnessWeights = FitnessWeights { goal: 0.9, cost: 0.1 };
+
+    #[test]
+    fn linear_length_mode() {
+        let f = Fitness::compute(0.5, 29, 29.0, W, CostFitnessMode::LinearLength, 145);
+        assert!((f.cost - (1.0 - 29.0 / 145.0)).abs() < 1e-12);
+        // empty plan bonus is bounded: it cannot beat a one-move goal gain
+        let empty = Fitness::compute(0.875, 0, 0.0, W, CostFitnessMode::LinearLength, 145);
+        let progress = Fitness::compute(0.9375, 20, 20.0, W, CostFitnessMode::LinearLength, 145);
+        assert!(progress.total > empty.total, "no empty-plan attractor");
+        // overflow past max_len clamps to zero
+        let over = Fitness::compute(0.5, 200, 200.0, W, CostFitnessMode::LinearLength, 145);
+        assert_eq!(over.cost, 0.0);
+    }
+
+    #[test]
+    fn inverse_length_matches_reciprocal_eq2() {
+        let f = Fitness::compute(0.5, 10, 10.0, W, CostFitnessMode::InverseLength, 100);
+        assert!((f.cost - 0.1).abs() < 1e-12);
+        assert!((f.total - (0.9 * 0.5 + 0.1 * 0.1)).abs() < 1e-12);
+        assert_eq!(f.match_, 1.0);
+    }
+
+    #[test]
+    fn empty_plan_cost_fitness_is_one() {
+        let f = Fitness::compute(0.0, 0, 0.0, W, CostFitnessMode::InverseLength, 100);
+        assert_eq!(f.cost, 1.0);
+        assert!((f.total - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_cost_mode_handles_general_costs() {
+        let f = Fitness::compute(1.0, 3, 9.0, W, CostFitnessMode::InverseCost, 100);
+        assert!((f.cost - 0.1).abs() < 1e-12);
+        assert!(f.solves());
+    }
+
+    #[test]
+    fn zero_mode_ignores_cost() {
+        let f = Fitness::compute(0.7, 100, 100.0, W, CostFitnessMode::Zero, 100);
+        assert_eq!(f.cost, 0.0);
+        assert!((f.total - 0.63).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_solutions_score_higher() {
+        let a = Fitness::compute(1.0, 31, 31.0, W, CostFitnessMode::LinearLength, 155);
+        let b = Fitness::compute(1.0, 70, 70.0, W, CostFitnessMode::LinearLength, 155);
+        assert!(a.total > b.total);
+    }
+
+    #[test]
+    fn goal_dominates_cost_with_paper_weights() {
+        // an unsolved but short plan must not outrank a solved long one
+        let short_bad = Fitness::compute(0.6, 1, 1.0, W, CostFitnessMode::LinearLength, 155);
+        let long_good = Fitness::compute(1.0, 1000, 1000.0, W, CostFitnessMode::LinearLength, 155);
+        assert!(long_good.total > short_bad.total);
+    }
+
+    #[test]
+    fn solves_requires_goal_fitness_one() {
+        assert!(!Fitness::compute(0.999, 1, 1.0, W, CostFitnessMode::InverseLength, 10).solves());
+        assert!(Fitness::compute(1.0, 1, 1.0, W, CostFitnessMode::InverseLength, 10).solves());
+    }
+}

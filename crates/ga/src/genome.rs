@@ -1,0 +1,137 @@
+//! Genomes: variable-length sequences of floating-point genes in `[0, 1)`
+//! (paper §3.1, indirect encoding).
+
+use rand::Rng;
+
+/// An individual's genetic code. Each gene is a float in `[0, 1)` that the
+/// decoder maps to a valid operation of the state reached at that locus.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Genome {
+    genes: Vec<f64>,
+}
+
+impl Genome {
+    /// An empty genome (decodes to the empty plan).
+    pub fn empty() -> Self {
+        Genome { genes: Vec::new() }
+    }
+
+    /// Build from raw genes. Panics in debug builds if any gene is outside
+    /// `[0, 1)` — the decode mapping is only defined on that interval.
+    pub fn from_genes(genes: Vec<f64>) -> Self {
+        debug_assert!(
+            genes.iter().all(|g| (0.0..1.0).contains(g)),
+            "genes must lie in [0, 1)"
+        );
+        Genome { genes }
+    }
+
+    /// A random genome of length `len` (paper §3.2: members of the initial
+    /// population are randomly generated).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        Genome {
+            genes: (0..len).map(|_| rng.gen::<f64>()).collect(),
+        }
+    }
+
+    /// The raw genes.
+    pub fn genes(&self) -> &[f64] {
+        &self.genes
+    }
+
+    /// Mutable access for the genetic operators.
+    pub fn genes_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.genes
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Is the genome empty?
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Truncate to at most `max_len` genes (enforces the paper's `MaxLen`).
+    pub fn truncate(&mut self, max_len: usize) {
+        self.genes.truncate(max_len);
+    }
+
+    /// One-point recombination helper: child = `self[..cut_a] ++
+    /// other[cut_b..]`, truncated to `max_len`.
+    pub fn splice(&self, cut_a: usize, other: &Genome, cut_b: usize, max_len: usize) -> Genome {
+        debug_assert!(cut_a <= self.len() && cut_b <= other.len());
+        let mut genes = Vec::with_capacity((cut_a + other.len() - cut_b).min(max_len));
+        genes.extend_from_slice(&self.genes[..cut_a]);
+        genes.extend_from_slice(&other.genes[cut_b..]);
+        genes.truncate(max_len);
+        Genome { genes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_genome_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Genome::random(&mut rng, 1000);
+        assert_eq!(g.len(), 1000);
+        assert!(g.genes().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = Genome::random(&mut StdRng::seed_from_u64(3), 64);
+        let b = Genome::random(&mut StdRng::seed_from_u64(3), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn splice_combines_prefix_and_suffix() {
+        let a = Genome::from_genes(vec![0.1, 0.2, 0.3]);
+        let b = Genome::from_genes(vec![0.7, 0.8, 0.9]);
+        let c = a.splice(2, &b, 1, 100);
+        assert_eq!(c.genes(), &[0.1, 0.2, 0.8, 0.9]);
+    }
+
+    #[test]
+    fn splice_respects_max_len() {
+        let a = Genome::from_genes(vec![0.1; 5]);
+        let b = Genome::from_genes(vec![0.9; 5]);
+        let c = a.splice(5, &b, 0, 6);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.genes()[5], 0.9);
+    }
+
+    #[test]
+    fn splice_edge_cuts() {
+        let a = Genome::from_genes(vec![0.1, 0.2]);
+        let b = Genome::from_genes(vec![0.8]);
+        // full swap: empty prefix + whole other
+        assert_eq!(a.splice(0, &b, 0, 10).genes(), &[0.8]);
+        // append nothing
+        assert_eq!(a.splice(2, &b, 1, 10).genes(), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn truncate_caps_length() {
+        let mut g = Genome::from_genes(vec![0.5; 10]);
+        g.truncate(4);
+        assert_eq!(g.len(), 4);
+        g.truncate(100); // no-op
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn empty_genome() {
+        let g = Genome::empty();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Evaluated individuals: genome + decode result + fitness.
+
+use gaplan_core::OpId;
+
+use crate::decode::Decoded;
+use crate::fitness::Fitness;
+use crate::genome::Genome;
+
+/// An individual together with everything evaluation produced. Keeping the
+/// decode metadata (ops, match keys, final state) around is what lets
+/// state-aware crossover run without re-decoding parents.
+#[derive(Debug, Clone)]
+pub struct Evaluated<S> {
+    /// The genetic code.
+    pub genome: Genome,
+    /// Decoded operations (all valid by construction of the encoding).
+    pub ops: Vec<OpId>,
+    /// Per-locus state match keys (`decoded_len + 1` entries).
+    pub match_keys: Vec<u64>,
+    /// State after executing the decoded plan.
+    pub final_state: S,
+    /// Number of genes decoded (≤ genome length).
+    pub decoded_len: usize,
+    /// Length of the prefix achieving the best goal fitness along the plan.
+    pub best_prefix_at: usize,
+    /// The state that prefix reaches.
+    pub best_prefix_state: S,
+    /// Fitness of the individual.
+    pub fitness: Fitness,
+}
+
+impl<S> Evaluated<S> {
+    /// Assemble from decode output and fitness.
+    pub fn new(genome: Genome, decoded: Decoded<S>, fitness: Fitness) -> Self {
+        Evaluated {
+            genome,
+            ops: decoded.ops,
+            match_keys: decoded.match_keys,
+            final_state: decoded.final_state,
+            decoded_len: decoded.decoded_len,
+            best_prefix_at: decoded.best_prefix_at,
+            best_prefix_state: decoded.best_prefix_state,
+            fitness,
+        }
+    }
+
+    /// Does this individual encode a valid solution (paper: final state
+    /// satisfies the goal)?
+    pub fn solves(&self) -> bool {
+        self.fitness.solves()
+    }
+
+    /// Length of the decoded plan.
+    pub fn plan_len(&self) -> usize {
+        self.ops.len()
+    }
+}

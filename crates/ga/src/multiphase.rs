@@ -1,0 +1,315 @@
+//! The multi-phase GA (paper §3.5): the search is divided into serially
+//! independent GA runs. Phase 1 starts from the initial state; each later
+//! phase starts from the final state of the previous phase's best solution;
+//! the final plan is the concatenation of per-phase bests. The search ends
+//! when a phase produces a valid solution or after `max_phases` phases.
+
+use gaplan_core::{Domain, Plan};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{GaConfig, GoalEval};
+use crate::engine::{Phase, PhaseResult};
+use crate::seeding::SeedStrategy;
+use crate::stats::GenStats;
+
+/// Compact per-phase summary kept in the multi-phase result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// 1-based phase number.
+    pub phase: u32,
+    /// Goal fitness of the phase's best individual (evaluated at the end of
+    /// the concatenated plan so far).
+    pub best_goal_fitness: f64,
+    /// Total fitness of the phase's best individual.
+    pub best_total_fitness: f64,
+    /// Decoded plan length contributed by this phase.
+    pub plan_len: usize,
+    /// Generations evolved in this phase.
+    pub generations: u32,
+    /// First generation of this phase at which an individual solved.
+    pub first_solution_gen: Option<u32>,
+}
+
+/// The result of a multi-phase GA run.
+#[derive(Debug, Clone)]
+pub struct MultiPhaseResult<S> {
+    /// The concatenated plan (paper §3.5 step 3).
+    pub plan: Plan,
+    /// Final state after executing the concatenated plan.
+    pub final_state: S,
+    /// Goal fitness of the final state.
+    pub goal_fitness: f64,
+    /// Did the run find a valid solution?
+    pub solved: bool,
+    /// 1-based phase in which the solution was found, if any (the paper's
+    /// Table 5 statistic).
+    pub solved_in_phase: Option<u32>,
+    /// Per-phase summaries.
+    pub phases: Vec<PhaseSummary>,
+    /// Full per-generation history, concatenated across phases.
+    pub history: Vec<GenStats>,
+    /// Total generations evolved across all phases.
+    pub total_generations: u32,
+    /// Generations executed up to and including the solving phase; equals
+    /// `total_generations` when unsolved. This is the paper's "number of
+    /// generations to find a solution" column.
+    pub generations_to_solution: u32,
+    /// Cumulative generation index (across phases) at which *some*
+    /// individual first solved, if any — finer-grained than the paper's
+    /// phase-resolution statistic.
+    pub first_solution_gen: Option<u32>,
+}
+
+/// Driver for the multi-phase GA.
+pub struct MultiPhase<'d, D: Domain> {
+    domain: &'d D,
+    cfg: GaConfig,
+    seeder: Option<(SeedStrategy, f64)>,
+}
+
+impl<'d, D: Domain> MultiPhase<'d, D> {
+    /// Create a driver. Use `cfg.max_phases = 1` (or
+    /// [`GaConfig::single_phase`]) for the paper's single-phase baseline.
+    pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
+        MultiPhase {
+            domain,
+            cfg,
+            seeder: None,
+        }
+    }
+
+    /// Seed a fraction of every phase's initial population (see
+    /// [`crate::seeding`]). Plan seeds apply to phase 1 only (later phases
+    /// start from different states, where the plans rarely re-encode);
+    /// walk-based strategies reseed from each phase's start state.
+    pub fn with_seeder(mut self, strategy: SeedStrategy, fraction: f64) -> Self {
+        self.seeder = Some((strategy, fraction));
+        self
+    }
+
+    /// Run up to `max_phases` phases and assemble the concatenated solution.
+    pub fn run(&self) -> MultiPhaseResult<D::State> {
+        self.cfg.validate().expect("invalid GaConfig");
+        let mut plan = Plan::new();
+        let mut state = self.domain.initial_state();
+        let mut phases = Vec::new();
+        let mut history = Vec::new();
+        let mut total_generations = 0;
+        let mut solved_in_phase = None;
+        let mut generations_to_solution = 0;
+        let mut first_solution_gen = None;
+
+        for p in 0..self.cfg.max_phases {
+            let PhaseResult {
+                best,
+                history: phase_history,
+                generations_executed,
+                first_solution_gen: phase_first_solution,
+            } = {
+                let mut phase = Phase::with_start(self.domain, self.cfg.clone(), state.clone(), p);
+                if let Some((strategy, fraction)) = &self.seeder {
+                    let applies = match strategy {
+                        SeedStrategy::Plans(_) => p == 0,
+                        _ => true,
+                    };
+                    if applies {
+                        phase = phase.with_seeder(strategy.clone(), *fraction);
+                    }
+                }
+                phase.run()
+            };
+
+            if first_solution_gen.is_none() {
+                if let Some(g) = phase_first_solution {
+                    first_solution_gen = Some(total_generations + g);
+                }
+            }
+            total_generations += generations_executed;
+            history.extend(phase_history);
+            phases.push(PhaseSummary {
+                phase: p + 1,
+                best_goal_fitness: best.fitness.goal,
+                best_total_fitness: best.fitness.total,
+                plan_len: match self.cfg.goal_eval {
+                    GoalEval::FinalState => best.ops.len(),
+                    GoalEval::BestPrefix => best.best_prefix_at,
+                },
+                generations: generations_executed,
+                first_solution_gen: phase_first_solution,
+            });
+
+            // keep the best solution of the phase and continue from its
+            // final state (§3.5 step 2c). Under BestPrefix goal evaluation
+            // the "solution" is the prefix achieving the best goal fitness,
+            // so chaining continues from that prefix's state.
+            match self.cfg.goal_eval {
+                GoalEval::FinalState => {
+                    plan.extend_from(&Plan::from_ops(best.ops.clone()));
+                    state = best.final_state.clone();
+                }
+                GoalEval::BestPrefix => {
+                    plan.extend_from(&Plan::from_ops(best.ops[..best.best_prefix_at].to_vec()));
+                    state = best.best_prefix_state.clone();
+                }
+            }
+
+            if best.solves() {
+                solved_in_phase = Some(p + 1);
+                generations_to_solution = total_generations;
+                break;
+            }
+        }
+
+        if solved_in_phase.is_none() {
+            generations_to_solution = total_generations;
+        }
+        let goal_fitness = self.domain.goal_fitness(&state);
+        MultiPhaseResult {
+            solved: solved_in_phase.is_some(),
+            solved_in_phase,
+            plan,
+            final_state: state,
+            goal_fitness,
+            phases,
+            history,
+            total_generations,
+            generations_to_solution,
+            first_solution_gen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::strips::{StripsBuilder, StripsProblem};
+
+    /// Bidirectional chain with permanent `reached-i` markers so the goal
+    /// fitness is graded (a single-condition goal would give the GA no
+    /// gradient at all).
+    fn chain(n: usize) -> StripsProblem {
+        let mut b = StripsBuilder::new();
+        for i in 0..=n {
+            b.condition(&format!("s{i}")).unwrap();
+        }
+        for i in 1..=n {
+            b.condition(&format!("reached{i}")).unwrap();
+        }
+        for i in 0..n {
+            b.op(
+                &format!("fwd{i}"),
+                &[&format!("s{i}")],
+                &[&format!("s{}", i + 1), &format!("reached{}", i + 1)],
+                &[&format!("s{i}")],
+                1.0,
+            )
+            .unwrap();
+        }
+        for i in 1..=n {
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
+                .unwrap();
+        }
+        b.init(&["s0"]).unwrap();
+        let goal: Vec<String> = (1..=n).map(|i| format!("reached{i}")).collect();
+        let goal_refs: Vec<&str> = goal.iter().map(String::as_str).collect();
+        b.goal(&goal_refs).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg() -> GaConfig {
+        GaConfig {
+            population_size: 30,
+            generations_per_phase: 25,
+            max_phases: 4,
+            initial_len: 6,
+            max_len: 12,
+            seed: 21,
+            parallel: false,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn multiphase_solves_and_concatenated_plan_replays() {
+        let d = chain(8); // long enough that later phases usually contribute
+        let mut c = cfg();
+        c.population_size = 50;
+        c.generations_per_phase = 60;
+        let r = MultiPhase::new(&d, c).run();
+        assert!(r.solved, "goal fitness reached {}", r.goal_fitness);
+        let out = r.plan.simulate(&d, &d.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.final_state, r.final_state);
+        assert_eq!(r.goal_fitness, 1.0);
+    }
+
+    #[test]
+    fn phases_chain_states() {
+        let d = chain(10);
+        let r = MultiPhase::new(&d, cfg()).run();
+        // total plan length equals the sum of per-phase contributions
+        let total: usize = r.phases.iter().map(|p| p.plan_len).sum();
+        assert_eq!(total, r.plan.len());
+        // goal fitness is non-decreasing across phases (each phase keeps
+        // its best-by-goal individual, and an empty plan preserves state)
+        for w in r.phases.windows(2) {
+            assert!(
+                w[1].best_goal_fitness >= w[0].best_goal_fitness - 1e-9,
+                "phase fitness regressed: {:?}",
+                r.phases
+            );
+        }
+    }
+
+    #[test]
+    fn stops_after_solving_phase() {
+        let d = chain(4); // easy: solved in phase 1
+        let r = MultiPhase::new(&d, cfg()).run();
+        assert_eq!(r.solved_in_phase, Some(1));
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.total_generations, 25);
+        assert_eq!(r.generations_to_solution, 25);
+    }
+
+    #[test]
+    fn unsolved_run_reports_full_budget() {
+        let d = chain(60); // impossible within 4 phases * max_len 12
+        let r = MultiPhase::new(&d, cfg()).run();
+        assert!(!r.solved);
+        assert_eq!(r.solved_in_phase, None);
+        assert_eq!(r.phases.len(), 4);
+        assert_eq!(r.total_generations, 100);
+        assert_eq!(r.generations_to_solution, 100);
+        assert!(r.goal_fitness < 1.0);
+    }
+
+    #[test]
+    fn single_phase_preset_runs_one_phase() {
+        let d = chain(5);
+        let mut c = cfg().single_phase();
+        c.generations_per_phase = 40; // keep the test fast
+        let r = MultiPhase::new(&d, c).run();
+        assert_eq!(r.phases.len(), 1);
+        // early stop: executed generations < budget when solved quickly
+        if r.solved {
+            assert!(r.total_generations <= 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = chain(8);
+        let a = MultiPhase::new(&d, cfg()).run();
+        let b = MultiPhase::new(&d, cfg()).run();
+        assert_eq!(a.plan.ops(), b.plan.ops());
+        assert_eq!(a.solved_in_phase, b.solved_in_phase);
+        assert_eq!(a.total_generations, b.total_generations);
+    }
+
+    #[test]
+    fn history_spans_all_phases() {
+        let d = chain(60);
+        let r = MultiPhase::new(&d, cfg()).run();
+        assert_eq!(r.history.len() as u32, r.total_generations);
+    }
+}

@@ -1,0 +1,116 @@
+//! Mutation (paper §3.4.3): "Every gene has equal probability of being
+//! mutated. In every mutation, a new randomly generated floating point
+//! number replaces the old one." Plus an optional insertion/deletion length
+//! mutation as an extension (disabled by default).
+
+use rand::Rng;
+
+use crate::genome::Genome;
+
+/// Apply per-gene replacement mutation with probability `rate` per gene.
+pub fn mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64) {
+    if rate <= 0.0 {
+        return;
+    }
+    for g in genome.genes_mut() {
+        if rng.gen::<f64>() < rate {
+            *g = rng.gen::<f64>();
+        }
+    }
+}
+
+/// Extension: with probability `rate`, insert a random gene at a random
+/// locus or delete a random gene (50/50), respecting `max_len` and never
+/// deleting the last gene of a single-gene individual.
+pub fn length_mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64, max_len: usize) {
+    if rate <= 0.0 || rng.gen::<f64>() >= rate {
+        return;
+    }
+    let genes = genome.genes_mut();
+    let insert = genes.len() < max_len && (genes.len() <= 1 || rng.gen::<bool>());
+    if insert {
+        let at = rng.gen_range(0..=genes.len());
+        let v = rng.gen::<f64>();
+        genes.insert(at, v);
+    } else if genes.len() > 1 {
+        let at = rng.gen_range(0..genes.len());
+        genes.remove(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Genome::from_genes(vec![0.25; 100]);
+        mutate(&mut rng, &mut g, 0.0);
+        assert!(g.genes().iter().all(|&x| x == 0.25));
+    }
+
+    #[test]
+    fn rate_one_replaces_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Genome::from_genes(vec![0.25; 100]);
+        mutate(&mut rng, &mut g, 1.0);
+        // probability of any survivor is (1/2^52)-ish
+        assert!(g.genes().iter().all(|&x| x != 0.25));
+        assert!(g.genes().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn mutation_rate_is_respected_statistically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut changed = 0usize;
+        const N: usize = 100_000;
+        let mut g = Genome::from_genes(vec![0.25; N]);
+        mutate(&mut rng, &mut g, 0.01);
+        for &x in g.genes() {
+            if x != 0.25 {
+                changed += 1;
+            }
+        }
+        // expect ~1000; loose 5-sigma bounds
+        assert!((800..1200).contains(&changed), "changed = {changed}");
+    }
+
+    #[test]
+    fn mutation_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = Genome::from_genes(vec![0.5; 37]);
+        mutate(&mut rng, &mut g, 0.5);
+        assert_eq!(g.len(), 37);
+    }
+
+    #[test]
+    fn length_mutation_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = Genome::from_genes(vec![0.5; 4]);
+        for _ in 0..1000 {
+            length_mutate(&mut rng, &mut g, 1.0, 6);
+            assert!((1..=6).contains(&g.len()), "len = {}", g.len());
+        }
+    }
+
+    #[test]
+    fn length_mutation_never_empties_genome() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut g = Genome::from_genes(vec![0.5]);
+        for _ in 0..100 {
+            length_mutate(&mut rng, &mut g, 1.0, 1);
+            assert!(!g.is_empty());
+        }
+    }
+
+    #[test]
+    fn length_mutation_zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = Genome::from_genes(vec![0.5; 3]);
+        length_mutate(&mut rng, &mut g, 0.0, 10);
+        assert_eq!(g.len(), 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Population initialization and (optionally parallel) evaluation.
+
+use gaplan_core::Domain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::config::GaConfig;
+use crate::decode::Decoder;
+use crate::genome::Genome;
+use crate::individual::Evaluated;
+
+/// Generate the random initial population (paper §3.2): uniform random
+/// genes, lengths drawn uniformly from the spread interval around
+/// `cfg.initial_len` (see `GaConfig::initial_len_spread` for why a spread
+/// is essential).
+pub fn init_population<R: Rng + ?Sized>(rng: &mut R, cfg: &GaConfig) -> Vec<Genome> {
+    let nominal = cfg.initial_len as f64;
+    let lo = ((nominal * (1.0 - cfg.initial_len_spread)).floor() as usize).max(1);
+    let hi = ((nominal * (1.0 + cfg.initial_len_spread)).ceil() as usize)
+        .min(cfg.max_len)
+        .max(lo);
+    (0..cfg.population_size)
+        .map(|_| {
+            let len = rng.gen_range(lo..=hi);
+            Genome::random(rng, len)
+        })
+        .collect()
+}
+
+/// Evaluate a set of genomes from `start`, producing [`Evaluated`]
+/// individuals in the same order.
+///
+/// Evaluation is a pure function of each genome, so the parallel path
+/// (rayon, one [`Decoder`] per worker via `map_init`) is bitwise-identical
+/// to the sequential path — parallelism changes wall-clock, never results.
+pub fn evaluate_all<D: Domain>(domain: &D, start: &D::State, genomes: Vec<Genome>, cfg: &GaConfig) -> Vec<Evaluated<D::State>> {
+    if cfg.parallel {
+        genomes
+            .into_par_iter()
+            .map_init(Decoder::new, |dec, genome| {
+                let (decoded, fitness) = dec.evaluate(domain, start, &genome, cfg);
+                Evaluated::new(genome, decoded, fitness)
+            })
+            .collect()
+    } else {
+        let mut dec = Decoder::new();
+        genomes
+            .into_iter()
+            .map(|genome| {
+                let (decoded, fitness) = dec.evaluate(domain, start, &genome, cfg);
+                Evaluated::new(genome, decoded, fitness)
+            })
+            .collect()
+    }
+}
+
+/// Deterministic RNG for a phase, derived from the config seed and phase
+/// index.
+pub fn phase_rng(cfg: &GaConfig, phase: u32) -> StdRng {
+    StdRng::seed_from_u64(crate::rng::derive_seed(cfg.seed, u64::from(phase)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::strips::{StripsBuilder, StripsProblem};
+
+    fn chain(n: usize) -> StripsProblem {
+        let mut b = StripsBuilder::new();
+        for i in 0..=n {
+            b.condition(&format!("s{i}")).unwrap();
+        }
+        for i in 0..n {
+            b.op(&format!("step{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
+                .unwrap();
+        }
+        b.init(&["s0"]).unwrap();
+        b.goal(&[&format!("s{n}")]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn small_cfg() -> GaConfig {
+        GaConfig {
+            population_size: 30,
+            initial_len: 8,
+            max_len: 16,
+            seed: 99,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn init_population_lengths_follow_spread() {
+        let cfg = small_cfg(); // initial_len 8, spread 0.5 -> lengths in [4, 12]
+        let mut rng = phase_rng(&cfg, 0);
+        let pop = init_population(&mut rng, &cfg);
+        assert_eq!(pop.len(), 30);
+        assert!(pop.iter().all(|g| (4..=12).contains(&g.len())), "lengths out of range");
+        // both parities must be present (the tile-puzzle parity trap)
+        assert!(pop.iter().any(|g| g.len() % 2 == 0));
+        assert!(pop.iter().any(|g| g.len() % 2 == 1));
+        // not all identical
+        assert!(pop.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn zero_spread_gives_fixed_lengths() {
+        let mut cfg = small_cfg();
+        cfg.initial_len_spread = 0.0;
+        let mut rng = phase_rng(&cfg, 0);
+        let pop = init_population(&mut rng, &cfg);
+        assert!(pop.iter().all(|g| g.len() == 8));
+    }
+
+    #[test]
+    fn spread_respects_max_len() {
+        let mut cfg = small_cfg();
+        cfg.initial_len = 16;
+        cfg.max_len = 16; // upper end of the spread would be 24
+        let mut rng = phase_rng(&cfg, 0);
+        let pop = init_population(&mut rng, &cfg);
+        assert!(pop.iter().all(|g| g.len() <= 16));
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree() {
+        let d = chain(6);
+        let mut cfg = small_cfg();
+        let mut rng = phase_rng(&cfg, 0);
+        let pop = init_population(&mut rng, &cfg);
+
+        cfg.parallel = true;
+        let par = evaluate_all(&d, &d.initial_state(), pop.clone(), &cfg);
+        cfg.parallel = false;
+        let seq = evaluate_all(&d, &d.initial_state(), pop, &cfg);
+
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.genome, s.genome);
+            assert_eq!(p.ops, s.ops);
+            assert_eq!(p.fitness.total, s.fitness.total);
+            assert_eq!(p.final_state, s.final_state);
+        }
+    }
+
+    #[test]
+    fn evaluation_preserves_order() {
+        let d = chain(3);
+        let cfg = small_cfg();
+        let genomes = vec![
+            Genome::from_genes(vec![0.1]),
+            Genome::from_genes(vec![0.2, 0.3]),
+            Genome::from_genes(vec![]),
+        ];
+        let evald = evaluate_all(&d, &d.initial_state(), genomes.clone(), &cfg);
+        for (g, e) in genomes.iter().zip(&evald) {
+            assert_eq!(g, &e.genome);
+        }
+    }
+
+    #[test]
+    fn phase_rng_streams_are_independent() {
+        let cfg = small_cfg();
+        let a: Vec<u64> = {
+            let mut r = phase_rng(&cfg, 0);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = phase_rng(&cfg, 1);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        assert_ne!(a, b);
+        let a2: Vec<u64> = {
+            let mut r = phase_rng(&cfg, 0);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Run reports and aggregation: the statistics the paper's Tables 2, 4 and
+//! 5 are built from ("we performed ten runs … and picked the individual with
+//! the highest goal fitness in each run. Then we averaged the fitness and
+//! the length of these individuals").
+
+use serde::{Deserialize, Serialize};
+
+use crate::multiphase::MultiPhaseResult;
+
+/// One GA run's reportable outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Goal fitness of the run's best (concatenated) solution.
+    pub goal_fitness: f64,
+    /// Length of the best solution.
+    pub plan_len: usize,
+    /// Did the run find a valid solution?
+    pub solved: bool,
+    /// 1-based phase in which the solution was found (Table 5).
+    pub solved_in_phase: Option<u32>,
+    /// Generations executed until the solution was found, or the full
+    /// budget when unsolved (Table 2's generations column).
+    pub generations: u32,
+    /// Cumulative generation at which an individual first solved, if any.
+    pub first_solution_gen: Option<u32>,
+    /// Wall-clock duration of the run in seconds (Table 4's time column).
+    pub seconds: f64,
+}
+
+impl RunReport {
+    /// Extract a report from a multi-phase result plus measured wall time.
+    pub fn from_result<S>(r: &MultiPhaseResult<S>, seconds: f64) -> RunReport {
+        RunReport {
+            goal_fitness: r.goal_fitness,
+            plan_len: r.plan.len(),
+            solved: r.solved,
+            solved_in_phase: r.solved_in_phase,
+            generations: r.generations_to_solution,
+            first_solution_gen: r.first_solution_gen,
+            seconds,
+        }
+    }
+}
+
+/// Aggregate statistics over a batch of runs — one table row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregateReport {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean goal fitness over the per-run best individuals.
+    pub avg_goal_fitness: f64,
+    /// Mean solution length.
+    pub avg_plan_len: f64,
+    /// Mean generations-to-solution (unsolved runs contribute their full
+    /// budget, matching the paper's Table 2 averages).
+    pub avg_generations: f64,
+    /// Number of runs that found a valid solution (Table 4's column).
+    pub solved_runs: usize,
+    /// Mean wall-clock seconds per run.
+    pub avg_seconds: f64,
+    /// Runs solved per phase: `solved_per_phase[p]` counts runs first
+    /// solved in phase `p+1` (Table 5).
+    pub solved_per_phase: Vec<usize>,
+    /// Mean cumulative generation of the first solution, over runs that
+    /// solved (None when no run solved).
+    pub avg_first_solution_gen: Option<f64>,
+    /// Population standard deviation of the per-run goal fitness.
+    pub std_goal_fitness: f64,
+    /// Population standard deviation of the per-run solution length.
+    pub std_plan_len: f64,
+}
+
+fn std_dev(values: impl Iterator<Item = f64> + Clone, mean: f64, n: f64) -> f64 {
+    (values.map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt()
+}
+
+/// Aggregate a batch of run reports. `max_phases` sizes the per-phase
+/// histogram. Panics on an empty batch.
+pub fn aggregate(reports: &[RunReport], max_phases: u32) -> AggregateReport {
+    assert!(!reports.is_empty(), "cannot aggregate zero runs");
+    let n = reports.len() as f64;
+    let mut solved_per_phase = vec![0usize; max_phases as usize];
+    for r in reports {
+        if let Some(p) = r.solved_in_phase {
+            let idx = (p as usize - 1).min(solved_per_phase.len().saturating_sub(1));
+            solved_per_phase[idx] += 1;
+        }
+    }
+    let first_gens: Vec<f64> = reports
+        .iter()
+        .filter_map(|r| r.first_solution_gen.map(f64::from))
+        .collect();
+    let avg_first_solution_gen = if first_gens.is_empty() {
+        None
+    } else {
+        Some(first_gens.iter().sum::<f64>() / first_gens.len() as f64)
+    };
+    let avg_goal_fitness = reports.iter().map(|r| r.goal_fitness).sum::<f64>() / n;
+    let avg_plan_len = reports.iter().map(|r| r.plan_len as f64).sum::<f64>() / n;
+    AggregateReport {
+        runs: reports.len(),
+        avg_goal_fitness,
+        avg_plan_len,
+        avg_generations: reports.iter().map(|r| f64::from(r.generations)).sum::<f64>() / n,
+        solved_runs: reports.iter().filter(|r| r.solved).count(),
+        avg_seconds: reports.iter().map(|r| r.seconds).sum::<f64>() / n,
+        solved_per_phase,
+        avg_first_solution_gen,
+        std_goal_fitness: std_dev(reports.iter().map(|r| r.goal_fitness), avg_goal_fitness, n),
+        std_plan_len: std_dev(reports.iter().map(|r| r.plan_len as f64), avg_plan_len, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(goal: f64, len: usize, phase: Option<u32>, gens: u32) -> RunReport {
+        RunReport {
+            goal_fitness: goal,
+            plan_len: len,
+            solved: phase.is_some(),
+            solved_in_phase: phase,
+            generations: gens,
+            first_solution_gen: phase.map(|_| gens.saturating_sub(1)),
+            seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let rs = vec![
+            report(1.0, 30, Some(1), 100),
+            report(1.0, 50, Some(2), 200),
+            report(0.5, 80, None, 500),
+        ];
+        let a = aggregate(&rs, 5);
+        assert_eq!(a.runs, 3);
+        assert!((a.avg_goal_fitness - (2.5 / 3.0)).abs() < 1e-12);
+        assert!((a.avg_plan_len - (160.0 / 3.0)).abs() < 1e-12);
+        assert!((a.avg_generations - (800.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(a.solved_runs, 2);
+        assert_eq!(a.solved_per_phase, vec![1, 1, 0, 0, 0]);
+        assert!((a.avg_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_deviations_are_computed() {
+        let rs = vec![
+            report(1.0, 10, Some(1), 100),
+            report(0.5, 30, None, 500),
+        ];
+        let a = aggregate(&rs, 5);
+        assert!((a.std_goal_fitness - 0.25).abs() < 1e-12);
+        assert!((a.std_plan_len - 10.0).abs() < 1e-12);
+        // single-run batches have zero dispersion
+        let single = aggregate(&rs[..1], 5);
+        assert_eq!(single.std_goal_fitness, 0.0);
+        assert_eq!(single.std_plan_len, 0.0);
+    }
+
+    #[test]
+    fn phase_histogram_clamps_overflow() {
+        let rs = vec![report(1.0, 10, Some(9), 100)];
+        let a = aggregate(&rs, 3);
+        assert_eq!(a.solved_per_phase, vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_batch_panics() {
+        aggregate(&[], 5);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let r = report(0.9, 42, Some(3), 300);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.plan_len, 42);
+        assert_eq!(back.solved_in_phase, Some(3));
+    }
+}

@@ -1,0 +1,130 @@
+//! Parent selection (paper §3.4.1: tournament with size 2), plus roulette
+//! and rank selection as extensions.
+
+use rand::Rng;
+
+use crate::config::SelectionScheme;
+
+/// Select the index of one parent from a population described by its
+/// fitness values. `fitnesses` must be non-empty.
+///
+/// * `Tournament(k)`: pick `k` indices uniformly with replacement, return
+///   the fittest (the paper's scheme with `k = 2`).
+/// * `Roulette`: fitness-proportional; valid because total fitness is
+///   non-negative under the paper's weighting. Degenerates to uniform when
+///   all fitnesses are zero.
+/// * `Rank`: linear ranking — probability proportional to `rank + 1` with
+///   the worst individual having rank 0.
+pub fn select_parent<R: Rng + ?Sized>(rng: &mut R, fitnesses: &[f64], scheme: SelectionScheme) -> usize {
+    assert!(!fitnesses.is_empty(), "cannot select from an empty population");
+    match scheme {
+        SelectionScheme::Tournament(k) => {
+            let mut best = rng.gen_range(0..fitnesses.len());
+            for _ in 1..k {
+                let c = rng.gen_range(0..fitnesses.len());
+                if fitnesses[c] > fitnesses[best] {
+                    best = c;
+                }
+            }
+            best
+        }
+        SelectionScheme::Roulette => {
+            let total: f64 = fitnesses.iter().sum();
+            if total <= 0.0 {
+                return rng.gen_range(0..fitnesses.len());
+            }
+            let mut ticket = rng.gen::<f64>() * total;
+            for (i, &f) in fitnesses.iter().enumerate() {
+                ticket -= f;
+                if ticket <= 0.0 {
+                    return i;
+                }
+            }
+            fitnesses.len() - 1
+        }
+        SelectionScheme::Rank => {
+            // ranks[i] = rank of individual i (0 = worst)
+            let n = fitnesses.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| fitnesses[a].partial_cmp(&fitnesses[b]).unwrap_or(std::cmp::Ordering::Equal));
+            let total = (n * (n + 1) / 2) as f64;
+            let mut ticket = rng.gen::<f64>() * total;
+            for (rank, &idx) in order.iter().enumerate() {
+                ticket -= (rank + 1) as f64;
+                if ticket <= 0.0 {
+                    return idx;
+                }
+            }
+            *order.last().expect("non-empty")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(fit: &[f64], scheme: SelectionScheme, trials: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; fit.len()];
+        for _ in 0..trials {
+            counts[select_parent(&mut rng, fit, scheme)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn tournament_prefers_fitter() {
+        let counts = frequencies(&[0.1, 0.9], SelectionScheme::Tournament(2), 10_000);
+        // P(select best) = 1 - P(both picks are worst) = 1 - 0.25 = 0.75
+        let p = counts[1] as f64 / 10_000.0;
+        assert!((0.70..0.80).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn tournament_size_one_is_uniform() {
+        let counts = frequencies(&[0.1, 0.9], SelectionScheme::Tournament(1), 10_000);
+        let p = counts[1] as f64 / 10_000.0;
+        assert!((0.45..0.55).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn larger_tournament_is_greedier() {
+        let p2 = frequencies(&[0.1, 0.5, 0.9], SelectionScheme::Tournament(2), 20_000)[2];
+        let p8 = frequencies(&[0.1, 0.5, 0.9], SelectionScheme::Tournament(8), 20_000)[2];
+        assert!(p8 > p2);
+    }
+
+    #[test]
+    fn roulette_is_fitness_proportional() {
+        let counts = frequencies(&[1.0, 3.0], SelectionScheme::Roulette, 20_000);
+        let p = counts[1] as f64 / 20_000.0;
+        assert!((0.72..0.78).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn roulette_all_zero_degenerates_to_uniform() {
+        let counts = frequencies(&[0.0, 0.0, 0.0], SelectionScheme::Roulette, 9_000);
+        for &c in &counts {
+            assert!((2_500..3_500).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn rank_orders_by_rank_not_magnitude() {
+        // enormous fitness gap, but rank selection only sees order
+        let counts = frequencies(&[1e-9, 1e9], SelectionScheme::Rank, 20_000);
+        let p = counts[1] as f64 / 20_000.0;
+        // ranks 1 and 2 of 2 -> P(best) = 2/3
+        assert!((0.63..0.71).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        select_parent(&mut rng, &[], SelectionScheme::Tournament(2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-generation statistics, recorded by the engine for analysis and for
+//! the convergence figures in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use crate::individual::Evaluated;
+
+/// Summary of one generation's population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenStats {
+    /// Generation index within the phase (0-based).
+    pub generation: u32,
+    /// Best total fitness in the population.
+    pub best_total: f64,
+    /// Best goal fitness in the population.
+    pub best_goal: f64,
+    /// Mean total fitness.
+    pub mean_total: f64,
+    /// Worst total fitness.
+    pub worst_total: f64,
+    /// Mean decoded plan length.
+    pub mean_len: f64,
+    /// Number of individuals that solve the problem.
+    pub solvers: u32,
+}
+
+impl GenStats {
+    /// Compute statistics over an evaluated population.
+    pub fn from_population<S>(generation: u32, pop: &[Evaluated<S>]) -> GenStats {
+        assert!(!pop.is_empty());
+        let mut best_total = f64::NEG_INFINITY;
+        let mut worst_total = f64::INFINITY;
+        let mut best_goal = f64::NEG_INFINITY;
+        let mut sum_total = 0.0;
+        let mut sum_len = 0.0;
+        let mut solvers = 0u32;
+        for e in pop {
+            let t = e.fitness.total;
+            best_total = best_total.max(t);
+            worst_total = worst_total.min(t);
+            best_goal = best_goal.max(e.fitness.goal);
+            sum_total += t;
+            sum_len += e.plan_len() as f64;
+            if e.solves() {
+                solvers += 1;
+            }
+        }
+        GenStats {
+            generation,
+            best_total,
+            best_goal,
+            mean_total: sum_total / pop.len() as f64,
+            worst_total,
+            mean_len: sum_len / pop.len() as f64,
+            solvers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::Fitness;
+    use crate::genome::Genome;
+
+    fn ind(goal: f64, total: f64, len: usize) -> Evaluated<u8> {
+        Evaluated {
+            genome: Genome::from_genes(vec![0.5; len]),
+            ops: vec![gaplan_core::OpId(0); len],
+            match_keys: vec![0; len + 1],
+            final_state: 0,
+            decoded_len: len,
+            best_prefix_at: len,
+            best_prefix_state: 0,
+            fitness: Fitness {
+                match_: 1.0,
+                goal,
+                cost: 0.0,
+                total,
+            },
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let pop = vec![ind(1.0, 0.95, 4), ind(0.5, 0.5, 8), ind(0.2, 0.3, 12)];
+        let s = GenStats::from_population(7, &pop);
+        assert_eq!(s.generation, 7);
+        assert_eq!(s.best_total, 0.95);
+        assert_eq!(s.worst_total, 0.3);
+        assert_eq!(s.best_goal, 1.0);
+        assert!((s.mean_total - (0.95 + 0.5 + 0.3) / 3.0).abs() < 1e-12);
+        assert!((s.mean_len - 8.0).abs() < 1e-12);
+        assert_eq!(s.solvers, 1);
+    }
+
+    #[test]
+    fn single_individual_population() {
+        let pop = vec![ind(0.7, 0.63, 5)];
+        let s = GenStats::from_population(0, &pop);
+        assert_eq!(s.best_total, s.worst_total);
+        assert_eq!(s.solvers, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_population_panics() {
+        GenStats::from_population::<u8>(0, &[]);
+    }
+}

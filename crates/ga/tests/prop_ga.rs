@@ -1,0 +1,124 @@
+//! Property-based tests for the GA operators: genome algebra, crossover
+//! length bounds, mutation range preservation, selection sanity.
+
+use gaplan_ga::crossover::{crossover, CrossoverOutcome};
+use gaplan_ga::mutation::{length_mutate, mutate};
+use gaplan_ga::selection::select_parent;
+use gaplan_ga::{CrossoverKind, Evaluated, Fitness, Genome, SelectionScheme};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_genes() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 0..50)
+}
+
+fn evaluated(genes: Vec<f64>, key_salt: u64) -> Evaluated<()> {
+    let decoded_len = genes.len();
+    let match_keys = (0..=decoded_len as u64).map(|i| i.wrapping_mul(key_salt)).collect();
+    Evaluated {
+        genome: Genome::from_genes(genes),
+        ops: vec![],
+        match_keys,
+        final_state: (),
+        decoded_len,
+        best_prefix_at: 0,
+        best_prefix_state: (),
+        fitness: Fitness::default(),
+    }
+}
+
+proptest! {
+    /// Every crossover kind: children stay within [0, max_len] and contain
+    /// only genes drawn from the parents.
+    #[test]
+    fn crossover_children_are_bounded_and_conservative(
+        ga in arb_genes(),
+        gb in arb_genes(),
+        max_len in 1usize..80,
+        seed in any::<u64>(),
+        kind_sel in 0usize..4,
+    ) {
+        let kind = [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint][kind_sel];
+        let a = evaluated(ga.clone(), 0x9e3779b97f4a7c15);
+        let b = evaluated(gb.clone(), 0xdeadbeefcafef00d);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match crossover(&mut rng, kind, &a, &b, max_len) {
+            CrossoverOutcome::Children(c1, c2) => {
+                for c in [&c1, &c2] {
+                    prop_assert!(c.len() <= max_len);
+                    for g in c.genes() {
+                        prop_assert!(ga.contains(g) || gb.contains(g), "gene {} not from a parent", g);
+                    }
+                }
+            }
+            CrossoverOutcome::Unchanged => {
+                prop_assert_eq!(kind, CrossoverKind::StateAware, "only state-aware may decline");
+            }
+        }
+    }
+
+    /// Random one-point crossover conserves total gene count when unbounded.
+    #[test]
+    fn random_crossover_conserves_genes(ga in arb_genes(), gb in arb_genes(), seed in any::<u64>()) {
+        let a = evaluated(ga.clone(), 1);
+        let b = evaluated(gb.clone(), 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let CrossoverOutcome::Children(c1, c2) = crossover(&mut rng, CrossoverKind::Random, &a, &b, usize::MAX) {
+            prop_assert_eq!(c1.len() + c2.len(), ga.len() + gb.len());
+        }
+    }
+
+    /// Mutation keeps genes inside [0, 1) and never changes length.
+    #[test]
+    fn mutation_preserves_domain_and_length(genes in arb_genes(), rate in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut g = Genome::from_genes(genes.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        mutate(&mut rng, &mut g, rate);
+        prop_assert_eq!(g.len(), genes.len());
+        for v in g.genes() {
+            prop_assert!((0.0..1.0).contains(v));
+        }
+    }
+
+    /// Length mutation keeps the genome within [1, max_len] (given a
+    /// non-empty start).
+    #[test]
+    fn length_mutation_respects_bounds(genes in proptest::collection::vec(0.0f64..1.0, 1..50), max_len in 1usize..60, seed in any::<u64>()) {
+        let mut g = Genome::from_genes(genes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            length_mutate(&mut rng, &mut g, 1.0, max_len);
+            prop_assert!(!g.is_empty());
+            // an over-long starting genome may stay over max_len (length
+            // mutation only refuses to insert); it must never grow further
+            prop_assert!(g.len() <= max_len.max(50));
+        }
+    }
+
+    /// Selection always returns a valid index, under every scheme.
+    #[test]
+    fn selection_returns_valid_indices(fit in proptest::collection::vec(0.0f64..2.0, 1..40), seed in any::<u64>(), scheme_sel in 0usize..3) {
+        let scheme = [SelectionScheme::Tournament(2), SelectionScheme::Roulette, SelectionScheme::Rank][scheme_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let idx = select_parent(&mut rng, &fit, scheme);
+            prop_assert!(idx < fit.len());
+        }
+    }
+
+    /// Splice is associative with concatenation semantics: prefix from
+    /// self, suffix from other.
+    #[test]
+    fn splice_semantics(ga in arb_genes(), gb in arb_genes(), seed in any::<u64>()) {
+        use rand::Rng;
+        let a = Genome::from_genes(ga.clone());
+        let b = Genome::from_genes(gb.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = rng.gen_range(0..=ga.len());
+        let cb = rng.gen_range(0..=gb.len());
+        let child = a.splice(ca, &b, cb, usize::MAX);
+        prop_assert_eq!(&child.genes()[..ca], &ga[..ca]);
+        prop_assert_eq!(&child.genes()[ca..], &gb[cb..]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Activity graphs (the paper's "process descriptions in workflow
+//! terminology"): a DAG of operations extracted from a linear plan by
+//! dataflow analysis.
+//!
+//! The GA evolves *linear* plans (a sequence of operations); the
+//! coordination service executes an *activity graph*. The bridge is this
+//! module: step `j` depends on step `i < j` exactly when `j` consumes an
+//! artifact first produced by `i`. Independent steps can then run
+//! concurrently on different sites — the whole point of planning over a
+//! resource-rich grid.
+
+use gaplan_core::{Domain, OpId, Plan};
+use rustc_hash::FxHashMap;
+
+use crate::data::DataItem;
+use crate::site::SiteId;
+use crate::world::{GridWorld, WorkflowState};
+
+/// One node of an activity graph.
+#[derive(Debug, Clone)]
+pub struct ActivityNode {
+    /// The ground operation.
+    pub op: OpId,
+    /// Display name.
+    pub name: String,
+    /// Site the operation executes at.
+    pub site: SiteId,
+    /// Planned cost (seconds + weighted price) at graph-construction time.
+    pub cost: f64,
+    /// Indices of nodes this node depends on.
+    pub deps: Vec<usize>,
+}
+
+/// A dataflow DAG over a plan's operations.
+#[derive(Debug, Clone)]
+pub struct ActivityGraph {
+    nodes: Vec<ActivityNode>,
+}
+
+impl ActivityGraph {
+    /// Build the graph for `plan` starting from `start`, attributing a
+    /// dependency to the step that first produced each consumed artifact.
+    ///
+    /// Steps that produce nothing new (idempotent re-runs) are *dropped*:
+    /// they are no-ops for the workflow and would only serialize execution.
+    pub fn from_plan(world: &GridWorld, start: &WorkflowState, plan: &Plan) -> ActivityGraph {
+        let mut nodes: Vec<ActivityNode> = Vec::with_capacity(plan.len());
+        // producer of each artifact: node index
+        let mut producer: FxHashMap<DataItem, usize> = FxHashMap::default();
+        let mut state = start.clone();
+
+        for &op in plan.ops() {
+            let (consumed, produced) = world.op_io(&state, op);
+            if produced.is_empty() {
+                state = world.apply(&state, op);
+                continue;
+            }
+            let idx = nodes.len();
+            let mut deps: Vec<usize> = consumed
+                .iter()
+                .filter_map(|item| producer.get(item).copied())
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            for item in produced {
+                producer.entry(item).or_insert(idx);
+            }
+            nodes.push(ActivityNode {
+                op,
+                name: world.op_name(op),
+                site: world.op_site(op),
+                cost: world.op_cost(op),
+                deps,
+            });
+            state = world.apply(&state, op);
+        }
+        ActivityGraph { nodes }
+    }
+
+    /// The nodes in original plan order (a valid topological order, since
+    /// dependencies always point backwards).
+    pub fn nodes(&self) -> &[ActivityNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Sum of node costs — the makespan of strictly serial execution.
+    pub fn total_cost(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cost).sum()
+    }
+
+    /// Length (in cost) of the critical path: a lower bound on makespan
+    /// under unlimited resources.
+    pub fn critical_path(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.nodes.len()];
+        let mut best: f64 = 0.0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ready = n.deps.iter().map(|&d| finish[d]).fold(0.0, f64::max);
+            finish[i] = ready + n.cost;
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Maximum number of nodes with no dependency path between them that
+    /// share no resource — here simply the peak width of the level
+    /// structure, a quick parallelism indicator.
+    pub fn width(&self) -> usize {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut counts: FxHashMap<usize, usize> = FxHashMap::default();
+        for (i, n) in self.nodes.iter().enumerate() {
+            level[i] = n.deps.iter().map(|&d| level[d] + 1).max().unwrap_or(0);
+            *counts.entry(level[i]).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Render as DOT for visualisation.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph activity {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!("  n{i} [label=\"{}\\ncost {:.1}\"];\n", n.name, n.cost));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &d in &n.deps {
+                s.push_str(&format!("  n{d} -> n{i};\n"));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::image_pipeline;
+    use gaplan_core::DomainExt;
+
+    /// Build a plan by repeatedly taking named ops.
+    fn plan_of(world: &GridWorld, names: &[&str]) -> Plan {
+        let mut state = world.initial_state();
+        let mut ops = Vec::new();
+        for name in names {
+            let op = world
+                .valid_ops_vec(&state)
+                .into_iter()
+                .find(|&o| world.op_name(o) == *name)
+                .unwrap_or_else(|| panic!("op `{name}` not valid; valid: {:?}", world
+                    .valid_ops_vec(&state)
+                    .iter()
+                    .map(|&o| world.op_name(o))
+                    .collect::<Vec<_>>()));
+            state = world.apply(&state, op);
+            ops.push(op);
+        }
+        Plan::from_ops(ops)
+    }
+
+    #[test]
+    fn dependencies_follow_dataflow() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let plan = plan_of(
+            w,
+            &[
+                "run histeq @ orion",
+                "run highpass @ orion",
+                "run fft @ orion",
+            ],
+        );
+        let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
+        assert_eq!(g.len(), 3);
+        assert!(g.nodes()[0].deps.is_empty());
+        assert_eq!(g.nodes()[1].deps, vec![0]);
+        assert_eq!(g.nodes()[2].deps, vec![1]);
+        // a pure chain has width 1 and critical path == total cost
+        assert_eq!(g.width(), 1);
+        assert!((g.critical_path() - g.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_branches_are_parallel() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        // two independent first-stage runs on the two copies of raw data
+        let plan = plan_of(
+            w,
+            &[
+                "xfer raw-frames orion -> vega",
+                "run histeq @ orion",
+                "run histeq @ vega",
+            ],
+        );
+        let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
+        assert_eq!(g.len(), 3);
+        // both runs depend only on the transfer or nothing
+        assert!(g.nodes()[1].deps.is_empty(), "orion histeq reads the original");
+        assert_eq!(g.nodes()[2].deps, vec![0], "vega histeq reads the transferred copy");
+        assert!(g.critical_path() < g.total_cost());
+        assert!(g.width() >= 2);
+    }
+
+    #[test]
+    fn idempotent_steps_are_dropped() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let state = w.initial_state();
+        let histeq = w
+            .valid_ops_vec(&state)
+            .into_iter()
+            .find(|&o| w.op_name(o) == "run histeq @ orion")
+            .unwrap();
+        let plan = Plan::from_ops(vec![histeq, histeq]); // second is a no-op
+        let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_empty_graph() {
+        let sc = image_pipeline();
+        let g = ActivityGraph::from_plan(&sc.world, &sc.world.initial_state(), &Plan::new());
+        assert!(g.is_empty());
+        assert_eq!(g.total_cost(), 0.0);
+        assert_eq!(g.critical_path(), 0.0);
+        assert_eq!(g.width(), 0);
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let plan = plan_of(w, &["run histeq @ orion", "run highpass @ orion"]);
+        let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("histeq"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Resource discovery and brokerage — one of the paper's "societal
+//! services" (§1: "coordination, planning, brokerage, persistent storage,
+//! and authentication"). The broker answers "where could program P run, and
+//! how good would each site be?", and powers a greedy workflow planner that
+//! serves as the non-evolutionary comparator in Ext-E.
+
+use gaplan_core::{Domain, DomainExt, OpId, Plan};
+
+use crate::program::ProgramId;
+use crate::site::SiteId;
+use crate::world::{GridWorld, WorkflowState};
+
+/// One brokered placement option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The candidate site.
+    pub site: SiteId,
+    /// Estimated execution seconds under current load.
+    pub seconds: f64,
+    /// Monetary price.
+    pub price: f64,
+    /// Combined score (seconds + price-weighted), lower is better.
+    pub score: f64,
+}
+
+/// Rank the sites where `program` is installed and resource-capable,
+/// cheapest first. Ignores data availability — discovery is about *where
+/// the program could run*; routing the data there is the planner's job.
+pub fn discover(world: &GridWorld, program: ProgramId) -> Vec<Placement> {
+    let prog = &world.programs()[program.index()];
+    let mut placements: Vec<Placement> = prog
+        .installed_at
+        .iter()
+        .copied()
+        .filter(|s| world.sites()[s.index()].resources.satisfies(&prog.min_resources))
+        .map(|s| {
+            let site = &world.sites()[s.index()];
+            let seconds = site.execution_seconds(prog.gflops);
+            let price = site.execution_price(prog.gflops);
+            Placement {
+                site: s,
+                seconds,
+                price,
+                score: seconds + price,
+            }
+        })
+        .collect();
+    placements.sort_by(|a, b| a.score.total_cmp(&b.score));
+    placements
+}
+
+/// A greedy workflow planner built on the broker: bounded-depth branch and
+/// bound minimizing total operation cost to the goal. Deterministic,
+/// optimal up to `max_depth` — the "knowledgeable static scheduler" the GA
+/// is compared against in Ext-E.
+pub fn greedy_plan(world: &GridWorld, max_depth: usize) -> Option<Plan> {
+    let start = world.initial_state();
+    cheapest(world, &start, max_depth, f64::INFINITY).map(|(_, ops)| Plan::from_ops(ops))
+}
+
+fn cheapest(world: &GridWorld, state: &WorkflowState, depth: usize, budget: f64) -> Option<(f64, Vec<OpId>)> {
+    if world.is_goal(state) {
+        return Some((0.0, vec![]));
+    }
+    if depth == 0 {
+        return None;
+    }
+    let mut best: Option<(f64, Vec<OpId>)> = None;
+    for op in world.valid_ops_vec(state) {
+        let c = world.op_cost(op);
+        let remaining = best.as_ref().map_or(budget, |(b, _)| *b);
+        if c >= remaining {
+            continue;
+        }
+        let next = world.apply(state, op);
+        if let Some((sub, mut ops)) = cheapest(world, &next, depth - 1, remaining - c) {
+            if best.as_ref().is_none_or(|(b, _)| c + sub < *b) {
+                ops.insert(0, op);
+                best = Some((c + sub, ops));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::image_pipeline;
+
+    #[test]
+    fn discover_ranks_by_cost() {
+        let sc = image_pipeline();
+        // histeq installed everywhere; orion (50 GFLOP/s, free) should beat
+        // vega (200 GFLOP/s but priced) and lyra (20 GFLOP/s)
+        let ranked = discover(&sc.world, sc.programs[0]);
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.windows(2).all(|w| w[0].score <= w[1].score));
+        assert_eq!(ranked[0].site, sc.sites[0], "orion is cheapest for histeq");
+    }
+
+    #[test]
+    fn discover_filters_under_resourced_sites() {
+        let sc = image_pipeline();
+        // fft needs 8 GB; installed at orion and vega only
+        let ranked = discover(&sc.world, sc.programs[2]);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked.iter().all(|p| p.site != sc.sites[2]));
+    }
+
+    #[test]
+    fn discovery_reflects_load() {
+        let sc = image_pipeline();
+        let loaded = sc.world.with_loads(&[0.9, 0.0, 0.0]);
+        let ranked = discover(&loaded, sc.programs[0]);
+        // orion at 90% load runs histeq in 200/5 = 40s; vega costs 5
+        assert_eq!(ranked[0].site, sc.sites[1], "vega wins when orion is overloaded");
+    }
+
+    #[test]
+    fn greedy_plan_solves_the_pipeline() {
+        let sc = image_pipeline();
+        let plan = greedy_plan(&sc.world, 4).expect("pipeline reachable in 3 steps");
+        let out = plan.simulate(&sc.world, &sc.world.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(plan.len(), 3, "histeq, highpass, fft at orion");
+    }
+
+    #[test]
+    fn greedy_plan_reroutes_under_overload() {
+        let sc = image_pipeline();
+        let loaded = sc.world.with_loads(&[0.95, 0.0, 0.0]);
+        let plan = greedy_plan(&loaded, 6).expect("still reachable");
+        let out = plan.simulate(&loaded, &loaded.initial_state()).unwrap();
+        assert!(out.solves);
+        // at 95% load orion computes at 2.5 GFLOP/s; the cheap route runs
+        // the pipeline on vega (after shipping the raw frames)
+        let names: Vec<String> = plan.ops().iter().map(|&o| loaded.op_name(o)).collect();
+        assert!(
+            names.iter().filter(|n| n.contains("@ vega")).count() >= 2,
+            "expected vega-heavy plan, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_plan_depth_zero_fails_off_goal() {
+        let sc = image_pipeline();
+        assert!(greedy_plan(&sc.world, 0).is_none());
+    }
+}

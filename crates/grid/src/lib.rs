@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # gaplan-grid
+//!
+//! The heterogeneous computational-grid substrate the paper's planner is
+//! motivated by (§1): "Planning allows us to create multiple activity
+//! graphs, or process descriptions in workflow terminology, and to exploit
+//! the resource-rich environment provided by a computational grid."
+//!
+//! The paper never deploys on a real grid (its evaluation is two puzzle
+//! domains), so per DESIGN.md this crate *simulates* the environment the
+//! paper describes, faithfully to its vocabulary:
+//!
+//! * [`ontology`] — "we assume that we have ontologies describing data,
+//!   programs, and hardware resources": interned concepts with is-a
+//!   relations.
+//! * [`data`] — data items with type, format, resolution, location and the
+//!   §1-footnote *genealogy* (history of transformations), which gates
+//!   program applicability.
+//! * [`program`] — program descriptions with preconditions (input data
+//!   requirements + physical resource requirements), postconditions (the
+//!   produced data product) and a cost.
+//! * [`site`] — grid sites with CPU/memory/disk/network resources, load and
+//!   price.
+//! * [`world`] — [`world::GridWorld`]: the workflow *planning domain*.
+//!   Ground operations are "run program P at site S" and "transfer data of
+//!   kind K from S1 to S2"; it implements [`gaplan_core::Domain`], so the GA
+//!   plans activity graphs exactly as the paper proposes.
+//! * [`activity`] — activity graphs extracted from linear plans by dataflow
+//!   analysis, with critical-path and makespan analysis.
+//! * [`sim`] — a discrete-event *coordination service* that supervises the
+//!   execution of an activity graph over the simulated sites, supports
+//!   scheduled load-spike events, and triggers GA replanning — the paper's
+//!   "site is overloaded and there are alternative sites" scenario.
+//! * [`scenario`] — ready-made worlds, including the §1-footnote image
+//!   pipeline (camera → histogram equalization → filter → Fourier
+//!   transform).
+
+pub mod activity;
+pub mod broker;
+pub mod data;
+pub mod ontology;
+pub mod parser;
+pub mod program;
+pub mod resource;
+pub mod scenario;
+pub mod sim;
+pub mod site;
+pub mod world;
+
+pub use activity::ActivityGraph;
+pub use broker::{discover, greedy_plan, Placement};
+pub use data::{DataItem, TransformRecord};
+pub use ontology::{Ontology, Sym};
+pub use parser::{parse_grid, GridParseError};
+pub use program::{DataProduct, DataRequirement, Program, ProgramId};
+pub use resource::ResourceSpec;
+pub use scenario::{climate_ensemble, image_pipeline, ClimateEnsemble, ImagePipeline};
+pub use sim::{Coordinator, ExecutionTrace, ExternalEvent, ReplanPolicy};
+pub use site::{Site, SiteId};
+pub use world::{GoalSpec, GridWorld, GridWorldBuilder, WorkflowState};

@@ -1,0 +1,415 @@
+//! A line-oriented text format for grid worlds, so heterogeneous-grid
+//! scenarios can be written as data files — the grid counterpart of the
+//! STRIPS text format in `gaplan-core`.
+//!
+//! Format (`#` comments; blank lines ignored):
+//!
+//! ```text
+//! site orion cpu=50 mem=16 disk=10 net=1000 load=0.0 price=0 slots=2
+//! site vega  cpu=200 mem=64 disk=10 net=1000 load=0.0 price=0.02 slots=4
+//!
+//! kind raw-frames size=2.0
+//! kind spectrum   size=0.5
+//!
+//! program histeq
+//!   in: raw-frames min-res=0
+//!   out: spectrum format=hdf5
+//!   gflops: 200
+//!   at: orion vega
+//!   min-mem: 8
+//!   forbid-history: some-program      # optional, repeatable
+//!
+//! item raw-frames format=hdf5 res=1024 at=orion
+//! goal spectrum min-res=512 at=orion weight=1
+//! ```
+//!
+//! `min-*` fields and `load`/`price`/`slots` are optional with sensible
+//! defaults; `at=` on a goal is optional (anywhere).
+
+use rustc_hash::FxHashMap;
+
+use crate::data::DataItem;
+use crate::ontology::Sym;
+use crate::program::{DataProduct, DataRequirement, Program};
+use crate::resource::ResourceSpec;
+use crate::site::{Site, SiteId};
+use crate::world::{GoalSpec, GridWorld, GridWorldBuilder};
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for GridParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grid parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for GridParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> GridParseError {
+    GridParseError { line, msg: msg.into() }
+}
+
+/// key=value token helper.
+fn kv(tok: &str) -> Option<(&str, &str)> {
+    tok.split_once('=')
+}
+
+fn parse_f64(line: usize, key: &str, v: &str) -> Result<f64, GridParseError> {
+    v.parse::<f64>().map_err(|e| err(line, format!("bad {key}: {e}")))
+}
+
+struct PendingProgram {
+    line: usize,
+    name: String,
+    inputs: Vec<(String, u16, Vec<String>)>, // kind, min_res, forbid
+    output: Option<(String, String)>,        // kind, format
+    gflops: f64,
+    at: Vec<String>,
+    min_resources: ResourceSpec,
+}
+
+/// Parse the grid text format into a [`GridWorld`].
+pub fn parse_grid(text: &str) -> Result<GridWorld, GridParseError> {
+    let mut b = GridWorldBuilder::new();
+    let mut site_ids: FxHashMap<String, SiteId> = FxHashMap::default();
+    let mut kind_syms: FxHashMap<String, Sym> = FxHashMap::default();
+    let mut programs: Vec<PendingProgram> = Vec::new();
+    // items/goals are deferred so they can reference later-declared kinds
+    let mut items: Vec<(usize, String, String, u16, String)> = Vec::new();
+    let mut goals: Vec<(usize, String, u16, Option<String>, f64)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next().unwrap() {
+            "site" => {
+                let name = toks.next().ok_or_else(|| err(lineno, "site needs a name"))?;
+                let mut cpu = 1.0;
+                let mut mem = 1.0;
+                let mut disk = 1.0;
+                let mut net = 100.0;
+                let mut load = 0.0;
+                let mut price = 0.0;
+                let mut slots = 1usize;
+                for t in toks {
+                    match kv(t) {
+                        Some(("cpu", v)) => cpu = parse_f64(lineno, "cpu", v)?,
+                        Some(("mem", v)) => mem = parse_f64(lineno, "mem", v)?,
+                        Some(("disk", v)) => disk = parse_f64(lineno, "disk", v)?,
+                        Some(("net", v)) => net = parse_f64(lineno, "net", v)?,
+                        Some(("load", v)) => load = parse_f64(lineno, "load", v)?,
+                        Some(("price", v)) => price = parse_f64(lineno, "price", v)?,
+                        Some(("slots", v)) => {
+                            slots = v.parse().map_err(|e| err(lineno, format!("bad slots: {e}")))?
+                        }
+                        _ => return Err(err(lineno, format!("unknown site field `{t}`"))),
+                    }
+                }
+                if site_ids.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate site `{name}`")));
+                }
+                let site = Site::new(
+                    name,
+                    ResourceSpec {
+                        cpu_gflops: cpu,
+                        memory_gb: mem,
+                        disk_tb: disk,
+                        net_mbps: net,
+                    },
+                )
+                .with_load(load)
+                .with_price(price)
+                .with_slots(slots);
+                site_ids.insert(name.to_string(), b.site(site));
+            }
+            "kind" => {
+                let name = toks.next().ok_or_else(|| err(lineno, "kind needs a name"))?;
+                let mut size = 1.0;
+                for t in toks {
+                    match kv(t) {
+                        Some(("size", v)) => size = parse_f64(lineno, "size", v)?,
+                        _ => return Err(err(lineno, format!("unknown kind field `{t}`"))),
+                    }
+                }
+                kind_syms.insert(name.to_string(), b.kind(name, size));
+            }
+            "program" => {
+                let name = toks.next().ok_or_else(|| err(lineno, "program needs a name"))?;
+                programs.push(PendingProgram {
+                    line: lineno,
+                    name: name.to_string(),
+                    inputs: Vec::new(),
+                    output: None,
+                    gflops: 1.0,
+                    at: Vec::new(),
+                    min_resources: ResourceSpec::NONE,
+                });
+            }
+            "in:" => {
+                let p = programs.last_mut().ok_or_else(|| err(lineno, "in: outside program"))?;
+                let kind = toks.next().ok_or_else(|| err(lineno, "in: needs a kind"))?;
+                let mut min_res = 0u16;
+                let mut forbid = Vec::new();
+                for t in toks {
+                    match kv(t) {
+                        Some(("min-res", v)) => {
+                            min_res = v.parse().map_err(|e| err(lineno, format!("bad min-res: {e}")))?
+                        }
+                        Some(("forbid", v)) => forbid.push(v.to_string()),
+                        _ => return Err(err(lineno, format!("unknown in: field `{t}`"))),
+                    }
+                }
+                p.inputs.push((kind.to_string(), min_res, forbid));
+            }
+            "out:" => {
+                let p = programs.last_mut().ok_or_else(|| err(lineno, "out: outside program"))?;
+                let kind = toks.next().ok_or_else(|| err(lineno, "out: needs a kind"))?;
+                let mut format = "data".to_string();
+                for t in toks {
+                    match kv(t) {
+                        Some(("format", v)) => format = v.to_string(),
+                        _ => return Err(err(lineno, format!("unknown out: field `{t}`"))),
+                    }
+                }
+                p.output = Some((kind.to_string(), format));
+            }
+            "gflops:" => {
+                let p = programs.last_mut().ok_or_else(|| err(lineno, "gflops: outside program"))?;
+                let v = toks.next().ok_or_else(|| err(lineno, "gflops: needs a value"))?;
+                p.gflops = parse_f64(lineno, "gflops", v)?;
+            }
+            "at:" => {
+                let p = programs.last_mut().ok_or_else(|| err(lineno, "at: outside program"))?;
+                p.at.extend(toks.map(String::from));
+            }
+            "min-mem:" => {
+                let p = programs.last_mut().ok_or_else(|| err(lineno, "min-mem: outside program"))?;
+                let v = toks.next().ok_or_else(|| err(lineno, "min-mem: needs a value"))?;
+                p.min_resources.memory_gb = parse_f64(lineno, "min-mem", v)?;
+            }
+            "min-cpu:" => {
+                let p = programs.last_mut().ok_or_else(|| err(lineno, "min-cpu: outside program"))?;
+                let v = toks.next().ok_or_else(|| err(lineno, "min-cpu: needs a value"))?;
+                p.min_resources.cpu_gflops = parse_f64(lineno, "min-cpu", v)?;
+            }
+            "item" => {
+                let kind = toks.next().ok_or_else(|| err(lineno, "item needs a kind"))?;
+                let mut format = "data".to_string();
+                let mut res = 1u16;
+                let mut at = None;
+                for t in toks {
+                    match kv(t) {
+                        Some(("format", v)) => format = v.to_string(),
+                        Some(("res", v)) => res = v.parse().map_err(|e| err(lineno, format!("bad res: {e}")))?,
+                        Some(("at", v)) => at = Some(v.to_string()),
+                        _ => return Err(err(lineno, format!("unknown item field `{t}`"))),
+                    }
+                }
+                let at = at.ok_or_else(|| err(lineno, "item needs at=<site>"))?;
+                items.push((lineno, kind.to_string(), format, res, at));
+            }
+            "goal" => {
+                let kind = toks.next().ok_or_else(|| err(lineno, "goal needs a kind"))?;
+                let mut min_res = 0u16;
+                let mut at = None;
+                let mut weight = 1.0;
+                for t in toks {
+                    match kv(t) {
+                        Some(("min-res", v)) => {
+                            min_res = v.parse().map_err(|e| err(lineno, format!("bad min-res: {e}")))?
+                        }
+                        Some(("at", v)) => at = Some(v.to_string()),
+                        Some(("weight", v)) => weight = parse_f64(lineno, "weight", v)?,
+                        _ => return Err(err(lineno, format!("unknown goal field `{t}`"))),
+                    }
+                }
+                goals.push((lineno, kind.to_string(), min_res, at, weight));
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    // resolve programs
+    for p in programs {
+        let (out_kind, out_format) = p.output.ok_or_else(|| err(p.line, format!("program `{}` has no out:", p.name)))?;
+        let out_kind_sym = *kind_syms
+            .get(&out_kind)
+            .ok_or_else(|| err(p.line, format!("unknown output kind `{out_kind}`")))?;
+        let out_format_sym = b.ontology_mut().intern(&out_format);
+        let name_sym = b.ontology_mut().intern(&p.name);
+        let mut inputs = Vec::new();
+        for (kind, min_res, forbid) in &p.inputs {
+            let kind_sym = *kind_syms
+                .get(kind)
+                .ok_or_else(|| err(p.line, format!("unknown input kind `{kind}`")))?;
+            let forbidden_history = forbid.iter().map(|f| b.ontology_mut().intern(f)).collect();
+            inputs.push(DataRequirement {
+                kind: kind_sym,
+                min_resolution: *min_res,
+                formats: vec![],
+                forbidden_history,
+            });
+        }
+        if inputs.is_empty() {
+            return Err(err(p.line, format!("program `{}` has no in:", p.name)));
+        }
+        let installed_at = p
+            .at
+            .iter()
+            .map(|s| {
+                site_ids
+                    .get(s)
+                    .copied()
+                    .ok_or_else(|| err(p.line, format!("unknown site `{s}` in at:")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if installed_at.is_empty() {
+            return Err(err(p.line, format!("program `{}` has no at:", p.name)));
+        }
+        b.program(Program {
+            name: name_sym,
+            inputs,
+            output: DataProduct {
+                kind: out_kind_sym,
+                format: out_format_sym,
+                resolution_num: 1,
+                resolution_den: 1,
+            },
+            min_resources: p.min_resources,
+            gflops: p.gflops,
+            installed_at,
+        });
+    }
+
+    for (line, kind, format, res, at) in items {
+        let kind_sym = *kind_syms.get(&kind).ok_or_else(|| err(line, format!("unknown item kind `{kind}`")))?;
+        let format_sym = b.ontology_mut().intern(&format);
+        let site = *site_ids.get(&at).ok_or_else(|| err(line, format!("unknown site `{at}`")))?;
+        b.item(DataItem::source(kind_sym, format_sym, res, site));
+    }
+    if goals.is_empty() {
+        return Err(err(0, "no goals declared"));
+    }
+    for (line, kind, min_res, at, weight) in goals {
+        let kind_sym = *kind_syms.get(&kind).ok_or_else(|| err(line, format!("unknown goal kind `{kind}`")))?;
+        let location = match at {
+            Some(s) => Some(*site_ids.get(&s).ok_or_else(|| err(line, format!("unknown site `{s}`")))?),
+            None => None,
+        };
+        b.goal(GoalSpec {
+            requirement: DataRequirement {
+                kind: kind_sym,
+                min_resolution: min_res,
+                formats: vec![],
+                forbidden_history: vec![],
+            },
+            location,
+            weight,
+        });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{Domain, DomainExt};
+
+    const PIPELINE: &str = "
+# the image pipeline as data
+site orion cpu=50 mem=16 disk=10 net=1000 slots=2
+site vega  cpu=200 mem=64 disk=10 net=1000 price=0.02 slots=4
+
+kind raw size=2.0
+kind result size=0.5
+
+program proc
+  in: raw min-res=512
+  out: result format=hdf5
+  gflops: 200
+  at: orion vega
+  min-mem: 8
+
+item raw format=hdf5 res=1024 at=orion
+goal result min-res=512 at=orion weight=1
+";
+
+    #[test]
+    fn parses_and_plans() {
+        let w = parse_grid(PIPELINE).unwrap();
+        assert_eq!(w.sites().len(), 2);
+        assert_eq!(w.programs().len(), 1);
+        // runs: 2 + transfers: 2 kinds x 2 pairs = 4 -> 6
+        assert_eq!(w.num_operations(), 6);
+        let s = w.initial_state();
+        let run = w
+            .valid_ops_vec(&s)
+            .into_iter()
+            .find(|&o| w.op_name(o) == "run proc @ orion")
+            .expect("proc runnable at orion");
+        let s2 = w.apply(&s, run);
+        assert!(w.is_goal(&s2));
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let w = parse_grid(
+            "site a cpu=10\nkind k\nprogram p\n in: k\n out: k\n gflops: 5\n at: a\nitem k at=a\ngoal k\n",
+        )
+        .unwrap();
+        assert_eq!(w.sites()[0].slots, 1);
+        assert_eq!(w.sites()[0].load, 0.0);
+        assert_eq!(w.kind_size(w.ontology().get("k").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn forbid_history_roundtrips() {
+        let w = parse_grid(
+            "site a cpu=10\nkind k\nkind out\nprogram bad\n in: k forbid=bad\n out: out\n gflops: 5\n at: a\nitem k at=a\ngoal out\n",
+        )
+        .unwrap();
+        let prog = &w.programs()[0];
+        assert_eq!(prog.inputs[0].forbidden_history.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_grid("site a cpu=10\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = parse_grid("site a cpu=10\nkind k\nprogram p\n in: missing\n out: k\n at: a\nitem k at=a\ngoal k\n")
+            .unwrap_err();
+        assert!(e.msg.contains("unknown input kind"));
+    }
+
+    #[test]
+    fn missing_goal_rejected() {
+        let e = parse_grid("site a cpu=10\nkind k\nprogram p\n in: k\n out: k\n at: a\n").unwrap_err();
+        assert!(e.msg.contains("no goals"));
+    }
+
+    #[test]
+    fn duplicate_site_rejected() {
+        let e = parse_grid("site a cpu=1\nsite a cpu=2\nkind k\nprogram p\n in: k\n out: k\n at: a\ngoal k\n")
+            .unwrap_err();
+        assert!(e.msg.contains("duplicate site"));
+    }
+
+    #[test]
+    fn program_without_inputs_rejected() {
+        let e = parse_grid("site a cpu=1\nkind k\nprogram p\n out: k\n at: a\ngoal k\n").unwrap_err();
+        assert!(e.msg.contains("no in:"));
+    }
+}

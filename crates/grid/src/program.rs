@@ -1,0 +1,204 @@
+//! Program descriptions: the paper's ontology entries for programs.
+//!
+//! §1: "The description of each program includes a set of pre-conditions
+//! such as: the type, format, amount, and possibly a history of the input
+//! data; the location of the binary …; and the physical resources required
+//! by the program to execute. In addition to pre-conditions, we have
+//! post-conditions describing attributes of the results produced by the
+//! program, such as: the type, the format, the volume, and the location."
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataItem;
+use crate::ontology::{Ontology, Sym};
+use crate::resource::ResourceSpec;
+use crate::site::SiteId;
+
+/// Identifier of a program within a [`crate::world::GridWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProgramId(pub u32);
+
+impl ProgramId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Precondition on one input of a program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataRequirement {
+    /// Required data kind; subtypes are accepted via the ontology.
+    pub kind: Sym,
+    /// Minimum resolution (the footnote's "A could require a resolution
+    /// higher than x").
+    pub min_resolution: u16,
+    /// Accepted formats; empty means any.
+    pub formats: Vec<Sym>,
+    /// Programs whose prior application disqualifies the item (the
+    /// footnote's histogram-equalization/Fourier-filter interaction).
+    pub forbidden_history: Vec<Sym>,
+}
+
+impl DataRequirement {
+    /// A requirement on kind only.
+    pub fn of_kind(kind: Sym) -> Self {
+        DataRequirement {
+            kind,
+            min_resolution: 0,
+            formats: Vec::new(),
+            forbidden_history: Vec::new(),
+        }
+    }
+
+    /// Does `item` satisfy this requirement under `ontology`?
+    pub fn accepts(&self, ontology: &Ontology, item: &DataItem) -> bool {
+        ontology.is_subtype(item.kind, self.kind)
+            && item.resolution >= self.min_resolution
+            && (self.formats.is_empty() || self.formats.iter().any(|&f| ontology.is_subtype(item.format, f)))
+            && !self.forbidden_history.iter().any(|&p| item.was_processed_by(p))
+    }
+}
+
+/// Postcondition: the data product a program emits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DataProduct {
+    /// Kind of the output item.
+    pub kind: Sym,
+    /// Format of the output item.
+    pub format: Sym,
+    /// Output resolution = `min(input resolutions) * resolution_num /
+    /// resolution_den` (integer scaling keeps states hashable/exact).
+    pub resolution_num: u16,
+    /// See `resolution_num`.
+    pub resolution_den: u16,
+}
+
+impl DataProduct {
+    /// Output resolution given the limiting input resolution.
+    pub fn output_resolution(&self, input_resolution: u16) -> u16 {
+        ((u32::from(input_resolution) * u32::from(self.resolution_num)) / u32::from(self.resolution_den.max(1)))
+            .min(u32::from(u16::MAX)) as u16
+    }
+}
+
+/// A program description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    /// Name concept (also recorded in output genealogy).
+    pub name: Sym,
+    /// Input requirements (all must be satisfiable by distinct or shared
+    /// items present at the execution site).
+    pub inputs: Vec<DataRequirement>,
+    /// The produced artifact description.
+    pub output: DataProduct,
+    /// Minimum physical resources of the hosting site.
+    pub min_resources: ResourceSpec,
+    /// Work volume in GFLOP, the basis of execution cost.
+    pub gflops: f64,
+    /// Sites where the binary is installed ("the location of the binary").
+    pub installed_at: Vec<SiteId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Ontology, Sym, Sym, Sym, Sym) {
+        let mut o = Ontology::new();
+        let image = o.intern("image");
+        let tiff = o.intern("tiff");
+        let raw = o.intern("raw");
+        let histeq = o.intern("histogram-equalization");
+        (o, image, tiff, raw, histeq)
+    }
+
+    #[test]
+    fn requirement_matches_kind_and_resolution() {
+        let (o, image, tiff, _raw, _h) = setup();
+        let req = DataRequirement {
+            kind: image,
+            min_resolution: 512,
+            formats: vec![],
+            forbidden_history: vec![],
+        };
+        let good = DataItem::source(image, tiff, 1024, SiteId(0));
+        let low_res = DataItem::source(image, tiff, 256, SiteId(0));
+        assert!(req.accepts(&o, &good));
+        assert!(!req.accepts(&o, &low_res));
+    }
+
+    #[test]
+    fn requirement_respects_subtypes() {
+        let (mut o, image, tiff, _raw, _h) = setup();
+        let satellite = o.intern("satellite-image");
+        o.declare_is_a(satellite, image);
+        let req = DataRequirement::of_kind(image);
+        let item = DataItem::source(satellite, tiff, 100, SiteId(0));
+        assert!(req.accepts(&o, &item));
+        // but not the other way round
+        let req_sat = DataRequirement::of_kind(satellite);
+        let generic = DataItem::source(image, tiff, 100, SiteId(0));
+        assert!(!req_sat.accepts(&o, &generic));
+    }
+
+    #[test]
+    fn requirement_filters_formats() {
+        let (o, image, tiff, raw, _h) = setup();
+        let req = DataRequirement {
+            kind: image,
+            min_resolution: 0,
+            formats: vec![tiff],
+            forbidden_history: vec![],
+        };
+        assert!(req.accepts(&o, &DataItem::source(image, tiff, 1, SiteId(0))));
+        assert!(!req.accepts(&o, &DataItem::source(image, raw, 1, SiteId(0))));
+    }
+
+    #[test]
+    fn forbidden_history_blocks_items() {
+        // the paper's footnote: program B must not run on histogram-
+        // equalized data
+        let (o, image, tiff, _raw, histeq) = setup();
+        let req = DataRequirement {
+            kind: image,
+            min_resolution: 0,
+            formats: vec![],
+            forbidden_history: vec![histeq],
+        };
+        let fresh = DataItem::source(image, tiff, 1, SiteId(0));
+        let processed = fresh.derive(histeq, image, tiff, 1, SiteId(0));
+        assert!(req.accepts(&o, &fresh));
+        assert!(!req.accepts(&o, &processed));
+    }
+
+    #[test]
+    fn product_resolution_scaling() {
+        let p = DataProduct {
+            kind: Sym(0),
+            format: Sym(1),
+            resolution_num: 1,
+            resolution_den: 2,
+        };
+        assert_eq!(p.output_resolution(1024), 512);
+        let up = DataProduct {
+            kind: Sym(0),
+            format: Sym(1),
+            resolution_num: 3,
+            resolution_den: 1,
+        };
+        assert_eq!(up.output_resolution(100), 300);
+    }
+
+    #[test]
+    fn zero_denominator_treated_as_one() {
+        let p = DataProduct {
+            kind: Sym(0),
+            format: Sym(1),
+            resolution_num: 1,
+            resolution_den: 0,
+        };
+        assert_eq!(p.output_resolution(7), 7);
+    }
+}

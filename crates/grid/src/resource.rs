@@ -1,0 +1,89 @@
+//! Physical resource descriptions — the paper's program preconditions
+//! include "the physical resources required by the program to execute
+//! (specified typically as a lower limit …, e.g., more than 1 GB of main
+//! memory, 1 to 3 TB of disk space)".
+
+use serde::{Deserialize, Serialize};
+
+/// A bundle of physical resources. Used both as a site's capacity and as a
+/// program's minimum requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Compute throughput in GFLOP/s.
+    pub cpu_gflops: f64,
+    /// Main memory in GB.
+    pub memory_gb: f64,
+    /// Disk space in TB.
+    pub disk_tb: f64,
+    /// Network bandwidth in Mbit/s.
+    pub net_mbps: f64,
+}
+
+impl ResourceSpec {
+    /// A zero requirement (every site satisfies it).
+    pub const NONE: ResourceSpec = ResourceSpec {
+        cpu_gflops: 0.0,
+        memory_gb: 0.0,
+        disk_tb: 0.0,
+        net_mbps: 0.0,
+    };
+
+    /// Does a site with capacity `self` satisfy the lower-limit
+    /// requirement `req`?
+    pub fn satisfies(&self, req: &ResourceSpec) -> bool {
+        self.cpu_gflops >= req.cpu_gflops
+            && self.memory_gb >= req.memory_gb
+            && self.disk_tb >= req.disk_tb
+            && self.net_mbps >= req.net_mbps
+    }
+
+    /// Validate all quantities are finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("cpu_gflops", self.cpu_gflops),
+            ("memory_gb", self.memory_gb),
+            ("disk_tb", self.disk_tb),
+            ("net_mbps", self.net_mbps),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(cpu: f64, mem: f64, disk: f64, net: f64) -> ResourceSpec {
+        ResourceSpec {
+            cpu_gflops: cpu,
+            memory_gb: mem,
+            disk_tb: disk,
+            net_mbps: net,
+        }
+    }
+
+    #[test]
+    fn satisfies_is_componentwise() {
+        let site = spec(100.0, 32.0, 10.0, 1000.0);
+        assert!(site.satisfies(&spec(50.0, 32.0, 1.0, 100.0)));
+        assert!(!site.satisfies(&spec(50.0, 64.0, 1.0, 100.0))); // memory short
+        assert!(site.satisfies(&ResourceSpec::NONE));
+    }
+
+    #[test]
+    fn satisfies_is_reflexive() {
+        let s = spec(1.0, 2.0, 3.0, 4.0);
+        assert!(s.satisfies(&s));
+    }
+
+    #[test]
+    fn validate_rejects_negative_and_nan() {
+        assert!(spec(-1.0, 0.0, 0.0, 0.0).validate().is_err());
+        assert!(spec(0.0, f64::NAN, 0.0, 0.0).validate().is_err());
+        assert!(spec(1.0, 1.0, 1.0, 1.0).validate().is_ok());
+    }
+}

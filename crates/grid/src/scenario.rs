@@ -1,0 +1,404 @@
+//! Ready-made grid worlds, starting with the paper's §1-footnote image
+//! pipeline: "some 2D image data was collected with a camera with
+//! resolution x, transformed using a histogram equalization algorithm …,
+//! then filtered using a high pass filter …, then Fourier transformed".
+//!
+//! The scenario also encodes the footnote's genealogy interaction: the
+//! alternative `fourier-filter` program refuses inputs that already passed
+//! through histogram equalization ("B could do a filtering in the Fourier
+//! domain that would cancel the effect of the histogram equalization").
+
+use crate::data::DataItem;
+use crate::ontology::Sym;
+use crate::program::{DataProduct, DataRequirement, Program, ProgramId};
+use crate::resource::ResourceSpec;
+use crate::site::{Site, SiteId};
+use crate::world::{GoalSpec, GridWorld, GridWorldBuilder};
+
+/// The image-pipeline world plus the ids examples and tests need.
+#[derive(Debug, Clone)]
+pub struct ImagePipeline {
+    /// The planning domain.
+    pub world: GridWorld,
+    /// Sites: orion (home, medium), vega (fast, pricey), lyra (slow, free).
+    pub sites: [SiteId; 3],
+    /// Kinds: raw-frames, equalized, filtered, spectrum.
+    pub kinds: [Sym; 4],
+    /// Programs: histeq, highpass, fft, fourier-filter.
+    pub programs: [ProgramId; 4],
+}
+
+fn res(cpu: f64, mem: f64, net: f64) -> ResourceSpec {
+    ResourceSpec {
+        cpu_gflops: cpu,
+        memory_gb: mem,
+        disk_tb: 10.0,
+        net_mbps: net,
+    }
+}
+
+/// Build the §1 image-processing scenario.
+///
+/// * Three heterogeneous sites; raw camera frames live at `orion`.
+/// * Pipeline `histeq → highpass → fft`, each program installed on a
+///   subset of sites, with resource requirements that exclude `lyra` from
+///   the FFT (memory-bound, per the paper's "more than 1 GB of main
+///   memory" example).
+/// * Alternative path: `fourier-filter` produces `filtered` directly from
+///   `raw-frames` but *forbids* histogram-equalized genealogy.
+/// * Goal: a `spectrum` artifact of resolution ≥ 512 located at `orion`.
+pub fn image_pipeline() -> ImagePipeline {
+    let mut b = GridWorldBuilder::new();
+    let orion = b.site(Site::new("orion", res(50.0, 16.0, 1000.0)).with_slots(2));
+    let vega = b.site(Site::new("vega", res(200.0, 64.0, 1000.0)).with_price(0.02).with_slots(4));
+    let lyra = b.site(Site::new("lyra", res(20.0, 4.0, 100.0)).with_slots(1));
+
+    let raw = b.kind("raw-frames", 2.0);
+    let equalized = b.kind("equalized", 2.0);
+    let filtered = b.kind("filtered", 1.0);
+    let spectrum = b.kind("spectrum", 0.5);
+
+    let fmt = b.ontology_mut().intern("hdf5");
+    let histeq_name = b.ontology_mut().intern("histeq");
+    let highpass_name = b.ontology_mut().intern("highpass");
+    let fft_name = b.ontology_mut().intern("fft");
+    let ff_name = b.ontology_mut().intern("fourier-filter");
+
+    let histeq = b.program(Program {
+        name: histeq_name,
+        inputs: vec![DataRequirement::of_kind(raw)],
+        output: DataProduct {
+            kind: equalized,
+            format: fmt,
+            resolution_num: 1,
+            resolution_den: 1,
+        },
+        min_resources: ResourceSpec::NONE,
+        gflops: 200.0,
+        installed_at: vec![orion, vega, lyra],
+    });
+    let highpass = b.program(Program {
+        name: highpass_name,
+        inputs: vec![DataRequirement::of_kind(equalized)],
+        output: DataProduct {
+            kind: filtered,
+            format: fmt,
+            resolution_num: 1,
+            resolution_den: 1,
+        },
+        min_resources: ResourceSpec::NONE,
+        gflops: 400.0,
+        installed_at: vec![orion, vega],
+    });
+    let fft = b.program(Program {
+        name: fft_name,
+        inputs: vec![DataRequirement {
+            kind: filtered,
+            min_resolution: 512,
+            formats: vec![],
+            forbidden_history: vec![],
+        }],
+        output: DataProduct {
+            kind: spectrum,
+            format: fmt,
+            resolution_num: 1,
+            resolution_den: 1,
+        },
+        // memory-hungry: excludes lyra (4 GB)
+        min_resources: ResourceSpec {
+            memory_gb: 8.0,
+            ..ResourceSpec::NONE
+        },
+        gflops: 800.0,
+        installed_at: vec![orion, vega],
+    });
+    let fourier_filter = b.program(Program {
+        name: ff_name,
+        inputs: vec![DataRequirement {
+            kind: raw,
+            min_resolution: 0,
+            formats: vec![],
+            forbidden_history: vec![histeq_name], // the footnote's interaction
+        }],
+        output: DataProduct {
+            kind: filtered,
+            format: fmt,
+            resolution_num: 1,
+            resolution_den: 1,
+        },
+        min_resources: ResourceSpec::NONE,
+        gflops: 600.0,
+        installed_at: vec![vega],
+    });
+
+    b.item(DataItem::source(raw, fmt, 1024, orion));
+    b.goal(GoalSpec {
+        requirement: DataRequirement {
+            kind: spectrum,
+            min_resolution: 512,
+            formats: vec![],
+            forbidden_history: vec![],
+        },
+        location: Some(orion),
+        weight: 1.0,
+    });
+
+    ImagePipeline {
+        world: b.build(),
+        sites: [orion, vega, lyra],
+        kinds: [raw, equalized, filtered, spectrum],
+        programs: [histeq, highpass, fft, fourier_filter],
+    }
+}
+
+
+/// The climate-ensemble world plus the ids tests need.
+#[derive(Debug, Clone)]
+pub struct ClimateEnsemble {
+    /// The planning domain.
+    pub world: GridWorld,
+    /// Sites: archive (storage), hpc1 (fast, busy), hpc2, cloud (priced), edge (slow).
+    pub sites: [SiteId; 5],
+    /// Kinds: raw-obs, regridded, sim-output, stats, viz, report.
+    pub kinds: [Sym; 6],
+    /// Programs: regrid, simulate, summarize, render, package.
+    pub programs: [ProgramId; 5],
+}
+
+/// A larger multi-goal scenario: a climate ensemble pipeline across five
+/// heterogeneous sites, with a storage-only archive (almost no CPU — the
+/// paper's "persistent storage" societal service), a busy HPC system, a
+/// priced cloud, and an under-resourced edge site. Two weighted goals: the
+/// packaged report back at the archive, and the visualization at the edge.
+pub fn climate_ensemble() -> ClimateEnsemble {
+    let mut b = GridWorldBuilder::new();
+    let archive = b.site(Site::new("archive", res(1.0, 8.0, 4000.0)).with_slots(4));
+    let hpc1 = b.site(Site::new("hpc1", res(400.0, 128.0, 2000.0)).with_load(0.3).with_slots(8));
+    let hpc2 = b.site(Site::new("hpc2", res(150.0, 64.0, 1000.0)).with_slots(4));
+    let cloud = b.site(Site::new("cloud", res(300.0, 96.0, 2000.0)).with_price(0.05).with_slots(16));
+    let edge = b.site(Site::new("edge", res(10.0, 4.0, 100.0)));
+
+    let raw = b.kind("raw-obs", 8.0);
+    let regridded = b.kind("regridded", 4.0);
+    let sim_output = b.kind("sim-output", 6.0);
+    let stats = b.kind("stats", 0.5);
+    let viz = b.kind("viz", 0.2);
+    let report = b.kind("report", 0.1);
+
+    let fmt = b.ontology_mut().intern("netcdf");
+    let names: Vec<Sym> = ["regrid", "simulate", "summarize", "render", "package"]
+        .iter()
+        .map(|n| b.ontology_mut().intern(n))
+        .collect();
+
+    let mk_product = |kind, format| DataProduct {
+        kind,
+        format,
+        resolution_num: 1,
+        resolution_den: 1,
+    };
+
+    let regrid = b.program(Program {
+        name: names[0],
+        inputs: vec![DataRequirement::of_kind(raw)],
+        output: mk_product(regridded, fmt),
+        min_resources: ResourceSpec { memory_gb: 16.0, ..ResourceSpec::NONE },
+        gflops: 500.0,
+        installed_at: vec![hpc1, hpc2, cloud],
+    });
+    let simulate = b.program(Program {
+        name: names[1],
+        inputs: vec![DataRequirement::of_kind(regridded)],
+        output: mk_product(sim_output, fmt),
+        min_resources: ResourceSpec { memory_gb: 48.0, ..ResourceSpec::NONE },
+        gflops: 4000.0,
+        installed_at: vec![hpc1, hpc2, cloud],
+    });
+    let summarize = b.program(Program {
+        name: names[2],
+        inputs: vec![DataRequirement::of_kind(sim_output)],
+        output: mk_product(stats, fmt),
+        min_resources: ResourceSpec::NONE,
+        gflops: 100.0,
+        installed_at: vec![hpc1, hpc2, cloud, edge],
+    });
+    let render = b.program(Program {
+        name: names[3],
+        inputs: vec![DataRequirement::of_kind(stats)],
+        output: mk_product(viz, fmt),
+        min_resources: ResourceSpec::NONE,
+        gflops: 50.0,
+        installed_at: vec![cloud, edge],
+    });
+    // package consumes stats AND viz — a genuinely multi-input program
+    let package = b.program(Program {
+        name: names[4],
+        inputs: vec![DataRequirement::of_kind(stats), DataRequirement::of_kind(viz)],
+        output: mk_product(report, fmt),
+        min_resources: ResourceSpec::NONE,
+        gflops: 10.0,
+        installed_at: vec![archive, cloud],
+    });
+
+    b.item(DataItem::source(raw, fmt, 2048, archive));
+    b.goal(GoalSpec {
+        requirement: DataRequirement::of_kind(report),
+        location: Some(archive),
+        weight: 2.0,
+    });
+    b.goal(GoalSpec {
+        requirement: DataRequirement::of_kind(viz),
+        location: Some(edge),
+        weight: 1.0,
+    });
+
+    ClimateEnsemble {
+        world: b.build(),
+        sites: [archive, hpc1, hpc2, cloud, edge],
+        kinds: [raw, regridded, sim_output, stats, viz, report],
+        programs: [regrid, simulate, summarize, render, package],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::{Domain, DomainExt};
+
+    #[test]
+    fn climate_ensemble_builds_and_grounds() {
+        let sc = climate_ensemble();
+        assert_eq!(sc.world.sites().len(), 5);
+        assert_eq!(sc.world.programs().len(), 5);
+        // runs: regrid 3 + simulate 3 + summarize 4 + render 2 + package 2 = 14
+        // transfers: 6 kinds x 20 directed pairs = 120
+        assert_eq!(sc.world.num_operations(), 134);
+        assert_eq!(sc.world.goals().len(), 2);
+    }
+
+    #[test]
+    fn climate_ensemble_solvable_by_hand() {
+        let sc = climate_ensemble();
+        let w = &sc.world;
+        let mut s = w.initial_state();
+        for name in [
+            "xfer raw-obs archive -> hpc1",
+            "run regrid @ hpc1",
+            "run simulate @ hpc1",
+            "run summarize @ hpc1",
+            "xfer stats hpc1 -> cloud",
+            "run render @ cloud",
+            "run package @ cloud",
+            "xfer report cloud -> archive",
+            "xfer viz cloud -> edge",
+        ] {
+            let op = w
+                .valid_ops_vec(&s)
+                .into_iter()
+                .find(|&o| w.op_name(o) == name)
+                .unwrap_or_else(|| panic!("`{name}` not valid"));
+            s = w.apply(&s, op);
+        }
+        assert!(w.is_goal(&s));
+    }
+
+    #[test]
+    fn climate_goals_are_weighted() {
+        let sc = climate_ensemble();
+        let w = &sc.world;
+        let mut s = w.initial_state();
+        // satisfy only the viz-at-edge goal (weight 1 of 3)
+        for name in [
+            "xfer raw-obs archive -> hpc2",
+            "run regrid @ hpc2",
+            "run simulate @ hpc2",
+            "run summarize @ hpc2",
+            "xfer stats hpc2 -> edge",
+            "run render @ edge",
+        ] {
+            let op = w
+                .valid_ops_vec(&s)
+                .into_iter()
+                .find(|&o| w.op_name(o) == name)
+                .unwrap_or_else(|| panic!("`{name}` not valid"));
+            s = w.apply(&s, op);
+        }
+        assert!((w.goal_fitness(&s) - 1.0 / 3.0).abs() < 1e-9, "fitness {}", w.goal_fitness(&s));
+    }
+
+    #[test]
+    fn archive_cannot_run_compute_programs() {
+        let sc = climate_ensemble();
+        // regrid needs 16 GB; archive has 8 and is not an install target
+        assert!(sc
+            .world
+            .op_id(crate::world::GridOp::Run(sc.programs[0], sc.sites[0]))
+            .is_none());
+    }
+
+    #[test]
+    fn scenario_builds_with_expected_shape() {
+        let sc = image_pipeline();
+        assert_eq!(sc.world.sites().len(), 3);
+        assert_eq!(sc.world.programs().len(), 4);
+        // runs: histeq 3 + highpass 2 + fft 2 + ff 1 = 8; transfers: 4 kinds
+        // x 6 directed site pairs = 24
+        assert_eq!(sc.world.num_operations(), 32);
+    }
+
+    #[test]
+    fn pipeline_is_solvable_by_hand() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let mut s = w.initial_state();
+        for name in ["run histeq @ orion", "run highpass @ orion", "run fft @ orion"] {
+            let op = w
+                .valid_ops_vec(&s)
+                .into_iter()
+                .find(|&o| w.op_name(o) == name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            s = w.apply(&s, op);
+        }
+        assert!(w.is_goal(&s));
+    }
+
+    #[test]
+    fn fourier_filter_rejects_equalized_lineage() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let mut s = w.initial_state();
+        // ship raw frames to vega, then fourier-filter is valid there
+        let xfer = w
+            .valid_ops_vec(&s)
+            .into_iter()
+            .find(|&o| w.op_name(o) == "xfer raw-frames orion -> vega")
+            .unwrap();
+        s = w.apply(&s, xfer);
+        let names: Vec<String> = w.valid_ops_vec(&s).iter().map(|&o| w.op_name(o)).collect();
+        assert!(names.contains(&"run fourier-filter @ vega".to_string()));
+        // the requirement machinery is exercised in program tests; here we
+        // confirm the alternative path exists alongside the histeq path
+        assert!(names.contains(&"run histeq @ vega".to_string()));
+    }
+
+    #[test]
+    fn lyra_cannot_run_fft() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        assert!(
+            w.op_id(crate::world::GridOp::Run(sc.programs[2], sc.sites[2])).is_none(),
+            "fft is not even installed at lyra"
+        );
+    }
+
+    #[test]
+    fn vega_is_faster_but_priced() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let run_orion = w.op_id(crate::world::GridOp::Run(sc.programs[0], sc.sites[0])).unwrap();
+        let run_vega = w.op_id(crate::world::GridOp::Run(sc.programs[0], sc.sites[1])).unwrap();
+        // orion: 200/50 = 4 s. vega: 200/200 = 1 s + 200*0.02 = 4 price -> 5.
+        assert!((w.op_cost(run_orion) - 4.0).abs() < 1e-9);
+        assert!((w.op_cost(run_vega) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,427 @@
+//! The coordination service: a discrete-event simulator that supervises the
+//! execution of an activity graph over the grid's sites.
+//!
+//! Paper §1: "Once this graph is constructed, its description can be
+//! provided to a coordination service and then the execution of all the
+//! programs involved is supervised by the coordination service. … The graph
+//! description can be modified during the execution in response to …
+//! information regarding the status of various grid resources" — the
+//! dynamic-replanning scenario this module reproduces with scheduled
+//! load-change events and a pluggable replanner.
+
+use gaplan_core::{Domain, Plan};
+
+use crate::activity::ActivityGraph;
+use crate::site::SiteId;
+use crate::world::{GridWorld, WorkflowState};
+
+/// An event scheduled to occur during execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExternalEvent {
+    /// At `time`, `site`'s load becomes `load` (the paper's "site … is
+    /// overloaded" scenario when `load` jumps).
+    LoadChange {
+        /// Simulation time (seconds) the change takes effect.
+        time: f64,
+        /// The affected site.
+        site: SiteId,
+        /// The new load in `[0, 1)`.
+        load: f64,
+    },
+}
+
+impl ExternalEvent {
+    fn time(&self) -> f64 {
+        match *self {
+            ExternalEvent::LoadChange { time, .. } => time,
+        }
+    }
+}
+
+/// Whether the coordinator replans when resource status changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanPolicy {
+    /// Execute the original activity graph regardless (the paper's "static
+    /// script" strawman).
+    #[default]
+    Never,
+    /// On every load change, let running tasks drain, then ask the
+    /// replanner for a fresh plan from the current data state under the new
+    /// resource picture.
+    OnLoadChange,
+}
+
+/// One executed task.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// Operation display name.
+    pub name: String,
+    /// Site it ran at.
+    pub site: SiteId,
+    /// Simulation start time (seconds).
+    pub start: f64,
+    /// Simulation end time.
+    pub end: f64,
+}
+
+/// The outcome of a coordinated execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// Tasks in completion order.
+    pub tasks: Vec<TaskRecord>,
+    /// Time the last task finished.
+    pub makespan: f64,
+    /// Sum of task durations (resource-seconds consumed).
+    pub busy_time: f64,
+    /// Number of replanning rounds triggered.
+    pub replans: usize,
+    /// Data artifacts available at the end.
+    pub final_state: WorkflowState,
+    /// Goal fitness of the final state.
+    pub goal_fitness: f64,
+}
+
+impl ExecutionTrace {
+    /// Did execution reach the goal?
+    pub fn reached_goal(&self) -> bool {
+        self.goal_fitness >= 1.0
+    }
+}
+
+/// A replanner: given the *updated* world (new loads, current artifacts as
+/// the initial state), produce a new plan. The GA multi-phase planner slots
+/// in here (see the `grid_workflow` example and Ext-E).
+pub type Replanner<'r> = dyn Fn(&GridWorld) -> Plan + 'r;
+
+/// The coordination service.
+pub struct Coordinator<'w> {
+    world: &'w GridWorld,
+    events: Vec<ExternalEvent>,
+    policy: ReplanPolicy,
+}
+
+impl<'w> Coordinator<'w> {
+    /// A coordinator over `world` with no scheduled events.
+    pub fn new(world: &'w GridWorld) -> Self {
+        Coordinator {
+            world,
+            events: Vec::new(),
+            policy: ReplanPolicy::Never,
+        }
+    }
+
+    /// Schedule an external event.
+    pub fn schedule(&mut self, event: ExternalEvent) -> &mut Self {
+        assert!(event.time() >= 0.0);
+        self.events.push(event);
+        self.events.sort_by(|a, b| a.time().total_cmp(&b.time()));
+        self
+    }
+
+    /// Set the replanning policy.
+    pub fn policy(&mut self, policy: ReplanPolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Execute `plan`. With [`ReplanPolicy::OnLoadChange`], `replanner` is
+    /// consulted after each load change; it receives the world with updated
+    /// loads and the current artifacts as its initial state.
+    pub fn run(&self, plan: &Plan, replanner: Option<&Replanner<'_>>) -> ExecutionTrace {
+        let mut live = self.world.clone();
+        let mut loads: Vec<f64> = live.sites().iter().map(|s| s.load).collect();
+        let mut state = self.world.initial_state();
+        let mut graph = ActivityGraph::from_plan(&live, &state, plan);
+
+        let mut tasks: Vec<TaskRecord> = Vec::new();
+        let mut busy_time = 0.0;
+        let mut replans = 0usize;
+        let mut now = 0.0f64;
+        let mut pending_events = self.events.clone();
+
+        // per-graph scheduling structures, rebuilt after each replan
+        let mut done = vec![false; graph.len()];
+        let mut started = vec![false; graph.len()];
+        // running: (end_time, node index, duration fixed at start)
+        let mut running: Vec<(f64, usize, f64)> = Vec::new();
+        let mut slots_used = vec![0usize; live.sites().len()];
+
+        loop {
+            // start every ready node with a free slot
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                #[allow(clippy::needless_range_loop)] // parallel arrays are indexed together
+                for i in 0..graph.len() {
+                    if started[i] || !graph.nodes()[i].deps.iter().all(|&d| done[d]) {
+                        continue;
+                    }
+                    let site = graph.nodes()[i].site;
+                    if slots_used[site.index()] >= live.sites()[site.index()].slots {
+                        continue;
+                    }
+                    started[i] = true;
+                    slots_used[site.index()] += 1;
+                    let duration = live.op_cost(graph.nodes()[i].op).max(0.0);
+                    running.push((now + duration, i, duration));
+                    progressed = true;
+                }
+            }
+
+            if done.iter().all(|&d| d) {
+                break;
+            }
+
+            let next_finish = running.iter().map(|&(t, _, _)| t).fold(f64::INFINITY, f64::min);
+            let next_event = pending_events.first().map_or(f64::INFINITY, ExternalEvent::time);
+
+            if next_finish.is_infinite() && next_event.is_infinite() {
+                // nothing running and nothing scheduled: the remaining nodes
+                // are unstartable (should not happen for well-formed graphs)
+                break;
+            }
+
+            if next_event < next_finish {
+                // drain the event
+                let ExternalEvent::LoadChange { time, site, load } = pending_events.remove(0);
+                now = now.max(time);
+                loads[site.index()] = load;
+                live = live.with_loads(&loads);
+
+                if self.policy == ReplanPolicy::OnLoadChange {
+                    if let Some(replan) = replanner {
+                        // let running tasks drain
+                        running.sort_by(|a, b| a.0.total_cmp(&b.0));
+                        for (end, i, duration) in running.drain(..) {
+                            now = now.max(end);
+                            finish_task(&live, &mut state, &graph, i, end, duration, &mut tasks, &mut busy_time, &mut done);
+                        }
+                        replans += 1;
+                        let snapshot = live.with_initial(state.clone());
+                        let new_plan = replan(&snapshot);
+                        graph = ActivityGraph::from_plan(&live, &state, &new_plan);
+                        done = vec![false; graph.len()];
+                        started = vec![false; graph.len()];
+                        slots_used = vec![0; live.sites().len()];
+                        if graph.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // complete the earliest-finishing task
+            let pos = running
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                .map(|(i, _)| i)
+                .expect("running is non-empty here");
+            let (end, i, duration) = running.swap_remove(pos);
+            now = end;
+            slots_used[graph.nodes()[i].site.index()] -= 1;
+            finish_task(&live, &mut state, &graph, i, end, duration, &mut tasks, &mut busy_time, &mut done);
+        }
+
+        let goal_fitness = self.world.goal_fitness(&state);
+        ExecutionTrace {
+            tasks,
+            makespan: now,
+            busy_time,
+            replans,
+            final_state: state,
+            goal_fitness,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_task(
+    live: &GridWorld,
+    state: &mut WorkflowState,
+    graph: &ActivityGraph,
+    node: usize,
+    end: f64,
+    duration: f64,
+    tasks: &mut Vec<TaskRecord>,
+    busy_time: &mut f64,
+    done: &mut [bool],
+) {
+    let n = &graph.nodes()[node];
+    tasks.push(TaskRecord {
+        name: n.name.clone(),
+        site: n.site,
+        start: end - duration,
+        end,
+    });
+    *busy_time += duration;
+    *state = live.apply(state, n.op);
+    done[node] = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::image_pipeline;
+    use gaplan_core::DomainExt;
+
+    fn pipeline_plan(world: &GridWorld, names: &[&str]) -> Plan {
+        let mut state = world.initial_state();
+        let mut ops = Vec::new();
+        for name in names {
+            let op = world
+                .valid_ops_vec(&state)
+                .into_iter()
+                .find(|&o| world.op_name(o) == *name)
+                .unwrap_or_else(|| panic!("op `{name}` invalid"));
+            state = world.apply(&state, op);
+            ops.push(op);
+        }
+        Plan::from_ops(ops)
+    }
+
+    #[test]
+    fn serial_chain_executes_to_goal() {
+        let sc = image_pipeline();
+        let plan = pipeline_plan(&sc.world, &["run histeq @ orion", "run highpass @ orion", "run fft @ orion"]);
+        let trace = Coordinator::new(&sc.world).run(&plan, None);
+        assert!(trace.reached_goal());
+        assert_eq!(trace.tasks.len(), 3);
+        // orion: 200/50 + 400/50 + 800/50 = 4 + 8 + 16 = 28 s
+        assert!((trace.makespan - 28.0).abs() < 1e-9, "makespan {}", trace.makespan);
+        assert_eq!(trace.replans, 0);
+        // strictly serial: busy time == makespan
+        assert!((trace.busy_time - trace.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_respect_dependencies() {
+        let sc = image_pipeline();
+        let plan = pipeline_plan(&sc.world, &["run histeq @ orion", "run highpass @ orion", "run fft @ orion"]);
+        let trace = Coordinator::new(&sc.world).run(&plan, None);
+        for w in trace.tasks.windows(2) {
+            assert!(w[1].start >= w[0].end - 1e-9, "chain must serialize");
+        }
+    }
+
+    #[test]
+    fn load_spike_stretches_execution_without_replanning() {
+        let sc = image_pipeline();
+        let plan = pipeline_plan(&sc.world, &["run histeq @ orion", "run highpass @ orion", "run fft @ orion"]);
+        let mut coord = Coordinator::new(&sc.world);
+        coord.schedule(ExternalEvent::LoadChange {
+            time: 5.0,
+            site: sc.sites[0],
+            load: 0.9,
+        });
+        let trace = coord.run(&plan, None);
+        assert!(trace.reached_goal());
+        // after t=5 orion runs at 5 GFLOP/s: tasks started later stretch 10x
+        assert!(trace.makespan > 28.0 + 1.0, "makespan {}", trace.makespan);
+    }
+
+    #[test]
+    fn replanning_reroutes_around_overload() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        let plan = pipeline_plan(w, &["run histeq @ orion", "run highpass @ orion", "run fft @ orion"]);
+
+        // a cost-optimal replanner: bounded-depth branch and bound over the
+        // snapshot, minimizing total operation cost to the goal — it finds
+        // the cheap route (ship to vega, compute there, ship back) instead
+        // of grinding on the overloaded site
+        fn cheapest_to_goal(
+            snapshot: &GridWorld,
+            state: &WorkflowState,
+            depth: usize,
+            budget: f64,
+        ) -> Option<(f64, Vec<gaplan_core::OpId>)> {
+            if snapshot.is_goal(state) {
+                return Some((0.0, vec![]));
+            }
+            if depth == 0 {
+                return None;
+            }
+            let mut best: Option<(f64, Vec<gaplan_core::OpId>)> = None;
+            for op in snapshot.valid_ops_vec(state) {
+                let c = snapshot.op_cost(op);
+                if c >= budget {
+                    continue;
+                }
+                let next = snapshot.apply(state, op);
+                let remaining = best.as_ref().map_or(budget, |(b, _)| *b);
+                if let Some((sub, mut ops)) = cheapest_to_goal(snapshot, &next, depth - 1, remaining - c) {
+                    ops.insert(0, op);
+                    if best.as_ref().is_none_or(|(b, _)| c + sub < *b) {
+                        best = Some((c + sub, ops));
+                    }
+                }
+            }
+            best
+        }
+        let replanner = |snapshot: &GridWorld| -> Plan {
+            let (_, ops) =
+                cheapest_to_goal(snapshot, &snapshot.initial_state(), 4, f64::INFINITY).expect("goal reachable");
+            Plan::from_ops(ops)
+        };
+
+        let mut with_replan = Coordinator::new(w);
+        with_replan
+            .schedule(ExternalEvent::LoadChange {
+                time: 5.0,
+                site: sc.sites[0],
+                load: 0.95,
+            })
+            .policy(ReplanPolicy::OnLoadChange);
+        let replanned = with_replan.run(&plan, Some(&replanner));
+
+        let mut without = Coordinator::new(w);
+        without.schedule(ExternalEvent::LoadChange {
+            time: 5.0,
+            site: sc.sites[0],
+            load: 0.95,
+        });
+        let stuck = without.run(&plan, None);
+
+        assert!(replanned.reached_goal(), "replanned run must still reach the goal");
+        assert!(stuck.reached_goal());
+        assert!(replanned.replans >= 1);
+        assert!(
+            replanned.makespan < stuck.makespan,
+            "replanning ({}) must beat the static script ({})",
+            replanned.makespan,
+            stuck.makespan
+        );
+    }
+
+    #[test]
+    fn empty_plan_executes_trivially() {
+        let sc = image_pipeline();
+        let trace = Coordinator::new(&sc.world).run(&Plan::new(), None);
+        assert_eq!(trace.tasks.len(), 0);
+        assert_eq!(trace.makespan, 0.0);
+        assert!(!trace.reached_goal());
+    }
+
+    #[test]
+    fn parallel_branches_overlap_in_time() {
+        let sc = image_pipeline();
+        let w = &sc.world;
+        // copy raw to vega; equalize on both sites concurrently
+        let plan = pipeline_plan(
+            w,
+            &[
+                "xfer raw-frames orion -> vega",
+                "run histeq @ orion",
+                "run histeq @ vega",
+            ],
+        );
+        let trace = Coordinator::new(w).run(&plan, None);
+        assert_eq!(trace.tasks.len(), 3);
+        // histeq@orion (no deps) and the transfer start at t=0 concurrently
+        let starts: Vec<f64> = trace.tasks.iter().map(|t| t.start).collect();
+        assert!(starts.iter().filter(|&&s| s == 0.0).count() >= 2);
+        assert!(trace.busy_time > trace.makespan, "parallel execution overlaps");
+    }
+}

@@ -1,0 +1,131 @@
+//! Grid sites: heterogeneous machines with resources, load and price.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resource::ResourceSpec;
+
+/// Identifier of a site within a [`crate::world::GridWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A grid site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable name.
+    pub name: String,
+    /// Hardware capacity.
+    pub resources: ResourceSpec,
+    /// Fraction of CPU already consumed by other users, in `[0, 1)`. Higher
+    /// load means longer execution times — the paper's "site is overloaded"
+    /// scenario raises this.
+    pub load: f64,
+    /// Price per executed GFLOP (arbitrary currency); lets cost fitness
+    /// trade off fast-but-expensive against slow-but-cheap sites.
+    pub cost_per_gflop: f64,
+    /// Maximum number of tasks the coordination service will run here
+    /// concurrently.
+    pub slots: usize,
+}
+
+impl Site {
+    /// Construct a site with sane defaults (no load, 1 slot, free).
+    pub fn new(name: &str, resources: ResourceSpec) -> Self {
+        Site {
+            name: name.to_string(),
+            resources,
+            load: 0.0,
+            cost_per_gflop: 0.0,
+            slots: 1,
+        }
+    }
+
+    /// Builder-style load setter.
+    pub fn with_load(mut self, load: f64) -> Self {
+        assert!((0.0..1.0).contains(&load), "load must be in [0, 1)");
+        self.load = load;
+        self
+    }
+
+    /// Builder-style price setter.
+    pub fn with_price(mut self, cost_per_gflop: f64) -> Self {
+        assert!(cost_per_gflop >= 0.0);
+        self.cost_per_gflop = cost_per_gflop;
+        self
+    }
+
+    /// Builder-style concurrency setter.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        assert!(slots >= 1);
+        self.slots = slots;
+        self
+    }
+
+    /// Effective compute throughput after discounting load.
+    pub fn effective_gflops(&self) -> f64 {
+        self.resources.cpu_gflops * (1.0 - self.load)
+    }
+
+    /// Seconds to execute `gflops` of work here under current load.
+    pub fn execution_seconds(&self, gflops: f64) -> f64 {
+        gflops / self.effective_gflops()
+    }
+
+    /// Monetary cost of executing `gflops` of work here.
+    pub fn execution_price(&self, gflops: f64) -> f64 {
+        gflops * self.cost_per_gflop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(cpu: f64) -> ResourceSpec {
+        ResourceSpec {
+            cpu_gflops: cpu,
+            memory_gb: 8.0,
+            disk_tb: 1.0,
+            net_mbps: 1000.0,
+        }
+    }
+
+    #[test]
+    fn load_discounts_throughput() {
+        let s = Site::new("fast", res(100.0)).with_load(0.5);
+        assert_eq!(s.effective_gflops(), 50.0);
+        assert_eq!(s.execution_seconds(100.0), 2.0);
+    }
+
+    #[test]
+    fn unloaded_site_runs_at_full_speed() {
+        let s = Site::new("idle", res(200.0));
+        assert_eq!(s.execution_seconds(100.0), 0.5);
+    }
+
+    #[test]
+    fn price_scales_with_work() {
+        let s = Site::new("paid", res(10.0)).with_price(0.25);
+        assert_eq!(s.execution_price(40.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn full_load_rejected() {
+        let _ = Site::new("x", res(1.0)).with_load(1.0);
+    }
+
+    #[test]
+    fn slots_default_one() {
+        let s = Site::new("x", res(1.0));
+        assert_eq!(s.slots, 1);
+        assert_eq!(Site::new("y", res(1.0)).with_slots(4).slots, 4);
+    }
+}

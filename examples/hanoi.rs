@@ -1,0 +1,79 @@
+//! Towers of Hanoi study (paper §4.1): single-phase vs multi-phase GA on
+//! 5/6/7 disks, a look at the Eq. 5 fitness trap, and a comparison against
+//! the optimal plan.
+//!
+//! Run with: `cargo run --release --example hanoi [-- <runs>]`
+
+use ga_grid_planner::baselines::{astar, HanoiLowerBound, SearchLimits};
+use ga_grid_planner::domains::Hanoi;
+use ga_grid_planner::ga::rng::derive_seed;
+use ga_grid_planner::ga::{GaConfig, MultiPhase};
+use gaplan_core::Domain;
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    println!("== The Eq. 5 fitness trap (paper §4.1) ==");
+    let h7 = Hanoi::new(7);
+    let mut near_miss = vec![1u8; 7];
+    near_miss[6] = 0; // six disks on B, the largest still on A
+    println!(
+        "six smallest disks on B, largest on A: goal fitness {:.4} (just under 0.5,\n\
+         yet the state is farther from the goal than the start — every one of those\n\
+         disks must leave B before the largest can land)",
+        h7.goal_fitness(&near_miss)
+    );
+
+    println!("\n== Single-phase vs multi-phase, {runs} runs each ==");
+    println!(
+        "{:<6} {:<13} {:>12} {:>10} {:>12} {:>8}",
+        "disks", "GA type", "goal fitness", "plan len", "generations", "solved"
+    );
+    for n in [5usize, 6, 7] {
+        let hanoi = Hanoi::new(n);
+        let optimal = hanoi.optimal_len();
+        for (label, single) in [("single-phase", true), ("multi-phase", false)] {
+            let mut sum_fit = 0.0;
+            let mut sum_len = 0.0;
+            let mut sum_gen = 0.0;
+            let mut solved = 0;
+            for run in 0..runs {
+                let base = GaConfig {
+                    initial_len: optimal,
+                    max_len: 5 * optimal,
+                    seed: derive_seed(2003, (n * 100 + run) as u64),
+                    ..GaConfig::default()
+                };
+                let cfg = if single { base.single_phase() } else { base.multi_phase() };
+                let r = MultiPhase::new(&hanoi, cfg).run();
+                sum_fit += r.goal_fitness;
+                sum_len += r.plan.len() as f64;
+                sum_gen += f64::from(r.generations_to_solution);
+                solved += usize::from(r.solved);
+            }
+            let k = runs as f64;
+            println!(
+                "{:<6} {:<13} {:>12.3} {:>10.1} {:>12.1} {:>5}/{}",
+                n,
+                label,
+                sum_fit / k,
+                sum_len / k,
+                sum_gen / k,
+                solved,
+                runs
+            );
+        }
+        println!("       (optimal plan length: {optimal})");
+    }
+
+    println!("\n== Optimal baseline (A* with the exact Hanoi lower bound) ==");
+    for n in [5usize, 6, 7] {
+        let hanoi = Hanoi::new(n);
+        let r = astar(&hanoi, &HanoiLowerBound, SearchLimits::default());
+        println!(
+            "n={n}: optimal plan of {} moves found with {} node expansions",
+            r.plan_len().unwrap(),
+            r.expanded
+        );
+    }
+}

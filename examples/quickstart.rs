@@ -1,0 +1,55 @@
+//! Quickstart: solve the 5-disk Towers of Hanoi with the paper's multi-phase
+//! GA and the exact Table 1 parameters.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ga_grid_planner::domains::Hanoi;
+use ga_grid_planner::ga::{GaConfig, MultiPhase};
+use gaplan_core::Domain;
+
+fn main() {
+    let n = 5;
+    let hanoi = Hanoi::new(n);
+
+    println!("Initial state (paper Figure 1):");
+    println!("{}", hanoi.render(&hanoi.initial_state()));
+
+    // Table 1: pop 200, tournament(2), crossover 0.9, mutation 0.01,
+    // weights 0.9/0.1; multi-phase: 5 phases x 100 generations.
+    let cfg = GaConfig {
+        initial_len: hanoi.optimal_len(),     // paper: optimal length 2^n - 1
+        max_len: 4 * hanoi.optimal_len(),     // per-phase MaxLen (DESIGN.md note 2)
+        seed: 2003,
+        ..GaConfig::default()
+    }
+    .multi_phase();
+
+    println!("Running multi-phase GA (5 phases x 100 generations, pop 200)...");
+    let result = MultiPhase::new(&hanoi, cfg).run();
+
+    println!(
+        "solved: {} (goal fitness {:.3}) in {} generations, plan length {}",
+        result.solved,
+        result.goal_fitness,
+        result.generations_to_solution,
+        result.plan.len()
+    );
+    if let Some(phase) = result.solved_in_phase {
+        println!("solution found in phase {phase}");
+    }
+    for p in &result.phases {
+        println!(
+            "  phase {}: best goal fitness {:.3}, contributed {} ops",
+            p.phase, p.best_goal_fitness, p.plan_len
+        );
+    }
+
+    println!("\nFinal state (paper Figure 2):");
+    println!("{}", hanoi.render(&result.final_state));
+
+    println!("First moves of the evolved plan:");
+    for (i, &op) in result.plan.ops().iter().take(10).enumerate() {
+        println!("  {:2}. {}", i + 1, hanoi.op_name(op));
+    }
+    println!("  ... ({} moves total; optimal is {})", result.plan.len(), hanoi.optimal_len());
+}

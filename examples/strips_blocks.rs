@@ -1,0 +1,114 @@
+//! Data-defined planning: parse a STRIPS domain from text, plan it with the
+//! GA and with the deterministic baselines, then do the same for a
+//! generated Blocks World instance.
+//!
+//! Run with: `cargo run --release --example strips_blocks`
+
+use ga_grid_planner::baselines::{backward_chain, bfs, forward_chain, graphplan, SearchLimits};
+use ga_grid_planner::domains::blocks_world;
+use ga_grid_planner::ga::{GaConfig, MultiPhase};
+use gaplan_core::strips::parse_strips;
+use gaplan_core::Domain;
+
+/// A small logistics-flavoured domain in the crate's STRIPS text format:
+/// a rover must photograph a rock and relay the image home.
+const ROVER: &str = "
+conditions: rover-base rover-rock have-photo photo-relayed antenna-up
+
+op drive-to-rock
+  pre: rover-base
+  add: rover-rock
+  del: rover-base
+  cost: 5
+
+op drive-to-base
+  pre: rover-rock
+  add: rover-base
+  del: rover-rock
+  cost: 5
+
+op take-photo
+  pre: rover-rock
+  add: have-photo
+  cost: 1
+
+op raise-antenna
+  pre: rover-base
+  add: antenna-up
+  cost: 2
+
+op relay-photo
+  pre: have-photo antenna-up rover-base
+  add: photo-relayed
+  cost: 1
+
+init: rover-base
+goal: photo-relayed
+";
+
+fn main() {
+    println!("== Rover domain (parsed from the STRIPS text format) ==");
+    let rover = parse_strips(ROVER).expect("rover domain parses");
+    println!(
+        "{} conditions, {} ground operators\n",
+        rover.num_conditions(),
+        rover.num_operations()
+    );
+
+    let cfg = GaConfig {
+        population_size: 60,
+        generations_per_phase: 60,
+        max_phases: 3,
+        initial_len: 6,
+        max_len: 12,
+        truncate_at_goal: true,
+        seed: 11,
+        ..GaConfig::default()
+    };
+    let ga = MultiPhase::new(&rover, cfg.clone()).run();
+    println!("GA: solved = {}, plan:", ga.solved);
+    print!("{}", ga.plan.display(&rover));
+
+    let b = bfs(&rover, SearchLimits::default());
+    println!("BFS: optimal length {}", b.plan_len().unwrap());
+    let f = forward_chain(&rover, SearchLimits::default());
+    println!("forward chaining: length {}", f.plan_len().unwrap());
+    let bw = backward_chain(&rover, SearchLimits::default());
+    println!("backward chaining: length {}", bw.plan_len().unwrap());
+    let gp = graphplan(&rover, SearchLimits::default());
+    println!("Graphplan: length {}\n", gp.plan_len().unwrap());
+
+    println!("== Blocks World (generated ground STRIPS) ==");
+    // 5 blocks: one tower 0..4 -> reversed tower
+    let blocks = blocks_world(5, &vec![vec![0, 1, 2, 3, 4]], &vec![vec![4, 3, 2, 1, 0]]).unwrap();
+    println!("{} ground operators", blocks.num_operations());
+
+    let cfg_blocks = GaConfig {
+        population_size: 150,
+        generations_per_phase: 100,
+        max_phases: 5,
+        initial_len: 12,
+        max_len: 36,
+        truncate_at_goal: true,
+        seed: 7,
+        ..GaConfig::default()
+    };
+    let ga_b = MultiPhase::new(&blocks, cfg_blocks).run();
+    println!(
+        "GA: solved = {} (goal fitness {:.2}), plan length {}",
+        ga_b.solved,
+        ga_b.goal_fitness,
+        ga_b.plan.len()
+    );
+    if ga_b.solved {
+        print!("{}", ga_b.plan.display(&blocks));
+    }
+    let b2 = bfs(&blocks, SearchLimits::default());
+    println!("BFS: optimal length {}", b2.plan_len().unwrap());
+    let gp2 = graphplan(&blocks, SearchLimits::default());
+    println!(
+        "Graphplan: length {} ({} nogoods memoized)",
+        gp2.plan_len().unwrap(),
+        gp2.peak_states
+    );
+}

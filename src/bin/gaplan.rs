@@ -1,0 +1,279 @@
+//! `gaplan` — command-line planner over the workspace's engines.
+//!
+//! ```text
+//! gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2]
+//!                      [--seed N] [--pop N] [--gens N] [--phases N]
+//! gaplan grid   <file> [--planner ga|greedy] [--simulate]
+//!                      [--overload SITE:TIME:LOAD]
+//! gaplan hanoi  <disks> [--single] [--seed N]
+//! gaplan tile   <side>  [--crossover random|state-aware|mixed] [--seed N]
+//! ```
+//!
+//! STRIPS files use the `gaplan-core` text format; grid files use the
+//! `gaplan-grid` format (see `data/` for samples).
+
+use std::process::exit;
+use std::time::Instant;
+
+use ga_grid_planner::baselines::{
+    backward_chain, bfs, forward_chain, graphplan, greedy_best_first, HAdd, SearchLimits,
+};
+use ga_grid_planner::domains::{Hanoi, SlidingTile};
+use ga_grid_planner::ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
+use ga_grid_planner::grid::{
+    greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy,
+};
+use gaplan_core::{Domain, Plan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage("no command") };
+    match cmd.as_str() {
+        "strips" => strips_cmd(&args[1..]),
+        "grid" => grid_cmd(&args[1..]),
+        "hanoi" => hanoi_cmd(&args[1..]),
+        "tile" => tile_cmd(&args[1..]),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD]\n  gaplan hanoi <disks> [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]"
+    );
+    exit(2);
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<&str>, default: T) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
+    GaConfig {
+        population_size: parse_or(flag_value(args, "--pop"), 200),
+        generations_per_phase: parse_or(flag_value(args, "--gens"), 100),
+        max_phases: parse_or(flag_value(args, "--phases"), 5),
+        initial_len,
+        max_len: 5 * initial_len,
+        seed: parse_or(flag_value(args, "--seed"), 2003),
+        ..GaConfig::default()
+    }
+}
+
+fn report_plan<D: Domain>(domain: &D, plan: &Plan, elapsed: f64, extra: &str) {
+    let out = plan
+        .simulate(domain, &domain.initial_state())
+        .expect("planner produced an invalid plan");
+    println!(
+        "plan: {} ops, cost {:.1}, reaches goal: {} ({:.3}s){extra}",
+        plan.len(),
+        out.cost,
+        out.solves,
+        elapsed
+    );
+    print!("{}", plan.display(domain));
+}
+
+fn strips_cmd(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage("strips needs a file")
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let problem = gaplan_core::strips::parse_strips(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    println!(
+        "{path}: {} conditions, {} ground operators",
+        problem.num_conditions(),
+        problem.num_operations()
+    );
+    let planner = flag_value(args, "--planner").unwrap_or("ga");
+    let limits = SearchLimits::default();
+    let started = Instant::now();
+    match planner {
+        "ga" => {
+            let cfg = ga_config_from_flags(args, 16.max(problem.num_operations()));
+            let r = MultiPhase::new(&problem, cfg).run();
+            println!(
+                "GA: solved={} goal-fitness={:.3} generations={}",
+                r.solved, r.goal_fitness, r.generations_to_solution
+            );
+            report_plan(&problem, &r.plan, started.elapsed().as_secs_f64(), "");
+        }
+        other => {
+            let result = match other {
+                "bfs" => bfs(&problem, limits),
+                "graphplan" => graphplan(&problem, limits),
+                "forward" => forward_chain(&problem, limits),
+                "backward" => backward_chain(&problem, limits),
+                "hsp2" => greedy_best_first(&problem, &HAdd, limits),
+                _ => usage(&format!("unknown planner `{other}`")),
+            };
+            match result.plan {
+                Some(plan) => report_plan(
+                    &problem,
+                    &plan,
+                    started.elapsed().as_secs_f64(),
+                    &format!(", {} nodes expanded", result.expanded),
+                ),
+                None => {
+                    println!("{other}: no plan found ({:?}, {} expanded)", result.outcome, result.expanded);
+                    exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn grid_cmd(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage("grid needs a file")
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let world = parse_grid(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    println!(
+        "{path}: {} sites, {} programs, {} ground operations, {} goal(s)",
+        world.sites().len(),
+        world.programs().len(),
+        world.num_operations(),
+        world.goals().len()
+    );
+    let planner = flag_value(args, "--planner").unwrap_or("ga");
+    let started = Instant::now();
+    let plan = match planner {
+        "ga" => {
+            let mut cfg = ga_config_from_flags(args, 12);
+            cfg.max_len = 32;
+            cfg.cost_fitness = CostFitnessMode::InverseCost;
+            MultiPhase::new(&world, cfg).run().plan
+        }
+        "greedy" => greedy_plan(&world, 8).unwrap_or_default(),
+        other => usage(&format!("unknown planner `{other}`")),
+    };
+    report_plan(&world, &plan, started.elapsed().as_secs_f64(), "");
+
+    let graph = ActivityGraph::from_plan(&world, &world.initial_state(), &plan);
+    println!(
+        "activity graph: {} nodes, width {}, critical path {:.1}s",
+        graph.len(),
+        graph.width(),
+        graph.critical_path()
+    );
+
+    if flag_present(args, "--simulate") {
+        let mut coord = Coordinator::new(&world);
+        if let Some(spec) = flag_value(args, "--overload") {
+            let parts: Vec<&str> = spec.split(':').collect();
+            if parts.len() != 3 {
+                usage("--overload SITE:TIME:LOAD");
+            }
+            let site = world
+                .sites()
+                .iter()
+                .position(|s| s.name == parts[0])
+                .unwrap_or_else(|| usage(&format!("unknown site `{}`", parts[0])));
+            coord
+                .schedule(ExternalEvent::LoadChange {
+                    time: parse_or(Some(parts[1]), 0.0),
+                    site: ga_grid_planner::grid::SiteId(site as u32),
+                    load: parse_or(Some(parts[2]), 0.9),
+                })
+                .policy(ReplanPolicy::OnLoadChange);
+        }
+        let seed = parse_or(flag_value(args, "--seed"), 2003);
+        let replanner = move |snapshot: &GridWorld| -> Plan {
+            let mut cfg = GaConfig {
+                population_size: 100,
+                generations_per_phase: 60,
+                max_phases: 3,
+                initial_len: 10,
+                max_len: 24,
+                cost_fitness: CostFitnessMode::InverseCost,
+                seed: seed ^ 0xD1CE,
+                ..GaConfig::default()
+            };
+            cfg.truncate_at_goal = true;
+            MultiPhase::new(snapshot, cfg).run().plan
+        };
+        let trace = coord.run(&plan, Some(&replanner));
+        println!("\nsimulated execution:");
+        for t in &trace.tasks {
+            println!("  [{:8.1} - {:8.1}] {}", t.start, t.end, t.name);
+        }
+        println!(
+            "goal fitness {:.3}, makespan {:.1}s, busy {:.1}s, {} replans",
+            trace.goal_fitness, trace.makespan, trace.busy_time, trace.replans
+        );
+    }
+}
+
+fn hanoi_cmd(args: &[String]) {
+    let n: usize = parse_or(args.first().map(String::as_str), 5);
+    let hanoi = Hanoi::new(n);
+    let mut cfg = ga_config_from_flags(args, hanoi.optimal_len());
+    if flag_present(args, "--single") {
+        cfg = cfg.single_phase();
+    } else {
+        cfg = cfg.multi_phase();
+    }
+    let started = Instant::now();
+    let r = MultiPhase::new(&hanoi, cfg).run();
+    println!(
+        "hanoi {n}: solved={} goal-fitness={:.3} generations={} plan-length={} (optimal {}) in {:.2}s",
+        r.solved,
+        r.goal_fitness,
+        r.generations_to_solution,
+        r.plan.len(),
+        hanoi.optimal_len(),
+        started.elapsed().as_secs_f64()
+    );
+    println!("{}", hanoi.render(&r.final_state));
+}
+
+fn tile_cmd(args: &[String]) {
+    let n: usize = parse_or(args.first().map(String::as_str), 3);
+    let seed: u64 = parse_or(flag_value(args, "--seed"), 2003);
+    let crossover = match flag_value(args, "--crossover").unwrap_or("mixed") {
+        "random" => CrossoverKind::Random,
+        "state-aware" => CrossoverKind::StateAware,
+        "mixed" => CrossoverKind::Mixed,
+        other => usage(&format!("unknown crossover `{other}`")),
+    };
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let puzzle = SlidingTile::random_solvable(n, &mut rng);
+    println!("instance:\n{}", puzzle.render(&puzzle.initial_state()));
+    let initial_len = ((n * n) as f64 * ((n * n) as f64).log2()).ceil() as usize;
+    let mut cfg = ga_config_from_flags(args, initial_len);
+    cfg.crossover = crossover;
+    let started = Instant::now();
+    let r = MultiPhase::new(&puzzle, cfg).run();
+    println!(
+        "tile {n}x{n} ({}): solved={} goal-fitness={:.3} plan-length={} in {:.2}s",
+        crossover.name(),
+        r.solved,
+        r.goal_fitness,
+        r.plan.len(),
+        started.elapsed().as_secs_f64()
+    );
+    println!("final state:\n{}", puzzle.render(&r.final_state));
+}

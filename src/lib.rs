@@ -1,0 +1,8 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate re-exporting the full GA-planner workspace API.
+pub use gaplan_baselines as baselines;
+pub use gaplan_core as core;
+pub use gaplan_domains as domains;
+pub use gaplan_ga as ga;
+pub use gaplan_grid as grid;

@@ -1,0 +1,126 @@
+//! Integration tests for the `gaplan` CLI binary, driven over the sample
+//! data files in `data/`.
+
+use std::process::Command;
+
+fn gaplan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gaplan"))
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = gaplan().args(args).output().expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn strips_graphplan_solves_rover() {
+    let (ok, text) = run(&["strips", "data/rover.strips", "--planner", "graphplan"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("reaches goal: true"), "{text}");
+    assert!(text.contains("send-photo") && text.contains("send-sample"));
+}
+
+#[test]
+fn strips_bfs_and_hsp2_solve_rover() {
+    for planner in ["bfs", "hsp2", "forward"] {
+        let (ok, text) = run(&["strips", "data/rover.strips", "--planner", planner]);
+        assert!(ok, "{planner}: {text}");
+        assert!(text.contains("reaches goal: true"), "{planner}: {text}");
+    }
+}
+
+#[test]
+fn strips_ga_solves_rover() {
+    let (ok, text) = run(&[
+        "strips",
+        "data/rover.strips",
+        "--planner",
+        "ga",
+        "--pop",
+        "100",
+        "--gens",
+        "60",
+        "--phases",
+        "3",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("solved=true"), "{text}");
+}
+
+#[test]
+fn grid_ga_plans_pipeline() {
+    let (ok, text) = run(&[
+        "grid",
+        "data/pipeline.grid",
+        "--planner",
+        "ga",
+        "--gens",
+        "60",
+        "--phases",
+        "3",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("reaches goal: true"), "{text}");
+    assert!(text.contains("activity graph"), "{text}");
+}
+
+#[test]
+fn grid_greedy_plans_pipeline() {
+    let (ok, text) = run(&["grid", "data/pipeline.grid", "--planner", "greedy"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("reaches goal: true"), "{text}");
+}
+
+#[test]
+fn grid_simulation_with_overload_replans() {
+    let (ok, text) = run(&[
+        "grid",
+        "data/pipeline.grid",
+        "--planner",
+        "greedy",
+        "--simulate",
+        "--overload",
+        "orion:3:0.95",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("1 replans"), "{text}");
+    assert!(text.contains("goal fitness 1.000"), "{text}");
+}
+
+#[test]
+fn hanoi_subcommand_solves() {
+    let (ok, text) = run(&["hanoi", "4", "--seed", "3"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("solved=true"), "{text}");
+    assert!(text.contains("optimal 15"), "{text}");
+}
+
+#[test]
+fn tile_subcommand_solves() {
+    let (ok, text) = run(&["tile", "3", "--crossover", "state-aware", "--seed", "4"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("solved=true"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, text) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("usage"), "{text}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (ok, text) = run(&["strips", "data/nonexistent.strips"]);
+    assert!(!ok);
+    assert!(text.contains("cannot read"), "{text}");
+}

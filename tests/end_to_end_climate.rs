@@ -1,0 +1,75 @@
+//! End-to-end on the larger multi-goal grid scenario: GA planning over five
+//! sites with a multi-input program and two weighted goals, executed by the
+//! coordination service.
+
+use ga_grid_planner::ga::{CostFitnessMode, GaConfig, MultiPhase};
+use ga_grid_planner::grid::{climate_ensemble, greedy_plan, ActivityGraph, Coordinator};
+use gaplan_core::Domain;
+
+fn ga_cfg(seed: u64) -> GaConfig {
+    GaConfig {
+        population_size: 200,
+        generations_per_phase: 120,
+        max_phases: 5,
+        initial_len: 14,
+        max_len: 40,
+        cost_fitness: CostFitnessMode::InverseCost,
+        seed,
+        ..GaConfig::default()
+    }
+}
+
+#[test]
+fn ga_plans_the_multi_goal_ensemble() {
+    let sc = climate_ensemble();
+    let mut best_fitness: f64 = 0.0;
+    for seed in 0..3 {
+        let r = MultiPhase::new(&sc.world, ga_cfg(seed)).run();
+        let out = r.plan.simulate(&sc.world, &sc.world.initial_state()).unwrap();
+        assert_eq!(out.goal_fitness, r.goal_fitness);
+        best_fitness = best_fitness.max(r.goal_fitness);
+        if r.solved {
+            break;
+        }
+    }
+    // both weighted goals are reachable; at least one seed should fully
+    // solve, and every seed must make substantial progress
+    assert!(best_fitness >= 1.0 - 1e-9, "best fitness only {best_fitness}");
+}
+
+#[test]
+fn coordinator_executes_the_ensemble_plan() {
+    let sc = climate_ensemble();
+    let r = MultiPhase::new(&sc.world, ga_cfg(7)).run();
+    if !r.solved {
+        // seed-dependent; the planning assertions live in the test above
+        return;
+    }
+    let graph = ActivityGraph::from_plan(&sc.world, &sc.world.initial_state(), &r.plan);
+    assert!(graph.len() >= 7, "ensemble needs at least 7 productive steps");
+    let trace = Coordinator::new(&sc.world).run(&r.plan, None);
+    assert!(trace.reached_goal());
+    assert!(trace.makespan + 1e-9 >= graph.critical_path());
+}
+
+#[test]
+fn greedy_broker_needs_deep_lookahead_here() {
+    // the ensemble needs ~9 steps: the bounded-depth greedy planner cannot
+    // reach the goal at shallow depth — the search-space growth the paper
+    // motivates heuristic methods with
+    let sc = climate_ensemble();
+    assert!(greedy_plan(&sc.world, 3).is_none());
+}
+
+#[test]
+fn partial_goal_satisfaction_is_graded() {
+    let sc = climate_ensemble();
+    let w = &sc.world;
+    assert_eq!(w.goal_fitness(&w.initial_state()), 0.0);
+    // a cheap GA run that may only hit one goal still reports graded fitness
+    let mut cfg = ga_cfg(3);
+    cfg.generations_per_phase = 15;
+    cfg.max_phases = 1;
+    let r = MultiPhase::new(w, cfg).run();
+    assert!((0.0..=1.0).contains(&r.goal_fitness));
+}

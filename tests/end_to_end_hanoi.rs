@@ -1,0 +1,80 @@
+//! End-to-end: the paper's GA on Towers of Hanoi, cross-validated against
+//! the optimal baselines through the shared `Domain`/`Plan` machinery.
+
+use ga_grid_planner::baselines::{astar, bfs, HanoiLowerBound, SearchLimits};
+use ga_grid_planner::domains::Hanoi;
+use ga_grid_planner::ga::{GaConfig, MultiPhase};
+use gaplan_core::Domain;
+
+fn paper_cfg(n: usize, seed: u64) -> GaConfig {
+    let optimal = (1usize << n) - 1;
+    GaConfig {
+        initial_len: optimal,
+        max_len: 5 * optimal,
+        seed,
+        ..GaConfig::default()
+    }
+}
+
+#[test]
+fn multiphase_ga_solves_5_disks_and_plan_replays() {
+    let hanoi = Hanoi::new(5);
+    let result = MultiPhase::new(&hanoi, paper_cfg(5, 41).multi_phase()).run();
+    assert!(result.solved, "5-disk Hanoi must be solved (fitness {})", result.goal_fitness);
+    // checked replay through the core validator
+    let out = result.plan.simulate(&hanoi, &hanoi.initial_state()).unwrap();
+    assert!(out.solves);
+    assert_eq!(out.final_state, vec![1u8; 5]);
+    // GA plans are at least the optimal length
+    assert!(result.plan.len() >= 31);
+}
+
+#[test]
+fn ga_plan_never_beats_bfs_optimum() {
+    let hanoi = Hanoi::new(4);
+    let optimal = bfs(&hanoi, SearchLimits::default()).plan_len().unwrap();
+    assert_eq!(optimal, 15);
+    for seed in 0..3 {
+        let result = MultiPhase::new(&hanoi, paper_cfg(4, seed).multi_phase()).run();
+        if result.solved {
+            assert!(result.plan.len() >= optimal);
+        }
+    }
+}
+
+#[test]
+fn multiphase_beats_single_phase_on_6_disks() {
+    let hanoi = Hanoi::new(6);
+    let mut single_fit = 0.0;
+    let mut multi_fit = 0.0;
+    for seed in 0..3 {
+        single_fit += MultiPhase::new(&hanoi, paper_cfg(6, seed).single_phase()).run().goal_fitness;
+        multi_fit += MultiPhase::new(&hanoi, paper_cfg(6, seed).multi_phase()).run().goal_fitness;
+    }
+    // the paper's central Table-2 claim
+    assert!(
+        multi_fit >= single_fit,
+        "multi-phase ({multi_fit}) must not lose to single-phase ({single_fit})"
+    );
+}
+
+#[test]
+fn ga_and_astar_agree_on_goal() {
+    let hanoi = Hanoi::new(5);
+    let a = astar(&hanoi, &HanoiLowerBound, SearchLimits::default());
+    let g = MultiPhase::new(&hanoi, paper_cfg(5, 7).multi_phase()).run();
+    let a_out = a.plan.unwrap().simulate(&hanoi, &hanoi.initial_state()).unwrap();
+    assert!(a_out.solves);
+    if g.solved {
+        assert_eq!(g.final_state, a_out.final_state, "both reach the unique goal state");
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let hanoi = Hanoi::new(5);
+    let a = MultiPhase::new(&hanoi, paper_cfg(5, 99).multi_phase()).run();
+    let b = MultiPhase::new(&hanoi, paper_cfg(5, 99).multi_phase()).run();
+    assert_eq!(a.plan.ops(), b.plan.ops());
+    assert_eq!(a.solved_in_phase, b.solved_in_phase);
+}

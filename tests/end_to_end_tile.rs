@@ -1,0 +1,80 @@
+//! End-to-end: the GA on the sliding-tile puzzle, with solvability and
+//! optimality cross-checks against the informed baselines.
+
+use ga_grid_planner::baselines::{astar, ManhattanH, SearchLimits};
+use ga_grid_planner::domains::sliding_tile::is_reachable;
+use ga_grid_planner::domains::SlidingTile;
+use ga_grid_planner::ga::{CrossoverKind, GaConfig, MultiPhase};
+use gaplan_core::Domain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(kind: CrossoverKind, seed: u64) -> GaConfig {
+    GaConfig {
+        crossover: kind,
+        initial_len: 29,
+        max_len: 145,
+        seed,
+        ..GaConfig::default()
+    }
+    .multi_phase()
+}
+
+#[test]
+fn all_three_crossovers_solve_a_random_8_puzzle() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let puzzle = SlidingTile::random_solvable(3, &mut rng);
+    for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed] {
+        let r = MultiPhase::new(&puzzle, cfg(kind, 5)).run();
+        assert!(r.solved, "{} crossover failed (fitness {})", kind.name(), r.goal_fitness);
+        let out = r.plan.simulate(&puzzle, &puzzle.initial_state()).unwrap();
+        assert!(out.solves);
+        assert_eq!(out.final_state, *puzzle.goal());
+    }
+}
+
+#[test]
+fn ga_solution_is_at_least_optimal_length() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let puzzle = SlidingTile::random_solvable(3, &mut rng);
+    let optimal = astar(&puzzle, &ManhattanH, SearchLimits::default()).plan_len().unwrap();
+    let r = MultiPhase::new(&puzzle, cfg(CrossoverKind::Mixed, 9)).run();
+    if r.solved {
+        assert!(r.plan.len() >= optimal, "GA ({}) below optimum ({optimal})?!", r.plan.len());
+    }
+}
+
+#[test]
+fn ga_plan_preserves_reachability_class() {
+    // every prefix of a decoded plan stays in the solvable class
+    let mut rng = StdRng::seed_from_u64(15);
+    let puzzle = SlidingTile::random_solvable(3, &mut rng);
+    let r = MultiPhase::new(&puzzle, cfg(CrossoverKind::Random, 3)).run();
+    let mut state = puzzle.initial_state();
+    for &op in r.plan.ops() {
+        state = puzzle.apply(&state, op);
+        assert!(is_reachable(3, &state, puzzle.goal()));
+    }
+}
+
+#[test]
+fn four_by_four_rarely_solves_within_paper_budget() {
+    // the paper's Table-4 shape: 16 tiles is out of reach (0-1 of 50 runs)
+    let mut rng = StdRng::seed_from_u64(2004);
+    let puzzle = SlidingTile::random_solvable(4, &mut rng);
+    let mut solved = 0;
+    for seed in 0..3 {
+        let c = GaConfig {
+            initial_len: 64,
+            max_len: 320,
+            seed,
+            ..GaConfig::default()
+        }
+        .multi_phase();
+        let r = MultiPhase::new(&puzzle, c).run();
+        solved += usize::from(r.solved);
+        // but progress must be substantial even when unsolved
+        assert!(r.goal_fitness > 0.7, "fitness {}", r.goal_fitness);
+    }
+    assert!(solved <= 1, "4x4 should rarely solve, got {solved}/3");
+}

@@ -1,0 +1,109 @@
+//! Cross-validation among planners: on the same instances, every optimal
+//! planner must agree on plan length, every plan must replay through the
+//! core validator, and STRIPS-generated domains must behave identically for
+//! the GA and the chaining baselines.
+
+use ga_grid_planner::baselines::{
+    astar, backward_chain, bfs, forward_chain, greedy_best_first, idastar, HanoiLowerBound, LinearConflict,
+    ManhattanH, SearchLimits,
+};
+use ga_grid_planner::domains::{blocks_world, briefcase, Hanoi, Navigation, SlidingTile};
+use ga_grid_planner::ga::{GaConfig, MultiPhase};
+use gaplan_core::Domain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn optimal_planners_agree_on_hanoi() {
+    for n in 2..=5 {
+        let h = Hanoi::new(n);
+        let expect = (1usize << n) - 1;
+        assert_eq!(bfs(&h, SearchLimits::default()).plan_len(), Some(expect));
+        assert_eq!(astar(&h, &HanoiLowerBound, SearchLimits::default()).plan_len(), Some(expect));
+        assert_eq!(idastar(&h, &HanoiLowerBound, SearchLimits::default()).plan_len(), Some(expect));
+    }
+}
+
+#[test]
+fn optimal_planners_agree_on_random_8_puzzles() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..3 {
+        let p = SlidingTile::random_solvable(3, &mut rng);
+        let b = bfs(&p, SearchLimits::default()).plan_len().unwrap();
+        let a = astar(&p, &ManhattanH, SearchLimits::default()).plan_len().unwrap();
+        let i = idastar(&p, &LinearConflict, SearchLimits::default()).plan_len().unwrap();
+        assert_eq!(b, a);
+        assert_eq!(b, i);
+    }
+}
+
+#[test]
+fn every_planner_produces_replayable_plans_on_blocks_world() {
+    let p = blocks_world(4, &vec![vec![0, 1], vec![2, 3]], &vec![vec![3, 2, 1, 0]]).unwrap();
+    let limits = SearchLimits::default();
+    let plans = [
+        ("bfs", bfs(&p, limits).plan),
+        ("forward", forward_chain(&p, limits).plan),
+        ("backward", backward_chain(&p, limits).plan),
+        (
+            "greedy",
+            greedy_best_first(&p, &ga_grid_planner::baselines::GoalCount, limits).plan,
+        ),
+    ];
+    for (name, plan) in plans {
+        let plan = plan.unwrap_or_else(|| panic!("{name} failed to solve"));
+        let out = plan.simulate(&p, &p.initial_state()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.solves, "{name} plan does not solve");
+    }
+    // GA solves it too
+    let cfg = GaConfig {
+        population_size: 100,
+        generations_per_phase: 80,
+        max_phases: 4,
+        initial_len: 10,
+        max_len: 30,
+        seed: 3,
+        ..GaConfig::default()
+    };
+    let r = MultiPhase::new(&p, cfg).run();
+    assert!(r.solved, "GA failed on blocks world (fitness {})", r.goal_fitness);
+}
+
+#[test]
+fn briefcase_ga_matches_bfs_goal() {
+    let p = briefcase(3, &[0, 1], &[2, 2], 0).unwrap();
+    let optimal = bfs(&p, SearchLimits::default()).plan_len().unwrap();
+    let cfg = GaConfig {
+        population_size: 100,
+        generations_per_phase: 80,
+        max_phases: 4,
+        initial_len: 10,
+        max_len: 30,
+        seed: 8,
+        ..GaConfig::default()
+    };
+    let r = MultiPhase::new(&p, cfg).run();
+    assert!(r.solved);
+    assert!(r.plan.len() >= optimal);
+}
+
+#[test]
+fn navigation_two_robots_solved_by_ga_and_astar_free_domain() {
+    let nav = Navigation::new(&["....", "....", "...."], vec![(0, 0), (2, 3)], vec![(2, 3), (0, 0)]);
+    let b = bfs(&nav, SearchLimits::default());
+    assert!(b.is_solved(), "BFS solves the swap");
+    let cfg = GaConfig {
+        population_size: 150,
+        generations_per_phase: 100,
+        max_phases: 5,
+        initial_len: 14,
+        max_len: 60,
+        seed: 12,
+        ..GaConfig::default()
+    };
+    let r = MultiPhase::new(&nav, cfg).run();
+    assert!(r.solved, "GA failed the robot swap (fitness {})", r.goal_fitness);
+    let out = r.plan.simulate(&nav, &nav.initial_state()).unwrap();
+    assert!(out.solves);
+    assert!(r.plan.len() >= b.plan_len().unwrap());
+}
