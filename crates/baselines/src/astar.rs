@@ -94,11 +94,7 @@ pub fn astar<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, limits: Sear
                 }
             };
             let h = heuristic.estimate(domain, &states[next_id]);
-            open.push(Node {
-                f: tentative + h,
-                h,
-                id: next_id,
-            });
+            open.push(Node { f: tentative + h, h, id: next_id });
         }
     }
     SearchResult::unsolved(SearchOutcome::Exhausted, expanded, states.len())
@@ -139,12 +135,7 @@ mod tests {
         let informed = astar(&h, &HanoiLowerBound, SearchLimits::default());
         let blind = bfs(&h, SearchLimits::default());
         assert!(informed.is_solved() && blind.is_solved());
-        assert!(
-            informed.expanded < blind.expanded,
-            "A* {} vs BFS {}",
-            informed.expanded,
-            blind.expanded
-        );
+        assert!(informed.expanded < blind.expanded, "A* {} vs BFS {}", informed.expanded, blind.expanded);
     }
 
     #[test]
@@ -188,14 +179,7 @@ mod tests {
     #[test]
     fn astar_respects_limits() {
         let h = Hanoi::new(12);
-        let r = astar(
-            &h,
-            &ZeroH,
-            SearchLimits {
-                max_expansions: 50,
-                max_states: 10_000,
-            },
-        );
+        let r = astar(&h, &ZeroH, SearchLimits { max_expansions: 50, max_states: 10_000 });
         assert_eq!(r.outcome, SearchOutcome::LimitReached);
     }
 

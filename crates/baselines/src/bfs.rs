@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn bfs_respects_expansion_limit() {
         let h = Hanoi::new(10);
-        let limits = SearchLimits {
-            max_expansions: 100,
-            max_states: 1_000_000,
-        };
+        let limits = SearchLimits { max_expansions: 100, max_states: 1_000_000 };
         let r = bfs(&h, limits);
         assert_eq!(r.outcome, SearchOutcome::LimitReached);
         assert!(r.expanded <= 101);

@@ -172,8 +172,7 @@ mod tests {
             b.condition(&format!("s{i}")).unwrap();
         }
         for i in 0..3 {
-            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         b.goal(&["s3"]).unwrap();
@@ -236,10 +235,7 @@ mod tests {
     #[test]
     fn limits_respected() {
         let p = blocks_world(5, &vec![vec![0, 1, 2, 3, 4]], &vec![vec![4, 3, 2, 1, 0]]).unwrap();
-        let limits = SearchLimits {
-            max_expansions: 3,
-            max_states: 10,
-        };
+        let limits = SearchLimits { max_expansions: 3, max_states: 10 };
         let f = forward_chain(&p, limits);
         assert!(matches!(f.outcome, SearchOutcome::LimitReached | SearchOutcome::Solved));
     }

@@ -87,12 +87,7 @@ impl<'p> PlanningGraph<'p> {
     /// non-mutex, the graph levels off, or `max_levels` is reached.
     pub fn build(problem: &'p StripsProblem, max_levels: usize) -> Self {
         let initial = problem.initial_state();
-        let mut graph = PlanningGraph {
-            problem,
-            initial,
-            layers: Vec::new(),
-            leveled_off: false,
-        };
+        let mut graph = PlanningGraph { problem, initial, layers: Vec::new(), leveled_off: false };
         while graph.layers.len() < max_levels {
             if graph.goals_reachable() {
                 break;
@@ -201,9 +196,7 @@ impl<'p> PlanningGraph<'p> {
                 let inconsistent = add[a].intersection_count(&del[b]) > 0 || add[b].intersection_count(&del[a]) > 0;
                 let interference = pre[a].intersection_count(&del[b]) > 0 || pre[b].intersection_count(&del[a]) > 0;
                 let competing = match &prev_mutex {
-                    Some(pm) => pre[a]
-                        .iter()
-                        .any(|x| pre[b].iter().any(|y| pm.get(x.index(), y.index()))),
+                    Some(pm) => pre[a].iter().any(|x| pre[b].iter().any(|y| pm.get(x.index(), y.index()))),
                     None => false,
                 };
                 if inconsistent || interference || competing {
@@ -253,16 +246,7 @@ impl<'p> PlanningGraph<'p> {
             true
         };
 
-        self.layers.push(Layer {
-            actions,
-            pre,
-            add,
-            del,
-            action_mutex,
-            props,
-            prop_mutex,
-            producers,
-        });
+        self.layers.push(Layer { actions, pre, add, del, action_mutex, props, prop_mutex, producers });
         grew
     }
 }
@@ -392,11 +376,7 @@ fn select_support(
             }
         }
         let sub_ids: Vec<CondId> = sub.iter().collect();
-        let real: Vec<usize> = support
-            .iter()
-            .copied()
-            .filter(|&a| matches!(layer.actions[a], Action::Op(_)))
-            .collect();
+        let real: Vec<usize> = support.iter().copied().filter(|&a| matches!(layer.actions[a], Action::Op(_))).collect();
         chosen[level - 1] = real;
         if extract(graph, level - 1, &sub_ids, chosen, nogoods, expanded, limits) {
             return true;
@@ -442,10 +422,7 @@ fn serialize(problem: &StripsProblem, graph: &PlanningGraph<'_>, chosen: &[Vec<u
             let pos = remaining
                 .iter()
                 .position(|&a| {
-                    remaining
-                        .iter()
-                        .filter(|&&b| b != a)
-                        .all(|&b| layer.del[a].intersection_count(&layer.pre[b]) == 0)
+                    remaining.iter().filter(|&&b| b != a).all(|&b| layer.del[a].intersection_count(&layer.pre[b]) == 0)
                 })
                 .unwrap_or(0);
             let a = remaining.swap_remove(pos);
@@ -476,8 +453,7 @@ mod tests {
             b.condition(&format!("s{i}")).unwrap();
         }
         for i in 0..n {
-            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         b.goal(&[&format!("s{n}")]).unwrap();
@@ -588,13 +564,7 @@ mod tests {
     #[test]
     fn respects_limits() {
         let p = blocks_world(6, &vec![vec![0, 1, 2, 3, 4, 5]], &vec![vec![5, 4, 3, 2, 1, 0]]).unwrap();
-        let r = graphplan(
-            &p,
-            SearchLimits {
-                max_expansions: 3,
-                max_states: 10,
-            },
-        );
+        let r = graphplan(&p, SearchLimits { max_expansions: 3, max_states: 10 });
         assert!(matches!(r.outcome, SearchOutcome::LimitReached | SearchOutcome::Solved));
     }
 }

@@ -46,11 +46,7 @@ pub struct MisplacedTiles;
 impl Heuristic<SlidingTile> for MisplacedTiles {
     fn estimate(&self, domain: &SlidingTile, state: &TileState) -> f64 {
         let goal = domain.goal();
-        state
-            .iter()
-            .zip(goal)
-            .filter(|&(&s, &g)| s != 0 && s != g)
-            .count() as f64
+        state.iter().zip(goal).filter(|&(&s, &g)| s != 0 && s != g).count() as f64
     }
 }
 
@@ -217,10 +213,7 @@ mod tests {
         let h = Hanoi::new(n);
         for (state, &d) in &dist_from_goal {
             let est = HanoiLowerBound.estimate(&h, state);
-            assert!(
-                est <= d as f64,
-                "inadmissible at {state:?}: est {est} > true {d}"
-            );
+            assert!(est <= d as f64, "inadmissible at {state:?}: est {est} > true {d}");
         }
         assert_eq!(dist_from_goal.len(), 81);
     }
@@ -230,10 +223,7 @@ mod tests {
         // BFS from the goal gives true distances; Manhattan must not exceed.
         let goal = SlidingTile::standard_goal(3);
         let from_goal = SlidingTile::new(3, goal.clone());
-        let limits = SearchLimits {
-            max_expansions: 50_000,
-            max_states: 100_000,
-        };
+        let limits = SearchLimits { max_expansions: 50_000, max_states: 100_000 };
         let dist = bfs_all_distances(&from_goal, limits);
         let dom = SlidingTile::new(3, goal);
         for (state, &d) in dist.iter().take(20_000) {

@@ -80,8 +80,7 @@ mod tests {
             b.condition(&format!("s{i}")).unwrap();
         }
         for i in 0..n {
-            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("go{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         b.goal(&[&format!("s{n}")]).unwrap();

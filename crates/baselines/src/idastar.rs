@@ -140,14 +140,7 @@ mod tests {
     #[test]
     fn idastar_respects_limits() {
         let h = Hanoi::new(10);
-        let r = idastar(
-            &h,
-            &HanoiLowerBound,
-            SearchLimits {
-                max_expansions: 100,
-                max_states: 0,
-            },
-        );
+        let r = idastar(&h, &HanoiLowerBound, SearchLimits { max_expansions: 100, max_states: 0 });
         assert_eq!(r.outcome, SearchOutcome::LimitReached);
     }
 }

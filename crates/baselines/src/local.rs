@@ -86,10 +86,7 @@ pub fn greedy_best_first<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, 
     seen.insert(start.clone());
 
     let mut open = BinaryHeap::new();
-    open.push(Node {
-        h: heuristic.estimate(domain, &start),
-        id: 0,
-    });
+    open.push(Node { h: heuristic.estimate(domain, &start), id: 0 });
     let mut expanded = 0usize;
     let mut scratch = Vec::new();
 
@@ -111,10 +108,7 @@ pub fn greedy_best_first<D: Domain, H: Heuristic<D>>(domain: &D, heuristic: &H, 
             }
             let new_id = states.len();
             parent.push((id, op));
-            open.push(Node {
-                h: heuristic.estimate(domain, &next),
-                id: new_id,
-            });
+            open.push(Node { h: heuristic.estimate(domain, &next), id: new_id });
             states.push(next);
         }
     }
@@ -205,10 +199,7 @@ mod tests {
     fn limits_respected() {
         // a 12-disk solution needs 4095 moves, far beyond 10 expansions
         let h = Hanoi::new(12);
-        let limits = SearchLimits {
-            max_expansions: 10,
-            max_states: 1000,
-        };
+        let limits = SearchLimits { max_expansions: 10, max_states: 1000 };
         assert_eq!(greedy_best_first(&h, &HanoiLowerBound, limits).outcome, SearchOutcome::LimitReached);
         assert_eq!(hill_climb(&h, &HanoiLowerBound, limits).outcome, SearchOutcome::LimitReached);
     }

@@ -41,10 +41,7 @@ impl PatternDb {
         let n = domain.side();
         let cells = n * n;
         assert!(!tiles.is_empty() && tiles.len() <= 6, "pattern of 1..=6 tiles");
-        assert!(
-            tiles.iter().all(|&t| t != 0 && (t as usize) < cells),
-            "pattern tiles must be real tiles"
-        );
+        assert!(tiles.iter().all(|&t| t != 0 && (t as usize) < cells), "pattern tiles must be real tiles");
 
         // goal positions
         let goal = domain.goal();
@@ -108,11 +105,7 @@ impl PatternDb {
             }
         }
 
-        PatternDb {
-            n,
-            tiles: tiles.to_vec(),
-            table,
-        }
+        PatternDb { n, tiles: tiles.to_vec(), table }
     }
 
     /// Look up the pattern cost for a concrete board.
@@ -155,9 +148,7 @@ impl DisjointPdb {
                 assert!(seen.insert(t), "tile {t} appears in two groups — not additive");
             }
         }
-        DisjointPdb {
-            dbs: groups.iter().map(|g| PatternDb::build(domain, g)).collect(),
-        }
+        DisjointPdb { dbs: groups.iter().map(|g| PatternDb::build(domain, g)).collect() }
     }
 
     /// The standard 8-puzzle partition: {1,2,3,4} and {5,6,7,8}.
@@ -205,13 +196,7 @@ mod tests {
         // never exceed them
         let goal = SlidingTile::standard_goal(3);
         let from_goal = SlidingTile::new(3, goal.clone());
-        let dist = bfs_all_distances(
-            &from_goal,
-            SearchLimits {
-                max_expansions: 50_000,
-                max_states: 200_000,
-            },
-        );
+        let dist = bfs_all_distances(&from_goal, SearchLimits { max_expansions: 50_000, max_states: 200_000 });
         let dom = SlidingTile::new(3, goal);
         let pdb = DisjointPdb::standard_8puzzle(&dom);
         for (state, &d) in dist.iter().take(20_000) {
@@ -234,10 +219,7 @@ mod tests {
             pdb_total += a_pdb.expanded;
             md_total += a_md.expanded;
         }
-        assert!(
-            pdb_total < md_total,
-            "PDB should expand fewer nodes overall: {pdb_total} vs {md_total}"
-        );
+        assert!(pdb_total < md_total, "PDB should expand fewer nodes overall: {pdb_total} vs {md_total}");
     }
 
     #[test]

@@ -15,20 +15,14 @@ pub struct SearchLimits {
 
 impl Default for SearchLimits {
     fn default() -> Self {
-        SearchLimits {
-            max_expansions: 2_000_000,
-            max_states: 4_000_000,
-        }
+        SearchLimits { max_expansions: 2_000_000, max_states: 4_000_000 }
     }
 }
 
 impl SearchLimits {
     /// A small limit for tests.
     pub fn tiny() -> Self {
-        SearchLimits {
-            max_expansions: 20_000,
-            max_states: 40_000,
-        }
+        SearchLimits { max_expansions: 20_000, max_states: 40_000 }
     }
 }
 
@@ -59,23 +53,13 @@ pub struct SearchResult {
 impl SearchResult {
     /// Construct a solved result.
     pub fn solved(ops: Vec<OpId>, expanded: usize, peak_states: usize) -> Self {
-        SearchResult {
-            plan: Some(Plan::from_ops(ops)),
-            outcome: SearchOutcome::Solved,
-            expanded,
-            peak_states,
-        }
+        SearchResult { plan: Some(Plan::from_ops(ops)), outcome: SearchOutcome::Solved, expanded, peak_states }
     }
 
     /// Construct an unsolved result.
     pub fn unsolved(outcome: SearchOutcome, expanded: usize, peak_states: usize) -> Self {
         debug_assert_ne!(outcome, SearchOutcome::Solved);
-        SearchResult {
-            plan: None,
-            outcome,
-            expanded,
-            peak_states,
-        }
+        SearchResult { plan: None, outcome, expanded, peak_states }
     }
 
     /// Plan length, when solved.

@@ -113,12 +113,7 @@ impl<S: Clone + Eq + std::hash::Hash> UniversalPlan<S> {
             }
         }
 
-        UniversalPlan {
-            states,
-            index,
-            policy,
-            truncated,
-        }
+        UniversalPlan { states, index, policy, truncated }
     }
 
     /// Number of explored states.
@@ -219,10 +214,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let ops = gaplan_core::DomainExt::valid_ops_vec(&h, &state);
         state = h.apply(&state, ops[rng.gen_range(0..ops.len())]);
-        assert!(matches!(
-            up.execute(&h, &state, 1 << 6),
-            PolicyOutcome::Reached(_)
-        ));
+        assert!(matches!(up.execute(&h, &state, 1 << 6), PolicyOutcome::Reached(_)));
     }
 
     #[test]
@@ -238,22 +230,13 @@ mod tests {
         let up = UniversalPlan::build(&p, SearchLimits::default());
         assert_eq!(up.solvable_states(), 0);
         assert_eq!(up.action(&p.initial_state()), None);
-        assert_eq!(
-            up.execute(&p, &p.initial_state(), 10),
-            PolicyOutcome::OffPolicy
-        );
+        assert_eq!(up.execute(&p, &p.initial_state(), 10), PolicyOutcome::OffPolicy);
     }
 
     #[test]
     fn truncation_is_reported_on_large_spaces() {
         let p = SlidingTile::new(4, SlidingTile::standard_goal(4));
-        let up = UniversalPlan::build(
-            &p,
-            SearchLimits {
-                max_expansions: 1_000,
-                max_states: 2_000,
-            },
-        );
+        let up = UniversalPlan::build(&p, SearchLimits { max_expansions: 1_000, max_states: 2_000 });
         assert!(up.truncated());
         assert!(up.coverage() <= 2_000 + 4); // frontier slack of one expansion
     }

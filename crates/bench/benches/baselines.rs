@@ -13,21 +13,13 @@ fn bench_baselines(c: &mut Criterion) {
 
     let hanoi = Hanoi::new(6);
     group.bench_function("bfs_hanoi6", |b| b.iter(|| bfs(&hanoi, SearchLimits::default())));
-    group.bench_function("astar_hanoi6", |b| {
-        b.iter(|| astar(&hanoi, &HanoiLowerBound, SearchLimits::default()))
-    });
-    group.bench_function("idastar_hanoi6", |b| {
-        b.iter(|| idastar(&hanoi, &HanoiLowerBound, SearchLimits::default()))
-    });
+    group.bench_function("astar_hanoi6", |b| b.iter(|| astar(&hanoi, &HanoiLowerBound, SearchLimits::default())));
+    group.bench_function("idastar_hanoi6", |b| b.iter(|| idastar(&hanoi, &HanoiLowerBound, SearchLimits::default())));
 
     let mut rng = StdRng::seed_from_u64(5);
     let tile = SlidingTile::random_solvable(3, &mut rng);
-    group.bench_function("astar_md_tile3", |b| {
-        b.iter(|| astar(&tile, &ManhattanH, SearchLimits::default()))
-    });
-    group.bench_function("astar_lc_tile3", |b| {
-        b.iter(|| astar(&tile, &LinearConflict, SearchLimits::default()))
-    });
+    group.bench_function("astar_md_tile3", |b| b.iter(|| astar(&tile, &ManhattanH, SearchLimits::default())));
+    group.bench_function("astar_lc_tile3", |b| b.iter(|| astar(&tile, &LinearConflict, SearchLimits::default())));
 
     group.finish();
 }

@@ -25,12 +25,7 @@ fn bench_crossover(c: &mut Criterion) {
     let a = evaluated(&tile, Genome::random(&mut rng, 320), &cfg);
     let b = evaluated(&tile, Genome::random(&mut rng, 320), &cfg);
 
-    for kind in [
-        CrossoverKind::Random,
-        CrossoverKind::StateAware,
-        CrossoverKind::Mixed,
-        CrossoverKind::TwoPoint,
-    ] {
+    for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
         group.bench_with_input(BenchmarkId::new("tile4_len320", kind.name()), &kind, |bch, &k| {
             let mut rng = StdRng::seed_from_u64(11);
             bch.iter(|| crossover(&mut rng, k, &a, &b, 320));

@@ -9,11 +9,8 @@ fn pipeline_plan(world: &gaplan_grid::GridWorld) -> Plan {
     let mut state = world.initial_state();
     let mut ops = Vec::new();
     for name in ["run histeq @ orion", "run highpass @ orion", "run fft @ orion"] {
-        let op = world
-            .valid_ops_vec(&state)
-            .into_iter()
-            .find(|&o| world.op_name(o) == name)
-            .expect("pipeline op valid");
+        let op =
+            world.valid_ops_vec(&state).into_iter().find(|&o| world.op_name(o) == name).expect("pipeline op valid");
         state = world.apply(&state, op);
         ops.push(op);
     }

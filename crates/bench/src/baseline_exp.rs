@@ -145,10 +145,7 @@ pub fn ext_baselines_strips(scale: &ExpScale) -> TextTable {
 
     // chaining DFS can thrash for minutes at the default 2M-expansion cap;
     // bound it like the paper bounds its own deterministic comparisons
-    let chain_limits = SearchLimits {
-        max_expansions: 100_000,
-        max_states: 200_000,
-    };
+    let chain_limits = SearchLimits { max_expansions: 100_000, max_states: 200_000 };
     for (name, (r, secs)) in [
         ("Graphplan", run_timed(|| graphplan(&problem, limits))),
         ("BFS", run_timed(|| bfs(&problem, limits))),
@@ -179,7 +176,10 @@ fn run_timed<F: FnOnce() -> SearchResult>(f: F) -> (SearchResult, f64) {
 
 /// A single GA run on a domain (used by integration tests to cross-check
 /// against baselines).
-pub fn ga_single_run<D: gaplan_core::Domain>(domain: &D, cfg: &gaplan_ga::GaConfig) -> gaplan_ga::MultiPhaseResult<D::State> {
+pub fn ga_single_run<D: gaplan_core::Domain>(
+    domain: &D,
+    cfg: &gaplan_ga::GaConfig,
+) -> gaplan_ga::MultiPhaseResult<D::State> {
     MultiPhase::new(domain, cfg.clone()).run()
 }
 

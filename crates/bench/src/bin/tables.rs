@@ -13,7 +13,10 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use gaplan_bench::table::TextTable;
-use gaplan_bench::{baseline_exp, figures, grid_exp, hanoi_exp, history_exp, metaheuristic_exp, seeding_exp, sensitivity_exp, tile_exp, ExpScale};
+use gaplan_bench::{
+    baseline_exp, figures, grid_exp, hanoi_exp, history_exp, metaheuristic_exp, seeding_exp, sensitivity_exp, tile_exp,
+    ExpScale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +62,14 @@ fn main() {
         match cmd {
             "paper" => vec!["figures", "table1", "table2", "table3", "table4", "table5"],
             "ext-baselines" => vec!["ext-baselines-hanoi", "ext-baselines-tile", "ext-baselines-strips"],
-            "ext-sensitivity" => vec!["ext-mutation", "ext-selection", "ext-state-match", "ext-goal-eval", "ext-elitism", "ext-cost-fitness"],
+            "ext-sensitivity" => vec![
+                "ext-mutation",
+                "ext-selection",
+                "ext-state-match",
+                "ext-goal-eval",
+                "ext-elitism",
+                "ext-cost-fitness",
+            ],
             "all" => vec![
                 "figures",
                 "table1",

@@ -7,19 +7,13 @@ use gaplan_domains::{Hanoi, SlidingTile};
 /// Figure 1: the initial state of the 5-disk Towers of Hanoi problem.
 pub fn figure1() -> String {
     let h = Hanoi::new(5);
-    format!(
-        "Figure 1. The initial state of the 5-disk Towers of Hanoi problem.\n\n{}",
-        h.render(&h.initial_state())
-    )
+    format!("Figure 1. The initial state of the 5-disk Towers of Hanoi problem.\n\n{}", h.render(&h.initial_state()))
 }
 
 /// Figure 2: the goal state of the 5-disk Towers of Hanoi problem.
 pub fn figure2() -> String {
     let h = Hanoi::new(5);
-    format!(
-        "Figure 2. The goal state of the 5-disk Towers of Hanoi problem.\n\n{}",
-        h.render(&vec![1u8; 5])
-    )
+    format!("Figure 2. The goal state of the 5-disk Towers of Hanoi problem.\n\n{}", h.render(&vec![1u8; 5]))
 }
 
 /// Figure 3: (a) the reversed 15-puzzle board shown as the paper's initial

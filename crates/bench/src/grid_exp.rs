@@ -9,7 +9,9 @@
 
 use gaplan_core::{Domain, Plan};
 use gaplan_ga::{CostFitnessMode, GaConfig, MultiPhase};
-use gaplan_grid::{climate_ensemble, greedy_plan, image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy};
+use gaplan_grid::{
+    climate_ensemble, greedy_plan, image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy,
+};
 
 use crate::table::{f1, f3, TextTable};
 use crate::ExpScale;
@@ -46,11 +48,7 @@ pub fn ext_grid(scale: &ExpScale) -> TextTable {
     let plan = ga_plan(world, &cfg);
     let graph = ActivityGraph::from_plan(world, &world.initial_state(), &plan);
 
-    let overload = ExternalEvent::LoadChange {
-        time: 3.0,
-        site: sc.sites[0],
-        load: 0.95,
-    };
+    let overload = ExternalEvent::LoadChange { time: 3.0, site: sc.sites[0], load: 0.95 };
 
     // baseline: calm weather, no events
     let calm = Coordinator::new(world).run(&plan, None);

@@ -68,11 +68,8 @@ pub fn table2(scale: &ExpScale) -> TextTable {
     for (ga_type, single) in [("Single-phase", true), ("Multi-phase", false)] {
         for n in [5usize, 6, 7] {
             let hanoi = Hanoi::new(n);
-            let mut cfg = if single {
-                hanoi_config(n, scale).single_phase()
-            } else {
-                hanoi_config(n, scale).multi_phase()
-            };
+            let mut cfg =
+                if single { hanoi_config(n, scale).single_phase() } else { hanoi_config(n, scale).multi_phase() };
             cfg.generations_per_phase = scale.gens(cfg.generations_per_phase);
             let (_, agg) = run_batch(&hanoi, &cfg, runs);
             t.row(vec![
@@ -98,12 +95,7 @@ pub fn ext_crossover_hanoi(scale: &ExpScale) -> TextTable {
         "Ext-A. Crossover ablation on the 6-disk Towers of Hanoi (multi-phase).",
         &["Crossover", "Avg Goal Fitness", "Avg Size", "Avg Generations", "Solved Runs"],
     );
-    for kind in [
-        CrossoverKind::Random,
-        CrossoverKind::StateAware,
-        CrossoverKind::Mixed,
-        CrossoverKind::TwoPoint,
-    ] {
+    for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
         let mut cfg = hanoi_config(n, scale).multi_phase();
         cfg.crossover = kind;
         cfg.generations_per_phase = scale.gens(cfg.generations_per_phase);
@@ -141,10 +133,7 @@ pub enum FitnessVariant {
 impl HanoiFitness {
     /// Wrap an instance.
     pub fn new(n: usize, variant: FitnessVariant) -> Self {
-        HanoiFitness {
-            inner: Hanoi::new(n),
-            variant,
-        }
+        HanoiFitness { inner: Hanoi::new(n), variant }
     }
 }
 
@@ -258,7 +247,7 @@ mod tests {
     fn table2_quick_smoke() {
         let t = table2(&ExpScale::quick());
         assert_eq!(t.rows.len(), 6); // 2 GA types x 3 disk counts
-        // goal fitness column parses as f64 in [0,1]
+                                     // goal fitness column parses as f64 in [0,1]
         for row in &t.rows {
             let f: f64 = row[2].parse().unwrap();
             assert!((0.0..=1.0).contains(&f));

@@ -44,11 +44,7 @@ impl Default for ExpScale {
 impl ExpScale {
     /// A fast configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        ExpScale {
-            runs: 3,
-            budget: 0.2,
-            seed: 0x1dd5_2003,
-        }
+        ExpScale { runs: 3, budget: 0.2, seed: 0x1dd5_2003 }
     }
 
     /// Runs to execute, given the paper's default for this experiment.

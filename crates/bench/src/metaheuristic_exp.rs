@@ -33,21 +33,13 @@ fn anneal_rows<D: Domain>(
                 seed: derive_seed(scale.seed, 0xA0 + run as u64),
                 ..AnnealConfig::default()
             };
-            let r = if simulated {
-                simulated_annealing(domain, ga_cfg, &cfg)
-            } else {
-                one_plus_one(domain, ga_cfg, &cfg)
-            };
+            let r =
+                if simulated { simulated_annealing(domain, ga_cfg, &cfg) } else { one_plus_one(domain, ga_cfg, &cfg) };
             solved += usize::from(r.best.solves());
             fit += r.best.fitness.goal;
             len += r.best.plan_len() as f64;
         }
-        t.row(vec![
-            name.into(),
-            f3(fit / runs as f64),
-            f1(len / runs as f64),
-            format!("{solved}/{runs}"),
-        ]);
+        t.row(vec![name.into(), f3(fit / runs as f64), f1(len / runs as f64), format!("{solved}/{runs}")]);
     }
 }
 
@@ -68,9 +60,8 @@ pub fn ext_metaheuristics_hanoi(scale: &ExpScale) -> TextTable {
         f1(agg.avg_plan_len),
         format!("{}/{}", agg.solved_runs, agg.runs),
     ]);
-    let budget = (ga_cfg.population_size as u64)
-        * u64::from(ga_cfg.generations_per_phase)
-        * u64::from(ga_cfg.max_phases);
+    let budget =
+        (ga_cfg.population_size as u64) * u64::from(ga_cfg.generations_per_phase) * u64::from(ga_cfg.max_phases);
     anneal_rows(&mut t, &hanoi, &ga_cfg, budget, runs, scale);
     t
 }
@@ -92,9 +83,8 @@ pub fn ext_metaheuristics_tile(scale: &ExpScale) -> TextTable {
         f1(agg.avg_plan_len),
         format!("{}/{}", agg.solved_runs, agg.runs),
     ]);
-    let budget = (ga_cfg.population_size as u64)
-        * u64::from(ga_cfg.generations_per_phase)
-        * u64::from(ga_cfg.max_phases);
+    let budget =
+        (ga_cfg.population_size as u64) * u64::from(ga_cfg.generations_per_phase) * u64::from(ga_cfg.max_phases);
     anneal_rows(&mut t, &instance, &ga_cfg, budget, runs, scale);
     t
 }

@@ -28,11 +28,7 @@ pub fn run_batch<D: Domain>(domain: &D, cfg: &GaConfig, runs: usize) -> (Vec<Run
         let report = RunReport::from_result(&result, start.elapsed().as_secs_f64());
         reports.lock()[i] = Some(report);
     });
-    let reports: Vec<RunReport> = reports
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every run completed"))
-        .collect();
+    let reports: Vec<RunReport> = reports.into_inner().into_iter().map(|r| r.expect("every run completed")).collect();
     let agg = aggregate(&reports, cfg.max_phases);
     (reports, agg)
 }
@@ -81,9 +77,8 @@ mod tests {
         let (reports, _) = run_batch(&h, &cfg(), 4);
         // with distinct seeds, identical outcomes across all runs are
         // vanishingly unlikely
-        let all_same = reports
-            .windows(2)
-            .all(|w| w[0].plan_len == w[1].plan_len && w[0].goal_fitness == w[1].goal_fitness);
+        let all_same =
+            reports.windows(2).all(|w| w[0].plan_len == w[1].plan_len && w[0].goal_fitness == w[1].goal_fitness);
         assert!(!all_same);
     }
 }

@@ -15,12 +15,8 @@ use crate::ExpScale;
 /// The Blocks World instance: 9 blocks in three towers, rearranged into
 /// two interleaved towers (requires unstacking and careful ordering).
 fn instance() -> gaplan_core::strips::StripsProblem {
-    blocks_world(
-        9,
-        &vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]],
-        &vec![vec![8, 4, 0, 6, 2], vec![5, 1, 7, 3]],
-    )
-    .unwrap()
+    blocks_world(9, &vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]], &vec![vec![8, 4, 0, 6, 2], vec![5, 1, 7, 3]])
+        .unwrap()
 }
 
 fn ga_cfg(scale: &ExpScale) -> GaConfig {
@@ -45,18 +41,13 @@ pub fn ext_seeding(scale: &ExpScale) -> TextTable {
     );
 
     // a reusable donor plan from the greedy baseline (the plan-reuse seed)
-    let donor = greedy_best_first(&problem, &GoalCount, SearchLimits::default())
-        .plan
-        .map(|p| p.ops().to_vec());
+    let donor = greedy_best_first(&problem, &GoalCount, SearchLimits::default()).plan.map(|p| p.ops().to_vec());
 
     let strategies: Vec<(&str, Option<(SeedStrategy, f64)>)> = vec![
         ("none (random init)", None),
         ("greedy walks, 25%", Some((SeedStrategy::GreedyWalk, 0.25))),
         ("biased walks (0.7), 50%", Some((SeedStrategy::BiasedWalk { bias: 0.7 }, 0.5))),
-        (
-            "greedy-planner plan, 10%",
-            donor.map(|p| (SeedStrategy::Plans(vec![p]), 0.1)),
-        ),
+        ("greedy-planner plan, 10%", donor.map(|p| (SeedStrategy::Plans(vec![p]), 0.1))),
     ];
 
     for (name, seeder) in strategies {

@@ -6,8 +6,8 @@ use gaplan_ga::{CostFitnessMode, CrossoverKind, GoalEval, SelectionScheme, State
 
 use crate::hanoi_exp::hanoi_config;
 use crate::runner::run_batch;
-use crate::tile_exp::{tile_config, tile_instance};
 use crate::table::{f1, f3, TextTable};
+use crate::tile_exp::{tile_config, tile_instance};
 use crate::ExpScale;
 
 /// Mutation-rate sweep.
@@ -70,10 +70,7 @@ pub fn ext_state_match(scale: &ExpScale) -> TextTable {
         "Ext-F3. State-match rule for state-aware crossover (6-disk Hanoi, multi-phase).",
         &["Match rule", "Avg Goal Fitness", "Avg Size", "Solved Runs"],
     );
-    for (name, mode) in [
-        ("exact state", StateMatchMode::ExactState),
-        ("valid-op set", StateMatchMode::ValidOpSet),
-    ] {
+    for (name, mode) in [("exact state", StateMatchMode::ExactState), ("valid-op set", StateMatchMode::ValidOpSet)] {
         let mut cfg = hanoi_config(6, scale).multi_phase();
         cfg.crossover = CrossoverKind::StateAware;
         cfg.state_match = mode;

@@ -50,10 +50,8 @@ pub fn tile_instance(n: usize, scale: &ExpScale) -> SlidingTile {
 /// Table 3: parameter settings for the Sliding-tile puzzle experiments.
 pub fn table3(scale: &ExpScale) -> TextTable {
     let cfg = tile_config(3, CrossoverKind::Random, scale);
-    let mut t = TextTable::new(
-        "Table 3. Parameter settings for the Sliding-tile puzzle experiments.",
-        &["Parameter", "Value"],
-    );
+    let mut t =
+        TextTable::new("Table 3. Parameter settings for the Sliding-tile puzzle experiments.", &["Parameter", "Value"]);
     t.row(vec!["Population size".into(), cfg.population_size.to_string()]);
     t.row(vec!["Number of generations".into(), scale.gens(500).to_string()]);
     t.row(vec!["Crossover type".into(), "Random / State-aware / Mixed".into()]);
@@ -134,12 +132,7 @@ pub fn table5(scale: &ExpScale) -> TextTable {
     // valid solution (our calibrated GA solves the 8-puzzle within phase 1
     // for every mechanism, so the generation count is what discriminates)
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |g| format!("{g:.1}"));
-    t.row(vec![
-        "avg gen of 1st solution".into(),
-        fmt(avg_first[0]),
-        fmt(avg_first[1]),
-        fmt(avg_first[2]),
-    ]);
+    t.row(vec!["avg gen of 1st solution".into(), fmt(avg_first[0]), fmt(avg_first[1]), fmt(avg_first[2])]);
     t
 }
 
@@ -180,14 +173,9 @@ mod tests {
     fn table5_quick_smoke_has_phase_rows() {
         let t = table5(&ExpScale::quick());
         assert_eq!(t.rows.len(), 6); // 5 phase rows + avg-generation row
-        // phase counts sum to at most runs per column
+                                     // phase counts sum to at most runs per column
         for col in 1..=3 {
-            let total: usize = t
-                .rows
-                .iter()
-                .take(5)
-                .map(|r| r[col].parse::<usize>().unwrap())
-                .sum();
+            let total: usize = t.rows.iter().take(5).map(|r| r[col].parse::<usize>().unwrap()).sum();
             assert!(total <= 3);
         }
         assert_eq!(t.rows[5][0], "avg gen of 1st solution");

@@ -1,0 +1,152 @@
+//! Cooperative execution budgets: deadlines and cancellation.
+//!
+//! GA runs are long loops over generations; the planning service needs to
+//! stop them early — because a request's deadline passed or because the
+//! client cancelled the job — without killing threads. A [`Budget`] is
+//! checked *between* generations by the engine: when it reports
+//! [`StopCause::Deadline`] or [`StopCause::Cancelled`], the run winds down
+//! and returns its best-so-far plan, tagged with the cause.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped before exhausting its configured generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The job was cancelled by the client.
+    Cancelled,
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopCause::Deadline => write!(f, "deadline"),
+            StopCause::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A shared flag for cooperative cancellation.
+///
+/// Cloning yields handles to the *same* flag; any clone can cancel, all
+/// clones observe it. The flag is sticky: once cancelled, always cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Limits on a single run: an optional wall-clock deadline and an optional
+/// cancellation token. The default budget is unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    token: Option<CancelToken>,
+}
+
+impl Budget {
+    /// An unlimited budget (never stops a run early).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Add a deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Add an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Does this budget impose any limit at all?
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.token.is_some()
+    }
+
+    /// Should the run stop now? Cancellation takes precedence over the
+    /// deadline so an explicit client action is always reported as such.
+    pub fn check(&self) -> Option<StopCause> {
+        if let Some(t) = &self.token {
+            if t.is_cancelled() {
+                return Some(StopCause::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(StopCause::Deadline);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        assert_eq!(Budget::unlimited().check(), None);
+        assert!(!Budget::unlimited().is_limited());
+    }
+
+    #[test]
+    fn expired_deadline_stops() {
+        let b = Budget::unlimited().with_timeout(Duration::ZERO);
+        // Duration::ZERO puts the deadline at or before "now"
+        assert_eq!(b.check(), Some(StopCause::Deadline));
+    }
+
+    #[test]
+    fn future_deadline_does_not_stop() {
+        let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
+        assert_eq!(b.check(), None);
+        assert!(b.is_limited());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_token(token.clone());
+        assert_eq!(b.check(), None);
+        token.cancel();
+        assert_eq!(b.check(), Some(StopCause::Cancelled));
+        token.cancel(); // idempotent
+        assert_eq!(b.check(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_beats_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::unlimited().with_timeout(Duration::ZERO).with_token(token);
+        assert_eq!(b.check(), Some(StopCause::Cancelled));
+    }
+}

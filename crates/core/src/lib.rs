@@ -25,14 +25,16 @@
 //!   bitset states, a programmatic builder and a small text-format parser,
 //!   so domains can be specified as data rather than code.
 
+pub mod budget;
 pub mod domain;
 pub mod plan;
 pub mod sig;
 pub mod strips;
 
+pub use budget::{Budget, CancelToken, StopCause};
 pub use domain::{Domain, DomainExt, OpId};
 pub use plan::{Plan, PlanOutcome, SimError};
-pub use sig::hash_one;
+pub use sig::{hash_one, SigBuilder};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -96,12 +96,7 @@ impl Plan {
             state = domain.apply(&state, op);
         }
         let goal_fitness = domain.goal_fitness(&state);
-        Ok(PlanOutcome {
-            solves: domain.is_goal(&state),
-            final_state: state,
-            goal_fitness,
-            cost,
-        })
+        Ok(PlanOutcome { solves: domain.is_goal(&state), final_state: state, goal_fitness, cost })
     }
 
     /// Simulate without validity checks (callers that constructed the plan
@@ -115,12 +110,7 @@ impl Plan {
             state = domain.apply(&state, op);
         }
         let goal_fitness = domain.goal_fitness(&state);
-        PlanOutcome {
-            solves: domain.is_goal(&state),
-            final_state: state,
-            goal_fitness,
-            cost,
-        }
+        PlanOutcome { solves: domain.is_goal(&state), final_state: state, goal_fitness, cost }
     }
 
     /// Render the plan as a numbered list of operation names.

@@ -1,5 +1,7 @@
 //! State signatures: stable 64-bit hashes used for state matching in
-//! state-aware crossover and for duplicate detection diagnostics.
+//! state-aware crossover and for duplicate detection diagnostics, plus
+//! [`SigBuilder`] — a streaming hasher for *problem signatures* that key
+//! the planning service's plan cache.
 
 use std::hash::{Hash, Hasher};
 
@@ -20,10 +22,111 @@ pub fn hash_one<T: Hash>(value: &T) -> u64 {
 /// Combine two signatures order-sensitively (Boost `hash_combine` flavour).
 #[inline]
 pub fn combine(a: u64, b: u64) -> u64 {
-    a ^ (b
-        .wrapping_add(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(a << 6)
-        .wrapping_add(a >> 2))
+    a ^ (b.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(a << 6).wrapping_add(a >> 2))
+}
+
+/// Streaming builder for stable 64-bit *problem signatures*.
+///
+/// Unlike [`hash_one`], which hashes whatever `Hash` impl a type happens to
+/// have, `SigBuilder` makes the hashed byte stream explicit: callers feed
+/// each semantically relevant field in a fixed order, with field tags and
+/// lengths, so the signature is (a) stable across runs and processes — it
+/// has no per-process randomness — and (b) free of ambiguity between
+/// adjacent variable-length fields. The planning service uses these
+/// signatures as plan-cache keys, so two problems must collide only if they
+/// are semantically identical.
+///
+/// FNV-1a over the framed byte stream; not cryptographic, which is fine for
+/// a cache key (a collision costs a wrong cache hit in a research planner,
+/// not a security boundary).
+#[derive(Debug, Clone)]
+pub struct SigBuilder {
+    state: u64,
+}
+
+impl Default for SigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SigBuilder {
+    /// FNV-1a offset basis.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a prime.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh builder.
+    pub fn new() -> Self {
+        SigBuilder { state: Self::OFFSET }
+    }
+
+    #[inline]
+    fn byte(&mut self, b: u8) {
+        self.state = (self.state ^ b as u64).wrapping_mul(Self::PRIME);
+    }
+
+    /// Feed raw bytes (length-framed, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.u64(bytes.len() as u64);
+        for &b in bytes {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Feed a UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feed a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Feed a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Feed a `usize`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Feed a `bool`.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.byte(v as u8);
+        self
+    }
+
+    /// Feed an `f64` by bit pattern, canonicalizing `-0.0` to `0.0` and all
+    /// NaNs to one bit pattern so semantically equal configs hash equally.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        let canon = if v == 0.0 {
+            0.0f64
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.u64(canon.to_bits())
+    }
+
+    /// Feed a field tag: a short static label separating record fields, so
+    /// reordered or skipped fields change the signature.
+    pub fn tag(&mut self, label: &str) -> &mut Self {
+        self.str(label)
+    }
+
+    /// Finish, returning the signature.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]
@@ -53,5 +156,44 @@ mod tests {
         let c = combine(a, b);
         assert_ne!(c, a);
         assert_ne!(c, b);
+    }
+
+    #[test]
+    fn sig_builder_is_deterministic() {
+        let mut a = SigBuilder::new();
+        a.tag("x").str("hello").u64(7);
+        let mut b = SigBuilder::new();
+        b.tag("x").str("hello").u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sig_builder_framing_disambiguates_concatenation() {
+        let mut a = SigBuilder::new();
+        a.str("ab").str("c");
+        let mut b = SigBuilder::new();
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sig_builder_distinguishes_field_order() {
+        let mut a = SigBuilder::new();
+        a.u64(1).u64(2);
+        let mut b = SigBuilder::new();
+        b.u64(2).u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sig_builder_canonicalizes_floats() {
+        let mut a = SigBuilder::new();
+        a.f64(0.0);
+        let mut b = SigBuilder::new();
+        b.f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = SigBuilder::new();
+        c.f64(1.5);
+        assert_ne!(a.finish(), c.finish());
     }
 }

@@ -21,10 +21,7 @@ pub struct CondSet {
 impl CondSet {
     /// An empty set over `width` conditions.
     pub fn empty(width: usize) -> Self {
-        CondSet {
-            words: vec![0; width.div_ceil(WORD_BITS)],
-            width,
-        }
+        CondSet { words: vec![0; width.div_ceil(WORD_BITS)], width }
     }
 
     /// Build a set from condition ids.
@@ -83,11 +80,7 @@ impl CondSet {
     /// Number of conditions present in both `self` and `other`.
     pub fn intersection_count(&self, other: &CondSet) -> usize {
         debug_assert_eq!(self.width, other.width);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// In-place `self := (self \ del) ∪ add` — applying an operation's

@@ -52,8 +52,7 @@ pub fn parse_strips(text: &str) -> Result<StripsProblem> {
         if let Some(rest) = line.strip_prefix("conditions:") {
             saw_conditions = true;
             for name in rest.split_whitespace() {
-                b.condition(name)
-                    .map_err(|_| perr(lineno, format!("duplicate condition `{name}`")))?;
+                b.condition(name).map_err(|_| perr(lineno, format!("duplicate condition `{name}`")))?;
             }
         } else if let Some(rest) = line.strip_prefix("init:") {
             if init.is_some() {
@@ -80,9 +79,8 @@ pub fn parse_strips(text: &str) -> Result<StripsProblem> {
             });
         } else {
             // op-block field lines
-            let op = ops
-                .last_mut()
-                .ok_or_else(|| perr(lineno, format!("unexpected line outside op block: `{line}`")))?;
+            let op =
+                ops.last_mut().ok_or_else(|| perr(lineno, format!("unexpected line outside op block: `{line}`")))?;
             if let Some(rest) = line.strip_prefix("pre:") {
                 op.pre.extend(rest.split_whitespace().map(String::from));
             } else if let Some(rest) = line.strip_prefix("add:") {
@@ -90,10 +88,7 @@ pub fn parse_strips(text: &str) -> Result<StripsProblem> {
             } else if let Some(rest) = line.strip_prefix("del:") {
                 op.del.extend(rest.split_whitespace().map(String::from));
             } else if let Some(rest) = line.strip_prefix("cost:") {
-                op.cost = rest
-                    .trim()
-                    .parse::<f64>()
-                    .map_err(|e| perr(lineno, format!("bad cost: {e}")))?;
+                op.cost = rest.trim().parse::<f64>().map_err(|e| perr(lineno, format!("bad cost: {e}")))?;
             } else {
                 return Err(perr(lineno, format!("unknown directive: `{line}`")));
             }

@@ -66,10 +66,7 @@ impl StripsProblem {
 
     /// Look up a condition id by name.
     pub fn condition_id(&self, name: &str) -> Option<CondId> {
-        self.conditions
-            .iter()
-            .position(|c| c == name)
-            .map(|i| CondId(i as u32))
+        self.conditions.iter().position(|c| c == name).map(|i| CondId(i as u32))
     }
 
     /// The operators `O`.
@@ -89,10 +86,48 @@ impl StripsProblem {
 
     /// Sum of weights over all goal conditions.
     fn total_goal_weight(&self) -> f64 {
-        self.goal
-            .iter()
-            .map(|c| self.goal_weights.get(&c).copied().unwrap_or(1.0))
-            .sum()
+        self.goal.iter().map(|c| self.goal_weights.get(&c).copied().unwrap_or(1.0)).sum()
+    }
+
+    /// Stable 64-bit signature of the *semantic content* of this problem:
+    /// conditions, operators (names, pre/add/del sets, costs), initial
+    /// state, goal, fitness mode and goal weights. Two problems built the
+    /// same way hash the same across runs and processes; changing any of
+    /// the above changes the signature. Used by the planning service as
+    /// (part of) its plan-cache key.
+    pub fn signature(&self) -> u64 {
+        let mut s = crate::sig::SigBuilder::new();
+        s.tag("strips-problem-v1");
+        s.tag("conds").usize(self.conditions.len());
+        for c in &self.conditions {
+            s.str(c);
+        }
+        s.tag("ops").usize(self.ops.len());
+        for op in &self.ops {
+            s.str(&op.name);
+            for (label, set) in [("pre", &op.pre), ("add", &op.add), ("del", &op.del)] {
+                s.tag(label).usize(set.count());
+                for c in set.iter() {
+                    s.u32(c.0);
+                }
+            }
+            s.f64(op.cost);
+        }
+        s.tag("init").usize(self.init.count());
+        for c in self.init.iter() {
+            s.u32(c.0);
+        }
+        s.tag("goal").usize(self.goal.count());
+        for c in self.goal.iter() {
+            s.u32(c.0);
+        }
+        s.tag("fitness").bool(self.fitness_mode == GoalFitnessMode::Exact);
+        // hash weights in goal-iteration order (deterministic), not map order
+        s.tag("weights");
+        for c in self.goal.iter() {
+            s.f64(self.goal_weights.get(&c).copied().unwrap_or(1.0));
+        }
+        s.finish()
     }
 }
 
@@ -219,12 +254,7 @@ impl StripsBuilder {
     fn resolve(&self, names: &[&str]) -> Result<Vec<CondId>> {
         names
             .iter()
-            .map(|n| {
-                self.index
-                    .get(*n)
-                    .copied()
-                    .ok_or_else(|| Error::UnknownSymbol((*n).to_string()))
-            })
+            .map(|n| self.index.get(*n).copied().ok_or_else(|| Error::UnknownSymbol((*n).to_string())))
             .collect()
     }
 
@@ -253,11 +283,7 @@ impl StripsBuilder {
     /// Assign a goal-fitness weight to one goal condition (analogue of the
     /// paper's per-disk weights in the Hanoi goal fitness, Eq. 5).
     pub fn goal_weight(&mut self, cond: &str, weight: f64) -> Result<()> {
-        let id = self
-            .index
-            .get(cond)
-            .copied()
-            .ok_or_else(|| Error::UnknownSymbol(cond.to_string()))?;
+        let id = self.index.get(cond).copied().ok_or_else(|| Error::UnknownSymbol(cond.to_string()))?;
         if !weight.is_finite() || weight < 0.0 {
             return Err(Error::Invalid(format!("invalid goal weight {weight} for `{cond}`")));
         }
@@ -394,10 +420,7 @@ mod tests {
         let mut b = StripsBuilder::new();
         b.condition("a").unwrap();
         assert_eq!(b.condition("a"), Err(Error::DuplicateSymbol("a".into())));
-        assert!(matches!(
-            b.op("o", &["missing"], &[], &[], 1.0),
-            Err(Error::UnknownSymbol(_))
-        ));
+        assert!(matches!(b.op("o", &["missing"], &[], &[], 1.0), Err(Error::UnknownSymbol(_))));
         assert!(matches!(b.init(&["nope"]), Err(Error::UnknownSymbol(_))));
     }
 

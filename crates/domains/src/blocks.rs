@@ -173,12 +173,8 @@ mod tests {
         // all but on-1-2 -> 3/4.
         let f0 = p.goal_fitness(&s);
         assert!((f0 - 0.75).abs() < 1e-12, "f0 = {f0}");
-        let find = |name: &str| {
-            (0..p.num_operations())
-                .map(|i| OpId(i as u32))
-                .find(|&o| p.op_name(o) == name)
-                .unwrap()
-        };
+        let find =
+            |name: &str| (0..p.num_operations()).map(|i| OpId(i as u32)).find(|&o| p.op_name(o) == name).unwrap();
         // unstacking 0 temporarily loses on-0-1 -> 2/4
         let s1 = p.apply(&s, find("move-0-from-1-to-table"));
         assert!((p.goal_fitness(&s1) - 0.5).abs() < 1e-12);

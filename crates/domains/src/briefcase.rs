@@ -57,32 +57,14 @@ pub fn briefcase(locations: usize, obj_init: &[usize], obj_goal: &[usize], case_
     for l1 in 0..locations {
         for l2 in 0..locations {
             if l1 != l2 {
-                b.op(
-                    &format!("move-{l1}-{l2}"),
-                    &[&case_at(l1)],
-                    &[&case_at(l2)],
-                    &[&case_at(l1)],
-                    1.0,
-                )?;
+                b.op(&format!("move-{l1}-{l2}"), &[&case_at(l1)], &[&case_at(l2)], &[&case_at(l1)], 1.0)?;
             }
         }
     }
     for o in 0..k {
         for l in 0..locations {
-            b.op(
-                &format!("put-in-{o}-at-{l}"),
-                &[&case_at(l), &at_obj(o, l)],
-                &[&in_case(o)],
-                &[&at_obj(o, l)],
-                1.0,
-            )?;
-            b.op(
-                &format!("take-out-{o}-at-{l}"),
-                &[&case_at(l), &in_case(o)],
-                &[&at_obj(o, l)],
-                &[&in_case(o)],
-                1.0,
-            )?;
+            b.op(&format!("put-in-{o}-at-{l}"), &[&case_at(l), &at_obj(o, l)], &[&in_case(o)], &[&at_obj(o, l)], 1.0)?;
+            b.op(&format!("take-out-{o}-at-{l}"), &[&case_at(l), &in_case(o)], &[&at_obj(o, l)], &[&in_case(o)], 1.0)?;
         }
     }
 
@@ -114,11 +96,7 @@ mod tests {
     fn carry_one_object_between_locations() {
         // object 0 at loc 0, goal loc 1; case at loc 0
         let p = briefcase(2, &[0], &[1], 0).unwrap();
-        let plan = Plan::from_ops(vec![
-            find(&p, "put-in-0-at-0"),
-            find(&p, "move-0-1"),
-            find(&p, "take-out-0-at-1"),
-        ]);
+        let plan = Plan::from_ops(vec![find(&p, "put-in-0-at-0"), find(&p, "move-0-1"), find(&p, "take-out-0-at-1")]);
         let out = plan.simulate(&p, &p.initial_state()).unwrap();
         assert!(out.solves);
         assert_eq!(out.cost, 3.0);

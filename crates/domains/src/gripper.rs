@@ -50,13 +50,7 @@ pub fn gripper(rooms: usize, balls: usize, grippers: usize) -> Result<StripsProb
     for r1 in 0..rooms {
         for r2 in 0..rooms {
             if r1 != r2 {
-                builder.op(
-                    &format!("move-{r1}-{r2}"),
-                    &[&robot_at(r1)],
-                    &[&robot_at(r2)],
-                    &[&robot_at(r1)],
-                    1.0,
-                )?;
+                builder.op(&format!("move-{r1}-{r2}"), &[&robot_at(r1)], &[&robot_at(r2)], &[&robot_at(r1)], 1.0)?;
             }
         }
     }
@@ -111,11 +105,8 @@ mod tests {
     #[test]
     fn one_ball_two_rooms_solved_by_hand() {
         let p = gripper(2, 1, 1).unwrap();
-        let plan = Plan::from_ops(vec![
-            find(&p, "pick-0-in-0-with-0"),
-            find(&p, "move-0-1"),
-            find(&p, "drop-0-in-1-from-0"),
-        ]);
+        let plan =
+            Plan::from_ops(vec![find(&p, "pick-0-in-0-with-0"), find(&p, "move-0-1"), find(&p, "drop-0-in-1-from-0")]);
         let out = plan.simulate(&p, &p.initial_state()).unwrap();
         assert!(out.solves);
     }
@@ -140,10 +131,7 @@ mod tests {
         let p = gripper(2, 2, 1).unwrap();
         let s = p.apply(&p.initial_state(), find(&p, "pick-0-in-0-with-0"));
         let names: Vec<String> = p.valid_ops_vec(&s).iter().map(|&o| p.op_name(o)).collect();
-        assert!(
-            !names.contains(&"pick-1-in-0-with-0".to_string()),
-            "occupied gripper must not pick: {names:?}"
-        );
+        assert!(!names.contains(&"pick-1-in-0-with-0".to_string()), "occupied gripper must not pick: {names:?}");
     }
 
     #[test]

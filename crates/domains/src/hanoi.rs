@@ -57,13 +57,7 @@ impl Hanoi {
         // paper Eq. 5: disk i (1-based) weighs 2^i
         let weights: Vec<f64> = (0..n).map(|i| f64::powi(2.0, i as i32 + 1)).collect();
         let total_weight = weights.iter().sum();
-        Hanoi {
-            n,
-            init,
-            goal_peg,
-            weights,
-            total_weight,
-        }
+        Hanoi { n, init, goal_peg, weights, total_weight }
     }
 
     /// Number of disks.
@@ -96,17 +90,13 @@ impl Hanoi {
                 return;
             }
             solve(n - 1, from, via, to, out);
-            let mv = MOVES
-                .iter()
-                .position(|&(f, t)| f == from && t == to)
-                .expect("every directed pair is in MOVES");
+            let mv = MOVES.iter().position(|&(f, t)| f == from && t == to).expect("every directed pair is in MOVES");
             out.push(OpId(mv as u32));
             solve(n - 1, via, to, from, out);
         }
         let mut out = Vec::with_capacity(self.optimal_len());
-        let aux = (0..PEGS as u8)
-            .find(|&p| p != 0 && p != self.goal_peg)
-            .expect("three stakes always leave one auxiliary");
+        let aux =
+            (0..PEGS as u8).find(|&p| p != 0 && p != self.goal_peg).expect("three stakes always leave one auxiliary");
         solve(self.n, 0, self.goal_peg, aux, &mut out);
         out
     }
@@ -155,11 +145,8 @@ impl Domain for Hanoi {
     }
 
     fn valid_operations(&self, state: &HanoiState, out: &mut Vec<OpId>) {
-        let tops: [Option<usize>; PEGS] = [
-            Self::top_disk(state, 0),
-            Self::top_disk(state, 1),
-            Self::top_disk(state, 2),
-        ];
+        let tops: [Option<usize>; PEGS] =
+            [Self::top_disk(state, 0), Self::top_disk(state, 1), Self::top_disk(state, 2)];
         for (i, &(from, to)) in MOVES.iter().enumerate() {
             if let Some(d) = tops[from as usize] {
                 if tops[to as usize].is_none_or(|t| d < t) {
@@ -172,22 +159,15 @@ impl Domain for Hanoi {
     fn apply(&self, state: &HanoiState, op: OpId) -> HanoiState {
         let (from, to) = MOVES[op.index()];
         let disk = Self::top_disk(state, from).expect("apply() requires a valid move");
-        debug_assert!(
-            Self::top_disk(state, to).is_none_or(|t| disk < t),
-            "cannot place disk {disk} on a smaller disk"
-        );
+        debug_assert!(Self::top_disk(state, to).is_none_or(|t| disk < t), "cannot place disk {disk} on a smaller disk");
         let mut next = state.clone();
         next[disk] = to;
         next
     }
 
     fn goal_fitness(&self, state: &HanoiState) -> f64 {
-        let on_goal: f64 = state
-            .iter()
-            .enumerate()
-            .filter(|&(_, &p)| p == self.goal_peg)
-            .map(|(i, _)| self.weights[i])
-            .sum();
+        let on_goal: f64 =
+            state.iter().enumerate().filter(|&(_, &p)| p == self.goal_peg).map(|(i, _)| self.weights[i]).sum();
         on_goal / self.total_weight
     }
 

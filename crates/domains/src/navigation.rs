@@ -62,14 +62,7 @@ impl Navigation {
         check(&init, "initial");
         check(&targets, "target");
         let upper = (init.len() * (width - 1 + height - 1)) as f64;
-        Navigation {
-            width,
-            height,
-            walls,
-            init,
-            targets,
-            upper,
-        }
+        Navigation { width, height, walls, init, targets, upper }
     }
 
     /// Number of robots.
@@ -180,18 +173,10 @@ mod tests {
     #[test]
     fn manual_plan_reaches_goal() {
         let n = open3();
-        let find = |name: &str| {
-            (0..n.num_operations())
-                .map(|i| OpId(i as u32))
-                .find(|&o| n.op_name(o) == name)
-                .unwrap()
-        };
-        let plan = Plan::from_ops(vec![
-            find("robot0 south"),
-            find("robot0 south"),
-            find("robot0 east"),
-            find("robot0 east"),
-        ]);
+        let find =
+            |name: &str| (0..n.num_operations()).map(|i| OpId(i as u32)).find(|&o| n.op_name(o) == name).unwrap();
+        let plan =
+            Plan::from_ops(vec![find("robot0 south"), find("robot0 south"), find("robot0 east"), find("robot0 east")]);
         let out = plan.simulate(&n, &n.initial_state()).unwrap();
         assert!(out.solves);
         assert_eq!(out.final_state, vec![(2, 2)]);

@@ -51,22 +51,13 @@ impl SlidingTile {
         assert!(n >= 2, "board must be at least 2x2");
         validate_board(n, &init);
         validate_board(n, &goal);
-        assert!(
-            is_reachable(n, &init, &goal),
-            "initial board is not reachable from the goal (Johnson & Story parity)"
-        );
+        assert!(is_reachable(n, &init, &goal), "initial board is not reachable from the goal (Johnson & Story parity)");
         let mut goal_pos = vec![(0, 0); n * n];
         for (i, &v) in goal.iter().enumerate() {
             goal_pos[v as usize] = ((i / n) as i32, (i % n) as i32);
         }
         let upper = ((n * n - 1) * 2 * (n - 1)) as f64;
-        SlidingTile {
-            n,
-            init,
-            goal,
-            goal_pos,
-            upper,
-        }
+        SlidingTile { n, init, goal, goal_pos, upper }
     }
 
     /// The standard goal board: `1, 2, …, n²−1, blank`.
@@ -97,11 +88,7 @@ impl SlidingTile {
         init.shuffle(rng);
         if !is_reachable(n, &init, &goal) {
             // swap the first two non-blank entries to flip permutation parity
-            let mut idx = init
-                .iter()
-                .enumerate()
-                .filter(|&(_, &v)| v != 0)
-                .map(|(i, _)| i);
+            let mut idx = init.iter().enumerate().filter(|&(_, &v)| v != 0).map(|(i, _)| i);
             let (a, b) = (idx.next().unwrap(), idx.next().unwrap());
             init.swap(a, b);
         }
@@ -251,10 +238,7 @@ impl Domain for SlidingTile {
         let (r, c) = ((blank / self.n) as i32, (blank % self.n) as i32);
         let (dr, dc, _) = DIRS[op.index()];
         let (nr, nc) = (r + dr, c + dc);
-        debug_assert!(
-            nr >= 0 && nr < self.n as i32 && nc >= 0 && nc < self.n as i32,
-            "apply() requires a valid move"
-        );
+        debug_assert!(nr >= 0 && nr < self.n as i32 && nc >= 0 && nc < self.n as i32, "apply() requires a valid move");
         let target = (nr as usize) * self.n + nc as usize;
         let mut next = state.clone();
         next.swap(blank, target);

@@ -104,11 +104,7 @@ pub fn simulated_annealing<D: Domain>(domain: &D, ga_cfg: &GaConfig, cfg: &Annea
         }
         temperature *= cfg.cooling;
     }
-    AnnealResult {
-        best,
-        evaluations: cfg.evaluations,
-        first_solution_eval,
-    }
+    AnnealResult { best, evaluations: cfg.evaluations, first_solution_eval }
 }
 
 /// The (1+1)-EA: like annealing with temperature zero — only improvements
@@ -135,11 +131,7 @@ pub fn one_plus_one<D: Domain>(domain: &D, ga_cfg: &GaConfig, cfg: &AnnealConfig
             }
         }
     }
-    AnnealResult {
-        best: current,
-        evaluations: cfg.evaluations,
-        first_solution_eval,
-    }
+    AnnealResult { best: current, evaluations: cfg.evaluations, first_solution_eval }
 }
 
 #[cfg(test)]
@@ -166,8 +158,7 @@ mod tests {
             .unwrap();
         }
         for i in 1..=n {
-            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         let goal: Vec<String> = (1..=n).map(|i| format!("r{i}")).collect();
@@ -177,19 +168,11 @@ mod tests {
     }
 
     fn ga_cfg() -> GaConfig {
-        GaConfig {
-            initial_len: 10,
-            max_len: 20,
-            ..GaConfig::default()
-        }
+        GaConfig { initial_len: 10, max_len: 20, ..GaConfig::default() }
     }
 
     fn anneal_cfg() -> AnnealConfig {
-        AnnealConfig {
-            evaluations: 20_000,
-            seed: 9,
-            ..AnnealConfig::default()
-        }
+        AnnealConfig { evaluations: 20_000, seed: 9, ..AnnealConfig::default() }
     }
 
     #[test]
@@ -229,15 +212,9 @@ mod tests {
     #[test]
     fn best_never_regresses() {
         let d = graded_chain(10);
-        let small = AnnealConfig {
-            evaluations: 2_000,
-            ..anneal_cfg()
-        };
+        let small = AnnealConfig { evaluations: 2_000, ..anneal_cfg() };
         let r1 = simulated_annealing(&d, &ga_cfg(), &small);
-        let big = AnnealConfig {
-            evaluations: 20_000,
-            ..anneal_cfg()
-        };
+        let big = AnnealConfig { evaluations: 20_000, ..anneal_cfg() };
         let r2 = simulated_annealing(&d, &ga_cfg(), &big);
         assert!(r2.best.fitness.goal >= r1.best.fitness.goal - 1e-9);
     }

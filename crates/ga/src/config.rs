@@ -116,10 +116,7 @@ impl FitnessWeights {
             return Err(format!("negative fitness weight: goal={} cost={}", self.goal, self.cost));
         }
         if (self.goal + self.cost - 1.0).abs() > 1e-9 {
-            return Err(format!(
-                "fitness weights must sum to 1 (goal={} cost={})",
-                self.goal, self.cost
-            ));
+            return Err(format!("fitness weights must sum to 1 (goal={} cost={})", self.goal, self.cost));
         }
         Ok(())
     }
@@ -289,16 +286,10 @@ impl GaConfig {
             return Err("initial_len must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.initial_len_spread) {
-            return Err(format!(
-                "initial_len_spread must be in [0, 1], got {}",
-                self.initial_len_spread
-            ));
+            return Err(format!("initial_len_spread must be in [0, 1], got {}", self.initial_len_spread));
         }
         if self.max_len < self.initial_len {
-            return Err(format!(
-                "max_len ({}) must be >= initial_len ({})",
-                self.max_len, self.initial_len
-            ));
+            return Err(format!("max_len ({}) must be >= initial_len ({})", self.max_len, self.initial_len));
         }
         Ok(())
     }
@@ -319,6 +310,45 @@ impl GaConfig {
         self.generations_per_phase = 100;
         self.early_stop_on_solution = false;
         self
+    }
+
+    /// Stable 64-bit signature of every config field that can change a
+    /// run's *result* — used (combined with the problem signature) as the
+    /// planning service's plan-cache key. `parallel` is deliberately
+    /// excluded: evaluation is deterministic by contract, so serial and
+    /// parallel runs of the same config produce the same plan.
+    pub fn signature(&self) -> u64 {
+        let mut s = gaplan_core::sig::SigBuilder::new();
+        s.tag("ga-config-v1");
+        s.tag("pop").usize(self.population_size);
+        s.tag("gens").u32(self.generations_per_phase);
+        s.tag("phases").u32(self.max_phases);
+        s.tag("xover").str(self.crossover.name());
+        s.tag("xover-rate").f64(self.crossover_rate);
+        s.tag("mut-rate").f64(self.mutation_rate);
+        s.tag("elitism").usize(self.elitism);
+        s.tag("len-mut").f64(self.length_mutation_rate);
+        s.tag("select");
+        match self.selection {
+            SelectionScheme::Tournament(k) => s.str("tournament").u32(k),
+            SelectionScheme::Roulette => s.str("roulette"),
+            SelectionScheme::Rank => s.str("rank"),
+        };
+        s.tag("weights").f64(self.weights.goal).f64(self.weights.cost);
+        s.tag("cost-fitness").u32(match self.cost_fitness {
+            CostFitnessMode::LinearLength => 0,
+            CostFitnessMode::InverseLength => 1,
+            CostFitnessMode::InverseCost => 2,
+            CostFitnessMode::Zero => 3,
+        });
+        s.tag("init-len").usize(self.initial_len).f64(self.initial_len_spread);
+        s.tag("max-len").usize(self.max_len);
+        s.tag("goal-eval").bool(self.goal_eval == GoalEval::BestPrefix);
+        s.tag("truncate").bool(self.truncate_at_goal);
+        s.tag("state-match").bool(self.state_match == StateMatchMode::ValidOpSet);
+        s.tag("early-stop").bool(self.early_stop_on_solution);
+        s.tag("seed").u64(self.seed);
+        s.finish()
     }
 }
 

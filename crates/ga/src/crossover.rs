@@ -83,10 +83,7 @@ pub fn crossover<R: Rng + ?Sized, S>(
 }
 
 fn children<S>(a: &Evaluated<S>, c1: usize, b: &Evaluated<S>, c2: usize, max_len: usize) -> CrossoverOutcome {
-    CrossoverOutcome::Children(
-        a.genome.splice(c1, &b.genome, c2, max_len),
-        b.genome.splice(c2, &a.genome, c1, max_len),
-    )
+    CrossoverOutcome::Children(a.genome.splice(c1, &b.genome, c2, max_len), b.genome.splice(c2, &a.genome, c1, max_len))
 }
 
 /// Find a cut point on `b` whose decode state matches `key`, chosen
@@ -170,10 +167,7 @@ mod tests {
         let b = ind(vec![0.9; 4], vec![10, 20, 30, 40, 50]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
-            assert_eq!(
-                crossover(&mut rng, CrossoverKind::StateAware, &a, &b, 100),
-                CrossoverOutcome::Unchanged
-            );
+            assert_eq!(crossover(&mut rng, CrossoverKind::StateAware, &a, &b, 100), CrossoverOutcome::Unchanged);
         }
     }
 
@@ -220,10 +214,7 @@ mod tests {
         let b = ind(vec![0.9; 4], vec![10, 20, 30, 40, 50]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
-            assert!(matches!(
-                crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100),
-                CrossoverOutcome::Children(..)
-            ));
+            assert!(matches!(crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100), CrossoverOutcome::Children(..)));
         }
     }
 
@@ -261,12 +252,7 @@ mod tests {
         let a = ind(vec![], vec![1]);
         let b = ind(vec![0.5], vec![1, 2]);
         let mut rng = StdRng::seed_from_u64(8);
-        for kind in [
-            CrossoverKind::Random,
-            CrossoverKind::StateAware,
-            CrossoverKind::Mixed,
-            CrossoverKind::TwoPoint,
-        ] {
+        for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
             // must not panic; state-aware can match at key 1
             let _ = crossover(&mut rng, kind, &a, &b, 100);
         }

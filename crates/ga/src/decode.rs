@@ -156,7 +156,8 @@ impl Decoder {
             GoalEval::FinalState => domain.goal_fitness(&decoded.final_state),
             GoalEval::BestPrefix => decoded.best_prefix_goal,
         };
-        let fitness = Fitness::compute(goal, decoded.ops.len(), decoded.cost, cfg.weights, cfg.cost_fitness, cfg.max_len);
+        let fitness =
+            Fitness::compute(goal, decoded.ops.len(), decoded.cost, cfg.weights, cfg.cost_fitness, cfg.max_len);
         (decoded, fitness)
     }
 }
@@ -175,24 +176,12 @@ mod tests {
             b.condition(&format!("at{i}")).unwrap();
         }
         for i in 0..4 {
-            b.op(
-                &format!("right{i}"),
-                &[&format!("at{i}")],
-                &[&format!("at{}", i + 1)],
-                &[&format!("at{i}")],
-                1.0,
-            )
-            .unwrap();
+            b.op(&format!("right{i}"), &[&format!("at{i}")], &[&format!("at{}", i + 1)], &[&format!("at{i}")], 1.0)
+                .unwrap();
         }
         for i in 1..5 {
-            b.op(
-                &format!("left{i}"),
-                &[&format!("at{i}")],
-                &[&format!("at{}", i - 1)],
-                &[&format!("at{i}")],
-                1.0,
-            )
-            .unwrap();
+            b.op(&format!("left{i}"), &[&format!("at{i}")], &[&format!("at{}", i - 1)], &[&format!("at{i}")], 1.0)
+                .unwrap();
         }
         b.init(&["at0"]).unwrap();
         b.goal(&["at4"]).unwrap();
@@ -203,13 +192,7 @@ mod tests {
         d: &gaplan_core::strips::StripsProblem,
         genes: Vec<f64>,
     ) -> Decoded<<gaplan_core::strips::StripsProblem as Domain>::State> {
-        Decoder::new().decode(
-            d,
-            &d.initial_state(),
-            &Genome::from_genes(genes),
-            false,
-            StateMatchMode::ExactState,
-        )
+        Decoder::new().decode(d, &d.initial_state(), &Genome::from_genes(genes), false, StateMatchMode::ExactState)
     }
 
     #[test]
@@ -259,13 +242,8 @@ mod tests {
         assert_eq!(full.decoded_len, 6);
         assert!(!d.is_goal(&full.final_state)); // walked past the goal
 
-        let trunc = Decoder::new().decode(
-            &d,
-            &d.initial_state(),
-            &Genome::from_genes(genes),
-            true,
-            StateMatchMode::ExactState,
-        );
+        let trunc =
+            Decoder::new().decode(&d, &d.initial_state(), &Genome::from_genes(genes), true, StateMatchMode::ExactState);
         assert_eq!(trunc.decoded_len, 4);
         assert!(d.is_goal(&trunc.final_state));
     }

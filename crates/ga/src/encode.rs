@@ -51,10 +51,7 @@ pub fn encode_plan<D: Domain>(domain: &D, start: &D::State, ops: &[OpId]) -> Res
     for (at, &op) in ops.iter().enumerate() {
         valid.clear();
         domain.valid_operations(&state, &mut valid);
-        let idx = valid
-            .iter()
-            .position(|&o| o == op)
-            .ok_or(EncodeError::InvalidOp { at, op })?;
+        let idx = valid.iter().position(|&o| o == op).ok_or(EncodeError::InvalidOp { at, op })?;
         genes.push((idx as f64 + 0.5) / valid.len() as f64);
         state = domain.apply(&state, op);
     }
@@ -75,12 +72,10 @@ mod tests {
             b.condition(&format!("s{i}")).unwrap();
         }
         for i in 0..n {
-            b.op(&format!("fwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("fwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         for i in 1..=n {
-            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         b.goal(&[&format!("s{n}")]).unwrap();
@@ -128,10 +123,7 @@ mod tests {
             // with k <= 2 valid ops, midpoints are 0.25, 0.5+0.25, or 0.5
             let frac2 = (g * 2.0).fract();
             let frac1 = g;
-            assert!(
-                (frac2 - 0.5).abs() < 1e-9 || (frac1 - 0.5).abs() < 1e-9,
-                "gene {g} is not a midpoint"
-            );
+            assert!((frac2 - 0.5).abs() < 1e-9 || (frac1 - 0.5).abs() < 1e-9, "gene {g} is not a midpoint");
         }
     }
 

@@ -2,6 +2,7 @@
 //! terminology (§3.5 step 2a): evaluate → select → crossover → mutate →
 //! replace, for a fixed number of generations.
 
+use gaplan_core::budget::{Budget, StopCause};
 use gaplan_core::Domain;
 use rand::Rng;
 
@@ -22,6 +23,7 @@ pub struct Phase<'d, D: Domain> {
     start: D::State,
     phase_index: u32,
     seeder: Option<(SeedStrategy, f64)>,
+    budget: Budget,
 }
 
 /// The outcome of a phase.
@@ -34,11 +36,18 @@ pub struct PhaseResult<S> {
     pub best: Evaluated<S>,
     /// Per-generation statistics.
     pub history: Vec<GenStats>,
-    /// Number of generations actually evolved (< budget iff early-stopped).
+    /// Number of generations actually evolved. Always equals
+    /// `history.len()`, and is less than the configured budget iff the
+    /// phase stopped early (solution found, deadline, or cancellation).
     pub generations_executed: u32,
     /// First generation (0-based) at which some individual solved the
-    /// problem, if any.
+    /// problem, if any. When `Some(g)`, `g < generations_executed`.
     pub first_solution_gen: Option<u32>,
+    /// Why the phase was cut short by its [`Budget`], if it was. `None`
+    /// means the phase ran to its configured end or early-stopped on a
+    /// solution. Even when `Some`, at least one generation was evaluated,
+    /// so `best` is the genuine best-so-far.
+    pub stopped: Option<StopCause>,
 }
 
 /// Ranking used for "best individual": goal fitness first (the paper picks
@@ -52,13 +61,7 @@ impl<'d, D: Domain> Phase<'d, D> {
     /// Create a phase starting from the domain's initial state.
     pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
         let start = domain.initial_state();
-        Phase {
-            domain,
-            cfg,
-            start,
-            phase_index: 0,
-            seeder: None,
-        }
+        Phase { domain, cfg, start, phase_index: 0, seeder: None, budget: Budget::unlimited() }
     }
 
     /// Create a phase starting from an arbitrary state (used by the
@@ -66,19 +69,21 @@ impl<'d, D: Domain> Phase<'d, D> {
     /// initial state for the search during the next phase"). `phase_index`
     /// selects an independent RNG stream.
     pub fn with_start(domain: &'d D, cfg: GaConfig, start: D::State, phase_index: u32) -> Self {
-        Phase {
-            domain,
-            cfg,
-            start,
-            phase_index,
-            seeder: None,
-        }
+        Phase { domain, cfg, start, phase_index, seeder: None, budget: Budget::unlimited() }
     }
 
     /// Seed a fraction of the initial population with heuristic individuals
     /// (Westerberg & Levine-style seeding; see [`crate::seeding`]).
     pub fn with_seeder(mut self, strategy: SeedStrategy, fraction: f64) -> Self {
         self.seeder = Some((strategy, fraction));
+        self
+    }
+
+    /// Attach an execution budget (deadline and/or cancellation token),
+    /// checked between generations. The first generation always runs, so a
+    /// stopped phase still returns a meaningful best-so-far individual.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -98,8 +103,19 @@ impl<'d, D: Domain> Phase<'d, D> {
         let mut history = Vec::with_capacity(cfg.generations_per_phase as usize);
         let mut first_solution_gen = None;
         let mut generations_executed = 0;
+        let mut stopped = None;
 
         for gen in 0..cfg.generations_per_phase {
+            // Budget check gates every generation but the first: generation
+            // 0 always evaluates, so `best` exists and a timed-out job can
+            // still report its best-so-far plan.
+            if gen > 0 {
+                if let Some(cause) = self.budget.check() {
+                    stopped = Some(cause);
+                    break;
+                }
+            }
+
             // (i) evaluate each individual
             let evaluated = evaluate_all(self.domain, &self.start, genomes, cfg);
             generations_executed = gen + 1;
@@ -128,9 +144,8 @@ impl<'d, D: Domain> Phase<'d, D> {
 
             // (ii) select individuals for the next generation
             let fitnesses: Vec<f64> = evaluated.iter().map(|e| e.fitness.total).collect();
-            let parents: Vec<usize> = (0..cfg.population_size)
-                .map(|_| select_parent(&mut rng, &fitnesses, cfg.selection))
-                .collect();
+            let parents: Vec<usize> =
+                (0..cfg.population_size).map(|_| select_parent(&mut rng, &fitnesses, cfg.selection)).collect();
 
             // (iii) crossover and mutation; children replace their parents
             let mut next = Vec::with_capacity(cfg.population_size);
@@ -186,11 +201,14 @@ impl<'d, D: Domain> Phase<'d, D> {
             genomes = next;
         }
 
+        debug_assert_eq!(history.len() as u32, generations_executed);
+        debug_assert!(first_solution_gen.is_none_or(|g| g < generations_executed));
         PhaseResult {
             best: best.expect("at least one generation was evaluated"),
             history,
             generations_executed,
             first_solution_gen,
+            stopped,
         }
     }
 }
@@ -210,12 +228,10 @@ mod tests {
             b.condition(&format!("s{i}")).unwrap();
         }
         for i in 0..n {
-            b.op(&format!("fwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("fwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i + 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         for i in 1..=n {
-            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         b.goal(&[&format!("s{n}")]).unwrap();
@@ -293,12 +309,7 @@ mod tests {
     #[test]
     fn all_crossover_kinds_run_and_respect_max_len() {
         let d = chain(5);
-        for kind in [
-            CrossoverKind::Random,
-            CrossoverKind::StateAware,
-            CrossoverKind::Mixed,
-            CrossoverKind::TwoPoint,
-        ] {
+        for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
             let mut c = cfg();
             c.crossover = kind;
             c.generations_per_phase = 20;
@@ -326,11 +337,7 @@ mod tests {
         let mut s = d.initial_state();
         for _ in 0..2 {
             let ops = d.valid_ops_vec(&s);
-            let fwd = ops
-                .iter()
-                .copied()
-                .find(|&o| d.op_name(o).starts_with("fwd"))
-                .unwrap();
+            let fwd = ops.iter().copied().find(|&o| d.op_name(o).starts_with("fwd")).unwrap();
             s = d.apply(&s, fwd);
         }
         let r = Phase::with_start(&d, cfg(), s.clone(), 3).run();
@@ -378,17 +385,47 @@ mod tests {
             c.generations_per_phase = 60;
             c.seed = 100 + seed;
             let r = Phase::new(&d, c).run();
-            r.history
-                .windows(2)
-                .any(|w| w[1].best_total < w[0].best_total - 1e-9)
+            r.history.windows(2).any(|w| w[1].best_total < w[0].best_total - 1e-9)
         });
         assert!(regressed, "no regression across 5 seeds - elitism would be redundant");
+    }
+
+    /// Like `chain` but each forward move also adds a persistent `r{i}`
+    /// marker that is part of the goal, so goal fitness is graded and the
+    /// greedy seeding walk has a gradient to follow (the plain chain's 0/1
+    /// fitness makes greedy walks indistinguishable from random ones).
+    fn graded_chain(n: usize) -> StripsProblem {
+        let mut b = StripsBuilder::new();
+        for i in 0..=n {
+            b.condition(&format!("s{i}")).unwrap();
+        }
+        for i in 1..=n {
+            b.condition(&format!("r{i}")).unwrap();
+        }
+        for i in 0..n {
+            b.op(
+                &format!("fwd{i}"),
+                &[&format!("s{i}")],
+                &[&format!("s{}", i + 1), &format!("r{}", i + 1)],
+                &[&format!("s{i}")],
+                1.0,
+            )
+            .unwrap();
+        }
+        for i in 1..=n {
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0).unwrap();
+        }
+        b.init(&["s0"]).unwrap();
+        let goal: Vec<String> = (1..=n).map(|i| format!("r{i}")).collect();
+        let refs: Vec<&str> = goal.iter().map(String::as_str).collect();
+        b.goal(&refs).unwrap();
+        b.build().unwrap()
     }
 
     #[test]
     fn seeded_phase_uses_heuristic_individuals() {
         use crate::seeding::SeedStrategy;
-        let d = chain(8);
+        let d = graded_chain(8);
         let mut c = cfg();
         c.generations_per_phase = 5;
         let seeded = Phase::new(&d, c.clone()).with_seeder(SeedStrategy::GreedyWalk, 0.5).run();
@@ -400,6 +437,54 @@ mod tests {
             seeded.history[0].best_goal,
             unseeded.history[0].best_goal
         );
+        // and the greedy walks themselves reach the goal on a graded chain
+        assert!(
+            seeded.history[0].best_goal >= 1.0 - 1e-12,
+            "greedy seeds should solve the graded chain at gen 0, got {}",
+            seeded.history[0].best_goal
+        );
+    }
+
+    #[test]
+    fn cancelled_phase_returns_consistent_best_so_far() {
+        use gaplan_core::budget::{Budget, CancelToken, StopCause};
+        let d = chain(8);
+        let mut c = cfg();
+        c.generations_per_phase = 50;
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the run even starts
+        let r = Phase::new(&d, c).with_budget(Budget::unlimited().with_token(token)).run();
+        // generation 0 always runs, so there is a genuine best-so-far...
+        assert_eq!(r.stopped, Some(StopCause::Cancelled));
+        assert_eq!(r.generations_executed, 1);
+        // ...and the bookkeeping stays consistent when cut short:
+        assert_eq!(r.history.len() as u32, r.generations_executed);
+        if let Some(g) = r.first_solution_gen {
+            assert!(g < r.generations_executed, "first_solution_gen {g} out of range");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_phase_after_one_generation() {
+        use gaplan_core::budget::{Budget, StopCause};
+        use std::time::Duration;
+        let d = chain(8);
+        let mut c = cfg();
+        c.generations_per_phase = 50;
+        let r = Phase::new(&d, c).with_budget(Budget::unlimited().with_timeout(Duration::ZERO)).run();
+        assert_eq!(r.stopped, Some(StopCause::Deadline));
+        assert_eq!(r.generations_executed, 1);
+        assert_eq!(r.history.len(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_leaves_run_unchanged() {
+        let d = chain(6);
+        let with = Phase::new(&d, cfg()).with_budget(gaplan_core::Budget::unlimited()).run();
+        let without = Phase::new(&d, cfg()).run();
+        assert_eq!(with.generations_executed, without.generations_executed);
+        assert_eq!(with.best.ops, without.best.ops);
+        assert_eq!(with.stopped, None);
     }
 
     #[test]

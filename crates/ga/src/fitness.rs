@@ -50,12 +50,7 @@ impl Fitness {
             CostFitnessMode::InverseCost => 1.0 / (1.0 + cost_sum.max(0.0)),
             CostFitnessMode::Zero => 0.0,
         };
-        Fitness {
-            match_: 1.0,
-            goal,
-            cost,
-            total: w.goal * goal + w.cost * cost,
-        }
+        Fitness { match_: 1.0, goal, cost, total: w.goal * goal + w.cost * cost }
     }
 
     /// Is this a valid solution in the paper's sense (final state satisfies
@@ -68,12 +63,7 @@ impl Fitness {
 
 impl Default for Fitness {
     fn default() -> Self {
-        Fitness {
-            match_: 1.0,
-            goal: 0.0,
-            cost: 0.0,
-            total: 0.0,
-        }
+        Fitness { match_: 1.0, goal: 0.0, cost: 0.0, total: 0.0 }
     }
 }
 

@@ -19,19 +19,14 @@ impl Genome {
     /// Build from raw genes. Panics in debug builds if any gene is outside
     /// `[0, 1)` — the decode mapping is only defined on that interval.
     pub fn from_genes(genes: Vec<f64>) -> Self {
-        debug_assert!(
-            genes.iter().all(|g| (0.0..1.0).contains(g)),
-            "genes must lie in [0, 1)"
-        );
+        debug_assert!(genes.iter().all(|g| (0.0..1.0).contains(g)), "genes must lie in [0, 1)");
         Genome { genes }
     }
 
     /// A random genome of length `len` (paper §3.2: members of the initial
     /// population are randomly generated).
     pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
-        Genome {
-            genes: (0..len).map(|_| rng.gen::<f64>()).collect(),
-        }
+        Genome { genes: (0..len).map(|_| rng.gen::<f64>()).collect() }
     }
 
     /// The raw genes.

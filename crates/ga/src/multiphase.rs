@@ -4,6 +4,7 @@
 //! the final plan is the concatenation of per-phase bests. The search ends
 //! when a phase produces a valid solution or after `max_phases` phases.
 
+use gaplan_core::budget::{Budget, StopCause};
 use gaplan_core::{Domain, Plan};
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +59,10 @@ pub struct MultiPhaseResult<S> {
     /// individual first solved, if any — finer-grained than the paper's
     /// phase-resolution statistic.
     pub first_solution_gen: Option<u32>,
+    /// Why the run was cut short by its [`Budget`], if it was. Even when
+    /// `Some`, `plan` holds the best-so-far concatenation (at least one
+    /// generation of phase 1 always runs).
+    pub stopped: Option<StopCause>,
 }
 
 /// Driver for the multi-phase GA.
@@ -65,17 +70,22 @@ pub struct MultiPhase<'d, D: Domain> {
     domain: &'d D,
     cfg: GaConfig,
     seeder: Option<(SeedStrategy, f64)>,
+    budget: Budget,
 }
 
 impl<'d, D: Domain> MultiPhase<'d, D> {
     /// Create a driver. Use `cfg.max_phases = 1` (or
     /// [`GaConfig::single_phase`]) for the paper's single-phase baseline.
     pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
-        MultiPhase {
-            domain,
-            cfg,
-            seeder: None,
-        }
+        MultiPhase { domain, cfg, seeder: None, budget: Budget::unlimited() }
+    }
+
+    /// Attach an execution budget (deadline and/or cancellation token). It
+    /// is shared by all phases: each phase checks it between generations,
+    /// and a stopped phase ends the whole run with its best-so-far plan.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Seed a fraction of every phase's initial population (see
@@ -98,15 +108,29 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
         let mut solved_in_phase = None;
         let mut generations_to_solution = 0;
         let mut first_solution_gen = None;
+        let mut stopped = None;
 
         for p in 0..self.cfg.max_phases {
+            // A phase always evaluates at least one generation, so check
+            // the shared budget here to avoid starting a doomed phase —
+            // except before phase 1, which must run for best-so-far to
+            // exist.
+            if p > 0 {
+                if let Some(cause) = self.budget.check() {
+                    stopped = Some(cause);
+                    break;
+                }
+            }
+
             let PhaseResult {
                 best,
                 history: phase_history,
                 generations_executed,
                 first_solution_gen: phase_first_solution,
+                stopped: phase_stopped,
             } = {
-                let mut phase = Phase::with_start(self.domain, self.cfg.clone(), state.clone(), p);
+                let mut phase =
+                    Phase::with_start(self.domain, self.cfg.clone(), state.clone(), p).with_budget(self.budget.clone());
                 if let Some((strategy, fraction)) = &self.seeder {
                     let applies = match strategy {
                         SeedStrategy::Plans(_) => p == 0,
@@ -158,6 +182,11 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                 generations_to_solution = total_generations;
                 break;
             }
+
+            if phase_stopped.is_some() {
+                stopped = phase_stopped;
+                break;
+            }
         }
 
         if solved_in_phase.is_none() {
@@ -175,6 +204,7 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
             total_generations,
             generations_to_solution,
             first_solution_gen,
+            stopped,
         }
     }
 }
@@ -206,8 +236,7 @@ mod tests {
             .unwrap();
         }
         for i in 1..=n {
-            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         let goal: Vec<String> = (1..=n).map(|i| format!("reached{i}")).collect();
@@ -253,11 +282,7 @@ mod tests {
         // goal fitness is non-decreasing across phases (each phase keeps
         // its best-by-goal individual, and an empty plan preserves state)
         for w in r.phases.windows(2) {
-            assert!(
-                w[1].best_goal_fitness >= w[0].best_goal_fitness - 1e-9,
-                "phase fitness regressed: {:?}",
-                r.phases
-            );
+            assert!(w[1].best_goal_fitness >= w[0].best_goal_fitness - 1e-9, "phase fitness regressed: {:?}", r.phases);
         }
     }
 
@@ -311,5 +336,34 @@ mod tests {
         let d = chain(60);
         let r = MultiPhase::new(&d, cfg()).run();
         assert_eq!(r.history.len() as u32, r.total_generations);
+    }
+
+    #[test]
+    fn cancelled_run_returns_best_so_far_with_consistent_counts() {
+        use gaplan_core::budget::{Budget, CancelToken, StopCause};
+        let d = chain(60); // hard: would otherwise run all 4 phases
+        let token = CancelToken::new();
+        token.cancel();
+        let r = MultiPhase::new(&d, cfg()).with_budget(Budget::unlimited().with_token(token)).run();
+        assert_eq!(r.stopped, Some(StopCause::Cancelled));
+        // phase 1 ran exactly one generation before noticing the token
+        assert_eq!(r.total_generations, 1);
+        assert_eq!(r.history.len() as u32, r.total_generations);
+        assert_eq!(r.phases.len(), 1);
+        // the best-so-far concatenation is still a valid (if poor) plan
+        let out = r.plan.simulate(&d, &d.initial_state()).unwrap();
+        assert_eq!(out.final_state, r.final_state);
+    }
+
+    #[test]
+    fn deadline_stops_between_phases() {
+        use gaplan_core::budget::{Budget, StopCause};
+        use std::time::Duration;
+        let d = chain(60);
+        let r = MultiPhase::new(&d, cfg()).with_budget(Budget::unlimited().with_timeout(Duration::ZERO)).run();
+        assert_eq!(r.stopped, Some(StopCause::Deadline));
+        assert!(r.total_generations < 100, "deadline should cut the 4x25 budget");
+        assert_eq!(r.history.len() as u32, r.total_generations);
+        assert!(!r.solved);
     }
 }

@@ -17,9 +17,7 @@ use crate::individual::Evaluated;
 pub fn init_population<R: Rng + ?Sized>(rng: &mut R, cfg: &GaConfig) -> Vec<Genome> {
     let nominal = cfg.initial_len as f64;
     let lo = ((nominal * (1.0 - cfg.initial_len_spread)).floor() as usize).max(1);
-    let hi = ((nominal * (1.0 + cfg.initial_len_spread)).ceil() as usize)
-        .min(cfg.max_len)
-        .max(lo);
+    let hi = ((nominal * (1.0 + cfg.initial_len_spread)).ceil() as usize).min(cfg.max_len).max(lo);
     (0..cfg.population_size)
         .map(|_| {
             let len = rng.gen_range(lo..=hi);
@@ -34,7 +32,12 @@ pub fn init_population<R: Rng + ?Sized>(rng: &mut R, cfg: &GaConfig) -> Vec<Geno
 /// Evaluation is a pure function of each genome, so the parallel path
 /// (rayon, one [`Decoder`] per worker via `map_init`) is bitwise-identical
 /// to the sequential path — parallelism changes wall-clock, never results.
-pub fn evaluate_all<D: Domain>(domain: &D, start: &D::State, genomes: Vec<Genome>, cfg: &GaConfig) -> Vec<Evaluated<D::State>> {
+pub fn evaluate_all<D: Domain>(
+    domain: &D,
+    start: &D::State,
+    genomes: Vec<Genome>,
+    cfg: &GaConfig,
+) -> Vec<Evaluated<D::State>> {
     if cfg.parallel {
         genomes
             .into_par_iter()
@@ -81,13 +84,7 @@ mod tests {
     }
 
     fn small_cfg() -> GaConfig {
-        GaConfig {
-            population_size: 30,
-            initial_len: 8,
-            max_len: 16,
-            seed: 99,
-            ..GaConfig::default()
-        }
+        GaConfig { population_size: 30, initial_len: 8, max_len: 16, seed: 99, ..GaConfig::default() }
     }
 
     #[test]
@@ -148,11 +145,8 @@ mod tests {
     fn evaluation_preserves_order() {
         let d = chain(3);
         let cfg = small_cfg();
-        let genomes = vec![
-            Genome::from_genes(vec![0.1]),
-            Genome::from_genes(vec![0.2, 0.3]),
-            Genome::from_genes(vec![]),
-        ];
+        let genomes =
+            vec![Genome::from_genes(vec![0.1]), Genome::from_genes(vec![0.2, 0.3]), Genome::from_genes(vec![])];
         let evald = evaluate_all(&d, &d.initial_state(), genomes.clone(), &cfg);
         for (g, e) in genomes.iter().zip(&evald) {
             assert_eq!(g, &e.genome);

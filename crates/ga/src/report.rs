@@ -86,15 +86,9 @@ pub fn aggregate(reports: &[RunReport], max_phases: u32) -> AggregateReport {
             solved_per_phase[idx] += 1;
         }
     }
-    let first_gens: Vec<f64> = reports
-        .iter()
-        .filter_map(|r| r.first_solution_gen.map(f64::from))
-        .collect();
-    let avg_first_solution_gen = if first_gens.is_empty() {
-        None
-    } else {
-        Some(first_gens.iter().sum::<f64>() / first_gens.len() as f64)
-    };
+    let first_gens: Vec<f64> = reports.iter().filter_map(|r| r.first_solution_gen.map(f64::from)).collect();
+    let avg_first_solution_gen =
+        if first_gens.is_empty() { None } else { Some(first_gens.iter().sum::<f64>() / first_gens.len() as f64) };
     let avg_goal_fitness = reports.iter().map(|r| r.goal_fitness).sum::<f64>() / n;
     let avg_plan_len = reports.iter().map(|r| r.plan_len as f64).sum::<f64>() / n;
     AggregateReport {
@@ -129,11 +123,7 @@ mod tests {
 
     #[test]
     fn aggregate_means() {
-        let rs = vec![
-            report(1.0, 30, Some(1), 100),
-            report(1.0, 50, Some(2), 200),
-            report(0.5, 80, None, 500),
-        ];
+        let rs = vec![report(1.0, 30, Some(1), 100), report(1.0, 50, Some(2), 200), report(0.5, 80, None, 500)];
         let a = aggregate(&rs, 5);
         assert_eq!(a.runs, 3);
         assert!((a.avg_goal_fitness - (2.5 / 3.0)).abs() < 1e-12);
@@ -146,10 +136,7 @@ mod tests {
 
     #[test]
     fn standard_deviations_are_computed() {
-        let rs = vec![
-            report(1.0, 10, Some(1), 100),
-            report(0.5, 30, None, 500),
-        ];
+        let rs = vec![report(1.0, 10, Some(1), 100), report(0.5, 30, None, 500)];
         let a = aggregate(&rs, 5);
         assert!((a.std_goal_fitness - 0.25).abs() < 1e-12);
         assert!((a.std_plan_len - 10.0).abs() < 1e-12);

@@ -154,8 +154,7 @@ mod tests {
             .unwrap();
         }
         for i in 1..=n {
-            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0)
-                .unwrap();
+            b.op(&format!("bwd{i}"), &[&format!("s{i}")], &[&format!("s{}", i - 1)], &[&format!("s{i}")], 1.0).unwrap();
         }
         b.init(&["s0"]).unwrap();
         let goal: Vec<String> = (1..=n).map(|i| format!("r{i}")).collect();
@@ -165,13 +164,7 @@ mod tests {
     }
 
     fn cfg() -> GaConfig {
-        GaConfig {
-            population_size: 20,
-            initial_len: 8,
-            max_len: 16,
-            seed: 4,
-            ..GaConfig::default()
-        }
+        GaConfig { population_size: 20, initial_len: 8, max_len: 16, seed: 4, ..GaConfig::default() }
     }
 
     #[test]
@@ -196,14 +189,8 @@ mod tests {
         // explicit optimal plan: fwd0..fwd3 = op ids 0..4
         let plan: Vec<OpId> = (0..4).map(|i| OpId(i as u32)).collect();
         let mut rng = StdRng::seed_from_u64(5);
-        let pop = seeded_population(
-            &d,
-            &d.initial_state(),
-            &c,
-            &SeedStrategy::Plans(vec![plan.clone()]),
-            0.3,
-            &mut rng,
-        );
+        let pop =
+            seeded_population(&d, &d.initial_state(), &c, &SeedStrategy::Plans(vec![plan.clone()]), 0.3, &mut rng);
         let mut dec = Decoder::new();
         let decoded = dec.decode(&d, &d.initial_state(), &pop[0], false, StateMatchMode::ExactState);
         assert_eq!(decoded.ops, plan);
@@ -237,14 +224,7 @@ mod tests {
         let d = graded_chain(8);
         let c = cfg();
         let mut rng = StdRng::seed_from_u64(8);
-        let pop = seeded_population(
-            &d,
-            &d.initial_state(),
-            &c,
-            &SeedStrategy::BiasedWalk { bias: 0.8 },
-            1.0,
-            &mut rng,
-        );
+        let pop = seeded_population(&d, &d.initial_state(), &c, &SeedStrategy::BiasedWalk { bias: 0.8 }, 1.0, &mut rng);
         assert_eq!(pop.len(), 20);
         // seeds should on average beat pure random walks in goal fitness
         let mut dec = Decoder::new();

@@ -72,12 +72,7 @@ mod tests {
             decoded_len: len,
             best_prefix_at: len,
             best_prefix_state: 0,
-            fitness: Fitness {
-                match_: 1.0,
-                goal,
-                cost: 0.0,
-                total,
-            },
+            fitness: Fitness { match_: 1.0, goal, cost: 0.0, total },
         }
     }
 

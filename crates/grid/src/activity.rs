@@ -56,10 +56,7 @@ impl ActivityGraph {
                 continue;
             }
             let idx = nodes.len();
-            let mut deps: Vec<usize> = consumed
-                .iter()
-                .filter_map(|item| producer.get(item).copied())
-                .collect();
+            let mut deps: Vec<usize> = consumed.iter().filter_map(|item| producer.get(item).copied()).collect();
             deps.sort_unstable();
             deps.dedup();
             for item in produced {
@@ -151,15 +148,13 @@ mod tests {
         let mut state = world.initial_state();
         let mut ops = Vec::new();
         for name in names {
-            let op = world
-                .valid_ops_vec(&state)
-                .into_iter()
-                .find(|&o| world.op_name(o) == *name)
-                .unwrap_or_else(|| panic!("op `{name}` not valid; valid: {:?}", world
-                    .valid_ops_vec(&state)
-                    .iter()
-                    .map(|&o| world.op_name(o))
-                    .collect::<Vec<_>>()));
+            let op =
+                world.valid_ops_vec(&state).into_iter().find(|&o| world.op_name(o) == *name).unwrap_or_else(|| {
+                    panic!(
+                        "op `{name}` not valid; valid: {:?}",
+                        world.valid_ops_vec(&state).iter().map(|&o| world.op_name(o)).collect::<Vec<_>>()
+                    )
+                });
             state = world.apply(&state, op);
             ops.push(op);
         }
@@ -170,14 +165,7 @@ mod tests {
     fn dependencies_follow_dataflow() {
         let sc = image_pipeline();
         let w = &sc.world;
-        let plan = plan_of(
-            w,
-            &[
-                "run histeq @ orion",
-                "run highpass @ orion",
-                "run fft @ orion",
-            ],
-        );
+        let plan = plan_of(w, &["run histeq @ orion", "run highpass @ orion", "run fft @ orion"]);
         let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
         assert_eq!(g.len(), 3);
         assert!(g.nodes()[0].deps.is_empty());
@@ -193,14 +181,7 @@ mod tests {
         let sc = image_pipeline();
         let w = &sc.world;
         // two independent first-stage runs on the two copies of raw data
-        let plan = plan_of(
-            w,
-            &[
-                "xfer raw-frames orion -> vega",
-                "run histeq @ orion",
-                "run histeq @ vega",
-            ],
-        );
+        let plan = plan_of(w, &["xfer raw-frames orion -> vega", "run histeq @ orion", "run histeq @ vega"]);
         let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
         assert_eq!(g.len(), 3);
         // both runs depend only on the transfer or nothing
@@ -215,11 +196,7 @@ mod tests {
         let sc = image_pipeline();
         let w = &sc.world;
         let state = w.initial_state();
-        let histeq = w
-            .valid_ops_vec(&state)
-            .into_iter()
-            .find(|&o| w.op_name(o) == "run histeq @ orion")
-            .unwrap();
+        let histeq = w.valid_ops_vec(&state).into_iter().find(|&o| w.op_name(o) == "run histeq @ orion").unwrap();
         let plan = Plan::from_ops(vec![histeq, histeq]); // second is a no-op
         let g = ActivityGraph::from_plan(w, &w.initial_state(), &plan);
         assert_eq!(g.len(), 1);

@@ -37,12 +37,7 @@ pub fn discover(world: &GridWorld, program: ProgramId) -> Vec<Placement> {
             let site = &world.sites()[s.index()];
             let seconds = site.execution_seconds(prog.gflops);
             let price = site.execution_price(prog.gflops);
-            Placement {
-                site: s,
-                seconds,
-                price,
-                score: seconds + price,
-            }
+            Placement { site: s, seconds, price, score: seconds + price }
         })
         .collect();
     placements.sort_by(|a, b| a.score.total_cmp(&b.score));
@@ -136,10 +131,7 @@ mod tests {
         // at 95% load orion computes at 2.5 GFLOP/s; the cheap route runs
         // the pipeline on vega (after shipping the raw frames)
         let names: Vec<String> = plan.ops().iter().map(|&o| loaded.op_name(o)).collect();
-        assert!(
-            names.iter().filter(|n| n.contains("@ vega")).count() >= 2,
-            "expected vega-heavy plan, got {names:?}"
-        );
+        assert!(names.iter().filter(|n| n.contains("@ vega")).count() >= 2, "expected vega-heavy plan, got {names:?}");
     }
 
     #[test]

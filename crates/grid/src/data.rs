@@ -40,13 +40,7 @@ pub struct DataItem {
 impl DataItem {
     /// A fresh (unprocessed) item.
     pub fn source(kind: Sym, format: Sym, resolution: u16, location: SiteId) -> Self {
-        DataItem {
-            kind,
-            format,
-            resolution,
-            location,
-            history: Vec::new(),
-        }
+        DataItem { kind, format, resolution, location, history: Vec::new() }
     }
 
     /// Has this item been processed by `program` at any point?
@@ -58,13 +52,7 @@ impl DataItem {
     pub fn derive(&self, program: Sym, kind: Sym, format: Sym, resolution: u16, location: SiteId) -> DataItem {
         let mut history = self.history.clone();
         history.push(TransformRecord { program });
-        DataItem {
-            kind,
-            format,
-            resolution,
-            location,
-            history,
-        }
+        DataItem { kind, format, resolution, location, history }
     }
 }
 

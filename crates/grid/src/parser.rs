@@ -110,27 +110,18 @@ pub fn parse_grid(text: &str) -> Result<GridWorld, GridParseError> {
                         Some(("net", v)) => net = parse_f64(lineno, "net", v)?,
                         Some(("load", v)) => load = parse_f64(lineno, "load", v)?,
                         Some(("price", v)) => price = parse_f64(lineno, "price", v)?,
-                        Some(("slots", v)) => {
-                            slots = v.parse().map_err(|e| err(lineno, format!("bad slots: {e}")))?
-                        }
+                        Some(("slots", v)) => slots = v.parse().map_err(|e| err(lineno, format!("bad slots: {e}")))?,
                         _ => return Err(err(lineno, format!("unknown site field `{t}`"))),
                     }
                 }
                 if site_ids.contains_key(name) {
                     return Err(err(lineno, format!("duplicate site `{name}`")));
                 }
-                let site = Site::new(
-                    name,
-                    ResourceSpec {
-                        cpu_gflops: cpu,
-                        memory_gb: mem,
-                        disk_tb: disk,
-                        net_mbps: net,
-                    },
-                )
-                .with_load(load)
-                .with_price(price)
-                .with_slots(slots);
+                let site =
+                    Site::new(name, ResourceSpec { cpu_gflops: cpu, memory_gb: mem, disk_tb: disk, net_mbps: net })
+                        .with_load(load)
+                        .with_price(price)
+                        .with_slots(slots);
                 site_ids.insert(name.to_string(), b.site(site));
             }
             "kind" => {
@@ -242,17 +233,15 @@ pub fn parse_grid(text: &str) -> Result<GridWorld, GridParseError> {
 
     // resolve programs
     for p in programs {
-        let (out_kind, out_format) = p.output.ok_or_else(|| err(p.line, format!("program `{}` has no out:", p.name)))?;
-        let out_kind_sym = *kind_syms
-            .get(&out_kind)
-            .ok_or_else(|| err(p.line, format!("unknown output kind `{out_kind}`")))?;
+        let (out_kind, out_format) =
+            p.output.ok_or_else(|| err(p.line, format!("program `{}` has no out:", p.name)))?;
+        let out_kind_sym =
+            *kind_syms.get(&out_kind).ok_or_else(|| err(p.line, format!("unknown output kind `{out_kind}`")))?;
         let out_format_sym = b.ontology_mut().intern(&out_format);
         let name_sym = b.ontology_mut().intern(&p.name);
         let mut inputs = Vec::new();
         for (kind, min_res, forbid) in &p.inputs {
-            let kind_sym = *kind_syms
-                .get(kind)
-                .ok_or_else(|| err(p.line, format!("unknown input kind `{kind}`")))?;
+            let kind_sym = *kind_syms.get(kind).ok_or_else(|| err(p.line, format!("unknown input kind `{kind}`")))?;
             let forbidden_history = forbid.iter().map(|f| b.ontology_mut().intern(f)).collect();
             inputs.push(DataRequirement {
                 kind: kind_sym,
@@ -264,28 +253,17 @@ pub fn parse_grid(text: &str) -> Result<GridWorld, GridParseError> {
         if inputs.is_empty() {
             return Err(err(p.line, format!("program `{}` has no in:", p.name)));
         }
-        let installed_at = p
-            .at
-            .iter()
-            .map(|s| {
-                site_ids
-                    .get(s)
-                    .copied()
-                    .ok_or_else(|| err(p.line, format!("unknown site `{s}` in at:")))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let installed_at =
+            p.at.iter()
+                .map(|s| site_ids.get(s).copied().ok_or_else(|| err(p.line, format!("unknown site `{s}` in at:"))))
+                .collect::<Result<Vec<_>, _>>()?;
         if installed_at.is_empty() {
             return Err(err(p.line, format!("program `{}` has no at:", p.name)));
         }
         b.program(Program {
             name: name_sym,
             inputs,
-            output: DataProduct {
-                kind: out_kind_sym,
-                format: out_format_sym,
-                resolution_num: 1,
-                resolution_den: 1,
-            },
+            output: DataProduct { kind: out_kind_sym, format: out_format_sym, resolution_num: 1, resolution_den: 1 },
             min_resources: p.min_resources,
             gflops: p.gflops,
             installed_at,
@@ -364,10 +342,9 @@ goal result min-res=512 at=orion weight=1
 
     #[test]
     fn defaults_are_applied() {
-        let w = parse_grid(
-            "site a cpu=10\nkind k\nprogram p\n in: k\n out: k\n gflops: 5\n at: a\nitem k at=a\ngoal k\n",
-        )
-        .unwrap();
+        let w =
+            parse_grid("site a cpu=10\nkind k\nprogram p\n in: k\n out: k\n gflops: 5\n at: a\nitem k at=a\ngoal k\n")
+                .unwrap();
         assert_eq!(w.sites()[0].slots, 1);
         assert_eq!(w.sites()[0].load, 0.0);
         assert_eq!(w.kind_size(w.ontology().get("k").unwrap()), 1.0);
@@ -402,8 +379,8 @@ goal result min-res=512 at=orion weight=1
 
     #[test]
     fn duplicate_site_rejected() {
-        let e = parse_grid("site a cpu=1\nsite a cpu=2\nkind k\nprogram p\n in: k\n out: k\n at: a\ngoal k\n")
-            .unwrap_err();
+        let e =
+            parse_grid("site a cpu=1\nsite a cpu=2\nkind k\nprogram p\n in: k\n out: k\n at: a\ngoal k\n").unwrap_err();
         assert!(e.msg.contains("duplicate site"));
     }
 

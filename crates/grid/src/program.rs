@@ -44,12 +44,7 @@ pub struct DataRequirement {
 impl DataRequirement {
     /// A requirement on kind only.
     pub fn of_kind(kind: Sym) -> Self {
-        DataRequirement {
-            kind,
-            min_resolution: 0,
-            formats: Vec::new(),
-            forbidden_history: Vec::new(),
-        }
+        DataRequirement { kind, min_resolution: 0, formats: Vec::new(), forbidden_history: Vec::new() }
     }
 
     /// Does `item` satisfy this requirement under `ontology`?
@@ -117,12 +112,7 @@ mod tests {
     #[test]
     fn requirement_matches_kind_and_resolution() {
         let (o, image, tiff, _raw, _h) = setup();
-        let req = DataRequirement {
-            kind: image,
-            min_resolution: 512,
-            formats: vec![],
-            forbidden_history: vec![],
-        };
+        let req = DataRequirement { kind: image, min_resolution: 512, formats: vec![], forbidden_history: vec![] };
         let good = DataItem::source(image, tiff, 1024, SiteId(0));
         let low_res = DataItem::source(image, tiff, 256, SiteId(0));
         assert!(req.accepts(&o, &good));
@@ -146,12 +136,7 @@ mod tests {
     #[test]
     fn requirement_filters_formats() {
         let (o, image, tiff, raw, _h) = setup();
-        let req = DataRequirement {
-            kind: image,
-            min_resolution: 0,
-            formats: vec![tiff],
-            forbidden_history: vec![],
-        };
+        let req = DataRequirement { kind: image, min_resolution: 0, formats: vec![tiff], forbidden_history: vec![] };
         assert!(req.accepts(&o, &DataItem::source(image, tiff, 1, SiteId(0))));
         assert!(!req.accepts(&o, &DataItem::source(image, raw, 1, SiteId(0))));
     }
@@ -161,12 +146,7 @@ mod tests {
         // the paper's footnote: program B must not run on histogram-
         // equalized data
         let (o, image, tiff, _raw, histeq) = setup();
-        let req = DataRequirement {
-            kind: image,
-            min_resolution: 0,
-            formats: vec![],
-            forbidden_history: vec![histeq],
-        };
+        let req = DataRequirement { kind: image, min_resolution: 0, formats: vec![], forbidden_history: vec![histeq] };
         let fresh = DataItem::source(image, tiff, 1, SiteId(0));
         let processed = fresh.derive(histeq, image, tiff, 1, SiteId(0));
         assert!(req.accepts(&o, &fresh));
@@ -175,30 +155,15 @@ mod tests {
 
     #[test]
     fn product_resolution_scaling() {
-        let p = DataProduct {
-            kind: Sym(0),
-            format: Sym(1),
-            resolution_num: 1,
-            resolution_den: 2,
-        };
+        let p = DataProduct { kind: Sym(0), format: Sym(1), resolution_num: 1, resolution_den: 2 };
         assert_eq!(p.output_resolution(1024), 512);
-        let up = DataProduct {
-            kind: Sym(0),
-            format: Sym(1),
-            resolution_num: 3,
-            resolution_den: 1,
-        };
+        let up = DataProduct { kind: Sym(0), format: Sym(1), resolution_num: 3, resolution_den: 1 };
         assert_eq!(up.output_resolution(100), 300);
     }
 
     #[test]
     fn zero_denominator_treated_as_one() {
-        let p = DataProduct {
-            kind: Sym(0),
-            format: Sym(1),
-            resolution_num: 1,
-            resolution_den: 0,
-        };
+        let p = DataProduct { kind: Sym(0), format: Sym(1), resolution_num: 1, resolution_den: 0 };
         assert_eq!(p.output_resolution(7), 7);
     }
 }

@@ -21,12 +21,7 @@ pub struct ResourceSpec {
 
 impl ResourceSpec {
     /// A zero requirement (every site satisfies it).
-    pub const NONE: ResourceSpec = ResourceSpec {
-        cpu_gflops: 0.0,
-        memory_gb: 0.0,
-        disk_tb: 0.0,
-        net_mbps: 0.0,
-    };
+    pub const NONE: ResourceSpec = ResourceSpec { cpu_gflops: 0.0, memory_gb: 0.0, disk_tb: 0.0, net_mbps: 0.0 };
 
     /// Does a site with capacity `self` satisfy the lower-limit
     /// requirement `req`?
@@ -58,12 +53,7 @@ mod tests {
     use super::*;
 
     fn spec(cpu: f64, mem: f64, disk: f64, net: f64) -> ResourceSpec {
-        ResourceSpec {
-            cpu_gflops: cpu,
-            memory_gb: mem,
-            disk_tb: disk,
-            net_mbps: net,
-        }
+        ResourceSpec { cpu_gflops: cpu, memory_gb: mem, disk_tb: disk, net_mbps: net }
     }
 
     #[test]

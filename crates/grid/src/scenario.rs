@@ -29,12 +29,7 @@ pub struct ImagePipeline {
 }
 
 fn res(cpu: f64, mem: f64, net: f64) -> ResourceSpec {
-    ResourceSpec {
-        cpu_gflops: cpu,
-        memory_gb: mem,
-        disk_tb: 10.0,
-        net_mbps: net,
-    }
+    ResourceSpec { cpu_gflops: cpu, memory_gb: mem, disk_tb: 10.0, net_mbps: net }
 }
 
 /// Build the §1 image-processing scenario.
@@ -67,12 +62,7 @@ pub fn image_pipeline() -> ImagePipeline {
     let histeq = b.program(Program {
         name: histeq_name,
         inputs: vec![DataRequirement::of_kind(raw)],
-        output: DataProduct {
-            kind: equalized,
-            format: fmt,
-            resolution_num: 1,
-            resolution_den: 1,
-        },
+        output: DataProduct { kind: equalized, format: fmt, resolution_num: 1, resolution_den: 1 },
         min_resources: ResourceSpec::NONE,
         gflops: 200.0,
         installed_at: vec![orion, vega, lyra],
@@ -80,12 +70,7 @@ pub fn image_pipeline() -> ImagePipeline {
     let highpass = b.program(Program {
         name: highpass_name,
         inputs: vec![DataRequirement::of_kind(equalized)],
-        output: DataProduct {
-            kind: filtered,
-            format: fmt,
-            resolution_num: 1,
-            resolution_den: 1,
-        },
+        output: DataProduct { kind: filtered, format: fmt, resolution_num: 1, resolution_den: 1 },
         min_resources: ResourceSpec::NONE,
         gflops: 400.0,
         installed_at: vec![orion, vega],
@@ -98,17 +83,9 @@ pub fn image_pipeline() -> ImagePipeline {
             formats: vec![],
             forbidden_history: vec![],
         }],
-        output: DataProduct {
-            kind: spectrum,
-            format: fmt,
-            resolution_num: 1,
-            resolution_den: 1,
-        },
+        output: DataProduct { kind: spectrum, format: fmt, resolution_num: 1, resolution_den: 1 },
         // memory-hungry: excludes lyra (4 GB)
-        min_resources: ResourceSpec {
-            memory_gb: 8.0,
-            ..ResourceSpec::NONE
-        },
+        min_resources: ResourceSpec { memory_gb: 8.0, ..ResourceSpec::NONE },
         gflops: 800.0,
         installed_at: vec![orion, vega],
     });
@@ -120,12 +97,7 @@ pub fn image_pipeline() -> ImagePipeline {
             formats: vec![],
             forbidden_history: vec![histeq_name], // the footnote's interaction
         }],
-        output: DataProduct {
-            kind: filtered,
-            format: fmt,
-            resolution_num: 1,
-            resolution_den: 1,
-        },
+        output: DataProduct { kind: filtered, format: fmt, resolution_num: 1, resolution_den: 1 },
         min_resources: ResourceSpec::NONE,
         gflops: 600.0,
         installed_at: vec![vega],
@@ -150,7 +122,6 @@ pub fn image_pipeline() -> ImagePipeline {
         programs: [histeq, highpass, fft, fourier_filter],
     }
 }
-
 
 /// The climate-ensemble world plus the ids tests need.
 #[derive(Debug, Clone)]
@@ -186,17 +157,10 @@ pub fn climate_ensemble() -> ClimateEnsemble {
     let report = b.kind("report", 0.1);
 
     let fmt = b.ontology_mut().intern("netcdf");
-    let names: Vec<Sym> = ["regrid", "simulate", "summarize", "render", "package"]
-        .iter()
-        .map(|n| b.ontology_mut().intern(n))
-        .collect();
+    let names: Vec<Sym> =
+        ["regrid", "simulate", "summarize", "render", "package"].iter().map(|n| b.ontology_mut().intern(n)).collect();
 
-    let mk_product = |kind, format| DataProduct {
-        kind,
-        format,
-        resolution_num: 1,
-        resolution_den: 1,
-    };
+    let mk_product = |kind, format| DataProduct { kind, format, resolution_num: 1, resolution_den: 1 };
 
     let regrid = b.program(Program {
         name: names[0],
@@ -241,16 +205,8 @@ pub fn climate_ensemble() -> ClimateEnsemble {
     });
 
     b.item(DataItem::source(raw, fmt, 2048, archive));
-    b.goal(GoalSpec {
-        requirement: DataRequirement::of_kind(report),
-        location: Some(archive),
-        weight: 2.0,
-    });
-    b.goal(GoalSpec {
-        requirement: DataRequirement::of_kind(viz),
-        location: Some(edge),
-        weight: 1.0,
-    });
+    b.goal(GoalSpec { requirement: DataRequirement::of_kind(report), location: Some(archive), weight: 2.0 });
+    b.goal(GoalSpec { requirement: DataRequirement::of_kind(viz), location: Some(edge), weight: 1.0 });
 
     ClimateEnsemble {
         world: b.build(),
@@ -330,10 +286,7 @@ mod tests {
     fn archive_cannot_run_compute_programs() {
         let sc = climate_ensemble();
         // regrid needs 16 GB; archive has 8 and is not an install target
-        assert!(sc
-            .world
-            .op_id(crate::world::GridOp::Run(sc.programs[0], sc.sites[0]))
-            .is_none());
+        assert!(sc.world.op_id(crate::world::GridOp::Run(sc.programs[0], sc.sites[0])).is_none());
     }
 
     #[test]
@@ -368,11 +321,7 @@ mod tests {
         let w = &sc.world;
         let mut s = w.initial_state();
         // ship raw frames to vega, then fourier-filter is valid there
-        let xfer = w
-            .valid_ops_vec(&s)
-            .into_iter()
-            .find(|&o| w.op_name(o) == "xfer raw-frames orion -> vega")
-            .unwrap();
+        let xfer = w.valid_ops_vec(&s).into_iter().find(|&o| w.op_name(o) == "xfer raw-frames orion -> vega").unwrap();
         s = w.apply(&s, xfer);
         let names: Vec<String> = w.valid_ops_vec(&s).iter().map(|&o| w.op_name(o)).collect();
         assert!(names.contains(&"run fourier-filter @ vega".to_string()));

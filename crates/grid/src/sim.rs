@@ -103,11 +103,7 @@ pub struct Coordinator<'w> {
 impl<'w> Coordinator<'w> {
     /// A coordinator over `world` with no scheduled events.
     pub fn new(world: &'w GridWorld) -> Self {
-        Coordinator {
-            world,
-            events: Vec::new(),
-            policy: ReplanPolicy::Never,
-        }
+        Coordinator { world, events: Vec::new(), policy: ReplanPolicy::Never }
     }
 
     /// Schedule an external event.
@@ -194,7 +190,17 @@ impl<'w> Coordinator<'w> {
                         running.sort_by(|a, b| a.0.total_cmp(&b.0));
                         for (end, i, duration) in running.drain(..) {
                             now = now.max(end);
-                            finish_task(&live, &mut state, &graph, i, end, duration, &mut tasks, &mut busy_time, &mut done);
+                            finish_task(
+                                &live,
+                                &mut state,
+                                &graph,
+                                i,
+                                end,
+                                duration,
+                                &mut tasks,
+                                &mut busy_time,
+                                &mut done,
+                            );
                         }
                         replans += 1;
                         let snapshot = live.with_initial(state.clone());
@@ -225,14 +231,7 @@ impl<'w> Coordinator<'w> {
         }
 
         let goal_fitness = self.world.goal_fitness(&state);
-        ExecutionTrace {
-            tasks,
-            makespan: now,
-            busy_time,
-            replans,
-            final_state: state,
-            goal_fitness,
-        }
+        ExecutionTrace { tasks, makespan: now, busy_time, replans, final_state: state, goal_fitness }
     }
 }
 
@@ -249,12 +248,7 @@ fn finish_task(
     done: &mut [bool],
 ) {
     let n = &graph.nodes()[node];
-    tasks.push(TaskRecord {
-        name: n.name.clone(),
-        site: n.site,
-        start: end - duration,
-        end,
-    });
+    tasks.push(TaskRecord { name: n.name.clone(), site: n.site, start: end - duration, end });
     *busy_time += duration;
     *state = live.apply(state, n.op);
     done[node] = true;
@@ -310,11 +304,7 @@ mod tests {
         let sc = image_pipeline();
         let plan = pipeline_plan(&sc.world, &["run histeq @ orion", "run highpass @ orion", "run fft @ orion"]);
         let mut coord = Coordinator::new(&sc.world);
-        coord.schedule(ExternalEvent::LoadChange {
-            time: 5.0,
-            site: sc.sites[0],
-            load: 0.9,
-        });
+        coord.schedule(ExternalEvent::LoadChange { time: 5.0, site: sc.sites[0], load: 0.9 });
         let trace = coord.run(&plan, None);
         assert!(trace.reached_goal());
         // after t=5 orion runs at 5 GFLOP/s: tasks started later stretch 10x
@@ -368,20 +358,12 @@ mod tests {
 
         let mut with_replan = Coordinator::new(w);
         with_replan
-            .schedule(ExternalEvent::LoadChange {
-                time: 5.0,
-                site: sc.sites[0],
-                load: 0.95,
-            })
+            .schedule(ExternalEvent::LoadChange { time: 5.0, site: sc.sites[0], load: 0.95 })
             .policy(ReplanPolicy::OnLoadChange);
         let replanned = with_replan.run(&plan, Some(&replanner));
 
         let mut without = Coordinator::new(w);
-        without.schedule(ExternalEvent::LoadChange {
-            time: 5.0,
-            site: sc.sites[0],
-            load: 0.95,
-        });
+        without.schedule(ExternalEvent::LoadChange { time: 5.0, site: sc.sites[0], load: 0.95 });
         let stuck = without.run(&plan, None);
 
         assert!(replanned.reached_goal(), "replanned run must still reach the goal");
@@ -409,14 +391,7 @@ mod tests {
         let sc = image_pipeline();
         let w = &sc.world;
         // copy raw to vega; equalize on both sites concurrently
-        let plan = pipeline_plan(
-            w,
-            &[
-                "xfer raw-frames orion -> vega",
-                "run histeq @ orion",
-                "run histeq @ vega",
-            ],
-        );
+        let plan = pipeline_plan(w, &["xfer raw-frames orion -> vega", "run histeq @ orion", "run histeq @ vega"]);
         let trace = Coordinator::new(w).run(&plan, None);
         assert_eq!(trace.tasks.len(), 3);
         // histeq@orion (no deps) and the transfer start at t=0 concurrently

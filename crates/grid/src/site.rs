@@ -38,13 +38,7 @@ pub struct Site {
 impl Site {
     /// Construct a site with sane defaults (no load, 1 slot, free).
     pub fn new(name: &str, resources: ResourceSpec) -> Self {
-        Site {
-            name: name.to_string(),
-            resources,
-            load: 0.0,
-            cost_per_gflop: 0.0,
-            slots: 1,
-        }
+        Site { name: name.to_string(), resources, load: 0.0, cost_per_gflop: 0.0, slots: 1 }
     }
 
     /// Builder-style load setter.
@@ -89,12 +83,7 @@ mod tests {
     use super::*;
 
     fn res(cpu: f64) -> ResourceSpec {
-        ResourceSpec {
-            cpu_gflops: cpu,
-            memory_gb: 8.0,
-            disk_tb: 1.0,
-            net_mbps: 1000.0,
-        }
+        ResourceSpec { cpu_gflops: cpu, memory_gb: 8.0, disk_tb: 1.0, net_mbps: 1000.0 }
     }
 
     #[test]

@@ -116,10 +116,58 @@ impl GridWorld {
 
     /// Nominal size of a kind in GB (0 if unregistered).
     pub fn kind_size(&self, kind: Sym) -> f64 {
-        self.kind_sizes
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map_or(0.0, |&(_, s)| s)
+        self.kind_sizes.iter().find(|(k, _)| *k == kind).map_or(0.0, |&(_, s)| s)
+    }
+
+    /// Stable 64-bit signature of everything that can change a planning
+    /// result on this world: sites (including current loads), ground
+    /// operations and their derived costs, the initial state and the
+    /// goals. Two snapshots of the same world with different loads or
+    /// different initial states (the replanning case) therefore hash
+    /// differently, which is what the planning service's cache needs.
+    pub fn signature(&self) -> u64 {
+        use gaplan_core::sig::SigBuilder;
+        let mut s = SigBuilder::new();
+        s.tag("grid-world-v1");
+        s.tag("sites").usize(self.sites.len());
+        for site in &self.sites {
+            s.str(&site.name)
+                .f64(site.resources.cpu_gflops)
+                .f64(site.resources.memory_gb)
+                .f64(site.resources.disk_tb)
+                .f64(site.resources.net_mbps)
+                .f64(site.load)
+                .f64(site.cost_per_gflop)
+                .usize(site.slots);
+        }
+        s.tag("ops").usize(self.ops.len());
+        for (op, &cost) in self.ops.iter().zip(&self.costs) {
+            match *op {
+                GridOp::Run(p, site) => s.str("run").u32(p.0).u32(site.0),
+                GridOp::Transfer(kind, from, to) => s.str("xfer").u32(kind.0).u32(from.0).u32(to.0),
+            };
+            s.f64(cost);
+        }
+        s.tag("init").u64(Domain::state_signature(self, &self.initial));
+        s.tag("goals").usize(self.goals.len());
+        for g in &self.goals {
+            s.u32(g.requirement.kind.0).u32(g.requirement.min_resolution as u32);
+            s.usize(g.requirement.formats.len());
+            for f in &g.requirement.formats {
+                s.u32(f.0);
+            }
+            s.usize(g.requirement.forbidden_history.len());
+            for h in &g.requirement.forbidden_history {
+                s.u32(h.0);
+            }
+            match g.location {
+                Some(site) => s.bool(true).u32(site.0),
+                None => s.bool(false),
+            };
+            s.f64(g.weight);
+        }
+        s.tag("price-weight").f64(self.price_weight);
+        s.finish()
     }
 
     /// The best (highest-resolution) item of exactly `kind` at `site`.
@@ -161,10 +209,7 @@ impl GridWorld {
                 (inputs, produced)
             }
             GridOp::Transfer(kind, s1, _s2) => {
-                let item = self
-                    .best_of_kind_at(state, kind, s1)
-                    .expect("op_io() requires a valid operation")
-                    .clone();
+                let item = self.best_of_kind_at(state, kind, s1).expect("op_io() requires a valid operation").clone();
                 let next = self.apply(state, op);
                 let produced: Vec<DataItem> = next.iter().filter(|i| !state.contains(i)).cloned().collect();
                 (vec![item], produced)
@@ -183,9 +228,7 @@ impl GridWorld {
 
     /// Is a goal spec satisfied in `state`?
     fn goal_satisfied(&self, state: &WorkflowState, g: &GoalSpec) -> bool {
-        state.iter().any(|i| {
-            g.requirement.accepts(&self.ontology, i) && g.location.is_none_or(|loc| i.location == loc)
-        })
+        state.iter().any(|i| g.requirement.accepts(&self.ontology, i) && g.location.is_none_or(|loc| i.location == loc))
     }
 }
 
@@ -210,14 +253,8 @@ fn compute_costs(
                 site.execution_seconds(prog.gflops) + price_weight * site.execution_price(prog.gflops)
             }
             GridOp::Transfer(kind, s1, s2) => {
-                let size_gb = kind_sizes
-                    .iter()
-                    .find(|(k, _)| *k == kind)
-                    .map_or(0.0, |&(_, s)| s);
-                let bw = sites[s1.index()]
-                    .resources
-                    .net_mbps
-                    .min(sites[s2.index()].resources.net_mbps);
+                let size_gb = kind_sizes.iter().find(|(k, _)| *k == kind).map_or(0.0, |&(_, s)| s);
+                let bw = sites[s1.index()].resources.net_mbps.min(sites[s2.index()].resources.net_mbps);
                 // GB -> Mbit: x8000; seconds = Mbit / Mbps
                 size_gb * 8000.0 / bw
             }
@@ -242,8 +279,7 @@ impl Domain for GridWorld {
                 GridOp::Run(p, s) => {
                     let prog = &self.programs[p.index()];
                     let site = &self.sites[s.index()];
-                    site.resources.satisfies(&prog.min_resources)
-                        && self.match_inputs(state, prog, s).is_some()
+                    site.resources.satisfies(&prog.min_resources) && self.match_inputs(state, prog, s).is_some()
                 }
                 GridOp::Transfer(kind, s1, s2) => match self.best_of_kind_at(state, kind, s1) {
                     Some(item) => {
@@ -267,9 +303,7 @@ impl Domain for GridWorld {
         match self.ops[op.index()] {
             GridOp::Run(p, s) => {
                 let prog = &self.programs[p.index()];
-                let inputs = self
-                    .match_inputs(state, prog, s)
-                    .expect("apply() requires a valid operation");
+                let inputs = self.match_inputs(state, prog, s).expect("apply() requires a valid operation");
                 let min_res = inputs.iter().map(|i| i.resolution).min().unwrap_or(0);
                 // genealogy: concatenate input histories in input order,
                 // then record this program
@@ -291,10 +325,7 @@ impl Domain for GridWorld {
                 });
             }
             GridOp::Transfer(kind, s1, s2) => {
-                let item = self
-                    .best_of_kind_at(state, kind, s1)
-                    .expect("apply() requires a valid operation")
-                    .clone();
+                let item = self.best_of_kind_at(state, kind, s1).expect("apply() requires a valid operation").clone();
                 let mut copy = item;
                 copy.location = s2;
                 next.push(copy);
@@ -308,12 +339,7 @@ impl Domain for GridWorld {
         if total == 0.0 {
             return 1.0;
         }
-        let satisfied: f64 = self
-            .goals
-            .iter()
-            .filter(|g| self.goal_satisfied(state, g))
-            .map(|g| g.weight)
-            .sum();
+        let satisfied: f64 = self.goals.iter().filter(|g| self.goal_satisfied(state, g)).map(|g| g.weight).sum();
         satisfied / total
     }
 
@@ -323,11 +349,9 @@ impl Domain for GridWorld {
 
     fn op_name(&self, op: OpId) -> String {
         match self.ops[op.index()] {
-            GridOp::Run(p, s) => format!(
-                "run {} @ {}",
-                self.ontology.name(self.programs[p.index()].name),
-                self.sites[s.index()].name
-            ),
+            GridOp::Run(p, s) => {
+                format!("run {} @ {}", self.ontology.name(self.programs[p.index()].name), self.sites[s.index()].name)
+            }
             GridOp::Transfer(kind, s1, s2) => format!(
                 "xfer {} {} -> {}",
                 self.ontology.name(kind),
@@ -353,10 +377,7 @@ pub struct GridWorldBuilder {
 impl GridWorldBuilder {
     /// A fresh builder.
     pub fn new() -> Self {
-        GridWorldBuilder {
-            price_weight: 1.0,
-            ..Default::default()
-        }
+        GridWorldBuilder { price_weight: 1.0, ..Default::default() }
     }
 
     /// Mutable access to the ontology for interning concepts.
@@ -458,12 +479,7 @@ mod tests {
     use gaplan_core::DomainExt;
 
     fn res(cpu: f64, net: f64) -> ResourceSpec {
-        ResourceSpec {
-            cpu_gflops: cpu,
-            memory_gb: 16.0,
-            disk_tb: 1.0,
-            net_mbps: net,
-        }
+        ResourceSpec { cpu_gflops: cpu, memory_gb: 16.0, disk_tb: 1.0, net_mbps: net }
     }
 
     /// Two sites; raw image at site 0; one program "proc" (raw -> result)
@@ -479,22 +495,13 @@ mod tests {
         b.program(Program {
             name: proc_name,
             inputs: vec![DataRequirement::of_kind(raw)],
-            output: DataProduct {
-                kind: result,
-                format: fmt,
-                resolution_num: 1,
-                resolution_den: 1,
-            },
+            output: DataProduct { kind: result, format: fmt, resolution_num: 1, resolution_den: 1 },
             min_resources: ResourceSpec::NONE,
             gflops: 100.0,
             installed_at: vec![s1],
         });
         b.item(DataItem::source(raw, fmt, 1024, s0));
-        b.goal(GoalSpec {
-            requirement: DataRequirement::of_kind(result),
-            location: None,
-            weight: 1.0,
-        });
+        b.goal(GoalSpec { requirement: DataRequirement::of_kind(result), location: None, weight: 1.0 });
         (b.build(), raw, result)
     }
 
@@ -528,10 +535,7 @@ mod tests {
         let (w, raw, _) = two_site_world();
         let xfer = w.op_id(GridOp::Transfer(raw, SiteId(0), SiteId(1))).unwrap();
         let s1 = w.apply(&w.initial_state(), xfer);
-        assert!(
-            !w.valid_ops_vec(&s1).contains(&xfer),
-            "copy already exists at beta"
-        );
+        assert!(!w.valid_ops_vec(&s1).contains(&xfer), "copy already exists at beta");
     }
 
     #[test]
@@ -582,12 +586,7 @@ mod tests {
         b.program(Program {
             name,
             inputs: vec![DataRequirement::of_kind(raw)],
-            output: DataProduct {
-                kind: out_kind,
-                format: fmt,
-                resolution_num: 1,
-                resolution_den: 1,
-            },
+            output: DataProduct { kind: out_kind, format: fmt, resolution_num: 1, resolution_den: 1 },
             min_resources: ResourceSpec {
                 cpu_gflops: 50.0, // more than "tiny" has
                 ..ResourceSpec::NONE
@@ -596,16 +595,9 @@ mod tests {
             installed_at: vec![s0],
         });
         b.item(DataItem::source(raw, fmt, 1, s0));
-        b.goal(GoalSpec {
-            requirement: DataRequirement::of_kind(out_kind),
-            location: None,
-            weight: 1.0,
-        });
+        b.goal(GoalSpec { requirement: DataRequirement::of_kind(out_kind), location: None, weight: 1.0 });
         let w = b.build();
-        assert!(
-            w.valid_ops_vec(&w.initial_state()).is_empty(),
-            "under-resourced site must not run the program"
-        );
+        assert!(w.valid_ops_vec(&w.initial_state()).is_empty(), "under-resourced site must not run the program");
     }
 
     #[test]
@@ -622,22 +614,13 @@ mod tests {
         b.program(Program {
             name,
             inputs: vec![DataRequirement::of_kind(raw2)],
-            output: DataProduct {
-                kind: result2,
-                format: fmt,
-                resolution_num: 1,
-                resolution_den: 1,
-            },
+            output: DataProduct { kind: result2, format: fmt, resolution_num: 1, resolution_den: 1 },
             min_resources: ResourceSpec::NONE,
             gflops: 100.0,
             installed_at: vec![s1],
         });
         b.item(DataItem::source(raw2, fmt, 1024, s0));
-        b.goal(GoalSpec {
-            requirement: DataRequirement::of_kind(result2),
-            location: Some(s0),
-            weight: 1.0,
-        });
+        b.goal(GoalSpec { requirement: DataRequirement::of_kind(result2), location: Some(s0), weight: 1.0 });
         let w2 = b.build();
         // run at beta satisfies the kind but not the location
         let xfer = w2.op_id(GridOp::Transfer(raw2, s0, s1)).unwrap();
@@ -662,12 +645,7 @@ mod tests {
         b.program(Program {
             name: n,
             inputs: vec![DataRequirement::of_kind(k)],
-            output: DataProduct {
-                kind: k,
-                format: f,
-                resolution_num: 1,
-                resolution_den: 1,
-            },
+            output: DataProduct { kind: k, format: f, resolution_num: 1, resolution_den: 1 },
             min_resources: ResourceSpec::NONE,
             gflops: 1.0,
             installed_at: vec![],

@@ -1,0 +1,147 @@
+//! Signature-keyed plan cache with an LRU bound.
+//!
+//! Keys combine the problem signature with the GA-config signature (both
+//! stable across processes — see `gaplan_core::SigBuilder`), so a cache hit
+//! means "same problem, same knobs, same seed": the cached plan is exactly
+//! what a fresh run would produce. Only runs that completed under their own
+//! steam are cached; budget-stopped (timeout/cancel) results are not, since
+//! they depend on wall-clock luck.
+
+use rustc_hash::FxHashMap;
+
+use gaplan_core::SigBuilder;
+
+/// A cached run-to-completion result.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// Did the plan reach the goal?
+    pub solved: bool,
+    /// Goal fitness of the plan's final state.
+    pub goal_fitness: f64,
+    /// Operation names of the plan.
+    pub plan_names: Vec<String>,
+    /// Raw operation ids of the plan.
+    pub plan_ops: Vec<u32>,
+    /// Generations the original run evolved.
+    pub total_generations: u32,
+}
+
+struct Entry {
+    stamp: u64,
+    value: CachedPlan,
+}
+
+/// Bounded LRU map from `(problem, config)` signature to plan.
+///
+/// Recency is tracked with a monotonic stamp; eviction scans for the
+/// minimum. That is O(capacity), which is fine for the small capacities a
+/// planning service wants (plans are expensive, entries are few).
+pub struct PlanCache {
+    capacity: usize,
+    next_stamp: u64,
+    map: FxHashMap<u64, Entry>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans. A capacity of 0
+    /// disables caching.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache { capacity, next_stamp: 0, map: FxHashMap::default() }
+    }
+
+    /// Combine a problem signature and a config signature into a cache key.
+    pub fn key(problem_sig: u64, config_sig: u64) -> u64 {
+        let mut s = SigBuilder::new();
+        s.tag("plan-cache-key-v1").u64(problem_sig).u64(config_sig);
+        s.finish()
+    }
+
+    /// Look up a plan, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<CachedPlan> {
+        let entry = self.map.get_mut(&key)?;
+        self.next_stamp += 1;
+        entry.stamp = self.next_stamp;
+        Some(entry.value.clone())
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: u64, value: CachedPlan) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        if let Some(entry) = self.map.get_mut(&key) {
+            *entry = Entry { stamp, value };
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, Entry { stamp, value });
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(tag: u32) -> CachedPlan {
+        CachedPlan {
+            solved: true,
+            goal_fitness: 1.0,
+            plan_names: vec![format!("op{tag}")],
+            plan_ops: vec![tag],
+            total_generations: tag,
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(1, plan(1));
+        c.insert(2, plan(2));
+        assert!(c.get(1).is_some()); // refresh 1 → 2 is now LRU
+        c.insert(3, plan(3));
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert(1, plan(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = PlanCache::new(2);
+        c.insert(1, plan(1));
+        c.insert(1, plan(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).unwrap().plan_ops, vec![9]);
+    }
+
+    #[test]
+    fn key_mixes_both_signatures() {
+        assert_ne!(PlanCache::key(1, 2), PlanCache::key(2, 1));
+        assert_ne!(PlanCache::key(1, 2), PlanCache::key(1, 3));
+        assert_eq!(PlanCache::key(1, 2), PlanCache::key(1, 2));
+    }
+}

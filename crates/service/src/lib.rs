@@ -1,0 +1,43 @@
+//! `gaplan-service` — a concurrent planning service over the workspace's
+//! genetic planner.
+//!
+//! The GA engine in `gaplan-ga` answers one question at a time; a grid
+//! coordinator (or any client) wants to ask many, with deadlines, and drop
+//! questions that stopped mattering. This crate adds that operational
+//! layer:
+//!
+//! * **Job model** ([`PlanRequest`]/[`PlanResponse`]): a problem spec plus
+//!   optional GA overrides and a deadline in, a status + best plan out.
+//! * **Bounded queue + worker pool** ([`PlanService`]): plain std threads
+//!   and channels; a full queue rejects instead of blocking. Rayon
+//!   parallelism stays *inside* a job's GA phases.
+//! * **Deadlines & cancellation**: each job runs under a
+//!   [`gaplan_core::Budget`]; the engine checks it between generations, so
+//!   a timed-out or cancelled job still returns its best-so-far plan.
+//! * **Plan cache** ([`PlanCache`]): keyed by stable problem + config
+//!   signatures, LRU-bounded; identical resubmissions are answered without
+//!   rerunning the GA.
+//! * **Metrics** ([`Metrics`]): submission/completion/cancel counts, queue
+//!   depth, wall times and cache hit rate as a serializable snapshot.
+//! * **Wire protocol** ([`serve`]): newline-delimited JSON over any
+//!   reader/writer pair, used by `gaplan serve`; responses stream back as
+//!   jobs finish, out of order.
+//! * **Simulator integration** ([`ServiceReplanner`]): adapts the service
+//!   to the grid coordinator's replanner hook, so mid-execution replans go
+//!   through the queue, cache and metrics.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod proto;
+pub mod replan;
+pub mod request;
+pub mod service;
+
+pub use cache::{CachedPlan, PlanCache};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use proto::{parse_command, serve, Command};
+pub use replan::ServiceReplanner;
+pub use request::{BuiltProblem, GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec, SolveOutcome};
+pub use service::{PlanService, ServiceConfig, SubmitError};

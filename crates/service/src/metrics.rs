@@ -1,0 +1,178 @@
+//! Service metrics: lock-free counters updated by workers and the submit
+//! path, snapshotted into a serializable [`MetricsSnapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Live counters. All updates use relaxed ordering — the snapshot is a
+/// statistical view, not a synchronization point.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_solved: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_errored: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_depth: AtomicU64,
+    total_wall_ms: AtomicU64,
+    max_wall_ms: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// A job was accepted onto the queue.
+    pub fn on_submit(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker dequeued a job.
+    pub fn on_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A submission was rejected (queue full or duplicate id).
+    pub fn on_reject(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job finished; `wall_ms` is submission-to-completion time.
+    pub fn on_complete(&self, wall_ms: u64, solved: bool) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if solved {
+            self.jobs_solved.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_wall_ms.fetch_add(wall_ms, Ordering::Relaxed);
+        self.max_wall_ms.fetch_max(wall_ms, Ordering::Relaxed);
+    }
+
+    /// A job hit its deadline.
+    pub fn on_timeout(&self) {
+        self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was cancelled.
+    pub fn on_cancel(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job failed to build its problem.
+    pub fn on_error(&self) {
+        self.jobs_errored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The plan cache answered a job.
+    pub fn on_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The plan cache missed and the GA ran.
+    pub fn on_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let completed = self.jobs_completed.load(Ordering::Relaxed);
+        let total_wall_ms = self.total_wall_ms.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: completed,
+            jobs_solved: self.jobs_solved.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_errored: self.jobs_errored.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            total_wall_ms,
+            max_wall_ms: self.max_wall_ms.load(Ordering::Relaxed),
+            mean_wall_ms: if completed > 0 { total_wall_ms as f64 / completed as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Serializable point-in-time view of [`Metrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted onto the queue.
+    pub jobs_submitted: u64,
+    /// Jobs that produced a response (including timeouts/cancellations).
+    pub jobs_completed: u64,
+    /// Completed jobs whose plan reached the goal.
+    pub jobs_solved: u64,
+    /// Jobs stopped by their deadline.
+    pub jobs_timed_out: u64,
+    /// Jobs stopped by cancellation.
+    pub jobs_cancelled: u64,
+    /// Submissions rejected before queueing.
+    pub jobs_rejected: u64,
+    /// Jobs whose problem failed to build.
+    pub jobs_errored: u64,
+    /// Jobs answered from the plan cache.
+    pub cache_hits: u64,
+    /// Jobs that ran the GA.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups yet.
+    pub cache_hit_rate: f64,
+    /// Jobs currently queued (submitted, not yet dequeued by a worker).
+    pub queue_depth: u64,
+    /// Sum of per-job wall times, milliseconds.
+    pub total_wall_ms: u64,
+    /// Largest single-job wall time, milliseconds.
+    pub max_wall_ms: u64,
+    /// `total_wall_ms / jobs_completed`, 0 before the first completion.
+    pub mean_wall_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_snapshot() {
+        let m = Metrics::new();
+        m.on_submit();
+        m.on_submit();
+        m.on_dequeue();
+        m.on_cache_miss();
+        m.on_complete(40, true);
+        m.on_dequeue();
+        m.on_cache_hit();
+        m.on_complete(10, false);
+        m.on_reject();
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 2);
+        assert_eq!(s.jobs_completed, 2);
+        assert_eq!(s.jobs_solved, 1);
+        assert_eq!(s.jobs_rejected, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.total_wall_ms, 50);
+        assert_eq!(s.max_wall_ms, 40);
+        assert!((s.mean_wall_ms - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let s = Metrics::new().snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

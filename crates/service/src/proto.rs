@@ -1,0 +1,216 @@
+//! Newline-delimited JSON protocol for `gaplan serve`.
+//!
+//! One JSON object per input line, dispatched on its `"cmd"` field:
+//!
+//! ```text
+//! {"cmd":"plan","id":1,"problem":{"Hanoi":{"disks":4}},"deadline_ms":2000,
+//!  "ga":{"generations":40}}
+//! {"cmd":"cancel","id":1}
+//! {"cmd":"metrics"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Each output line is one JSON object: a [`PlanResponse`] for a finished
+//! job, `{"ack":"cancel","id":N,"found":bool}` for a cancel,
+//! `{"metrics":{...}}` for a metrics query, or `{"error":"..."}` for an
+//! unparseable line. Responses are written as jobs finish — generally out
+//! of submission order; match them up by `id`.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc::channel;
+
+use serde::de::Deserialize;
+use serde::json::{parse, Value};
+
+use crate::request::{JobStatus, PlanRequest, PlanResponse};
+use crate::service::{PlanService, ServiceConfig};
+
+/// A parsed input line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Submit a planning job.
+    Plan(Box<PlanRequest>),
+    /// Cancel a queued or running job by id.
+    Cancel {
+        /// Id of the job to cancel.
+        id: u64,
+    },
+    /// Ask for a metrics snapshot.
+    Metrics,
+    /// Drain and stop the service, then exit the serve loop.
+    Shutdown,
+}
+
+/// Parse one protocol line. Errors are human-readable messages that the
+/// serve loop reports as `{"error":"..."}`.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let value = parse(line).map_err(|e| e.to_string())?;
+    let Some(cmd) = value.get("cmd").and_then(Value::as_str) else {
+        return Err("missing string field `cmd`".to_string());
+    };
+    match cmd {
+        "plan" => {
+            let request = PlanRequest::deserialize_json(&value).map_err(|e| e.to_string())?;
+            Ok(Command::Plan(Box::new(request)))
+        }
+        "cancel" => {
+            let id = match value.get("id") {
+                Some(v) => u64::deserialize_json(v).map_err(|e| e.to_string())?,
+                None => return Err("cancel: missing field `id`".to_string()),
+            };
+            Ok(Command::Cancel { id })
+        }
+        "metrics" => Ok(Command::Metrics),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::new();
+    serde::ser::Serialize::serialize_json(s, &mut out);
+    out
+}
+
+fn response_line(resp: &PlanResponse) -> String {
+    serde_json::to_string(resp)
+        .unwrap_or_else(|e| format!(r#"{{"error":{}}}"#, json_escape(&format!("serialize response: {e}"))))
+}
+
+/// Run the service over `reader`/`writer` until EOF or a `shutdown`
+/// command. Responses are written by a dedicated thread as they arrive, so
+/// slow jobs never block fast ones — out-of-order by design.
+pub fn serve<R, W>(cfg: ServiceConfig, reader: R, writer: W) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let (service, responses) = PlanService::start(cfg);
+    let (out_tx, out_rx) = channel::<String>();
+
+    let writer_thread = std::thread::Builder::new()
+        .name("gaplan-serve-writer".to_string())
+        .spawn(move || {
+            let mut writer = writer;
+            for line in out_rx {
+                if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+                    break; // reader side of the pipe went away
+                }
+            }
+        })
+        .expect("spawn writer thread");
+
+    // Forward worker responses into the output stream.
+    let forwarder = {
+        let out_tx = out_tx.clone();
+        std::thread::Builder::new()
+            .name("gaplan-serve-forwarder".to_string())
+            .spawn(move || {
+                for resp in responses {
+                    if out_tx.send(response_line(&resp)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn forwarder thread")
+    };
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_command(&line) {
+            Ok(Command::Plan(request)) => {
+                let id = request.id;
+                if let Err(err) = service.submit(*request) {
+                    let resp = PlanResponse::failure(id, JobStatus::Rejected, err.to_string());
+                    let _ = out_tx.send(response_line(&resp));
+                }
+            }
+            Ok(Command::Cancel { id }) => {
+                let found = service.cancel(id);
+                let _ = out_tx.send(format!(r#"{{"ack":"cancel","id":{id},"found":{found}}}"#));
+            }
+            Ok(Command::Metrics) => {
+                let snapshot = service.metrics();
+                let body = serde_json::to_string(&snapshot).unwrap_or_else(|_| "null".to_string());
+                let _ = out_tx.send(format!(r#"{{"metrics":{body}}}"#));
+            }
+            Ok(Command::Shutdown) => break,
+            Err(msg) => {
+                let _ = out_tx.send(format!(r#"{{"error":{}}}"#, json_escape(&msg)));
+            }
+        }
+    }
+
+    // Drain: stop accepting, let queued jobs finish, flush their responses.
+    service.shutdown(); // joins workers → response senders drop
+    let _ = forwarder.join(); // drains remaining responses into out_tx
+    drop(out_tx); // closes the writer's channel
+    let _ = writer_thread.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_commands() {
+        let plan = parse_command(r#"{"cmd":"plan","id":3,"problem":{"Hanoi":{"disks":3}},"deadline_ms":100}"#).unwrap();
+        match plan {
+            Command::Plan(req) => {
+                assert_eq!(req.id, 3);
+                assert_eq!(req.deadline_ms, Some(100));
+            }
+            other => panic!("expected plan, got {other:?}"),
+        }
+        assert!(matches!(parse_command(r#"{"cmd":"cancel","id":9}"#), Ok(Command::Cancel { id: 9 })));
+        assert!(matches!(parse_command(r#"{"cmd":"metrics"}"#), Ok(Command::Metrics)));
+        assert!(matches!(parse_command(r#"{"cmd":"shutdown"}"#), Ok(Command::Shutdown)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_command("not json").is_err());
+        assert!(parse_command(r#"{"id":1}"#).is_err());
+        assert!(parse_command(r#"{"cmd":"frobnicate"}"#).is_err());
+        assert!(parse_command(r#"{"cmd":"cancel"}"#).is_err());
+    }
+
+    #[test]
+    fn serve_handles_a_session_end_to_end() {
+        let input = concat!(
+            r#"{"cmd":"plan","id":1,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
+            "\n",
+            "garbage line\n",
+            r#"{"cmd":"metrics"}"#,
+            "\n",
+            r#"{"cmd":"shutdown"}"#,
+            "\n",
+        );
+        let out: std::sync::Arc<parking_lot::Mutex<Vec<u8>>> = Default::default();
+        struct SharedWriter(std::sync::Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        serve(
+            ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 4 },
+            input.as_bytes(),
+            SharedWriter(out.clone()),
+        )
+        .unwrap();
+        let text = String::from_utf8(out.lock().clone()).unwrap();
+        assert!(text.contains(r#""error":"#), "garbage line should yield an error: {text}");
+        assert!(text.contains(r#""metrics":"#), "metrics line missing: {text}");
+        assert!(text.contains(r#""id":1"#), "job response missing: {text}");
+        assert!(text.contains(r#""status":"Done""#), "job should finish: {text}");
+    }
+}

@@ -1,0 +1,387 @@
+//! Job model for the planning service: wire-level requests/responses and the
+//! in-process problem they build into.
+//!
+//! A [`PlanRequest`] names a problem ([`ProblemSpec`]) plus optional GA
+//! overrides and a deadline. Workers build the spec into a [`BuiltProblem`]
+//! (the concrete `Domain` value), resolve the effective [`GaConfig`] by
+//! mirroring the `gaplan` CLI's per-domain defaults, and run the multi-phase
+//! GA under a [`Budget`]. The pair (problem signature, config signature)
+//! keys the plan cache.
+
+use gaplan_core::strips::{parse_strips, StripsProblem};
+use gaplan_core::{Budget, Domain, SigBuilder, StopCause};
+use gaplan_domains::{Hanoi, SlidingTile};
+use gaplan_ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
+use gaplan_grid::{parse_grid, GridWorld};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A problem the service knows how to build, as it appears on the wire.
+///
+/// Externally tagged JSON, e.g. `{"Hanoi":{"disks":4}}` or
+/// `{"Strips":{"text":"..."}}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProblemSpec {
+    /// Towers of Hanoi with `disks` disks (three pegs).
+    Hanoi {
+        /// Number of disks.
+        disks: usize,
+    },
+    /// A `side`×`side` sliding-tile puzzle, shuffled into a random solvable
+    /// configuration derived deterministically from `shuffle_seed`.
+    Tile {
+        /// Board side length (3 → the 8-puzzle).
+        side: usize,
+        /// Seed for the solvable-instance shuffle.
+        shuffle_seed: u64,
+    },
+    /// A STRIPS problem in the `gaplan-core` text format.
+    Strips {
+        /// Problem source text.
+        text: String,
+    },
+    /// A grid workflow-planning problem in the `gaplan-grid` text format.
+    Grid {
+        /// World source text.
+        text: String,
+    },
+}
+
+impl ProblemSpec {
+    /// Build the concrete domain value. Errors are parse/validation
+    /// messages suitable for an [`super::JobStatus::Error`] response.
+    pub fn build(&self) -> Result<BuiltProblem, String> {
+        match self {
+            ProblemSpec::Hanoi { disks } => {
+                if *disks == 0 || *disks > 20 {
+                    return Err(format!("hanoi disks must be in 1..=20, got {disks}"));
+                }
+                Ok(BuiltProblem::Hanoi { domain: Hanoi::new(*disks), disks: *disks })
+            }
+            ProblemSpec::Tile { side, shuffle_seed } => {
+                if *side < 2 || *side > 6 {
+                    return Err(format!("tile side must be in 2..=6, got {side}"));
+                }
+                let mut rng = StdRng::seed_from_u64(*shuffle_seed);
+                Ok(BuiltProblem::Tile {
+                    domain: SlidingTile::random_solvable(*side, &mut rng),
+                    side: *side,
+                    shuffle_seed: *shuffle_seed,
+                })
+            }
+            ProblemSpec::Strips { text } => {
+                let problem = parse_strips(text).map_err(|e| e.to_string())?;
+                Ok(BuiltProblem::Strips(Box::new(problem)))
+            }
+            ProblemSpec::Grid { text } => {
+                let world = parse_grid(text).map_err(|e| e.to_string())?;
+                Ok(BuiltProblem::Grid(Box::new(world)))
+            }
+        }
+    }
+}
+
+/// A spec built into the concrete domain the GA runs against.
+#[derive(Debug, Clone)]
+pub enum BuiltProblem {
+    /// Towers of Hanoi.
+    Hanoi {
+        /// The domain.
+        domain: Hanoi,
+        /// Disk count, retained for the signature.
+        disks: usize,
+    },
+    /// Sliding-tile puzzle.
+    Tile {
+        /// The domain.
+        domain: SlidingTile,
+        /// Side length, retained for the signature.
+        side: usize,
+        /// Shuffle seed, retained for the signature.
+        shuffle_seed: u64,
+    },
+    /// Parsed STRIPS problem.
+    Strips(Box<StripsProblem>),
+    /// Parsed (or in-process) grid world.
+    Grid(Box<GridWorld>),
+}
+
+impl BuiltProblem {
+    /// Stable signature of the *problem* (independent of GA config). For
+    /// parameterised domains this hashes the generating parameters; for
+    /// parsed domains it hashes the canonical problem structure, so two
+    /// textually different but structurally identical files collide — which
+    /// is exactly what the plan cache wants.
+    pub fn signature(&self) -> u64 {
+        match self {
+            BuiltProblem::Hanoi { disks, .. } => {
+                let mut s = SigBuilder::new();
+                s.tag("hanoi-v1").usize(*disks);
+                s.finish()
+            }
+            BuiltProblem::Tile { side, shuffle_seed, .. } => {
+                let mut s = SigBuilder::new();
+                s.tag("tile-v1").usize(*side).u64(*shuffle_seed);
+                s.finish()
+            }
+            BuiltProblem::Strips(p) => p.signature(),
+            BuiltProblem::Grid(w) => w.signature(),
+        }
+    }
+
+    /// The GA configuration the `gaplan` CLI would use for this problem
+    /// when no flags are given. Overrides from the request are applied on
+    /// top of this by [`GaOverrides::apply`].
+    pub fn default_config(&self) -> GaConfig {
+        match self {
+            BuiltProblem::Hanoi { domain, .. } => base_config(domain.optimal_len()).multi_phase(),
+            BuiltProblem::Tile { side, .. } => {
+                let cells = (side * side) as f64;
+                let mut cfg = base_config((cells * cells.log2()).ceil() as usize);
+                cfg.crossover = CrossoverKind::Mixed;
+                cfg
+            }
+            BuiltProblem::Strips(p) => base_config(16.max(Domain::num_operations(p.as_ref()))),
+            BuiltProblem::Grid(_) => {
+                let mut cfg = base_config(12);
+                cfg.max_len = 32;
+                cfg.cost_fitness = CostFitnessMode::InverseCost;
+                cfg
+            }
+        }
+    }
+
+    /// Run the multi-phase GA under `budget` and flatten the result into a
+    /// domain-erased [`SolveOutcome`].
+    pub fn solve(&self, cfg: &GaConfig, budget: Budget) -> SolveOutcome {
+        match self {
+            BuiltProblem::Hanoi { domain, .. } => run_on(domain, cfg, budget),
+            BuiltProblem::Tile { domain, .. } => run_on(domain, cfg, budget),
+            BuiltProblem::Strips(p) => run_on(p.as_ref(), cfg, budget),
+            BuiltProblem::Grid(w) => run_on(w.as_ref(), cfg, budget),
+        }
+    }
+}
+
+/// Shared per-domain defaults mirroring the CLI's `ga_config_from_flags`.
+fn base_config(initial_len: usize) -> GaConfig {
+    GaConfig {
+        population_size: 200,
+        generations_per_phase: 100,
+        max_phases: 5,
+        initial_len,
+        max_len: 5 * initial_len,
+        seed: 2003,
+        ..GaConfig::default()
+    }
+}
+
+fn run_on<D: Domain>(domain: &D, cfg: &GaConfig, budget: Budget) -> SolveOutcome {
+    let r = MultiPhase::new(domain, cfg.clone()).with_budget(budget).run();
+    SolveOutcome {
+        solved: r.solved,
+        goal_fitness: r.goal_fitness,
+        plan_names: r.plan.ops().iter().map(|&op| domain.op_name(op)).collect(),
+        plan_ops: r.plan.ops().iter().map(|op| op.0).collect(),
+        total_generations: r.total_generations,
+        stopped: r.stopped,
+    }
+}
+
+/// Domain-erased summary of a finished (or budget-stopped) GA run.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Did the best plan reach the goal?
+    pub solved: bool,
+    /// Goal fitness of the best plan's final state.
+    pub goal_fitness: f64,
+    /// Human-readable operation names of the best plan.
+    pub plan_names: Vec<String>,
+    /// Raw operation ids of the best plan (for in-process callers that
+    /// rebuild a [`gaplan_core::Plan`]).
+    pub plan_ops: Vec<u32>,
+    /// Generations evolved across all phases.
+    pub total_generations: u32,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopCause>,
+}
+
+/// Per-request GA overrides. Every field is optional; missing fields keep
+/// the domain's default (see [`BuiltProblem::default_config`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaOverrides {
+    /// Population size per phase.
+    pub population: Option<usize>,
+    /// Generations per phase.
+    pub generations: Option<u32>,
+    /// Maximum number of phases.
+    pub phases: Option<u32>,
+    /// Initial genome length.
+    pub initial_len: Option<usize>,
+    /// Maximum genome length.
+    pub max_len: Option<usize>,
+    /// RNG seed.
+    pub seed: Option<u64>,
+}
+
+impl GaOverrides {
+    /// Apply the overrides on top of `cfg`. When `initial_len` is
+    /// overridden but `max_len` is not, `max_len` is re-derived as
+    /// `5 * initial_len` to keep the CLI's invariant.
+    pub fn apply(&self, mut cfg: GaConfig) -> GaConfig {
+        if let Some(p) = self.population {
+            cfg.population_size = p.max(2);
+        }
+        if let Some(g) = self.generations {
+            cfg.generations_per_phase = g.max(1);
+        }
+        if let Some(p) = self.phases {
+            cfg.max_phases = p.max(1);
+        }
+        if let Some(l) = self.initial_len {
+            cfg.initial_len = l.max(1);
+            if self.max_len.is_none() {
+                cfg.max_len = 5 * cfg.initial_len;
+            }
+        }
+        if let Some(l) = self.max_len {
+            cfg.max_len = l.max(cfg.initial_len);
+        }
+        if let Some(s) = self.seed {
+            cfg.seed = s;
+        }
+        cfg
+    }
+}
+
+/// A planning job as submitted over the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanRequest {
+    /// Client-chosen id; echoed in the response. Ids must be unique among
+    /// in-flight jobs.
+    pub id: u64,
+    /// What to plan.
+    pub problem: ProblemSpec,
+    /// Soft wall-clock budget in milliseconds, measured from submission.
+    /// Expiry stops the GA between generations; the job still returns its
+    /// best-so-far plan with status [`JobStatus::Timeout`].
+    pub deadline_ms: Option<u64>,
+    /// GA knobs to override on top of the domain defaults.
+    pub ga: Option<GaOverrides>,
+}
+
+/// Terminal status of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Ran to completion (solved or exhausted its generation budget).
+    Done,
+    /// Deadline expired; the response carries the best-so-far plan.
+    Timeout,
+    /// Cancelled via the cancel command; best-so-far plan included when the
+    /// job had already started.
+    Cancelled,
+    /// Never ran: queue full or duplicate id.
+    Rejected,
+    /// Never ran: the problem failed to build (parse/validation error).
+    Error,
+}
+
+/// Result of a job, as written back over the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Did the plan reach the goal?
+    pub solved: bool,
+    /// Goal fitness of the plan's final state.
+    pub goal_fitness: f64,
+    /// Operation names of the best plan found.
+    pub plan: Vec<String>,
+    /// Raw operation ids (same order as `plan`).
+    pub plan_ops: Vec<u32>,
+    /// Length of the plan.
+    pub plan_len: usize,
+    /// Generations evolved (0 for cache hits and rejected jobs).
+    pub total_generations: u32,
+    /// Wall-clock time from submission to completion, in milliseconds.
+    pub wall_ms: u64,
+    /// Was this answered from the plan cache?
+    pub cache_hit: bool,
+    /// Error message for `Rejected`/`Error` statuses.
+    pub error: Option<String>,
+}
+
+impl PlanResponse {
+    /// An empty failure response carrying only id, status and a message.
+    pub fn failure(id: u64, status: JobStatus, error: impl Into<String>) -> Self {
+        PlanResponse {
+            id,
+            status,
+            solved: false,
+            goal_fitness: 0.0,
+            plan: Vec::new(),
+            plan_ops: Vec::new(),
+            plan_len: 0,
+            total_generations: 0,
+            wall_ms: 0,
+            cache_hit: false,
+            error: Some(error.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = PlanRequest {
+            id: 7,
+            problem: ProblemSpec::Hanoi { disks: 4 },
+            deadline_ms: Some(250),
+            ga: Some(GaOverrides { generations: Some(10), ..GaOverrides::default() }),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: PlanRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.deadline_ms, Some(250));
+        assert!(matches!(back.problem, ProblemSpec::Hanoi { disks: 4 }));
+        assert_eq!(back.ga.unwrap().generations, Some(10));
+    }
+
+    #[test]
+    fn missing_optional_fields_default_to_none() {
+        let back: PlanRequest = serde_json::from_str(r#"{"id":1,"problem":{"Hanoi":{"disks":3}}}"#).unwrap();
+        assert_eq!(back.deadline_ms, None);
+        assert!(back.ga.is_none());
+    }
+
+    #[test]
+    fn built_signature_distinguishes_parameters() {
+        let h3 = ProblemSpec::Hanoi { disks: 3 }.build().unwrap();
+        let h4 = ProblemSpec::Hanoi { disks: 4 }.build().unwrap();
+        assert_ne!(h3.signature(), h4.signature());
+        let t1 = ProblemSpec::Tile { side: 3, shuffle_seed: 1 }.build().unwrap();
+        let t2 = ProblemSpec::Tile { side: 3, shuffle_seed: 2 }.build().unwrap();
+        assert_ne!(t1.signature(), t2.signature());
+        // Stable across builds.
+        assert_eq!(h3.signature(), ProblemSpec::Hanoi { disks: 3 }.build().unwrap().signature());
+    }
+
+    #[test]
+    fn overrides_rederive_max_len() {
+        let cfg = GaOverrides { initial_len: Some(7), ..GaOverrides::default() }.apply(base_config(10));
+        assert_eq!(cfg.initial_len, 7);
+        assert_eq!(cfg.max_len, 35);
+    }
+
+    #[test]
+    fn bad_problem_reports_error() {
+        assert!(ProblemSpec::Hanoi { disks: 0 }.build().is_err());
+        assert!(ProblemSpec::Strips { text: "not a problem".into() }.build().is_err());
+    }
+}

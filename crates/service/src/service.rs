@@ -1,0 +1,473 @@
+//! The planning service: a bounded submission queue feeding a fixed pool of
+//! worker threads, with cooperative cancellation, per-job deadlines, a
+//! signature-keyed plan cache and live metrics.
+//!
+//! Concurrency model: `submit` pushes a job onto a bounded
+//! [`std::sync::mpsc::sync_channel`] (never blocking — a full queue rejects
+//! the job so callers get backpressure instead of a hang). Workers share
+//! the receiving end behind a mutex, run one job at a time to completion,
+//! and send the [`PlanResponse`] to the job's reply channel. Inside a job
+//! the GA is free to use rayon; the service itself uses only std threads
+//! and channels.
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+use gaplan_core::{Budget, CancelToken, StopCause};
+use gaplan_ga::GaConfig;
+use gaplan_grid::GridWorld;
+
+use crate::cache::{CachedPlan, PlanCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec};
+
+/// Sizing knobs for a [`PlanService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. Each runs one job at a time.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Plan-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 128 }
+    }
+}
+
+/// Why a submission was turned away without running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// Another in-flight job already uses this id.
+    DuplicateId,
+    /// The service has shut down.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::DuplicateId => write!(f, "duplicate job id"),
+            SubmitError::ShutDown => write!(f, "service shut down"),
+        }
+    }
+}
+
+/// What a worker plans: a wire-level spec, or an in-process grid world with
+/// a fully resolved config (the replanning path).
+enum JobProblem {
+    Spec(ProblemSpec),
+    Grid(Box<GridWorld>, Box<GaConfig>),
+}
+
+struct Job {
+    id: u64,
+    problem: JobProblem,
+    overrides: Option<GaOverrides>,
+    deadline: Option<Instant>,
+    submitted_at: Instant,
+    token: CancelToken,
+    reply: Sender<PlanResponse>,
+}
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    cache: Mutex<PlanCache>,
+    metrics: Metrics,
+    /// Cancel tokens of queued + running jobs, keyed by job id. Populated
+    /// at submit time so a job can be cancelled while still queued.
+    active: Mutex<FxHashMap<u64, CancelToken>>,
+}
+
+/// Handle to a running planning service. Dropping it (or calling
+/// [`PlanService::shutdown`]) closes the queue and joins the workers.
+pub struct PlanService {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    /// Default reply channel: responses for [`PlanService::submit`] jobs.
+    responses: Sender<PlanResponse>,
+}
+
+impl PlanService {
+    /// Start the worker pool. Returns the service handle plus the receiver
+    /// on which responses to [`PlanService::submit`] jobs arrive —
+    /// generally *not* in submission order.
+    pub fn start(cfg: ServiceConfig) -> (PlanService, Receiver<PlanResponse>) {
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity.max(1));
+        let (responses, response_rx) = std::sync::mpsc::channel();
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
+            metrics: Metrics::new(),
+            active: Mutex::new(FxHashMap::default()),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gaplan-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        (PlanService { tx: Some(tx), workers: handles, shared, responses }, response_rx)
+    }
+
+    /// Submit a wire-level request; its response arrives on the receiver
+    /// returned by [`PlanService::start`]. Returns the job's cancel token.
+    pub fn submit(&self, request: PlanRequest) -> Result<CancelToken, SubmitError> {
+        self.submit_with_reply(request, self.responses.clone())
+    }
+
+    /// Submit a wire-level request whose response goes to `reply` instead
+    /// of the shared response channel.
+    pub fn submit_with_reply(
+        &self,
+        request: PlanRequest,
+        reply: Sender<PlanResponse>,
+    ) -> Result<CancelToken, SubmitError> {
+        let PlanRequest { id, problem, deadline_ms, ga } = request;
+        self.enqueue(Job {
+            id,
+            problem: JobProblem::Spec(problem),
+            overrides: ga,
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            submitted_at: Instant::now(),
+            token: CancelToken::new(),
+            reply,
+        })
+    }
+
+    /// Submit an in-process grid world with a fully resolved GA config —
+    /// the replanning path used by [`crate::ServiceReplanner`]. The caller
+    /// supplies its own reply channel.
+    pub fn submit_grid(
+        &self,
+        id: u64,
+        world: GridWorld,
+        cfg: GaConfig,
+        deadline: Option<Duration>,
+        reply: Sender<PlanResponse>,
+    ) -> Result<CancelToken, SubmitError> {
+        self.enqueue(Job {
+            id,
+            problem: JobProblem::Grid(Box::new(world), Box::new(cfg)),
+            overrides: None,
+            deadline: deadline.map(|d| Instant::now() + d),
+            submitted_at: Instant::now(),
+            token: CancelToken::new(),
+            reply,
+        })
+    }
+
+    fn enqueue(&self, job: Job) -> Result<CancelToken, SubmitError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError::ShutDown);
+        };
+        let token = job.token.clone();
+        {
+            let mut active = self.shared.active.lock();
+            if active.contains_key(&job.id) {
+                self.shared.metrics.on_reject();
+                return Err(SubmitError::DuplicateId);
+            }
+            active.insert(job.id, token.clone());
+        }
+        let id = job.id;
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.shared.metrics.on_submit();
+                Ok(token)
+            }
+            Err(err) => {
+                self.shared.active.lock().remove(&id);
+                self.shared.metrics.on_reject();
+                Err(match err {
+                    TrySendError::Full(_) => SubmitError::QueueFull,
+                    TrySendError::Disconnected(_) => SubmitError::ShutDown,
+                })
+            }
+        }
+    }
+
+    /// Cancel a queued or running job. Returns whether the id was found.
+    /// The job still produces a response (status `Cancelled`, with the
+    /// best-so-far plan if it had started running).
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.shared.active.lock().get(&id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().len()
+    }
+
+    /// Close the queue and wait for workers to drain and exit. Queued jobs
+    /// still run (cancel them first for a fast stop).
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Take the lock only to dequeue, never while planning.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => break, // queue closed and drained
+        };
+        shared.metrics.on_dequeue();
+        let id = job.id;
+        let reply = job.reply.clone();
+        let response = run_job(job, shared);
+        shared.active.lock().remove(&id);
+        // A dropped reply receiver just discards the response.
+        let _ = reply.send(response);
+    }
+}
+
+fn run_job(job: Job, shared: &Shared) -> PlanResponse {
+    let (built, cfg) = match &job.problem {
+        JobProblem::Spec(spec) => match spec.build() {
+            Ok(built) => {
+                let defaults = built.default_config();
+                let cfg = match &job.overrides {
+                    Some(ov) => ov.apply(defaults),
+                    None => defaults,
+                };
+                (built, cfg)
+            }
+            Err(msg) => {
+                shared.metrics.on_error();
+                let mut resp = PlanResponse::failure(job.id, JobStatus::Error, msg);
+                resp.wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+                return resp;
+            }
+        },
+        JobProblem::Grid(world, cfg) => (crate::request::BuiltProblem::Grid(world.clone()), cfg.as_ref().clone()),
+    };
+
+    let key = PlanCache::key(built.signature(), cfg.signature());
+    if let Some(hit) = shared.cache.lock().get(key) {
+        shared.metrics.on_cache_hit();
+        let wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+        shared.metrics.on_complete(wall_ms, hit.solved);
+        return PlanResponse {
+            id: job.id,
+            status: JobStatus::Done,
+            solved: hit.solved,
+            goal_fitness: hit.goal_fitness,
+            plan_len: hit.plan_names.len(),
+            plan: hit.plan_names,
+            plan_ops: hit.plan_ops,
+            total_generations: hit.total_generations,
+            wall_ms,
+            cache_hit: true,
+            error: None,
+        };
+    }
+    shared.metrics.on_cache_miss();
+
+    let mut budget = Budget::unlimited().with_token(job.token.clone());
+    if let Some(deadline) = job.deadline {
+        budget = budget.with_deadline(deadline);
+    }
+    let outcome = built.solve(&cfg, budget);
+
+    let status = match outcome.stopped {
+        None => JobStatus::Done,
+        Some(StopCause::Deadline) => {
+            shared.metrics.on_timeout();
+            JobStatus::Timeout
+        }
+        Some(StopCause::Cancelled) => {
+            shared.metrics.on_cancel();
+            JobStatus::Cancelled
+        }
+    };
+    if outcome.stopped.is_none() {
+        shared.cache.lock().insert(
+            key,
+            CachedPlan {
+                solved: outcome.solved,
+                goal_fitness: outcome.goal_fitness,
+                plan_names: outcome.plan_names.clone(),
+                plan_ops: outcome.plan_ops.clone(),
+                total_generations: outcome.total_generations,
+            },
+        );
+    }
+    let wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+    shared.metrics.on_complete(wall_ms, outcome.solved);
+    PlanResponse {
+        id: job.id,
+        status,
+        solved: outcome.solved,
+        goal_fitness: outcome.goal_fitness,
+        plan_len: outcome.plan_names.len(),
+        plan: outcome.plan_names,
+        plan_ops: outcome.plan_ops,
+        total_generations: outcome.total_generations,
+        wall_ms,
+        cache_hit: false,
+        error: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ProblemSpec;
+
+    fn tiny_request(id: u64) -> PlanRequest {
+        PlanRequest {
+            id,
+            problem: ProblemSpec::Hanoi { disks: 3 },
+            deadline_ms: None,
+            ga: Some(GaOverrides {
+                population: Some(40),
+                generations: Some(30),
+                phases: Some(3),
+                ..GaOverrides::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn submit_runs_and_responds() {
+        let (service, responses) =
+            PlanService::start(ServiceConfig { workers: 2, queue_capacity: 8, cache_capacity: 8 });
+        service.submit(tiny_request(1)).unwrap();
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.id, 1);
+        assert_eq!(resp.status, JobStatus::Done);
+        assert!(resp.solved, "hanoi-3 should solve: {resp:?}");
+        assert!(!resp.cache_hit);
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_completed, 1);
+        assert_eq!(metrics.cache_misses, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn identical_resubmission_hits_cache() {
+        let (service, responses) =
+            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 8, cache_capacity: 8 });
+        service.submit(tiny_request(1)).unwrap();
+        let first = responses.recv().unwrap();
+        assert!(!first.cache_hit);
+        service.submit(tiny_request(2)).unwrap();
+        let second = responses.recv().unwrap();
+        assert!(second.cache_hit, "identical problem+config should hit: {second:?}");
+        assert_eq!(second.plan, first.plan);
+        assert_eq!(service.metrics().cache_hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_inflight_id_is_rejected() {
+        let (service, responses) =
+            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 8, cache_capacity: 0 });
+        // Stall the single worker with a long job so id 1 stays active.
+        let mut big = tiny_request(1);
+        big.problem = ProblemSpec::Hanoi { disks: 10 };
+        big.ga = None;
+        service.submit(big).unwrap();
+        assert_eq!(service.submit(tiny_request(1)).err(), Some(SubmitError::DuplicateId));
+        assert!(service.cancel(1));
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.id, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (service, responses) =
+            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 0 });
+        // One slow job occupies the worker; the queue holds at most one
+        // more, so repeated submission must eventually bounce.
+        let mut first = tiny_request(1);
+        first.problem = ProblemSpec::Hanoi { disks: 9 };
+        first.ga = None;
+        service.submit(first).unwrap();
+        let mut saw_full = false;
+        for id in 2..=6 {
+            match service.submit(tiny_request(id)) {
+                Err(SubmitError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(saw_full, "bounded queue never reported full");
+        for id in 1..=6 {
+            service.cancel(id);
+        }
+        drop(responses);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_running_job_returns_cancelled_with_plan() {
+        let (service, responses) =
+            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 4 });
+        let mut req = tiny_request(1);
+        req.problem = ProblemSpec::Hanoi { disks: 12 };
+        req.ga = None;
+        let token = service.submit(req).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.status, JobStatus::Cancelled);
+        assert!(!resp.plan.is_empty(), "best-so-far plan should be non-empty");
+        assert_eq!(service.cache_len(), 0, "cancelled runs must not be cached");
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_cancel_id_reports_not_found() {
+        let (service, _responses) = PlanService::start(ServiceConfig::default());
+        assert!(!service.cancel(999));
+        service.shutdown();
+    }
+}

@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example grid_workflow`
 
 use ga_grid_planner::ga::{CostFitnessMode, GaConfig, MultiPhase};
-use ga_grid_planner::grid::{
-    image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy,
-};
+use ga_grid_planner::grid::{image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy};
 use gaplan_core::{Domain, Plan};
 
 fn ga_config(seed: u64) -> GaConfig {
@@ -64,11 +62,7 @@ fn main() {
     );
     println!("\n{}", graph.to_dot());
 
-    let overload = ExternalEvent::LoadChange {
-        time: 3.0,
-        site: sc.sites[0],
-        load: 0.95,
-    };
+    let overload = ExternalEvent::LoadChange { time: 3.0, site: sc.sites[0], load: 0.95 };
 
     println!("== Execution 1: calm weather ==");
     let calm = Coordinator::new(world).run(&plan, None);

@@ -70,10 +70,6 @@ fn main() {
     for n in [5usize, 6, 7] {
         let hanoi = Hanoi::new(n);
         let r = astar(&hanoi, &HanoiLowerBound, SearchLimits::default());
-        println!(
-            "n={n}: optimal plan of {} moves found with {} node expansions",
-            r.plan_len().unwrap(),
-            r.expanded
-        );
+        println!("n={n}: optimal plan of {} moves found with {} node expansions", r.plan_len().unwrap(), r.expanded);
     }
 }

@@ -17,8 +17,8 @@ fn main() {
     // Table 1: pop 200, tournament(2), crossover 0.9, mutation 0.01,
     // weights 0.9/0.1; multi-phase: 5 phases x 100 generations.
     let cfg = GaConfig {
-        initial_len: hanoi.optimal_len(),     // paper: optimal length 2^n - 1
-        max_len: 4 * hanoi.optimal_len(),     // per-phase MaxLen (DESIGN.md note 2)
+        initial_len: hanoi.optimal_len(), // paper: optimal length 2^n - 1
+        max_len: 4 * hanoi.optimal_len(), // per-phase MaxLen (DESIGN.md note 2)
         seed: 2003,
         ..GaConfig::default()
     }
@@ -38,10 +38,7 @@ fn main() {
         println!("solution found in phase {phase}");
     }
     for p in &result.phases {
-        println!(
-            "  phase {}: best goal fitness {:.3}, contributed {} ops",
-            p.phase, p.best_goal_fitness, p.plan_len
-        );
+        println!("  phase {}: best goal fitness {:.3}, contributed {} ops", p.phase, p.best_goal_fitness, p.plan_len);
     }
 
     println!("\nFinal state (paper Figure 2):");

@@ -23,18 +23,11 @@ fn main() {
     println!("{}", puzzle.render(puzzle.goal()));
 
     let optimal = astar(&puzzle, &LinearConflict, SearchLimits::default());
-    println!(
-        "A* (linear conflict) optimum: {} moves ({} expansions)\n",
-        optimal.plan_len().unwrap(),
-        optimal.expanded
-    );
+    println!("A* (linear conflict) optimum: {} moves ({} expansions)\n", optimal.plan_len().unwrap(), optimal.expanded);
 
     // paper Table 3 parameters; initial length n^2 log2(n^2) = 29 for 3x3
     let initial_len = ((n * n) as f64 * ((n * n) as f64).log2()).ceil() as usize;
-    println!(
-        "{:<12} {:>12} {:>10} {:>8} {:>16}",
-        "crossover", "goal fitness", "plan len", "solved", "solved in phase"
-    );
+    println!("{:<12} {:>12} {:>10} {:>8} {:>16}", "crossover", "goal fitness", "plan len", "solved", "solved in phase");
     for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed] {
         let mut sum_fit = 0.0;
         let mut sum_len = 0.0;

@@ -49,11 +49,7 @@ goal: photo-relayed
 fn main() {
     println!("== Rover domain (parsed from the STRIPS text format) ==");
     let rover = parse_strips(ROVER).expect("rover domain parses");
-    println!(
-        "{} conditions, {} ground operators\n",
-        rover.num_conditions(),
-        rover.num_operations()
-    );
+    println!("{} conditions, {} ground operators\n", rover.num_conditions(), rover.num_operations());
 
     let cfg = GaConfig {
         population_size: 60,
@@ -94,21 +90,12 @@ fn main() {
         ..GaConfig::default()
     };
     let ga_b = MultiPhase::new(&blocks, cfg_blocks).run();
-    println!(
-        "GA: solved = {} (goal fitness {:.2}), plan length {}",
-        ga_b.solved,
-        ga_b.goal_fitness,
-        ga_b.plan.len()
-    );
+    println!("GA: solved = {} (goal fitness {:.2}), plan length {}", ga_b.solved, ga_b.goal_fitness, ga_b.plan.len());
     if ga_b.solved {
         print!("{}", ga_b.plan.display(&blocks));
     }
     let b2 = bfs(&blocks, SearchLimits::default());
     println!("BFS: optimal length {}", b2.plan_len().unwrap());
     let gp2 = graphplan(&blocks, SearchLimits::default());
-    println!(
-        "Graphplan: length {} ({} nogoods memoized)",
-        gp2.plan_len().unwrap(),
-        gp2.peak_states
-    );
+    println!("Graphplan: length {} ({} nogoods memoized)", gp2.plan_len().unwrap(), gp2.peak_states);
 }

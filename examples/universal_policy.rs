@@ -49,7 +49,7 @@ fn main() {
         if hanoi.is_goal(&state) {
             break;
         }
-        if steps > 0 && steps % 10 == 0 {
+        if steps > 0 && steps.is_multiple_of(10) {
             let ops = hanoi.valid_ops_vec(&state);
             let gremlin = ops[rng.gen_range(0..ops.len())];
             println!("  step {steps}: gremlin plays {}", hanoi.op_name(gremlin));

@@ -7,6 +7,7 @@
 //!                      [--overload SITE:TIME:LOAD]
 //! gaplan hanoi  <disks> [--single] [--seed N]
 //! gaplan tile   <side>  [--crossover random|state-aware|mixed] [--seed N]
+//! gaplan serve  [--workers N] [--queue N] [--cache N]
 //! ```
 //!
 //! STRIPS files use the `gaplan-core` text format; grid files use the
@@ -20,9 +21,8 @@ use ga_grid_planner::baselines::{
 };
 use ga_grid_planner::domains::{Hanoi, SlidingTile};
 use ga_grid_planner::ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
-use ga_grid_planner::grid::{
-    greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy,
-};
+use ga_grid_planner::grid::{greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, ReplanPolicy};
+use ga_grid_planner::service::{serve, PlanService, ServiceConfig, ServiceReplanner};
 use gaplan_core::{Domain, Plan};
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         "grid" => grid_cmd(&args[1..]),
         "hanoi" => hanoi_cmd(&args[1..]),
         "tile" => tile_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -40,7 +41,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD]\n  gaplan hanoi <disks> [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD]\n  gaplan hanoi <disks> [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N]    (JSON lines on stdin/stdout)"
     );
     exit(2);
 }
@@ -70,23 +71,13 @@ fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
 }
 
 fn report_plan<D: Domain>(domain: &D, plan: &Plan, elapsed: f64, extra: &str) {
-    let out = plan
-        .simulate(domain, &domain.initial_state())
-        .expect("planner produced an invalid plan");
-    println!(
-        "plan: {} ops, cost {:.1}, reaches goal: {} ({:.3}s){extra}",
-        plan.len(),
-        out.cost,
-        out.solves,
-        elapsed
-    );
+    let out = plan.simulate(domain, &domain.initial_state()).expect("planner produced an invalid plan");
+    println!("plan: {} ops, cost {:.1}, reaches goal: {} ({:.3}s){extra}", plan.len(), out.cost, out.solves, elapsed);
     print!("{}", plan.display(domain));
 }
 
 fn strips_cmd(args: &[String]) {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        usage("strips needs a file")
-    };
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else { usage("strips needs a file") };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
@@ -95,11 +86,7 @@ fn strips_cmd(args: &[String]) {
         eprintln!("{e}");
         exit(1);
     });
-    println!(
-        "{path}: {} conditions, {} ground operators",
-        problem.num_conditions(),
-        problem.num_operations()
-    );
+    println!("{path}: {} conditions, {} ground operators", problem.num_conditions(), problem.num_operations());
     let planner = flag_value(args, "--planner").unwrap_or("ga");
     let limits = SearchLimits::default();
     let started = Instant::now();
@@ -139,9 +126,7 @@ fn strips_cmd(args: &[String]) {
 }
 
 fn grid_cmd(args: &[String]) {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        usage("grid needs a file")
-    };
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else { usage("grid needs a file") };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
@@ -200,21 +185,23 @@ fn grid_cmd(args: &[String]) {
                 .policy(ReplanPolicy::OnLoadChange);
         }
         let seed = parse_or(flag_value(args, "--seed"), 2003);
-        let replanner = move |snapshot: &GridWorld| -> Plan {
-            let mut cfg = GaConfig {
-                population_size: 100,
-                generations_per_phase: 60,
-                max_phases: 3,
-                initial_len: 10,
-                max_len: 24,
-                cost_fitness: CostFitnessMode::InverseCost,
-                seed: seed ^ 0xD1CE,
-                ..GaConfig::default()
-            };
-            cfg.truncate_at_goal = true;
-            MultiPhase::new(snapshot, cfg).run().plan
+        // Replans go through the planning service: queued, budgeted, cached.
+        let (service, _responses) =
+            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 32 });
+        let mut replan_cfg = GaConfig {
+            population_size: 100,
+            generations_per_phase: 60,
+            max_phases: 3,
+            initial_len: 10,
+            max_len: 24,
+            cost_fitness: CostFitnessMode::InverseCost,
+            seed: seed ^ 0xD1CE,
+            ..GaConfig::default()
         };
-        let trace = coord.run(&plan, Some(&replanner));
+        replan_cfg.truncate_at_goal = true;
+        let replanner = ServiceReplanner::new(&service, replan_cfg);
+        let replan = |snapshot: &ga_grid_planner::grid::GridWorld| replanner.replan(snapshot);
+        let trace = coord.run(&plan, Some(&replan));
         println!("\nsimulated execution:");
         for t in &trace.tasks {
             println!("  [{:8.1} - {:8.1}] {}", t.start, t.end, t.name);
@@ -223,6 +210,29 @@ fn grid_cmd(args: &[String]) {
             "goal fitness {:.3}, makespan {:.1}s, busy {:.1}s, {} replans",
             trace.goal_fitness, trace.makespan, trace.busy_time, trace.replans
         );
+        let m = service.metrics();
+        println!(
+            "planning service: {} jobs, cache {}/{} hits, mean {:.0}ms/job",
+            m.jobs_completed,
+            m.cache_hits,
+            m.cache_hits + m.cache_misses,
+            m.mean_wall_ms
+        );
+        service.shutdown();
+    }
+}
+
+fn serve_cmd(args: &[String]) {
+    let cfg = ServiceConfig {
+        workers: parse_or(flag_value(args, "--workers"), 2),
+        queue_capacity: parse_or(flag_value(args, "--queue"), 64),
+        cache_capacity: parse_or(flag_value(args, "--cache"), 128),
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = serve(cfg, stdin.lock(), stdout) {
+        eprintln!("serve: {e}");
+        exit(1);
     }
 }
 

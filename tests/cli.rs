@@ -9,11 +9,7 @@ fn gaplan() -> Command {
 
 fn run(args: &[&str]) -> (bool, String) {
     let out = gaplan().args(args).output().expect("binary runs");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
+    let text = format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
     (out.status.success(), text)
 }
 
@@ -56,16 +52,7 @@ fn strips_ga_solves_rover() {
 
 #[test]
 fn grid_ga_plans_pipeline() {
-    let (ok, text) = run(&[
-        "grid",
-        "data/pipeline.grid",
-        "--planner",
-        "ga",
-        "--gens",
-        "60",
-        "--phases",
-        "3",
-    ]);
+    let (ok, text) = run(&["grid", "data/pipeline.grid", "--planner", "ga", "--gens", "60", "--phases", "3"]);
     assert!(ok, "{text}");
     assert!(text.contains("reaches goal: true"), "{text}");
     assert!(text.contains("activity graph"), "{text}");

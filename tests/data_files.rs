@@ -42,11 +42,7 @@ fn pipeline_grid_matches_programmatic_scenario() {
     }
     // same valid operations (by display name) from the initial state
     let names = |w: &ga_grid_planner::grid::GridWorld| -> Vec<String> {
-        let mut v: Vec<String> = w
-            .valid_ops_vec(&w.initial_state())
-            .iter()
-            .map(|&o| w.op_name(o))
-            .collect();
+        let mut v: Vec<String> = w.valid_ops_vec(&w.initial_state()).iter().map(|&o| w.op_name(o)).collect();
         v.sort();
         v
     };

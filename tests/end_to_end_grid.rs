@@ -3,9 +3,7 @@
 //! and dynamic replanning around an overload.
 
 use ga_grid_planner::ga::{CostFitnessMode, GaConfig, MultiPhase};
-use ga_grid_planner::grid::{
-    image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy,
-};
+use ga_grid_planner::grid::{image_pipeline, ActivityGraph, Coordinator, ExternalEvent, GridWorld, ReplanPolicy};
 use gaplan_core::{Domain, Plan};
 
 fn ga_cfg(seed: u64) -> GaConfig {
@@ -56,11 +54,7 @@ fn ga_replanning_beats_static_script_under_overload() {
     let sc = image_pipeline();
     let world = &sc.world;
     let p = plan(world, 3);
-    let overload = ExternalEvent::LoadChange {
-        time: 3.0,
-        site: sc.sites[0],
-        load: 0.95,
-    };
+    let overload = ExternalEvent::LoadChange { time: 3.0, site: sc.sites[0], load: 0.95 };
 
     let mut static_coord = Coordinator::new(world);
     static_coord.schedule(overload);

@@ -40,14 +40,8 @@ fn seeded_ga_solves_larger_gripper() {
         seed: 5,
         ..GaConfig::default()
     };
-    let r = MultiPhase::new(&p, cfg)
-        .with_seeder(SeedStrategy::GreedyWalk, 0.25)
-        .run();
-    assert!(
-        r.goal_fitness >= 0.75,
-        "seeded GA should deliver most balls, fitness {}",
-        r.goal_fitness
-    );
+    let r = MultiPhase::new(&p, cfg).with_seeder(SeedStrategy::GreedyWalk, 0.25).run();
+    assert!(r.goal_fitness >= 0.75, "seeded GA should deliver most balls, fitness {}", r.goal_fitness);
 }
 
 #[test]

@@ -8,12 +8,7 @@ use gaplan_core::Domain;
 
 fn paper_cfg(n: usize, seed: u64) -> GaConfig {
     let optimal = (1usize << n) - 1;
-    GaConfig {
-        initial_len: optimal,
-        max_len: 5 * optimal,
-        seed,
-        ..GaConfig::default()
-    }
+    GaConfig { initial_len: optimal, max_len: 5 * optimal, seed, ..GaConfig::default() }
 }
 
 #[test]
@@ -52,10 +47,7 @@ fn multiphase_beats_single_phase_on_6_disks() {
         multi_fit += MultiPhase::new(&hanoi, paper_cfg(6, seed).multi_phase()).run().goal_fitness;
     }
     // the paper's central Table-2 claim
-    assert!(
-        multi_fit >= single_fit,
-        "multi-phase ({multi_fit}) must not lose to single-phase ({single_fit})"
-    );
+    assert!(multi_fit >= single_fit, "multi-phase ({multi_fit}) must not lose to single-phase ({single_fit})");
 }
 
 #[test]

@@ -10,14 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn cfg(kind: CrossoverKind, seed: u64) -> GaConfig {
-    GaConfig {
-        crossover: kind,
-        initial_len: 29,
-        max_len: 145,
-        seed,
-        ..GaConfig::default()
-    }
-    .multi_phase()
+    GaConfig { crossover: kind, initial_len: 29, max_len: 145, seed, ..GaConfig::default() }.multi_phase()
 }
 
 #[test]
@@ -64,13 +57,7 @@ fn four_by_four_rarely_solves_within_paper_budget() {
     let puzzle = SlidingTile::random_solvable(4, &mut rng);
     let mut solved = 0;
     for seed in 0..3 {
-        let c = GaConfig {
-            initial_len: 64,
-            max_len: 320,
-            seed,
-            ..GaConfig::default()
-        }
-        .multi_phase();
+        let c = GaConfig { initial_len: 64, max_len: 320, seed, ..GaConfig::default() }.multi_phase();
         let r = MultiPhase::new(&puzzle, c).run();
         solved += usize::from(r.solved);
         // but progress must be substantial even when unsolved

@@ -4,8 +4,8 @@
 //! the GA and the chaining baselines.
 
 use ga_grid_planner::baselines::{
-    astar, backward_chain, bfs, forward_chain, greedy_best_first, idastar, HanoiLowerBound, LinearConflict,
-    ManhattanH, SearchLimits,
+    astar, backward_chain, bfs, forward_chain, greedy_best_first, idastar, HanoiLowerBound, LinearConflict, ManhattanH,
+    SearchLimits,
 };
 use ga_grid_planner::domains::{blocks_world, briefcase, Hanoi, Navigation, SlidingTile};
 use ga_grid_planner::ga::{GaConfig, MultiPhase};
@@ -45,10 +45,7 @@ fn every_planner_produces_replayable_plans_on_blocks_world() {
         ("bfs", bfs(&p, limits).plan),
         ("forward", forward_chain(&p, limits).plan),
         ("backward", backward_chain(&p, limits).plan),
-        (
-            "greedy",
-            greedy_best_first(&p, &ga_grid_planner::baselines::GoalCount, limits).plan,
-        ),
+        ("greedy", greedy_best_first(&p, &ga_grid_planner::baselines::GoalCount, limits).plan),
     ];
     for (name, plan) in plans {
         let plan = plan.unwrap_or_else(|| panic!("{name} failed to solve"));

@@ -23,11 +23,7 @@ fn arb_strips() -> impl Strategy<Value = StripsProblem> {
             b.condition(n).unwrap();
         }
         let pick = |rng: &mut StdRng, p: f64| -> Vec<&str> {
-            names
-                .iter()
-                .filter(|_| rng.gen::<f64>() < p)
-                .map(String::as_str)
-                .collect()
+            names.iter().filter(|_| rng.gen::<f64>() < p).map(String::as_str).collect()
         };
         for i in 0..no {
             let pre = pick(&mut rng, 0.3);

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the parallel-iterator subset this workspace uses
+//! (`into_par_iter` on vectors and ranges, `map`, `map_init`, `for_each`,
+//! `collect`) with *eager* evaluation: each adapter materializes its input,
+//! splits it into one chunk per available core and fans the chunks out over
+//! `std::thread::scope`. Results are reassembled in input order, so the
+//! parallel path is order-identical to the sequential one — the property
+//! `gaplan-ga` relies on for determinism.
+//!
+//! Unlike real rayon there is no work-stealing pool; chunks are static. For
+//! the workspace's workloads (per-individual GA evaluation, per-run
+//! experiment batches) static chunking is within noise of a real pool.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Run `f` over `items`, returning results in input order. Splits into at
+/// most [`current_num_threads`] contiguous chunks; `init` runs once per
+/// chunk (rayon's `map_init` contract: once per worker, reused across that
+/// worker's items).
+fn parallel_map_chunks<T, I, R>(items: Vec<T>, init: impl Fn() -> I + Sync, f: impl Fn(&mut I, T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    {
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_len));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+    }
+    let init = &init;
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk.into_iter().map(|item| f(&mut state, item)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator" holding its materialized items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map_chunks(self.items, || (), |(), item| f(item)) }
+    }
+
+    /// rayon's `map_init`: `init` creates per-worker scratch state that `f`
+    /// reuses across that worker's items.
+    pub fn map_init<I, R, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> R + Sync,
+    {
+        ParIter { items: parallel_map_chunks(self.items, init, f) }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_chunks(self.items, || (), |(), item| f(item));
+    }
+
+    /// Keep items satisfying the predicate (order preserved).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map_chunks(self.items, || (), |(), item| if f(&item) { Some(item) } else { None });
+        ParIter { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Collect the mapped items into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors `rayon::iter`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert; the stand-in materializes the input eagerly.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_par_iter!(u32, u64, usize, i32, i64);
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..1000usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |scratch, x| {
+                    *scratch += 1;
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 1000);
+        assert!(inits.load(Ordering::Relaxed) <= super::current_num_threads());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0..1000u64).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let odd: Vec<u32> = (0..100u32).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odd.len(), 50);
+        assert!(odd.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde abstracts over data formats; this workspace only ever
+//! (de)serializes JSON, so the stand-in collapses the data model to JSON:
+//! [`Serialize`] writes JSON text directly and [`Deserialize`] reads from a
+//! parsed [`json::Value`] tree. The public surface mirrors what the
+//! workspace uses — `use serde::{Serialize, Deserialize}` for both the
+//! traits and (with the `derive` feature) the derive macros, plus the
+//! `serde_json` facade crate.
+
+pub mod json;
+
+pub mod ser {
+    //! Serialization trait and primitive impls.
+    use crate::json::write_json_string;
+
+    /// Serialize `self` as JSON text appended to `out`.
+    pub trait Serialize {
+        /// Append the JSON encoding of `self` to `out`.
+        fn serialize_json(&self, out: &mut String);
+    }
+
+    macro_rules! ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize_json(&self, out: &mut String) {
+                    out.push_str(&self.to_string());
+                }
+            }
+        )*};
+    }
+
+    ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Serialize for bool {
+        fn serialize_json(&self, out: &mut String) {
+            out.push_str(if *self { "true" } else { "false" });
+        }
+    }
+
+    impl Serialize for f64 {
+        fn serialize_json(&self, out: &mut String) {
+            if self.is_finite() {
+                // Rust's Display for f64 prints the shortest string that
+                // round-trips, which is exactly what JSON needs.
+                out.push_str(&self.to_string());
+            } else {
+                // JSON has no NaN/inf; serde_json writes null.
+                out.push_str("null");
+            }
+        }
+    }
+
+    impl Serialize for f32 {
+        fn serialize_json(&self, out: &mut String) {
+            (*self as f64).serialize_json(out);
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize_json(&self, out: &mut String) {
+            write_json_string(out, self);
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize_json(&self, out: &mut String) {
+            write_json_string(out, self);
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize_json(&self, out: &mut String) {
+            match self {
+                Some(v) => v.serialize_json(out),
+                None => out.push_str("null"),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize_json(&self, out: &mut String) {
+            self.as_slice().serialize_json(out);
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize_json(&self, out: &mut String) {
+            out.push('[');
+            for (i, v) in self.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                v.serialize_json(out);
+            }
+            out.push(']');
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize_json(&self, out: &mut String) {
+            (**self).serialize_json(out);
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize_json(&self, out: &mut String) {
+            (**self).serialize_json(out);
+        }
+    }
+
+    impl<K: AsRef<str>, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+        fn serialize_json(&self, out: &mut String) {
+            // deterministic output: sort keys
+            let mut entries: Vec<(&str, &V)> = self.iter().map(|(k, v)| (k.as_ref(), v)).collect();
+            entries.sort_by_key(|(k, _)| *k);
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                v.serialize_json(out);
+            }
+            out.push('}');
+        }
+    }
+
+    impl<K: AsRef<str> + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+        fn serialize_json(&self, out: &mut String) {
+            out.push('{');
+            for (i, (k, v)) in self.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k.as_ref());
+                out.push(':');
+                v.serialize_json(out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization trait and primitive impls.
+    use crate::json::{DeError, Value};
+
+    /// Construct `Self` from a parsed JSON value.
+    pub trait Deserialize: Sized {
+        /// Read `Self` out of `v`.
+        fn deserialize_json(v: &Value) -> Result<Self, DeError>;
+
+        /// Value to use when an object field is absent. `None` for most
+        /// types (missing field ⇒ error); `Option<T>` overrides this so
+        /// absent fields deserialize as `None`, which is what every caller
+        /// in this workspace wants from optional JSON fields.
+        fn deserialize_missing() -> Option<Self> {
+            None
+        }
+    }
+
+    /// Look up `name` in an object's entries and deserialize it; absent
+    /// fields fall back to [`Deserialize::deserialize_missing`].
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::deserialize_json(v).map_err(|e| e.context(name)),
+            None => T::deserialize_missing().ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+        }
+    }
+
+    macro_rules! de_int {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+                    match v {
+                        Value::Int(i) => <$t>::try_from(*i)
+                            .map_err(|_| DeError::new(format!("integer {i} out of range for {}", stringify!($t)))),
+                        Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                        other => Err(DeError::new(format!("expected integer, found {}", other.kind()))),
+                    }
+                }
+            }
+        )*};
+    }
+    de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Deserialize for bool {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+            }
+        }
+    }
+
+    impl Deserialize for f64 {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Float(f) => Ok(*f),
+                Value::Int(i) => Ok(*i as f64),
+                other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+            }
+        }
+    }
+
+    impl Deserialize for f32 {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            f64::deserialize_json(v).map(|f| f as f32)
+        }
+    }
+
+    impl Deserialize for String {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::deserialize_json(other).map(Some),
+            }
+        }
+
+        fn deserialize_missing() -> Option<Self> {
+            Some(None)
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Arr(items) => items.iter().map(T::deserialize_json).collect(),
+                other => Err(DeError::new(format!("expected array, found {}", other.kind()))),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            T::deserialize_json(v).map(Box::new)
+        }
+    }
+
+    impl Deserialize for Value {
+        fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+            Ok(v.clone())
+        }
+    }
+}
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

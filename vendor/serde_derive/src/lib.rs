@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! JSON-backed traits of the sibling `serde` stand-in crate. The item is
+//! parsed with the raw `proc_macro` token API (no `syn`/`quote` available
+//! offline), which supports the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently,
+//!   multi-field ones as arrays),
+//! * unit structs (as `null`),
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, matching real serde's default representation).
+//!
+//! Generic parameters and `#[serde(...)]` attributes are not supported and
+//! produce a compile error, so misuse fails loudly rather than silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = match (item, mode) {
+        (Item::Struct { name, shape }, Mode::Ser) => gen_struct_ser(&name, &shape),
+        (Item::Struct { name, shape }, Mode::De) => gen_struct_de(&name, &shape),
+        (Item::Enum { name, variants }, Mode::Ser) => gen_enum_ser(&name, &variants),
+        (Item::Enum { name, variants }, Mode::De) => gen_enum_de(&name, &variants),
+    };
+    src.parse().unwrap_or_else(|e| compile_error(&format!("serde stand-in derive generated invalid code: {e:?}")))
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i)?;
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stand-in derive does not support generic type `{name}`"));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Advance past `#[...]` attributes (including doc comments) and a
+/// `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        fields.push(name);
+        skip_type(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+/// Skip a type, stopping after the top-level `,` (or at end of tokens).
+/// Tracks `<`/`>` nesting; `(…)`/`[…]` arrive as single atomic groups.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if idx == tokens.len() - 1 {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // skip an optional `= discriminant` and the separating comma
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n"
+    )
+}
+
+fn de_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+         fn deserialize_json(v: &::serde::json::Value) -> Result<Self, ::serde::json::DeError> {{\n"
+    )
+}
+
+const IMPL_FOOTER: &str = "}\n}\n";
+
+/// `out.push_str("…")` writing `key` as a quoted JSON object key.
+fn emit_key(src: &mut String, key: &str, first: bool) {
+    if !first {
+        src.push_str("out.push(',');\n");
+    }
+    // keys are plain identifiers: no escaping needed
+    src.push_str(&format!("out.push_str(\"\\\"{key}\\\":\");\n"));
+}
+
+fn gen_struct_ser(name: &str, shape: &Shape) -> String {
+    let mut src = ser_header(name);
+    match shape {
+        Shape::Unit => src.push_str("out.push_str(\"null\");\n"),
+        Shape::Tuple(1) => src.push_str("::serde::ser::Serialize::serialize_json(&self.0, out);\n"),
+        Shape::Tuple(n) => {
+            src.push_str("out.push('[');\n");
+            for idx in 0..*n {
+                if idx > 0 {
+                    src.push_str("out.push(',');\n");
+                }
+                src.push_str(&format!("::serde::ser::Serialize::serialize_json(&self.{idx}, out);\n"));
+            }
+            src.push_str("out.push(']');\n");
+        }
+        Shape::Named(fields) => {
+            src.push_str("out.push('{');\n");
+            for (idx, f) in fields.iter().enumerate() {
+                emit_key(&mut src, f, idx == 0);
+                src.push_str(&format!("::serde::ser::Serialize::serialize_json(&self.{f}, out);\n"));
+            }
+            src.push_str("out.push('}');\n");
+        }
+    }
+    src.push_str(IMPL_FOOTER);
+    src
+}
+
+fn gen_struct_de(name: &str, shape: &Shape) -> String {
+    let mut src = de_header(name);
+    match shape {
+        Shape::Unit => {
+            src.push_str(&format!(
+                "match v {{ ::serde::json::Value::Null => Ok({name}), \
+                 other => Err(::serde::json::DeError::new(format!(\"expected null for {name}, found {{}}\", other.kind()))) }}\n"
+            ));
+        }
+        Shape::Tuple(1) => {
+            src.push_str(&format!("Ok({name}(::serde::de::Deserialize::deserialize_json(v)?))\n"));
+        }
+        Shape::Tuple(n) => {
+            src.push_str(&format!(
+                "let items = match v {{ ::serde::json::Value::Arr(items) if items.len() == {n} => items, \
+                 other => return Err(::serde::json::DeError::new(format!(\"expected {n}-element array for {name}, found {{}}\", other.kind()))) }};\n"
+            ));
+            src.push_str(&format!("Ok({name}("));
+            for idx in 0..*n {
+                src.push_str(&format!("::serde::de::Deserialize::deserialize_json(&items[{idx}])?, "));
+            }
+            src.push_str("))\n");
+        }
+        Shape::Named(fields) => {
+            src.push_str(&format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::json::DeError::new(format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n"
+            ));
+            src.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                src.push_str(&format!("{f}: ::serde::de::field(obj, \"{f}\")?,\n"));
+            }
+            src.push_str("})\n");
+        }
+    }
+    src.push_str(IMPL_FOOTER);
+    src
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut src = ser_header(name);
+    src.push_str("match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                src.push_str(&format!("{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"));
+            }
+            Shape::Tuple(1) => {
+                src.push_str(&format!(
+                    "{name}::{vn}(x0) => {{ out.push_str(\"{{\\\"{vn}\\\":\"); \
+                     ::serde::ser::Serialize::serialize_json(x0, out); out.push('}}'); }}\n"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                src.push_str(&format!(
+                    "{name}::{vn}({}) => {{ out.push_str(\"{{\\\"{vn}\\\":[\");\n",
+                    binds.join(", ")
+                ));
+                for (i, b) in binds.iter().enumerate() {
+                    if i > 0 {
+                        src.push_str("out.push(',');\n");
+                    }
+                    src.push_str(&format!("::serde::ser::Serialize::serialize_json({b}, out);\n"));
+                }
+                src.push_str("out.push_str(\"]}\"); }\n");
+            }
+            Shape::Named(fields) => {
+                src.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{ out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
+                    fields.join(", ")
+                ));
+                for (i, f) in fields.iter().enumerate() {
+                    emit_key(&mut src, f, i == 0);
+                    src.push_str(&format!("::serde::ser::Serialize::serialize_json({f}, out);\n"));
+                }
+                src.push_str("out.push_str(\"}}\"); }\n");
+            }
+        }
+    }
+    src.push_str("}\n");
+    src.push_str(IMPL_FOOTER);
+    src
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut src = de_header(name);
+    // unit variants arrive as plain strings
+    src.push_str("match v {\n::serde::json::Value::Str(s) => match s.as_str() {\n");
+    for v in variants {
+        if matches!(v.shape, Shape::Unit) {
+            let vn = &v.name;
+            src.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+        }
+    }
+    src.push_str(&format!(
+        "other => Err(::serde::json::DeError::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n"
+    ));
+    // data variants arrive as single-key objects
+    src.push_str(
+        "::serde::json::Value::Obj(entries) if entries.len() == 1 => {\nlet (tag, inner) = &entries[0];\nmatch tag.as_str() {\n",
+    );
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                // also accept {"Variant": null}
+                src.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+            }
+            Shape::Tuple(1) => {
+                src.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::de::Deserialize::deserialize_json(inner)?)),\n"
+                ));
+            }
+            Shape::Tuple(n) => {
+                src.push_str(&format!(
+                    "\"{vn}\" => {{ let items = match inner {{ ::serde::json::Value::Arr(items) if items.len() == {n} => items, \
+                     other => return Err(::serde::json::DeError::new(format!(\"expected {n}-element array for {name}::{vn}, found {{}}\", other.kind()))) }};\n\
+                     Ok({name}::{vn}("
+                ));
+                for idx in 0..*n {
+                    src.push_str(&format!("::serde::de::Deserialize::deserialize_json(&items[{idx}])?, "));
+                }
+                src.push_str(")) }\n");
+            }
+            Shape::Named(fields) => {
+                src.push_str(&format!(
+                    "\"{vn}\" => {{ let obj = inner.as_object().ok_or_else(|| ::serde::json::DeError::new(format!(\"expected object for {name}::{vn}, found {{}}\", inner.kind())))?;\n\
+                     Ok({name}::{vn} {{\n"
+                ));
+                for f in fields {
+                    src.push_str(&format!("{f}: ::serde::de::field(obj, \"{f}\")?,\n"));
+                }
+                src.push_str("}) }\n");
+            }
+        }
+    }
+    src.push_str(&format!(
+        "other => Err(::serde::json::DeError::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n"
+    ));
+    src.push_str(&format!(
+        "other => Err(::serde::json::DeError::new(format!(\"expected string or single-key object for {name}, found {{}}\", other.kind()))),\n}}\n"
+    ));
+    src.push_str(IMPL_FOOTER);
+    src
+}

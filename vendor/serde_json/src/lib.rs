@@ -1,0 +1,75 @@
+//! Offline stand-in for the `serde_json` crate, implemented on the JSON
+//! machinery inside the `serde` stand-in. Provides the workspace's used
+//! surface: [`to_string`], [`to_string_pretty`], [`from_str`], [`Value`]
+//! and [`Error`].
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+
+pub use serde::json::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(serde::json::DeError);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let v = serde::json::parse(&compact).map_err(Error)?;
+    let mut out = String::new();
+    serde::json::write_value_pretty(&mut out, &v, 0);
+    Ok(out)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = serde::json::parse(s).map_err(Error)?;
+    T::deserialize_json(&v).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&vec![1.5f64, 2.0]).unwrap(), "[1.5,2]");
+        assert_eq!(from_str::<Vec<f64>>("[1.5,2]").unwrap(), vec![1.5, 2.0]);
+        assert_eq!(to_string("a\"b").unwrap(), r#""a\"b""#);
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = vec![vec!["a".to_string()], vec!["b".to_string()]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<String>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_seed_roundtrip_is_exact() {
+        let seed = u64::MAX - 12345;
+        let json = to_string(&seed).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), seed);
+    }
+}
