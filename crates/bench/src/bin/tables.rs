@@ -6,7 +6,7 @@
 //! tables [--quick] [--runs N] [--budget F] [--seed S] [--json DIR] CMD...
 //! CMD: table1 table2 table3 table4 table5 figures
 //!      ext-crossover-hanoi ext-fitness ext-phases ext-baselines ext-grid
-//!      ext-sensitivity paper all
+//!      ext-chaos ext-sensitivity paper all
 //! ```
 
 use std::io::Write as _;
@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use gaplan_bench::table::TextTable;
 use gaplan_bench::{
-    baseline_exp, figures, grid_exp, hanoi_exp, history_exp, metaheuristic_exp, seeding_exp, sensitivity_exp, tile_exp,
-    ExpScale,
+    baseline_exp, chaos_exp, figures, grid_exp, hanoi_exp, history_exp, metaheuristic_exp, seeding_exp,
+    sensitivity_exp, tile_exp, ExpScale,
 };
 
 fn main() {
@@ -85,6 +85,7 @@ fn main() {
                 "ext-baselines-strips",
                 "ext-grid",
                 "ext-grid-climate",
+                "ext-chaos",
                 "ext-mutation",
                 "ext-selection",
                 "ext-state-match",
@@ -110,6 +111,7 @@ fn main() {
             "ext-baselines-strips" => vec!["ext-baselines-strips"],
             "ext-grid" => vec!["ext-grid", "ext-grid-climate"],
             "ext-grid-climate" => vec!["ext-grid-climate"],
+            "ext-chaos" => vec!["ext-chaos"],
             "ext-mutation" => vec!["ext-mutation"],
             "ext-selection" => vec!["ext-selection"],
             "ext-state-match" => vec!["ext-state-match"],
@@ -146,6 +148,7 @@ fn main() {
                     "ext-baselines-strips" => baseline_exp::ext_baselines_strips(&scale),
                     "ext-grid" => grid_exp::ext_grid(&scale),
                     "ext-grid-climate" => grid_exp::ext_grid_climate(&scale),
+                    "ext-chaos" => chaos_exp::ext_chaos(&scale),
                     "ext-mutation" => sensitivity_exp::ext_mutation(&scale),
                     "ext-selection" => sensitivity_exp::ext_selection(&scale),
                     "ext-state-match" => sensitivity_exp::ext_state_match(&scale),
@@ -176,7 +179,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: tables [--quick] [--runs N] [--budget F] [--seed S] [--json DIR] CMD...\n\
          CMD: table1 table2 table3 table4 table5 figures paper\n\
-              ext-crossover-hanoi ext-fitness ext-phases ext-baselines ext-grid ext-sensitivity all"
+              ext-crossover-hanoi ext-fitness ext-phases ext-baselines ext-grid ext-chaos ext-sensitivity all"
     );
     std::process::exit(2);
 }

@@ -8,6 +8,7 @@
 //! functions with reduced budgets.
 
 pub mod baseline_exp;
+pub mod chaos_exp;
 pub mod figures;
 pub mod grid_exp;
 pub mod hanoi_exp;

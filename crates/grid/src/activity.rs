@@ -80,6 +80,12 @@ impl ActivityGraph {
         &self.nodes
     }
 
+    /// Mutable node access, used by the coordinator to reroute a task to a
+    /// surviving site after a failure (the op changes, the deps stay).
+    pub(crate) fn node_mut(&mut self, i: usize) -> &mut ActivityNode {
+        &mut self.nodes[i]
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

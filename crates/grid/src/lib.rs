@@ -56,6 +56,8 @@ pub use parser::{parse_grid, GridParseError};
 pub use program::{DataProduct, DataRequirement, Program, ProgramId};
 pub use resource::ResourceSpec;
 pub use scenario::{climate_ensemble, image_pipeline, ClimateEnsemble, ImagePipeline};
-pub use sim::{Coordinator, ExecutionTrace, ExternalEvent, ReplanPolicy};
+pub use sim::{
+    chaos_schedule, Coordinator, ExecutionTrace, ExternalEvent, FaultPlan, ReplanPolicy, RetryPolicy, TaskRecord,
+};
 pub use site::{Site, SiteId};
 pub use world::{GoalSpec, GridWorld, GridWorldBuilder, WorkflowState};

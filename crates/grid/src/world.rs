@@ -59,6 +59,10 @@ pub struct GridWorld {
     costs: Vec<f64>,
     /// Weight of monetary price relative to seconds in the cost.
     price_weight: f64,
+    /// Per-site availability: `true` means the site has failed and can
+    /// neither run programs nor take part in transfers. Data already at a
+    /// down site persists on disk but is inaccessible until recovery.
+    down: Vec<bool>,
 }
 
 impl GridWorld {
@@ -114,6 +118,54 @@ impl GridWorld {
         w
     }
 
+    /// Rebuild this world with site availability replaced by `down` (one
+    /// entry per site, `true` = failed). Operations touching a down site
+    /// become invalid, so planners running against the snapshot route
+    /// around the failure.
+    pub fn with_down(&self, down: &[bool]) -> GridWorld {
+        assert_eq!(down.len(), self.sites.len());
+        let mut w = self.clone();
+        w.down = down.to_vec();
+        w
+    }
+
+    /// Is `site` currently marked failed?
+    pub fn site_down(&self, site: SiteId) -> bool {
+        self.down[site.index()]
+    }
+
+    /// Is `op` executable in `state` under the current resource picture
+    /// (including site availability)? Same predicate [`Domain::valid_operations`]
+    /// applies to every op; exposed per-op so the coordination service can
+    /// re-check a single task after data loss without scanning all ops.
+    pub fn op_valid(&self, state: &WorkflowState, op: OpId) -> bool {
+        match self.ops[op.index()] {
+            GridOp::Run(p, s) => {
+                if self.down[s.index()] {
+                    return false;
+                }
+                let prog = &self.programs[p.index()];
+                let site = &self.sites[s.index()];
+                site.resources.satisfies(&prog.min_resources) && self.match_inputs(state, prog, s).is_some()
+            }
+            GridOp::Transfer(kind, s1, s2) => {
+                if self.down[s1.index()] || self.down[s2.index()] {
+                    return false;
+                }
+                match self.best_of_kind_at(state, kind, s1) {
+                    Some(item) => {
+                        // a transfer that would duplicate an existing copy
+                        // is invalid (keeps the branching factor honest)
+                        let mut copy = item.clone();
+                        copy.location = s2;
+                        !state.contains(&copy)
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
     /// Nominal size of a kind in GB (0 if unregistered).
     pub fn kind_size(&self, kind: Sym) -> f64 {
         self.kind_sizes.iter().find(|(k, _)| *k == kind).map_or(0.0, |&(_, s)| s)
@@ -167,6 +219,10 @@ impl GridWorld {
             s.f64(g.weight);
         }
         s.tag("price-weight").f64(self.price_weight);
+        s.tag("down");
+        for &d in &self.down {
+            s.bool(d);
+        }
         s.finish()
     }
 
@@ -274,26 +330,10 @@ impl Domain for GridWorld {
     }
 
     fn valid_operations(&self, state: &WorkflowState, out: &mut Vec<OpId>) {
-        for (i, op) in self.ops.iter().enumerate() {
-            let valid = match *op {
-                GridOp::Run(p, s) => {
-                    let prog = &self.programs[p.index()];
-                    let site = &self.sites[s.index()];
-                    site.resources.satisfies(&prog.min_resources) && self.match_inputs(state, prog, s).is_some()
-                }
-                GridOp::Transfer(kind, s1, s2) => match self.best_of_kind_at(state, kind, s1) {
-                    Some(item) => {
-                        // a transfer that would duplicate an existing copy
-                        // is invalid (keeps the branching factor honest)
-                        let mut copy = item.clone();
-                        copy.location = s2;
-                        !state.contains(&copy)
-                    }
-                    None => false,
-                },
-            };
-            if valid {
-                out.push(OpId(i as u32));
+        for i in 0..self.ops.len() {
+            let op = OpId(i as u32);
+            if self.op_valid(state, op) {
+                out.push(op);
             }
         }
     }
@@ -340,7 +380,9 @@ impl Domain for GridWorld {
             return 1.0;
         }
         let satisfied: f64 = self.goals.iter().filter(|g| self.goal_satisfied(state, g)).map(|g| g.weight).sum();
-        satisfied / total
+        // An empty f64 sum is -0.0; normalize so "nothing satisfied"
+        // renders as 0 rather than -0.
+        satisfied / total + 0.0
     }
 
     fn op_cost(&self, op: OpId) -> f64 {
@@ -457,6 +499,7 @@ impl GridWorldBuilder {
             }
         }
         let costs = compute_costs(&ops, &self.sites, &self.programs, &self.kind_sizes, self.price_weight);
+        let down = vec![false; self.sites.len()];
         GridWorld {
             ontology: self.ontology,
             sites: self.sites,
@@ -467,6 +510,7 @@ impl GridWorldBuilder {
             ops,
             costs,
             price_weight: self.price_weight,
+            down,
         }
     }
 }
@@ -564,6 +608,30 @@ mod tests {
         let xfer = w.op_id(GridOp::Transfer(raw, SiteId(0), SiteId(1))).unwrap();
         // 1 GB over 1000 Mbps = 8000/1000 = 8 s
         assert!((w.op_cost(xfer) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_site_invalidates_its_operations() {
+        let (w, raw, _) = two_site_world();
+        let xfer = w.op_id(GridOp::Transfer(raw, SiteId(0), SiteId(1))).unwrap();
+        let run = w.op_id(GridOp::Run(ProgramId(0), SiteId(1))).unwrap();
+        let mid = w.apply(&w.initial_state(), xfer);
+        assert!(w.op_valid(&mid, run));
+
+        // beta down: the run there and any transfer touching beta die
+        let dark = w.with_down(&[false, true]);
+        assert!(!dark.op_valid(&mid, run));
+        assert!(!dark.op_valid(&w.initial_state(), xfer));
+        assert!(dark.valid_ops_vec(&mid).is_empty());
+        assert!(dark.site_down(SiteId(1)));
+        assert!(!dark.site_down(SiteId(0)));
+
+        // availability is part of the planning signature (cache safety)
+        assert_ne!(w.signature(), dark.signature());
+        // recovery restores the original picture
+        let back = dark.with_down(&[false, false]);
+        assert_eq!(w.signature(), back.signature());
+        assert!(back.op_valid(&mid, run));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Property-based chaos tests for the coordinator: no seeded fault
+//! schedule, fault rate, retry policy or replanning policy may make
+//! execution hang, panic, or produce an inconsistent trace. Degradation is
+//! allowed; divergence is not.
+
+use gaplan_grid::{
+    chaos_schedule, greedy_plan, image_pipeline, Coordinator, ExecutionTrace, FaultPlan, ReplanPolicy, RetryPolicy,
+};
+use proptest::prelude::*;
+
+fn check_trace_invariants(trace: &ExecutionTrace) {
+    assert!(trace.makespan.is_finite() && trace.makespan >= 0.0, "makespan must be finite: {}", trace.makespan);
+    assert!(trace.busy_time.is_finite() && trace.busy_time >= 0.0, "busy time must be finite: {}", trace.busy_time);
+    assert!((0.0..=1.0).contains(&trace.goal_fitness), "goal fitness must stay normalized: {}", trace.goal_fitness);
+    if trace.failed {
+        assert!(!trace.reached_goal(), "a degraded trace cannot also claim the goal");
+    }
+    for task in &trace.tasks {
+        assert!(task.start <= task.end, "task {} runs backwards: {} > {}", task.name, task.start, task.end);
+        assert!(task.end <= trace.makespan + 1e-9, "task {} ends after the makespan", task.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any seeded fault schedule terminates: the coordinator either
+    /// completes the workflow or degrades to a consistent partial trace —
+    /// it never hangs (the test harness itself is the timeout) and never
+    /// reports an inconsistent result.
+    #[test]
+    fn chaos_any_seeded_fault_schedule_terminates(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.995,
+        policy_sel in 0usize..4,
+        max_retries in 0u32..5,
+        horizon in 10.0f64..200.0,
+    ) {
+        let policy = [ReplanPolicy::Never, ReplanPolicy::OnLoadChange, ReplanPolicy::OnFailure, ReplanPolicy::OnAnyChange][policy_sel];
+        let sc = image_pipeline();
+        let plan = greedy_plan(&sc.world, 6).expect("greedy plans the pipeline");
+        let mut coord = Coordinator::new(&sc.world);
+        for ev in chaos_schedule(&sc.world, seed, horizon) {
+            coord.schedule(ev);
+        }
+        coord
+            .policy(policy)
+            .fault_plan(FaultPlan::new(seed, rate))
+            .retry(RetryPolicy { max_retries, backoff: 2.0 });
+        // A deterministic replanner keeps the property about the
+        // coordinator, not the planner.
+        let replanner = |snapshot: &gaplan_grid::GridWorld| greedy_plan(snapshot, 6).unwrap_or_default();
+        let trace = coord.run(&plan, Some(&replanner));
+        check_trace_invariants(&trace);
+    }
+
+    /// The same seed replays the same execution, fault for fault.
+    #[test]
+    fn chaos_traces_are_deterministic_per_seed(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.9,
+    ) {
+        let sc = image_pipeline();
+        let plan = greedy_plan(&sc.world, 6).expect("greedy plans the pipeline");
+        let run = || {
+            let mut coord = Coordinator::new(&sc.world);
+            for ev in chaos_schedule(&sc.world, seed, 90.0) {
+                coord.schedule(ev);
+            }
+            coord.policy(ReplanPolicy::OnFailure).fault_plan(FaultPlan::new(seed, rate));
+            let replanner = |snapshot: &gaplan_grid::GridWorld| greedy_plan(snapshot, 6).unwrap_or_default();
+            coord.run(&plan, Some(&replanner))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.goal_fitness, b.goal_fitness);
+        prop_assert_eq!(a.faults_injected, b.faults_injected);
+        prop_assert_eq!(a.tasks_retried, b.tasks_retried);
+        prop_assert_eq!(a.replans, b.replans);
+        prop_assert_eq!(a.tasks.len(), b.tasks.len());
+    }
+
+    /// Fault-free chaos runs reach the goal regardless of policy: the
+    /// machinery must be inert when nothing goes wrong.
+    #[test]
+    fn chaos_zero_rate_without_failures_is_harmless(
+        seed in any::<u64>(),
+        policy_sel in 0usize..4,
+    ) {
+        let policy = [ReplanPolicy::Never, ReplanPolicy::OnLoadChange, ReplanPolicy::OnFailure, ReplanPolicy::OnAnyChange][policy_sel];
+        let sc = image_pipeline();
+        let plan = greedy_plan(&sc.world, 6).expect("greedy plans the pipeline");
+        let mut coord = Coordinator::new(&sc.world);
+        // Only the load spike from the schedule — drop the failure pair —
+        // and a zero fault rate: nothing can actually break.
+        for ev in chaos_schedule(&sc.world, seed, 90.0) {
+            if matches!(ev, gaplan_grid::ExternalEvent::LoadChange { .. }) {
+                coord.schedule(ev);
+            }
+        }
+        coord.policy(policy).fault_plan(FaultPlan::new(seed, 0.0));
+        let replanner = |snapshot: &gaplan_grid::GridWorld| greedy_plan(snapshot, 6).unwrap_or_default();
+        let trace = coord.run(&plan, Some(&replanner));
+        check_trace_invariants(&trace);
+        prop_assert!(trace.reached_goal(), "nothing failed, so the goal must be reached: {trace:?}");
+        prop_assert_eq!(trace.faults_injected, 0);
+        prop_assert_eq!(trace.tasks_retried, 0);
+    }
+}

@@ -25,6 +25,11 @@
 //! * **Simulator integration** ([`ServiceReplanner`]): adapts the service
 //!   to the grid coordinator's replanner hook, so mid-execution replans go
 //!   through the queue, cache and metrics.
+//! * **Self-healing** ([`PlanService`]): jobs run under `catch_unwind`
+//!   with a bounded panic-retry policy, a supervisor respawns worker
+//!   threads that die anyway, a full queue sheds load after an admission
+//!   timeout, and `{"cmd":"health"}` reports live workers and queue depth.
+//!   [`ProblemSpec::Chaos`] injects panics on purpose to test all of it.
 
 #![warn(missing_docs)]
 
@@ -37,7 +42,7 @@ pub mod service;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use proto::{parse_command, serve, Command};
+pub use proto::{parse_command, serve, Command, ProtoError};
 pub use replan::ServiceReplanner;
 pub use request::{BuiltProblem, GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec, SolveOutcome};
-pub use service::{PlanService, ServiceConfig, SubmitError};
+pub use service::{HealthReport, PlanService, ServiceConfig, ServiceError, SubmitError};

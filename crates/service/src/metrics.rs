@@ -21,6 +21,13 @@ pub struct Metrics {
     queue_depth: AtomicU64,
     total_wall_ms: AtomicU64,
     max_wall_ms: AtomicU64,
+    faults_injected: AtomicU64,
+    panics_caught: AtomicU64,
+    jobs_retried: AtomicU64,
+    workers_respawned: AtomicU64,
+    jobs_shed: AtomicU64,
+    replans_failed: AtomicU64,
+    workers_alive: AtomicU64,
 }
 
 impl Metrics {
@@ -80,6 +87,58 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A chaos job deliberately injected a fault (panic) into a worker.
+    pub fn on_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker caught (or died to) a panicking job.
+    pub fn on_panic(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A panicked job was re-attempted under the retry policy.
+    pub fn on_retry(&self) {
+        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The supervisor replaced a dead worker thread.
+    pub fn on_respawn(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was shed: the queue stayed full past the admission
+    /// timeout.
+    pub fn on_shed(&self) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A service-backed replan got no answer (service dead or rejecting),
+    /// as opposed to answering "no repair".
+    pub fn on_replan_failed(&self) {
+        self.replans_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker thread came up.
+    pub fn on_worker_start(&self) {
+        self.workers_alive.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker thread exited (normally or by panic).
+    pub fn on_worker_exit(&self) {
+        self.workers_alive.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current live-worker gauge.
+    pub fn workers_alive(&self) -> u64 {
+        self.workers_alive.load(Ordering::Relaxed)
+    }
+
+    /// Current queue-depth gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
     /// Consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
@@ -101,6 +160,13 @@ impl Metrics {
             total_wall_ms,
             max_wall_ms: self.max_wall_ms.load(Ordering::Relaxed),
             mean_wall_ms: if completed > 0 { total_wall_ms as f64 / completed as f64 } else { 0.0 },
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            replans_failed: self.replans_failed.load(Ordering::Relaxed),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,6 +202,20 @@ pub struct MetricsSnapshot {
     pub max_wall_ms: u64,
     /// `total_wall_ms / jobs_completed`, 0 before the first completion.
     pub mean_wall_ms: f64,
+    /// Faults deliberately injected by chaos jobs.
+    pub faults_injected: u64,
+    /// Job panics a worker caught (or died to).
+    pub panics_caught: u64,
+    /// Panicked jobs re-attempted under the retry policy.
+    pub jobs_retried: u64,
+    /// Dead worker threads the supervisor replaced.
+    pub workers_respawned: u64,
+    /// Submissions shed after the admission timeout.
+    pub jobs_shed: u64,
+    /// Service-backed replans that got no answer (dead/rejecting service).
+    pub replans_failed: u64,
+    /// Worker threads currently alive (gauge).
+    pub workers_alive: u64,
 }
 
 #[cfg(test)]

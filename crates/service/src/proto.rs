@@ -12,9 +12,11 @@
 //!
 //! Each output line is one JSON object: a [`PlanResponse`] for a finished
 //! job, `{"ack":"cancel","id":N,"found":bool}` for a cancel,
-//! `{"metrics":{...}}` for a metrics query, or `{"error":"..."}` for an
-//! unparseable line. Responses are written as jobs finish — generally out
-//! of submission order; match them up by `id`.
+//! `{"metrics":{...}}` for a metrics query, `{"health":{...}}` for a
+//! health probe, or `{"status":"Error","error":"..."}` (with the request
+//! `id` whenever one was readable) for an unparseable line. Responses are
+//! written as jobs finish — generally out of submission order; match them
+//! up by `id`.
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc::channel;
@@ -23,7 +25,7 @@ use serde::de::Deserialize;
 use serde::json::{parse, Value};
 
 use crate::request::{JobStatus, PlanRequest, PlanResponse};
-use crate::service::{PlanService, ServiceConfig};
+use crate::service::{PlanService, ServiceConfig, SubmitError};
 
 /// A parsed input line.
 #[derive(Debug, Clone)]
@@ -37,32 +39,61 @@ pub enum Command {
     },
     /// Ask for a metrics snapshot.
     Metrics,
+    /// Ask for a liveness report (workers alive, queue depth).
+    Health,
     /// Drain and stop the service, then exit the serve loop.
     Shutdown,
 }
 
-/// Parse one protocol line. Errors are human-readable messages that the
-/// serve loop reports as `{"error":"..."}`.
-pub fn parse_command(line: &str) -> Result<Command, String> {
-    let value = parse(line).map_err(|e| e.to_string())?;
+/// A protocol parse failure: the human-readable message plus the request
+/// `id` whenever the line carried a readable one, so clients can correlate
+/// the error with their request even when the command itself was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// `id` field of the offending line, when present and numeric.
+    pub id: Option<u64>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(id: Option<u64>, message: impl Into<String>) -> Self {
+        ProtoError { id, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Parse one protocol line. Errors carry the request id when one was
+/// readable; the serve loop reports them as
+/// `{"id":N,"status":"Error","error":"..."}`.
+pub fn parse_command(line: &str) -> Result<Command, ProtoError> {
+    let value = parse(line).map_err(|e| ProtoError::new(None, e.to_string()))?;
+    // Best-effort id extraction up front, so even a bad command still gets
+    // a correlatable error response.
+    let id = value.get("id").and_then(|v| u64::deserialize_json(v).ok());
     let Some(cmd) = value.get("cmd").and_then(Value::as_str) else {
-        return Err("missing string field `cmd`".to_string());
+        return Err(ProtoError::new(id, "missing string field `cmd`"));
     };
     match cmd {
         "plan" => {
-            let request = PlanRequest::deserialize_json(&value).map_err(|e| e.to_string())?;
+            let request = PlanRequest::deserialize_json(&value).map_err(|e| ProtoError::new(id, e.to_string()))?;
             Ok(Command::Plan(Box::new(request)))
         }
-        "cancel" => {
-            let id = match value.get("id") {
-                Some(v) => u64::deserialize_json(v).map_err(|e| e.to_string())?,
-                None => return Err("cancel: missing field `id`".to_string()),
-            };
-            Ok(Command::Cancel { id })
-        }
+        "cancel" => match id {
+            Some(id) => Ok(Command::Cancel { id }),
+            None => Err(ProtoError::new(None, "cancel: missing field `id`")),
+        },
         "metrics" => Ok(Command::Metrics),
+        "health" => Ok(Command::Health),
         "shutdown" => Ok(Command::Shutdown),
-        other => Err(format!("unknown cmd `{other}`")),
+        other => Err(ProtoError::new(id, format!("unknown cmd `{other}`"))),
     }
 }
 
@@ -72,9 +103,17 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// An error line that always carries a `status` and, when known, the `id`
+/// the client needs to correlate the failure.
+fn error_line(id: Option<u64>, message: &str) -> String {
+    match id {
+        Some(id) => format!(r#"{{"id":{id},"status":"Error","error":{}}}"#, json_escape(message)),
+        None => format!(r#"{{"status":"Error","error":{}}}"#, json_escape(message)),
+    }
+}
+
 fn response_line(resp: &PlanResponse) -> String {
-    serde_json::to_string(resp)
-        .unwrap_or_else(|e| format!(r#"{{"error":{}}}"#, json_escape(&format!("serialize response: {e}"))))
+    serde_json::to_string(resp).unwrap_or_else(|e| error_line(Some(resp.id), &format!("serialize response: {e}")))
 }
 
 /// Run the service over `reader`/`writer` until EOF or a `shutdown`
@@ -85,34 +124,28 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
-    let (service, responses) = PlanService::start(cfg);
+    let (service, responses) = PlanService::start(cfg).map_err(std::io::Error::from)?;
     let (out_tx, out_rx) = channel::<String>();
 
-    let writer_thread = std::thread::Builder::new()
-        .name("gaplan-serve-writer".to_string())
-        .spawn(move || {
-            let mut writer = writer;
-            for line in out_rx {
-                if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
-                    break; // reader side of the pipe went away
-                }
+    let writer_thread = std::thread::Builder::new().name("gaplan-serve-writer".to_string()).spawn(move || {
+        let mut writer = writer;
+        for line in out_rx {
+            if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+                break; // reader side of the pipe went away
             }
-        })
-        .expect("spawn writer thread");
+        }
+    })?;
 
     // Forward worker responses into the output stream.
     let forwarder = {
         let out_tx = out_tx.clone();
-        std::thread::Builder::new()
-            .name("gaplan-serve-forwarder".to_string())
-            .spawn(move || {
-                for resp in responses {
-                    if out_tx.send(response_line(&resp)).is_err() {
-                        break;
-                    }
+        std::thread::Builder::new().name("gaplan-serve-forwarder".to_string()).spawn(move || {
+            for resp in responses {
+                if out_tx.send(response_line(&resp)).is_err() {
+                    break;
                 }
-            })
-            .expect("spawn forwarder thread")
+            }
+        })?
     };
 
     for line in reader.lines() {
@@ -124,7 +157,11 @@ where
             Ok(Command::Plan(request)) => {
                 let id = request.id;
                 if let Err(err) = service.submit(*request) {
-                    let resp = PlanResponse::failure(id, JobStatus::Rejected, err.to_string());
+                    let status = match err {
+                        SubmitError::Shed => JobStatus::Shed,
+                        _ => JobStatus::Rejected,
+                    };
+                    let resp = PlanResponse::failure(id, status, err.to_string());
                     let _ = out_tx.send(response_line(&resp));
                 }
             }
@@ -137,9 +174,14 @@ where
                 let body = serde_json::to_string(&snapshot).unwrap_or_else(|_| "null".to_string());
                 let _ = out_tx.send(format!(r#"{{"metrics":{body}}}"#));
             }
+            Ok(Command::Health) => {
+                let report = service.health();
+                let body = serde_json::to_string(&report).unwrap_or_else(|_| "null".to_string());
+                let _ = out_tx.send(format!(r#"{{"health":{body}}}"#));
+            }
             Ok(Command::Shutdown) => break,
-            Err(msg) => {
-                let _ = out_tx.send(format!(r#"{{"error":{}}}"#, json_escape(&msg)));
+            Err(err) => {
+                let _ = out_tx.send(error_line(err.id, &err.message));
             }
         }
     }
@@ -168,6 +210,7 @@ mod tests {
         }
         assert!(matches!(parse_command(r#"{"cmd":"cancel","id":9}"#), Ok(Command::Cancel { id: 9 })));
         assert!(matches!(parse_command(r#"{"cmd":"metrics"}"#), Ok(Command::Metrics)));
+        assert!(matches!(parse_command(r#"{"cmd":"health"}"#), Ok(Command::Health)));
         assert!(matches!(parse_command(r#"{"cmd":"shutdown"}"#), Ok(Command::Shutdown)));
     }
 
@@ -180,12 +223,30 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_the_request_id_when_readable() {
+        // every fault path that can know the id must preserve it
+        assert_eq!(parse_command(r#"{"id":7}"#).unwrap_err().id, Some(7));
+        assert_eq!(parse_command(r#"{"cmd":"frobnicate","id":9}"#).unwrap_err().id, Some(9));
+        assert_eq!(parse_command(r#"{"cmd":"plan","id":3}"#).unwrap_err().id, Some(3));
+        assert_eq!(parse_command("not json").unwrap_err().id, None);
+        // and the rendered line includes both id and an Error status
+        let err = parse_command(r#"{"cmd":"frobnicate","id":9}"#).unwrap_err();
+        let line = error_line(err.id, &err.message);
+        assert!(line.contains(r#""id":9"#), "{line}");
+        assert!(line.contains(r#""status":"Error""#), "{line}");
+    }
+
+    #[test]
     fn serve_handles_a_session_end_to_end() {
         let input = concat!(
             r#"{"cmd":"plan","id":1,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
             "\n",
             "garbage line\n",
+            r#"{"cmd":"frobnicate","id":42}"#,
+            "\n",
             r#"{"cmd":"metrics"}"#,
+            "\n",
+            r#"{"cmd":"health"}"#,
             "\n",
             r#"{"cmd":"shutdown"}"#,
             "\n",
@@ -202,14 +263,17 @@ mod tests {
             }
         }
         serve(
-            ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 4 },
+            ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 4, ..ServiceConfig::default() },
             input.as_bytes(),
             SharedWriter(out.clone()),
         )
         .unwrap();
         let text = String::from_utf8(out.lock().clone()).unwrap();
         assert!(text.contains(r#""error":"#), "garbage line should yield an error: {text}");
+        assert!(text.contains(r#""id":42,"status":"Error""#), "bad command must echo its id: {text}");
         assert!(text.contains(r#""metrics":"#), "metrics line missing: {text}");
+        assert!(text.contains(r#""health":"#), "health line missing: {text}");
+        assert!(text.contains(r#""workers_alive":"#), "health must report live workers: {text}");
         assert!(text.contains(r#""id":1"#), "job response missing: {text}");
         assert!(text.contains(r#""status":"Done""#), "job should finish: {text}");
     }

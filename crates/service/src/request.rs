@@ -46,6 +46,17 @@ pub enum ProblemSpec {
         /// World source text.
         text: String,
     },
+    /// Fault-injection job for chaos testing the service itself: panics on
+    /// the first `fail_attempts` execution attempts, then succeeds
+    /// trivially. With `kill_worker` the panic is raised *outside* the
+    /// worker's `catch_unwind`, killing the worker thread — exercising the
+    /// supervisor's respawn path.
+    Chaos {
+        /// Attempts (0-based) that panic before one succeeds.
+        fail_attempts: u32,
+        /// Panic outside the catch, taking the whole worker thread down.
+        kill_worker: bool,
+    },
 }
 
 impl ProblemSpec {
@@ -78,6 +89,9 @@ impl ProblemSpec {
                 let world = parse_grid(text).map_err(|e| e.to_string())?;
                 Ok(BuiltProblem::Grid(Box::new(world)))
             }
+            ProblemSpec::Chaos { fail_attempts, kill_worker } => {
+                Ok(BuiltProblem::Chaos { fail_attempts: *fail_attempts, kill_worker: *kill_worker })
+            }
         }
     }
 }
@@ -105,6 +119,14 @@ pub enum BuiltProblem {
     Strips(Box<StripsProblem>),
     /// Parsed (or in-process) grid world.
     Grid(Box<GridWorld>),
+    /// Fault-injection job (see [`ProblemSpec::Chaos`]); handled specially
+    /// by the worker, never cached.
+    Chaos {
+        /// Attempts (0-based) that panic before one succeeds.
+        fail_attempts: u32,
+        /// Panic outside the catch, killing the worker thread.
+        kill_worker: bool,
+    },
 }
 
 impl BuiltProblem {
@@ -127,6 +149,11 @@ impl BuiltProblem {
             }
             BuiltProblem::Strips(p) => p.signature(),
             BuiltProblem::Grid(w) => w.signature(),
+            BuiltProblem::Chaos { fail_attempts, kill_worker } => {
+                let mut s = SigBuilder::new();
+                s.tag("chaos-v1").u32(*fail_attempts).bool(*kill_worker);
+                s.finish()
+            }
         }
     }
 
@@ -149,6 +176,7 @@ impl BuiltProblem {
                 cfg.cost_fitness = CostFitnessMode::InverseCost;
                 cfg
             }
+            BuiltProblem::Chaos { .. } => base_config(1),
         }
     }
 
@@ -160,6 +188,16 @@ impl BuiltProblem {
             BuiltProblem::Tile { domain, .. } => run_on(domain, cfg, budget),
             BuiltProblem::Strips(p) => run_on(p.as_ref(), cfg, budget),
             BuiltProblem::Grid(w) => run_on(w.as_ref(), cfg, budget),
+            // Attempt accounting lives in the worker (`run_job`); reaching
+            // the generic path means the injected fault budget is spent.
+            BuiltProblem::Chaos { .. } => SolveOutcome {
+                solved: true,
+                goal_fitness: 1.0,
+                plan_names: Vec::new(),
+                plan_ops: Vec::new(),
+                total_generations: 0,
+                stopped: None,
+            },
         }
     }
 }
@@ -283,7 +321,11 @@ pub enum JobStatus {
     Cancelled,
     /// Never ran: queue full or duplicate id.
     Rejected,
-    /// Never ran: the problem failed to build (parse/validation error).
+    /// Never ran: shed because the queue stayed full past the admission
+    /// timeout (the load-shedding path).
+    Shed,
+    /// The problem failed to build (parse/validation error), or the job
+    /// panicked past its retry budget.
     Error,
 }
 

@@ -3,17 +3,28 @@
 //! signature-keyed plan cache and live metrics.
 //!
 //! Concurrency model: `submit` pushes a job onto a bounded
-//! [`std::sync::mpsc::sync_channel`] (never blocking — a full queue rejects
-//! the job so callers get backpressure instead of a hang). Workers share
-//! the receiving end behind a mutex, run one job at a time to completion,
-//! and send the [`PlanResponse`] to the job's reply channel. Inside a job
-//! the GA is free to use rayon; the service itself uses only std threads
-//! and channels.
+//! [`std::sync::mpsc::sync_channel`] (never blocking past the admission
+//! timeout — a full queue rejects or sheds the job so callers get
+//! backpressure instead of a hang). Workers share the receiving end behind
+//! a mutex, run one job at a time to completion, and send the
+//! [`PlanResponse`] to the job's reply channel. Inside a job the GA is free
+//! to use rayon; the service itself uses only std threads and channels.
+//!
+//! Self-healing: each job runs under `catch_unwind`, so a panicking
+//! decode/domain yields an `Error` response (after the configured number of
+//! retries) instead of a dead worker. If a panic does escape — e.g. a
+//! worker-killing chaos job — a reply guard still answers the client while
+//! the thread dies, and a supervisor thread respawns the worker. Every
+//! fault is counted in [`Metrics`] and visible via [`PlanService::health`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
 
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
@@ -35,19 +46,37 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Plan-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// How long a submission may wait for queue space before it is *shed*
+    /// ([`SubmitError::Shed`]). Zero (the default) keeps the historical
+    /// behavior: a full queue rejects immediately with
+    /// [`SubmitError::QueueFull`].
+    pub admission_timeout: Duration,
+    /// How many times a *panicking* job is re-attempted before it is
+    /// answered with an `Error` response. Retrying is cheap insurance
+    /// against transient poisoning; deterministic panics just fail
+    /// `max_job_retries + 1` times.
+    pub max_job_retries: u32,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 128 }
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            admission_timeout: Duration::ZERO,
+            max_job_retries: 1,
+        }
     }
 }
 
 /// Why a submission was turned away without running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is at capacity.
+    /// The bounded queue is at capacity (no admission timeout configured).
     QueueFull,
+    /// The queue stayed full past the admission timeout — load shedding.
+    Shed,
     /// Another in-flight job already uses this id.
     DuplicateId,
     /// The service has shut down.
@@ -58,10 +87,57 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::Shed => write!(f, "shed: queue full past admission timeout"),
             SubmitError::DuplicateId => write!(f, "duplicate job id"),
             SubmitError::ShutDown => write!(f, "service shut down"),
         }
     }
+}
+
+/// Fatal service-level failures (as opposed to per-job outcomes).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The OS refused to spawn a service thread.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Spawn(e) => write!(f, "spawn service thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Spawn(e) => Some(e),
+        }
+    }
+}
+
+impl From<ServiceError> for std::io::Error {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Spawn(io) => io,
+        }
+    }
+}
+
+/// Point-in-time liveness report (the `{"cmd":"health"}` answer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Worker threads currently alive.
+    pub workers_alive: u64,
+    /// Worker threads the service was configured with.
+    pub workers_configured: usize,
+    /// Jobs queued but not yet dequeued by a worker.
+    pub queue_depth: u64,
+    /// Jobs queued or running (cancellable ids).
+    pub active_jobs: usize,
+    /// Dead workers replaced by the supervisor so far.
+    pub workers_respawned: u64,
 }
 
 /// What a worker plans: a wire-level spec, or an in-process grid world with
@@ -81,30 +157,37 @@ struct Job {
     reply: Sender<PlanResponse>,
 }
 
-/// State shared between the service handle and its workers.
+/// State shared between the service handle, its workers and the supervisor.
 struct Shared {
     cache: Mutex<PlanCache>,
     metrics: Metrics,
     /// Cancel tokens of queued + running jobs, keyed by job id. Populated
     /// at submit time so a job can be cancelled while still queued.
     active: Mutex<FxHashMap<u64, CancelToken>>,
+    /// Set (before the queue closes) when the service is shutting down, so
+    /// the supervisor stops respawning workers that exit on purpose.
+    shutting_down: AtomicBool,
+    /// Panic retries per job.
+    max_job_retries: u32,
 }
 
 /// Handle to a running planning service. Dropping it (or calling
 /// [`PlanService::shutdown`]) closes the queue and joins the workers.
 pub struct PlanService {
     tx: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
+    workers_configured: usize,
+    admission_timeout: Duration,
     /// Default reply channel: responses for [`PlanService::submit`] jobs.
     responses: Sender<PlanResponse>,
 }
 
 impl PlanService {
-    /// Start the worker pool. Returns the service handle plus the receiver
-    /// on which responses to [`PlanService::submit`] jobs arrive —
-    /// generally *not* in submission order.
-    pub fn start(cfg: ServiceConfig) -> (PlanService, Receiver<PlanResponse>) {
+    /// Start the worker pool and its supervisor. Returns the service handle
+    /// plus the receiver on which responses to [`PlanService::submit`] jobs
+    /// arrive — generally *not* in submission order.
+    pub fn start(cfg: ServiceConfig) -> Result<(PlanService, Receiver<PlanResponse>), ServiceError> {
         let workers = cfg.workers.max(1);
         let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity.max(1));
         let (responses, response_rx) = std::sync::mpsc::channel();
@@ -112,19 +195,31 @@ impl PlanService {
             cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
             metrics: Metrics::new(),
             active: Mutex::new(FxHashMap::default()),
+            shutting_down: AtomicBool::new(false),
+            max_job_retries: cfg.max_job_retries,
         });
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gaplan-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        (PlanService { tx: Some(tx), workers: handles, shared, responses }, response_rx)
+            .map(|i| spawn_worker(i, &rx, &shared))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ServiceError::Spawn)?;
+        let supervisor = {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gaplan-supervisor".to_string())
+                .spawn(move || supervisor_loop(handles, &rx, &shared))
+                .map_err(ServiceError::Spawn)?
+        };
+        let service = PlanService {
+            tx: Some(tx),
+            supervisor: Some(supervisor),
+            shared,
+            workers_configured: workers,
+            admission_timeout: cfg.admission_timeout,
+            responses,
+        };
+        Ok((service, response_rx))
     }
 
     /// Submit a wire-level request; its response arrives on the receiver
@@ -188,18 +283,36 @@ impl PlanService {
             active.insert(job.id, token.clone());
         }
         let id = job.id;
-        match tx.try_send(job) {
-            Ok(()) => {
-                self.shared.metrics.on_submit();
-                Ok(token)
-            }
-            Err(err) => {
-                self.shared.active.lock().remove(&id);
-                self.shared.metrics.on_reject();
-                Err(match err {
-                    TrySendError::Full(_) => SubmitError::QueueFull,
-                    TrySendError::Disconnected(_) => SubmitError::ShutDown,
-                })
+        let mut job = job;
+        let deadline = Instant::now() + self.admission_timeout;
+        loop {
+            match tx.try_send(job) {
+                Ok(()) => {
+                    self.shared.metrics.on_submit();
+                    return Ok(token);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.shared.active.lock().remove(&id);
+                    self.shared.metrics.on_reject();
+                    return Err(SubmitError::ShutDown);
+                }
+                Err(TrySendError::Full(returned)) => {
+                    if self.admission_timeout.is_zero() {
+                        self.shared.active.lock().remove(&id);
+                        self.shared.metrics.on_reject();
+                        return Err(SubmitError::QueueFull);
+                    }
+                    if Instant::now() >= deadline {
+                        // Load shedding: the queue stayed full for the whole
+                        // admission window, so turn the job away rather than
+                        // letting latency grow without bound.
+                        self.shared.active.lock().remove(&id);
+                        self.shared.metrics.on_shed();
+                        return Err(SubmitError::Shed);
+                    }
+                    job = returned;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
             }
         }
     }
@@ -222,6 +335,24 @@ impl PlanService {
         self.shared.metrics.snapshot()
     }
 
+    /// Point-in-time liveness report: workers alive vs configured, queue
+    /// depth, in-flight job count, respawn count.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            workers_alive: self.shared.metrics.workers_alive(),
+            workers_configured: self.workers_configured,
+            queue_depth: self.shared.metrics.queue_depth(),
+            active_jobs: self.shared.active.lock().len(),
+            workers_respawned: self.shared.metrics.snapshot().workers_respawned,
+        }
+    }
+
+    /// Shared metrics hook for in-crate adapters (e.g. the service-backed
+    /// replanner reporting a dead service).
+    pub(crate) fn metrics_ref(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
     /// Number of plans currently cached.
     pub fn cache_len(&self) -> usize {
         self.shared.cache.lock().len()
@@ -234,9 +365,12 @@ impl PlanService {
     }
 
     fn shutdown_in_place(&mut self) {
+        // Order matters: mark intent first so the supervisor does not
+        // mistake draining workers for crashed ones and respawn them.
+        self.shared.shutting_down.store(true, Ordering::Release);
         drop(self.tx.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -244,6 +378,94 @@ impl PlanService {
 impl Drop for PlanService {
     fn drop(&mut self) {
         self.shutdown_in_place();
+    }
+}
+
+fn spawn_worker(index: usize, rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
+    let rx = Arc::clone(rx);
+    let shared = Arc::clone(shared);
+    // Count the worker from spawn time, not from when the OS first
+    // schedules the thread, so an immediate health() sees the full pool.
+    // A failed spawn drops the guard and the gauge rolls back.
+    let alive = AliveGuard::new(Arc::clone(&shared));
+    std::thread::Builder::new().name(format!("gaplan-worker-{index}")).spawn(move || {
+        let _alive = alive;
+        worker_loop(&rx, &shared);
+    })
+}
+
+/// Keeps the live-worker gauge honest: decrements on *any* thread exit,
+/// including an unwinding panic.
+struct AliveGuard(Arc<Shared>);
+
+impl AliveGuard {
+    fn new(shared: Arc<Shared>) -> Self {
+        shared.metrics.on_worker_start();
+        AliveGuard(shared)
+    }
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.metrics.on_worker_exit();
+    }
+}
+
+/// Answers the client and clears the active entry if a panic escapes the
+/// worker loop (e.g. a worker-killing chaos job): the thread dies, the
+/// request does not hang.
+struct ReplyGuard<'s> {
+    id: u64,
+    reply: Sender<PlanResponse>,
+    shared: &'s Shared,
+}
+
+impl Drop for ReplyGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.metrics.on_panic();
+            self.shared.active.lock().remove(&self.id);
+            let _ = self.reply.send(PlanResponse::failure(
+                self.id,
+                JobStatus::Error,
+                "worker thread killed by panic while executing this job",
+            ));
+        }
+    }
+}
+
+/// Watches the worker pool, reaping and respawning any thread that died
+/// outside an orderly shutdown. Joins the pool when the service drains.
+fn supervisor_loop(mut handles: Vec<JoinHandle<()>>, rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    let mut next_index = handles.len();
+    while !shared.shutting_down.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+        for slot in handles.iter_mut() {
+            if !slot.is_finished() || shared.shutting_down.load(Ordering::Acquire) {
+                continue;
+            }
+            // A worker exited while the queue is still open: it panicked.
+            // Replace it so capacity recovers (respawn failures leave the
+            // dead handle in place to be retried next round).
+            if let Ok(fresh) = spawn_worker(next_index, rx, shared) {
+                next_index += 1;
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join();
+                shared.metrics.on_respawn();
+            }
+        }
+    }
+    // Drain phase: the submit side is gone, so a fresh worker exits as soon
+    // as the queue is empty. A worker that died panicking may leave queued
+    // jobs stranded; replace it so every accepted job is still answered.
+    for handle in handles {
+        if handle.join().is_err() {
+            if let Ok(drainer) = spawn_worker(next_index, rx, shared) {
+                next_index += 1;
+                shared.metrics.on_respawn();
+                let _ = drainer.join();
+            }
+        }
     }
 }
 
@@ -255,16 +477,49 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
             Err(_) => break, // queue closed and drained
         };
         shared.metrics.on_dequeue();
-        let id = job.id;
-        let reply = job.reply.clone();
-        let response = run_job(job, shared);
-        shared.active.lock().remove(&id);
+        let _guard = ReplyGuard { id: job.id, reply: job.reply.clone(), shared };
+        if let JobProblem::Spec(ProblemSpec::Chaos { kill_worker: true, .. }) = &job.problem {
+            shared.metrics.on_fault_injected();
+            panic!("chaos job {} killed this worker on request", job.id);
+        }
+        let mut response = PlanResponse::failure(job.id, JobStatus::Error, "job never produced a response");
+        for attempt in 0..=shared.max_job_retries {
+            match catch_unwind(AssertUnwindSafe(|| run_job(&job, shared, attempt))) {
+                Ok(resp) => {
+                    response = resp;
+                    break;
+                }
+                Err(payload) => {
+                    shared.metrics.on_panic();
+                    if attempt < shared.max_job_retries {
+                        shared.metrics.on_retry();
+                        continue;
+                    }
+                    shared.metrics.on_error();
+                    response = PlanResponse::failure(
+                        job.id,
+                        JobStatus::Error,
+                        format!("job panicked on all {} attempts: {}", attempt + 1, panic_message(payload.as_ref())),
+                    );
+                }
+            }
+        }
+        shared.active.lock().remove(&job.id);
         // A dropped reply receiver just discards the response.
-        let _ = reply.send(response);
+        let _ = job.reply.send(response);
     }
 }
 
-fn run_job(job: Job, shared: &Shared) -> PlanResponse {
+/// Human-readable panic payload (panics carry `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
     let (built, cfg) = match &job.problem {
         JobProblem::Spec(spec) => match spec.build() {
             Ok(built) => {
@@ -284,6 +539,31 @@ fn run_job(job: Job, shared: &Shared) -> PlanResponse {
         },
         JobProblem::Grid(world, cfg) => (crate::request::BuiltProblem::Grid(world.clone()), cfg.as_ref().clone()),
     };
+
+    if let crate::request::BuiltProblem::Chaos { fail_attempts, .. } = &built {
+        // Injected fault: panic until the configured attempt, then succeed
+        // trivially. Handled before the cache so a cached success can never
+        // swallow a scheduled fault.
+        if attempt < *fail_attempts {
+            shared.metrics.on_fault_injected();
+            panic!("chaos job {}: injected panic on attempt {attempt}", job.id);
+        }
+        let wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+        shared.metrics.on_complete(wall_ms, true);
+        return PlanResponse {
+            id: job.id,
+            status: JobStatus::Done,
+            solved: true,
+            goal_fitness: 1.0,
+            plan: Vec::new(),
+            plan_ops: Vec::new(),
+            plan_len: 0,
+            total_generations: 0,
+            wall_ms,
+            cache_hit: false,
+            error: None,
+        };
+    }
 
     let key = PlanCache::key(built.signature(), cfg.signature());
     if let Some(hit) = shared.cache.lock().get(key) {
@@ -371,10 +651,27 @@ mod tests {
         }
     }
 
+    /// Spin until `cond` holds, up to `ms` milliseconds.
+    fn wait_until(ms: u64, cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(ms);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
     #[test]
     fn submit_runs_and_responds() {
-        let (service, responses) =
-            PlanService::start(ServiceConfig { workers: 2, queue_capacity: 8, cache_capacity: 8 });
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
         service.submit(tiny_request(1)).unwrap();
         let resp = responses.recv().unwrap();
         assert_eq!(resp.id, 1);
@@ -389,8 +686,13 @@ mod tests {
 
     #[test]
     fn identical_resubmission_hits_cache() {
-        let (service, responses) =
-            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 8, cache_capacity: 8 });
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
         service.submit(tiny_request(1)).unwrap();
         let first = responses.recv().unwrap();
         assert!(!first.cache_hit);
@@ -404,8 +706,13 @@ mod tests {
 
     #[test]
     fn duplicate_inflight_id_is_rejected() {
-        let (service, responses) =
-            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 8, cache_capacity: 0 });
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
         // Stall the single worker with a long job so id 1 stays active.
         let mut big = tiny_request(1);
         big.problem = ProblemSpec::Hanoi { disks: 10 };
@@ -420,8 +727,13 @@ mod tests {
 
     #[test]
     fn full_queue_rejects() {
-        let (service, responses) =
-            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 0 });
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
         // One slow job occupies the worker; the queue holds at most one
         // more, so repeated submission must eventually bounce.
         let mut first = tiny_request(1);
@@ -449,8 +761,13 @@ mod tests {
 
     #[test]
     fn cancelling_a_running_job_returns_cancelled_with_plan() {
-        let (service, responses) =
-            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 4 });
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 4,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
         let mut req = tiny_request(1);
         req.problem = ProblemSpec::Hanoi { disks: 12 };
         req.ga = None;
@@ -466,8 +783,143 @@ mod tests {
 
     #[test]
     fn unknown_cancel_id_reports_not_found() {
-        let (service, _responses) = PlanService::start(ServiceConfig::default());
+        let (service, _responses) = PlanService::start(ServiceConfig::default()).unwrap();
         assert!(!service.cancel(999));
+        service.shutdown();
+    }
+
+    fn chaos_request(id: u64, fail_attempts: u32, kill_worker: bool) -> PlanRequest {
+        PlanRequest { id, problem: ProblemSpec::Chaos { fail_attempts, kill_worker }, deadline_ms: None, ga: None }
+    }
+
+    #[test]
+    fn chaos_panicking_job_yields_error_and_service_survives() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            max_job_retries: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // fails every attempt: retry budget exhausts, response is an error
+        service.submit(chaos_request(1, u32::MAX, false)).unwrap();
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.id, 1);
+        assert_eq!(resp.status, JobStatus::Error);
+        assert!(resp.error.as_deref().unwrap_or("").contains("panicked"), "{resp:?}");
+        // the worker survived the catch; ordinary jobs still run
+        service.submit(tiny_request(2)).unwrap();
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.id, 2);
+        assert_eq!(resp.status, JobStatus::Done);
+        let m = service.metrics();
+        assert_eq!(m.panics_caught, 2, "both attempts panicked: {m:?}");
+        assert_eq!(m.jobs_retried, 1);
+        assert_eq!(m.faults_injected, 2);
+        assert_eq!(m.workers_respawned, 0, "caught panics must not kill the worker");
+        service.shutdown();
+    }
+
+    #[test]
+    fn chaos_transient_panic_recovers_on_retry() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            max_job_retries: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // fails only attempt 0; the first retry succeeds
+        service.submit(chaos_request(5, 1, false)).unwrap();
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.status, JobStatus::Done, "{resp:?}");
+        assert!(resp.solved);
+        let m = service.metrics();
+        assert_eq!(m.panics_caught, 1);
+        assert_eq!(m.jobs_retried, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn chaos_killed_worker_is_respawned_and_service_answers() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        assert!(wait_until(2000, || service.health().workers_alive == 1), "worker never came up");
+        service.submit(chaos_request(1, 0, true)).unwrap();
+        // the dying worker's reply guard still answers the client
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.id, 1);
+        assert_eq!(resp.status, JobStatus::Error);
+        // the supervisor replaces the dead thread
+        assert!(
+            wait_until(2000, || service.metrics().workers_respawned >= 1 && service.health().workers_alive == 1),
+            "supervisor never respawned the worker: {:?}",
+            service.metrics()
+        );
+        // and the service keeps answering new jobs
+        service.submit(tiny_request(2)).unwrap();
+        let resp = responses.recv().unwrap();
+        assert_eq!(resp.id, 2);
+        assert_eq!(resp.status, JobStatus::Done);
+        let m = service.metrics();
+        assert!(m.panics_caught >= 1, "{m:?}");
+        assert!(m.workers_respawned >= 1, "{m:?}");
+        assert!(m.faults_injected >= 1, "{m:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn chaos_admission_timeout_sheds_instead_of_rejecting() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            admission_timeout: Duration::from_millis(40),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // a slow job pins the worker; another fills the one queue slot
+        let mut slow = tiny_request(1);
+        slow.problem = ProblemSpec::Hanoi { disks: 10 };
+        slow.ga = None;
+        service.submit(slow).unwrap();
+        let mut queued_one = false;
+        let mut shed = None;
+        for id in 2..=6 {
+            match service.submit(tiny_request(id)) {
+                Ok(_) => queued_one = true,
+                Err(err) => {
+                    shed = Some(err);
+                    break;
+                }
+            }
+        }
+        assert!(queued_one, "one job should fit in the queue");
+        assert_eq!(shed, Some(SubmitError::Shed), "full queue past the timeout must shed");
+        assert!(service.metrics().jobs_shed >= 1);
+        for id in 1..=6 {
+            service.cancel(id);
+        }
+        drop(responses);
+        service.shutdown();
+    }
+
+    #[test]
+    fn health_reports_live_workers_and_queue() {
+        let (service, _responses) = PlanService::start(ServiceConfig::default()).unwrap();
+        assert!(wait_until(2000, || service.health().workers_alive == 2), "{:?}", service.health());
+        let h = service.health();
+        assert_eq!(h.workers_configured, 2);
+        assert_eq!(h.queue_depth, 0);
+        assert_eq!(h.active_jobs, 0);
+        assert_eq!(h.workers_respawned, 0);
         service.shutdown();
     }
 }

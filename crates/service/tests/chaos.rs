@@ -1,0 +1,112 @@
+//! End-to-end chaos tests over the wire protocol: a client that injects
+//! panics mid-job must get a correlatable error line back, and the service
+//! must keep answering afterwards — through worker retries, a worker
+//! killed outright, and the supervisor's respawn.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gaplan_service::{serve, PlanService, ProblemSpec, ServiceConfig};
+
+/// A `Write` target the test can inspect after `serve` returns.
+#[derive(Clone, Default)]
+struct SharedWriter(Arc<parking_lot::Mutex<Vec<u8>>>);
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn run_session(cfg: ServiceConfig, input: &str) -> Vec<String> {
+    let out = SharedWriter::default();
+    serve(cfg, input.as_bytes(), out.clone()).expect("serve session completes");
+    let text = String::from_utf8(out.0.lock().clone()).expect("utf8 output");
+    text.lines().map(str::to_string).collect()
+}
+
+fn line_for(lines: &[String], id: u64) -> String {
+    let needle = format!("\"id\":{id}");
+    lines.iter().find(|l| l.contains(&needle)).unwrap_or_else(|| panic!("no response for id {id} in {lines:?}")).clone()
+}
+
+#[test]
+fn chaos_panicking_job_gets_an_error_line_and_later_jobs_succeed() {
+    // Job 1 panics on every attempt; jobs 2 and 3 are real planning work.
+    let input = concat!(
+        r#"{"cmd":"plan","id":1,"problem":{"Chaos":{"fail_attempts":4294967295,"kill_worker":false}}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":2,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":3,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
+        "\n",
+        r#"{"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let lines = run_session(
+        ServiceConfig { workers: 2, queue_capacity: 8, cache_capacity: 8, ..ServiceConfig::default() },
+        input,
+    );
+    let err = line_for(&lines, 1);
+    assert!(err.contains(r#""status":"Error""#), "panicking job must answer with an error: {err}");
+    assert!(err.contains("panic"), "the error should say what happened: {err}");
+    assert!(line_for(&lines, 2).contains(r#""status":"Done""#), "{lines:?}");
+    assert!(line_for(&lines, 3).contains(r#""status":"Done""#), "{lines:?}");
+}
+
+#[test]
+fn chaos_killed_worker_is_respawned_and_the_session_continues() {
+    // Job 1 kills its worker thread outright (the panic escapes the retry
+    // loop by design). The single-worker service must still answer job 1
+    // with an error, respawn the worker, and finish job 2.
+    let input = concat!(
+        r#"{"cmd":"plan","id":1,"problem":{"Chaos":{"fail_attempts":0,"kill_worker":true}}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":2,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
+        "\n",
+        r#"{"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let lines = run_session(
+        ServiceConfig { workers: 1, queue_capacity: 8, cache_capacity: 8, ..ServiceConfig::default() },
+        input,
+    );
+    let err = line_for(&lines, 1);
+    assert!(err.contains(r#""status":"Error""#), "killed job must still answer: {err}");
+    assert!(line_for(&lines, 2).contains(r#""status":"Done""#), "respawned worker must finish job 2: {lines:?}");
+}
+
+#[test]
+fn chaos_transient_panics_are_retried_to_success_in_process() {
+    // In-process (no wire): a job that panics once but has two retries
+    // budgeted completes, and the metrics account for the turbulence.
+    let (service, responses) = PlanService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+        max_job_retries: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    service
+        .submit(gaplan_service::PlanRequest {
+            id: 7,
+            problem: ProblemSpec::Chaos { fail_attempts: 1, kill_worker: false },
+            deadline_ms: None,
+            ga: None,
+        })
+        .unwrap();
+    let resp = responses.recv_timeout(Duration::from_secs(10)).expect("job answers");
+    assert_eq!(resp.id, 7);
+    assert!(resp.solved, "one panic, two retries: the job must succeed: {resp:?}");
+    let m = service.metrics();
+    assert_eq!(m.panics_caught, 1, "{m:?}");
+    assert_eq!(m.jobs_retried, 1, "{m:?}");
+    assert_eq!(m.workers_respawned, 0, "a caught panic must not cost a worker: {m:?}");
+    service.shutdown();
+}

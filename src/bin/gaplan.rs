@@ -4,10 +4,12 @@
 //! gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2]
 //!                      [--seed N] [--pop N] [--gens N] [--phases N]
 //! gaplan grid   <file> [--planner ga|greedy] [--simulate]
-//!                      [--overload SITE:TIME:LOAD]
+//!                      [--overload SITE:TIME:LOAD] [--faults SEED]
+//!                      [--fault-rate F]
 //! gaplan hanoi  <disks> [--single] [--seed N]
 //! gaplan tile   <side>  [--crossover random|state-aware|mixed] [--seed N]
 //! gaplan serve  [--workers N] [--queue N] [--cache N]
+//!               [--admission-ms N] [--job-retries N]
 //! ```
 //!
 //! STRIPS files use the `gaplan-core` text format; grid files use the
@@ -21,7 +23,9 @@ use ga_grid_planner::baselines::{
 };
 use ga_grid_planner::domains::{Hanoi, SlidingTile};
 use ga_grid_planner::ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
-use ga_grid_planner::grid::{greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, ReplanPolicy};
+use ga_grid_planner::grid::{
+    chaos_schedule, greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, FaultPlan, ReplanPolicy,
+};
 use ga_grid_planner::service::{serve, PlanService, ServiceConfig, ServiceReplanner};
 use gaplan_core::{Domain, Plan};
 
@@ -41,7 +45,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD]\n  gaplan hanoi <disks> [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N]    (JSON lines on stdin/stdout)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi <disks> [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N]    (JSON lines on stdin/stdout)"
     );
     exit(2);
 }
@@ -184,10 +188,40 @@ fn grid_cmd(args: &[String]) {
                 })
                 .policy(ReplanPolicy::OnLoadChange);
         }
+        if let Some(fseed) = flag_value(args, "--faults") {
+            let fseed: u64 = parse_or(Some(fseed), 7);
+            let rate: f64 = parse_or(flag_value(args, "--fault-rate"), 0.05);
+            let horizon = (graph.critical_path() * 2.0).max(10.0);
+            let events = chaos_schedule(&world, fseed, horizon);
+            println!("fault schedule (seed {fseed}, rate {rate}):");
+            for ev in &events {
+                match ev {
+                    ExternalEvent::SiteFailure { time, site } => {
+                        println!("  [{time:8.1}] FAIL     {}", world.sites()[site.0 as usize].name);
+                    }
+                    ExternalEvent::SiteRecovery { time, site } => {
+                        println!("  [{time:8.1}] RECOVER  {}", world.sites()[site.0 as usize].name);
+                    }
+                    ExternalEvent::LoadChange { time, site, load } => {
+                        println!("  [{time:8.1}] LOAD {load:.2} {}", world.sites()[site.0 as usize].name);
+                    }
+                }
+                coord.schedule(*ev);
+            }
+            coord.fault_plan(FaultPlan::new(fseed, rate)).policy(ReplanPolicy::OnAnyChange);
+        }
         let seed = parse_or(flag_value(args, "--seed"), 2003);
         // Replans go through the planning service: queued, budgeted, cached.
-        let (service, _responses) =
-            PlanService::start(ServiceConfig { workers: 1, queue_capacity: 4, cache_capacity: 32 });
+        let (service, _responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 32,
+            ..ServiceConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("grid: start planning service: {e}");
+            exit(1);
+        });
         let mut replan_cfg = GaConfig {
             population_size: 100,
             generations_per_phase: 60,
@@ -210,6 +244,15 @@ fn grid_cmd(args: &[String]) {
             "goal fitness {:.3}, makespan {:.1}s, busy {:.1}s, {} replans",
             trace.goal_fitness, trace.makespan, trace.busy_time, trace.replans
         );
+        if trace.faults_injected > 0 || trace.failed {
+            println!(
+                "faults: {} injected, {} tasks retried, {} rerouted{}",
+                trace.faults_injected,
+                trace.tasks_retried,
+                trace.tasks_rerouted,
+                if trace.failed { " — DEGRADED (goal not reached)" } else { "" }
+            );
+        }
         let m = service.metrics();
         println!(
             "planning service: {} jobs, cache {}/{} hits, mean {:.0}ms/job",
@@ -227,6 +270,8 @@ fn serve_cmd(args: &[String]) {
         workers: parse_or(flag_value(args, "--workers"), 2),
         queue_capacity: parse_or(flag_value(args, "--queue"), 64),
         cache_capacity: parse_or(flag_value(args, "--cache"), 128),
+        admission_timeout: std::time::Duration::from_millis(parse_or(flag_value(args, "--admission-ms"), 0)),
+        max_job_retries: parse_or(flag_value(args, "--job-retries"), 1),
     };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();

@@ -23,7 +23,13 @@ fn request(id: u64, problem: ProblemSpec, deadline_ms: Option<u64>) -> PlanReque
 
 #[test]
 fn concurrent_jobs_with_mixed_deadlines_all_terminate() {
-    let (service, responses) = PlanService::start(ServiceConfig { workers: 4, queue_capacity: 32, cache_capacity: 32 });
+    let (service, responses) = PlanService::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 32,
+        cache_capacity: 32,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
 
     // Eight solvable jobs across two domains, plus two that cannot finish
     // inside an already-expired deadline.
@@ -78,7 +84,13 @@ fn concurrent_jobs_with_mixed_deadlines_all_terminate() {
 
 #[test]
 fn repeated_request_is_a_cache_hit() {
-    let (service, responses) = PlanService::start(ServiceConfig { workers: 1, queue_capacity: 8, cache_capacity: 8 });
+    let (service, responses) = PlanService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
     let spec = ProblemSpec::Tile { side: 3, shuffle_seed: 7 };
     service.submit(request(1, spec.clone(), None)).unwrap();
     let first = responses.recv().unwrap();
@@ -135,7 +147,7 @@ fn wire_protocol_handles_eight_concurrent_jobs() {
 
     let sink: Arc<std::sync::Mutex<Vec<u8>>> = Arc::default();
     serve(
-        ServiceConfig { workers: 4, queue_capacity: 16, cache_capacity: 16 },
+        ServiceConfig { workers: 4, queue_capacity: 16, cache_capacity: 16, ..ServiceConfig::default() },
         input.as_bytes(),
         CollectWriter(sink.clone()),
     )
