@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the observability fast path.
+//!
+//! Three configurations of the same instrumented Hanoi phase:
+//! disabled (no subscriber — the shipping default), a no-op subscriber
+//! (pays dispatch + event formatting, discards output), and a JSON-lines
+//! sink into memory (the full `--trace` cost). The disabled/enabled gap is
+//! what `tests/obs_guard.rs` asserts stays under 2%.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaplan_domains::Hanoi;
+use gaplan_ga::{GaConfig, Phase};
+use gaplan_obs::{Event, JsonlSink, NoopSubscriber, SharedBuf};
+
+fn bench_cfg() -> GaConfig {
+    GaConfig {
+        population_size: 200,
+        generations_per_phase: 20,
+        initial_len: 31,
+        max_len: 155,
+        seed: 1,
+        parallel: false,
+        ..GaConfig::default()
+    }
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+
+    group.bench_function("emit_disabled", |b| {
+        b.iter(|| gaplan_obs::emit(|| Event::new("bench.ev").u64("n", 1)));
+    });
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| gaplan_obs::span("bench.span"));
+    });
+
+    let _noop = gaplan_obs::install(Arc::new(NoopSubscriber));
+    group.bench_function("emit_noop_subscriber", |b| {
+        b.iter(|| gaplan_obs::emit(|| Event::new("bench.ev").u64("n", 1)));
+    });
+    group.bench_function("span_noop_subscriber", |b| {
+        b.iter(|| gaplan_obs::span("bench.span"));
+    });
+    group.finish();
+}
+
+fn bench_instrumented_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_phase");
+    group.sample_size(10);
+    let hanoi = Hanoi::new(5);
+
+    group.bench_function("hanoi5_trace_disabled", |b| {
+        b.iter(|| Phase::new(&hanoi, bench_cfg()).run());
+    });
+
+    group.bench_function("hanoi5_trace_noop", |b| {
+        let _g = gaplan_obs::install(Arc::new(NoopSubscriber));
+        b.iter(|| Phase::new(&hanoi, bench_cfg()).run());
+    });
+
+    group.bench_function("hanoi5_trace_jsonl", |b| {
+        let buf = SharedBuf::default();
+        let _g = gaplan_obs::install(Arc::new(JsonlSink::new(buf)));
+        b.iter(|| Phase::new(&hanoi, bench_cfg()).run());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_instrumented_phase);
+criterion_main!(benches);

@@ -20,10 +20,25 @@ use crate::individual::Evaluated;
 pub enum CrossoverOutcome {
     /// Two children were produced (they replace their parents).
     Children(Genome, Genome),
+    /// Mixed crossover found no matching cut and fell back to a random
+    /// second cut. Distinguished from `Children` so the fallback rate —
+    /// how often the paper's state-aware mechanism actually fires — is
+    /// observable by the engine's telemetry.
+    FallbackChildren(Genome, Genome),
     /// No matching cut point existed (state-aware only): "we do not perform
     /// the crossover and both parents are included in the population of the
     /// next generation".
     Unchanged,
+}
+
+impl CrossoverOutcome {
+    /// The produced children regardless of how the cut was chosen.
+    pub fn into_children(self) -> Option<(Genome, Genome)> {
+        match self {
+            CrossoverOutcome::Children(c1, c2) | CrossoverOutcome::FallbackChildren(c1, c2) => Some((c1, c2)),
+            CrossoverOutcome::Unchanged => None,
+        }
+    }
 }
 
 /// Apply crossover `kind` to two evaluated parents, producing children
@@ -56,11 +71,16 @@ pub fn crossover<R: Rng + ?Sized, S>(
             // randomly select the second crossover point and carry out a
             // random crossover."
             let c1 = rng.gen_range(0..=a.decoded_len);
-            let c2 = match matching_cut(rng, a.match_keys[c1], b) {
-                Some(c2) => c2,
-                None => rng.gen_range(0..=b.genome.len()),
-            };
-            children(a, c1, b, c2, max_len)
+            match matching_cut(rng, a.match_keys[c1], b) {
+                Some(c2) => children(a, c1, b, c2, max_len),
+                None => {
+                    let c2 = rng.gen_range(0..=b.genome.len());
+                    match children(a, c1, b, c2, max_len) {
+                        CrossoverOutcome::Children(g1, g2) => CrossoverOutcome::FallbackChildren(g1, g2),
+                        other => other,
+                    }
+                }
+            }
         }
         CrossoverKind::TwoPoint => {
             let (a1, a2) = sorted_pair(rng, a.genome.len());
@@ -140,11 +160,9 @@ mod tests {
         let b = ind(vec![0.9; 6], (100..=106).collect());
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
-            match crossover(&mut rng, CrossoverKind::Random, &a, &b, usize::MAX) {
-                CrossoverOutcome::Children(c1, c2) => {
-                    assert_eq!(c1.len() + c2.len(), 16);
-                }
-                CrossoverOutcome::Unchanged => panic!("random crossover always produces children"),
+            match crossover(&mut rng, CrossoverKind::Random, &a, &b, usize::MAX).into_children() {
+                Some((c1, c2)) => assert_eq!(c1.len() + c2.len(), 16),
+                None => panic!("random crossover always produces children"),
             }
         }
     }
@@ -210,11 +228,16 @@ mod tests {
 
     #[test]
     fn mixed_always_produces_children() {
+        // No keys match, so every mixed attempt takes the random-cut
+        // fallback — and reports it as such.
         let a = ind(vec![0.1; 4], vec![1, 2, 3, 4, 5]);
         let b = ind(vec![0.9; 4], vec![10, 20, 30, 40, 50]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
-            assert!(matches!(crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100), CrossoverOutcome::Children(..)));
+            assert!(matches!(
+                crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100),
+                CrossoverOutcome::FallbackChildren(..)
+            ));
         }
     }
 
@@ -228,7 +251,7 @@ mod tests {
         for _ in 0..50 {
             match crossover(&mut rng, CrossoverKind::Mixed, &a, &b, 100) {
                 CrossoverOutcome::Children(c1, c2) => assert_eq!(c1.len() + c2.len(), 4),
-                CrossoverOutcome::Unchanged => panic!(),
+                other => panic!("state-aware cut must be found: {other:?}"),
             }
         }
     }

@@ -2,8 +2,11 @@
 //! terminology (§3.5 step 2a): evaluate → select → crossover → mutate →
 //! replace, for a fixed number of generations.
 
+use std::time::Instant;
+
 use gaplan_core::budget::{Budget, StopCause};
 use gaplan_core::Domain;
+use gaplan_obs as obs;
 use rand::Rng;
 
 use crate::config::GaConfig;
@@ -116,14 +119,30 @@ impl<'d, D: Domain> Phase<'d, D> {
                 }
             }
 
-            // (i) evaluate each individual
+            // (i) evaluate each individual. The clock is only read while a
+            // trace subscriber is installed: eval wall time is telemetry,
+            // and the disabled path must stay free of syscalls.
+            let eval_started = if obs::enabled() { Some(Instant::now()) } else { None };
             let evaluated = evaluate_all(self.domain, &self.start, genomes, cfg);
+            let eval_wall_ns = eval_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
             generations_executed = gen + 1;
 
             let stats = GenStats::from_population(gen, &evaluated);
             if stats.solvers > 0 && first_solution_gen.is_none() {
                 first_solution_gen = Some(gen);
             }
+            obs::emit(|| {
+                obs::Event::new("ga.gen")
+                    .u64("phase", self.phase_index as u64)
+                    .u64("gen", gen as u64)
+                    .f64("best_total", stats.best_total)
+                    .f64("best_goal", stats.best_goal)
+                    .f64("mean_total", stats.mean_total)
+                    .f64("worst_total", stats.worst_total)
+                    .f64("mean_len", stats.mean_len)
+                    .u64("solvers", stats.solvers as u64)
+                    .u64("eval_wall_ns", eval_wall_ns)
+            });
             history.push(stats);
 
             // track best-ever across the phase
@@ -147,7 +166,10 @@ impl<'d, D: Domain> Phase<'d, D> {
             let parents: Vec<usize> =
                 (0..cfg.population_size).map(|_| select_parent(&mut rng, &fitnesses, cfg.selection)).collect();
 
-            // (iii) crossover and mutation; children replace their parents
+            // (iii) crossover and mutation; children replace their parents.
+            // Outcomes are tallied per generation so the trace exposes how
+            // often the state-aware mechanism actually fires vs. falls back.
+            let (mut xo_children, mut xo_fallback, mut xo_unchanged, mut xo_skipped) = (0u64, 0u64, 0u64, 0u64);
             let mut next = Vec::with_capacity(cfg.population_size);
             let mut i = 0;
             while i + 1 < parents.len() {
@@ -155,6 +177,14 @@ impl<'d, D: Domain> Phase<'d, D> {
                 if rng.gen::<f64>() < cfg.crossover_rate {
                     match crossover(&mut rng, cfg.crossover, pa, pb, cfg.max_len) {
                         CrossoverOutcome::Children(c1, c2) => {
+                            xo_children += 1;
+                            next.push(c1);
+                            next.push(c2);
+                        }
+                        CrossoverOutcome::FallbackChildren(c1, c2) => {
+                            // mixed crossover found no matching cut and fell
+                            // back to a random second cut
+                            xo_fallback += 1;
                             next.push(c1);
                             next.push(c2);
                         }
@@ -162,16 +192,27 @@ impl<'d, D: Domain> Phase<'d, D> {
                             // state-aware found no matching cut: "both
                             // parents are included in the population of the
                             // next generation"
+                            xo_unchanged += 1;
                             next.push(pa.genome.clone());
                             next.push(pb.genome.clone());
                         }
                     }
                 } else {
+                    xo_skipped += 1;
                     next.push(pa.genome.clone());
                     next.push(pb.genome.clone());
                 }
                 i += 2;
             }
+            obs::emit(|| {
+                obs::Event::new("ga.xover")
+                    .u64("phase", self.phase_index as u64)
+                    .u64("gen", gen as u64)
+                    .u64("children", xo_children)
+                    .u64("fallback", xo_fallback)
+                    .u64("unchanged", xo_unchanged)
+                    .u64("skipped", xo_skipped)
+            });
             if i < parents.len() {
                 next.push(evaluated[parents[i]].genome.clone());
             }

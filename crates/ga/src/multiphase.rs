@@ -6,6 +6,7 @@
 
 use gaplan_core::budget::{Budget, StopCause};
 use gaplan_core::{Domain, Plan};
+use gaplan_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{GaConfig, GoalEval};
@@ -100,6 +101,7 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
     /// Run up to `max_phases` phases and assemble the concatenated solution.
     pub fn run(&self) -> MultiPhaseResult<D::State> {
         self.cfg.validate().expect("invalid GaConfig");
+        let _run_span = obs::span("ga.run");
         let mut plan = Plan::new();
         let mut state = self.domain.initial_state();
         let mut phases = Vec::new();
@@ -129,6 +131,7 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                 first_solution_gen: phase_first_solution,
                 stopped: phase_stopped,
             } = {
+                let _phase_span = obs::span("ga.phase");
                 let mut phase =
                     Phase::with_start(self.domain, self.cfg.clone(), state.clone(), p).with_budget(self.budget.clone());
                 if let Some((strategy, fraction)) = &self.seeder {
@@ -150,7 +153,7 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
             }
             total_generations += generations_executed;
             history.extend(phase_history);
-            phases.push(PhaseSummary {
+            let summary = PhaseSummary {
                 phase: p + 1,
                 best_goal_fitness: best.fitness.goal,
                 best_total_fitness: best.fitness.total,
@@ -160,7 +163,17 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                 },
                 generations: generations_executed,
                 first_solution_gen: phase_first_solution,
+            };
+            obs::emit(|| {
+                obs::Event::new("ga.phase_end")
+                    .u64("phase", summary.phase as u64)
+                    .f64("best_goal", summary.best_goal_fitness)
+                    .f64("best_total", summary.best_total_fitness)
+                    .u64("plan_len", summary.plan_len as u64)
+                    .u64("generations", summary.generations as u64)
+                    .bool("solved", best.solves())
             });
+            phases.push(summary);
 
             // keep the best solution of the phase and continue from its
             // final state (§3.5 step 2c). Under BestPrefix goal evaluation
@@ -193,6 +206,14 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
             generations_to_solution = total_generations;
         }
         let goal_fitness = self.domain.goal_fitness(&state);
+        obs::emit(|| {
+            obs::Event::new("ga.run_end")
+                .bool("solved", solved_in_phase.is_some())
+                .u64("phases", phases.len() as u64)
+                .u64("total_generations", total_generations as u64)
+                .f64("goal_fitness", goal_fitness)
+                .u64("plan_len", plan.len() as u64)
+        });
         MultiPhaseResult {
             solved: solved_in_phase.is_some(),
             solved_in_phase,
@@ -353,6 +374,37 @@ mod tests {
         // the best-so-far concatenation is still a valid (if poor) plan
         let out = r.plan.simulate(&d, &d.initial_state()).unwrap();
         assert_eq!(out.final_state, r.final_state);
+    }
+
+    #[test]
+    fn trace_events_are_emitted_and_masked_stream_is_deterministic() {
+        let d = chain(8);
+        let run = || {
+            let rec = std::sync::Arc::new(obs::RecordingSubscriber::default());
+            let guard = obs::install(rec.clone());
+            let r = MultiPhase::new(&d, cfg()).run();
+            drop(guard);
+            (r, rec.lines())
+        };
+        let (ra, la) = run();
+        let (rb, lb) = run();
+        // Same plan with and without tracing-driven clock reads.
+        assert_eq!(ra.plan.ops(), rb.plan.ops());
+        // One ga.gen and one ga.xover per generation, one phase_end per
+        // phase, one run_end, balanced span lines.
+        let count = |needle: &str| la.iter().filter(|l| l.starts_with(&format!("{{\"ev\":\"{needle}\""))).count();
+        assert_eq!(count("ga.gen") as u32, ra.total_generations);
+        // the final generation of each phase never breeds (the loop breaks
+        // after evaluation), so xover events = generations - phases
+        assert_eq!(count("ga.xover") as u32, ra.total_generations - ra.phases.len() as u32);
+        assert_eq!(count("ga.phase_end"), ra.phases.len());
+        assert_eq!(count("ga.run_end"), 1);
+        assert_eq!(count("span_enter"), count("span_exit"));
+        // Byte-identical after masking wall-clock fields.
+        let mask = |lines: &[String]| lines.iter().map(|l| obs::golden::mask_line(l)).collect::<Vec<_>>();
+        assert_eq!(mask(&la), mask(&lb));
+        // ...and the wall fields really did get masked to zero.
+        assert!(mask(&la).iter().any(|l| l.contains(r#""eval_wall_ns":0"#)), "{la:?}");
     }
 
     #[test]

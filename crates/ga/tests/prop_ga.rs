@@ -44,7 +44,7 @@ proptest! {
         let b = evaluated(gb.clone(), 0xdeadbeefcafef00d);
         let mut rng = StdRng::seed_from_u64(seed);
         match crossover(&mut rng, kind, &a, &b, max_len) {
-            CrossoverOutcome::Children(c1, c2) => {
+            CrossoverOutcome::Children(c1, c2) | CrossoverOutcome::FallbackChildren(c1, c2) => {
                 for c in [&c1, &c2] {
                     prop_assert!(c.len() <= max_len);
                     for g in c.genes() {
@@ -64,7 +64,7 @@ proptest! {
         let a = evaluated(ga.clone(), 1);
         let b = evaluated(gb.clone(), 2);
         let mut rng = StdRng::seed_from_u64(seed);
-        if let CrossoverOutcome::Children(c1, c2) = crossover(&mut rng, CrossoverKind::Random, &a, &b, usize::MAX) {
+        if let Some((c1, c2)) = crossover(&mut rng, CrossoverKind::Random, &a, &b, usize::MAX).into_children() {
             prop_assert_eq!(c1.len() + c2.len(), ga.len() + gb.len());
         }
     }

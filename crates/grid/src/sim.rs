@@ -21,6 +21,7 @@
 //! looping or panicking.
 
 use gaplan_core::{Domain, OpId, Plan, SigBuilder};
+use gaplan_obs as obs;
 use rustc_hash::FxHashMap;
 
 use crate::activity::ActivityGraph;
@@ -328,6 +329,7 @@ impl<'w> Coordinator<'w> {
     /// `OnAnyChange`); it receives the world with updated loads and down
     /// sites, and the current artifacts as its initial state.
     pub fn run(&self, plan: &Plan, replanner: Option<&Replanner<'_>>) -> ExecutionTrace {
+        let _run_span = obs::span("grid.run");
         let nsites = self.world.sites().len();
         let mut loads: Vec<f64> = self.world.sites().iter().map(|s| s.load).collect();
         let mut down = vec![false; nsites];
@@ -393,7 +395,15 @@ impl<'w> Coordinator<'w> {
                 let event = pending_events.remove(0);
                 now = now.max(event.time());
                 match event {
-                    ExternalEvent::LoadChange { site, load, .. } => loads[site.index()] = load,
+                    ExternalEvent::LoadChange { site, load, .. } => {
+                        loads[site.index()] = load;
+                        obs::emit(|| {
+                            obs::Event::new("grid.load_change")
+                                .f64("t", now)
+                                .u64("site", site.index() as u64)
+                                .f64("load", load)
+                        });
+                    }
                     ExternalEvent::SiteFailure { site, .. } => {
                         down[site.index()] = true;
                         // drop running tasks at the failed site; they may
@@ -405,17 +415,34 @@ impl<'w> Coordinator<'w> {
                             .map(|&(_, i, _)| i)
                             .collect();
                         sched.running.retain(|&(_, i, _)| graph.nodes()[i].site != site);
+                        obs::emit(|| {
+                            obs::Event::new("grid.site_failure")
+                                .f64("t", now)
+                                .u64("site", site.index() as u64)
+                                .u64("dropped", dropped.len() as u64)
+                        });
                         for i in dropped {
                             sched.started[i] = false;
                             sched.not_before[i] = now;
                             sched.slots_used[site.index()] -= 1;
                             tasks_retried += 1;
+                            obs::emit(|| {
+                                obs::Event::new("grid.retry")
+                                    .f64("t", now)
+                                    .str("task", graph.nodes()[i].name.clone())
+                                    .str("cause", "site_failure")
+                            });
                         }
                         // produced-but-untransferred artifacts are lost;
                         // source data survives on disk until recovery
                         state.retain(|item| item.location != site || original_items.contains(item));
                     }
-                    ExternalEvent::SiteRecovery { site, .. } => down[site.index()] = false,
+                    ExternalEvent::SiteRecovery { site, .. } => {
+                        down[site.index()] = false;
+                        obs::emit(|| {
+                            obs::Event::new("grid.site_recovery").f64("t", now).u64("site", site.index() as u64)
+                        });
+                    }
                 }
                 live = self.world.with_loads(&loads).with_down(&down);
 
@@ -439,6 +466,13 @@ impl<'w> Coordinator<'w> {
                             let new_plan = replan(&snapshot);
                             graph = ActivityGraph::from_plan(&live, &state, &new_plan);
                             sched = Sched::new(graph.len(), nsites);
+                            obs::emit(|| {
+                                obs::Event::new("grid.replan")
+                                    .f64("t", now)
+                                    .u64("round", replans as u64)
+                                    .str("trigger", "event")
+                                    .u64("plan_len", graph.len() as u64)
+                            });
                         } else {
                             degraded = true;
                         }
@@ -474,12 +508,26 @@ impl<'w> Coordinator<'w> {
                 if faulted {
                     faults_injected += 1;
                 }
+                obs::emit(|| {
+                    obs::Event::new("grid.fault")
+                        .f64("t", now)
+                        .str("task", graph.nodes()[i].name.clone())
+                        .u64("attempt", attempt as u64)
+                        .str("cause", if faulted { "injected" } else { "inputs_lost" })
+                });
                 busy_time += duration;
                 sched.retries[i] += 1;
                 if sched.retries[i] <= self.retry.max_retries {
                     tasks_retried += 1;
                     sched.started[i] = false;
                     sched.not_before[i] = now + self.retry.backoff * f64::from(sched.retries[i]);
+                    obs::emit(|| {
+                        obs::Event::new("grid.retry")
+                            .f64("t", now)
+                            .str("task", graph.nodes()[i].name.clone())
+                            .str("cause", "fault")
+                            .f64("not_before", sched.not_before[i])
+                    });
                 } else if replanner.is_some() && self.policy.replans_on_task_failure() && replans < self.max_replans {
                     drain_running(
                         &live,
@@ -498,9 +546,22 @@ impl<'w> Coordinator<'w> {
                     let new_plan = replan_with(replanner, &snapshot);
                     graph = ActivityGraph::from_plan(&live, &state, &new_plan);
                     sched = Sched::new(graph.len(), nsites);
+                    obs::emit(|| {
+                        obs::Event::new("grid.replan")
+                            .f64("t", now)
+                            .u64("round", replans as u64)
+                            .str("trigger", "retry_exhausted")
+                            .u64("plan_len", graph.len() as u64)
+                    });
                 } else {
                     sched.stuck[i] = true;
                     degraded = true;
+                    obs::emit(|| {
+                        obs::Event::new("grid.stuck")
+                            .f64("t", now)
+                            .str("task", graph.nodes()[i].name.clone())
+                            .u64("retries", sched.retries[i] as u64)
+                    });
                 }
                 continue;
             }
@@ -509,6 +570,18 @@ impl<'w> Coordinator<'w> {
 
         let makespan = tasks.iter().fold(0.0f64, |m, t| m.max(t.end));
         let goal_fitness = self.world.goal_fitness(&state);
+        obs::emit(|| {
+            obs::Event::new("grid.done")
+                .f64("makespan", makespan)
+                .f64("busy_time", busy_time)
+                .u64("tasks", tasks.len() as u64)
+                .u64("replans", replans as u64)
+                .u64("faults", faults_injected as u64)
+                .u64("retried", tasks_retried as u64)
+                .u64("rerouted", tasks_rerouted as u64)
+                .bool("failed", degraded && goal_fitness < 1.0)
+                .f64("goal_fitness", goal_fitness)
+        });
         ExecutionTrace {
             tasks,
             makespan,
@@ -565,11 +638,18 @@ fn start_ready(
                     continue; // may become startable after recovery/replan
                 };
                 let node = graph.node_mut(i);
+                let from = std::mem::replace(&mut node.name, live.op_name(alt));
                 node.op = alt;
-                node.name = live.op_name(alt);
                 node.site = live.op_site(alt);
                 node.cost = live.op_cost(alt);
                 *tasks_rerouted += 1;
+                obs::emit(|| {
+                    obs::Event::new("grid.reroute")
+                        .f64("t", now)
+                        .str("from", from)
+                        .str("to", graph.nodes()[i].name.clone())
+                        .u64("site", graph.nodes()[i].site.index() as u64)
+                });
             }
             let site = graph.nodes()[i].site;
             if sched.slots_used[site.index()] >= live.sites()[site.index()].slots {
@@ -579,6 +659,13 @@ fn start_ready(
             sched.slots_used[site.index()] += 1;
             let duration = live.op_cost(graph.nodes()[i].op).max(0.0);
             sched.running.push((now + duration, i, duration));
+            obs::emit(|| {
+                obs::Event::new("grid.dispatch")
+                    .f64("t", now)
+                    .str("task", graph.nodes()[i].name.clone())
+                    .u64("site", site.index() as u64)
+                    .f64("eta", now + duration)
+            });
             progressed = true;
         }
     }
@@ -634,6 +721,13 @@ fn drain_running(
             if faulted {
                 *faults_injected += 1;
             }
+            obs::emit(|| {
+                obs::Event::new("grid.fault")
+                    .f64("t", *now)
+                    .str("task", graph.nodes()[i].name.clone())
+                    .u64("attempt", attempt as u64)
+                    .str("cause", if faulted { "injected" } else { "inputs_lost" })
+            });
             *busy_time += duration;
             continue; // the imminent replan covers the lost work
         }
@@ -659,6 +753,13 @@ fn finish_task(
     *busy_time += duration;
     *state = live.apply(state, n.op);
     done[node] = true;
+    obs::emit(|| {
+        obs::Event::new("grid.complete")
+            .f64("t", end)
+            .str("task", n.name.clone())
+            .u64("site", n.site.index() as u64)
+            .f64("start", end - duration)
+    });
 }
 
 #[cfg(test)]

@@ -3,9 +3,12 @@
 //! execution hang, panic, or produce an inconsistent trace. Degradation is
 //! allowed; divergence is not.
 
+use std::sync::Arc;
+
 use gaplan_grid::{
     chaos_schedule, greedy_plan, image_pipeline, Coordinator, ExecutionTrace, FaultPlan, ReplanPolicy, RetryPolicy,
 };
+use gaplan_obs as obs;
 use proptest::prelude::*;
 
 fn check_trace_invariants(trace: &ExecutionTrace) {
@@ -106,5 +109,48 @@ proptest! {
         prop_assert!(trace.reached_goal(), "nothing failed, so the goal must be reached: {trace:?}");
         prop_assert_eq!(trace.faults_injected, 0);
         prop_assert_eq!(trace.tasks_retried, 0);
+    }
+
+    /// The emitted task-lifecycle timeline agrees with the trace's own
+    /// counters under any seeded chaos schedule: one `grid.complete` per
+    /// recorded task, one `grid.fault{injected}` per injected fault, one
+    /// `grid.retry` per retried attempt, one `grid.replan` per round — and
+    /// the masked event stream replays identically for the same seed.
+    #[test]
+    fn chaos_timeline_events_match_trace_counters(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.9,
+        policy_sel in 0usize..4,
+    ) {
+        let policy = [ReplanPolicy::Never, ReplanPolicy::OnLoadChange, ReplanPolicy::OnFailure, ReplanPolicy::OnAnyChange][policy_sel];
+        let sc = image_pipeline();
+        let plan = greedy_plan(&sc.world, 6).expect("greedy plans the pipeline");
+        let run = || {
+            let rec = Arc::new(obs::RecordingSubscriber::default());
+            let guard = obs::install(rec.clone());
+            let mut coord = Coordinator::new(&sc.world);
+            for ev in chaos_schedule(&sc.world, seed, 90.0) {
+                coord.schedule(ev);
+            }
+            coord.policy(policy).fault_plan(FaultPlan::new(seed, rate));
+            let replanner = |snapshot: &gaplan_grid::GridWorld| greedy_plan(snapshot, 6).unwrap_or_default();
+            let trace = coord.run(&plan, Some(&replanner));
+            drop(guard);
+            (trace, rec)
+        };
+        let (trace, rec) = run();
+        prop_assert_eq!(rec.count("grid.complete"), trace.tasks.len());
+        let injected = rec.lines_for("grid.fault").iter().filter(|l| l.contains(r#""cause":"injected""#)).count();
+        prop_assert_eq!(injected, trace.faults_injected);
+        prop_assert_eq!(rec.count("grid.retry"), trace.tasks_retried);
+        prop_assert_eq!(rec.count("grid.reroute"), trace.tasks_rerouted);
+        prop_assert_eq!(rec.count("grid.replan"), trace.replans);
+        let done = rec.lines_for("grid.done");
+        prop_assert_eq!(done.len(), 1);
+        prop_assert!(done[0].contains(&format!(r#""failed":{}"#, trace.failed)), "{:?}", done);
+        // the timeline is part of the deterministic surface
+        let (_, rec2) = run();
+        let mask = |lines: Vec<String>| lines.iter().map(|l| obs::golden::mask_line(l)).collect::<Vec<_>>();
+        prop_assert_eq!(mask(rec.lines()), mask(rec2.lines()));
     }
 }

@@ -1,0 +1,143 @@
+//! Events: named records with ordered fields, rendered as one JSON line.
+//!
+//! Rendering is hand-rolled (vendor policy: no serde here) and fully
+//! deterministic: fields keep insertion order, floats print via Rust's
+//! shortest-roundtrip `Display`, and non-finite floats degrade to `null`
+//! so the output is always valid JSON.
+
+use std::fmt::Write as _;
+
+/// A field value. The variants cover everything the planner records;
+/// nested structures are deliberately unsupported — one event, one line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// A named event with ordered key/value fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    pub fn new(name: &'static str) -> Self {
+        Event { name, fields: Vec::new() }
+    }
+
+    pub fn u64(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, FieldValue::U64(v)));
+        self
+    }
+
+    pub fn i64(mut self, key: &'static str, v: i64) -> Self {
+        self.fields.push((key, FieldValue::I64(v)));
+        self
+    }
+
+    pub fn f64(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, FieldValue::F64(v)));
+        self
+    }
+
+    pub fn str(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, FieldValue::Str(v.into())));
+        self
+    }
+
+    pub fn bool(mut self, key: &'static str, v: bool) -> Self {
+        self.fields.push((key, FieldValue::Bool(v)));
+        self
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn fields(&self) -> &[(&'static str, FieldValue)] {
+        &self.fields
+    }
+
+    /// Render as a single JSON object, `{"ev":<name>, <fields...>}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.fields.len() * 16);
+        out.push_str("{\"ev\":");
+        write_json_str(&mut out, self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            write_json_str(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) if v.is_finite() => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(_) => out.push_str("null"),
+                FieldValue::Str(v) => write_json_str(&mut out, v),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Write `s` as a JSON string literal, escaping quotes, backslashes and
+/// control characters.
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_field_kinds_in_insertion_order() {
+        let ev = Event::new("ga.gen")
+            .u64("gen", 7)
+            .i64("delta", -3)
+            .f64("best", 0.5)
+            .str("phase", "p1")
+            .bool("solved", true);
+        assert_eq!(ev.to_json(), r#"{"ev":"ga.gen","gen":7,"delta":-3,"best":0.5,"phase":"p1","solved":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings_and_degrades_non_finite_floats() {
+        let ev = Event::new("x").str("msg", "a\"b\\c\nd").f64("nan", f64::NAN).f64("inf", f64::INFINITY);
+        assert_eq!(ev.to_json(), r#"{"ev":"x","msg":"a\"b\\c\nd","nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_roundtrip() {
+        // `Display` for f64 is the shortest string that round-trips — the
+        // property golden traces rely on for cross-run stability.
+        assert_eq!(Event::new("x").f64("v", 1.0).to_json(), r#"{"ev":"x","v":1}"#);
+        assert_eq!(Event::new("x").f64("v", 0.1 + 0.2).to_json(), r#"{"ev":"x","v":0.30000000000000004}"#);
+    }
+}

@@ -1,0 +1,93 @@
+//! A reusable span bookkeeping structure for trace consumers.
+//!
+//! `trace-report` and the wire-level tests replay `span_enter` /
+//! `span_exit` lines through a [`SpanStack`] to reconstruct nesting and
+//! attribute wall time per span name. Real traces can be truncated or
+//! interleaved oddly (a killed worker never exits its span), so the stack
+//! must tolerate arbitrary enter/exit sequences: an exit with no matching
+//! enter is counted, never a panic or a negative depth.
+
+/// Tracks span nesting while replaying a trace.
+#[derive(Debug, Default, Clone)]
+pub struct SpanStack {
+    stack: Vec<String>,
+    underflows: u64,
+    max_depth: usize,
+}
+
+impl SpanStack {
+    pub fn new() -> Self {
+        SpanStack::default()
+    }
+
+    pub fn enter(&mut self, name: &str) {
+        self.stack.push(name.to_string());
+        self.max_depth = self.max_depth.max(self.stack.len());
+    }
+
+    /// Pop the innermost open span, returning its name. An exit with no
+    /// open span is recorded in [`SpanStack::underflows`] and returns
+    /// `None` — it never underflows the stack.
+    pub fn exit(&mut self) -> Option<String> {
+        match self.stack.pop() {
+            Some(name) => Some(name),
+            None => {
+                self.underflows += 1;
+                None
+            }
+        }
+    }
+
+    /// Current nesting depth; never negative by construction.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of exits seen with no matching enter.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Innermost open span name, if any.
+    pub fn current(&self) -> Option<&str> {
+        self.stack.last().map(String::as_str)
+    }
+
+    /// Dotted path of open spans, outermost first (e.g. `ga.run/ga.phase`).
+    pub fn path(&self) -> String {
+        self.stack.join("/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_nesting_round_trips() {
+        let mut s = SpanStack::new();
+        s.enter("run");
+        s.enter("phase");
+        assert_eq!(s.path(), "run/phase");
+        assert_eq!(s.exit().as_deref(), Some("phase"));
+        assert_eq!(s.exit().as_deref(), Some("run"));
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.max_depth(), 2);
+        assert_eq!(s.underflows(), 0);
+    }
+
+    #[test]
+    fn exit_on_empty_counts_instead_of_panicking() {
+        let mut s = SpanStack::new();
+        assert_eq!(s.exit(), None);
+        assert_eq!(s.exit(), None);
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.underflows(), 2);
+        s.enter("a");
+        assert_eq!(s.current(), Some("a"));
+    }
+}

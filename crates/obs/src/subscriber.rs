@@ -1,0 +1,163 @@
+//! Subscribers: where events and span boundaries go.
+//!
+//! [`JsonlSink`] is the production subscriber (one JSON line per event,
+//! behind a mutex so whole lines never interleave even when several
+//! worker threads share one sink). [`RecordingSubscriber`] keeps lines in
+//! memory for tests; [`NoopSubscriber`] exists to measure dispatch cost.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Receives events and span boundaries from instrumented code.
+///
+/// Span callbacks default to no-ops so metrics-only subscribers can ignore
+/// them. `wall_ns` on exit is the measured wall-clock duration — by the
+/// crate's determinism contract it must only ever be surfaced through
+/// fields whose name contains `wall`.
+pub trait Subscriber: Send + Sync {
+    fn on_event(&self, event: &Event);
+    fn on_span_enter(&self, _name: &'static str) {}
+    fn on_span_exit(&self, _name: &'static str, _wall_ns: u64) {}
+}
+
+/// Discards everything. Used by the overhead benchmarks to separate
+/// "subscriber installed" cost from serialization cost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn on_event(&self, _event: &Event) {}
+}
+
+/// Writes one JSON line per event / span boundary to any `Write` target.
+/// Spans render as `span_enter` / `span_exit` pseudo-events so a trace
+/// file is a single uniform JSON-lines stream.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonlSink { out: Mutex::new(out) }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().expect("trace sink poisoned");
+        // Trace output is best-effort: a full disk must not crash planning.
+        let _ = writeln!(out, "{line}");
+    }
+
+    pub fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonlSink<W> {
+    fn on_event(&self, event: &Event) {
+        self.write_line(&event.to_json());
+    }
+
+    fn on_span_enter(&self, name: &'static str) {
+        self.write_line(&Event::new("span_enter").str("span", name).to_json());
+    }
+
+    fn on_span_exit(&self, name: &'static str, wall_ns: u64) {
+        self.write_line(&Event::new("span_exit").str("span", name).u64("wall_ns", wall_ns).to_json());
+    }
+}
+
+/// A cloneable in-memory `Write` target, for tests that need to inspect a
+/// sink after worker threads wrote to it.
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().expect("shared buf poisoned").clone()).expect("trace output is utf8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("shared buf poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Records rendered lines in memory; the assertion workhorse for every
+/// instrumentation test in the workspace.
+#[derive(Debug, Default)]
+pub struct RecordingSubscriber {
+    lines: Mutex<Vec<String>>,
+}
+
+impl RecordingSubscriber {
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Lines whose `"ev"` name matches exactly.
+    pub fn lines_for(&self, event_name: &str) -> Vec<String> {
+        let needle = format!("{{\"ev\":\"{event_name}\"");
+        self.lines().into_iter().filter(|l| l.starts_with(&needle)).collect()
+    }
+
+    pub fn count(&self, event_name: &str) -> usize {
+        self.lines_for(event_name).len()
+    }
+}
+
+impl Subscriber for RecordingSubscriber {
+    fn on_event(&self, event: &Event) {
+        self.lines.lock().expect("recorder poisoned").push(event.to_json());
+    }
+
+    fn on_span_enter(&self, name: &'static str) {
+        self.lines.lock().expect("recorder poisoned").push(Event::new("span_enter").str("span", name).to_json());
+    }
+
+    fn on_span_exit(&self, name: &'static str, wall_ns: u64) {
+        self.lines
+            .lock()
+            .expect("recorder poisoned")
+            .push(Event::new("span_exit").str("span", name).u64("wall_ns", wall_ns).to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_events_and_span_boundaries_as_lines() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
+        sink.on_event(&Event::new("a").u64("n", 1));
+        sink.on_span_enter("s");
+        sink.on_span_exit("s", 42);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], r#"{"ev":"a","n":1}"#);
+        assert_eq!(lines[1], r#"{"ev":"span_enter","span":"s"}"#);
+        assert_eq!(lines[2], r#"{"ev":"span_exit","span":"s","wall_ns":42}"#);
+    }
+
+    #[test]
+    fn recorder_filters_by_event_name() {
+        let rec = RecordingSubscriber::default();
+        rec.on_event(&Event::new("ga.gen").u64("gen", 0));
+        rec.on_event(&Event::new("ga.gen").u64("gen", 1));
+        rec.on_event(&Event::new("ga.generic"));
+        assert_eq!(rec.count("ga.gen"), 2);
+        assert_eq!(rec.count("ga.generic"), 1);
+    }
+}

@@ -41,8 +41,8 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CachedPlan, PlanCache};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{BucketCount, HistogramSummary, Metrics, MetricsSnapshot};
 pub use proto::{parse_command, serve, Command, ProtoError};
 pub use replan::ServiceReplanner;
 pub use request::{BuiltProblem, GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec, SolveOutcome};
-pub use service::{HealthReport, PlanService, ServiceConfig, ServiceError, SubmitError};
+pub use service::{HealthReport, ObsHandle, PlanService, ServiceConfig, ServiceError, SubmitError};

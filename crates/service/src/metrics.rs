@@ -1,8 +1,15 @@
 //! Service metrics: lock-free counters updated by workers and the submit
 //! path, snapshotted into a serializable [`MetricsSnapshot`].
+//!
+//! Besides the counters, two log2-bucket [`Histogram`]s track latency
+//! distributions — per-job wall time and queue wait — rolled up into
+//! [`HistogramSummary`] values in the snapshot and into percentile fields
+//! of the `health` wire command.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gaplan_obs::Histogram;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Live counters. All updates use relaxed ordering — the snapshot is a
@@ -28,6 +35,10 @@ pub struct Metrics {
     jobs_shed: AtomicU64,
     replans_failed: AtomicU64,
     workers_alive: AtomicU64,
+    /// Per-job submission-to-completion wall time, milliseconds.
+    wall_ms_hist: Mutex<Histogram>,
+    /// Per-job submission-to-dequeue wait, milliseconds.
+    queue_wait_ms_hist: Mutex<Histogram>,
 }
 
 impl Metrics {
@@ -42,9 +53,10 @@ impl Metrics {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A worker dequeued a job.
-    pub fn on_dequeue(&self) {
+    /// A worker dequeued a job after it waited `wait_ms` on the queue.
+    pub fn on_dequeue(&self, wait_ms: u64) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait_ms_hist.lock().record(wait_ms);
     }
 
     /// A submission was rejected (queue full or duplicate id).
@@ -60,6 +72,17 @@ impl Metrics {
         }
         self.total_wall_ms.fetch_add(wall_ms, Ordering::Relaxed);
         self.max_wall_ms.fetch_max(wall_ms, Ordering::Relaxed);
+        self.wall_ms_hist.lock().record(wall_ms);
+    }
+
+    /// Bucket upper bound of the `q`-quantile per-job wall time so far.
+    pub fn wall_ms_quantile(&self, q: f64) -> u64 {
+        self.wall_ms_hist.lock().quantile_upper(q)
+    }
+
+    /// Bucket upper bound of the `q`-quantile queue wait so far.
+    pub fn queue_wait_ms_quantile(&self, q: f64) -> u64 {
+        self.queue_wait_ms_hist.lock().quantile_upper(q)
     }
 
     /// A job hit its deadline.
@@ -167,6 +190,49 @@ impl Metrics {
             jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
             replans_failed: self.replans_failed.load(Ordering::Relaxed),
             workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            wall_ms_hist: HistogramSummary::of(&self.wall_ms_hist.lock()),
+            queue_wait_ms_hist: HistogramSummary::of(&self.queue_wait_ms_hist.lock()),
+        }
+    }
+}
+
+/// One non-empty log2 bucket of a [`HistogramSummary`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub upper: u64,
+    /// Samples that landed in it.
+    pub count: u64,
+}
+
+/// Serializable roll-up of a [`Histogram`]. Percentiles are bucket upper
+/// bounds, so every field is an exact integer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Bucket upper bound of the median sample.
+    pub p50: u64,
+    /// Bucket upper bound of the 90th-percentile sample.
+    pub p90: u64,
+    /// Bucket upper bound of the 99th-percentile sample.
+    pub p99: u64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSummary {
+    /// Roll up a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            sum: h.sum(),
+            p50: h.quantile_upper(0.5),
+            p90: h.quantile_upper(0.9),
+            p99: h.quantile_upper(0.99),
+            buckets: h.nonzero_buckets().into_iter().map(|(upper, count)| BucketCount { upper, count }).collect(),
         }
     }
 }
@@ -216,6 +282,10 @@ pub struct MetricsSnapshot {
     pub replans_failed: u64,
     /// Worker threads currently alive (gauge).
     pub workers_alive: u64,
+    /// Distribution of per-job wall times, milliseconds.
+    pub wall_ms_hist: HistogramSummary,
+    /// Distribution of submission-to-dequeue queue waits, milliseconds.
+    pub queue_wait_ms_hist: HistogramSummary,
 }
 
 #[cfg(test)]
@@ -227,10 +297,10 @@ mod tests {
         let m = Metrics::new();
         m.on_submit();
         m.on_submit();
-        m.on_dequeue();
+        m.on_dequeue(3);
         m.on_cache_miss();
         m.on_complete(40, true);
-        m.on_dequeue();
+        m.on_dequeue(7);
         m.on_cache_hit();
         m.on_complete(10, false);
         m.on_reject();
@@ -246,6 +316,19 @@ mod tests {
         assert_eq!(s.total_wall_ms, 50);
         assert_eq!(s.max_wall_ms, 40);
         assert!((s.mean_wall_ms - 25.0).abs() < 1e-12);
+        // Histograms roll up alongside the counters: wall times 40 and 10
+        // land in buckets [32,63] and [8,15]; waits 3 and 7 in [2,3], [4,7].
+        assert_eq!(s.wall_ms_hist.count, 2);
+        assert_eq!(s.wall_ms_hist.sum, 50);
+        assert_eq!(s.wall_ms_hist.p99, 63);
+        assert_eq!(
+            s.wall_ms_hist.buckets,
+            vec![BucketCount { upper: 15, count: 1 }, BucketCount { upper: 63, count: 1 }]
+        );
+        assert_eq!(s.queue_wait_ms_hist.count, 2);
+        assert_eq!(s.queue_wait_ms_hist.sum, 10);
+        assert_eq!(m.wall_ms_quantile(0.5), 15);
+        assert_eq!(m.queue_wait_ms_quantile(0.99), 7);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::io::{BufRead, Write};
 use std::sync::mpsc::channel;
 
+use gaplan_obs::{self as obs, Event};
 use serde::de::Deserialize;
 use serde::json::{parse, Value};
 
@@ -124,7 +125,11 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
+    // Workers install the subscriber themselves; the serve loop also
+    // installs it so admission failures (shed/rejected) are traced too.
+    let obs_handle = cfg.obs.clone();
     let (service, responses) = PlanService::start(cfg).map_err(std::io::Error::from)?;
+    let _obs = obs_handle.as_ref().map(crate::service::ObsHandle::install);
     let (out_tx, out_rx) = channel::<String>();
 
     let writer_thread = std::thread::Builder::new().name("gaplan-serve-writer".to_string()).spawn(move || {
@@ -162,6 +167,13 @@ where
                         _ => JobStatus::Rejected,
                     };
                     let resp = PlanResponse::failure(id, status, err.to_string());
+                    obs::emit(|| {
+                        Event::new("svc.reply")
+                            .u64("id", resp.id)
+                            .str("status", resp.status.name())
+                            .bool("cache_hit", false)
+                            .u64("wall_ms", resp.wall_ms)
+                    });
                     let _ = out_tx.send(response_line(&resp));
                 }
             }

@@ -329,6 +329,22 @@ pub enum JobStatus {
     Error,
 }
 
+impl JobStatus {
+    /// Stable wire name of the status, matching its JSON serialization —
+    /// used by `svc.reply` trace events so tests can correlate every
+    /// response line with a span-covered reply.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Done => "Done",
+            JobStatus::Timeout => "Timeout",
+            JobStatus::Cancelled => "Cancelled",
+            JobStatus::Rejected => "Rejected",
+            JobStatus::Shed => "Shed",
+            JobStatus::Error => "Error",
+        }
+    }
+}
+
 /// Result of a job, as written back over the wire.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlanResponse {

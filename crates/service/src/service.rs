@@ -32,10 +32,35 @@ use rustc_hash::FxHashMap;
 use gaplan_core::{Budget, CancelToken, StopCause};
 use gaplan_ga::GaConfig;
 use gaplan_grid::GridWorld;
+use gaplan_obs::{self as obs, Event};
 
 use crate::cache::{CachedPlan, PlanCache};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec};
+
+/// A cloneable handle to a trace [`Subscriber`](obs::Subscriber) the
+/// service installs on every thread it owns (each worker, plus the
+/// `serve` loop), so per-request events from any worker land in one sink.
+#[derive(Clone)]
+pub struct ObsHandle(Arc<dyn obs::Subscriber>);
+
+impl ObsHandle {
+    /// Wrap a subscriber for distribution to service threads.
+    pub fn new(sub: Arc<dyn obs::Subscriber>) -> Self {
+        ObsHandle(sub)
+    }
+
+    /// Install the subscriber on the current thread until the guard drops.
+    pub fn install(&self) -> obs::InstallGuard {
+        obs::install(Arc::clone(&self.0))
+    }
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ObsHandle(..)")
+    }
+}
 
 /// Sizing knobs for a [`PlanService`].
 #[derive(Debug, Clone)]
@@ -56,6 +81,10 @@ pub struct ServiceConfig {
     /// against transient poisoning; deterministic panics just fail
     /// `max_job_retries + 1` times.
     pub max_job_retries: u32,
+    /// Trace subscriber installed on every worker thread (and the serve
+    /// loop). `None` (the default) disables tracing entirely: every
+    /// instrumentation site reduces to one thread-local flag check.
+    pub obs: Option<ObsHandle>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +95,7 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             admission_timeout: Duration::ZERO,
             max_job_retries: 1,
+            obs: None,
         }
     }
 }
@@ -138,6 +168,12 @@ pub struct HealthReport {
     pub active_jobs: usize,
     /// Dead workers replaced by the supervisor so far.
     pub workers_respawned: u64,
+    /// Median per-job wall time so far (log2-bucket upper bound, ms).
+    pub wall_ms_p50: u64,
+    /// 99th-percentile per-job wall time so far (bucket upper bound, ms).
+    pub wall_ms_p99: u64,
+    /// 99th-percentile queue wait so far (bucket upper bound, ms).
+    pub queue_wait_ms_p99: u64,
 }
 
 /// What a worker plans: a wire-level spec, or an in-process grid world with
@@ -157,6 +193,15 @@ struct Job {
     reply: Sender<PlanResponse>,
 }
 
+impl Job {
+    /// Wall-clock milliseconds since submission — the single source of
+    /// truth for `PlanResponse::wall_ms`, so queue wait is included no
+    /// matter which path produces the response.
+    fn wall_ms(&self) -> u64 {
+        self.submitted_at.elapsed().as_millis() as u64
+    }
+}
+
 /// State shared between the service handle, its workers and the supervisor.
 struct Shared {
     cache: Mutex<PlanCache>,
@@ -169,6 +214,8 @@ struct Shared {
     shutting_down: AtomicBool,
     /// Panic retries per job.
     max_job_retries: u32,
+    /// Trace subscriber workers install on their threads.
+    obs: Option<ObsHandle>,
 }
 
 /// Handle to a running planning service. Dropping it (or calling
@@ -197,6 +244,7 @@ impl PlanService {
             active: Mutex::new(FxHashMap::default()),
             shutting_down: AtomicBool::new(false),
             max_job_retries: cfg.max_job_retries,
+            obs: cfg.obs.clone(),
         });
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
@@ -344,6 +392,9 @@ impl PlanService {
             queue_depth: self.shared.metrics.queue_depth(),
             active_jobs: self.shared.active.lock().len(),
             workers_respawned: self.shared.metrics.snapshot().workers_respawned,
+            wall_ms_p50: self.shared.metrics.wall_ms_quantile(0.5),
+            wall_ms_p99: self.shared.metrics.wall_ms_quantile(0.99),
+            queue_wait_ms_p99: self.shared.metrics.queue_wait_ms_quantile(0.99),
         }
     }
 
@@ -390,6 +441,7 @@ fn spawn_worker(index: usize, rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Share
     let alive = AliveGuard::new(Arc::clone(&shared));
     std::thread::Builder::new().name(format!("gaplan-worker-{index}")).spawn(move || {
         let _alive = alive;
+        let _obs = shared.obs.as_ref().map(ObsHandle::install);
         worker_loop(&rx, &shared);
     })
 }
@@ -416,6 +468,7 @@ impl Drop for AliveGuard {
 /// request does not hang.
 struct ReplyGuard<'s> {
     id: u64,
+    submitted_at: Instant,
     reply: Sender<PlanResponse>,
     shared: &'s Shared,
 }
@@ -425,11 +478,20 @@ impl Drop for ReplyGuard<'_> {
         if std::thread::panicking() {
             self.shared.metrics.on_panic();
             self.shared.active.lock().remove(&self.id);
-            let _ = self.reply.send(PlanResponse::failure(
+            let mut resp = PlanResponse::failure(
                 self.id,
                 JobStatus::Error,
                 "worker thread killed by panic while executing this job",
-            ));
+            );
+            resp.wall_ms = self.submitted_at.elapsed().as_millis() as u64;
+            obs::emit(|| {
+                Event::new("svc.reply")
+                    .u64("id", resp.id)
+                    .str("status", resp.status.name())
+                    .bool("cache_hit", false)
+                    .u64("wall_ms", resp.wall_ms)
+            });
+            let _ = self.reply.send(resp);
         }
     }
 }
@@ -476,8 +538,13 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
             Ok(job) => job,
             Err(_) => break, // queue closed and drained
         };
-        shared.metrics.on_dequeue();
-        let _guard = ReplyGuard { id: job.id, reply: job.reply.clone(), shared };
+        let queue_wait_ms = job.wall_ms();
+        shared.metrics.on_dequeue(queue_wait_ms);
+        // The span covers admission-to-reply; it must outlive the reply
+        // guard so a worker-killing panic still exits the span last.
+        let _span = obs::span("svc.request");
+        obs::emit(|| Event::new("svc.dequeue").u64("id", job.id).u64("queue_wait_wall_ms", queue_wait_ms));
+        let _guard = ReplyGuard { id: job.id, submitted_at: job.submitted_at, reply: job.reply.clone(), shared };
         if let JobProblem::Spec(ProblemSpec::Chaos { kill_worker: true, .. }) = &job.problem {
             shared.metrics.on_fault_injected();
             panic!("chaos job {} killed this worker on request", job.id);
@@ -504,7 +571,20 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
                 }
             }
         }
+        if response.wall_ms == 0 {
+            // The fallback and panic-exhausted responses are built without
+            // timing; every path must still report submission-to-reply
+            // latency with queue wait included.
+            response.wall_ms = job.wall_ms();
+        }
         shared.active.lock().remove(&job.id);
+        obs::emit(|| {
+            Event::new("svc.reply")
+                .u64("id", response.id)
+                .str("status", response.status.name())
+                .bool("cache_hit", response.cache_hit)
+                .u64("wall_ms", response.wall_ms)
+        });
         // A dropped reply receiver just discards the response.
         let _ = job.reply.send(response);
     }
@@ -533,7 +613,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
             Err(msg) => {
                 shared.metrics.on_error();
                 let mut resp = PlanResponse::failure(job.id, JobStatus::Error, msg);
-                resp.wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+                resp.wall_ms = job.wall_ms();
                 return resp;
             }
         },
@@ -548,7 +628,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
             shared.metrics.on_fault_injected();
             panic!("chaos job {}: injected panic on attempt {attempt}", job.id);
         }
-        let wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+        let wall_ms = job.wall_ms();
         shared.metrics.on_complete(wall_ms, true);
         return PlanResponse {
             id: job.id,
@@ -566,9 +646,11 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
     }
 
     let key = PlanCache::key(built.signature(), cfg.signature());
-    if let Some(hit) = shared.cache.lock().get(key) {
+    let cached = shared.cache.lock().get(key);
+    obs::emit(|| Event::new("svc.cache").u64("id", job.id).bool("hit", cached.is_some()));
+    if let Some(hit) = cached {
         shared.metrics.on_cache_hit();
-        let wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+        let wall_ms = job.wall_ms();
         shared.metrics.on_complete(wall_ms, hit.solved);
         return PlanResponse {
             id: job.id,
@@ -615,7 +697,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
             },
         );
     }
-    let wall_ms = job.submitted_at.elapsed().as_millis() as u64;
+    let wall_ms = job.wall_ms();
     shared.metrics.on_complete(wall_ms, outcome.solved);
     PlanResponse {
         id: job.id,

@@ -7,7 +7,8 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
-use gaplan_service::{serve, PlanService, ProblemSpec, ServiceConfig};
+use gaplan_obs as obs;
+use gaplan_service::{serve, ObsHandle, PlanService, ProblemSpec, ServiceConfig};
 
 /// A `Write` target the test can inspect after `serve` returns.
 #[derive(Clone, Default)]
@@ -108,5 +109,170 @@ fn chaos_transient_panics_are_retried_to_success_in_process() {
     assert_eq!(m.panics_caught, 1, "{m:?}");
     assert_eq!(m.jobs_retried, 1, "{m:?}");
     assert_eq!(m.workers_respawned, 0, "a caught panic must not cost a worker: {m:?}");
+    service.shutdown();
+}
+
+/// Every `"status":"..."` carried by a wire response must have a matching
+/// `svc.reply` trace event with the same id and status — across Done,
+/// Error, Timeout, Cancelled, Shed and Rejected — and every dequeued job
+/// runs inside a balanced `svc.request` span.
+#[test]
+fn chaos_every_response_status_has_a_matching_reply_event() {
+    let statuses_of = |trace: &str, lines: &[String], wanted: &[(u64, &str)]| {
+        for &(id, status) in wanted {
+            let id_needle = format!(r#""id":{id}"#);
+            let status_needle = format!(r#""status":"{status}""#);
+            assert!(
+                lines.iter().any(|l| l.contains(&id_needle) && l.contains(&status_needle)),
+                "id {id} should answer {status}: {lines:?}"
+            );
+            let needle = format!(r#"{{"ev":"svc.reply","id":{id},"status":"{status}""#);
+            assert!(
+                trace.lines().any(|l| l.starts_with(&needle)),
+                "no svc.reply event for id {id} status {status} in trace:\n{trace}"
+            );
+        }
+    };
+
+    // Session A — Done, Error (panic-exhausted), Timeout, Cancelled. One
+    // worker keeps ordering predictable: job 4 is cancelled while queued or
+    // shortly after it starts; either way it must answer Cancelled.
+    let sink = obs::SharedBuf::default();
+    let cfg = ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 0,
+        max_job_retries: 0,
+        obs: Some(ObsHandle::new(Arc::new(obs::JsonlSink::new(sink.clone())))),
+        ..ServiceConfig::default()
+    };
+    let input = concat!(
+        r#"{"cmd":"plan","id":1,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":2,"problem":{"Chaos":{"fail_attempts":3,"kill_worker":false}}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":3,"problem":{"Hanoi":{"disks":6}},"deadline_ms":1}"#,
+        "\n",
+        r#"{"cmd":"plan","id":4,"problem":{"Hanoi":{"disks":10}},"ga":{"population":400,"generations":400,"phases":5}}"#,
+        "\n",
+        r#"{"cmd":"cancel","id":4}"#,
+        "\n",
+        r#"{"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let lines = run_session(cfg, input);
+    let trace = sink.contents();
+    statuses_of(&trace, &lines, &[(1, "Done"), (2, "Error"), (3, "Timeout"), (4, "Cancelled")]);
+    let enters = trace.lines().filter(|l| l.starts_with(r#"{"ev":"span_enter","span":"svc.request""#)).count();
+    let exits = trace.lines().filter(|l| l.starts_with(r#"{"ev":"span_exit","span":"svc.request""#)).count();
+    assert_eq!(enters, 4, "one request span per dequeued job:\n{trace}");
+    assert_eq!(enters, exits, "request spans must balance:\n{trace}");
+    // Each traced reply echoes into a dequeue event for the same id.
+    for id in 1..=4u64 {
+        assert!(
+            trace.contains(&format!(r#"{{"ev":"svc.dequeue","id":{id},"#)),
+            "missing svc.dequeue for {id}:\n{trace}"
+        );
+    }
+
+    // Session B — Shed (queue full past the admission window while the
+    // worker is pinned) and Rejected (duplicate in-flight id). The shed and
+    // rejected replies never reach a worker, so they are emitted by the
+    // serve loop itself.
+    let sink = obs::SharedBuf::default();
+    let cfg = ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 0,
+        admission_timeout: Duration::from_millis(25),
+        obs: Some(ObsHandle::new(Arc::new(obs::JsonlSink::new(sink.clone())))),
+        ..ServiceConfig::default()
+    };
+    let input = concat!(
+        r#"{"cmd":"plan","id":10,"problem":{"Hanoi":{"disks":10}},"ga":{"population":400,"generations":400,"phases":5}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":11,"problem":{"Hanoi":{"disks":10}},"ga":{"population":400,"generations":400,"phases":5}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":12,"problem":{"Hanoi":{"disks":3}}}"#,
+        "\n",
+        r#"{"cmd":"plan","id":10,"problem":{"Hanoi":{"disks":3}}}"#,
+        "\n",
+        r#"{"cmd":"cancel","id":10}"#,
+        "\n",
+        r#"{"cmd":"cancel","id":11}"#,
+        "\n",
+        r#"{"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let lines = run_session(cfg, input);
+    let trace = sink.contents();
+    statuses_of(&trace, &lines, &[(12, "Shed")]);
+    let rejected = r#"{"ev":"svc.reply","id":10,"status":"Rejected""#;
+    assert!(trace.lines().any(|l| l.starts_with(rejected)), "duplicate id must trace a Rejected reply:\n{trace}");
+    assert!(
+        lines.iter().any(|l| l.contains(r#""id":10"#) && l.contains(r#""status":"Rejected""#)),
+        "duplicate id must answer Rejected: {lines:?}"
+    );
+}
+
+/// Regression for the `wall_ms` helper: every response path — build error,
+/// chaos success, GA completion, cache hit, panic-exhausted error and the
+/// reply-guard path for a killed worker — must report submission-to-reply
+/// latency, *including* time spent queued behind other jobs.
+#[test]
+fn wall_ms_includes_queue_wait_on_every_response_path() {
+    let (service, responses) = PlanService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let plan = |id, problem| gaplan_service::PlanRequest { id, problem, deadline_ms: None, ga: None };
+    // Pin the single worker on a long-running job...
+    service
+        .submit(gaplan_service::PlanRequest {
+            id: 1,
+            problem: ProblemSpec::Hanoi { disks: 10 },
+            deadline_ms: None,
+            ga: Some(gaplan_service::GaOverrides {
+                population: Some(400),
+                generations: Some(400),
+                phases: Some(5),
+                ..Default::default()
+            }),
+        })
+        .unwrap();
+    // ...queue one job per response path behind it...
+    service.submit(plan(2, ProblemSpec::Hanoi { disks: 0 })).unwrap(); // build error
+    service.submit(plan(3, ProblemSpec::Chaos { fail_attempts: 0, kill_worker: false })).unwrap(); // chaos success
+    service.submit(plan(4, ProblemSpec::Chaos { fail_attempts: 99, kill_worker: false })).unwrap(); // panic-exhausted
+    service.submit(plan(5, ProblemSpec::Chaos { fail_attempts: 0, kill_worker: true })).unwrap(); // reply guard
+    service.submit(plan(6, ProblemSpec::Hanoi { disks: 3 })).unwrap(); // GA completion
+    service.submit(plan(7, ProblemSpec::Hanoi { disks: 3 })).unwrap(); // cache hit
+                                                                       // ...let them accumulate queue wait, then release the worker.
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(service.cancel(1));
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..7 {
+        let resp = responses.recv_timeout(Duration::from_secs(30)).expect("every job answers");
+        seen.insert(resp.id, resp);
+    }
+    for id in 2..=7u64 {
+        let resp = &seen[&id];
+        assert!(
+            resp.wall_ms >= 60,
+            "id {id} ({:?}) waited >=120ms in queue but reports wall_ms={}",
+            resp.status,
+            resp.wall_ms
+        );
+    }
+    assert!(seen[&7].cache_hit, "id 7 must be the cache hit: {:?}", seen[&7]);
+    let m = service.metrics();
+    assert!(
+        m.queue_wait_ms_hist.count >= 6 && m.queue_wait_ms_hist.p99 >= 63,
+        "queue waits must land in the histogram: {:?}",
+        m.queue_wait_ms_hist
+    );
     service.shutdown();
 }

@@ -6,16 +6,21 @@
 //! gaplan grid   <file> [--planner ga|greedy] [--simulate]
 //!                      [--overload SITE:TIME:LOAD] [--faults SEED]
 //!                      [--fault-rate F]
-//! gaplan hanoi  <disks> [--single] [--seed N]
+//! gaplan hanoi  [<disks>] [--disks N] [--single] [--seed N]
 //! gaplan tile   <side>  [--crossover random|state-aware|mixed] [--seed N]
 //! gaplan serve  [--workers N] [--queue N] [--cache N]
 //!               [--admission-ms N] [--job-retries N]
+//! gaplan trace-report <file> [--top K]
 //! ```
+//!
+//! Every planning command also accepts `--trace FILE`, writing a JSON-lines
+//! event trace (see `gaplan-obs`) that `gaplan trace-report` analyzes.
 //!
 //! STRIPS files use the `gaplan-core` text format; grid files use the
 //! `gaplan-grid` format (see `data/` for samples).
 
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ga_grid_planner::baselines::{
@@ -26,7 +31,8 @@ use ga_grid_planner::ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
 use ga_grid_planner::grid::{
     chaos_schedule, greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, FaultPlan, ReplanPolicy,
 };
-use ga_grid_planner::service::{serve, PlanService, ServiceConfig, ServiceReplanner};
+use ga_grid_planner::obs;
+use ga_grid_planner::service::{serve, ObsHandle, PlanService, ServiceConfig, ServiceReplanner};
 use gaplan_core::{Domain, Plan};
 
 fn main() {
@@ -38,14 +44,32 @@ fn main() {
         "hanoi" => hanoi_cmd(&args[1..]),
         "tile" => tile_cmd(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
+        "trace-report" => trace_report_cmd(&args[1..]),
         other => usage(&format!("unknown command `{other}`")),
     }
+}
+
+/// Open the `--trace FILE` sink, if requested, as a service-shareable
+/// handle. The file is created eagerly so a bad path fails before planning.
+fn trace_handle(args: &[String]) -> Option<ObsHandle> {
+    let path = flag_value(args, "--trace")?;
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create trace file {path}: {e}");
+        exit(1);
+    });
+    Some(ObsHandle::new(Arc::new(obs::JsonlSink::new(std::io::BufWriter::new(file)))))
+}
+
+/// Install the `--trace FILE` sink on this thread for the duration of the
+/// returned guard (none when the flag is absent).
+fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
+    trace_handle(args).map(|h| h.install())
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi <disks> [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N]    (JSON lines on stdin/stdout)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N]    (JSON lines on stdin/stdout)\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)"
     );
     exit(2);
 }
@@ -93,6 +117,7 @@ fn strips_cmd(args: &[String]) {
     println!("{path}: {} conditions, {} ground operators", problem.num_conditions(), problem.num_operations());
     let planner = flag_value(args, "--planner").unwrap_or("ga");
     let limits = SearchLimits::default();
+    let _trace = install_trace(args);
     let started = Instant::now();
     match planner {
         "ga" => {
@@ -147,6 +172,10 @@ fn grid_cmd(args: &[String]) {
         world.goals().len()
     );
     let planner = flag_value(args, "--planner").unwrap_or("ga");
+    // Planning and the simulator timeline trace on this thread. Service
+    // replan workers deliberately stay untraced: their wall-clock scheduling
+    // would interleave nondeterministically with the sim-time timeline.
+    let _trace = install_trace(args);
     let started = Instant::now();
     let plan = match planner {
         "ga" => {
@@ -272,6 +301,7 @@ fn serve_cmd(args: &[String]) {
         cache_capacity: parse_or(flag_value(args, "--cache"), 128),
         admission_timeout: std::time::Duration::from_millis(parse_or(flag_value(args, "--admission-ms"), 0)),
         max_job_retries: parse_or(flag_value(args, "--job-retries"), 1),
+        obs: trace_handle(args),
     };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -282,7 +312,9 @@ fn serve_cmd(args: &[String]) {
 }
 
 fn hanoi_cmd(args: &[String]) {
-    let n: usize = parse_or(args.first().map(String::as_str), 5);
+    // Disk count: positional (`gaplan hanoi 5`) or `--disks 5`.
+    let positional = args.first().filter(|a| !a.starts_with("--")).map(String::as_str);
+    let n: usize = parse_or(flag_value(args, "--disks").or(positional), 5);
     let hanoi = Hanoi::new(n);
     let mut cfg = ga_config_from_flags(args, hanoi.optimal_len());
     if flag_present(args, "--single") {
@@ -290,6 +322,7 @@ fn hanoi_cmd(args: &[String]) {
     } else {
         cfg = cfg.multi_phase();
     }
+    let _trace = install_trace(args);
     let started = Instant::now();
     let r = MultiPhase::new(&hanoi, cfg).run();
     println!(
@@ -320,6 +353,7 @@ fn tile_cmd(args: &[String]) {
     let initial_len = ((n * n) as f64 * ((n * n) as f64).log2()).ceil() as usize;
     let mut cfg = ga_config_from_flags(args, initial_len);
     cfg.crossover = crossover;
+    let _trace = install_trace(args);
     let started = Instant::now();
     let r = MultiPhase::new(&puzzle, cfg).run();
     println!(
@@ -331,4 +365,14 @@ fn tile_cmd(args: &[String]) {
         started.elapsed().as_secs_f64()
     );
     println!("final state:\n{}", puzzle.render(&r.final_state));
+}
+
+fn trace_report_cmd(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else { usage("trace-report needs a file") };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let top_k = parse_or(flag_value(args, "--top"), 5);
+    print!("{}", ga_grid_planner::trace_report::render(&text, top_k));
 }

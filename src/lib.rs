@@ -6,4 +6,7 @@ pub use gaplan_core as core;
 pub use gaplan_domains as domains;
 pub use gaplan_ga as ga;
 pub use gaplan_grid as grid;
+pub use gaplan_obs as obs;
 pub use gaplan_service as service;
+
+pub mod trace_report;

@@ -1,0 +1,276 @@
+//! Offline analysis of `--trace` JSON-lines files.
+//!
+//! [`render`] turns a trace produced by `gaplan ... --trace FILE` into a
+//! human-readable report: per-span time breakdown, per-phase generation
+//! counts, an eval-time histogram, the top-k slowest generations, the
+//! state-aware crossover fallback rate, and — when present — the grid
+//! task-lifecycle timeline and service reply summaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use gaplan_obs::Histogram;
+use serde::json::{parse, Value};
+
+fn num_u64(v: &Value, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Value::Int(i)) => u64::try_from(*i).ok(),
+        Some(Value::Float(f)) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn num_f64(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(Value::Int(i)) => Some(*i as f64),
+        Some(Value::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+fn str_of<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+/// Everything [`render`] extracts from a trace, exposed for tests and
+/// programmatic consumers.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Parsed event lines.
+    pub events: usize,
+    /// Lines that failed to parse (the report still covers the rest).
+    pub unparseable: usize,
+    /// Per-span `(count, total wall ns)`, keyed by span name.
+    pub spans: BTreeMap<String, (u64, u64)>,
+    /// `(phase, generation, eval wall ns, best total fitness)` per `ga.gen`.
+    pub generations: Vec<(u64, u64, u64, f64)>,
+    /// Crossover outcome totals: children, state-aware fallbacks,
+    /// unchanged, rate-skipped.
+    pub xover: [u64; 4],
+    /// Event counts for `grid.*` timeline events, keyed by event name.
+    pub grid_events: BTreeMap<String, u64>,
+    /// `(makespan, failed)` from the trailing `grid.done` event.
+    pub grid_done: Option<(f64, bool)>,
+    /// `svc.reply` counts keyed by response status.
+    pub replies: BTreeMap<String, u64>,
+}
+
+impl TraceSummary {
+    /// Parse a JSON-lines trace into a summary.
+    pub fn parse(text: &str) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let Ok(value) = parse(line) else {
+                s.unparseable += 1;
+                continue;
+            };
+            let Some(ev) = str_of(&value, "ev") else {
+                s.unparseable += 1;
+                continue;
+            };
+            s.events += 1;
+            match ev {
+                "span_exit" => {
+                    if let (Some(name), Some(wall_ns)) = (str_of(&value, "span"), num_u64(&value, "wall_ns")) {
+                        let entry = s.spans.entry(name.to_string()).or_insert((0, 0));
+                        entry.0 += 1;
+                        entry.1 += wall_ns;
+                    }
+                }
+                "ga.gen" => {
+                    s.generations.push((
+                        num_u64(&value, "phase").unwrap_or(0),
+                        num_u64(&value, "gen").unwrap_or(0),
+                        num_u64(&value, "eval_wall_ns").unwrap_or(0),
+                        num_f64(&value, "best_total").unwrap_or(0.0),
+                    ));
+                }
+                "ga.xover" => {
+                    for (slot, key) in s.xover.iter_mut().zip(["children", "fallback", "unchanged", "skipped"]) {
+                        *slot += num_u64(&value, key).unwrap_or(0);
+                    }
+                }
+                "svc.reply" => {
+                    *s.replies.entry(str_of(&value, "status").unwrap_or("?").to_string()).or_insert(0) += 1;
+                }
+                name if name.starts_with("grid.") => {
+                    *s.grid_events.entry(name.to_string()).or_insert(0) += 1;
+                    if name == "grid.done" {
+                        s.grid_done = Some((
+                            num_f64(&value, "makespan").unwrap_or(0.0),
+                            matches!(value.get("failed"), Some(Value::Bool(true))),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// `fallback / attempted` crossover rate in `[0, 1]`, where attempted
+    /// counts every pairing the operator was asked to cross (children +
+    /// fallbacks + unchanged). `None` before any crossover ran.
+    pub fn fallback_rate(&self) -> Option<f64> {
+        let attempted = self.xover[0] + self.xover[1] + self.xover[2];
+        (attempted > 0).then(|| self.xover[1] as f64 / attempted as f64)
+    }
+}
+
+/// Render the report for a raw trace: parse, then format every section for
+/// which the trace has data.
+pub fn render(text: &str, top_k: usize) -> String {
+    let s = TraceSummary::parse(text);
+    let mut out = String::new();
+    let _ = writeln!(out, "trace report: {} events ({} unparseable lines)", s.events, s.unparseable);
+
+    if !s.spans.is_empty() {
+        let _ = writeln!(out, "\nspans:");
+        let _ = writeln!(out, "  {:<24} {:>7} {:>12} {:>12}", "name", "count", "total ms", "mean ms");
+        for (name, (count, total_ns)) in &s.spans {
+            let mean = ms(*total_ns) / (*count).max(1) as f64;
+            let _ = writeln!(out, "  {:<24} {:>7} {:>12.3} {:>12.3}", name, count, ms(*total_ns), mean);
+        }
+    }
+
+    if !s.generations.is_empty() {
+        let mut per_phase: BTreeMap<u64, u64> = BTreeMap::new();
+        for (phase, ..) in &s.generations {
+            *per_phase.entry(*phase).or_insert(0) += 1;
+        }
+        let _ = writeln!(out, "\nga generations:");
+        for (phase, count) in &per_phase {
+            let best = s.generations.iter().filter(|g| g.0 == *phase).map(|g| g.3).fold(f64::NEG_INFINITY, f64::max);
+            let _ = writeln!(out, "  phase {phase}: {count} generations, best total fitness {best:.3}");
+        }
+        let _ = writeln!(out, "  total: {} generations across {} phases", s.generations.len(), per_phase.len());
+
+        let mut hist = Histogram::new();
+        for (_, _, eval_ns, _) in &s.generations {
+            hist.record(*eval_ns);
+        }
+        let _ = writeln!(out, "\neval time per generation:");
+        for (upper_ns, count) in hist.nonzero_buckets() {
+            let _ = writeln!(out, "  <= {:>10.3} ms: {count}", ms(upper_ns));
+        }
+        let _ = writeln!(
+            out,
+            "  mean {:.3} ms, p50 <= {:.3} ms, p99 <= {:.3} ms",
+            hist.mean() / 1.0e6,
+            ms(hist.quantile_upper(0.5)),
+            ms(hist.quantile_upper(0.99))
+        );
+
+        let mut slowest = s.generations.clone();
+        slowest.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        let _ = writeln!(out, "\nslowest generations:");
+        for (phase, generation, eval_ns, best) in slowest.iter().take(top_k.max(1)) {
+            let _ = writeln!(
+                out,
+                "  phase {phase} gen {generation}: {:.3} ms eval, best total fitness {best:.3}",
+                ms(*eval_ns)
+            );
+        }
+    }
+
+    let attempted = s.xover[0] + s.xover[1] + s.xover[2];
+    if attempted > 0 || s.xover[3] > 0 {
+        let _ = writeln!(out, "\ncrossover outcomes:");
+        let _ = writeln!(
+            out,
+            "  children {}, state-aware fallbacks {}, unchanged {}, rate-skipped {}",
+            s.xover[0], s.xover[1], s.xover[2], s.xover[3]
+        );
+        if let Some(rate) = s.fallback_rate() {
+            let _ = writeln!(out, "  state-aware fallback rate: {:.1}% of {attempted} attempted", rate * 100.0);
+        }
+    }
+
+    if !s.grid_events.is_empty() {
+        let _ = writeln!(out, "\ngrid timeline:");
+        for (name, count) in &s.grid_events {
+            let _ = writeln!(out, "  {:<20} {count}", name.strip_prefix("grid.").unwrap_or(name));
+        }
+        if let Some((makespan, failed)) = s.grid_done {
+            let _ = writeln!(out, "  makespan {makespan:.1}, degraded: {failed}");
+        }
+    }
+
+    if !s.replies.is_empty() {
+        let _ = writeln!(out, "\nservice replies:");
+        for (status, count) in &s.replies {
+            let _ = writeln!(out, "  {status:<10} {count}");
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"ev":"span_enter","span":"ga.run"}"#,
+        "\n",
+        r#"{"ev":"ga.gen","phase":1,"gen":0,"best_total":0.50,"eval_wall_ns":2000000}"#,
+        "\n",
+        r#"{"ev":"ga.gen","phase":1,"gen":1,"best_total":0.75,"eval_wall_ns":9000000}"#,
+        "\n",
+        r#"{"ev":"ga.xover","phase":1,"gen":0,"children":60,"fallback":30,"unchanged":10,"skipped":5}"#,
+        "\n",
+        r#"{"ev":"ga.gen","phase":2,"gen":0,"best_total":1.00,"eval_wall_ns":1000000}"#,
+        "\n",
+        r#"{"ev":"span_exit","span":"ga.run","wall_ns":12000000}"#,
+        "\n",
+        r#"{"ev":"grid.dispatch","t":0.0,"task":"a","site":"s","eta":1.5}"#,
+        "\n",
+        r#"{"ev":"grid.done","makespan":42.5,"busy_time":40.0,"tasks":1,"replans":0,"faults":0,"retried":0,"rerouted":0,"failed":false,"goal_fitness":1.0}"#,
+        "\n",
+        r#"{"ev":"svc.reply","id":1,"status":"Done","cache_hit":false,"wall_ms":3}"#,
+        "\n",
+        "not json at all\n",
+    );
+
+    #[test]
+    fn summary_extracts_every_section() {
+        let s = TraceSummary::parse(SAMPLE);
+        assert_eq!(s.events, 9);
+        assert_eq!(s.unparseable, 1);
+        assert_eq!(s.spans["ga.run"], (1, 12_000_000));
+        assert_eq!(s.generations.len(), 3);
+        assert_eq!(s.xover, [60, 30, 10, 5]);
+        assert!((s.fallback_rate().unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(s.grid_events["grid.dispatch"], 1);
+        assert_eq!(s.grid_done, Some((42.5, false)));
+        assert_eq!(s.replies["Done"], 1);
+    }
+
+    #[test]
+    fn render_prints_per_phase_counts_histogram_and_fallback_rate() {
+        let report = render(SAMPLE, 2);
+        assert!(report.contains("phase 1: 2 generations"), "{report}");
+        assert!(report.contains("phase 2: 1 generations"), "{report}");
+        assert!(report.contains("total: 3 generations across 2 phases"), "{report}");
+        assert!(report.contains("eval time per generation"), "{report}");
+        assert!(report.contains("state-aware fallback rate: 30.0% of 100 attempted"), "{report}");
+        // top-2 slowest come out in eval-time order
+        let slow = report.find("phase 1 gen 1: 9.000 ms").expect("slowest listed");
+        let next = report.find("phase 1 gen 0: 2.000 ms").expect("second slowest listed");
+        assert!(slow < next, "{report}");
+        assert!(!report.contains("gen 0: 1.000 ms"), "top_k=2 must cut the list: {report}");
+        assert!(report.contains("makespan 42.5"), "{report}");
+        assert!(report.contains("Done"), "{report}");
+    }
+
+    #[test]
+    fn empty_trace_renders_a_header_only() {
+        let report = render("", 5);
+        assert!(report.starts_with("trace report: 0 events"));
+        assert!(!report.contains("spans:"));
+    }
+}

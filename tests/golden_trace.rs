@@ -1,0 +1,110 @@
+//! Golden-trace regression tests.
+//!
+//! Each test drives the `gaplan` binary with a fixed seed and `--trace`,
+//! masks wall-clock fields with [`ga_grid_planner::obs::golden::mask_trace`],
+//! and compares the result byte-for-byte against a checked-in golden in
+//! `tests/golden/`. Any change to event content, field order, or float
+//! formatting shows up as a diff here.
+//!
+//! To re-bless after an intentional schema change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_trace
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ga_grid_planner::obs::golden::mask_trace;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Run `gaplan <args> --trace <tmp>` and return the masked trace.
+fn masked_trace_of(name: &str, args: &[&str]) -> String {
+    let trace = std::env::temp_dir().join(format!("gaplan-golden-{name}-{}.jsonl", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_gaplan"))
+        .args(args)
+        .arg("--trace")
+        .arg(&trace)
+        .current_dir(repo_path(""))
+        .output()
+        .expect("gaplan binary runs");
+    assert!(
+        output.status.success(),
+        "gaplan {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let raw = std::fs::read_to_string(&trace).expect("trace file written");
+    let _ = std::fs::remove_file(&trace);
+    assert!(!raw.is_empty(), "gaplan {args:?} produced an empty trace");
+    mask_trace(&raw)
+}
+
+/// Compare a masked trace against `tests/golden/<name>.jsonl`, regenerating
+/// the golden when `GOLDEN_BLESS=1`.
+fn assert_matches_golden(name: &str, masked: &str) {
+    let golden_path = repo_path(&format!("tests/golden/{name}.jsonl"));
+    if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, masked).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("missing golden {}: {e}\nrun GOLDEN_BLESS=1 cargo test --test golden_trace", golden_path.display())
+    });
+    if masked != golden {
+        let diff_at = masked
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  got:    {}\n  golden: {}",
+                    i + 1,
+                    masked.lines().nth(i).unwrap_or(""),
+                    golden.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!("line counts differ: got {}, golden {}", masked.lines().count(), golden.lines().count())
+            });
+        panic!(
+            "masked trace for `{name}` diverged from {} ({diff_at})\n\
+             if the change is intentional: GOLDEN_BLESS=1 cargo test --test golden_trace",
+            golden_path.display()
+        );
+    }
+}
+
+/// Run the command twice and check the masked streams are byte-identical
+/// before comparing against the golden: determinism is a property of the
+/// build, not just of the checked-in file.
+fn golden_case(name: &str, args: &[&str]) {
+    let first = masked_trace_of(name, args);
+    let second = masked_trace_of(name, args);
+    assert_eq!(first, second, "two same-seed `{name}` runs produced different masked traces");
+    assert_matches_golden(name, &first);
+}
+
+#[test]
+fn hanoi_trace_is_golden() {
+    golden_case("hanoi", &["hanoi", "--disks", "4", "--pop", "60", "--gens", "20", "--phases", "2", "--seed", "11"]);
+}
+
+#[test]
+fn tile_multiphase_trace_is_golden() {
+    golden_case(
+        "tile",
+        &["tile", "3", "--pop", "60", "--gens", "15", "--phases", "2", "--seed", "7", "--crossover", "mixed"],
+    );
+}
+
+#[test]
+fn grid_simulate_trace_is_golden() {
+    let grid_file = repo_path("data/pipeline.grid");
+    let grid_file = grid_file.to_str().expect("utf-8 path");
+    golden_case("grid", &["grid", grid_file, "--simulate", "--faults", "7", "--fault-rate", "0.2", "--seed", "5"]);
+}
