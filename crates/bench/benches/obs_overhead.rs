@@ -20,7 +20,7 @@ fn bench_cfg() -> GaConfig {
         initial_len: 31,
         max_len: 155,
         seed: 1,
-        parallel: false,
+        eval: gaplan_ga::EvalMode::Serial,
         ..GaConfig::default()
     }
 }

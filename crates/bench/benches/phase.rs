@@ -16,7 +16,7 @@ fn bench_phase(c: &mut Criterion) {
         initial_len: 31,
         max_len: 155,
         seed: 1,
-        parallel: false,
+        eval: gaplan_ga::EvalMode::Serial,
         ..GaConfig::default()
     };
     group.bench_function("hanoi5_pop200_gens20", |b| {
@@ -30,7 +30,7 @@ fn bench_phase(c: &mut Criterion) {
         initial_len: 29,
         max_len: 145,
         seed: 1,
-        parallel: false,
+        eval: gaplan_ga::EvalMode::Serial,
         ..GaConfig::default()
     };
     group.bench_function("tile3_pop200_gens20", |b| {

@@ -22,7 +22,7 @@ pub fn run_batch<D: Domain>(domain: &D, cfg: &GaConfig, runs: usize) -> (Vec<Run
     (0..runs).into_par_iter().for_each(|i| {
         let mut run_cfg = cfg.clone();
         run_cfg.seed = derive_seed(cfg.seed, i as u64 + 1);
-        run_cfg.parallel = false;
+        run_cfg.eval = gaplan_ga::EvalMode::Serial;
         let start = Instant::now();
         let result = MultiPhase::new(domain, run_cfg).run();
         let report = RunReport::from_result(&result, start.elapsed().as_secs_f64());

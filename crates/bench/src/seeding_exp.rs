@@ -55,7 +55,7 @@ pub fn ext_seeding(scale: &ExpScale) -> TextTable {
         for run in 0..runs {
             let mut cfg = ga_cfg(scale);
             cfg.seed = derive_seed(scale.seed, run as u64 + 1);
-            cfg.parallel = false;
+            cfg.eval = gaplan_ga::EvalMode::Serial;
             let started = Instant::now();
             let mut driver = MultiPhase::new(&problem, cfg);
             if let Some((strategy, fraction)) = &seeder {

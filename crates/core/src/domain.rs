@@ -88,6 +88,13 @@ pub trait Domain: Send + Sync {
     }
 }
 
+std::thread_local! {
+    /// Scratch for [`DomainExt::is_valid`]: one per thread, at module scope
+    /// so every `Domain` instantiation shares it instead of allocating a
+    /// fresh `Vec` per call.
+    static IS_VALID_SCRATCH: std::cell::RefCell<Vec<OpId>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Convenience extensions implemented for every [`Domain`].
 pub trait DomainExt: Domain {
     /// Collect the valid operations of `state` into a fresh vector.
@@ -99,7 +106,15 @@ pub trait DomainExt: Domain {
 
     /// Is `op` valid in `state`?
     fn is_valid(&self, state: &Self::State, op: OpId) -> bool {
-        self.valid_ops_vec(state).contains(&op)
+        // Take the scratch out rather than holding the borrow across
+        // `valid_operations`, so a re-entrant `is_valid` (however unlikely)
+        // degrades to an allocation instead of a RefCell panic.
+        let mut v = IS_VALID_SCRATCH.with(|scratch| std::mem::take(&mut *scratch.borrow_mut()));
+        v.clear();
+        self.valid_operations(state, &mut v);
+        let found = v.contains(&op);
+        IS_VALID_SCRATCH.with(|scratch| *scratch.borrow_mut() = v);
+        found
     }
 
     /// Total cost of a sequence of operations (costs are state-independent

@@ -1,0 +1,352 @@
+//! Transposition table for successor sets.
+//!
+//! The paper's indirect encoding makes [`Domain::valid_operations`] the inner
+//! loop of decoding: every gene of every individual re-enumerates the valid
+//! operations of a state the population has almost certainly visited before
+//! (crossover preserves whole prefixes; replace-mutation changes a handful of
+//! genes). [`SuccessorCache`] memoizes, per state signature, both the
+//! valid-op list and its hash (the `ValidOpSet` match key), so each state is
+//! paid for once per cache rather than once per individual.
+//!
+//! Design constraints, in order:
+//!
+//! * **Determinism.** A lookup returns exactly what
+//!   [`Domain::valid_operations`] would have produced, so decoding is
+//!   bitwise-identical with the cache on or off, serial or parallel. Only the
+//!   hit/miss/eviction *counters* are racy under parallel evaluation (two
+//!   workers can miss the same state concurrently), which is why observability
+//!   masks them in golden traces.
+//! * **Bounded memory.** The table is a fixed array of slots, direct-mapped
+//!   by signature: a colliding insert replaces the previous occupant
+//!   (counted as an eviction) instead of growing.
+//! * **Cheap sharing.** Sixteen shards behind `parking_lot` mutexes keep the
+//!   rayon workers of `EvalMode::Parallel` from serialising on one lock; a
+//!   hit copies the op list into the caller's scratch under the shard lock,
+//!   avoiding per-hit `Arc` traffic.
+//!
+//! Keys are [`Domain::state_signature`] values. The default signature is a
+//! 64-bit hash, so two distinct states *can* collide; debug builds store the
+//! full state in each entry and assert equality on every hit, turning any
+//! collision into a loud panic instead of a silent wrong decode. Domains with
+//! small state spaces (e.g. Towers of Hanoi) override `state_signature` with
+//! an injective packing, making collisions impossible, not just improbable.
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::domain::{Domain, OpId};
+use crate::sig::hash_one;
+
+/// Number of independently locked shards. Power of two; the low signature
+/// bits pick the shard, the remaining bits pick the slot within it.
+const SHARDS: usize = 16;
+
+/// Default total capacity of a [`SuccessorCache`], in entries. Sized so the
+/// benchmark domains (hanoi ≤ 3^20 reachable states but tiny hot sets, tile
+/// and grid much hotter) rarely evict, at tens of MB worst case.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One memoized state: its signature, valid-op list, and the FxHash of that
+/// list (the decoder's `ValidOpSet` match key, precomputed).
+struct Entry<S> {
+    sig: u64,
+    ops: Vec<OpId>,
+    ops_key: u64,
+    /// Debug builds keep the state itself so hits can verify the signature
+    /// was not a collision.
+    #[cfg(debug_assertions)]
+    state: S,
+    #[cfg(not(debug_assertions))]
+    _marker: std::marker::PhantomData<S>,
+}
+
+/// Counter snapshot returned by [`SuccessorCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that fell through to `valid_operations`.
+    pub misses: u64,
+    /// Entries replaced by a different state mapping to the same slot.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Counters accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.wrapping_sub(earlier.hits),
+            misses: self.misses.wrapping_sub(earlier.misses),
+            evictions: self.evictions.wrapping_sub(earlier.evictions),
+        }
+    }
+
+    /// Fraction of lookups served from the table (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, bounded, direct-mapped transposition table keyed by
+/// [`Domain::state_signature`]. See the module docs for the contract.
+pub struct SuccessorCache<S> {
+    shards: Vec<Mutex<Vec<Option<Entry<S>>>>>,
+    slots_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<S: Clone + PartialEq + Eq + Hash> SuccessorCache<S> {
+    /// A cache holding at most (roughly) `capacity` entries; memory is
+    /// allocated lazily as slots fill. Capacities below one slot per shard
+    /// are rounded up.
+    pub fn new(capacity: usize) -> Self {
+        let slots_per_shard = capacity.div_ceil(SHARDS).max(1);
+        SuccessorCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            slots_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.slots_per_shard * SHARDS
+    }
+
+    /// Memoized [`Domain::valid_operations`]: fill `out` with the valid ops
+    /// of `state` (whose signature the caller already computed) and return
+    /// the FxHash of that list — the decoder's `ValidOpSet` match key.
+    ///
+    /// On a hit the ops are copied out of the table; on a miss they are
+    /// computed, hashed, and inserted. Either way `out` and the returned key
+    /// are exactly what an uncached decode would have produced.
+    pub fn successors<D>(&self, domain: &D, state: &S, sig: u64, out: &mut Vec<OpId>) -> u64
+    where
+        D: Domain<State = S> + ?Sized,
+    {
+        let shard_idx = (sig as usize) % SHARDS;
+        let slot_idx = ((sig >> 4) as usize) % self.slots_per_shard;
+        {
+            let shard = self.shards[shard_idx].lock();
+            if let Some(Some(entry)) = shard.get(slot_idx) {
+                if entry.sig == sig {
+                    #[cfg(debug_assertions)]
+                    debug_assert!(
+                        entry.state == *state,
+                        "state_signature collision: two distinct states share signature {sig:#x}; \
+                         override Domain::state_signature with an injective packing"
+                    );
+                    out.clear();
+                    out.extend_from_slice(&entry.ops);
+                    let key = entry.ops_key;
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return key;
+                }
+            }
+        }
+        // Miss: compute outside the lock (valid_operations may be costly),
+        // then publish. Two threads racing on the same state insert the same
+        // value, so losing the race is harmless.
+        out.clear();
+        domain.valid_operations(state, out);
+        let ops_key = hash_one::<Vec<OpId>>(out);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[shard_idx].lock();
+        if shard.is_empty() {
+            shard.resize_with(self.slots_per_shard, || None);
+        }
+        let slot = &mut shard[slot_idx];
+        if slot.as_ref().is_some_and(|e| e.sig != sig) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(Entry {
+            sig,
+            ops: out.clone(),
+            ops_key,
+            #[cfg(debug_assertions)]
+            state: state.clone(),
+            #[cfg(not(debug_assertions))]
+            _marker: std::marker::PhantomData,
+        });
+        ops_key
+    }
+
+    /// Credit `n` hits observed by a caller-side front cache (e.g. a
+    /// decoder's private L1 mirroring this table), so `stats()` reports the
+    /// cache layer's full effectiveness rather than only the probes that
+    /// reached the shared table.
+    pub fn credit_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainExt;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counter domain that tallies how often `valid_operations` runs.
+    struct Counted {
+        calls: AtomicUsize,
+    }
+
+    impl Domain for Counted {
+        type State = i64;
+
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn num_operations(&self) -> usize {
+            2
+        }
+        fn valid_operations(&self, state: &i64, out: &mut Vec<OpId>) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            out.push(OpId(0));
+            if *state > 0 {
+                out.push(OpId(1));
+            }
+        }
+        fn apply(&self, state: &i64, op: OpId) -> i64 {
+            if op.0 == 0 {
+                state + 1
+            } else {
+                state - 1
+            }
+        }
+        fn goal_fitness(&self, state: &i64) -> f64 {
+            if *state == 3 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    fn counted() -> Counted {
+        Counted { calls: AtomicUsize::new(0) }
+    }
+
+    #[test]
+    fn hit_returns_same_ops_and_key_as_miss() {
+        let d = counted();
+        let cache = SuccessorCache::new(64);
+        let state = 5i64;
+        let sig = d.state_signature(&state);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let k1 = cache.successors(&d, &state, sig, &mut a);
+        let k2 = cache.successors(&d, &state, sig, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(k1, k2);
+        assert_eq!(d.calls.load(Ordering::Relaxed), 1, "second lookup must be a hit");
+        assert_eq!(a, d.valid_ops_vec(&state));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn ops_key_matches_uncached_valid_op_set_hash() {
+        // The decoder's `ValidOpSet` match key is `hash_one` of the scratch
+        // vector; the cached key must be byte-identical to it.
+        let d = counted();
+        let cache = SuccessorCache::new(64);
+        for state in [-2i64, 0, 1, 7] {
+            let sig = d.state_signature(&state);
+            let mut out = Vec::new();
+            let key = cache.successors(&d, &state, sig, &mut out);
+            assert_eq!(key, hash_one(&d.valid_ops_vec(&state)));
+        }
+    }
+
+    #[test]
+    fn vec_hash_equals_repopulated_vec_hash() {
+        // `hash_one(&Vec<OpId>)` must not depend on capacity or provenance:
+        // a cloned entry and the caller's reused scratch hash identically.
+        let ops = vec![OpId(3), OpId(1), OpId(4)];
+        let mut scratch = Vec::with_capacity(128);
+        scratch.extend_from_slice(&ops);
+        assert_eq!(hash_one(&ops), hash_one(&scratch));
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_evictions_are_counted() {
+        let d = counted();
+        // 16 shards × 1 slot: 16 total slots, so 1000 distinct states must
+        // recycle them rather than grow.
+        let cache = SuccessorCache::<i64>::new(1);
+        assert_eq!(cache.capacity(), 16);
+        let mut out = Vec::new();
+        for s in 0..1000i64 {
+            let sig = d.state_signature(&s);
+            cache.successors(&d, &s, sig, &mut out);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1000);
+        assert!(stats.evictions > 0, "direct-mapped slots must evict under pressure");
+        // Memory bound: no shard ever holds more than slots_per_shard slots.
+        for shard in &cache.shards {
+            assert!(shard.lock().len() <= cache.slots_per_shard);
+        }
+    }
+
+    #[test]
+    fn evicted_entries_are_recomputed_correctly() {
+        let d = counted();
+        let cache = SuccessorCache::<i64>::new(1);
+        let mut out = Vec::new();
+        for round in 0..3 {
+            for s in 0..100i64 {
+                let sig = d.state_signature(&s);
+                let key = cache.successors(&d, &s, sig, &mut out);
+                assert_eq!(out, d.valid_ops_vec(&s), "round {round} state {s}");
+                assert_eq!(key, hash_one(&d.valid_ops_vec(&s)));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let d = Arc::new(counted());
+        let cache = Arc::new(SuccessorCache::new(256));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let d = Arc::clone(&d);
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for s in 0..50i64 {
+                        let sig = d.state_signature(&s);
+                        let key = cache.successors(&*d, &s, sig, &mut out);
+                        assert_eq!(key, hash_one(&out));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert!(stats.hits >= 100, "at least the three late threads should mostly hit");
+    }
+}

@@ -179,6 +179,17 @@ impl Domain for Hanoi {
         let (from, to) = MOVES[op.index()];
         format!("move {}->{}", PEG_NAMES[from as usize], PEG_NAMES[to as usize])
     }
+
+    /// Base-3 packing of the disk→peg vector: injective (collision-free) for
+    /// up to 40 disks (`3^40 < 2^64`), and cheaper than hashing the `Vec`.
+    /// Falls back to the default hash for absurdly tall towers.
+    fn state_signature(&self, state: &HanoiState) -> u64 {
+        if state.len() <= 40 {
+            state.iter().rev().fold(0u64, |acc, &peg| acc * 3 + u64::from(peg))
+        } else {
+            gaplan_core::sig::hash_one(state)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -314,5 +325,24 @@ mod tests {
     #[should_panic(expected = "invalid stake")]
     fn bad_init_rejected() {
         Hanoi::with_init(2, vec![0, 3], 1);
+    }
+
+    #[test]
+    fn state_signature_is_injective_over_all_states() {
+        // 5 disks -> 3^5 = 243 reachable placements; enumerate them all and
+        // demand pairwise-distinct signatures (the base-3 packing is exact).
+        let h = Hanoi::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for code in 0..243u32 {
+            let mut c = code;
+            let state: HanoiState = (0..5)
+                .map(|_| {
+                    let peg = (c % 3) as u8;
+                    c /= 3;
+                    peg
+                })
+                .collect();
+            assert!(seen.insert(h.state_signature(&state)), "collision for {state:?}");
+        }
     }
 }

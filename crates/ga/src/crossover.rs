@@ -50,19 +50,38 @@ pub fn crossover<R: Rng + ?Sized, S>(
     b: &Evaluated<S>,
     max_len: usize,
 ) -> CrossoverOutcome {
+    crossover_with_cuts(rng, kind, a, b, max_len).0
+}
+
+/// [`crossover`] that also reports each child's *unchanged-prefix lengths*:
+/// `cuts = Some((p1, p2))` means the first child's genes `0..p1` are copied
+/// verbatim from parent `a` and the second child's genes `0..p2` verbatim
+/// from parent `b`. The engine turns these into prefix-reuse decode hints.
+/// `None` accompanies [`CrossoverOutcome::Unchanged`] (the parents pass
+/// through whole, so their entire decode is reusable).
+///
+/// The RNG draw sequence is identical to [`crossover`]'s by construction —
+/// `crossover` is this function minus the cut report.
+pub fn crossover_with_cuts<R: Rng + ?Sized, S>(
+    rng: &mut R,
+    kind: CrossoverKind,
+    a: &Evaluated<S>,
+    b: &Evaluated<S>,
+    max_len: usize,
+) -> (CrossoverOutcome, Option<(usize, usize)>) {
     match kind {
         CrossoverKind::Random => {
             let c1 = rng.gen_range(0..=a.genome.len());
             let c2 = rng.gen_range(0..=b.genome.len());
-            children(a, c1, b, c2, max_len)
+            (children(a, c1, b, c2, max_len), Some((c1, c2)))
         }
         CrossoverKind::StateAware => {
             // Cut points must lie in the decoded region: match keys identify
             // decode states, which only exist for decoded loci.
             let c1 = rng.gen_range(0..=a.decoded_len);
             match matching_cut(rng, a.match_keys[c1], b) {
-                Some(c2) => children(a, c1, b, c2, max_len),
-                None => CrossoverOutcome::Unchanged,
+                Some(c2) => (children(a, c1, b, c2, max_len), Some((c1, c2))),
+                None => (CrossoverOutcome::Unchanged, None),
             }
         }
         CrossoverKind::Mixed => {
@@ -72,13 +91,14 @@ pub fn crossover<R: Rng + ?Sized, S>(
             // random crossover."
             let c1 = rng.gen_range(0..=a.decoded_len);
             match matching_cut(rng, a.match_keys[c1], b) {
-                Some(c2) => children(a, c1, b, c2, max_len),
+                Some(c2) => (children(a, c1, b, c2, max_len), Some((c1, c2))),
                 None => {
                     let c2 = rng.gen_range(0..=b.genome.len());
-                    match children(a, c1, b, c2, max_len) {
+                    let outcome = match children(a, c1, b, c2, max_len) {
                         CrossoverOutcome::Children(g1, g2) => CrossoverOutcome::FallbackChildren(g1, g2),
                         other => other,
-                    }
+                    };
+                    (outcome, Some((c1, c2)))
                 }
             }
         }
@@ -97,7 +117,9 @@ pub fn crossover<R: Rng + ?Sized, S>(
             g2.extend_from_slice(mid_a);
             g2.extend_from_slice(&b.genome.genes()[b2..]);
             g2.truncate(max_len);
-            CrossoverOutcome::Children(Genome::from_genes(g1), Genome::from_genes(g2))
+            // Only the flanks before the first cut of each parent survive
+            // unchanged in the corresponding child.
+            (CrossoverOutcome::Children(Genome::from_genes(g1), Genome::from_genes(g2)), Some((a1, b1)))
         }
     }
 }
@@ -278,6 +300,48 @@ mod tests {
         for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
             // must not panic; state-aware can match at key 1
             let _ = crossover(&mut rng, kind, &a, &b, 100);
+        }
+    }
+
+    #[test]
+    fn reported_cuts_are_true_unchanged_prefixes() {
+        let a = ind(vec![0.11, 0.12, 0.13, 0.14, 0.15], vec![1, 2, 7, 4, 9, 5]);
+        let b = ind(vec![0.91, 0.92, 0.93, 0.94], vec![5, 7, 6, 9, 8]);
+        for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
+            let mut rng = StdRng::seed_from_u64(21);
+            for _ in 0..100 {
+                let (outcome, cuts) = crossover_with_cuts(&mut rng, kind, &a, &b, 100);
+                match (outcome, cuts) {
+                    (
+                        CrossoverOutcome::Children(c1, c2) | CrossoverOutcome::FallbackChildren(c1, c2),
+                        Some((p1, p2)),
+                    ) => {
+                        assert!(p1 <= c1.len() && p1 <= a.genome.len(), "{kind:?}: p1 {p1} out of range");
+                        assert!(p2 <= c2.len() && p2 <= b.genome.len(), "{kind:?}: p2 {p2} out of range");
+                        assert_eq!(&c1.genes()[..p1], &a.genome.genes()[..p1], "{kind:?}: child1 prefix");
+                        assert_eq!(&c2.genes()[..p2], &b.genome.genes()[..p2], "{kind:?}: child2 prefix");
+                    }
+                    (CrossoverOutcome::Unchanged, None) => {}
+                    (outcome, cuts) => panic!("{kind:?}: inconsistent report {outcome:?} / {cuts:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_and_with_cuts_share_rng_stream() {
+        let a = ind(vec![0.1; 8], (0..=8).collect());
+        let b = ind(vec![0.9; 5], vec![3, 1, 4, 1, 5, 9]);
+        for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
+            let mut r1 = StdRng::seed_from_u64(33);
+            let mut r2 = StdRng::seed_from_u64(33);
+            for _ in 0..50 {
+                let plain = crossover(&mut r1, kind, &a, &b, 20);
+                let (cut, _) = crossover_with_cuts(&mut r2, kind, &a, &b, 20);
+                assert_eq!(plain, cut, "{kind:?} diverged");
+            }
+            // streams still aligned afterwards
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
         }
     }
 

@@ -7,11 +7,64 @@
 //! and so on. Decoding therefore *cannot* produce an invalid operation, and
 //! the match fitness (Eq. 1) is identically 1.
 
-use gaplan_core::{Domain, OpId};
+use gaplan_core::{Domain, OpId, SuccessorCache};
 
 use crate::config::{GoalEval, StateMatchMode};
 use crate::genome::Genome;
 use crate::Fitness;
+
+/// Checkpoint of an individual's *unchanged prefix*, set by the breeding
+/// operators so re-decoding can replay the prefix instead of re-deriving it.
+///
+/// Crossover copies genes `0..cut` of a parent verbatim into a child, and
+/// replace-mutation leaves genes before the first flipped locus untouched.
+/// Decoding is a pure function of `(start, genes)`, so the child's decode of
+/// that prefix is *guaranteed* to equal the parent's: the same ops, the same
+/// match keys, the same intermediate states. A `PrefixHint` carries the
+/// parent's `(ops, match_keys)` for the shared prefix; [`Decoder::decode_with`]
+/// replays it — re-applying ops and re-accumulating cost/goal fitness
+/// bitwise-identically, but skipping every `valid_operations` enumeration and
+/// match-key hash — and resumes ordinary decoding at the first changed locus.
+///
+/// Invariants (upheld by construction, checked in tests):
+/// * `ops.len() == keys.len()`, one entry per replayed gene;
+/// * the hint covers at most the donor's `decoded_len` (genes the donor never
+///   decoded — past a goal truncation or dead end — are not replayable);
+/// * a hint is only attached to a child sharing the donor's start state and
+///   its first `len()` genes.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixHint {
+    ops: Vec<OpId>,
+    keys: Vec<u64>,
+}
+
+impl PrefixHint {
+    /// Checkpoint of the first `prefix_genes` genes of a donor individual,
+    /// given the donor's decode outputs. Capped at the donor's decoded
+    /// length: genes the donor never decoded cannot be replayed.
+    pub fn new(donor_ops: &[OpId], donor_keys: &[u64], prefix_genes: usize) -> PrefixHint {
+        let k = prefix_genes.min(donor_ops.len());
+        debug_assert!(donor_keys.len() > donor_ops.len(), "match_keys must have decoded_len + 1 entries");
+        PrefixHint { ops: donor_ops[..k].to_vec(), keys: donor_keys[..k].to_vec() }
+    }
+
+    /// Number of replayable genes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the hint replays nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Shrink the hint to `prefix_genes` genes — called when mutation flips
+    /// a locus inside the previously unchanged prefix.
+    pub fn truncate(&mut self, prefix_genes: usize) {
+        self.ops.truncate(prefix_genes);
+        self.keys.truncate(prefix_genes);
+    }
+}
 
 /// The result of decoding a genome from a start state.
 #[derive(Debug, Clone)]
@@ -45,10 +98,44 @@ pub struct Decoded<S> {
 /// A reusable decoder. Holds the scratch buffer for valid-operation lists so
 /// per-individual decoding allocates only the output vectors; rayon workers
 /// each keep their own `Decoder` (`map_init`).
+///
+/// When decoding through a [`SuccessorCache`], the decoder additionally
+/// keeps a private, lock-free L1 front cache of recent successor lists, so
+/// the hot path (re-visiting a state this worker just saw) costs a signature
+/// compare and a copy instead of a shard lock. L1 hits are credited back to
+/// the shared cache's statistics; correctness is unaffected — the L1 stores
+/// exactly what the shared cache returned.
 #[derive(Debug, Default, Clone)]
 pub struct Decoder {
     scratch: Vec<OpId>,
+    /// Direct-mapped L1 front cache (see [`L1Entry`]).
+    l1: Vec<Option<L1Entry>>,
+    /// Identity of the shared cache the L1 mirrors (its address); a decoder
+    /// handed a different cache drops its L1 rather than serve stale lists.
+    l1_of: usize,
+    /// L1 hits not yet credited to the shared cache's counters.
+    l1_hits: u64,
+    /// Signature of the state about to be probed, pre-computed by
+    /// [`Decoder::goal_of`] so the decode loop hashes each state once, not
+    /// twice (once for the goal lookup, once for the successor probe).
+    pending_sig: Option<u64>,
 }
+
+/// One L1 slot: everything the decode loop needs about a state, keyed by its
+/// signature. `goal` is filled lazily the first time the loop asks for the
+/// state's goal fitness.
+#[derive(Debug, Clone)]
+struct L1Entry {
+    sig: u64,
+    key: u64,
+    ops: Vec<OpId>,
+    goal: Option<f64>,
+}
+
+/// Slots in a decoder's L1 front cache. Covers all 3^7 = 2187 Hanoi-7
+/// states with room to spare; bigger state spaces degrade gracefully to the
+/// shared cache.
+const L1_SLOTS: usize = 4096;
 
 /// Map one gene to an index into a `k`-element valid-operation list.
 #[inline]
@@ -79,34 +166,104 @@ impl Decoder {
         truncate_at_goal: bool,
         match_mode: StateMatchMode,
     ) -> Decoded<D::State> {
+        self.decode_with(domain, start, genome, truncate_at_goal, match_mode, None, None)
+    }
+
+    /// [`Decoder::decode`] with the evaluation-layer accelerations: an
+    /// optional shared [`SuccessorCache`] (memoized `valid_operations` +
+    /// match keys) and an optional [`PrefixHint`] (replay of the unchanged
+    /// prefix). Both are pure optimizations — the returned [`Decoded`] is
+    /// bitwise-identical to an uncached, hintless decode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_with<D: Domain>(
+        &mut self,
+        domain: &D,
+        start: &D::State,
+        genome: &Genome,
+        truncate_at_goal: bool,
+        match_mode: StateMatchMode,
+        cache: Option<&SuccessorCache<D::State>>,
+        hint: Option<&PrefixHint>,
+    ) -> Decoded<D::State> {
         let genes = genome.genes();
+        self.pending_sig = None;
+        if let Some(cache) = cache {
+            self.ensure_l1(domain, cache);
+        }
         let mut ops = Vec::with_capacity(genes.len());
         let mut match_keys = Vec::with_capacity(genes.len() + 1);
         let mut state = start.clone();
         let mut cost = 0.0;
-        let mut best_prefix_goal = domain.goal_fitness(&state);
+        let mut best_prefix_goal =
+            if cache.is_some() { self.goal_of(domain, &state) } else { domain.goal_fitness(&state) };
         let mut best_prefix_at = 0usize;
         let mut best_prefix_state = state.clone();
         let mut reached_goal = best_prefix_goal >= 1.0;
 
-        for &gene in genes {
+        // Replay the unchanged prefix: the donor decoded these exact genes
+        // from this exact start, so its ops and match keys are this decode's
+        // ops and match keys. Costs, goal fitness and break conditions are
+        // re-accumulated in the same order as a full decode (bitwise
+        // determinism); only `valid_operations` and the key hashing are
+        // skipped. Dead ends cannot occur inside the prefix — the donor
+        // decoded an op at each of these states, so none was a dead end.
+        if let Some(hint) = hint {
+            for (&op, &key) in hint.ops.iter().zip(&hint.keys).take(genes.len()) {
+                if truncate_at_goal && reached_goal {
+                    break;
+                }
+                match_keys.push(key);
+                cost += domain.op_cost(op);
+                state = domain.apply(&state, op);
+                ops.push(op);
+                let g = if cache.is_some() { self.goal_of(domain, &state) } else { domain.goal_fitness(&state) };
+                if g > best_prefix_goal {
+                    best_prefix_goal = g;
+                    best_prefix_at = ops.len();
+                    best_prefix_state = state.clone();
+                }
+                if !reached_goal && g >= 1.0 {
+                    reached_goal = true;
+                }
+            }
+        }
+
+        for &gene in &genes[ops.len()..] {
             if truncate_at_goal && reached_goal {
                 break;
             }
-            self.scratch.clear();
-            domain.valid_operations(&state, &mut self.scratch);
+            // One cache probe yields the valid-op list *and* this state's
+            // match key (the signature it was keyed by, or the memoized
+            // valid-op-set hash); the uncached path enumerates and hashes.
+            let key = match cache {
+                Some(cache) => {
+                    let (sig, ops_key) = self.probe(domain, &state, cache);
+                    match match_mode {
+                        StateMatchMode::ExactState => sig,
+                        StateMatchMode::ValidOpSet => ops_key,
+                    }
+                }
+                None => {
+                    self.scratch.clear();
+                    domain.valid_operations(&state, &mut self.scratch);
+                    if self.scratch.is_empty() {
+                        break;
+                    }
+                    self.match_key(domain, &state, match_mode)
+                }
+            };
             if self.scratch.is_empty() {
                 // dead-end state: the paper's domains always have valid
                 // operations, but STRIPS/grid domains may not. Remaining
                 // genes are ignored.
                 break;
             }
-            match_keys.push(self.match_key(domain, &state, match_mode));
+            match_keys.push(key);
             let op = self.scratch[gene_to_index(gene, self.scratch.len())];
             cost += domain.op_cost(op);
             state = domain.apply(&state, op);
             ops.push(op);
-            let g = domain.goal_fitness(&state);
+            let g = if cache.is_some() { self.goal_of(domain, &state) } else { domain.goal_fitness(&state) };
             if g > best_prefix_goal {
                 best_prefix_goal = g;
                 best_prefix_at = ops.len();
@@ -116,7 +273,21 @@ impl Decoder {
                 reached_goal = true;
             }
         }
-        match_keys.push(self.match_key(domain, &state, match_mode));
+        match_keys.push(match cache {
+            Some(cache) => {
+                let (sig, ops_key) = self.probe(domain, &state, cache);
+                match match_mode {
+                    StateMatchMode::ExactState => sig,
+                    StateMatchMode::ValidOpSet => ops_key,
+                }
+            }
+            None => self.match_key(domain, &state, match_mode),
+        });
+        if let Some(cache) = cache {
+            if self.l1_hits > 0 {
+                cache.credit_hits(std::mem::take(&mut self.l1_hits));
+            }
+        }
 
         Decoded {
             decoded_len: ops.len(),
@@ -129,6 +300,71 @@ impl Decoder {
             best_prefix_at,
             best_prefix_state,
         }
+    }
+
+    /// (Re)arm the L1 for a `(domain, cache)` pairing, identified by the
+    /// pair of addresses. A decoder that switches to a different cache or
+    /// domain drops its L1 instead of serving lists memoized for another
+    /// world. (Address identity is a heuristic: a freed-and-reallocated
+    /// cache at the same address with the same state type could alias, but
+    /// every in-tree caller builds a fresh `Decoder` per evaluation batch.)
+    fn ensure_l1<D: Domain>(&mut self, domain: &D, cache: &SuccessorCache<D::State>) {
+        let id = (cache as *const SuccessorCache<D::State> as usize) ^ (domain as *const D as *const () as usize);
+        if self.l1_of != id || self.l1.is_empty() {
+            self.l1.clear();
+            self.l1.resize_with(L1_SLOTS, || None);
+            self.l1_of = id;
+            self.l1_hits = 0;
+        }
+    }
+
+    /// Probe the L1 front cache, falling back to the shared cache. Fills
+    /// `self.scratch` with the state's valid operations and returns
+    /// `(state_signature, memoized ValidOpSet key)`.
+    fn probe<D: Domain>(&mut self, domain: &D, state: &D::State, cache: &SuccessorCache<D::State>) -> (u64, u64) {
+        let sig = match self.pending_sig.take() {
+            Some(sig) => sig,
+            None => domain.state_signature(state),
+        };
+        debug_assert_eq!(sig, domain.state_signature(state), "stale pending signature");
+        // Low bits index the L1: injective signature packings (hanoi's
+        // base-3 fold) produce *dense* sigs, which low bits spread perfectly
+        // and high bits collapse.
+        let slot = sig as usize % L1_SLOTS;
+        if let Some(e) = &self.l1[slot] {
+            if e.sig == sig {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(&e.ops);
+                self.l1_hits += 1;
+                return (sig, e.key);
+            }
+        }
+        let key = cache.successors(domain, state, sig, &mut self.scratch);
+        self.l1[slot] = Some(L1Entry { sig, key, ops: self.scratch.clone(), goal: None });
+        (sig, key)
+    }
+
+    /// Goal fitness of `state`, memoized in the L1 alongside the state's
+    /// successor list (only called when a cache is armed). Also stashes the
+    /// state's signature: the decode loop always probes this same state next
+    /// (either for its successors or for the trailing match key), so the
+    /// probe can skip re-hashing it.
+    fn goal_of<D: Domain>(&mut self, domain: &D, state: &D::State) -> f64 {
+        let sig = domain.state_signature(state);
+        self.pending_sig = Some(sig);
+        let slot = sig as usize % L1_SLOTS;
+        if let Some(e) = &mut self.l1[slot] {
+            if e.sig == sig {
+                if let Some(g) = e.goal {
+                    debug_assert_eq!(g.to_bits(), domain.goal_fitness(state).to_bits(), "stale memoized goal");
+                    return g;
+                }
+                let g = domain.goal_fitness(state);
+                e.goal = Some(g);
+                return g;
+            }
+        }
+        domain.goal_fitness(state)
     }
 
     #[inline]
@@ -151,7 +387,22 @@ impl Decoder {
         genome: &Genome,
         cfg: &crate::GaConfig,
     ) -> (Decoded<D::State>, Fitness) {
-        let decoded = self.decode(domain, start, genome, cfg.truncate_at_goal, cfg.state_match);
+        self.evaluate_with(domain, start, genome, cfg, None, None)
+    }
+
+    /// [`Decoder::evaluate`] through the shared evaluation layer (optional
+    /// successor cache and prefix hint); same results, fewer
+    /// `valid_operations` calls.
+    pub fn evaluate_with<D: Domain>(
+        &mut self,
+        domain: &D,
+        start: &D::State,
+        genome: &Genome,
+        cfg: &crate::GaConfig,
+        cache: Option<&SuccessorCache<D::State>>,
+        hint: Option<&PrefixHint>,
+    ) -> (Decoded<D::State>, Fitness) {
+        let decoded = self.decode_with(domain, start, genome, cfg.truncate_at_goal, cfg.state_match, cache, hint);
         let goal = match cfg.goal_eval {
             GoalEval::FinalState => domain.goal_fitness(&decoded.final_state),
             GoalEval::BestPrefix => decoded.best_prefix_goal,
@@ -306,5 +557,168 @@ mod tests {
         assert_eq!(dec.match_keys.len(), 1);
         assert_eq!(dec.cost, 0.0);
         assert!(!dec.reached_goal);
+    }
+
+    /// Bit-for-bit comparison of two decodes, every field.
+    fn assert_decoded_eq<S: PartialEq + std::fmt::Debug>(a: &Decoded<S>, b: &Decoded<S>, what: &str) {
+        assert_eq!(a.ops, b.ops, "{what}: ops");
+        assert_eq!(a.match_keys, b.match_keys, "{what}: match_keys");
+        assert_eq!(a.final_state, b.final_state, "{what}: final_state");
+        assert!(a.cost.to_bits() == b.cost.to_bits(), "{what}: cost {} vs {}", a.cost, b.cost);
+        assert_eq!(a.decoded_len, b.decoded_len, "{what}: decoded_len");
+        assert_eq!(a.reached_goal, b.reached_goal, "{what}: reached_goal");
+        assert!(
+            a.best_prefix_goal.to_bits() == b.best_prefix_goal.to_bits(),
+            "{what}: best_prefix_goal {} vs {}",
+            a.best_prefix_goal,
+            b.best_prefix_goal
+        );
+        assert_eq!(a.best_prefix_at, b.best_prefix_at, "{what}: best_prefix_at");
+        assert_eq!(a.best_prefix_state, b.best_prefix_state, "{what}: best_prefix_state");
+    }
+
+    #[test]
+    fn cached_decode_is_bitwise_identical_to_uncached() {
+        let d = line();
+        let cache = SuccessorCache::new(256);
+        let genomes =
+            [vec![0.9, 0.1, 0.7, 0.99, 0.3, 0.5], vec![0.1, 0.1, 0.1, 0.1], vec![0.1, 0.9, 0.1, 0.9, 0.44], vec![]];
+        for (mode, truncate) in [
+            (StateMatchMode::ExactState, false),
+            (StateMatchMode::ExactState, true),
+            (StateMatchMode::ValidOpSet, false),
+            (StateMatchMode::ValidOpSet, true),
+        ] {
+            for genes in &genomes {
+                let g = Genome::from_genes(genes.clone());
+                let start = d.initial_state();
+                let plain = Decoder::new().decode(&d, &start, &g, truncate, mode);
+                // twice through the cache: once cold, once warm
+                let cold = Decoder::new().decode_with(&d, &start, &g, truncate, mode, Some(&cache), None);
+                let warm = Decoder::new().decode_with(&d, &start, &g, truncate, mode, Some(&cache), None);
+                assert_decoded_eq(&plain, &cold, "cold cache");
+                assert_decoded_eq(&plain, &warm, "warm cache");
+            }
+        }
+        assert!(cache.stats().hits > 0, "repeat decodes must hit the cache");
+    }
+
+    #[test]
+    fn prefix_hint_replay_is_bitwise_identical() {
+        let d = line();
+        let donor_genes = vec![0.1, 0.1, 0.9, 0.3, 0.2, 0.8];
+        let donor = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(donor_genes.clone()),
+            false,
+            StateMatchMode::ValidOpSet,
+        );
+        // A "child" sharing the first `cut` genes with the donor, for every
+        // possible cut (including 0 and the full length).
+        for cut in 0..=donor_genes.len() {
+            let mut child_genes = donor_genes[..cut].to_vec();
+            child_genes.extend([0.7, 0.05, 0.6]);
+            let g = Genome::from_genes(child_genes);
+            let hint = PrefixHint::new(&donor.ops, &donor.match_keys, cut);
+            assert!(hint.len() <= cut);
+            let plain = Decoder::new().decode(&d, &d.initial_state(), &g, false, StateMatchMode::ValidOpSet);
+            let hinted = Decoder::new().decode_with(
+                &d,
+                &d.initial_state(),
+                &g,
+                false,
+                StateMatchMode::ValidOpSet,
+                None,
+                Some(&hint),
+            );
+            assert_decoded_eq(&plain, &hinted, &format!("hint cut {cut}"));
+        }
+    }
+
+    #[test]
+    fn prefix_hint_respects_goal_truncation() {
+        let d = line();
+        // Donor reaches the goal at gene 4 under truncation; its decoded_len
+        // is 4 even though the genome is longer.
+        let donor_genes = vec![0.1, 0.1, 0.1, 0.1, 0.9, 0.9];
+        let donor = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(donor_genes.clone()),
+            true,
+            StateMatchMode::ExactState,
+        );
+        assert_eq!(donor.decoded_len, 4);
+        // A hint "covering" 6 genes is capped at the donor's 4 decoded ops;
+        // replaying it against the same genome reproduces the truncation.
+        let hint = PrefixHint::new(&donor.ops, &donor.match_keys, 6);
+        assert_eq!(hint.len(), 4);
+        let replayed = Decoder::new().decode_with(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(donor_genes),
+            true,
+            StateMatchMode::ExactState,
+            None,
+            Some(&hint),
+        );
+        assert_decoded_eq(&donor, &replayed, "goal-truncated replay");
+    }
+
+    #[test]
+    fn prefix_hint_truncate_shrinks_replay() {
+        let d = line();
+        let genes = vec![0.1, 0.1, 0.9, 0.3];
+        let donor = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(genes.clone()),
+            false,
+            StateMatchMode::ExactState,
+        );
+        let mut hint = PrefixHint::new(&donor.ops, &donor.match_keys, 4);
+        hint.truncate(2);
+        assert_eq!(hint.len(), 2);
+        assert!(!hint.is_empty());
+        let replayed = Decoder::new().decode_with(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(genes),
+            false,
+            StateMatchMode::ExactState,
+            None,
+            Some(&hint),
+        );
+        assert_decoded_eq(&donor, &replayed, "truncated hint");
+    }
+
+    #[test]
+    fn cache_and_hint_compose() {
+        let d = line();
+        let cache = SuccessorCache::new(256);
+        let donor_genes = vec![0.1, 0.9, 0.1, 0.1, 0.1];
+        let donor = Decoder::new().decode(
+            &d,
+            &d.initial_state(),
+            &Genome::from_genes(donor_genes.clone()),
+            false,
+            StateMatchMode::ValidOpSet,
+        );
+        let mut child_genes = donor_genes[..3].to_vec();
+        child_genes.extend([0.99, 0.0]);
+        let g = Genome::from_genes(child_genes);
+        let hint = PrefixHint::new(&donor.ops, &donor.match_keys, 3);
+        let plain = Decoder::new().decode(&d, &d.initial_state(), &g, false, StateMatchMode::ValidOpSet);
+        let both = Decoder::new().decode_with(
+            &d,
+            &d.initial_state(),
+            &g,
+            false,
+            StateMatchMode::ValidOpSet,
+            Some(&cache),
+            Some(&hint),
+        );
+        assert_decoded_eq(&plain, &both, "cache + hint");
     }
 }

@@ -2,18 +2,20 @@
 //! terminology (§3.5 step 2a): evaluate → select → crossover → mutate →
 //! replace, for a fixed number of generations.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use gaplan_core::budget::{Budget, StopCause};
-use gaplan_core::Domain;
+use gaplan_core::{Domain, SuccessorCache};
 use gaplan_obs as obs;
 use rand::Rng;
 
 use crate::config::GaConfig;
-use crate::crossover::{crossover, CrossoverOutcome};
+use crate::crossover::{crossover_with_cuts, CrossoverOutcome};
+use crate::decode::PrefixHint;
 use crate::individual::Evaluated;
 use crate::mutation::{length_mutate, mutate};
-use crate::population::{evaluate_all, init_population, phase_rng};
+use crate::population::{evaluate_candidates, init_population, phase_rng, Candidate};
 use crate::seeding::{seeded_population, SeedStrategy};
 use crate::selection::select_parent;
 use crate::stats::GenStats;
@@ -27,6 +29,7 @@ pub struct Phase<'d, D: Domain> {
     phase_index: u32,
     seeder: Option<(SeedStrategy, f64)>,
     budget: Budget,
+    cache: Option<Arc<SuccessorCache<D::State>>>,
 }
 
 /// The outcome of a phase.
@@ -64,7 +67,7 @@ impl<'d, D: Domain> Phase<'d, D> {
     /// Create a phase starting from the domain's initial state.
     pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
         let start = domain.initial_state();
-        Phase { domain, cfg, start, phase_index: 0, seeder: None, budget: Budget::unlimited() }
+        Phase { domain, cfg, start, phase_index: 0, seeder: None, budget: Budget::unlimited(), cache: None }
     }
 
     /// Create a phase starting from an arbitrary state (used by the
@@ -72,7 +75,17 @@ impl<'d, D: Domain> Phase<'d, D> {
     /// initial state for the search during the next phase"). `phase_index`
     /// selects an independent RNG stream.
     pub fn with_start(domain: &'d D, cfg: GaConfig, start: D::State, phase_index: u32) -> Self {
-        Phase { domain, cfg, start, phase_index, seeder: None, budget: Budget::unlimited() }
+        Phase { domain, cfg, start, phase_index, seeder: None, budget: Budget::unlimited(), cache: None }
+    }
+
+    /// Share a successor cache with this phase (the multi-phase driver and
+    /// the planning service pass one cache across phases/replans, so later
+    /// runs start warm). Without this, the phase builds a private cache when
+    /// `cfg.succ_cache` is on; `cfg.succ_cache = false` disables caching
+    /// entirely, including a cache passed here.
+    pub fn with_cache(mut self, cache: Arc<SuccessorCache<D::State>>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Seed a fraction of the initial population with heuristic individuals
@@ -94,13 +107,26 @@ impl<'d, D: Domain> Phase<'d, D> {
     pub fn run(&self) -> PhaseResult<D::State> {
         self.cfg.validate().expect("invalid GaConfig");
         let cfg = &self.cfg;
+        // The successor cache is shared when the caller provided one,
+        // phase-private otherwise; `succ_cache = false` switches the layer
+        // off regardless. Either way decode results are identical — only
+        // `valid_operations` call counts change.
+        let cache: Option<Arc<SuccessorCache<D::State>>> = if cfg.succ_cache {
+            Some(self.cache.clone().unwrap_or_else(|| Arc::new(SuccessorCache::new(cfg.succ_cache_capacity))))
+        } else {
+            None
+        };
+        let cache_start = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         let mut rng = phase_rng(cfg, self.phase_index);
-        let mut genomes = match &self.seeder {
+        let mut candidates: Vec<Candidate> = match &self.seeder {
             Some((strategy, fraction)) => {
                 seeded_population(self.domain, &self.start, cfg, strategy, *fraction, &mut rng)
             }
             None => init_population(&mut rng, cfg),
-        };
+        }
+        .into_iter()
+        .map(Candidate::fresh)
+        .collect();
 
         let mut best: Option<Evaluated<D::State>> = None;
         let mut history = Vec::with_capacity(cfg.generations_per_phase as usize);
@@ -123,7 +149,7 @@ impl<'d, D: Domain> Phase<'d, D> {
             // trace subscriber is installed: eval wall time is telemetry,
             // and the disabled path must stay free of syscalls.
             let eval_started = if obs::enabled() { Some(Instant::now()) } else { None };
-            let evaluated = evaluate_all(self.domain, &self.start, genomes, cfg);
+            let evaluated = evaluate_candidates(self.domain, &self.start, candidates, cfg, cache.as_deref());
             let eval_wall_ns = eval_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
             generations_executed = gen + 1;
 
@@ -170,37 +196,44 @@ impl<'d, D: Domain> Phase<'d, D> {
             // Outcomes are tallied per generation so the trace exposes how
             // often the state-aware mechanism actually fires vs. falls back.
             let (mut xo_children, mut xo_fallback, mut xo_unchanged, mut xo_skipped) = (0u64, 0u64, 0u64, 0u64);
-            let mut next = Vec::with_capacity(cfg.population_size);
+            let mut next: Vec<Candidate> = Vec::with_capacity(cfg.population_size);
+            // Every child's decode checkpoint: crossover children reuse the
+            // donor parent's decode up to their cut; pass-through individuals
+            // reuse the parent's entire decode.
+            let full_hint = |e: &Evaluated<D::State>| Some(PrefixHint::new(&e.ops, &e.match_keys, e.ops.len()));
+            let cut_hint = |e: &Evaluated<D::State>, cut: usize| Some(PrefixHint::new(&e.ops, &e.match_keys, cut));
             let mut i = 0;
             while i + 1 < parents.len() {
                 let (pa, pb) = (&evaluated[parents[i]], &evaluated[parents[i + 1]]);
                 if rng.gen::<f64>() < cfg.crossover_rate {
-                    match crossover(&mut rng, cfg.crossover, pa, pb, cfg.max_len) {
-                        CrossoverOutcome::Children(c1, c2) => {
+                    match crossover_with_cuts(&mut rng, cfg.crossover, pa, pb, cfg.max_len) {
+                        (CrossoverOutcome::Children(c1, c2), cuts) => {
                             xo_children += 1;
-                            next.push(c1);
-                            next.push(c2);
+                            let (p1, p2) = cuts.unwrap_or((0, 0));
+                            next.push(Candidate { hint: cut_hint(pa, p1), genome: c1 });
+                            next.push(Candidate { hint: cut_hint(pb, p2), genome: c2 });
                         }
-                        CrossoverOutcome::FallbackChildren(c1, c2) => {
+                        (CrossoverOutcome::FallbackChildren(c1, c2), cuts) => {
                             // mixed crossover found no matching cut and fell
                             // back to a random second cut
                             xo_fallback += 1;
-                            next.push(c1);
-                            next.push(c2);
+                            let (p1, p2) = cuts.unwrap_or((0, 0));
+                            next.push(Candidate { hint: cut_hint(pa, p1), genome: c1 });
+                            next.push(Candidate { hint: cut_hint(pb, p2), genome: c2 });
                         }
-                        CrossoverOutcome::Unchanged => {
+                        (CrossoverOutcome::Unchanged, _) => {
                             // state-aware found no matching cut: "both
                             // parents are included in the population of the
                             // next generation"
                             xo_unchanged += 1;
-                            next.push(pa.genome.clone());
-                            next.push(pb.genome.clone());
+                            next.push(Candidate { hint: full_hint(pa), genome: pa.genome.clone() });
+                            next.push(Candidate { hint: full_hint(pb), genome: pb.genome.clone() });
                         }
                     }
                 } else {
                     xo_skipped += 1;
-                    next.push(pa.genome.clone());
-                    next.push(pb.genome.clone());
+                    next.push(Candidate { hint: full_hint(pa), genome: pa.genome.clone() });
+                    next.push(Candidate { hint: full_hint(pb), genome: pb.genome.clone() });
                 }
                 i += 2;
             }
@@ -214,11 +247,19 @@ impl<'d, D: Domain> Phase<'d, D> {
                     .u64("skipped", xo_skipped)
             });
             if i < parents.len() {
-                next.push(evaluated[parents[i]].genome.clone());
+                let leftover = &evaluated[parents[i]];
+                next.push(Candidate { hint: full_hint(leftover), genome: leftover.genome.clone() });
             }
-            for genome in &mut next {
-                mutate(&mut rng, genome, cfg.mutation_rate);
-                length_mutate(&mut rng, genome, cfg.length_mutation_rate, cfg.max_len);
+            for cand in &mut next {
+                let m = mutate(&mut rng, &mut cand.genome, cfg.mutation_rate);
+                let lm = length_mutate(&mut rng, &mut cand.genome, cfg.length_mutation_rate, cfg.max_len);
+                // The checkpoint stays valid only up to the first locus any
+                // mutation touched.
+                if let Some(first_changed) = [m, lm].into_iter().flatten().min() {
+                    if let Some(hint) = &mut cand.hint {
+                        hint.truncate(first_changed);
+                    }
+                }
             }
 
             // elitism: the best `elitism` individuals survive unchanged,
@@ -234,13 +275,28 @@ impl<'d, D: Domain> Phase<'d, D> {
                 });
                 let n = next.len();
                 for (slot, &idx) in order.iter().take(cfg.elitism.min(n)).enumerate() {
-                    next[n - 1 - slot] = evaluated[idx].genome.clone();
+                    let elite = &evaluated[idx];
+                    next[n - 1 - slot] = Candidate { hint: full_hint(elite), genome: elite.genome.clone() };
                 }
             }
 
             // (iv) replace old with new population
-            genomes = next;
+            candidates = next;
         }
+
+        // Cache telemetry for the phase. Emitted even with the cache off
+        // (all-zero counters) so cache-on and cache-off traces stay
+        // line-aligned; the counter *values* are masked in golden traces
+        // because parallel workers race on hits vs. misses.
+        obs::emit(|| {
+            let delta = cache.as_ref().map(|c| c.stats().since(&cache_start)).unwrap_or_default();
+            obs::Event::new("ga.cache")
+                .u64("phase", self.phase_index as u64)
+                .u64("hits", delta.hits)
+                .u64("misses", delta.misses)
+                .u64("evictions", delta.evictions)
+                .u64("capacity", cache.as_ref().map_or(0, |c| c.capacity() as u64))
+        });
 
         debug_assert_eq!(history.len() as u32, generations_executed);
         debug_assert!(first_solution_gen.is_none_or(|g| g < generations_executed));
@@ -257,7 +313,7 @@ impl<'d, D: Domain> Phase<'d, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CrossoverKind, SelectionScheme};
+    use crate::config::{CrossoverKind, EvalMode, SelectionScheme};
     use gaplan_core::strips::{StripsBuilder, StripsProblem};
     use gaplan_core::{DomainExt, Plan};
 
@@ -286,7 +342,7 @@ mod tests {
             initial_len: 10,
             max_len: 24,
             seed: 7,
-            parallel: false,
+            eval: EvalMode::Serial,
             ..GaConfig::default()
         }
     }
@@ -535,5 +591,82 @@ mod tests {
         let mut c = cfg();
         c.crossover_rate = 2.0;
         Phase::new(&d, c).run();
+    }
+
+    /// Whole-phase equivalence: the evaluation layer (successor cache +
+    /// prefix hints) must not change a single bit of the outcome, for every
+    /// crossover kind and both match modes.
+    #[test]
+    fn phase_results_identical_with_cache_on_and_off() {
+        use crate::config::StateMatchMode;
+        let d = chain(6);
+        for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
+            for mode in [StateMatchMode::ValidOpSet, StateMatchMode::ExactState] {
+                let mut on = cfg();
+                on.crossover = kind;
+                on.state_match = mode;
+                on.generations_per_phase = 25;
+                on.length_mutation_rate = 0.05;
+                let mut off = on.clone();
+                on.succ_cache = true;
+                off.succ_cache = false;
+                let a = Phase::new(&d, on).run();
+                let b = Phase::new(&d, off).run();
+                assert_eq!(a.best.genome, b.best.genome, "{kind:?}/{mode:?}: genome");
+                assert_eq!(a.best.ops, b.best.ops, "{kind:?}/{mode:?}: ops");
+                assert_eq!(a.best.match_keys, b.best.match_keys, "{kind:?}/{mode:?}: match keys");
+                assert_eq!(
+                    a.best.fitness.total.to_bits(),
+                    b.best.fitness.total.to_bits(),
+                    "{kind:?}/{mode:?}: fitness"
+                );
+                assert_eq!(a.generations_executed, b.generations_executed, "{kind:?}/{mode:?}: generations");
+                assert_eq!(a.first_solution_gen, b.first_solution_gen, "{kind:?}/{mode:?}: first solution");
+                for (ha, hb) in a.history.iter().zip(&b.history) {
+                    assert_eq!(ha.best_total.to_bits(), hb.best_total.to_bits(), "{kind:?}/{mode:?}: history");
+                    assert_eq!(ha.mean_total.to_bits(), hb.mean_total.to_bits(), "{kind:?}/{mode:?}: history mean");
+                }
+            }
+        }
+    }
+
+    /// The cache hit-rate guard from the perf issue: on a seeded run the
+    /// population revisits states so heavily that well over half of all
+    /// successor lookups must be served from the table.
+    #[test]
+    fn seeded_run_cache_hit_rate_exceeds_half() {
+        let d = chain(8);
+        let mut c = cfg();
+        c.generations_per_phase = 30;
+        let cache = Arc::new(SuccessorCache::new(c.succ_cache_capacity));
+        Phase::new(&d, c).with_cache(Arc::clone(&cache)).run();
+        let stats = cache.stats();
+        assert!(
+            stats.hit_rate() > 0.5,
+            "cache hit rate {:.1}% (hits {} misses {}) — expected > 50%",
+            stats.hit_rate() * 100.0,
+            stats.hits,
+            stats.misses
+        );
+    }
+
+    #[test]
+    fn shared_cache_stays_warm_across_phases() {
+        let d = chain(6);
+        let c = cfg();
+        let cache = Arc::new(SuccessorCache::new(1 << 12));
+        Phase::new(&d, c.clone()).with_cache(Arc::clone(&cache)).run();
+        let after_first = cache.stats();
+        Phase::with_start(&d, c, d.initial_state(), 1).with_cache(Arc::clone(&cache)).run();
+        let after_second = cache.stats();
+        let second = after_second.since(&after_first);
+        // The second phase starts from the same state space: its miss count
+        // must be far below its hit count because the table is already warm.
+        assert!(
+            second.hits > second.misses,
+            "warm-start phase should mostly hit: hits {} misses {}",
+            second.hits,
+            second.misses
+        );
     }
 }

@@ -73,8 +73,10 @@ pub mod selection;
 pub mod stats;
 
 pub use annealing::{one_plus_one, simulated_annealing, AnnealConfig, AnnealResult};
-pub use config::{CostFitnessMode, CrossoverKind, FitnessWeights, GaConfig, GoalEval, SelectionScheme, StateMatchMode};
-pub use decode::{Decoded, Decoder};
+pub use config::{
+    CostFitnessMode, CrossoverKind, EvalMode, FitnessWeights, GaConfig, GoalEval, SelectionScheme, StateMatchMode,
+};
+pub use decode::{Decoded, Decoder, PrefixHint};
 pub use encode::{encode_plan, EncodeError};
 pub use engine::{Phase, PhaseResult};
 pub use fitness::Fitness;

@@ -4,8 +4,10 @@
 //! the final plan is the concatenation of per-phase bests. The search ends
 //! when a phase produces a valid solution or after `max_phases` phases.
 
+use std::sync::Arc;
+
 use gaplan_core::budget::{Budget, StopCause};
-use gaplan_core::{Domain, Plan};
+use gaplan_core::{Domain, Plan, SuccessorCache};
 use gaplan_obs as obs;
 use serde::{Deserialize, Serialize};
 
@@ -72,13 +74,23 @@ pub struct MultiPhase<'d, D: Domain> {
     cfg: GaConfig,
     seeder: Option<(SeedStrategy, f64)>,
     budget: Budget,
+    cache: Option<Arc<SuccessorCache<D::State>>>,
 }
 
 impl<'d, D: Domain> MultiPhase<'d, D> {
     /// Create a driver. Use `cfg.max_phases = 1` (or
     /// [`GaConfig::single_phase`]) for the paper's single-phase baseline.
     pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
-        MultiPhase { domain, cfg, seeder: None, budget: Budget::unlimited() }
+        MultiPhase { domain, cfg, seeder: None, budget: Budget::unlimited(), cache: None }
+    }
+
+    /// Share an external successor cache across this run's phases (and with
+    /// whatever else holds the `Arc` — e.g. the planning service reuses one
+    /// cache across replans of the same problem). Without this, the run
+    /// builds one cache shared by its phases when `cfg.succ_cache` is on.
+    pub fn with_cache(mut self, cache: Arc<SuccessorCache<D::State>>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Attach an execution budget (deadline and/or cancellation token). It
@@ -102,6 +114,14 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
     pub fn run(&self) -> MultiPhaseResult<D::State> {
         self.cfg.validate().expect("invalid GaConfig");
         let _run_span = obs::span("ga.run");
+        // One successor cache for the whole run: later phases search the
+        // same state space and start warm. Pure optimization — results are
+        // identical with the cache off.
+        let cache: Option<Arc<SuccessorCache<D::State>>> = if self.cfg.succ_cache {
+            Some(self.cache.clone().unwrap_or_else(|| Arc::new(SuccessorCache::new(self.cfg.succ_cache_capacity))))
+        } else {
+            None
+        };
         let mut plan = Plan::new();
         let mut state = self.domain.initial_state();
         let mut phases = Vec::new();
@@ -134,6 +154,9 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                 let _phase_span = obs::span("ga.phase");
                 let mut phase =
                     Phase::with_start(self.domain, self.cfg.clone(), state.clone(), p).with_budget(self.budget.clone());
+                if let Some(cache) = &cache {
+                    phase = phase.with_cache(Arc::clone(cache));
+                }
                 if let Some((strategy, fraction)) = &self.seeder {
                     let applies = match strategy {
                         SeedStrategy::Plans(_) => p == 0,
@@ -274,7 +297,7 @@ mod tests {
             initial_len: 6,
             max_len: 12,
             seed: 21,
-            parallel: false,
+            eval: crate::config::EvalMode::Serial,
             ..GaConfig::default()
         }
     }
@@ -398,6 +421,8 @@ mod tests {
         // after evaluation), so xover events = generations - phases
         assert_eq!(count("ga.xover") as u32, ra.total_generations - ra.phases.len() as u32);
         assert_eq!(count("ga.phase_end"), ra.phases.len());
+        // one cache-counter event per phase, cache on or off
+        assert_eq!(count("ga.cache"), ra.phases.len());
         assert_eq!(count("ga.run_end"), 1);
         assert_eq!(count("span_enter"), count("span_exit"));
         // Byte-identical after masking wall-clock fields.
@@ -405,6 +430,44 @@ mod tests {
         assert_eq!(mask(&la), mask(&lb));
         // ...and the wall fields really did get masked to zero.
         assert!(mask(&la).iter().any(|l| l.contains(r#""eval_wall_ns":0"#)), "{la:?}");
+    }
+
+    #[test]
+    fn multiphase_identical_with_cache_on_and_off() {
+        let d = chain(10);
+        let mut on = cfg();
+        on.succ_cache = true;
+        let mut off = cfg();
+        off.succ_cache = false;
+        let a = MultiPhase::new(&d, on).run();
+        let b = MultiPhase::new(&d, off).run();
+        assert_eq!(a.plan.ops(), b.plan.ops());
+        assert_eq!(a.solved_in_phase, b.solved_in_phase);
+        assert_eq!(a.total_generations, b.total_generations);
+        assert_eq!(a.goal_fitness.to_bits(), b.goal_fitness.to_bits());
+        assert_eq!(a.history.len(), b.history.len());
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha.best_total.to_bits(), hb.best_total.to_bits());
+            assert_eq!(ha.mean_total.to_bits(), hb.mean_total.to_bits());
+        }
+    }
+
+    #[test]
+    fn external_cache_is_shared_across_runs() {
+        let d = chain(8);
+        let cache = Arc::new(SuccessorCache::new(1 << 12));
+        let r1 = MultiPhase::new(&d, cfg()).with_cache(Arc::clone(&cache)).run();
+        let warm = cache.stats();
+        let r2 = MultiPhase::new(&d, cfg()).with_cache(Arc::clone(&cache)).run();
+        let second = cache.stats().since(&warm);
+        // identical seeds: identical plans, but the second run decodes warm
+        assert_eq!(r1.plan.ops(), r2.plan.ops());
+        assert!(
+            second.hits > second.misses,
+            "second run should mostly hit (hits {} misses {})",
+            second.hits,
+            second.misses
+        );
     }
 
     #[test]

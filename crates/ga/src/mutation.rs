@@ -8,23 +8,35 @@ use rand::Rng;
 use crate::genome::Genome;
 
 /// Apply per-gene replacement mutation with probability `rate` per gene.
-pub fn mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64) {
+///
+/// Returns the first modified locus, if any gene changed — the caller uses
+/// it to truncate the individual's prefix-reuse checkpoint (genes before the
+/// first flipped locus still decode identically).
+pub fn mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64) -> Option<usize> {
     if rate <= 0.0 {
-        return;
+        return None;
     }
-    for g in genome.genes_mut() {
+    let mut first_changed = None;
+    for (i, g) in genome.genes_mut().iter_mut().enumerate() {
         if rng.gen::<f64>() < rate {
             *g = rng.gen::<f64>();
+            if first_changed.is_none() {
+                first_changed = Some(i);
+            }
         }
     }
+    first_changed
 }
 
 /// Extension: with probability `rate`, insert a random gene at a random
 /// locus or delete a random gene (50/50), respecting `max_len` and never
 /// deleting the last gene of a single-gene individual.
-pub fn length_mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64, max_len: usize) {
+///
+/// Returns the first modified locus (the insertion/deletion point: every
+/// gene from there on shifted), if the genome changed.
+pub fn length_mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64, max_len: usize) -> Option<usize> {
     if rate <= 0.0 || rng.gen::<f64>() >= rate {
-        return;
+        return None;
     }
     let genes = genome.genes_mut();
     let insert = genes.len() < max_len && (genes.len() <= 1 || rng.gen::<bool>());
@@ -32,9 +44,13 @@ pub fn length_mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f6
         let at = rng.gen_range(0..=genes.len());
         let v = rng.gen::<f64>();
         genes.insert(at, v);
+        Some(at)
     } else if genes.len() > 1 {
         let at = rng.gen_range(0..genes.len());
         genes.remove(at);
+        Some(at)
+    } else {
+        None
     }
 }
 
@@ -112,5 +128,41 @@ mod tests {
         let mut g = Genome::from_genes(vec![0.5; 3]);
         length_mutate(&mut rng, &mut g, 0.0, 10);
         assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn mutate_reports_first_changed_locus() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let mut g = Genome::from_genes(vec![0.25; 50]);
+            match mutate(&mut rng, &mut g, 0.1) {
+                Some(first) => {
+                    let changed: Vec<usize> =
+                        g.genes().iter().enumerate().filter(|(_, &x)| x != 0.25).map(|(i, _)| i).collect();
+                    assert_eq!(changed.first(), Some(&first));
+                }
+                None => assert!(g.genes().iter().all(|&x| x == 0.25)),
+            }
+        }
+        // unchanged genomes report None
+        let mut g = Genome::from_genes(vec![0.25; 5]);
+        assert_eq!(mutate(&mut rng, &mut g, 0.0), None);
+    }
+
+    #[test]
+    fn length_mutate_reports_change_point() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let mut g = Genome::from_genes(vec![0.25; 6]);
+            let before = g.genes().to_vec();
+            match length_mutate(&mut rng, &mut g, 1.0, 8) {
+                Some(at) => {
+                    // genes before `at` are untouched
+                    assert!(at <= before.len());
+                    assert_eq!(&g.genes()[..at], &before[..at]);
+                }
+                None => assert_eq!(g.genes(), &before[..]),
+            }
+        }
     }
 }

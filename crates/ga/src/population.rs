@@ -1,14 +1,32 @@
 //! Population initialization and (optionally parallel) evaluation.
 
-use gaplan_core::Domain;
+use gaplan_core::{Domain, SuccessorCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use crate::config::GaConfig;
-use crate::decode::Decoder;
+use crate::config::{EvalMode, GaConfig};
+use crate::decode::{Decoder, PrefixHint};
 use crate::genome::Genome;
 use crate::individual::Evaluated;
+
+/// A genome queued for evaluation, plus the decode checkpoint of its
+/// unchanged prefix (set by the breeding operators; `None` for fresh random
+/// individuals, whose whole genome is new).
+#[derive(Debug, Clone, Default)]
+pub struct Candidate {
+    /// The genome to evaluate.
+    pub genome: Genome,
+    /// Replayable prefix inherited from the donor parent, if any.
+    pub hint: Option<PrefixHint>,
+}
+
+impl Candidate {
+    /// A candidate with no reusable prefix.
+    pub fn fresh(genome: Genome) -> Candidate {
+        Candidate { genome, hint: None }
+    }
+}
 
 /// Generate the random initial population (paper §3.2): uniform random
 /// genes, lengths drawn uniformly from the spread interval around
@@ -38,21 +56,35 @@ pub fn evaluate_all<D: Domain>(
     genomes: Vec<Genome>,
     cfg: &GaConfig,
 ) -> Vec<Evaluated<D::State>> {
-    if cfg.parallel {
-        genomes
+    evaluate_candidates(domain, start, genomes.into_iter().map(Candidate::fresh).collect(), cfg, None)
+}
+
+/// [`evaluate_all`] through the shared evaluation layer: candidates carry
+/// prefix-reuse hints, and all workers probe one shared [`SuccessorCache`].
+/// Cache and hints are pure optimizations — results are bitwise-identical to
+/// the plain path (and between serial and parallel modes).
+pub fn evaluate_candidates<D: Domain>(
+    domain: &D,
+    start: &D::State,
+    candidates: Vec<Candidate>,
+    cfg: &GaConfig,
+    cache: Option<&SuccessorCache<D::State>>,
+) -> Vec<Evaluated<D::State>> {
+    if cfg.eval == EvalMode::Parallel {
+        candidates
             .into_par_iter()
-            .map_init(Decoder::new, |dec, genome| {
-                let (decoded, fitness) = dec.evaluate(domain, start, &genome, cfg);
-                Evaluated::new(genome, decoded, fitness)
+            .map_init(Decoder::new, |dec, cand| {
+                let (decoded, fitness) = dec.evaluate_with(domain, start, &cand.genome, cfg, cache, cand.hint.as_ref());
+                Evaluated::new(cand.genome, decoded, fitness)
             })
             .collect()
     } else {
         let mut dec = Decoder::new();
-        genomes
+        candidates
             .into_iter()
-            .map(|genome| {
-                let (decoded, fitness) = dec.evaluate(domain, start, &genome, cfg);
-                Evaluated::new(genome, decoded, fitness)
+            .map(|cand| {
+                let (decoded, fitness) = dec.evaluate_with(domain, start, &cand.genome, cfg, cache, cand.hint.as_ref());
+                Evaluated::new(cand.genome, decoded, fitness)
             })
             .collect()
     }
@@ -127,9 +159,9 @@ mod tests {
         let mut rng = phase_rng(&cfg, 0);
         let pop = init_population(&mut rng, &cfg);
 
-        cfg.parallel = true;
+        cfg.eval = EvalMode::Parallel;
         let par = evaluate_all(&d, &d.initial_state(), pop.clone(), &cfg);
-        cfg.parallel = false;
+        cfg.eval = EvalMode::Serial;
         let seq = evaluate_all(&d, &d.initial_state(), pop, &cfg);
 
         assert_eq!(par.len(), seq.len());
@@ -139,6 +171,31 @@ mod tests {
             assert_eq!(p.fitness.total, s.fitness.total);
             assert_eq!(p.final_state, s.final_state);
         }
+    }
+
+    #[test]
+    fn shared_cache_changes_nothing_serial_or_parallel() {
+        use gaplan_core::SuccessorCache;
+        let d = chain(6);
+        let mut cfg = small_cfg();
+        let mut rng = phase_rng(&cfg, 0);
+        let pop = init_population(&mut rng, &cfg);
+        let plain = evaluate_all(&d, &d.initial_state(), pop.clone(), &cfg);
+
+        let cache = SuccessorCache::new(1024);
+        for eval in [EvalMode::Serial, EvalMode::Parallel] {
+            cfg.eval = eval;
+            let cands: Vec<Candidate> = pop.iter().cloned().map(Candidate::fresh).collect();
+            let cached = evaluate_candidates(&d, &d.initial_state(), cands, &cfg, Some(&cache));
+            for (p, c) in plain.iter().zip(&cached) {
+                assert_eq!(p.genome, c.genome);
+                assert_eq!(p.ops, c.ops);
+                assert_eq!(p.match_keys, c.match_keys);
+                assert_eq!(p.fitness.total.to_bits(), c.fitness.total.to_bits());
+                assert_eq!(p.final_state, c.final_state);
+            }
+        }
+        assert!(cache.stats().hits > 0, "populations share states; the cache must hit");
     }
 
     #[test]

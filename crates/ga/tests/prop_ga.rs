@@ -2,6 +2,7 @@
 //! length bounds, mutation range preservation, selection sanity.
 
 use gaplan_ga::crossover::{crossover, CrossoverOutcome};
+use gaplan_ga::decode::gene_to_index;
 use gaplan_ga::mutation::{length_mutate, mutate};
 use gaplan_ga::selection::select_parent;
 use gaplan_ga::{CrossoverKind, Evaluated, Fitness, Genome, SelectionScheme};
@@ -104,6 +105,32 @@ proptest! {
         for _ in 0..20 {
             let idx = select_parent(&mut rng, &fit, scheme);
             prop_assert!(idx < fit.len());
+        }
+    }
+
+    /// The gene→operation mapping stays in range for every gene in [0,1)
+    /// and every realistic operation count, including genes pushed right up
+    /// against 1.0 where `gene * k` can round to exactly `k`.
+    #[test]
+    fn gene_to_index_stays_in_range(gene in 0.0f64..1.0, k in 1usize..10_000) {
+        let idx = gene_to_index(gene, k);
+        prop_assert!(idx < k, "gene {gene} k {k} -> {idx}");
+    }
+
+    /// Boundary sweep: genes converging on 1.0 from below must saturate at
+    /// k-1, never index out of bounds (the paper's interval partition has a
+    /// half-open final interval).
+    #[test]
+    fn gene_to_index_boundary_saturates(k in 1usize..10_000) {
+        for gene in [1.0f64 - f64::EPSILON, 0.999_999_999_999, f64::from_bits(1.0f64.to_bits() - 1)] {
+            let idx = gene_to_index(gene, k);
+            prop_assert!(idx < k, "gene {gene} k {k} -> {idx}");
+            prop_assert_eq!(gene_to_index(0.0, k), 0);
+        }
+        // interval partition: gene i/k lands in interval i
+        for i in 0..k.min(64) {
+            let idx = gene_to_index(i as f64 / k as f64, k);
+            prop_assert!(idx == i || idx + 1 == i, "interval drift: {i}/{k} -> {idx}");
         }
     }
 

@@ -14,9 +14,21 @@ pub fn is_wall_field(key: &str) -> bool {
     key.contains("wall")
 }
 
-/// Mask one JSON line: every numeric value whose key contains `wall` is
-/// replaced by `0`. Non-JSON lines pass through unchanged.
+/// True if this key on a `ga.cache` line carries successor-cache telemetry.
+/// The cache never changes decode *results*, but which parallel worker wins
+/// the race to populate a slot (and therefore the hit/miss/eviction tallies)
+/// is scheduling-dependent, so the counters are masked like wall-clock data.
+/// `capacity` is masked too: it is a tuning knob, and masking it keeps
+/// cache-on and cache-off traces byte-identical. `phase` stays.
+pub fn is_cache_counter_field(key: &str) -> bool {
+    matches!(key, "hits" | "misses" | "evictions" | "capacity")
+}
+
+/// Mask one JSON line: every numeric value whose key contains `wall` — plus,
+/// on `ga.cache` event lines, the racy cache counters — is replaced by `0`.
+/// Non-JSON lines pass through unchanged.
 pub fn mask_line(line: &str) -> String {
+    let cache_line = line.contains(r#""ev":"ga.cache""#);
     let bytes = line.as_bytes();
     let mut out = String::with_capacity(line.len());
     let mut i = 0;
@@ -40,7 +52,7 @@ pub fn mask_line(line: &str) -> String {
             // A string followed by ':' is a key; mask its numeric value
             // when the key names a wall-clock field.
             let key = token.trim_matches('"');
-            if is_wall_field(key) {
+            if is_wall_field(key) || (cache_line && is_cache_counter_field(key)) {
                 let mut j = i;
                 while j < bytes.len() && bytes[j].is_ascii_whitespace() {
                     j += 1;
@@ -108,6 +120,15 @@ mod tests {
     fn masks_scientific_and_negative_numbers() {
         let line = r#"{"span_wall_s":1.5e-3,"other":2}"#;
         assert_eq!(mask_line(line), r#"{"span_wall_s":0,"other":2}"#);
+    }
+
+    #[test]
+    fn cache_counters_masked_only_on_cache_lines() {
+        let line = r#"{"ev":"ga.cache","phase":1,"hits":901,"misses":14,"evictions":2,"capacity":65536}"#;
+        assert_eq!(mask_line(line), r#"{"ev":"ga.cache","phase":1,"hits":0,"misses":0,"evictions":0,"capacity":0}"#);
+        // The same keys on any other event keep their values.
+        let other = r#"{"ev":"svc.stats","hits":3,"misses":1}"#;
+        assert_eq!(mask_line(other), other);
     }
 
     #[test]

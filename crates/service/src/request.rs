@@ -8,8 +8,10 @@
 //! GA under a [`Budget`]. The pair (problem signature, config signature)
 //! keys the plan cache.
 
+use std::sync::Arc;
+
 use gaplan_core::strips::{parse_strips, StripsProblem};
-use gaplan_core::{Budget, Domain, SigBuilder, StopCause};
+use gaplan_core::{Budget, Domain, DynDomain, DynState, SigBuilder, StopCause, SuccessorCache};
 use gaplan_domains::{Hanoi, SlidingTile};
 use gaplan_ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
 use gaplan_grid::{parse_grid, GridWorld};
@@ -180,17 +182,40 @@ impl BuiltProblem {
         }
     }
 
-    /// Run the multi-phase GA under `budget` and flatten the result into a
-    /// domain-erased [`SolveOutcome`].
-    pub fn solve(&self, cfg: &GaConfig, budget: Budget) -> SolveOutcome {
+    /// The planning domain behind an object-safe wrapper, or `None` for the
+    /// [`BuiltProblem::Chaos`] pseudo-problem (which never plans).
+    pub fn as_dyn(&self) -> Option<DynDomain<'_>> {
         match self {
-            BuiltProblem::Hanoi { domain, .. } => run_on(domain, cfg, budget),
-            BuiltProblem::Tile { domain, .. } => run_on(domain, cfg, budget),
-            BuiltProblem::Strips(p) => run_on(p.as_ref(), cfg, budget),
-            BuiltProblem::Grid(w) => run_on(w.as_ref(), cfg, budget),
+            BuiltProblem::Hanoi { domain, .. } => Some(DynDomain::new(domain)),
+            BuiltProblem::Tile { domain, .. } => Some(DynDomain::new(domain)),
+            BuiltProblem::Strips(p) => Some(DynDomain::new(p.as_ref())),
+            BuiltProblem::Grid(w) => Some(DynDomain::new(w.as_ref())),
+            BuiltProblem::Chaos { .. } => None,
+        }
+    }
+
+    /// Run the multi-phase GA under `budget` and flatten the result into a
+    /// domain-erased [`SolveOutcome`]. Equivalent to
+    /// [`BuiltProblem::solve_with`] without a shared successor cache.
+    pub fn solve(&self, cfg: &GaConfig, budget: Budget) -> SolveOutcome {
+        self.solve_with(cfg, budget, None)
+    }
+
+    /// [`BuiltProblem::solve`], probing (and warming) `succ` — a successor
+    /// cache shared across jobs and replans for the same problem. Every
+    /// variant runs through one [`DynDomain`]-instantiated engine instead of
+    /// a per-variant monomorphized copy.
+    pub fn solve_with(
+        &self,
+        cfg: &GaConfig,
+        budget: Budget,
+        succ: Option<Arc<SuccessorCache<DynState>>>,
+    ) -> SolveOutcome {
+        match self.as_dyn() {
+            Some(domain) => run_on(&domain, cfg, budget, succ),
             // Attempt accounting lives in the worker (`run_job`); reaching
             // the generic path means the injected fault budget is spent.
-            BuiltProblem::Chaos { .. } => SolveOutcome {
+            None => SolveOutcome {
                 solved: true,
                 goal_fitness: 1.0,
                 plan_names: Vec::new(),
@@ -215,8 +240,17 @@ fn base_config(initial_len: usize) -> GaConfig {
     }
 }
 
-fn run_on<D: Domain>(domain: &D, cfg: &GaConfig, budget: Budget) -> SolveOutcome {
-    let r = MultiPhase::new(domain, cfg.clone()).with_budget(budget).run();
+fn run_on(
+    domain: &DynDomain<'_>,
+    cfg: &GaConfig,
+    budget: Budget,
+    succ: Option<Arc<SuccessorCache<DynState>>>,
+) -> SolveOutcome {
+    let mut mp = MultiPhase::new(domain, cfg.clone()).with_budget(budget);
+    if let Some(cache) = succ {
+        mp = mp.with_cache(cache);
+    }
+    let r = mp.run();
     SolveOutcome {
         solved: r.solved,
         goal_fitness: r.goal_fitness,
@@ -441,5 +475,52 @@ mod tests {
     fn bad_problem_reports_error() {
         assert!(ProblemSpec::Hanoi { disks: 0 }.build().is_err());
         assert!(ProblemSpec::Strips { text: "not a problem".into() }.build().is_err());
+    }
+
+    fn quick_cfg(built: &BuiltProblem) -> GaConfig {
+        let mut cfg = built.default_config();
+        cfg.population_size = 40;
+        cfg.generations_per_phase = 30;
+        cfg.max_phases = 2;
+        cfg
+    }
+
+    #[test]
+    fn dyn_dispatch_matches_typed_run() {
+        // The service's single erased engine must reproduce the typed
+        // engine's run exactly: same plan, same generation count.
+        let built = ProblemSpec::Hanoi { disks: 3 }.build().unwrap();
+        let cfg = quick_cfg(&built);
+        let erased = built.solve(&cfg, Budget::unlimited());
+
+        let typed = gaplan_domains::Hanoi::new(3);
+        let r = MultiPhase::new(&typed, cfg).run();
+        assert_eq!(erased.solved, r.solved);
+        assert_eq!(erased.plan_ops, r.plan.ops().iter().map(|op| op.0).collect::<Vec<_>>());
+        assert_eq!(erased.total_generations, r.total_generations);
+        assert_eq!(erased.goal_fitness.to_bits(), r.goal_fitness.to_bits());
+    }
+
+    #[test]
+    fn shared_succ_cache_preserves_results_across_jobs() {
+        let built = ProblemSpec::Tile { side: 3, shuffle_seed: 4 }.build().unwrap();
+        let cfg = quick_cfg(&built);
+        let plain = built.solve(&cfg, Budget::unlimited());
+
+        let cache = Arc::new(SuccessorCache::new(1 << 12));
+        let cold = built.solve_with(&cfg, Budget::unlimited(), Some(Arc::clone(&cache)));
+        let warm = built.solve_with(&cfg, Budget::unlimited(), Some(Arc::clone(&cache)));
+        for run in [&cold, &warm] {
+            assert_eq!(plain.plan_ops, run.plan_ops);
+            assert_eq!(plain.total_generations, run.total_generations);
+            assert_eq!(plain.goal_fitness.to_bits(), run.goal_fitness.to_bits());
+        }
+        assert!(cache.stats().hits > 0, "second job over the same problem must reuse successors");
+    }
+
+    #[test]
+    fn chaos_has_no_domain() {
+        assert!(ProblemSpec::Chaos { fail_attempts: 0, kill_worker: false }.build().unwrap().as_dyn().is_none());
+        assert!(ProblemSpec::Hanoi { disks: 2 }.build().unwrap().as_dyn().is_some());
     }
 }

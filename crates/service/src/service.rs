@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 
-use gaplan_core::{Budget, CancelToken, StopCause};
+use gaplan_core::{Budget, CancelToken, DynState, StopCause, SuccessorCache};
 use gaplan_ga::GaConfig;
 use gaplan_grid::GridWorld;
 use gaplan_obs::{self as obs, Event};
@@ -203,8 +203,21 @@ impl Job {
 }
 
 /// State shared between the service handle, its workers and the supervisor.
+/// Upper bound on distinct problems with pooled successor caches. Beyond
+/// it the pool drops the whole map — crude, but the caches are pure
+/// optimization and rebuild in one run.
+const SUCC_POOL_LIMIT: usize = 32;
+
 struct Shared {
     cache: Mutex<PlanCache>,
+    /// Successor caches shared across jobs (and grid replans) that plan the
+    /// same problem, keyed by [`BuiltProblem::signature`]. Separate from the
+    /// *plan* cache: a plan-cache hit skips the GA outright, while a
+    /// successor-cache hit accelerates a GA that still has to run — e.g.
+    /// same problem, different seed/config, or a replan after a fault.
+    ///
+    /// [`BuiltProblem::signature`]: crate::request::BuiltProblem::signature
+    succ_pool: Mutex<FxHashMap<u64, Arc<SuccessorCache<DynState>>>>,
     metrics: Metrics,
     /// Cancel tokens of queued + running jobs, keyed by job id. Populated
     /// at submit time so a job can be cancelled while still queued.
@@ -216,6 +229,23 @@ struct Shared {
     max_job_retries: u32,
     /// Trace subscriber workers install on their threads.
     obs: Option<ObsHandle>,
+}
+
+impl Shared {
+    /// The pooled successor cache for a problem signature, creating it on
+    /// first use; `None` when the job's config disables the cache. Keyed by
+    /// problem (not config), so reruns with different seeds, overrides or
+    /// replan worlds of the same problem all warm one cache.
+    fn succ_cache_for(&self, sig: u64, cfg: &GaConfig) -> Option<Arc<SuccessorCache<DynState>>> {
+        if !cfg.succ_cache {
+            return None;
+        }
+        let mut pool = self.succ_pool.lock();
+        if pool.len() >= SUCC_POOL_LIMIT && !pool.contains_key(&sig) {
+            pool.clear();
+        }
+        Some(Arc::clone(pool.entry(sig).or_insert_with(|| Arc::new(SuccessorCache::new(cfg.succ_cache_capacity)))))
+    }
 }
 
 /// Handle to a running planning service. Dropping it (or calling
@@ -240,6 +270,7 @@ impl PlanService {
         let (responses, response_rx) = std::sync::mpsc::channel();
         let shared = Arc::new(Shared {
             cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
+            succ_pool: Mutex::new(FxHashMap::default()),
             metrics: Metrics::new(),
             active: Mutex::new(FxHashMap::default()),
             shutting_down: AtomicBool::new(false),
@@ -672,7 +703,8 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
     if let Some(deadline) = job.deadline {
         budget = budget.with_deadline(deadline);
     }
-    let outcome = built.solve(&cfg, budget);
+    let succ = shared.succ_cache_for(built.signature(), &cfg);
+    let outcome = built.solve_with(&cfg, budget, succ);
 
     let status = match outcome.stopped {
         None => JobStatus::Done,

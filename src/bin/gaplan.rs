@@ -69,7 +69,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N]    (JSON lines on stdin/stdout)\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N]    (JSON lines on stdin/stdout)\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -87,6 +87,7 @@ fn parse_or<T: std::str::FromStr>(v: Option<&str>, default: T) -> T {
 }
 
 fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
+    let defaults = GaConfig::default();
     GaConfig {
         population_size: parse_or(flag_value(args, "--pop"), 200),
         generations_per_phase: parse_or(flag_value(args, "--gens"), 100),
@@ -94,7 +95,9 @@ fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
         initial_len,
         max_len: 5 * initial_len,
         seed: parse_or(flag_value(args, "--seed"), 2003),
-        ..GaConfig::default()
+        succ_cache: !flag_present(args, "--no-succ-cache"),
+        succ_cache_capacity: parse_or(flag_value(args, "--succ-cache"), defaults.succ_cache_capacity),
+        ..defaults
     }
 }
 
@@ -251,6 +254,7 @@ fn grid_cmd(args: &[String]) {
             eprintln!("grid: start planning service: {e}");
             exit(1);
         });
+        let cache_flags = ga_config_from_flags(args, 1);
         let mut replan_cfg = GaConfig {
             population_size: 100,
             generations_per_phase: 60,
@@ -259,6 +263,9 @@ fn grid_cmd(args: &[String]) {
             max_len: 24,
             cost_fitness: CostFitnessMode::InverseCost,
             seed: seed ^ 0xD1CE,
+            // replans honor the CLI successor-cache knobs too
+            succ_cache: cache_flags.succ_cache,
+            succ_cache_capacity: cache_flags.succ_cache_capacity,
             ..GaConfig::default()
         };
         replan_cfg.truncate_at_goal = true;

@@ -57,6 +57,9 @@ pub struct TraceSummary {
     pub grid_done: Option<(f64, bool)>,
     /// `svc.reply` counts keyed by response status.
     pub replies: BTreeMap<String, u64>,
+    /// Successor-cache totals from `ga.cache` events: events, hits, misses,
+    /// evictions.
+    pub cache: [u64; 4],
 }
 
 impl TraceSummary {
@@ -94,6 +97,12 @@ impl TraceSummary {
                         *slot += num_u64(&value, key).unwrap_or(0);
                     }
                 }
+                "ga.cache" => {
+                    s.cache[0] += 1;
+                    for (slot, key) in s.cache[1..].iter_mut().zip(["hits", "misses", "evictions"]) {
+                        *slot += num_u64(&value, key).unwrap_or(0);
+                    }
+                }
                 "svc.reply" => {
                     *s.replies.entry(str_of(&value, "status").unwrap_or("?").to_string()).or_insert(0) += 1;
                 }
@@ -118,6 +127,13 @@ impl TraceSummary {
     pub fn fallback_rate(&self) -> Option<f64> {
         let attempted = self.xover[0] + self.xover[1] + self.xover[2];
         (attempted > 0).then(|| self.xover[1] as f64 / attempted as f64)
+    }
+
+    /// Successor-cache `hits / (hits + misses)` in `[0, 1]`; `None` when
+    /// the trace has no cache activity (cache off, or no `ga.cache` lines).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let probes = self.cache[1] + self.cache[2];
+        (probes > 0).then(|| self.cache[1] as f64 / probes as f64)
     }
 }
 
@@ -190,6 +206,23 @@ pub fn render(text: &str, top_k: usize) -> String {
         }
     }
 
+    if s.cache[0] > 0 {
+        let _ = writeln!(out, "\nsuccessor cache:");
+        let _ = writeln!(
+            out,
+            "  hits {}, misses {}, evictions {} across {} phases",
+            s.cache[1], s.cache[2], s.cache[3], s.cache[0]
+        );
+        match s.cache_hit_rate() {
+            Some(rate) => {
+                let _ = writeln!(out, "  hit rate: {:.1}%", rate * 100.0);
+            }
+            None => {
+                let _ = writeln!(out, "  cache disabled (no probes recorded)");
+            }
+        }
+    }
+
     if !s.grid_events.is_empty() {
         let _ = writeln!(out, "\ngrid timeline:");
         for (name, count) in &s.grid_events {
@@ -225,6 +258,10 @@ mod tests {
         "\n",
         r#"{"ev":"ga.gen","phase":2,"gen":0,"best_total":1.00,"eval_wall_ns":1000000}"#,
         "\n",
+        r#"{"ev":"ga.cache","phase":1,"hits":90,"misses":10,"evictions":2,"capacity":65536}"#,
+        "\n",
+        r#"{"ev":"ga.cache","phase":2,"hits":60,"misses":40,"evictions":0,"capacity":65536}"#,
+        "\n",
         r#"{"ev":"span_exit","span":"ga.run","wall_ns":12000000}"#,
         "\n",
         r#"{"ev":"grid.dispatch","t":0.0,"task":"a","site":"s","eta":1.5}"#,
@@ -239,8 +276,10 @@ mod tests {
     #[test]
     fn summary_extracts_every_section() {
         let s = TraceSummary::parse(SAMPLE);
-        assert_eq!(s.events, 9);
+        assert_eq!(s.events, 11);
         assert_eq!(s.unparseable, 1);
+        assert_eq!(s.cache, [2, 150, 50, 2]);
+        assert!((s.cache_hit_rate().unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(s.spans["ga.run"], (1, 12_000_000));
         assert_eq!(s.generations.len(), 3);
         assert_eq!(s.xover, [60, 30, 10, 5]);
@@ -265,6 +304,8 @@ mod tests {
         assert!(!report.contains("gen 0: 1.000 ms"), "top_k=2 must cut the list: {report}");
         assert!(report.contains("makespan 42.5"), "{report}");
         assert!(report.contains("Done"), "{report}");
+        assert!(report.contains("hits 150, misses 50, evictions 2 across 2 phases"), "{report}");
+        assert!(report.contains("hit rate: 75.0%"), "{report}");
     }
 
     #[test]

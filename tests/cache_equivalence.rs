@@ -1,0 +1,115 @@
+//! Successor-cache equivalence at the CLI level.
+//!
+//! The cache is a pure optimization: for every seeded command, the plans,
+//! fitness trajectories and golden traces must be byte-identical with the
+//! cache on (default) and off (`--no-succ-cache`). Traces are compared
+//! after [`mask_trace`], which blanks wall-clock fields and the (racy,
+//! scheduling-dependent) `ga.cache` counters; everything else — per
+//! generation best fitness, plan events, field order, float formatting —
+//! participates in the comparison.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ga_grid_planner::obs::golden::mask_trace;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Blank `N.NNs` / `Nms` timing tokens in CLI stdout, which are the only
+/// wall-clock readings the binary prints.
+fn scrub_timing(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_ascii_digit() && (i == 0 || !b[i - 1].is_ascii_alphanumeric()) {
+            let mut j = i;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.') {
+                j += 1;
+            }
+            let unit = if b[j..].starts_with(b"ms") {
+                2
+            } else if b[j..].starts_with(b"s") && !b[j..].starts_with(b"site") {
+                1
+            } else {
+                0
+            };
+            let after = j + unit;
+            if unit > 0 && (after == b.len() || !b[after].is_ascii_alphanumeric()) {
+                out.push('_');
+                out.push_str(&s[j..after]);
+                i = after;
+                continue;
+            }
+        }
+        out.push(b[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Run `gaplan <args> --trace <tmp>`, returning timing-scrubbed stdout and
+/// the masked trace.
+fn run(name: &str, args: &[&str]) -> (String, String) {
+    let trace = std::env::temp_dir().join(format!("gaplan-cacheeq-{name}-{}.jsonl", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_gaplan"))
+        .args(args)
+        .arg("--trace")
+        .arg(&trace)
+        .current_dir(repo_path(""))
+        .output()
+        .expect("gaplan binary runs");
+    assert!(
+        output.status.success(),
+        "gaplan {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let raw = std::fs::read_to_string(&trace).expect("trace file written");
+    let _ = std::fs::remove_file(&trace);
+    (scrub_timing(&String::from_utf8_lossy(&output.stdout)), mask_trace(&raw))
+}
+
+fn assert_cache_equivalent(name: &str, args: &[&str]) {
+    let (out_on, trace_on) = run(&format!("{name}-on"), args);
+    let mut off_args = args.to_vec();
+    off_args.push("--no-succ-cache");
+    let (out_off, trace_off) = run(&format!("{name}-off"), &off_args);
+    assert_eq!(out_on, out_off, "`{name}` stdout diverged between cache on and off");
+    if trace_on != trace_off {
+        let at = trace_on.lines().zip(trace_off.lines()).position(|(a, b)| a != b);
+        panic!(
+            "`{name}` masked trace diverged between cache on and off (first differing line: {at:?})\n  on:  {}\n  off: {}",
+            at.and_then(|i| trace_on.lines().nth(i)).unwrap_or("<line count differs>"),
+            at.and_then(|i| trace_off.lines().nth(i)).unwrap_or("<line count differs>"),
+        );
+    }
+}
+
+#[test]
+fn hanoi_plans_identical_cache_on_and_off() {
+    assert_cache_equivalent(
+        "hanoi",
+        &["hanoi", "--disks", "4", "--pop", "60", "--gens", "20", "--phases", "2", "--seed", "11"],
+    );
+}
+
+#[test]
+fn tile_plans_identical_cache_on_and_off() {
+    assert_cache_equivalent(
+        "tile",
+        &["tile", "3", "--pop", "60", "--gens", "15", "--phases", "2", "--seed", "7", "--crossover", "mixed"],
+    );
+}
+
+#[test]
+fn grid_simulation_identical_cache_on_and_off() {
+    let grid_file = repo_path("data/pipeline.grid");
+    let grid_file = grid_file.to_str().expect("utf-8 path");
+    assert_cache_equivalent(
+        "grid",
+        &["grid", grid_file, "--simulate", "--faults", "7", "--fault-rate", "0.2", "--seed", "5"],
+    );
+}

@@ -259,7 +259,12 @@ proptest! {
         prop_assert_ne!(cfg.signature(), other.signature());
 
         let mut par = cfg.clone();
-        par.parallel = !par.parallel;
-        prop_assert_eq!(cfg.signature(), par.signature(), "parallel must not affect the key");
+        par.eval = match par.eval {
+            gaplan_ga::EvalMode::Serial => gaplan_ga::EvalMode::Parallel,
+            gaplan_ga::EvalMode::Parallel => gaplan_ga::EvalMode::Serial,
+        };
+        par.succ_cache = !par.succ_cache;
+        par.succ_cache_capacity /= 2;
+        prop_assert_eq!(cfg.signature(), par.signature(), "eval/cache knobs must not affect the key");
     }
 }
