@@ -1,0 +1,59 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected) over byte slices.
+//!
+//! The table is built in a `const fn` so the crate stays dependency-free and
+//! the checksum is identical on every platform — journal files written on one
+//! machine must verify on any other.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"gaplan journal record");
+        let mut flipped = b"gaplan journal record".to_vec();
+        for i in 0..flipped.len() * 8 {
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), base, "bit {i} flip undetected");
+            flipped[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Length-prefixed, checksummed append-only journal.
+//!
+//! Record frame: `[u32 len_le][u32 crc32_le][payload; len]`. The checksum
+//! covers the payload only; the length field is validated by a hard upper
+//! bound plus the checksum of the bytes it delimits, so a corrupt length
+//! surfaces as either an over-limit frame or a checksum mismatch.
+
+use std::io;
+use std::sync::Arc;
+
+use crate::checksum::crc32;
+use crate::storage::Storage;
+
+/// Upper bound on a single record's payload. Anything larger is treated as a
+/// corrupt length field during replay (and rejected at append time).
+pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+const HEADER_LEN: usize = 8;
+
+/// Append-only journal of opaque byte records over a [`Storage`] backend.
+pub struct Journal {
+    storage: Arc<dyn Storage>,
+    name: String,
+}
+
+/// Result of replaying a journal file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of well-formed prefix (safe truncation point).
+    pub valid_bytes: u64,
+    /// Bytes of corrupt tail discarded after the last intact record.
+    pub truncated_bytes: u64,
+}
+
+/// Frame one payload as `[len][crc][payload]`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode every intact frame from `data`, stopping at the first corruption.
+/// Never panics: a short header, over-limit length, short payload, or crc
+/// mismatch all end the scan, with the remaining bytes counted as truncated.
+pub fn decode_frames(data: &[u8]) -> Replay {
+    let mut replay = Replay::default();
+    let mut pos = 0usize;
+    while data.len() - pos >= HEADER_LEN {
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let len = len as usize;
+        let body_start = pos + HEADER_LEN;
+        let Some(body_end) = body_start.checked_add(len) else { break };
+        if body_end > data.len() {
+            break;
+        }
+        let payload = &data[body_start..body_end];
+        if crc32(payload) != crc {
+            break;
+        }
+        replay.records.push(payload.to_vec());
+        pos = body_end;
+    }
+    replay.valid_bytes = pos as u64;
+    replay.truncated_bytes = (data.len() - pos) as u64;
+    replay
+}
+
+impl Journal {
+    /// Open a journal named `name` on `storage`. The file need not exist yet.
+    pub fn new(storage: Arc<dyn Storage>, name: impl Into<String>) -> Self {
+        Self { storage, name: name.into() }
+    }
+
+    /// The backing storage.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// The journal's file name within its storage.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append one record (framed + checksummed) and flush it to the backend.
+    pub fn append(&self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "record exceeds MAX_RECORD_LEN"));
+        }
+        self.storage.append(&self.name, &frame(payload))
+    }
+
+    /// Force journal contents to durable media.
+    pub fn sync(&self) -> io::Result<()> {
+        self.storage.sync(&self.name)
+    }
+
+    /// Replay the journal: decode every intact record, then truncate the file
+    /// at the first corruption so subsequent appends extend a valid prefix.
+    /// A missing file replays as empty. Never panics on corrupt input.
+    pub fn replay(&self) -> io::Result<Replay> {
+        let data = match self.storage.read(&self.name) {
+            Ok(data) => data,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Replay::default()),
+            Err(e) => return Err(e),
+        };
+        let replay = decode_frames(&data);
+        if replay.truncated_bytes > 0 {
+            self.storage.truncate(&self.name, replay.valid_bytes)?;
+        }
+        Ok(replay)
+    }
+
+    /// Atomically rewrite the journal to contain exactly `payloads`
+    /// (compaction). The old contents survive intact if the write faults.
+    pub fn rewrite<'a>(&self, payloads: impl IntoIterator<Item = &'a [u8]>) -> io::Result<()> {
+        let mut data = Vec::new();
+        for payload in payloads {
+            data.extend_from_slice(&frame(payload));
+        }
+        self.storage.write_atomic(&self.name, &data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, MemStorage};
+
+    fn mem_journal() -> (Arc<MemStorage>, Journal) {
+        let storage = Arc::new(MemStorage::new());
+        let journal = Journal::new(storage.clone() as Arc<dyn Storage>, "j.wal");
+        (storage, journal)
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_in_order() {
+        let (_, journal) = mem_journal();
+        let records: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], b"\x00\xFFbinary\x7F".to_vec(), vec![9u8; 5000]];
+        for r in &records {
+            journal.append(r).unwrap();
+        }
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let (_, journal) = mem_journal();
+        let replay = journal.replay().unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.valid_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_journal_stays_appendable() {
+        let (storage, journal) = mem_journal();
+        journal.append(b"one").unwrap();
+        journal.append(b"two").unwrap();
+        // Simulate a torn append: half a frame of a third record.
+        let full = frame(b"three");
+        storage.append("j.wal", &full[..full.len() / 2]).unwrap();
+
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(replay.truncated_bytes > 0);
+
+        // After replay the corrupt tail is gone; appends extend a valid log.
+        journal.append(b"four").unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.records, vec![b"one".to_vec(), b"two".to_vec(), b"four".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_payload_byte_stops_replay_at_previous_record() {
+        let (storage, journal) = mem_journal();
+        journal.append(b"good").unwrap();
+        journal.append(b"evil").unwrap();
+        let mut raw = storage.raw("j.wal").unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        storage.set_raw("j.wal", raw);
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.records, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn absurd_length_field_is_treated_as_corruption() {
+        let (storage, journal) = mem_journal();
+        journal.append(b"ok").unwrap();
+        storage.append("j.wal", &u32::MAX.to_le_bytes()).unwrap();
+        storage.append("j.wal", &[0u8; 12]).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.records, vec![b"ok".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 16);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_garbage() {
+        // Deterministic pseudo-random garbage of many lengths.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for len in 0..200usize {
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                data.push((x >> 56) as u8);
+            }
+            let replay = decode_frames(&data);
+            assert_eq!(replay.valid_bytes + replay.truncated_bytes, len as u64);
+        }
+    }
+
+    #[test]
+    fn rewrite_compacts_to_exactly_the_given_records() {
+        let (_, journal) = mem_journal();
+        for i in 0..10u8 {
+            journal.append(&[i]).unwrap();
+        }
+        journal.rewrite([&[3u8][..], &[7u8][..]]).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.records, vec![vec![3u8], vec![7u8]]);
+    }
+
+    #[test]
+    fn chaos_appends_always_leave_a_recoverable_log() {
+        // Under every fault seed: appends may fail, but replay must never
+        // panic, must only return records that were actually appended (in
+        // order), and after replay-truncation further appends must work.
+        for seed in 0..200u64 {
+            let storage = Arc::new(MemStorage::with_faults(FaultPlan::new(seed, 35)));
+            let journal = Journal::new(storage.clone() as Arc<dyn Storage>, "j.wal");
+            let mut acked: Vec<Vec<u8>> = Vec::new();
+            for i in 0..30u32 {
+                let payload = format!("record-{i}-{}", "x".repeat((i % 7) as usize)).into_bytes();
+                if journal.append(&payload).is_ok() {
+                    acked.push(payload);
+                }
+            }
+            let replay = journal.replay().unwrap();
+            // Replayed records are an ordered subsequence of the acked
+            // sequence: short writes can silently drop acked records (a
+            // zero-byte short write even leaves the stream frame-aligned, so
+            // later records still decode), but an intact record is never
+            // reordered or fabricated.
+            let mut acked_it = acked.iter();
+            for rec in &replay.records {
+                assert!(acked_it.any(|a| a == rec), "seed {seed}: replayed record was never acked (or out of order)");
+            }
+            // After replay-truncation the log is clean; keep appending until
+            // one actually lands (an Ok append can still be a silent short
+            // write — only replay proves durability), re-truncating torn
+            // tails between attempts.
+            let after = loop {
+                let _ = journal.append(b"post-recovery");
+                let after = journal.replay().unwrap();
+                if after.records.last().map(|r| r.as_slice()) == Some(&b"post-recovery"[..]) {
+                    break after;
+                }
+            };
+            assert_eq!(after.truncated_bytes, 0, "seed {seed}: clean log has torn tail");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Crash-safe persistence primitives for the planning stack.
+//!
+//! This crate is deliberately independent of every other workspace crate: it
+//! deals only in bytes. Callers serialize their own records (the service uses
+//! JSON) and hand them to a [`Journal`], which frames each record as
+//! `[u32 len_le][u32 crc32_le][payload]` and appends it through an injectable
+//! [`Storage`] backend. Recovery ([`Journal::replay`]) walks the frames,
+//! stops at the first length/checksum violation, and reports how many bytes
+//! of corrupt tail were discarded — it never panics on garbage input.
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`FsStorage`] — real files under a root directory, with atomic
+//!   whole-file replacement (`write_atomic`) via temp-file + rename.
+//! * [`MemStorage`] — an in-memory map with a seeded [`FaultPlan`] that can
+//!   inject torn writes (prefix persisted, error reported), short writes
+//!   (prefix persisted, success reported — the nasty silent case), and plain
+//!   IO errors. Recovery code is tested against this chaos backend.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod journal;
+pub mod snapshot;
+pub mod storage;
+
+pub use checksum::crc32;
+pub use journal::{decode_frames, frame, Journal, Replay, MAX_RECORD_LEN};
+pub use snapshot::{load_snapshot, save_snapshot};
+pub use storage::{FaultKind, FaultPlan, FsStorage, MemStorage, Storage};

@@ -1,0 +1,385 @@
+//! Injectable byte storage: a real filesystem backend and an in-memory chaos
+//! backend with seeded fault injection.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Named byte-blob storage used by journals and snapshots.
+///
+/// Implementations must make `append` durable-ordered (data is flushed to the
+/// backend before the call returns) and `write_atomic` all-or-nothing: after
+/// a crash the file holds either the old or the new contents, never a mix.
+pub trait Storage: Send + Sync {
+    /// Read the full contents of `name`. Missing files are an error of kind
+    /// [`io::ErrorKind::NotFound`].
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Append `data` to `name` (creating it if absent) and flush.
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Atomically replace the contents of `name` with `data`.
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Truncate `name` to `len` bytes. A no-op if already shorter.
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+    /// Force `name`'s contents to durable media (fsync). Missing files are
+    /// silently ignored so sync-after-drain works on never-written journals.
+    fn sync(&self, name: &str) -> io::Result<()>;
+    /// Whether `name` exists.
+    fn exists(&self, name: &str) -> bool;
+    /// Remove `name`. A no-op if absent.
+    fn remove(&self, name: &str) -> io::Result<()>;
+}
+
+/// Filesystem-backed [`Storage`] rooted at a directory.
+pub struct FsStorage {
+    root: PathBuf,
+}
+
+impl FsStorage {
+    /// Open (creating if needed) a storage root at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory backing this storage.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Storage for FsStorage {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path(name))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(self.path(name))?;
+        file.write_all(data)?;
+        file.flush()?;
+        // Durable-ordered: the record must hit the disk before the caller
+        // acts on it (enqueues the job, replies to the client, ...).
+        file.sync_data()
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(data)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, self.path(name))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(self.path(name))?;
+        if file.metadata()?.len() > len {
+            file.set_len(len)?;
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        match File::open(self.path(name)) {
+            Ok(file) => file.sync_all(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// What a [`FaultPlan`] does to a particular write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A prefix of the data is persisted, then the write fails with an error
+    /// — the classic torn write a crash mid-append produces.
+    Torn,
+    /// A prefix of the data is persisted but the write *reports success*.
+    /// Models lying hardware / lost cache lines; only recovery-time
+    /// checksums can catch it.
+    Short,
+    /// Nothing is persisted and the write fails with an error.
+    Error,
+}
+
+/// Seeded, deterministic schedule of storage faults for [`MemStorage`].
+///
+/// Each write (append or atomic-write) draws one pseudo-random word from a
+/// splitmix64 stream keyed by `seed` and the write counter; `rate_percent`
+/// of writes fault, cycling through torn/short/error kinds. The same seed
+/// always yields the same fault schedule, so chaos tests are reproducible.
+pub struct FaultPlan {
+    seed: u64,
+    rate_percent: u64,
+    counter: AtomicU64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that faults `rate_percent`% of writes (clamped to 0..=100),
+    /// deterministically derived from `seed`.
+    pub fn new(seed: u64, rate_percent: u64) -> Self {
+        Self { seed, rate_percent: rate_percent.min(100), counter: AtomicU64::new(0) }
+    }
+
+    /// Decide the fate of the next write over `len` payload bytes.
+    /// Returns `None` (write proceeds normally) or the fault to inject plus
+    /// the number of prefix bytes to persist.
+    fn next_fault(&self, len: usize) -> Option<(FaultKind, usize)> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let word = splitmix64(self.seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F));
+        if word % 100 >= self.rate_percent {
+            return None;
+        }
+        let kind = match (word >> 8) % 3 {
+            0 => FaultKind::Torn,
+            1 => FaultKind::Short,
+            _ => FaultKind::Error,
+        };
+        let keep = if len == 0 { 0 } else { ((word >> 16) as usize) % len };
+        Some((kind, keep))
+    }
+}
+
+/// In-memory [`Storage`] with optional seeded fault injection. Reads are
+/// always faithful: faults corrupt what gets *persisted*, not what is read
+/// back, mirroring real torn-write crashes.
+pub struct MemStorage {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+    faults: Option<FaultPlan>,
+}
+
+impl MemStorage {
+    /// A fault-free in-memory storage.
+    pub fn new() -> Self {
+        Self { files: Mutex::new(HashMap::new()), faults: None }
+    }
+
+    /// An in-memory storage whose writes fault per `plan`.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        Self { files: Mutex::new(HashMap::new()), faults: Some(plan) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Vec<u8>>> {
+        // Chaos tests may panic while holding the lock; the data is still
+        // coherent (single HashMap op), so recover the guard.
+        self.files.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Direct snapshot of a file's bytes (test helper; bypasses faults).
+    pub fn raw(&self, name: &str) -> Option<Vec<u8>> {
+        self.lock().get(name).cloned()
+    }
+
+    /// Directly set a file's bytes (test helper; bypasses faults).
+    pub fn set_raw(&self, name: &str, data: Vec<u8>) {
+        self.lock().insert(name.to_string(), data);
+    }
+
+    fn faulted_write(&self, name: &str, data: &[u8], replace: bool) -> io::Result<()> {
+        let fault = self.faults.as_ref().and_then(|p| p.next_fault(data.len()));
+        match fault {
+            None => {
+                let mut files = self.lock();
+                let entry = files.entry(name.to_string()).or_default();
+                if replace {
+                    entry.clear();
+                }
+                entry.extend_from_slice(data);
+                Ok(())
+            }
+            Some((FaultKind::Error, _)) => Err(io::Error::other("injected io error")),
+            Some((kind, keep)) => {
+                // Atomic replacement is all-or-nothing: a torn/short fault
+                // during write_atomic leaves the OLD contents intact.
+                if !replace {
+                    let mut files = self.lock();
+                    let entry = files.entry(name.to_string()).or_default();
+                    entry.extend_from_slice(&data[..keep]);
+                }
+                match kind {
+                    FaultKind::Torn => Err(io::Error::other("injected torn write")),
+                    FaultKind::Short => Ok(()),
+                    FaultKind::Error => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.lock().get(name).cloned().ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.faulted_write(name, data, false)
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.faulted_write(name, data, true)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut files = self.lock();
+        let entry = files.get_mut(name).ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        if entry.len() as u64 > len {
+            entry.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn sync(&self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.lock().contains_key(name)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.lock().remove(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        let s = MemStorage::new();
+        assert!(!s.exists("a"));
+        assert_eq!(s.read("a").unwrap_err().kind(), io::ErrorKind::NotFound);
+        s.append("a", b"hello ").unwrap();
+        s.append("a", b"world").unwrap();
+        assert_eq!(s.read("a").unwrap(), b"hello world");
+        s.write_atomic("a", b"fresh").unwrap();
+        assert_eq!(s.read("a").unwrap(), b"fresh");
+        s.truncate("a", 2).unwrap();
+        assert_eq!(s.read("a").unwrap(), b"fr");
+        s.remove("a").unwrap();
+        assert!(!s.exists("a"));
+        s.remove("a").unwrap();
+    }
+
+    #[test]
+    fn fs_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("gaplan-durable-test-{}", std::process::id()));
+        let s = FsStorage::new(&dir).unwrap();
+        s.remove("f").unwrap();
+        s.append("f", b"abc").unwrap();
+        s.append("f", b"def").unwrap();
+        assert_eq!(s.read("f").unwrap(), b"abcdef");
+        s.write_atomic("f", b"xyz").unwrap();
+        assert_eq!(s.read("f").unwrap(), b"xyz");
+        s.truncate("f", 1).unwrap();
+        assert_eq!(s.read("f").unwrap(), b"x");
+        s.sync("f").unwrap();
+        s.sync("missing").unwrap();
+        assert!(s.exists("f"));
+        s.remove("f").unwrap();
+        assert!(!s.exists("f"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_respects_rate() {
+        let a = FaultPlan::new(7, 40);
+        let b = FaultPlan::new(7, 40);
+        let seq_a: Vec<_> = (0..64).map(|_| a.next_fault(100)).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| b.next_fault(100)).collect();
+        assert_eq!(seq_a, seq_b);
+        let faulted = seq_a.iter().filter(|f| f.is_some()).count();
+        assert!(faulted > 0 && faulted < 64, "rate 40% should fault some but not all: {faulted}");
+        let zero = FaultPlan::new(7, 0);
+        assert!((0..64).all(|_| zero.next_fault(100).is_none()));
+        let full = FaultPlan::new(7, 100);
+        assert!((0..64).all(|_| full.next_fault(100).is_some()));
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_errors() {
+        // Scan seeds until the first write faults as Torn with a nonzero keep.
+        for seed in 0..1000 {
+            let plan = FaultPlan::new(seed, 100);
+            if let Some((FaultKind::Torn, keep)) = plan.next_fault(8) {
+                if keep == 0 {
+                    continue;
+                }
+                let s = MemStorage::with_faults(FaultPlan::new(seed, 100));
+                let err = s.append("j", b"12345678").unwrap_err();
+                assert_eq!(err.to_string(), "injected torn write");
+                assert_eq!(s.raw("j").unwrap(), b"12345678"[..keep].to_vec());
+                return;
+            }
+        }
+        panic!("no torn fault found in 1000 seeds");
+    }
+
+    #[test]
+    fn short_write_persists_prefix_and_reports_success() {
+        for seed in 0..1000 {
+            let plan = FaultPlan::new(seed, 100);
+            if let Some((FaultKind::Short, keep)) = plan.next_fault(8) {
+                let s = MemStorage::with_faults(FaultPlan::new(seed, 100));
+                s.append("j", b"12345678").unwrap();
+                assert_eq!(s.raw("j").unwrap_or_default(), b"12345678"[..keep].to_vec());
+                return;
+            }
+        }
+        panic!("no short fault found in 1000 seeds");
+    }
+
+    #[test]
+    fn atomic_write_fault_preserves_old_contents() {
+        let s = MemStorage::new();
+        s.append("f", b"old").unwrap();
+        for seed in 0..1000 {
+            let plan = FaultPlan::new(seed, 100);
+            if let Some((FaultKind::Torn, _)) = plan.next_fault(8) {
+                let chaos = MemStorage::with_faults(FaultPlan::new(seed, 100));
+                chaos.set_raw("f", b"old".to_vec());
+                let _ = chaos.write_atomic("f", b"newnewnw");
+                assert_eq!(chaos.raw("f").unwrap(), b"old", "atomic write must not tear");
+                return;
+            }
+        }
+        panic!("no torn fault found in 1000 seeds");
+    }
+}

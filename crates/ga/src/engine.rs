@@ -8,11 +8,14 @@ use std::time::Instant;
 use gaplan_core::budget::{Budget, StopCause};
 use gaplan_core::{Domain, SuccessorCache};
 use gaplan_obs as obs;
+use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::checkpoint::PhaseSnapshot;
 use crate::config::GaConfig;
 use crate::crossover::{crossover_with_cuts, CrossoverOutcome};
 use crate::decode::PrefixHint;
+use crate::genome::Genome;
 use crate::individual::Evaluated;
 use crate::mutation::{length_mutate, mutate};
 use crate::population::{evaluate_candidates, init_population, phase_rng, Candidate};
@@ -105,6 +108,26 @@ impl<'d, D: Domain> Phase<'d, D> {
 
     /// Run the phase to completion (or early stop) and return the result.
     pub fn run(&self) -> PhaseResult<D::State> {
+        self.run_snapshotting(None, 0, &mut |_| {})
+    }
+
+    /// [`Phase::run`] with mid-phase checkpointing: when `snapshot_every > 0`
+    /// the evolve loop hands a [`PhaseSnapshot`] to `sink` every
+    /// `snapshot_every` generations (taken at the top of the loop, before
+    /// evaluation), and a run resumed from such a snapshot via `resume`
+    /// continues bitwise-identically — the snapshot captures the
+    /// bred-but-unevaluated population plus the raw RNG state, and decoding
+    /// is a pure function of the genome.
+    ///
+    /// Panics on a structurally invalid or mismatched snapshot (callers that
+    /// load snapshots from disk validate first; see
+    /// [`crate::checkpoint::PhaseSnapshot::validate`]).
+    pub fn run_snapshotting(
+        &self,
+        resume: Option<&PhaseSnapshot>,
+        snapshot_every: u32,
+        sink: &mut dyn FnMut(PhaseSnapshot),
+    ) -> PhaseResult<D::State> {
         self.cfg.validate().expect("invalid GaConfig");
         let cfg = &self.cfg;
         // The successor cache is shared when the caller provided one,
@@ -117,24 +140,60 @@ impl<'d, D: Domain> Phase<'d, D> {
             None
         };
         let cache_start = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
-        let mut rng = phase_rng(cfg, self.phase_index);
-        let mut candidates: Vec<Candidate> = match &self.seeder {
-            Some((strategy, fraction)) => {
-                seeded_population(self.domain, &self.start, cfg, strategy, *fraction, &mut rng)
-            }
-            None => init_population(&mut rng, cfg),
-        }
-        .into_iter()
-        .map(Candidate::fresh)
-        .collect();
 
-        let mut best: Option<Evaluated<D::State>> = None;
-        let mut history = Vec::with_capacity(cfg.generations_per_phase as usize);
-        let mut first_solution_gen = None;
-        let mut generations_executed = 0;
+        let mut rng;
+        let mut candidates: Vec<Candidate>;
+        let mut best: Option<Evaluated<D::State>>;
+        let mut history;
+        let mut first_solution_gen;
+        let mut generations_executed;
+        let start_gen;
+        match resume {
+            Some(snap) => {
+                snap.validate().expect("invalid phase snapshot");
+                assert_eq!(snap.phase_index, self.phase_index, "snapshot belongs to another phase");
+                assert!(snap.next_gen < cfg.generations_per_phase, "snapshot next_gen {} out of range", snap.next_gen);
+                rng = StdRng::from_state(snap.rng_state());
+                candidates =
+                    snap.genomes.iter().map(|genes| Candidate::fresh(Genome::from_genes(genes.clone()))).collect();
+                // Rebuild the best-so-far individual by re-evaluating its
+                // genome: decoding is deterministic and RNG-free, so the
+                // result is identical to the pre-crash individual.
+                best = evaluate_candidates(
+                    self.domain,
+                    &self.start,
+                    vec![Candidate::fresh(Genome::from_genes(snap.best.clone()))],
+                    cfg,
+                    cache.as_deref(),
+                )
+                .into_iter()
+                .next();
+                history = snap.history.clone();
+                first_solution_gen = snap.first_solution_gen;
+                generations_executed = snap.next_gen;
+                start_gen = snap.next_gen;
+            }
+            None => {
+                rng = phase_rng(cfg, self.phase_index);
+                candidates = match &self.seeder {
+                    Some((strategy, fraction)) => {
+                        seeded_population(self.domain, &self.start, cfg, strategy, *fraction, &mut rng)
+                    }
+                    None => init_population(&mut rng, cfg),
+                }
+                .into_iter()
+                .map(Candidate::fresh)
+                .collect();
+                best = None;
+                history = Vec::with_capacity(cfg.generations_per_phase as usize);
+                first_solution_gen = None;
+                generations_executed = 0;
+                start_gen = 0;
+            }
+        }
         let mut stopped = None;
 
-        for gen in 0..cfg.generations_per_phase {
+        for gen in start_gen..cfg.generations_per_phase {
             // Budget check gates every generation but the first: generation
             // 0 always evaluates, so `best` exists and a timed-out job can
             // still report its best-so-far plan.
@@ -143,6 +202,29 @@ impl<'d, D: Domain> Phase<'d, D> {
                     stopped = Some(cause);
                     break;
                 }
+            }
+
+            // Mid-phase checkpoint: the population here is bred but not yet
+            // evaluated, and the RNG is exactly between the breeding of
+            // generation `gen - 1` and the selection of generation `gen`, so
+            // this point fully determines the rest of the phase. Skipped at
+            // `start_gen` (nothing new to save) and free of RNG draws and
+            // obs events, so checkpointing never perturbs the run.
+            if snapshot_every > 0 && gen > start_gen && gen % snapshot_every == 0 {
+                sink(PhaseSnapshot {
+                    phase_index: self.phase_index,
+                    next_gen: gen,
+                    rng: rng.state().to_vec(),
+                    genomes: candidates.iter().map(|c| c.genome.genes().to_vec()).collect(),
+                    best: best
+                        .as_ref()
+                        .expect("gen > start_gen implies an evaluated generation")
+                        .genome
+                        .genes()
+                        .to_vec(),
+                    history: history.clone(),
+                    first_solution_gen,
+                });
             }
 
             // (i) evaluate each individual. The clock is only read while a

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod annealing;
+pub mod checkpoint;
 pub mod config;
 pub mod crossover;
 pub mod decode;
@@ -73,6 +74,7 @@ pub mod selection;
 pub mod stats;
 
 pub use annealing::{one_plus_one, simulated_annealing, AnnealConfig, AnnealResult};
+pub use checkpoint::{MultiPhaseCheckpoint, PhaseSnapshot, ResumeError, CHECKPOINT_VERSION};
 pub use config::{
     CostFitnessMode, CrossoverKind, EvalMode, FitnessWeights, GaConfig, GoalEval, SelectionScheme, StateMatchMode,
 };

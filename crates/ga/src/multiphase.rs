@@ -7,10 +7,11 @@
 use std::sync::Arc;
 
 use gaplan_core::budget::{Budget, StopCause};
-use gaplan_core::{Domain, Plan, SuccessorCache};
+use gaplan_core::{Domain, OpId, Plan, SuccessorCache};
 use gaplan_obs as obs;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{MultiPhaseCheckpoint, PhaseSnapshot, ResumeError, CHECKPOINT_VERSION};
 use crate::config::{GaConfig, GoalEval};
 use crate::engine::{Phase, PhaseResult};
 use crate::seeding::SeedStrategy;
@@ -75,13 +76,23 @@ pub struct MultiPhase<'d, D: Domain> {
     seeder: Option<(SeedStrategy, f64)>,
     budget: Budget,
     cache: Option<Arc<SuccessorCache<D::State>>>,
+    problem_sig: u64,
 }
 
 impl<'d, D: Domain> MultiPhase<'d, D> {
     /// Create a driver. Use `cfg.max_phases = 1` (or
     /// [`GaConfig::single_phase`]) for the paper's single-phase baseline.
     pub fn new(domain: &'d D, cfg: GaConfig) -> Self {
-        MultiPhase { domain, cfg, seeder: None, budget: Budget::unlimited(), cache: None }
+        MultiPhase { domain, cfg, seeder: None, budget: Budget::unlimited(), cache: None, problem_sig: 0 }
+    }
+
+    /// Stamp checkpoints with the problem's signature, and refuse to resume
+    /// a checkpoint carrying a different one. Without this (or with 0, the
+    /// "unknown" sentinel), the problem check is skipped — the config check
+    /// still applies either way.
+    pub fn with_problem_sig(mut self, sig: u64) -> Self {
+        self.problem_sig = sig;
+        self
     }
 
     /// Share an external successor cache across this run's phases (and with
@@ -112,7 +123,73 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
 
     /// Run up to `max_phases` phases and assemble the concatenated solution.
     pub fn run(&self) -> MultiPhaseResult<D::State> {
+        self.run_checkpointed(None, 0, &mut |_| {}).expect("no checkpoint to resume, so no resume errors")
+    }
+
+    /// [`MultiPhase::run`] with checkpointing: after every completed phase
+    /// that leaves more work to do, a phase-boundary [`MultiPhaseCheckpoint`]
+    /// is handed to `sink`; with `snapshot_every > 0`, mid-phase checkpoints
+    /// (carrying a [`PhaseSnapshot`]) are additionally emitted every that
+    /// many generations. Passing a previously emitted checkpoint as `resume`
+    /// continues the run from that point, bitwise-identically to an
+    /// uninterrupted run: phase RNG streams are freshly derived per phase,
+    /// the resume start state is reconstructed by replaying the accumulated
+    /// plan, and mid-phase snapshots carry the raw RNG state.
+    ///
+    /// Fails with [`ResumeError`] when the checkpoint does not belong to
+    /// this (problem, config, engine version) — never resumes from a
+    /// mismatched or corrupt checkpoint.
+    pub fn run_checkpointed(
+        &self,
+        resume: Option<&MultiPhaseCheckpoint>,
+        snapshot_every: u32,
+        sink: &mut dyn FnMut(&MultiPhaseCheckpoint),
+    ) -> Result<MultiPhaseResult<D::State>, ResumeError> {
         self.cfg.validate().expect("invalid GaConfig");
+        let config_sig = self.cfg.signature();
+
+        let start_phase;
+        let mut phase_resume: Option<PhaseSnapshot> = None;
+        let resume_plan: Option<Plan>;
+        if let Some(cp) = resume {
+            if cp.version != CHECKPOINT_VERSION {
+                return Err(ResumeError::VersionMismatch { found: cp.version, expected: CHECKPOINT_VERSION });
+            }
+            if cp.config_sig != config_sig {
+                return Err(ResumeError::ConfigMismatch { found: cp.config_sig, expected: config_sig });
+            }
+            if self.problem_sig != 0 && cp.problem_sig != 0 && cp.problem_sig != self.problem_sig {
+                return Err(ResumeError::ProblemMismatch { found: cp.problem_sig, expected: self.problem_sig });
+            }
+            if cp.next_phase >= self.cfg.max_phases {
+                return Err(ResumeError::PhaseOutOfRange {
+                    next_phase: cp.next_phase,
+                    max_phases: self.cfg.max_phases,
+                });
+            }
+            if let Some(snap) = &cp.phase_snapshot {
+                snap.validate()?;
+                if snap.phase_index != cp.next_phase {
+                    return Err(ResumeError::BadSnapshot(format!(
+                        "snapshot phase {} != checkpoint next phase {}",
+                        snap.phase_index, cp.next_phase
+                    )));
+                }
+                if snap.next_gen >= self.cfg.generations_per_phase {
+                    return Err(ResumeError::BadSnapshot(format!(
+                        "snapshot next_gen {} >= generations_per_phase {}",
+                        snap.next_gen, self.cfg.generations_per_phase
+                    )));
+                }
+                phase_resume = Some(snap.clone());
+            }
+            start_phase = cp.next_phase;
+            resume_plan = Some(Plan::from_ops(cp.plan_ops.iter().map(|&op| OpId(op)).collect()));
+        } else {
+            start_phase = 0;
+            resume_plan = None;
+        }
+
         let _run_span = obs::span("ga.run");
         // One successor cache for the whole run: later phases search the
         // same state space and start warm. Pure optimization — results are
@@ -132,7 +209,20 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
         let mut first_solution_gen = None;
         let mut stopped = None;
 
-        for p in 0..self.cfg.max_phases {
+        if let (Some(cp), Some(rp)) = (resume, resume_plan) {
+            // Reconstruct the resume start state by replaying the
+            // accumulated plan — checkpoints carry no domain state, so they
+            // stay domain-agnostic and a stale plan fails here loudly
+            // instead of resuming from a silently wrong state.
+            state = rp.simulate_unchecked(self.domain, &state).final_state;
+            plan = rp;
+            phases = cp.phases.clone();
+            history = cp.history.clone();
+            total_generations = cp.total_generations;
+            first_solution_gen = cp.first_solution_gen;
+        }
+
+        for p in start_phase..self.cfg.max_phases {
             // A phase always evaluates at least one generation, so check
             // the shared budget here to avoid starting a doomed phase —
             // except before phase 1, which must run for best-so-far to
@@ -166,7 +256,25 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                         phase = phase.with_seeder(strategy.clone(), *fraction);
                     }
                 }
-                phase.run()
+                // A mid-phase snapshot only ever resumes the phase it was
+                // taken in; wrap each one in a full checkpoint carrying the
+                // run-level accumulators as they stood when this phase began.
+                let inner_resume = if p == start_phase { phase_resume.as_ref() } else { None };
+                let mut inner_sink = |snap: PhaseSnapshot| {
+                    sink(&MultiPhaseCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        problem_sig: self.problem_sig,
+                        config_sig,
+                        next_phase: p,
+                        plan_ops: plan.ops().iter().map(|op| op.0).collect(),
+                        phases: phases.clone(),
+                        history: history.clone(),
+                        total_generations,
+                        first_solution_gen,
+                        phase_snapshot: Some(snap),
+                    });
+                };
+                phase.run_snapshotting(inner_resume, snapshot_every, &mut inner_sink)
             };
 
             if first_solution_gen.is_none() {
@@ -223,6 +331,25 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                 stopped = phase_stopped;
                 break;
             }
+
+            // Phase boundary with more phases to go: the natural checkpoint.
+            // No RNG state is needed — phase `p + 1` derives a fresh stream
+            // from `(seed, p + 1)` — so a resume from here is trivially
+            // bitwise-identical.
+            if p + 1 < self.cfg.max_phases {
+                sink(&MultiPhaseCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    problem_sig: self.problem_sig,
+                    config_sig,
+                    next_phase: p + 1,
+                    plan_ops: plan.ops().iter().map(|op| op.0).collect(),
+                    phases: phases.clone(),
+                    history: history.clone(),
+                    total_generations,
+                    first_solution_gen,
+                    phase_snapshot: None,
+                });
+            }
         }
 
         if solved_in_phase.is_none() {
@@ -237,7 +364,7 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
                 .f64("goal_fitness", goal_fitness)
                 .u64("plan_len", plan.len() as u64)
         });
-        MultiPhaseResult {
+        Ok(MultiPhaseResult {
             solved: solved_in_phase.is_some(),
             solved_in_phase,
             plan,
@@ -249,7 +376,7 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
             generations_to_solution,
             first_solution_gen,
             stopped,
-        }
+        })
     }
 }
 
@@ -468,6 +595,131 @@ mod tests {
             second.hits,
             second.misses
         );
+    }
+
+    fn assert_bitwise_equal(
+        a: &MultiPhaseResult<impl PartialEq + std::fmt::Debug>,
+        b: &MultiPhaseResult<impl PartialEq + std::fmt::Debug>,
+    ) {
+        assert_eq!(a.plan.ops(), b.plan.ops());
+        assert_eq!(a.goal_fitness.to_bits(), b.goal_fitness.to_bits());
+        assert_eq!(a.solved, b.solved);
+        assert_eq!(a.solved_in_phase, b.solved_in_phase);
+        assert_eq!(a.total_generations, b.total_generations);
+        assert_eq!(a.generations_to_solution, b.generations_to_solution);
+        assert_eq!(a.first_solution_gen, b.first_solution_gen);
+        assert_eq!(a.phases.len(), b.phases.len());
+        assert_eq!(a.history.len(), b.history.len());
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha.best_total.to_bits(), hb.best_total.to_bits());
+            assert_eq!(ha.best_goal.to_bits(), hb.best_goal.to_bits());
+            assert_eq!(ha.mean_total.to_bits(), hb.mean_total.to_bits());
+            assert_eq!(ha.solvers, hb.solvers);
+        }
+    }
+
+    #[test]
+    fn resume_from_every_phase_boundary_is_bitwise_identical() {
+        let d = chain(60); // hard: runs all 4 phases, so 3 boundary checkpoints
+        let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+        let full = MultiPhase::new(&d, cfg())
+            .with_problem_sig(42)
+            .run_checkpointed(None, 0, &mut |cp| cps.push(cp.clone()))
+            .unwrap();
+        assert_eq!(cps.len(), 3, "one checkpoint per non-final phase boundary");
+        for cp in &cps {
+            // Round trip through JSON exactly as the CLI persists it.
+            let json = serde_json::to_string(cp).unwrap();
+            let cp: MultiPhaseCheckpoint = serde_json::from_str(&json).unwrap();
+            let resumed =
+                MultiPhase::new(&d, cfg()).with_problem_sig(42).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap();
+            assert_bitwise_equal(&resumed, &full);
+        }
+    }
+
+    #[test]
+    fn resume_from_midphase_snapshot_is_bitwise_identical() {
+        let d = chain(60);
+        let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+        let full = MultiPhase::new(&d, cfg()).run_checkpointed(None, 7, &mut |cp| cps.push(cp.clone())).unwrap();
+        let mid: Vec<&MultiPhaseCheckpoint> = cps.iter().filter(|c| c.phase_snapshot.is_some()).collect();
+        assert!(!mid.is_empty(), "25-generation phases at every-7 must snapshot");
+        for cp in mid {
+            let json = serde_json::to_string(cp).unwrap();
+            let cp: MultiPhaseCheckpoint = serde_json::from_str(&json).unwrap();
+            let resumed = MultiPhase::new(&d, cfg()).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap();
+            assert_bitwise_equal(&resumed, &full);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        let d = chain(60); // unsolvable in 4 phases, so boundaries exist
+        let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+        MultiPhase::new(&d, cfg())
+            .with_problem_sig(42)
+            .run_checkpointed(None, 0, &mut |cp| cps.push(cp.clone()))
+            .unwrap();
+        let cp = cps.first().expect("unsolved 4-phase run leaves boundaries").clone();
+
+        let mut bad = cp.clone();
+        bad.version += 1;
+        let err = MultiPhase::new(&d, cfg()).run_checkpointed(Some(&bad), 0, &mut |_| {}).unwrap_err();
+        assert!(matches!(err, ResumeError::VersionMismatch { .. }));
+
+        let mut other_cfg = cfg();
+        other_cfg.seed += 1;
+        let err = MultiPhase::new(&d, other_cfg).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap_err();
+        assert!(matches!(err, ResumeError::ConfigMismatch { .. }));
+
+        let err =
+            MultiPhase::new(&d, cfg()).with_problem_sig(7).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap_err();
+        assert!(matches!(err, ResumeError::ProblemMismatch { .. }));
+
+        // problem sig 0 on either side skips the problem check
+        MultiPhase::new(&d, cfg()).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap();
+
+        let mut bad = cp.clone();
+        bad.next_phase = 99;
+        let err = MultiPhase::new(&d, cfg()).run_checkpointed(Some(&bad), 0, &mut |_| {}).unwrap_err();
+        assert!(matches!(err, ResumeError::PhaseOutOfRange { .. }));
+    }
+
+    #[test]
+    fn resumed_run_trace_matches_uninterrupted_suffix() {
+        // Phase-boundary resume must replay the *identical* event stream for
+        // the remaining phases: the masked continuation trace (minus its
+        // run-enter line) equals the uninterrupted trace's suffix from the
+        // resumed phase's span_enter on (minus the final run-exit lines,
+        // compared separately since both traces end with them).
+        let d = chain(60);
+        let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+        let rec = std::sync::Arc::new(obs::RecordingSubscriber::default());
+        let guard = obs::install(rec.clone());
+        MultiPhase::new(&d, cfg()).run_checkpointed(None, 0, &mut |cp| cps.push(cp.clone())).unwrap();
+        drop(guard);
+        let full: Vec<String> = rec.lines().iter().map(|l| obs::golden::mask_line(l)).collect();
+
+        for cp in &cps {
+            let rec = std::sync::Arc::new(obs::RecordingSubscriber::default());
+            let guard = obs::install(rec.clone());
+            MultiPhase::new(&d, cfg()).run_checkpointed(Some(cp), 0, &mut |_| {}).unwrap();
+            drop(guard);
+            let resumed: Vec<String> = rec.lines().iter().map(|l| obs::golden::mask_line(l)).collect();
+
+            // Uninterrupted suffix: from the (next_phase + 1)-th phase span
+            // enter line onward.
+            let phase_enters: Vec<usize> = full
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.starts_with("{\"ev\":\"span_enter\",\"span\":\"ga.phase\""))
+                .map(|(i, _)| i)
+                .collect();
+            let suffix = &full[phase_enters[cp.next_phase as usize]..];
+            // Resumed trace: drop its leading span_enter ga.run line.
+            assert!(resumed[0].starts_with("{\"ev\":\"span_enter\",\"span\":\"ga.run\""), "{}", resumed[0]);
+            assert_eq!(&resumed[1..], suffix, "trace suffix diverged for resume at phase {}", cp.next_phase);
+        }
     }
 
     #[test]

@@ -65,22 +65,26 @@ impl PlanCache {
     }
 
     /// Insert a plan, evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, key: u64, value: CachedPlan) {
+    /// Returns whether an entry was evicted to make room.
+    pub fn insert(&mut self, key: u64, value: CachedPlan) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         self.next_stamp += 1;
         let stamp = self.next_stamp;
         if let Some(entry) = self.map.get_mut(&key) {
             *entry = Entry { stamp, value };
-            return;
+            return false;
         }
+        let mut evicted = false;
         if self.map.len() >= self.capacity {
             if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
                 self.map.remove(&oldest);
+                evicted = true;
             }
         }
         self.map.insert(key, Entry { stamp, value });
+        evicted
     }
 
     /// Number of cached plans.
@@ -111,10 +115,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = PlanCache::new(2);
-        c.insert(1, plan(1));
-        c.insert(2, plan(2));
+        assert!(!c.insert(1, plan(1)));
+        assert!(!c.insert(2, plan(2)));
         assert!(c.get(1).is_some()); // refresh 1 → 2 is now LRU
-        c.insert(3, plan(3));
+        assert!(c.insert(3, plan(3)), "insert into a full cache must report the eviction");
         assert!(c.get(2).is_none());
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());

@@ -25,6 +25,12 @@
 //! * **Simulator integration** ([`ServiceReplanner`]): adapts the service
 //!   to the grid coordinator's replanner hook, so mid-execution replans go
 //!   through the queue, cache and metrics.
+//! * **Durability** ([`JobJournal`]): [`serve_with_journal`] write-ahead
+//!   journals every accepted request before it runs and every terminal
+//!   reply before it is written, over a fault-injectable
+//!   [`gaplan_durable::Storage`]; on restart the journal replays — the plan
+//!   cache is reseeded, journaled replies re-emitted, and unfinished jobs
+//!   re-enqueued — so `kill -9` loses no accepted job.
 //! * **Self-healing** ([`PlanService`]): jobs run under `catch_unwind`
 //!   with a bounded panic-retry policy, a supervisor respawns worker
 //!   threads that die anyway, a full queue sheds load after an admission
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod journal;
 pub mod metrics;
 pub mod proto;
 pub mod replan;
@@ -41,8 +48,9 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CachedPlan, PlanCache};
+pub use journal::{CacheEntrySer, JobJournal, JournalRecord, Recovery};
 pub use metrics::{BucketCount, HistogramSummary, Metrics, MetricsSnapshot};
-pub use proto::{parse_command, serve, Command, ProtoError};
+pub use proto::{parse_command, serve, serve_with_journal, Command, ProtoError};
 pub use replan::ServiceReplanner;
 pub use request::{BuiltProblem, GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec, SolveOutcome};
 pub use service::{HealthReport, ObsHandle, PlanService, ServiceConfig, ServiceError, SubmitError};

@@ -25,6 +25,10 @@ pub struct Metrics {
     jobs_errored: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    journal_appends: AtomicU64,
+    journal_replayed: AtomicU64,
+    journal_truncated_bytes: AtomicU64,
     queue_depth: AtomicU64,
     total_wall_ms: AtomicU64,
     max_wall_ms: AtomicU64,
@@ -110,6 +114,26 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The plan cache evicted its least-recently-used entry to make room.
+    pub fn on_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One record was appended (and flushed) to the job journal.
+    pub fn on_journal_append(&self) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `records` intact journal records were decoded during startup replay.
+    pub fn on_journal_replayed(&self, records: u64) {
+        self.journal_replayed.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// `bytes` of corrupt journal tail were truncated during recovery.
+    pub fn on_journal_truncated(&self, bytes: u64) {
+        self.journal_truncated_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// A chaos job deliberately injected a fault (panic) into a worker.
     pub fn on_fault_injected(&self) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
@@ -179,6 +203,10 @@ impl Metrics {
             cache_hits: hits,
             cache_misses: misses,
             cache_hit_rate: if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 },
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_replayed: self.journal_replayed.load(Ordering::Relaxed),
+            journal_truncated_bytes: self.journal_truncated_bytes.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             total_wall_ms,
             max_wall_ms: self.max_wall_ms.load(Ordering::Relaxed),
@@ -260,6 +288,14 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups yet.
     pub cache_hit_rate: f64,
+    /// Plan-cache entries evicted (LRU) to make room for new plans.
+    pub cache_evictions: u64,
+    /// Records appended to the job journal (submits + terminal replies).
+    pub journal_appends: u64,
+    /// Intact journal records decoded during startup replay.
+    pub journal_replayed: u64,
+    /// Bytes of corrupt journal tail truncated during recovery.
+    pub journal_truncated_bytes: u64,
     /// Jobs currently queued (submitted, not yet dequeued by a worker).
     pub queue_depth: u64,
     /// Sum of per-job wall times, milliseconds.
@@ -304,6 +340,11 @@ mod tests {
         m.on_cache_hit();
         m.on_complete(10, false);
         m.on_reject();
+        m.on_cache_eviction();
+        m.on_journal_append();
+        m.on_journal_append();
+        m.on_journal_replayed(5);
+        m.on_journal_truncated(17);
         let s = m.snapshot();
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 2);
@@ -312,6 +353,10 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.cache_evictions, 1);
+        assert_eq!(s.journal_appends, 2);
+        assert_eq!(s.journal_replayed, 5);
+        assert_eq!(s.journal_truncated_bytes, 17);
         assert_eq!(s.queue_depth, 0);
         assert_eq!(s.total_wall_ms, 50);
         assert_eq!(s.max_wall_ms, 40);

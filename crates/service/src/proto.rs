@@ -20,11 +20,14 @@
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
 
 use gaplan_obs::{self as obs, Event};
 use serde::de::Deserialize;
 use serde::json::{parse, Value};
 
+use crate::journal::JobJournal;
 use crate::request::{JobStatus, PlanRequest, PlanResponse};
 use crate::service::{PlanService, ServiceConfig, SubmitError};
 
@@ -125,11 +128,35 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
+    serve_with_journal(cfg, None, reader, writer)
+}
+
+/// [`serve`] with an optional crash-safe job journal.
+///
+/// With a journal, startup first replays it: the plan cache is reseeded
+/// from completed runs, terminal replies journaled since the last
+/// compaction are re-emitted, and accepted-but-unanswered jobs are
+/// re-enqueued. During the session every accepted request is journaled
+/// *before* it is enqueued and every terminal reply *before* it is written,
+/// so a `kill -9` at any point loses no accepted job. On EOF the queue is
+/// drained and the journal synced before the loop returns.
+pub fn serve_with_journal<R, W>(
+    cfg: ServiceConfig,
+    journal: Option<JobJournal>,
+    reader: R,
+    writer: W,
+) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
     // Workers install the subscriber themselves; the serve loop also
     // installs it so admission failures (shed/rejected) are traced too.
     let obs_handle = cfg.obs.clone();
     let (service, responses) = PlanService::start(cfg).map_err(std::io::Error::from)?;
     let _obs = obs_handle.as_ref().map(crate::service::ObsHandle::install);
+    let journal = journal.map(Arc::new);
+    let metrics = service.metrics_arc();
     let (out_tx, out_rx) = channel::<String>();
 
     let writer_thread = std::thread::Builder::new().name("gaplan-serve-writer".to_string()).spawn(move || {
@@ -141,17 +168,66 @@ where
         }
     })?;
 
-    // Forward worker responses into the output stream.
+    // Forward worker responses into the output stream, journaling each
+    // terminal reply (durably, before the line is written) on the way.
     let forwarder = {
         let out_tx = out_tx.clone();
+        let journal = journal.clone();
+        let metrics = Arc::clone(&metrics);
         std::thread::Builder::new().name("gaplan-serve-forwarder".to_string()).spawn(move || {
             for resp in responses {
+                if let Some(journal) = journal.as_deref() {
+                    // A failed append still answers the client: availability
+                    // over durability (the job may re-run after a crash).
+                    if journal.record_done(&resp).is_ok() {
+                        metrics.on_journal_append();
+                    }
+                }
                 if out_tx.send(response_line(&resp)).is_err() {
                     break;
                 }
             }
         })?
     };
+
+    // Journal recovery: reseed the cache, re-emit journaled replies, then
+    // re-enqueue unfinished jobs (waiting out transient queue pressure —
+    // accepted jobs must not be shed by their own recovery).
+    if let Some(journal) = journal.as_deref() {
+        let recovery = journal.recover()?;
+        metrics.on_journal_replayed(recovery.records_replayed);
+        metrics.on_journal_truncated(recovery.truncated_bytes);
+        obs::emit(|| {
+            Event::new("durable.replay")
+                .u64("records", recovery.records_replayed)
+                .u64("pending", recovery.pending.len() as u64)
+                .u64("completed", recovery.completed.len() as u64)
+                .u64("truncated_bytes", recovery.truncated_bytes)
+                .u64("malformed", recovery.malformed_records)
+        });
+        for (key, entry) in recovery.cache_entries {
+            service.seed_cache(key, entry);
+        }
+        for resp in recovery.completed {
+            let _ = out_tx.send(response_line(&resp));
+        }
+        for request in recovery.pending {
+            loop {
+                match service.submit(request.clone()) {
+                    Ok(_) => break,
+                    Err(SubmitError::QueueFull | SubmitError::Shed) => std::thread::sleep(Duration::from_millis(2)),
+                    Err(err) => {
+                        let resp = PlanResponse::failure(request.id, JobStatus::Rejected, err.to_string());
+                        if journal.record_done(&resp).is_ok() {
+                            metrics.on_journal_append();
+                        }
+                        let _ = out_tx.send(response_line(&resp));
+                        break;
+                    }
+                }
+            }
+        }
+    }
 
     for line in reader.lines() {
         let line = line?;
@@ -161,6 +237,17 @@ where
         match parse_command(&line) {
             Ok(Command::Plan(request)) => {
                 let id = request.id;
+                if let Some(journal) = journal.as_deref() {
+                    // Write-ahead: the job is durable before it can run. A
+                    // failed append refuses the job — running it unjournaled
+                    // would make a crash silently drop an "accepted" job.
+                    if let Err(e) = journal.record_submit(&request) {
+                        let resp = PlanResponse::failure(id, JobStatus::Error, format!("journal write failed: {e}"));
+                        let _ = out_tx.send(response_line(&resp));
+                        continue;
+                    }
+                    metrics.on_journal_append();
+                }
                 if let Err(err) = service.submit(*request) {
                     let status = match err {
                         SubmitError::Shed => JobStatus::Shed,
@@ -174,6 +261,13 @@ where
                             .bool("cache_hit", false)
                             .u64("wall_ms", resp.wall_ms)
                     });
+                    if let Some(journal) = journal.as_deref() {
+                        // Terminal record for the journaled submit, so a
+                        // restart does not resurrect a shed job.
+                        if journal.record_done(&resp).is_ok() {
+                            metrics.on_journal_append();
+                        }
+                    }
                     let _ = out_tx.send(response_line(&resp));
                 }
             }
@@ -199,8 +293,12 @@ where
     }
 
     // Drain: stop accepting, let queued jobs finish, flush their responses.
+    // `shutdown` emits the final `svc.shutdown` event with the drain count.
     service.shutdown(); // joins workers → response senders drop
     let _ = forwarder.join(); // drains remaining responses into out_tx
+    if let Some(journal) = journal.as_deref() {
+        journal.sync()?; // every drained reply is durable before exit
+    }
     drop(out_tx); // closes the writer's channel
     let _ = writer_thread.join();
     Ok(())

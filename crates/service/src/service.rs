@@ -174,6 +174,18 @@ pub struct HealthReport {
     pub wall_ms_p99: u64,
     /// 99th-percentile queue wait so far (bucket upper bound, ms).
     pub queue_wait_ms_p99: u64,
+    /// Jobs answered from the plan cache.
+    pub cache_hits: u64,
+    /// Jobs that ran the GA.
+    pub cache_misses: u64,
+    /// Plan-cache entries evicted (LRU) to make room.
+    pub cache_evictions: u64,
+    /// Records appended to the job journal (0 when serving unjournaled).
+    pub journal_appends: u64,
+    /// Intact journal records decoded during startup replay.
+    pub journal_replayed: u64,
+    /// Bytes of corrupt journal tail truncated during recovery.
+    pub journal_truncated_bytes: u64,
 }
 
 /// What a worker plans: a wire-level spec, or an in-process grid world with
@@ -218,7 +230,9 @@ struct Shared {
     ///
     /// [`BuiltProblem::signature`]: crate::request::BuiltProblem::signature
     succ_pool: Mutex<FxHashMap<u64, Arc<SuccessorCache<DynState>>>>,
-    metrics: Metrics,
+    /// Behind an `Arc` so long-lived helper threads (e.g. the serve loop's
+    /// journal forwarder) can count events without borrowing the service.
+    metrics: Arc<Metrics>,
     /// Cancel tokens of queued + running jobs, keyed by job id. Populated
     /// at submit time so a job can be cancelled while still queued.
     active: Mutex<FxHashMap<u64, CancelToken>>,
@@ -271,7 +285,7 @@ impl PlanService {
         let shared = Arc::new(Shared {
             cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
             succ_pool: Mutex::new(FxHashMap::default()),
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             active: Mutex::new(FxHashMap::default()),
             shutting_down: AtomicBool::new(false),
             max_job_retries: cfg.max_job_retries,
@@ -415,17 +429,25 @@ impl PlanService {
     }
 
     /// Point-in-time liveness report: workers alive vs configured, queue
-    /// depth, in-flight job count, respawn count.
+    /// depth, in-flight job count, respawn count, plus the durability
+    /// counters (cache hit/miss/eviction, journal append/replay/truncation).
     pub fn health(&self) -> HealthReport {
+        let snapshot = self.shared.metrics.snapshot();
         HealthReport {
             workers_alive: self.shared.metrics.workers_alive(),
             workers_configured: self.workers_configured,
             queue_depth: self.shared.metrics.queue_depth(),
             active_jobs: self.shared.active.lock().len(),
-            workers_respawned: self.shared.metrics.snapshot().workers_respawned,
+            workers_respawned: snapshot.workers_respawned,
             wall_ms_p50: self.shared.metrics.wall_ms_quantile(0.5),
             wall_ms_p99: self.shared.metrics.wall_ms_quantile(0.99),
             queue_wait_ms_p99: self.shared.metrics.queue_wait_ms_quantile(0.99),
+            cache_hits: snapshot.cache_hits,
+            cache_misses: snapshot.cache_misses,
+            cache_evictions: snapshot.cache_evictions,
+            journal_appends: snapshot.journal_appends,
+            journal_replayed: snapshot.journal_replayed,
+            journal_truncated_bytes: snapshot.journal_truncated_bytes,
         }
     }
 
@@ -435,25 +457,47 @@ impl PlanService {
         &self.shared.metrics
     }
 
+    /// The metrics behind their `Arc`, for helper threads that outlive any
+    /// borrow of the service handle (e.g. the serve loop's forwarder).
+    pub(crate) fn metrics_arc(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Pre-populate the plan cache — the journal-recovery path, so plans
+    /// computed before a crash keep answering identical resubmissions.
+    pub fn seed_cache(&self, key: u64, value: CachedPlan) {
+        if self.shared.cache.lock().insert(key, value) {
+            self.shared.metrics.on_cache_eviction();
+        }
+    }
+
     /// Number of plans currently cached.
     pub fn cache_len(&self) -> usize {
         self.shared.cache.lock().len()
     }
 
     /// Close the queue and wait for workers to drain and exit. Queued jobs
-    /// still run (cancel them first for a fast stop).
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
+    /// still run (cancel them first for a fast stop). Returns the number of
+    /// jobs that were still in flight at shutdown and were drained, and
+    /// emits one `svc.shutdown` trace event carrying that count.
+    pub fn shutdown(mut self) -> u64 {
+        self.shutdown_in_place()
     }
 
-    fn shutdown_in_place(&mut self) {
+    fn shutdown_in_place(&mut self) -> u64 {
         // Order matters: mark intent first so the supervisor does not
         // mistake draining workers for crashed ones and respawn them.
         self.shared.shutting_down.store(true, Ordering::Release);
         drop(self.tx.take());
-        if let Some(supervisor) = self.supervisor.take() {
-            let _ = supervisor.join();
-        }
+        // The supervisor handle doubles as the "already shut down" guard:
+        // `shutdown` followed by `Drop` drains (and reports) only once.
+        let Some(supervisor) = self.supervisor.take() else {
+            return 0;
+        };
+        let drained = self.shared.active.lock().len() as u64;
+        let _ = supervisor.join();
+        obs::emit(|| Event::new("svc.shutdown").u64("jobs_drained", drained));
+        drained
     }
 }
 
@@ -718,7 +762,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
         }
     };
     if outcome.stopped.is_none() {
-        shared.cache.lock().insert(
+        let evicted = shared.cache.lock().insert(
             key,
             CachedPlan {
                 solved: outcome.solved,
@@ -728,6 +772,9 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
                 total_generations: outcome.total_generations,
             },
         );
+        if evicted {
+            shared.metrics.on_cache_eviction();
+        }
     }
     let wall_ms = job.wall_ms();
     shared.metrics.on_complete(wall_ms, outcome.solved);

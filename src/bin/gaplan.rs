@@ -9,12 +9,19 @@
 //! gaplan hanoi  [<disks>] [--disks N] [--single] [--seed N]
 //! gaplan tile   <side>  [--crossover random|state-aware|mixed] [--seed N]
 //! gaplan serve  [--workers N] [--queue N] [--cache N]
-//!               [--admission-ms N] [--job-retries N]
+//!               [--admission-ms N] [--job-retries N] [--journal DIR]
 //! gaplan trace-report <file> [--top K]
 //! ```
 //!
 //! Every planning command also accepts `--trace FILE`, writing a JSON-lines
 //! event trace (see `gaplan-obs`) that `gaplan trace-report` analyzes.
+//!
+//! GA commands accept `--checkpoint FILE [--checkpoint-gens N]`: the run
+//! snapshots its full state to FILE after every phase (and every N
+//! generations within a phase when N > 0), resumes from an existing FILE
+//! bitwise-identically, and deletes FILE on completion. `serve --journal DIR`
+//! write-ahead journals every accepted job and terminal reply under DIR, so
+//! a killed service replays unfinished work on restart (see `gaplan-durable`).
 //!
 //! STRIPS files use the `gaplan-core` text format; grid files use the
 //! `gaplan-grid` format (see `data/` for samples).
@@ -27,13 +34,18 @@ use ga_grid_planner::baselines::{
     backward_chain, bfs, forward_chain, graphplan, greedy_best_first, HAdd, SearchLimits,
 };
 use ga_grid_planner::domains::{Hanoi, SlidingTile};
-use ga_grid_planner::ga::{CostFitnessMode, CrossoverKind, GaConfig, MultiPhase};
+use ga_grid_planner::durable::{load_snapshot, save_snapshot, FsStorage, Storage};
+use ga_grid_planner::ga::{
+    CostFitnessMode, CrossoverKind, GaConfig, MultiPhase, MultiPhaseCheckpoint, MultiPhaseResult,
+};
 use ga_grid_planner::grid::{
     chaos_schedule, greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, FaultPlan, ReplanPolicy,
 };
 use ga_grid_planner::obs;
-use ga_grid_planner::service::{serve, ObsHandle, PlanService, ServiceConfig, ServiceReplanner};
-use gaplan_core::{Domain, Plan};
+use ga_grid_planner::service::{
+    serve_with_journal, JobJournal, ObsHandle, PlanService, ServiceConfig, ServiceReplanner,
+};
+use gaplan_core::{Domain, Plan, SigBuilder};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +81,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N]    (JSON lines on stdin/stdout)\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -101,6 +113,77 @@ fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
     }
 }
 
+/// Run the multi-phase GA for `domain`, honoring `--checkpoint FILE` and
+/// `--checkpoint-gens N`: after every phase (and, with `N > 0`, every `N`
+/// generations inside a phase) the run's full state is written atomically
+/// to FILE. An existing FILE resumes the run — bitwise-identically to an
+/// uninterrupted one — and a completed run deletes it.
+fn run_with_checkpoint<D: Domain>(
+    domain: &D,
+    cfg: GaConfig,
+    problem_sig: u64,
+    args: &[String],
+) -> MultiPhaseResult<D::State> {
+    let Some(path) = flag_value(args, "--checkpoint") else {
+        return MultiPhase::new(domain, cfg).run();
+    };
+    let every: u32 = parse_or(flag_value(args, "--checkpoint-gens"), 0);
+    let path = std::path::Path::new(path);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        usage("--checkpoint needs a file path");
+    };
+    let storage: Arc<dyn Storage> = Arc::new(FsStorage::new(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot open checkpoint directory {}: {e}", dir.display());
+        exit(1);
+    }));
+    let resume: Option<MultiPhaseCheckpoint> = match load_snapshot(&storage, &name) {
+        Ok(Some(bytes)) => {
+            match std::str::from_utf8(&bytes).ok().and_then(|s| serde_json::from_str::<MultiPhaseCheckpoint>(s).ok()) {
+                Some(cp) => {
+                    eprintln!("resuming from checkpoint {} (phase {})", path.display(), cp.next_phase);
+                    Some(cp)
+                }
+                None => {
+                    eprintln!("warning: checkpoint {} is unreadable; starting fresh", path.display());
+                    None
+                }
+            }
+        }
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("warning: checkpoint {} is corrupt ({e}); starting fresh", path.display());
+            None
+        }
+    };
+    let result = {
+        let mp = MultiPhase::new(domain, cfg).with_problem_sig(problem_sig);
+        let mut sink = |cp: &MultiPhaseCheckpoint| match serde_json::to_string(cp) {
+            Ok(json) => {
+                if let Err(e) = save_snapshot(&storage, &name, json.as_bytes()) {
+                    eprintln!("warning: checkpoint write failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: checkpoint serialize failed: {e}"),
+        };
+        mp.run_checkpointed(resume.as_ref(), every, &mut sink)
+    };
+    match result {
+        Ok(r) => {
+            // The run is over; a later fresh invocation must not resume it.
+            let _ = storage.remove(&name);
+            r
+        }
+        Err(e) => {
+            eprintln!("cannot resume from {}: {e}", path.display());
+            exit(1);
+        }
+    }
+}
+
 fn report_plan<D: Domain>(domain: &D, plan: &Plan, elapsed: f64, extra: &str) {
     let out = plan.simulate(domain, &domain.initial_state()).expect("planner produced an invalid plan");
     println!("plan: {} ops, cost {:.1}, reaches goal: {} ({:.3}s){extra}", plan.len(), out.cost, out.solves, elapsed);
@@ -125,7 +208,7 @@ fn strips_cmd(args: &[String]) {
     match planner {
         "ga" => {
             let cfg = ga_config_from_flags(args, 16.max(problem.num_operations()));
-            let r = MultiPhase::new(&problem, cfg).run();
+            let r = run_with_checkpoint(&problem, cfg, problem.signature(), args);
             println!(
                 "GA: solved={} goal-fitness={:.3} generations={}",
                 r.solved, r.goal_fitness, r.generations_to_solution
@@ -185,7 +268,7 @@ fn grid_cmd(args: &[String]) {
             let mut cfg = ga_config_from_flags(args, 12);
             cfg.max_len = 32;
             cfg.cost_fitness = CostFitnessMode::InverseCost;
-            MultiPhase::new(&world, cfg).run().plan
+            run_with_checkpoint(&world, cfg, world.signature(), args).plan
         }
         "greedy" => greedy_plan(&world, 8).unwrap_or_default(),
         other => usage(&format!("unknown planner `{other}`")),
@@ -310,9 +393,16 @@ fn serve_cmd(args: &[String]) {
         max_job_retries: parse_or(flag_value(args, "--job-retries"), 1),
         obs: trace_handle(args),
     };
+    let journal = flag_value(args, "--journal").map(|dir| {
+        let storage: Arc<dyn Storage> = Arc::new(FsStorage::new(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open journal directory {dir}: {e}");
+            exit(1);
+        }));
+        JobJournal::new(storage)
+    });
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    if let Err(e) = serve(cfg, stdin.lock(), stdout) {
+    if let Err(e) = serve_with_journal(cfg, journal, stdin.lock(), stdout) {
         eprintln!("serve: {e}");
         exit(1);
     }
@@ -331,7 +421,12 @@ fn hanoi_cmd(args: &[String]) {
     }
     let _trace = install_trace(args);
     let started = Instant::now();
-    let r = MultiPhase::new(&hanoi, cfg).run();
+    let sig = {
+        let mut s = SigBuilder::new();
+        s.tag("hanoi-v1").usize(n);
+        s.finish()
+    };
+    let r = run_with_checkpoint(&hanoi, cfg, sig, args);
     println!(
         "hanoi {n}: solved={} goal-fitness={:.3} generations={} plan-length={} (optimal {}) in {:.2}s",
         r.solved,
@@ -362,7 +457,12 @@ fn tile_cmd(args: &[String]) {
     cfg.crossover = crossover;
     let _trace = install_trace(args);
     let started = Instant::now();
-    let r = MultiPhase::new(&puzzle, cfg).run();
+    let sig = {
+        let mut s = SigBuilder::new();
+        s.tag("tile-v1").usize(n).u64(seed);
+        s.finish()
+    };
+    let r = run_with_checkpoint(&puzzle, cfg, sig, args);
     println!(
         "tile {n}x{n} ({}): solved={} goal-fitness={:.3} plan-length={} in {:.2}s",
         crossover.name(),

@@ -4,6 +4,7 @@
 pub use gaplan_baselines as baselines;
 pub use gaplan_core as core;
 pub use gaplan_domains as domains;
+pub use gaplan_durable as durable;
 pub use gaplan_ga as ga;
 pub use gaplan_grid as grid;
 pub use gaplan_obs as obs;

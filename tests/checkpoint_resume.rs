@@ -1,0 +1,114 @@
+//! Checkpoint/resume property tests over the real domains.
+//!
+//! For each of Hanoi, the sliding-tile puzzle and a grid world, a full
+//! multi-phase run is recorded (with mid-phase snapshots every few
+//! generations), then every emitted checkpoint is pushed through a JSON
+//! round-trip — exactly what `gaplan --checkpoint` persists — and resumed.
+//! The resumed run must be *bitwise* identical to the uninterrupted one:
+//! same plan ops, same fitness bits, same per-generation history. For
+//! phase-boundary checkpoints the obs-masked event trace of the resumed run
+//! must equal the uninterrupted trace's suffix, so not only the answer but
+//! the entire observable evolution matches.
+
+use std::sync::Arc;
+
+use ga_grid_planner::domains::{Hanoi, SlidingTile};
+use ga_grid_planner::ga::{CostFitnessMode, GaConfig, MultiPhase, MultiPhaseCheckpoint, MultiPhaseResult};
+use ga_grid_planner::grid::parse_grid;
+use ga_grid_planner::obs;
+use gaplan_core::Domain;
+
+fn small_cfg(initial_len: usize, seed: u64) -> GaConfig {
+    GaConfig { population_size: 40, generations_per_phase: 20, max_phases: 3, initial_len, seed, ..GaConfig::default() }
+}
+
+fn assert_bitwise_equal<S>(a: &MultiPhaseResult<S>, b: &MultiPhaseResult<S>) {
+    assert_eq!(a.plan.ops(), b.plan.ops());
+    assert_eq!(a.goal_fitness.to_bits(), b.goal_fitness.to_bits());
+    assert_eq!(a.solved, b.solved);
+    assert_eq!(a.solved_in_phase, b.solved_in_phase);
+    assert_eq!(a.total_generations, b.total_generations);
+    assert_eq!(a.generations_to_solution, b.generations_to_solution);
+    assert_eq!(a.first_solution_gen, b.first_solution_gen);
+    assert_eq!(a.history.len(), b.history.len());
+    for (ha, hb) in a.history.iter().zip(&b.history) {
+        assert_eq!(ha.best_total.to_bits(), hb.best_total.to_bits());
+        assert_eq!(ha.best_goal.to_bits(), hb.best_goal.to_bits());
+        assert_eq!(ha.mean_total.to_bits(), hb.mean_total.to_bits());
+        assert_eq!(ha.solvers, hb.solvers);
+    }
+}
+
+/// Run `domain` uninterrupted (recording its trace and all checkpoints,
+/// including mid-phase ones), then resume from every checkpoint after a
+/// JSON round-trip and check bitwise-identical results plus trace-suffix
+/// equality for phase-boundary checkpoints.
+fn check_domain<D: Domain>(domain: &D, cfg: GaConfig, sig: u64) {
+    let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+    let rec = Arc::new(obs::RecordingSubscriber::default());
+    let guard = obs::install(rec.clone());
+    let full = MultiPhase::new(domain, cfg.clone())
+        .with_problem_sig(sig)
+        .run_checkpointed(None, 7, &mut |cp| cps.push(cp.clone()))
+        .unwrap();
+    drop(guard);
+    let full_trace: Vec<String> = rec.lines().iter().map(|l| obs::golden::mask_line(l)).collect();
+    assert!(cps.len() >= 2, "expected several checkpoints, got {}", cps.len());
+
+    let phase_enters: Vec<usize> = full_trace
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("{\"ev\":\"span_enter\",\"span\":\"ga.phase\""))
+        .map(|(i, _)| i)
+        .collect();
+
+    for cp in &cps {
+        // The persisted form: serialize, reparse, resume from the copy.
+        let json = serde_json::to_string(cp).unwrap();
+        let cp: MultiPhaseCheckpoint = serde_json::from_str(&json).unwrap();
+
+        let rec = Arc::new(obs::RecordingSubscriber::default());
+        let guard = obs::install(rec.clone());
+        let resumed = MultiPhase::new(domain, cfg.clone())
+            .with_problem_sig(sig)
+            .run_checkpointed(Some(&cp), 0, &mut |_| {})
+            .unwrap();
+        drop(guard);
+        assert_bitwise_equal(&resumed, &full);
+
+        // Trace-suffix equality is only meaningful at phase boundaries: a
+        // mid-phase resume re-enters its phase span, so its trace has no
+        // counterpart prefix in the uninterrupted run.
+        if cp.phase_snapshot.is_none() && (cp.next_phase as usize) < phase_enters.len() {
+            let resumed_trace: Vec<String> = rec.lines().iter().map(|l| obs::golden::mask_line(l)).collect();
+            let suffix = &full_trace[phase_enters[cp.next_phase as usize]..];
+            assert!(resumed_trace[0].starts_with("{\"ev\":\"span_enter\",\"span\":\"ga.run\""), "{}", resumed_trace[0]);
+            assert_eq!(&resumed_trace[1..], suffix, "trace suffix diverged for resume at phase {}", cp.next_phase);
+        }
+    }
+}
+
+#[test]
+fn hanoi_checkpoints_resume_bitwise_identical() {
+    // 6 disks: hard enough that the small config spans multiple phases.
+    let hanoi = Hanoi::new(6);
+    check_domain(&hanoi, small_cfg(hanoi.optimal_len(), 11).multi_phase(), 0x6a01);
+}
+
+#[test]
+fn tile_checkpoints_resume_bitwise_identical() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2003);
+    let puzzle = SlidingTile::random_solvable(3, &mut rng);
+    check_domain(&puzzle, small_cfg(30, 5), 0x713e);
+}
+
+#[test]
+fn grid_checkpoints_resume_bitwise_identical() {
+    let text = std::fs::read_to_string("data/pipeline.grid").unwrap();
+    let world = parse_grid(&text).unwrap();
+    let mut cfg = small_cfg(12, 9);
+    cfg.max_len = 32;
+    cfg.cost_fitness = CostFitnessMode::InverseCost;
+    check_domain(&world, cfg, world.signature());
+}

@@ -111,3 +111,31 @@ fn missing_file_fails_cleanly() {
     assert!(!ok);
     assert!(text.contains("cannot read"), "{text}");
 }
+
+/// Wall-clock timings vary run to run; everything else must not.
+fn strip_timings(stdout: &str) -> String {
+    stdout
+        .lines()
+        .map(|l| match l.find(" in ") {
+            Some(i) if l.ends_with('s') => &l[..i],
+            _ => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn checkpoint_flag_is_output_invariant_and_cleans_up() {
+    let cp = std::env::temp_dir().join(format!("gaplan-cli-cp-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&cp);
+    let args = ["hanoi", "4", "--gens", "20", "--pop", "40", "--seed", "6"];
+    let plain = gaplan().args(args).output().expect("binary runs");
+    let with_cp = gaplan().args(args).arg("--checkpoint").arg(&cp).output().expect("binary runs");
+    assert!(plain.status.success() && with_cp.status.success());
+    assert_eq!(
+        strip_timings(&String::from_utf8_lossy(&plain.stdout)),
+        strip_timings(&String::from_utf8_lossy(&with_cp.stdout)),
+        "--checkpoint must not change planning output"
+    );
+    assert!(!cp.exists(), "completed run must remove its checkpoint file");
+}

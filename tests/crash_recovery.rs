@@ -1,0 +1,78 @@
+//! Crash-recovery end-to-end test: `kill -9` a `gaplan serve --journal DIR`
+//! process while jobs are in flight, restart it over the same journal
+//! directory, and check that every accepted job still gets exactly one
+//! terminal reply. This is the durability contract the write-ahead journal
+//! exists for — no amount of in-process unit testing substitutes for an
+//! actual SIGKILL.
+
+use std::io::{Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn spawn_serve(dir: &std::path::Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_gaplan"))
+        .args(["serve", "--workers", "1", "--journal"])
+        .arg(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("gaplan serve spawns")
+}
+
+/// Jobs slow enough that none can finish before the kill (~250 ms in), but
+/// with a wall-clock deadline so the restarted service terminates them
+/// quickly (Timeout is a perfectly good terminal reply — the contract is
+/// exactly-one-reply-per-job, not solvedness).
+fn plan_line(id: u64) -> String {
+    format!("{{\"cmd\":\"plan\",\"id\":{id},\"problem\":{{\"Hanoi\":{{\"disks\":8}}}},\"deadline_ms\":1200}}\n")
+}
+
+#[test]
+fn killed_service_replays_journal_and_answers_every_job_once() {
+    let dir = std::env::temp_dir().join(format!("gaplan-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Session 1: submit three slow jobs, then SIGKILL mid-flight.
+    let mut child = spawn_serve(&dir);
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        for id in 1..=3u64 {
+            stdin.write_all(plan_line(id).as_bytes()).unwrap();
+        }
+        stdin.flush().unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(250));
+    child.kill().unwrap(); // SIGKILL on unix: no destructors, no flushes
+    let out = child.wait_with_output().unwrap();
+    let first = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        !first.contains("\"status\""),
+        "no job should have completed before the kill (8-disk Hanoi takes seconds): {first}"
+    );
+
+    // Session 2 over the same journal dir: recovery re-enqueues the three
+    // jobs; their deadlines have long expired, so each terminates fast.
+    let mut child = spawn_serve(&dir);
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        stdin.write_all(b"{\"cmd\":\"metrics\"}\n").unwrap();
+        stdin.flush().unwrap();
+    }
+    drop(child.stdin.take()); // EOF: drain recovered jobs, then shut down
+    let mut second = String::new();
+    child.stdout.as_mut().unwrap().read_to_string(&mut second).unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "restarted serve should exit cleanly: {second}");
+
+    for id in 1..=3u64 {
+        let needle = format!("\"id\":{id},\"status\"");
+        let replies = second.lines().filter(|l| l.contains(&needle)).count();
+        assert_eq!(replies, 1, "job {id} must get exactly one terminal reply:\n{second}");
+    }
+    let metrics = second.lines().find(|l| l.contains("\"metrics\"")).expect("metrics line");
+    assert!(metrics.contains("\"journal_replayed\":3"), "{metrics}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

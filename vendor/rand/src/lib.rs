@@ -228,6 +228,26 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Snapshot the raw xoshiro256** state. Together with
+        /// [`StdRng::from_state`] this allows exact checkpoint/resume of a
+        /// generator mid-stream: `from_state(r.state())` continues the
+        /// identical sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by [`StdRng::state`].
+        /// The all-zero state (invalid for xoshiro) is mapped to the same
+        /// non-zero fallback `seed_from_u64` uses.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
