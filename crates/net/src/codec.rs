@@ -1,0 +1,223 @@
+//! Newline-delimited frame codec with a hard per-frame size cap.
+//!
+//! The wire format is the service's JSON-lines protocol: one UTF-8 JSON
+//! object per `\n`-terminated line. The reader enforces a byte cap per
+//! frame *before* buffering a whole line, so a hostile or broken peer
+//! cannot balloon server memory: an over-cap line is discarded
+//! incrementally and reported as [`FrameError::Oversize`], and the stream
+//! then resynchronizes at the next newline — the connection survives.
+//! Invalid UTF-8 is [`FrameError::Malformed`]; bytes left dangling at EOF
+//! without their newline are [`FrameError::Truncated`]. None of these
+//! panic, which the `prop_codec` suite checks against arbitrary inputs.
+
+use std::io::{self, Read};
+
+/// Default per-frame byte cap (1 MiB) — far above any legitimate request
+/// (the largest are STRIPS/grid problem texts), far below memory trouble.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Why an inbound frame was rejected. The stream itself remains usable
+/// after every variant except that `Truncated` is always followed by EOF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the per-frame byte cap; `len` bytes were
+    /// discarded (at least cap+1 — discarding is incremental, so the full
+    /// length of an unbounded line is never buffered).
+    Oversize {
+        /// Bytes discarded for this frame.
+        len: usize,
+    },
+    /// The line was not valid UTF-8.
+    Malformed,
+    /// The stream ended mid-line (bytes with no terminating newline).
+    Truncated,
+}
+
+impl FrameError {
+    /// Human-readable description, suitable for an error reply line.
+    pub fn message(&self) -> String {
+        match self {
+            FrameError::Oversize { len } => format!("frame rejected: {len} bytes exceeds the per-frame cap"),
+            FrameError::Malformed => "frame rejected: not valid UTF-8".to_string(),
+            FrameError::Truncated => "frame rejected: stream ended mid-line".to_string(),
+        }
+    }
+}
+
+/// One decoded frame: a complete line, or a rejection the caller should
+/// report without dropping the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete `\n`-terminated UTF-8 line (newline stripped).
+    Complete(String),
+    /// A rejected frame; the reader has already resynchronized.
+    Reject(FrameError),
+}
+
+/// Incremental frame reader over any [`Read`].
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    start: usize,
+    max_frame: usize,
+    /// Mid-discard of an over-cap line: bytes dropped so far.
+    skipping: Option<usize>,
+    eof: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner`, rejecting frames longer than `max_frame` bytes.
+    pub fn new(inner: R, max_frame: usize) -> Self {
+        FrameReader { inner, buf: Vec::new(), start: 0, max_frame: max_frame.max(1), skipping: None, eof: false }
+    }
+
+    /// Read the next frame. `Ok(None)` is clean EOF.
+    pub fn read_frame(&mut self) -> io::Result<Option<Frame>> {
+        loop {
+            // Deliver anything already buffered.
+            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + pos;
+                let line_start = self.start;
+                self.start = end + 1;
+                if let Some(skipped) = self.skipping.take() {
+                    // Tail of an over-cap line: discard through its newline.
+                    return Ok(Some(Frame::Reject(FrameError::Oversize { len: skipped + (end - line_start) })));
+                }
+                let len = end - line_start;
+                if len > self.max_frame {
+                    return Ok(Some(Frame::Reject(FrameError::Oversize { len })));
+                }
+                let bytes = self.buf[line_start..end].to_vec();
+                return match String::from_utf8(bytes) {
+                    Ok(line) => Ok(Some(Frame::Complete(line))),
+                    Err(_) => Ok(Some(Frame::Reject(FrameError::Malformed))),
+                };
+            }
+
+            // No newline buffered. Over-cap partial lines are discarded now
+            // so an endless line can never balloon the buffer.
+            let pending = self.buf.len() - self.start;
+            if pending > self.max_frame {
+                *self.skipping.get_or_insert(0) += pending;
+                self.start = self.buf.len();
+            }
+
+            if self.eof {
+                let remaining = self.buf.len() - self.start;
+                self.start = self.buf.len();
+                if let Some(skipped) = self.skipping.take() {
+                    return Ok(Some(Frame::Reject(FrameError::Oversize { len: skipped + remaining })));
+                }
+                if remaining > 0 {
+                    return Ok(Some(Frame::Reject(FrameError::Truncated)));
+                }
+                return Ok(None);
+            }
+
+            // Compact and refill.
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Write one frame: the line plus its terminating newline. The line must
+/// not itself contain a newline (the JSON serializers here never emit one).
+pub fn write_frame<W: io::Write>(writer: &mut W, line: &str) -> io::Result<()> {
+    debug_assert!(!line.contains('\n'), "frame payloads are single lines");
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(input: &[u8], cap: usize) -> Vec<Frame> {
+        let mut reader = FrameReader::new(input, cap);
+        let mut out = Vec::new();
+        while let Some(frame) = reader.read_frame().unwrap() {
+            out.push(frame);
+        }
+        out
+    }
+
+    #[test]
+    fn splits_lines_and_strips_newlines() {
+        let got = frames(b"alpha\nbeta\n\ngamma\n", 64);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Complete("alpha".into()),
+                Frame::Complete("beta".into()),
+                Frame::Complete(String::new()),
+                Frame::Complete("gamma".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversize_line_is_rejected_and_stream_resyncs() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = frames(&input, 10);
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], Frame::Reject(FrameError::Oversize { len }) if len >= 100));
+        assert_eq!(got[1], Frame::Complete("ok".into()));
+    }
+
+    #[test]
+    fn unbounded_line_never_buffers_more_than_the_cap() {
+        // 1 MiB of garbage against a 1 KiB cap: the reader must discard
+        // incrementally, then resync on the next real line.
+        let mut input = vec![b'y'; 1 << 20];
+        input.push(b'\n');
+        input.extend_from_slice(b"after\n");
+        let mut reader = FrameReader::new(&input[..], 1024);
+        let first = reader.read_frame().unwrap().unwrap();
+        assert!(matches!(first, Frame::Reject(FrameError::Oversize { len }) if len >= 1 << 20));
+        assert!(reader.buf.capacity() < 64 * 1024, "buffer ballooned to {}", reader.buf.capacity());
+        assert_eq!(reader.read_frame().unwrap().unwrap(), Frame::Complete("after".into()));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed_but_stream_survives() {
+        let got = frames(b"\xff\xfe\nok\n", 64);
+        assert_eq!(got, vec![Frame::Reject(FrameError::Malformed), Frame::Complete("ok".into())]);
+    }
+
+    #[test]
+    fn trailing_bytes_without_newline_are_truncated() {
+        let got = frames(b"done\npartial", 64);
+        assert_eq!(got, vec![Frame::Complete("done".into()), Frame::Reject(FrameError::Truncated)]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut wire = Vec::new();
+        for line in ["one", "two", "{\"cmd\":\"metrics\"}"] {
+            write_frame(&mut wire, line).unwrap();
+        }
+        let got = frames(&wire, DEFAULT_MAX_FRAME);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Complete("one".into()),
+                Frame::Complete("two".into()),
+                Frame::Complete("{\"cmd\":\"metrics\"}".into()),
+            ]
+        );
+    }
+}

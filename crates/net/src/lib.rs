@@ -1,0 +1,30 @@
+//! # gaplan-net
+//!
+//! TCP front-end and traffic harness for the gaplan planning service.
+//!
+//! The service crate's session layer ([`gaplan_service::session`]) is
+//! transport-agnostic; this crate supplies the network transport:
+//!
+//! - [`codec`] — newline-delimited framing with a hard per-frame byte cap,
+//!   incremental over-cap discard, and panic-free rejection of malformed
+//!   input.
+//! - [`server`] — [`TcpServer`], a zero-dependency thread-per-connection
+//!   listener wiring [`FrameReader`] → session → per-connection writer,
+//!   with write-backpressure feeding admission shedding and singleflight
+//!   request coalescing shared across connections.
+//! - [`loadgen`] — a closed-loop load generator ([`loadgen::run`]) that
+//!   drives skewed-key traffic at configurable concurrency and reports
+//!   throughput and latency quantiles to `BENCH_service.json`.
+//!
+//! The same JSON-lines wire protocol the stdin loop speaks works verbatim
+//! over TCP; `nc localhost 4500` is a usable client.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod loadgen;
+pub mod server;
+
+pub use codec::{write_frame, Frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{NetOptions, TcpServer};

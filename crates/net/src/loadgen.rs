@@ -1,0 +1,386 @@
+//! Closed-loop traffic generator for a TCP `gaplan serve`.
+//!
+//! Each of `conns` client threads keeps up to `inflight` jobs outstanding
+//! on its own connection, driving `jobs` total plan requests. Keys follow
+//! a two-point skew: with probability `skew` a request uses the hot key 0,
+//! otherwise a key uniform over `key_space` — hot keys are what make
+//! singleflight coalescing and the plan cache earn their keep. Every key
+//! maps to the same small Hanoi problem with a key-derived GA seed, so a
+//! key fully determines the (deterministic) plan; the report carries an
+//! order-independent fingerprint of every key's plan, which lets a
+//! coalescing run be checked byte-for-byte against an uncoalesced one.
+//!
+//! Latency is recorded per reply in microseconds into the obs log2-bucket
+//! [`Histogram`] and reported as p50/p90/p99 bucket upper bounds alongside
+//! throughput — the numbers that land in `BENCH_service.json`.
+
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Instant;
+
+use gaplan_obs::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::json::{parse, write_value, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Frame, FrameReader, DEFAULT_MAX_FRAME};
+
+/// Traffic shape for one [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4500`.
+    pub addr: String,
+    /// Total jobs across all connections.
+    pub jobs: u64,
+    /// Client connections, each on its own thread.
+    pub conns: usize,
+    /// Per-connection cap on outstanding (unanswered) jobs.
+    pub inflight: usize,
+    /// Distinct cold keys; key 0 is the additional hot key.
+    pub key_space: u64,
+    /// Probability a request hits the hot key.
+    pub skew: f64,
+    /// Optional per-job deadline forwarded to the service.
+    pub deadline_ms: Option<u64>,
+    /// RNG seed for the key sequence.
+    pub seed: u64,
+    /// Send `{"cmd":"shutdown"}` when done, stopping the server.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:4500".to_string(),
+            jobs: 100_000,
+            conns: 8,
+            inflight: 32,
+            key_space: 64,
+            skew: 0.5,
+            deadline_ms: None,
+            seed: 42,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Outcome of a [`run`], serialized to `BENCH_service.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Jobs requested.
+    pub jobs: u64,
+    /// Terminal replies received.
+    pub replies: u64,
+    /// Jobs that never got a reply (must be 0 on a healthy run).
+    pub lost: u64,
+    /// Replies with `Error` or `Rejected` status.
+    pub errors: u64,
+    /// Replies with `Shed` status (backpressure working as designed).
+    pub shed: u64,
+    /// Replies whose plan reached the goal.
+    pub solved: u64,
+    /// Frames the client failed to decode.
+    pub bad_frames: u64,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub wall_ms: u64,
+    /// `replies / wall_s`.
+    pub throughput_jobs_per_sec: f64,
+    /// Median per-job latency (log2-bucket upper bound), microseconds.
+    pub latency_us_p50: u64,
+    /// 90th-percentile per-job latency, microseconds.
+    pub latency_us_p90: u64,
+    /// 99th-percentile per-job latency, microseconds.
+    pub latency_us_p99: u64,
+    /// Server-side `coalesced_jobs` counter after the run.
+    pub coalesced_jobs: u64,
+    /// Server-side `cache_hits` counter after the run.
+    pub cache_hits: u64,
+    /// Distinct keys observed in replies.
+    pub distinct_keys: u64,
+    /// Replies whose plan disagreed with an earlier reply for the same key
+    /// (must be 0 — plans are deterministic per key).
+    pub plan_mismatches: u64,
+    /// Order-independent fingerprint over (key, plan) pairs; equal runs
+    /// (coalesced or not) must produce equal fingerprints.
+    pub plans_hash: u64,
+}
+
+struct ConnStats {
+    replies: u64,
+    lost: u64,
+    errors: u64,
+    shed: u64,
+    solved: u64,
+    bad_frames: u64,
+    latency_us: Histogram,
+    /// First-seen plan fingerprint per key, plus mismatch count.
+    plans: HashMap<u64, u64>,
+    mismatches: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The request line for `id` under `key`: a fixed small Hanoi instance
+/// whose GA seed is derived from the key, so distinct keys are distinct
+/// cache/coalesce entries and equal keys plan identically.
+fn plan_line(id: u64, key: u64, deadline_ms: Option<u64>) -> String {
+    let deadline = match deadline_ms {
+        Some(ms) => format!(",\"deadline_ms\":{ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"cmd\":\"plan\",\"id\":{id},\"problem\":{{\"Hanoi\":{{\"disks\":4}}}}{deadline},\
+         \"ga\":{{\"population\":48,\"generations\":40,\"phases\":2,\"seed\":{}}}}}",
+        key.wrapping_mul(2_654_435_761).wrapping_add(1)
+    )
+}
+
+fn pick_key(rng: &mut StdRng, cfg: &LoadgenConfig) -> u64 {
+    if cfg.key_space <= 1 || rng.gen::<f64>() < cfg.skew {
+        0
+    } else {
+        rng.gen_range(1..cfg.key_space)
+    }
+}
+
+fn get_u64(value: &Value, field: &str) -> Option<u64> {
+    value.get(field).and_then(|v| u64::deserialize_json(v).ok())
+}
+
+fn run_conn(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64) -> io::Result<ConnStats> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = FrameReader::new(stream, DEFAULT_MAX_FRAME);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(conn_idx.wrapping_mul(0x9e37_79b9)));
+    let mut stats = ConnStats {
+        replies: 0,
+        lost: 0,
+        errors: 0,
+        shed: 0,
+        solved: 0,
+        bad_frames: 0,
+        latency_us: Histogram::default(),
+        plans: HashMap::new(),
+        mismatches: 0,
+    };
+    // Ids are namespaced per connection; the server's coalescer keys on
+    // problem/config signatures, not ids.
+    let base = (conn_idx + 1) << 40;
+    let mut pending: HashMap<u64, (Instant, u64)> = HashMap::new();
+    let mut sent = 0u64;
+
+    while stats.replies + stats.lost < jobs {
+        while sent < jobs && pending.len() < cfg.inflight.max(1) {
+            let key = pick_key(&mut rng, cfg);
+            let id = base + sent;
+            crate::codec::write_frame(&mut writer, &plan_line(id, key, cfg.deadline_ms))?;
+            pending.insert(id, (Instant::now(), key));
+            sent += 1;
+        }
+        writer.flush()?;
+        match reader.read_frame()? {
+            Some(Frame::Complete(line)) => {
+                let Ok(value) = parse(&line) else {
+                    stats.bad_frames += 1;
+                    continue;
+                };
+                let Some(id) = get_u64(&value, "id") else {
+                    stats.bad_frames += 1;
+                    continue;
+                };
+                let Some((sent_at, key)) = pending.remove(&id) else {
+                    continue; // duplicate or stray reply
+                };
+                stats.replies += 1;
+                stats.latency_us.record(sent_at.elapsed().as_micros() as u64);
+                let status = value.get("status").and_then(Value::as_str).unwrap_or("");
+                match status {
+                    "Error" | "Rejected" => stats.errors += 1,
+                    "Shed" => stats.shed += 1,
+                    _ => {}
+                }
+                if matches!(value.get("solved"), Some(Value::Bool(true))) {
+                    stats.solved += 1;
+                }
+                if status == "Done" {
+                    // Fingerprint the plan; every reply for a key must agree.
+                    let mut plan = String::new();
+                    if let Some(p) = value.get("plan") {
+                        write_value(&mut plan, p);
+                    }
+                    let fp = fnv1a(plan.as_bytes());
+                    match stats.plans.get(&key) {
+                        Some(&seen) if seen != fp => stats.mismatches += 1,
+                        Some(_) => {}
+                        None => {
+                            stats.plans.insert(key, fp);
+                        }
+                    }
+                }
+            }
+            Some(Frame::Reject(_)) => stats.bad_frames += 1,
+            None => {
+                // Server went away: everything pending or unsent is lost.
+                stats.lost += pending.len() as u64 + (jobs - sent);
+                pending.clear();
+                break;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Query the server's metrics snapshot (and optionally shut it down),
+/// returning `(coalesced_jobs, cache_hits)`.
+fn fetch_metrics(cfg: &LoadgenConfig) -> io::Result<(u64, u64)> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = FrameReader::new(stream, DEFAULT_MAX_FRAME);
+    crate::codec::write_frame(&mut writer, "{\"cmd\":\"metrics\"}")?;
+    writer.flush()?;
+    let mut counters = (0, 0);
+    if let Some(Frame::Complete(line)) = reader.read_frame()? {
+        if let Ok(value) = parse(&line) {
+            if let Some(metrics) = value.get("metrics") {
+                counters =
+                    (get_u64(metrics, "coalesced_jobs").unwrap_or(0), get_u64(metrics, "cache_hits").unwrap_or(0));
+            }
+        }
+    }
+    if cfg.shutdown_after {
+        crate::codec::write_frame(&mut writer, "{\"cmd\":\"shutdown\"}")?;
+        writer.flush()?;
+    }
+    Ok(counters)
+}
+
+/// Drive the configured load and collect the report. Errors only on
+/// connect/write failures; reply-level anomalies are counted, not fatal.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let conns = cfg.conns.max(1) as u64;
+    let per_conn = cfg.jobs / conns;
+    let remainder = cfg.jobs % conns;
+    let started = Instant::now();
+
+    let mut handles = Vec::new();
+    for conn_idx in 0..conns {
+        let cfg = cfg.clone();
+        let jobs = per_conn + u64::from(conn_idx < remainder);
+        handles.push(std::thread::spawn(move || run_conn(&cfg, conn_idx, jobs)));
+    }
+
+    let mut replies = 0u64;
+    let mut lost = 0u64;
+    let mut errors = 0u64;
+    let mut shed = 0u64;
+    let mut solved = 0u64;
+    let mut bad_frames = 0u64;
+    let mut latency = Histogram::default();
+    let mut plans: HashMap<u64, u64> = HashMap::new();
+    let mut mismatches = 0u64;
+    for handle in handles {
+        let stats = handle.join().map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
+        replies += stats.replies;
+        lost += stats.lost;
+        errors += stats.errors;
+        shed += stats.shed;
+        solved += stats.solved;
+        bad_frames += stats.bad_frames;
+        mismatches += stats.mismatches;
+        latency.merge(&stats.latency_us);
+        for (key, fp) in stats.plans {
+            match plans.get(&key) {
+                Some(&seen) if seen != fp => mismatches += 1,
+                Some(_) => {}
+                None => {
+                    plans.insert(key, fp);
+                }
+            }
+        }
+    }
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    let (coalesced_jobs, cache_hits) = fetch_metrics(cfg).unwrap_or((0, 0));
+
+    let mut plans_hash = 0u64;
+    for (key, fp) in &plans {
+        plans_hash ^= fnv1a(format!("{key}:{fp}").as_bytes());
+    }
+
+    Ok(LoadgenReport {
+        jobs: cfg.jobs,
+        replies,
+        lost,
+        errors,
+        shed,
+        solved,
+        bad_frames,
+        wall_ms,
+        throughput_jobs_per_sec: if wall_ms > 0 { replies as f64 * 1000.0 / wall_ms as f64 } else { 0.0 },
+        latency_us_p50: latency.quantile_upper(0.5),
+        latency_us_p90: latency.quantile_upper(0.9),
+        latency_us_p99: latency.quantile_upper(0.99),
+        coalesced_jobs,
+        cache_hits,
+        distinct_keys: plans.len() as u64,
+        plan_mismatches: mismatches,
+        plans_hash,
+    })
+}
+
+/// Write the report as pretty-printed JSON to `path`.
+pub fn write_report(path: &Path, report: &LoadgenReport) -> io::Result<()> {
+    let json = serde_json::to_string(report).map_err(io::Error::other)?;
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_prefers_the_hot_key() {
+        let cfg = LoadgenConfig { skew: 0.9, key_space: 16, ..LoadgenConfig::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let hot = (0..1000).filter(|_| pick_key(&mut rng, &cfg) == 0).count();
+        assert!(hot > 800, "expected ~900 hot-key picks, got {hot}");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = LoadgenReport {
+            jobs: 10,
+            replies: 10,
+            lost: 0,
+            errors: 0,
+            shed: 0,
+            solved: 9,
+            bad_frames: 0,
+            wall_ms: 123,
+            throughput_jobs_per_sec: 81.3,
+            latency_us_p50: 255,
+            latency_us_p90: 511,
+            latency_us_p99: 1023,
+            coalesced_jobs: 3,
+            cache_hits: 4,
+            distinct_keys: 2,
+            plan_mismatches: 0,
+            plans_hash: 99,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: LoadgenReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.jobs, 10);
+        assert_eq!(back.plans_hash, 99);
+    }
+}

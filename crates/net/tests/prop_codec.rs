@@ -1,0 +1,110 @@
+//! Property tests for the frame codec: write/read roundtrip identity over
+//! arbitrary newline-free payloads, and panic-freedom plus correct
+//! classification on arbitrary (malformed, truncated, oversize) byte
+//! streams.
+
+use gaplan_net::codec::{write_frame, Frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+
+/// Decode an entire byte stream into frames with the given cap.
+fn decode(input: &[u8], cap: usize) -> Vec<Frame> {
+    let mut reader = FrameReader::new(input, cap);
+    let mut out = Vec::new();
+    while let Some(frame) = reader.read_frame().expect("in-memory reads cannot fail") {
+        out.push(frame);
+    }
+    out
+}
+
+/// A printable-ASCII line strategy (never contains `\n`).
+fn line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..300)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is UTF-8"))
+}
+
+proptest! {
+    /// Writing any sequence of newline-free lines and reading them back
+    /// yields exactly the same lines, in order.
+    #[test]
+    fn roundtrip_is_identity(lines in proptest::collection::vec(line(), 0..20)) {
+        let mut wire = Vec::new();
+        for l in &lines {
+            write_frame(&mut wire, l).unwrap();
+        }
+        let got = decode(&wire, DEFAULT_MAX_FRAME);
+        prop_assert_eq!(got.len(), lines.len());
+        for (frame, want) in got.iter().zip(&lines) {
+            prop_assert_eq!(frame, &Frame::Complete(want.clone()));
+        }
+    }
+
+    /// Arbitrary bytes never panic the reader, and every complete frame it
+    /// does produce is valid UTF-8 within the cap.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2000),
+        cap in 1usize..256,
+    ) {
+        for frame in decode(&bytes, cap) {
+            if let Frame::Complete(line) = frame {
+                prop_assert!(line.len() <= cap);
+                prop_assert!(!line.contains('\n'));
+            }
+        }
+    }
+
+    /// A line longer than the cap is always rejected as oversize — with the
+    /// full discarded length reported — and the next line still decodes.
+    #[test]
+    fn oversize_rejects_and_resyncs(extra in 1usize..4096, cap in 1usize..128) {
+        let mut wire = vec![b'z'; cap + extra];
+        wire.push(b'\n');
+        wire.extend_from_slice(b"\n"); // empty line fits every cap
+        let got = decode(&wire, cap);
+        prop_assert_eq!(got.len(), 2);
+        prop_assert_eq!(&got[0], &Frame::Reject(FrameError::Oversize { len: cap + extra }));
+        prop_assert_eq!(&got[1], &Frame::Complete(String::new()));
+    }
+
+    /// Cutting a valid stream at any byte yields the same complete frames
+    /// as the full stream up to the cut, then at most one rejection.
+    #[test]
+    fn truncation_never_fabricates_frames(
+        lines in proptest::collection::vec(line(), 1..10),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        for l in &lines {
+            write_frame(&mut wire, l).unwrap();
+        }
+        let cut = (cut_seed % (wire.len() as u64 + 1)) as usize;
+        let got = decode(&wire[..cut], DEFAULT_MAX_FRAME);
+        let complete: Vec<&Frame> = got.iter().filter(|f| matches!(f, Frame::Complete(_))).collect();
+        // Every complete frame matches the original line at its position.
+        for (frame, want) in complete.iter().zip(&lines) {
+            prop_assert_eq!(*frame, &Frame::Complete(want.clone()));
+        }
+        // A cut mid-line yields exactly one trailing Truncated rejection.
+        let rejects: Vec<&Frame> = got.iter().filter(|f| matches!(f, Frame::Reject(_))).collect();
+        prop_assert!(rejects.len() <= 1);
+        if let Some(frame) = rejects.first() {
+            prop_assert_eq!(**frame, Frame::Reject(FrameError::Truncated));
+            prop_assert!(matches!(got.last(), Some(Frame::Reject(_))));
+        }
+    }
+
+    /// Invalid UTF-8 within the cap is rejected as malformed; the stream
+    /// keeps decoding afterwards.
+    #[test]
+    fn invalid_utf8_is_malformed_not_fatal(prefix in line()) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(prefix.as_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]); // never valid UTF-8
+        wire.push(b'\n');
+        wire.extend_from_slice(b"ok\n");
+        let got = decode(&wire, DEFAULT_MAX_FRAME);
+        prop_assert_eq!(got.len(), 2);
+        prop_assert_eq!(&got[0], &Frame::Reject(FrameError::Malformed));
+        prop_assert_eq!(&got[1], &Frame::Complete("ok".to_string()));
+    }
+}

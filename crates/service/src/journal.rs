@@ -29,8 +29,8 @@ use std::sync::Arc;
 use gaplan_durable::{load_snapshot, save_snapshot, Journal, Storage};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CachedPlan, PlanCache};
-use crate::request::{JobStatus, PlanRequest, PlanResponse, ProblemSpec};
+use crate::cache::CachedPlan;
+use crate::request::{JobStatus, PlanRequest, PlanResponse};
 
 /// WAL file name within the journal's storage root.
 pub const WAL_NAME: &str = "journal.wal";
@@ -50,7 +50,8 @@ pub enum JournalRecord {
 /// Serializable plan-cache entry persisted in `cache.snap`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CacheEntrySer {
-    /// Cache key ([`PlanCache::key`] of the problem + config signatures).
+    /// Cache key ([`crate::PlanCache::key`] of the problem + config
+    /// signatures).
     pub key: u64,
     /// Did the cached plan reach the goal?
     pub solved: bool,
@@ -89,7 +90,7 @@ pub struct Recovery {
     /// a reply that raced the crash is never lost.
     pub completed: Vec<PlanResponse>,
     /// Plan-cache contents (snapshot merged with completed runs), ready to
-    /// seed a fresh [`PlanCache`].
+    /// seed a fresh [`crate::PlanCache`].
     pub cache_entries: Vec<(u64, CachedPlan)>,
     /// Intact WAL records decoded during replay.
     pub records_replayed: u64,
@@ -213,21 +214,6 @@ impl JobJournal {
     }
 }
 
-/// The plan-cache key a request's run would be stored under, mirroring the
-/// worker's `PlanCache::key(built.signature(), cfg.signature())`. `None`
-/// when the request can never be cached (chaos jobs, unbuildable specs).
-fn cache_key(request: &PlanRequest) -> Option<u64> {
-    if matches!(request.problem, ProblemSpec::Chaos { .. }) {
-        return None;
-    }
-    let built = request.problem.build().ok()?;
-    let cfg = match &request.ga {
-        Some(overrides) => overrides.apply(built.default_config()),
-        None => built.default_config(),
-    };
-    Some(PlanCache::key(built.signature(), cfg.signature()))
-}
-
 /// Fold a completed run into the snapshot entries, mirroring the worker's
 /// cache policy: only `Done` runs are cached (timeouts and cancellations
 /// depend on wall-clock luck; errors carry no plan).
@@ -235,7 +221,7 @@ fn merge_entry(entries: &mut Vec<CacheEntrySer>, request: &PlanRequest, response
     if response.status != JobStatus::Done || response.error.is_some() {
         return;
     }
-    let Some(key) = cache_key(request) else { return };
+    let Some(key) = request.cache_key() else { return };
     let entry = CacheEntrySer {
         key,
         solved: response.solved,
@@ -253,7 +239,7 @@ fn merge_entry(entries: &mut Vec<CacheEntrySer>, request: &PlanRequest, response
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::GaOverrides;
+    use crate::request::{GaOverrides, ProblemSpec};
     use gaplan_durable::{FaultPlan, MemStorage};
 
     fn mem_journal() -> (Arc<MemStorage>, JobJournal) {
@@ -330,7 +316,7 @@ mod tests {
         journal.record_submit(&req).unwrap();
         journal.record_done(&done(1)).unwrap();
         let rec = journal.recover().unwrap();
-        let expected = cache_key(&req).unwrap();
+        let expected = req.cache_key().unwrap();
         assert_eq!(rec.cache_entries.len(), 1);
         assert_eq!(rec.cache_entries[0].0, expected);
         assert_eq!(rec.cache_entries[0].1.plan_ops, vec![0]);

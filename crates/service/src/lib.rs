@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub(crate) mod coalesce;
 pub mod journal;
 pub mod metrics;
 pub mod proto;
 pub mod replan;
 pub mod request;
 pub mod service;
+pub mod session;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use journal::{CacheEntrySer, JobJournal, JournalRecord, Recovery};
@@ -54,3 +56,4 @@ pub use proto::{parse_command, serve, serve_with_journal, Command, ProtoError};
 pub use replan::ServiceReplanner;
 pub use request::{BuiltProblem, GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec, SolveOutcome};
 pub use service::{HealthReport, ObsHandle, PlanService, ServiceConfig, ServiceError, SubmitError};
+pub use session::{LineOutcome, Session, SessionHost, SessionMode};

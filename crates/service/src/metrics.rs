@@ -39,6 +39,12 @@ pub struct Metrics {
     jobs_shed: AtomicU64,
     replans_failed: AtomicU64,
     workers_alive: AtomicU64,
+    coalesced_jobs: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    conns_dropped: AtomicU64,
+    frames_oversize: AtomicU64,
+    frames_malformed: AtomicU64,
     /// Per-job submission-to-completion wall time, milliseconds.
     wall_ms_hist: Mutex<Histogram>,
     /// Per-job submission-to-dequeue wait, milliseconds.
@@ -166,6 +172,36 @@ impl Metrics {
         self.replans_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A job joined an identical in-flight computation instead of running.
+    pub fn on_coalesced(&self) {
+        self.coalesced_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A TCP connection was accepted.
+    pub fn on_conn_accept(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A TCP connection closed; `dropped` means the peer vanished with
+    /// jobs still in flight (as opposed to a clean quit/EOF).
+    pub fn on_conn_close(&self, dropped: bool) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+        if dropped {
+            self.conns_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// An inbound frame exceeded the per-frame size cap and was rejected.
+    pub fn on_frame_oversize(&self) {
+        self.frames_oversize.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An inbound frame was not valid UTF-8 / parseable JSON.
+    pub fn on_frame_malformed(&self) {
+        self.frames_malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A worker thread came up.
     pub fn on_worker_start(&self) {
         self.workers_alive.fetch_add(1, Ordering::Relaxed);
@@ -218,6 +254,12 @@ impl Metrics {
             jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
             replans_failed: self.replans_failed.load(Ordering::Relaxed),
             workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            coalesced_jobs: self.coalesced_jobs.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_dropped: self.conns_dropped.load(Ordering::Relaxed),
+            frames_oversize: self.frames_oversize.load(Ordering::Relaxed),
+            frames_malformed: self.frames_malformed.load(Ordering::Relaxed),
             wall_ms_hist: HistogramSummary::of(&self.wall_ms_hist.lock()),
             queue_wait_ms_hist: HistogramSummary::of(&self.queue_wait_ms_hist.lock()),
         }
@@ -318,6 +360,18 @@ pub struct MetricsSnapshot {
     pub replans_failed: u64,
     /// Worker threads currently alive (gauge).
     pub workers_alive: u64,
+    /// Jobs that joined an identical in-flight computation (singleflight).
+    pub coalesced_jobs: u64,
+    /// TCP connections accepted since startup.
+    pub conns_accepted: u64,
+    /// TCP connections currently open (gauge).
+    pub conns_open: u64,
+    /// TCP connections that vanished with jobs still in flight.
+    pub conns_dropped: u64,
+    /// Inbound frames rejected for exceeding the per-frame size cap.
+    pub frames_oversize: u64,
+    /// Inbound frames rejected as malformed (bad UTF-8 / unparseable).
+    pub frames_malformed: u64,
     /// Distribution of per-job wall times, milliseconds.
     pub wall_ms_hist: HistogramSummary,
     /// Distribution of submission-to-dequeue queue waits, milliseconds.
@@ -345,6 +399,12 @@ mod tests {
         m.on_journal_append();
         m.on_journal_replayed(5);
         m.on_journal_truncated(17);
+        m.on_coalesced();
+        m.on_conn_accept();
+        m.on_conn_accept();
+        m.on_conn_close(true);
+        m.on_frame_oversize();
+        m.on_frame_malformed();
         let s = m.snapshot();
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 2);
@@ -358,6 +418,12 @@ mod tests {
         assert_eq!(s.journal_replayed, 5);
         assert_eq!(s.journal_truncated_bytes, 17);
         assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.coalesced_jobs, 1);
+        assert_eq!(s.conns_accepted, 2);
+        assert_eq!(s.conns_open, 1);
+        assert_eq!(s.conns_dropped, 1);
+        assert_eq!(s.frames_oversize, 1);
+        assert_eq!(s.frames_malformed, 1);
         assert_eq!(s.total_wall_ms, 50);
         assert_eq!(s.max_wall_ms, 40);
         assert!((s.mean_wall_ms - 25.0).abs() < 1e-12);

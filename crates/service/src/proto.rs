@@ -20,16 +20,14 @@
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc::channel;
-use std::sync::Arc;
-use std::time::Duration;
 
-use gaplan_obs::{self as obs, Event};
 use serde::de::Deserialize;
 use serde::json::{parse, Value};
 
 use crate::journal::JobJournal;
-use crate::request::{JobStatus, PlanRequest, PlanResponse};
-use crate::service::{PlanService, ServiceConfig, SubmitError};
+use crate::request::PlanRequest;
+use crate::service::{ObsHandle, ServiceConfig};
+use crate::session::{LineOutcome, Session, SessionHost, SessionMode};
 
 /// A parsed input line.
 #[derive(Debug, Clone)]
@@ -101,25 +99,6 @@ pub fn parse_command(line: &str) -> Result<Command, ProtoError> {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::new();
-    serde::ser::Serialize::serialize_json(s, &mut out);
-    out
-}
-
-/// An error line that always carries a `status` and, when known, the `id`
-/// the client needs to correlate the failure.
-fn error_line(id: Option<u64>, message: &str) -> String {
-    match id {
-        Some(id) => format!(r#"{{"id":{id},"status":"Error","error":{}}}"#, json_escape(message)),
-        None => format!(r#"{{"status":"Error","error":{}}}"#, json_escape(message)),
-    }
-}
-
-fn response_line(resp: &PlanResponse) -> String {
-    serde_json::to_string(resp).unwrap_or_else(|e| error_line(Some(resp.id), &format!("serialize response: {e}")))
-}
-
 /// Run the service over `reader`/`writer` until EOF or a `shutdown`
 /// command. Responses are written by a dedicated thread as they arrive, so
 /// slow jobs never block fast ones — out-of-order by design.
@@ -153,10 +132,8 @@ where
     // Workers install the subscriber themselves; the serve loop also
     // installs it so admission failures (shed/rejected) are traced too.
     let obs_handle = cfg.obs.clone();
-    let (service, responses) = PlanService::start(cfg).map_err(std::io::Error::from)?;
-    let _obs = obs_handle.as_ref().map(crate::service::ObsHandle::install);
-    let journal = journal.map(Arc::new);
-    let metrics = service.metrics_arc();
+    let host = SessionHost::start(cfg, journal, SessionMode::Direct)?;
+    let _obs = obs_handle.as_ref().map(ObsHandle::install);
     let (out_tx, out_rx) = channel::<String>();
 
     let writer_thread = std::thread::Builder::new().name("gaplan-serve-writer".to_string()).spawn(move || {
@@ -168,137 +145,25 @@ where
         }
     })?;
 
-    // Forward worker responses into the output stream, journaling each
-    // terminal reply (durably, before the line is written) on the way.
-    let forwarder = {
-        let out_tx = out_tx.clone();
-        let journal = journal.clone();
-        let metrics = Arc::clone(&metrics);
-        std::thread::Builder::new().name("gaplan-serve-forwarder".to_string()).spawn(move || {
-            for resp in responses {
-                if let Some(journal) = journal.as_deref() {
-                    // A failed append still answers the client: availability
-                    // over durability (the job may re-run after a crash).
-                    if journal.record_done(&resp).is_ok() {
-                        metrics.on_journal_append();
-                    }
-                }
-                if out_tx.send(response_line(&resp)).is_err() {
-                    break;
-                }
-            }
-        })?
-    };
-
+    // Worker responses reach stdout through the dispatcher's fallback sink
+    // (direct mode registers no per-job waiters), journaled on the way.
+    host.set_fallback(out_tx.clone());
     // Journal recovery: reseed the cache, re-emit journaled replies, then
-    // re-enqueue unfinished jobs (waiting out transient queue pressure —
-    // accepted jobs must not be shed by their own recovery).
-    if let Some(journal) = journal.as_deref() {
-        let recovery = journal.recover()?;
-        metrics.on_journal_replayed(recovery.records_replayed);
-        metrics.on_journal_truncated(recovery.truncated_bytes);
-        obs::emit(|| {
-            Event::new("durable.replay")
-                .u64("records", recovery.records_replayed)
-                .u64("pending", recovery.pending.len() as u64)
-                .u64("completed", recovery.completed.len() as u64)
-                .u64("truncated_bytes", recovery.truncated_bytes)
-                .u64("malformed", recovery.malformed_records)
-        });
-        for (key, entry) in recovery.cache_entries {
-            service.seed_cache(key, entry);
-        }
-        for resp in recovery.completed {
-            let _ = out_tx.send(response_line(&resp));
-        }
-        for request in recovery.pending {
-            loop {
-                match service.submit(request.clone()) {
-                    Ok(_) => break,
-                    Err(SubmitError::QueueFull | SubmitError::Shed) => std::thread::sleep(Duration::from_millis(2)),
-                    Err(err) => {
-                        let resp = PlanResponse::failure(request.id, JobStatus::Rejected, err.to_string());
-                        if journal.record_done(&resp).is_ok() {
-                            metrics.on_journal_append();
-                        }
-                        let _ = out_tx.send(response_line(&resp));
-                        break;
-                    }
-                }
-            }
-        }
-    }
+    // re-enqueue unfinished jobs.
+    host.recover(Some(&out_tx))?;
 
+    let session = Session::open(&host, out_tx.clone(), None);
     for line in reader.lines() {
         let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match parse_command(&line) {
-            Ok(Command::Plan(request)) => {
-                let id = request.id;
-                if let Some(journal) = journal.as_deref() {
-                    // Write-ahead: the job is durable before it can run. A
-                    // failed append refuses the job — running it unjournaled
-                    // would make a crash silently drop an "accepted" job.
-                    if let Err(e) = journal.record_submit(&request) {
-                        let resp = PlanResponse::failure(id, JobStatus::Error, format!("journal write failed: {e}"));
-                        let _ = out_tx.send(response_line(&resp));
-                        continue;
-                    }
-                    metrics.on_journal_append();
-                }
-                if let Err(err) = service.submit(*request) {
-                    let status = match err {
-                        SubmitError::Shed => JobStatus::Shed,
-                        _ => JobStatus::Rejected,
-                    };
-                    let resp = PlanResponse::failure(id, status, err.to_string());
-                    obs::emit(|| {
-                        Event::new("svc.reply")
-                            .u64("id", resp.id)
-                            .str("status", resp.status.name())
-                            .bool("cache_hit", false)
-                            .u64("wall_ms", resp.wall_ms)
-                    });
-                    if let Some(journal) = journal.as_deref() {
-                        // Terminal record for the journaled submit, so a
-                        // restart does not resurrect a shed job.
-                        if journal.record_done(&resp).is_ok() {
-                            metrics.on_journal_append();
-                        }
-                    }
-                    let _ = out_tx.send(response_line(&resp));
-                }
-            }
-            Ok(Command::Cancel { id }) => {
-                let found = service.cancel(id);
-                let _ = out_tx.send(format!(r#"{{"ack":"cancel","id":{id},"found":{found}}}"#));
-            }
-            Ok(Command::Metrics) => {
-                let snapshot = service.metrics();
-                let body = serde_json::to_string(&snapshot).unwrap_or_else(|_| "null".to_string());
-                let _ = out_tx.send(format!(r#"{{"metrics":{body}}}"#));
-            }
-            Ok(Command::Health) => {
-                let report = service.health();
-                let body = serde_json::to_string(&report).unwrap_or_else(|_| "null".to_string());
-                let _ = out_tx.send(format!(r#"{{"health":{body}}}"#));
-            }
-            Ok(Command::Shutdown) => break,
-            Err(err) => {
-                let _ = out_tx.send(error_line(err.id, &err.message));
-            }
+        if session.handle_line(&line) == LineOutcome::Shutdown {
+            break;
         }
     }
 
     // Drain: stop accepting, let queued jobs finish, flush their responses.
     // `shutdown` emits the final `svc.shutdown` event with the drain count.
-    service.shutdown(); // joins workers → response senders drop
-    let _ = forwarder.join(); // drains remaining responses into out_tx
-    if let Some(journal) = journal.as_deref() {
-        journal.sync()?; // every drained reply is durable before exit
-    }
+    drop(session);
+    host.shutdown()?; // drains workers + dispatcher, syncs the journal
     drop(out_tx); // closes the writer's channel
     let _ = writer_thread.join();
     Ok(())
@@ -307,6 +172,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coalesce::error_line;
 
     #[test]
     fn parses_all_commands() {

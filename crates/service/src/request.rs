@@ -343,6 +343,37 @@ pub struct PlanRequest {
     pub ga: Option<GaOverrides>,
 }
 
+impl PlanRequest {
+    /// The plan-cache key this request's run would be stored under,
+    /// mirroring the worker's `PlanCache::key(built.signature(),
+    /// cfg.signature())`. `None` when the request can never be cached
+    /// (chaos jobs, unbuildable specs).
+    pub fn cache_key(&self) -> Option<u64> {
+        if matches!(self.problem, ProblemSpec::Chaos { .. }) {
+            return None;
+        }
+        let built = self.problem.build().ok()?;
+        let cfg = match &self.ga {
+            Some(overrides) => overrides.apply(built.default_config()),
+            None => built.default_config(),
+        };
+        Some(crate::cache::PlanCache::key(built.signature(), cfg.signature()))
+    }
+
+    /// The singleflight-coalescing key: two in-flight requests with the
+    /// same key are guaranteed to run the identical computation, so the
+    /// second can join the first instead of burning a worker. The key is
+    /// the cache key extended with the deadline — a joiner inherits the
+    /// leader's budget, so only requests with the *same* deadline may
+    /// share a run. `None` means "never coalesce".
+    pub fn coalesce_key(&self) -> Option<u64> {
+        let cache_key = self.cache_key()?;
+        let mut s = SigBuilder::new();
+        s.tag("coalesce-v1").u64(cache_key).bool(self.deadline_ms.is_some()).u64(self.deadline_ms.unwrap_or(0));
+        Some(s.finish())
+    }
+}
+
 /// Terminal status of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobStatus {

@@ -186,6 +186,18 @@ pub struct HealthReport {
     pub journal_replayed: u64,
     /// Bytes of corrupt journal tail truncated during recovery.
     pub journal_truncated_bytes: u64,
+    /// Jobs that joined an identical in-flight computation (singleflight).
+    pub coalesced_jobs: u64,
+    /// TCP connections accepted since startup (0 when serving over stdin).
+    pub conns_accepted: u64,
+    /// TCP connections currently open.
+    pub conns_open: u64,
+    /// TCP connections that vanished with jobs still in flight.
+    pub conns_dropped: u64,
+    /// Inbound frames rejected for exceeding the per-frame size cap.
+    pub frames_oversize: u64,
+    /// Inbound frames rejected as malformed (bad UTF-8 / unparseable).
+    pub frames_malformed: u64,
 }
 
 /// What a worker plans: a wire-level spec, or an in-process grid world with
@@ -448,6 +460,12 @@ impl PlanService {
             journal_appends: snapshot.journal_appends,
             journal_replayed: snapshot.journal_replayed,
             journal_truncated_bytes: snapshot.journal_truncated_bytes,
+            coalesced_jobs: snapshot.coalesced_jobs,
+            conns_accepted: snapshot.conns_accepted,
+            conns_open: snapshot.conns_open,
+            conns_dropped: snapshot.conns_dropped,
+            frames_oversize: snapshot.frames_oversize,
+            frames_malformed: snapshot.frames_malformed,
         }
     }
 

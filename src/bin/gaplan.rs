@@ -10,8 +10,19 @@
 //! gaplan tile   <side>  [--crossover random|state-aware|mixed] [--seed N]
 //! gaplan serve  [--workers N] [--queue N] [--cache N]
 //!               [--admission-ms N] [--job-retries N] [--journal DIR]
+//!               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce]
+//!               [--backlog N]
+//! gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N]
+//!               [--keys N] [--skew F] [--deadline-ms N] [--seed N]
+//!               [--shutdown-after] [--out FILE]
 //! gaplan trace-report <file> [--top K]
 //! ```
+//!
+//! `serve` without `--listen` speaks JSON lines on stdin/stdout; with
+//! `--listen` it serves the same protocol over TCP (thread per connection,
+//! singleflight coalescing of identical in-flight requests unless
+//! `--no-coalesce`). `loadgen` drives a TCP server with skewed-key traffic
+//! and writes throughput/latency results to `BENCH_service.json`.
 //!
 //! Every planning command also accepts `--trace FILE`, writing a JSON-lines
 //! event trace (see `gaplan-obs`) that `gaplan trace-report` analyzes.
@@ -41,6 +52,7 @@ use ga_grid_planner::ga::{
 use ga_grid_planner::grid::{
     chaos_schedule, greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, FaultPlan, ReplanPolicy,
 };
+use ga_grid_planner::net::{self as gaplan_net, LoadgenConfig, NetOptions, TcpServer};
 use ga_grid_planner::obs;
 use ga_grid_planner::service::{
     serve_with_journal, JobJournal, ObsHandle, PlanService, ServiceConfig, ServiceReplanner,
@@ -56,6 +68,7 @@ fn main() {
         "hanoi" => hanoi_cmd(&args[1..]),
         "tile" => tile_cmd(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
+        "loadgen" => loadgen_cmd(&args[1..]),
         "trace-report" => trace_report_cmd(&args[1..]),
         other => usage(&format!("unknown command `{other}`")),
     }
@@ -81,7 +94,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N]    (same protocol over TCP)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--shutdown-after] [--out FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -400,11 +413,81 @@ fn serve_cmd(args: &[String]) {
         }));
         JobJournal::new(storage)
     });
+    if let Some(addr) = flag_value(args, "--listen") {
+        let opts = NetOptions {
+            max_frame: parse_or(flag_value(args, "--max-frame"), gaplan_net::DEFAULT_MAX_FRAME),
+            coalesce: !flag_present(args, "--no-coalesce"),
+            backlog_limit: parse_or(flag_value(args, "--backlog"), 1024),
+        };
+        let server = TcpServer::bind(cfg, journal, opts, addr).unwrap_or_else(|e| {
+            eprintln!("serve: cannot listen on {addr}: {e}");
+            exit(1);
+        });
+        // Machine-readable so tests (and scripts) can discover port 0 binds.
+        eprintln!("gaplan: listening on {}", server.local_addr());
+        if let Err(e) = server.wait() {
+            eprintln!("serve: {e}");
+            exit(1);
+        }
+        return;
+    }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     if let Err(e) = serve_with_journal(cfg, journal, stdin.lock(), stdout) {
         eprintln!("serve: {e}");
         exit(1);
+    }
+}
+
+fn loadgen_cmd(args: &[String]) {
+    let Some(addr) = flag_value(args, "--addr") else { usage("loadgen needs --addr HOST:PORT") };
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        jobs: parse_or(flag_value(args, "--jobs"), 100_000),
+        conns: parse_or(flag_value(args, "--conns"), 8),
+        inflight: parse_or(flag_value(args, "--inflight"), 32),
+        key_space: parse_or(flag_value(args, "--keys"), 64),
+        skew: parse_or(flag_value(args, "--skew"), 0.5),
+        deadline_ms: flag_value(args, "--deadline-ms").map(|v| parse_or(Some(v), 0)),
+        seed: parse_or(flag_value(args, "--seed"), 42),
+        shutdown_after: flag_present(args, "--shutdown-after"),
+    };
+    let report = gaplan_net::loadgen::run(&cfg).unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        exit(1);
+    });
+    println!(
+        "loadgen: {} jobs in {:.1}s — {:.0} jobs/s, p50 {}µs p90 {}µs p99 {}µs",
+        report.replies,
+        report.wall_ms as f64 / 1000.0,
+        report.throughput_jobs_per_sec,
+        report.latency_us_p50,
+        report.latency_us_p90,
+        report.latency_us_p99
+    );
+    println!(
+        "loadgen: lost {}, errors {}, shed {}, coalesced {}, cache hits {}, {} keys, plans_hash {:#018x}{}",
+        report.lost,
+        report.errors,
+        report.shed,
+        report.coalesced_jobs,
+        report.cache_hits,
+        report.distinct_keys,
+        report.plans_hash,
+        if report.plan_mismatches > 0 {
+            format!(" — {} PLAN MISMATCHES", report.plan_mismatches)
+        } else {
+            String::new()
+        }
+    );
+    let out = flag_value(args, "--out").unwrap_or("BENCH_service.json");
+    if let Err(e) = gaplan_net::loadgen::write_report(std::path::Path::new(out), &report) {
+        eprintln!("loadgen: cannot write {out}: {e}");
+        exit(1);
+    }
+    println!("loadgen: report written to {out}");
+    if report.lost > 0 || report.plan_mismatches > 0 {
+        exit(2);
     }
 }
 

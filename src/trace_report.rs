@@ -57,6 +57,12 @@ pub struct TraceSummary {
     pub grid_done: Option<(f64, bool)>,
     /// `svc.reply` counts keyed by response status.
     pub replies: BTreeMap<String, u64>,
+    /// `svc.conn` counts: opens, closes, total waiters abandoned by
+    /// disconnects.
+    pub conns: [u64; 3],
+    /// `svc.coalesced` events: jobs that joined an identical in-flight
+    /// computation instead of running their own.
+    pub coalesced: u64,
     /// Successor-cache totals from `ga.cache` events: events, hits, misses,
     /// evictions.
     pub cache: [u64; 4],
@@ -106,6 +112,15 @@ impl TraceSummary {
                 "svc.reply" => {
                     *s.replies.entry(str_of(&value, "status").unwrap_or("?").to_string()).or_insert(0) += 1;
                 }
+                "svc.conn" => match str_of(&value, "op") {
+                    Some("open") => s.conns[0] += 1,
+                    Some("close") => {
+                        s.conns[1] += 1;
+                        s.conns[2] += num_u64(&value, "abandoned").unwrap_or(0);
+                    }
+                    _ => {}
+                },
+                "svc.coalesced" => s.coalesced += 1,
                 name if name.starts_with("grid.") => {
                     *s.grid_events.entry(name.to_string()).or_insert(0) += 1;
                     if name == "grid.done" {
@@ -238,6 +253,18 @@ pub fn render(text: &str, top_k: usize) -> String {
         for (status, count) in &s.replies {
             let _ = writeln!(out, "  {status:<10} {count}");
         }
+        if s.coalesced > 0 {
+            let _ = writeln!(out, "  coalesced  {} (joined an identical in-flight job)", s.coalesced);
+        }
+    }
+
+    if s.conns[0] > 0 || s.conns[1] > 0 {
+        let _ = writeln!(out, "\nconnections:");
+        let _ = writeln!(
+            out,
+            "  opened {}, closed {}, waiters abandoned by disconnects {}",
+            s.conns[0], s.conns[1], s.conns[2]
+        );
     }
 
     out
@@ -270,13 +297,19 @@ mod tests {
         "\n",
         r#"{"ev":"svc.reply","id":1,"status":"Done","cache_hit":false,"wall_ms":3}"#,
         "\n",
+        r#"{"ev":"svc.conn","op":"open","peer":"127.0.0.1:9999"}"#,
+        "\n",
+        r#"{"ev":"svc.coalesced","id":7,"leader":3,"key":123}"#,
+        "\n",
+        r#"{"ev":"svc.conn","op":"close","peer":"127.0.0.1:9999","abandoned":2}"#,
+        "\n",
         "not json at all\n",
     );
 
     #[test]
     fn summary_extracts_every_section() {
         let s = TraceSummary::parse(SAMPLE);
-        assert_eq!(s.events, 11);
+        assert_eq!(s.events, 14);
         assert_eq!(s.unparseable, 1);
         assert_eq!(s.cache, [2, 150, 50, 2]);
         assert!((s.cache_hit_rate().unwrap() - 0.75).abs() < 1e-12);
@@ -287,6 +320,8 @@ mod tests {
         assert_eq!(s.grid_events["grid.dispatch"], 1);
         assert_eq!(s.grid_done, Some((42.5, false)));
         assert_eq!(s.replies["Done"], 1);
+        assert_eq!(s.conns, [1, 1, 2]);
+        assert_eq!(s.coalesced, 1);
     }
 
     #[test]
@@ -306,6 +341,8 @@ mod tests {
         assert!(report.contains("Done"), "{report}");
         assert!(report.contains("hits 150, misses 50, evictions 2 across 2 phases"), "{report}");
         assert!(report.contains("hit rate: 75.0%"), "{report}");
+        assert!(report.contains("coalesced  1"), "{report}");
+        assert!(report.contains("opened 1, closed 1, waiters abandoned by disconnects 2"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! TCP crash-recovery end-to-end test: `kill -9` a `gaplan serve --listen`
+//! process while jobs submitted over a socket are in flight, restart it
+//! over the same journal directory, and check the durability contract
+//! holds across the transport: every accepted job runs to exactly one
+//! journaled terminal reply, and a third restart replays a fully-settled
+//! journal without re-executing anything.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, ChildStderr, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn spawn_serve(dir: &std::path::Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gaplan"))
+        .args(["serve", "--workers", "1", "--listen", "127.0.0.1:0", "--journal"])
+        .arg(dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("gaplan serve spawns");
+    let addr = read_listen_addr(child.stderr.as_mut().expect("stderr piped"));
+    (child, addr)
+}
+
+/// The server announces `gaplan: listening on ADDR` on stderr — the
+/// machine-readable handshake for port-0 binds.
+fn read_listen_addr(stderr: &mut ChildStderr) -> String {
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listen line");
+    line.trim()
+        .strip_prefix("gaplan: listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line}"))
+        .to_string()
+}
+
+/// Jobs slow enough that none can finish before the kill (~250 ms in), but
+/// with a wall-clock deadline so the restarted service terminates them
+/// quickly (Timeout is a perfectly good terminal reply — the contract is
+/// exactly-one-reply-per-job, not solvedness). The per-id GA seed keeps the
+/// three jobs' coalesce keys distinct — identical requests would
+/// (correctly) coalesce into a single journaled computation.
+fn plan_line(id: u64) -> String {
+    format!(
+        "{{\"cmd\":\"plan\",\"id\":{id},\"problem\":{{\"Hanoi\":{{\"disks\":8}}}},\
+         \"deadline_ms\":1200,\"ga\":{{\"seed\":{id}}}}}\n"
+    )
+}
+
+/// Fetch one metric counter over a fresh metrics round-trip.
+fn metric(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, field: &str) -> u64 {
+    stream.write_all(b"{\"cmd\":\"metrics\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("metrics reply");
+    let needle = format!("\"{field}\":");
+    let at = line.find(&needle).unwrap_or_else(|| panic!("no {field} in {line}"));
+    line[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter is an integer")
+}
+
+#[test]
+fn killed_tcp_service_replays_journal_and_settles_every_job_once() {
+    let dir = std::env::temp_dir().join(format!("gaplan-tcp-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Session 1: submit three slow jobs over TCP, then SIGKILL mid-flight.
+    let (mut child, addr) = spawn_serve(&dir);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        for id in 1..=3u64 {
+            stream.write_all(plan_line(id).as_bytes()).unwrap();
+        }
+        stream.flush().unwrap();
+        // No reply may arrive before the kill: 8-disk Hanoi takes seconds.
+        stream.set_read_timeout(Some(Duration::from_millis(250))).unwrap();
+        let mut probe = [0u8; 1];
+        match stream.read(&mut probe) {
+            Err(e) => assert!(
+                matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+                "unexpected read error before kill: {e}"
+            ),
+            Ok(n) => panic!("got {n} reply bytes before the kill"),
+        }
+    }
+    child.kill().unwrap(); // SIGKILL on unix: no destructors, no flushes
+    child.wait().unwrap();
+
+    // Session 2 over the same journal dir: recovery re-enqueues the three
+    // jobs; their deadlines have long expired, so each terminates fast and
+    // journals its terminal reply even though its submitter is gone.
+    let (mut child, addr) = spawn_serve(&dir);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("reconnect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(metric(&mut stream, &mut reader, "journal_replayed"), 3, "three submit records replay");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let done = metric(&mut stream, &mut reader, "jobs_completed");
+            if done >= 3 {
+                assert_eq!(done, 3, "recovered jobs must not run twice");
+                break;
+            }
+            assert!(Instant::now() < deadline, "recovered jobs never settled (completed {done}/3)");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        stream.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success(), "restarted serve should exit cleanly");
+
+    // Session 3: the journal is fully settled — replay finds a terminal
+    // record for every submit, re-enqueues nothing, re-executes nothing.
+    let (mut child, addr) = spawn_serve(&dir);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("reconnect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(metric(&mut stream, &mut reader, "journal_replayed"), 6, "3 submits + 3 terminal records");
+        assert_eq!(metric(&mut stream, &mut reader, "jobs_submitted"), 0, "settled jobs must not resubmit");
+        stream.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success(), "third serve should exit cleanly");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
