@@ -341,6 +341,23 @@ impl GaConfig {
         self
     }
 
+    /// Scale the per-run search budget (population × generations) by
+    /// `factor`, clamped to `(0, 1]`, flooring both knobs so the result is
+    /// still a valid GA: at least one generation per phase, and a
+    /// population no smaller than 8 (and always larger than `elitism`, or
+    /// [`GaConfig::validate`] would reject it). The GA is an anytime
+    /// algorithm, so a scaled budget trades plan quality for latency —
+    /// this is the knob the planning service's brownout controller turns
+    /// under overload.
+    pub fn scale_budget(&self, factor: f64) -> GaConfig {
+        let f = factor.clamp(0.0, 1.0);
+        let mut cfg = self.clone();
+        let pop_floor = (self.elitism + 1).max(8).min(self.population_size.max(2));
+        cfg.population_size = ((self.population_size as f64 * f) as usize).max(pop_floor);
+        cfg.generations_per_phase = ((self.generations_per_phase as f64 * f) as u32).max(1);
+        cfg
+    }
+
     /// Stable 64-bit signature of every config field that can change a
     /// run's *result* — used (combined with the problem signature) as the
     /// planning service's plan-cache key. `eval`, `succ_cache` and
@@ -437,6 +454,25 @@ mod tests {
         assert!(c.validate().is_err());
         let c = GaConfig { elitism: 300, ..GaConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scale_budget_shrinks_with_floors() {
+        let base = GaConfig { population_size: 200, generations_per_phase: 100, ..GaConfig::default() };
+        let half = base.scale_budget(0.5);
+        assert_eq!(half.population_size, 100);
+        assert_eq!(half.generations_per_phase, 50);
+        assert!(half.validate().is_ok());
+        // A tiny factor bottoms out at the floors, never at an invalid GA.
+        let floor = base.scale_budget(0.001);
+        assert_eq!(floor.generations_per_phase, 1);
+        assert!(floor.population_size >= 8);
+        assert!(floor.population_size > floor.elitism);
+        assert!(floor.validate().is_ok());
+        // Factor 1 (and anything above) is the identity on the budget.
+        let same = base.scale_budget(1.5);
+        assert_eq!(same.population_size, 200);
+        assert_eq!(same.generations_per_phase, 100);
     }
 
     #[test]

@@ -324,6 +324,13 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
             if best.solves() {
                 solved_in_phase = Some(p + 1);
                 generations_to_solution = total_generations;
+                // A solving phase that was *cut* (deadline/cancel mid-
+                // refinement) must still report the stop: its best-so-far
+                // depends on where the cut landed, so callers that treat
+                // `stopped: None` as "complete, deterministic run" (the
+                // service's Done status and plan cache) would otherwise
+                // cache and compare nondeterministic plans.
+                stopped = phase_stopped;
                 break;
             }
 
@@ -524,6 +531,22 @@ mod tests {
         // the best-so-far concatenation is still a valid (if poor) plan
         let out = r.plan.simulate(&d, &d.initial_state()).unwrap();
         assert_eq!(out.final_state, r.final_state);
+    }
+
+    #[test]
+    fn solving_phase_cut_by_deadline_still_reports_the_stop() {
+        use gaplan_core::budget::{Budget, StopCause};
+        use std::time::{Duration, Instant};
+        // Trivially solvable (single forced op), so the phase's best
+        // solves even though the already-expired deadline cuts it after
+        // one generation. The stop must not be masked by the solve: a cut
+        // run's plan depends on where the cut landed, and downstream
+        // consumers use `stopped: None` to mean "deterministic, cacheable".
+        let d = chain(1);
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let r = MultiPhase::new(&d, cfg()).with_budget(Budget::unlimited().with_deadline(deadline)).run();
+        assert!(r.solved, "one-op chain must solve immediately: {r:?}");
+        assert_eq!(r.stopped, Some(StopCause::Deadline), "deadline cut was masked by the solve");
     }
 
     #[test]

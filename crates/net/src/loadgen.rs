@@ -1,24 +1,35 @@
-//! Closed-loop traffic generator for a TCP `gaplan serve`.
+//! Closed- and open-loop traffic generators for a TCP `gaplan serve`.
 //!
-//! Each of `conns` client threads keeps up to `inflight` jobs outstanding
-//! on its own connection, driving `jobs` total plan requests. Keys follow
-//! a two-point skew: with probability `skew` a request uses the hot key 0,
-//! otherwise a key uniform over `key_space` — hot keys are what make
-//! singleflight coalescing and the plan cache earn their keep. Every key
-//! maps to the same small Hanoi problem with a key-derived GA seed, so a
-//! key fully determines the (deterministic) plan; the report carries an
-//! order-independent fingerprint of every key's plan, which lets a
-//! coalescing run be checked byte-for-byte against an uncoalesced one.
+//! **Closed loop** (default): each of `conns` client threads keeps up to
+//! `inflight` jobs outstanding on its own connection, driving `jobs` total
+//! plan requests — arrival rate adapts to server speed, so the server is
+//! never truly overloaded. Keys follow a two-point skew: with probability
+//! `skew` a request uses the hot key 0, otherwise a key uniform over
+//! `key_space` — hot keys are what make singleflight coalescing and the
+//! plan cache earn their keep. Every key maps to the same small Hanoi
+//! problem with a key-derived GA seed, so a key fully determines the
+//! (deterministic) plan; the report carries an order-independent
+//! fingerprint of every key's plan, which lets a coalescing run be checked
+//! byte-for-byte against an uncoalesced one.
+//!
+//! **Open loop** (`rate: Some(r)`): arrivals are *paced* at `r` jobs/s
+//! overall (split across connections, `burst` jobs per arrival instant)
+//! regardless of how fast replies come back — the shape that actually
+//! overloads a server and exercises admission control, CoDel shedding and
+//! brownout. The report then also carries `goodput` (Done replies within
+//! their deadline, measured client-side), the rejected/degraded/expired
+//! breakdown, and Done-only sojourn percentiles.
 //!
 //! Latency is recorded per reply in microseconds into the obs log2-bucket
 //! [`Histogram`] and reported as p50/p90/p99 bucket upper bounds alongside
-//! throughput — the numbers that land in `BENCH_service.json`.
+//! throughput — the numbers that land in `BENCH_service.json` /
+//! `BENCH_overload.json`.
 
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
 use std::net::TcpStream;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gaplan_obs::Histogram;
 use rand::rngs::StdRng;
@@ -47,6 +58,11 @@ pub struct LoadgenConfig {
     pub deadline_ms: Option<u64>,
     /// RNG seed for the key sequence.
     pub seed: u64,
+    /// Open-loop arrival rate in jobs/s across all connections; `None`
+    /// keeps the closed-loop (inflight-capped) behavior.
+    pub rate: Option<f64>,
+    /// Jobs sent per open-loop arrival instant (ignored closed-loop).
+    pub burst: u64,
     /// Send `{"cmd":"shutdown"}` when done, stopping the server.
     pub shutdown_after: bool,
 }
@@ -62,6 +78,8 @@ impl Default for LoadgenConfig {
             skew: 0.5,
             deadline_ms: None,
             seed: 42,
+            rate: None,
+            burst: 1,
             shutdown_after: false,
         }
     }
@@ -76,10 +94,21 @@ pub struct LoadgenReport {
     pub replies: u64,
     /// Jobs that never got a reply (must be 0 on a healthy run).
     pub lost: u64,
-    /// Replies with `Error` or `Rejected` status.
+    /// Replies with `Error` status (`Rejected` counts separately).
     pub errors: u64,
+    /// Replies with `Rejected` status (admission control: full queue or
+    /// deadline provably unmeetable).
+    pub rejected: u64,
     /// Replies with `Shed` status (backpressure working as designed).
     pub shed: u64,
+    /// Replies with `DeadlineExpired` status (expired while queued,
+    /// fast-failed without running).
+    pub expired: u64,
+    /// Replies flagged `degraded` (brownout ran them at reduced GA budget).
+    pub degraded: u64,
+    /// `Done` replies whose client-side latency was within the request
+    /// deadline (all `Done` replies when no deadline was set).
+    pub goodput: u64,
     /// Replies whose plan reached the goal.
     pub solved: u64,
     /// Frames the client failed to decode.
@@ -94,6 +123,12 @@ pub struct LoadgenReport {
     pub latency_us_p90: u64,
     /// 99th-percentile per-job latency, microseconds.
     pub latency_us_p99: u64,
+    /// Median latency over `Done` replies only (accepted-job sojourn).
+    pub done_latency_us_p50: u64,
+    /// 99th-percentile latency over `Done` replies only.
+    pub done_latency_us_p99: u64,
+    /// Configured open-loop arrival rate, jobs/s (0 for closed loop).
+    pub offered_rate_jobs_per_sec: f64,
     /// Server-side `coalesced_jobs` counter after the run.
     pub coalesced_jobs: u64,
     /// Server-side `cache_hits` counter after the run.
@@ -112,13 +147,102 @@ struct ConnStats {
     replies: u64,
     lost: u64,
     errors: u64,
+    rejected: u64,
     shed: u64,
+    expired: u64,
+    degraded: u64,
+    goodput: u64,
     solved: u64,
     bad_frames: u64,
     latency_us: Histogram,
+    done_latency_us: Histogram,
     /// First-seen plan fingerprint per key, plus mismatch count.
     plans: HashMap<u64, u64>,
     mismatches: u64,
+}
+
+impl ConnStats {
+    fn new() -> ConnStats {
+        ConnStats {
+            replies: 0,
+            lost: 0,
+            errors: 0,
+            rejected: 0,
+            shed: 0,
+            expired: 0,
+            degraded: 0,
+            goodput: 0,
+            solved: 0,
+            bad_frames: 0,
+            latency_us: Histogram::default(),
+            done_latency_us: Histogram::default(),
+            plans: HashMap::new(),
+            mismatches: 0,
+        }
+    }
+
+    /// Fold one reply line into the stats. Returns `true` when the line
+    /// matched a pending job (drives the open-loop drain's idle clock).
+    fn record_reply(
+        &mut self,
+        pending: &mut HashMap<u64, (Instant, u64)>,
+        line: &str,
+        deadline_ms: Option<u64>,
+    ) -> bool {
+        let Ok(value) = parse(line) else {
+            self.bad_frames += 1;
+            return false;
+        };
+        let Some(id) = get_u64(&value, "id") else {
+            self.bad_frames += 1;
+            return false;
+        };
+        let Some((sent_at, key)) = pending.remove(&id) else {
+            return false; // duplicate or stray reply
+        };
+        self.replies += 1;
+        let latency_us = sent_at.elapsed().as_micros() as u64;
+        self.latency_us.record(latency_us);
+        let status = value.get("status").and_then(Value::as_str).unwrap_or("");
+        match status {
+            "Error" => self.errors += 1,
+            "Rejected" => self.rejected += 1,
+            "Shed" => self.shed += 1,
+            "DeadlineExpired" => self.expired += 1,
+            _ => {}
+        }
+        let degraded = matches!(value.get("degraded"), Some(Value::Bool(true)));
+        if degraded {
+            self.degraded += 1;
+        }
+        if matches!(value.get("solved"), Some(Value::Bool(true))) {
+            self.solved += 1;
+        }
+        if status == "Done" {
+            self.done_latency_us.record(latency_us);
+            if deadline_ms.is_none_or(|d| latency_us <= d.saturating_mul(1000)) {
+                self.goodput += 1;
+            }
+            // Fingerprint the plan; every reply for a key must agree.
+            // Degraded plans ran at a brownout-scaled budget, so they are
+            // legitimately different — exclude them, as the cache does.
+            if !degraded {
+                let mut plan = String::new();
+                if let Some(p) = value.get("plan") {
+                    write_value(&mut plan, p);
+                }
+                let fp = fnv1a(plan.as_bytes());
+                match self.plans.get(&key) {
+                    Some(&seen) if seen != fp => self.mismatches += 1,
+                    Some(_) => {}
+                    None => {
+                        self.plans.insert(key, fp);
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -163,17 +287,7 @@ fn run_conn(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64) -> io::Result<ConnSta
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = FrameReader::new(stream, DEFAULT_MAX_FRAME);
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(conn_idx.wrapping_mul(0x9e37_79b9)));
-    let mut stats = ConnStats {
-        replies: 0,
-        lost: 0,
-        errors: 0,
-        shed: 0,
-        solved: 0,
-        bad_frames: 0,
-        latency_us: Histogram::default(),
-        plans: HashMap::new(),
-        mismatches: 0,
-    };
+    let mut stats = ConnStats::new();
     // Ids are namespaced per connection; the server's coalescer keys on
     // problem/config signatures, not ids.
     let base = (conn_idx + 1) << 40;
@@ -191,49 +305,99 @@ fn run_conn(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64) -> io::Result<ConnSta
         writer.flush()?;
         match reader.read_frame()? {
             Some(Frame::Complete(line)) => {
-                let Ok(value) = parse(&line) else {
-                    stats.bad_frames += 1;
-                    continue;
-                };
-                let Some(id) = get_u64(&value, "id") else {
-                    stats.bad_frames += 1;
-                    continue;
-                };
-                let Some((sent_at, key)) = pending.remove(&id) else {
-                    continue; // duplicate or stray reply
-                };
-                stats.replies += 1;
-                stats.latency_us.record(sent_at.elapsed().as_micros() as u64);
-                let status = value.get("status").and_then(Value::as_str).unwrap_or("");
-                match status {
-                    "Error" | "Rejected" => stats.errors += 1,
-                    "Shed" => stats.shed += 1,
-                    _ => {}
-                }
-                if matches!(value.get("solved"), Some(Value::Bool(true))) {
-                    stats.solved += 1;
-                }
-                if status == "Done" {
-                    // Fingerprint the plan; every reply for a key must agree.
-                    let mut plan = String::new();
-                    if let Some(p) = value.get("plan") {
-                        write_value(&mut plan, p);
-                    }
-                    let fp = fnv1a(plan.as_bytes());
-                    match stats.plans.get(&key) {
-                        Some(&seen) if seen != fp => stats.mismatches += 1,
-                        Some(_) => {}
-                        None => {
-                            stats.plans.insert(key, fp);
-                        }
-                    }
-                }
+                stats.record_reply(&mut pending, &line, cfg.deadline_ms);
             }
             Some(Frame::Reject(_)) => stats.bad_frames += 1,
             None => {
                 // Server went away: everything pending or unsent is lost.
                 stats.lost += pending.len() as u64 + (jobs - sent);
                 pending.clear();
+                break;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// How long the open-loop drain waits without any reply before declaring
+/// the remaining pending jobs lost.
+const DRAIN_IDLE: Duration = Duration::from_secs(20);
+
+/// Open-loop variant of [`run_conn`]: arrivals are paced at
+/// `rate_per_conn` jobs/s (in bursts of `cfg.burst`) no matter how slowly
+/// replies come back, then a drain phase collects stragglers. A short
+/// socket read timeout interleaves sends and receives on the one thread;
+/// the [`FrameReader`] keeps partial frames across timeout ticks.
+fn run_conn_open(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64, rate_per_conn: f64) -> io::Result<ConnStats> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = FrameReader::new(stream, DEFAULT_MAX_FRAME);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(conn_idx.wrapping_mul(0x9e37_79b9)));
+    let mut stats = ConnStats::new();
+    let base = (conn_idx + 1) << 40;
+    let mut pending: HashMap<u64, (Instant, u64)> = HashMap::new();
+    let mut sent = 0u64;
+
+    let burst = cfg.burst.max(1);
+    let interval = Duration::from_secs_f64(burst as f64 / rate_per_conn.max(1e-9));
+    let mut next_arrival = Instant::now();
+
+    while sent < jobs {
+        if Instant::now() >= next_arrival {
+            // Send the whole burst even if the server is slow: open loop
+            // means the arrival process never waits for replies. A late
+            // tick catches up burst by burst rather than skipping.
+            for _ in 0..burst.min(jobs - sent) {
+                let key = pick_key(&mut rng, cfg);
+                let id = base + sent;
+                crate::codec::write_frame(&mut writer, &plan_line(id, key, cfg.deadline_ms))?;
+                pending.insert(id, (Instant::now(), key));
+                sent += 1;
+            }
+            writer.flush()?;
+            next_arrival += interval;
+            continue;
+        }
+        match reader.read_frame() {
+            Ok(Some(Frame::Complete(line))) => {
+                stats.record_reply(&mut pending, &line, cfg.deadline_ms);
+            }
+            Ok(Some(Frame::Reject(_))) => stats.bad_frames += 1,
+            Ok(None) => {
+                stats.lost += pending.len() as u64 + (jobs - sent);
+                return Ok(stats);
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Drain: every accepted job owes a terminal reply (Done, Shed,
+    // Rejected, DeadlineExpired, ...). Only a server that truly dropped a
+    // job leaves the pending set non-empty past the idle window.
+    let mut last_reply = Instant::now();
+    while !pending.is_empty() {
+        match reader.read_frame() {
+            Ok(Some(Frame::Complete(line))) => {
+                if stats.record_reply(&mut pending, &line, cfg.deadline_ms) {
+                    last_reply = Instant::now();
+                }
+            }
+            Ok(Some(Frame::Reject(_))) => stats.bad_frames += 1,
+            Ok(None) => {
+                stats.lost += pending.len() as u64;
+                break;
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if last_reply.elapsed() >= DRAIN_IDLE {
+                    stats.lost += pending.len() as u64;
+                    break;
+                }
+            }
+            Err(_) => {
+                stats.lost += pending.len() as u64;
                 break;
             }
         }
@@ -273,20 +437,29 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let remainder = cfg.jobs % conns;
     let started = Instant::now();
 
+    let rate_per_conn = cfg.rate.map(|r| r / conns as f64);
     let mut handles = Vec::new();
     for conn_idx in 0..conns {
         let cfg = cfg.clone();
         let jobs = per_conn + u64::from(conn_idx < remainder);
-        handles.push(std::thread::spawn(move || run_conn(&cfg, conn_idx, jobs)));
+        handles.push(std::thread::spawn(move || match rate_per_conn {
+            Some(rate) => run_conn_open(&cfg, conn_idx, jobs, rate),
+            None => run_conn(&cfg, conn_idx, jobs),
+        }));
     }
 
     let mut replies = 0u64;
     let mut lost = 0u64;
     let mut errors = 0u64;
+    let mut rejected = 0u64;
     let mut shed = 0u64;
+    let mut expired = 0u64;
+    let mut degraded = 0u64;
+    let mut goodput = 0u64;
     let mut solved = 0u64;
     let mut bad_frames = 0u64;
     let mut latency = Histogram::default();
+    let mut done_latency = Histogram::default();
     let mut plans: HashMap<u64, u64> = HashMap::new();
     let mut mismatches = 0u64;
     for handle in handles {
@@ -294,11 +467,16 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         replies += stats.replies;
         lost += stats.lost;
         errors += stats.errors;
+        rejected += stats.rejected;
         shed += stats.shed;
+        expired += stats.expired;
+        degraded += stats.degraded;
+        goodput += stats.goodput;
         solved += stats.solved;
         bad_frames += stats.bad_frames;
         mismatches += stats.mismatches;
         latency.merge(&stats.latency_us);
+        done_latency.merge(&stats.done_latency_us);
         for (key, fp) in stats.plans {
             match plans.get(&key) {
                 Some(&seen) if seen != fp => mismatches += 1,
@@ -323,7 +501,11 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         replies,
         lost,
         errors,
+        rejected,
         shed,
+        expired,
+        degraded,
+        goodput,
         solved,
         bad_frames,
         wall_ms,
@@ -331,6 +513,9 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         latency_us_p50: latency.quantile_upper(0.5),
         latency_us_p90: latency.quantile_upper(0.9),
         latency_us_p99: latency.quantile_upper(0.99),
+        done_latency_us_p50: done_latency.quantile_upper(0.5),
+        done_latency_us_p99: done_latency.quantile_upper(0.99),
+        offered_rate_jobs_per_sec: cfg.rate.unwrap_or(0.0),
         coalesced_jobs,
         cache_hits,
         distinct_keys: plans.len() as u64,
@@ -364,7 +549,11 @@ mod tests {
             replies: 10,
             lost: 0,
             errors: 0,
+            rejected: 1,
             shed: 0,
+            expired: 2,
+            degraded: 3,
+            goodput: 4,
             solved: 9,
             bad_frames: 0,
             wall_ms: 123,
@@ -372,6 +561,9 @@ mod tests {
             latency_us_p50: 255,
             latency_us_p90: 511,
             latency_us_p99: 1023,
+            done_latency_us_p50: 255,
+            done_latency_us_p99: 511,
+            offered_rate_jobs_per_sec: 120.0,
             coalesced_jobs: 3,
             cache_hits: 4,
             distinct_keys: 2,
@@ -381,6 +573,11 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: LoadgenReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.jobs, 10);
+        assert_eq!(back.rejected, 1);
+        assert_eq!(back.expired, 2);
+        assert_eq!(back.degraded, 3);
+        assert_eq!(back.goodput, 4);
+        assert_eq!(back.offered_rate_jobs_per_sec, 120.0);
         assert_eq!(back.plans_hash, 99);
     }
 }

@@ -43,11 +43,20 @@ pub struct NetOptions {
     /// Per-connection write-backlog bound above which new `plan` commands
     /// are shed after the admission timeout.
     pub backlog_limit: usize,
+    /// Reap a connection after this long without a complete inbound frame
+    /// (slow-client / half-open defense). `None` disables reaping and the
+    /// read loop blocks forever, as before this knob existed.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for NetOptions {
     fn default() -> Self {
-        NetOptions { max_frame: crate::codec::DEFAULT_MAX_FRAME, coalesce: true, backlog_limit: 1024 }
+        NetOptions {
+            max_frame: crate::codec::DEFAULT_MAX_FRAME,
+            coalesce: true,
+            backlog_limit: 1024,
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
     }
 }
 
@@ -177,17 +186,32 @@ fn run_conn(host: &Arc<SessionHost>, stream: TcpStream, peer: SocketAddr, opts: 
         .ok()
         .map(|write_stream| std::thread::spawn(move || write_loop(write_stream, &out_rx, &depth)));
 
+    // Idle reaping: a short socket read timeout turns the blocking read
+    // loop into a poll; each timeout is an idle tick, and a connection that
+    // completes no frame for a whole `idle_timeout` is reaped. The
+    // FrameReader keeps partial buffered bytes across `Err` returns, so a
+    // tick mid-line resumes cleanly.
+    let poll = opts.idle_timeout.map(|idle| (idle / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+    if poll.is_some() {
+        let _ = stream.set_read_timeout(poll);
+    }
+    let mut last_frame = std::time::Instant::now();
+
     let mut reader = FrameReader::new(&stream, opts.max_frame);
     loop {
         match reader.read_frame() {
-            Ok(Some(Frame::Complete(line))) => match session.handle_line(&line) {
-                LineOutcome::Continue => {}
-                LineOutcome::Shutdown => {
-                    stop.store(true, Ordering::SeqCst);
-                    break;
+            Ok(Some(Frame::Complete(line))) => {
+                last_frame = std::time::Instant::now();
+                match session.handle_line(&line) {
+                    LineOutcome::Continue => {}
+                    LineOutcome::Shutdown => {
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 }
-            },
+            }
             Ok(Some(Frame::Reject(err))) => {
+                last_frame = std::time::Instant::now();
                 match &err {
                     FrameError::Oversize { .. } => host.metrics().on_frame_oversize(),
                     FrameError::Malformed | FrameError::Truncated => host.metrics().on_frame_malformed(),
@@ -195,7 +219,27 @@ fn run_conn(host: &Arc<SessionHost>, stream: TcpStream, peer: SocketAddr, opts: 
                 session.report_error(None, &err.message());
             }
             Ok(None) => break, // clean EOF
-            Err(_) => break,   // reset / force-closed
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // Read-timeout tick, not a dead socket. Reap only when the
+                // idle budget is fully spent (or the server is stopping).
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Some(idle) = opts.idle_timeout {
+                    if last_frame.elapsed() >= idle {
+                        host.metrics().on_conn_reaped();
+                        obs::emit(|| {
+                            Event::new("svc.conn")
+                                .str("op", "reap")
+                                .str("peer", peer.to_string())
+                                .u64("idle_ms", last_frame.elapsed().as_millis() as u64)
+                        });
+                        let _ = stream.shutdown(Shutdown::Both);
+                        break;
+                    }
+                }
+            }
+            Err(_) => break, // reset / force-closed
         }
     }
 

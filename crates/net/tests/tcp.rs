@@ -170,6 +170,51 @@ fn disconnect_mid_job_cancels_the_abandoned_work() {
     server.stop().expect("clean stop");
 }
 
+#[test]
+fn stalled_half_open_client_is_reaped() {
+    let server = start(NetOptions { idle_timeout: Some(Duration::from_millis(200)), ..NetOptions::default() }, 1);
+
+    // A slowloris-style peer: connects, sends half a frame (no terminating
+    // newline), then goes silent without ever closing its end.
+    let (mut stalled, mut stalled_reader) = connect(&server);
+    stalled.write_all(b"{\"cmd\":\"plan\",").unwrap();
+    stalled.flush().unwrap();
+
+    // A healthy connection keeps completing frames (so it is never idle)
+    // and watches the reap land in the metrics.
+    let (mut b, mut b_reader) = connect(&server);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        send(&mut b, r#"{"cmd":"metrics"}"#);
+        let metrics = recv(&mut b_reader);
+        let m = metrics.get("metrics").expect("metrics body").clone();
+        if num(&m, "conns_reaped") >= 1 {
+            assert_eq!(num(&m, "conns_reaped"), 1, "only the stalled peer is reaped: {m:?}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "stalled connection was never reaped: {m:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The server actively shut the stalled socket: the client now sees EOF.
+    stalled.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut line = String::new();
+    let n = stalled_reader.read_line(&mut line).expect("read after reap");
+    assert_eq!(n, 0, "reaped connection must read EOF, got {line:?}");
+
+    // The healthy connection is still serving after the reap.
+    send(&mut b, r#"{"cmd":"health"}"#);
+    let health = recv(&mut b_reader);
+    let h = health.get("health").expect("health body");
+    assert_eq!(num(h, "conns_reaped"), 1);
+
+    drop(stalled);
+    drop(stalled_reader);
+    drop(b);
+    drop(b_reader);
+    server.stop().expect("clean stop");
+}
+
 /// The tentpole's correctness bar: a skewed-key load against a coalescing
 /// server must coalesce (coalesced_jobs > 0) and still produce exactly the
 /// plans an uncoalesced server produces (equal plans_hash over equal keys).
@@ -185,6 +230,8 @@ fn coalesced_plans_are_byte_identical_to_uncoalesced() {
             skew: 0.7,
             deadline_ms: None,
             seed: 7,
+            rate: None,
+            burst: 1,
             shutdown_after: false,
         };
         loadgen::run(&cfg).expect("loadgen run")

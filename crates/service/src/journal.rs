@@ -216,9 +216,11 @@ impl JobJournal {
 
 /// Fold a completed run into the snapshot entries, mirroring the worker's
 /// cache policy: only `Done` runs are cached (timeouts and cancellations
-/// depend on wall-clock luck; errors carry no plan).
+/// depend on wall-clock luck; errors carry no plan; degraded runs used a
+/// brownout-scaled budget and must not poison the cache with a
+/// lower-quality plan).
 fn merge_entry(entries: &mut Vec<CacheEntrySer>, request: &PlanRequest, response: &PlanResponse) {
-    if response.status != JobStatus::Done || response.error.is_some() {
+    if response.status != JobStatus::Done || response.error.is_some() || response.degraded {
         return;
     }
     let Some(key) = request.cache_key() else { return };
@@ -270,6 +272,7 @@ mod tests {
             wall_ms: 12,
             cache_hit: false,
             error: None,
+            degraded: false,
         }
     }
 

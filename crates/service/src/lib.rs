@@ -43,6 +43,7 @@ pub mod cache;
 pub(crate) mod coalesce;
 pub mod journal;
 pub mod metrics;
+pub mod overload;
 pub mod proto;
 pub mod replan;
 pub mod request;
@@ -52,6 +53,7 @@ pub mod session;
 pub use cache::{CachedPlan, PlanCache};
 pub use journal::{CacheEntrySer, JobJournal, JournalRecord, Recovery};
 pub use metrics::{BucketCount, HistogramSummary, Metrics, MetricsSnapshot};
+pub use overload::{OverloadConfig, OverloadControl};
 pub use proto::{parse_command, serve, serve_with_journal, Command, ProtoError};
 pub use replan::ServiceReplanner;
 pub use request::{BuiltProblem, GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec, SolveOutcome};

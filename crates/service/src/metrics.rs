@@ -43,8 +43,19 @@ pub struct Metrics {
     conns_accepted: AtomicU64,
     conns_open: AtomicU64,
     conns_dropped: AtomicU64,
+    conns_reaped: AtomicU64,
     frames_oversize: AtomicU64,
     frames_malformed: AtomicU64,
+    jobs_rejected_deadline: AtomicU64,
+    jobs_expired_in_queue: AtomicU64,
+    jobs_degraded: AtomicU64,
+    codel_drops: AtomicU64,
+    /// EWMA of queue wait, microseconds (α = 1/4); 0 until the first
+    /// nonzero sample. Stored as plain bits — the racy read-modify-write
+    /// is fine for a statistical signal.
+    queue_wait_ewma_us: AtomicU64,
+    /// EWMA of on-worker execution time, microseconds (α = 1/4).
+    exec_ewma_us: AtomicU64,
     /// Per-job submission-to-completion wall time, milliseconds.
     wall_ms_hist: Mutex<Histogram>,
     /// Per-job submission-to-dequeue wait, milliseconds.
@@ -67,6 +78,24 @@ impl Metrics {
     pub fn on_dequeue(&self, wait_ms: u64) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.queue_wait_ms_hist.lock().record(wait_ms);
+        ewma_update(&self.queue_wait_ewma_us, wait_ms.saturating_mul(1000));
+    }
+
+    /// A worker spent `exec_ms` actually running a job (dequeue to reply,
+    /// excluding queue wait). Feeds the execution-time EWMA the admission
+    /// controller uses to translate queue depth into an expected wait.
+    pub fn on_exec(&self, exec_ms: u64) {
+        ewma_update(&self.exec_ewma_us, exec_ms.saturating_mul(1000));
+    }
+
+    /// Queue-wait EWMA, milliseconds (rounded down; α = 1/4).
+    pub fn queue_wait_ewma_ms(&self) -> u64 {
+        self.queue_wait_ewma_us.load(Ordering::Relaxed) / 1000
+    }
+
+    /// Execution-time EWMA, milliseconds (rounded down; α = 1/4).
+    pub fn exec_ewma_ms(&self) -> u64 {
+        self.exec_ewma_us.load(Ordering::Relaxed) / 1000
     }
 
     /// A submission was rejected (queue full or duplicate id).
@@ -166,6 +195,36 @@ impl Metrics {
         self.jobs_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A submission was rejected at admission because its deadline was
+    /// provably unmeetable given the estimated queue wait. Also counts
+    /// toward `jobs_rejected` (it is a pre-queue rejection).
+    pub fn on_rejected_deadline(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        self.jobs_rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker dequeued a job whose deadline had already passed and
+    /// fast-failed it without running the GA.
+    pub fn on_expired_in_queue(&self) {
+        self.jobs_expired_in_queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job ran with a brownout-scaled (degraded) GA budget.
+    pub fn on_degraded(&self) {
+        self.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The CoDel controller shed a job from the head of the queue.
+    pub fn on_codel_drop(&self) {
+        self.codel_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An idle (or stalled half-open) connection was reaped by the
+    /// per-connection read timeout.
+    pub fn on_conn_reaped(&self) {
+        self.conns_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A service-backed replan got no answer (service dead or rejecting),
     /// as opposed to answering "no repair".
     pub fn on_replan_failed(&self) {
@@ -258,12 +317,28 @@ impl Metrics {
             conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
             conns_open: self.conns_open.load(Ordering::Relaxed),
             conns_dropped: self.conns_dropped.load(Ordering::Relaxed),
+            conns_reaped: self.conns_reaped.load(Ordering::Relaxed),
             frames_oversize: self.frames_oversize.load(Ordering::Relaxed),
             frames_malformed: self.frames_malformed.load(Ordering::Relaxed),
+            jobs_rejected_deadline: self.jobs_rejected_deadline.load(Ordering::Relaxed),
+            jobs_expired_in_queue: self.jobs_expired_in_queue.load(Ordering::Relaxed),
+            jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
+            codel_drops: self.codel_drops.load(Ordering::Relaxed),
+            queue_wait_ewma_ms: self.queue_wait_ewma_ms(),
+            exec_ewma_ms: self.exec_ewma_ms(),
             wall_ms_hist: HistogramSummary::of(&self.wall_ms_hist.lock()),
             queue_wait_ms_hist: HistogramSummary::of(&self.queue_wait_ms_hist.lock()),
         }
     }
+}
+
+/// Racy-but-fine EWMA step: `cell ← (3·cell + sample) / 4`, with the
+/// first nonzero sample adopted outright so the average doesn't have to
+/// climb from zero. Lost updates under contention only soften the signal.
+fn ewma_update(cell: &AtomicU64, sample_us: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 { sample_us } else { (old.saturating_mul(3).saturating_add(sample_us)) / 4 };
+    cell.store(new, Ordering::Relaxed);
 }
 
 /// One non-empty log2 bucket of a [`HistogramSummary`].
@@ -368,10 +443,25 @@ pub struct MetricsSnapshot {
     pub conns_open: u64,
     /// TCP connections that vanished with jobs still in flight.
     pub conns_dropped: u64,
+    /// Idle/stalled connections reaped by the per-connection read timeout.
+    pub conns_reaped: u64,
     /// Inbound frames rejected for exceeding the per-frame size cap.
     pub frames_oversize: u64,
     /// Inbound frames rejected as malformed (bad UTF-8 / unparseable).
     pub frames_malformed: u64,
+    /// Submissions rejected at admission as deadline-unmeetable (subset of
+    /// `jobs_rejected`).
+    pub jobs_rejected_deadline: u64,
+    /// Jobs fast-failed at dequeue because their deadline had passed.
+    pub jobs_expired_in_queue: u64,
+    /// Jobs run with a brownout-scaled (degraded) GA budget.
+    pub jobs_degraded: u64,
+    /// Jobs shed from the queue head by the CoDel controller.
+    pub codel_drops: u64,
+    /// Queue-wait EWMA at snapshot time, milliseconds (gauge).
+    pub queue_wait_ewma_ms: u64,
+    /// Execution-time EWMA at snapshot time, milliseconds (gauge).
+    pub exec_ewma_ms: u64,
     /// Distribution of per-job wall times, milliseconds.
     pub wall_ms_hist: HistogramSummary,
     /// Distribution of submission-to-dequeue queue waits, milliseconds.
@@ -405,11 +495,26 @@ mod tests {
         m.on_conn_close(true);
         m.on_frame_oversize();
         m.on_frame_malformed();
+        m.on_rejected_deadline();
+        m.on_expired_in_queue();
+        m.on_degraded();
+        m.on_codel_drop();
+        m.on_conn_reaped();
+        m.on_exec(20);
         let s = m.snapshot();
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 2);
         assert_eq!(s.jobs_solved, 1);
-        assert_eq!(s.jobs_rejected, 1);
+        // on_reject + on_rejected_deadline (which also counts as a reject).
+        assert_eq!(s.jobs_rejected, 2);
+        assert_eq!(s.jobs_rejected_deadline, 1);
+        assert_eq!(s.jobs_expired_in_queue, 1);
+        assert_eq!(s.jobs_degraded, 1);
+        assert_eq!(s.codel_drops, 1);
+        assert_eq!(s.conns_reaped, 1);
+        // EWMA (α = 1/4): waits 3 then 7 → 3 then (3·3+7)/4 = 4 ms.
+        assert_eq!(s.queue_wait_ewma_ms, 4);
+        assert_eq!(s.exec_ewma_ms, 20);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);

@@ -392,6 +392,11 @@ pub enum JobStatus {
     /// The problem failed to build (parse/validation error), or the job
     /// panicked past its retry budget.
     Error,
+    /// Never ran: the deadline had already passed when a worker dequeued
+    /// the job, so running the GA could only produce a dead answer. The
+    /// fast-fail path that replies this way is what keeps workers off
+    /// already-dead jobs under overload.
+    DeadlineExpired,
 }
 
 impl JobStatus {
@@ -406,12 +411,19 @@ impl JobStatus {
             JobStatus::Rejected => "Rejected",
             JobStatus::Shed => "Shed",
             JobStatus::Error => "Error",
+            JobStatus::DeadlineExpired => "DeadlineExpired",
         }
     }
 }
 
 /// Result of a job, as written back over the wire.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written (not derived) for one wire-compat reason:
+/// the `degraded` field is emitted only when `true`, so responses from a
+/// service with brownout disabled are byte-identical to earlier releases,
+/// and journals written before the field existed still replay (a missing
+/// `degraded` reads as `false`).
+#[derive(Debug, Clone)]
 pub struct PlanResponse {
     /// Echo of the request id.
     pub id: u64,
@@ -435,6 +447,65 @@ pub struct PlanResponse {
     pub cache_hit: bool,
     /// Error message for `Rejected`/`Error` statuses.
     pub error: Option<String>,
+    /// Was the GA budget scaled down by the brownout controller? A
+    /// degraded plan is best-effort quality and is never inserted into the
+    /// plan cache.
+    pub degraded: bool,
+}
+
+impl Serialize for PlanResponse {
+    fn serialize_json(&self, out: &mut String) {
+        // Field order matches what the derive would emit; `degraded` is
+        // appended only when set (see the struct-level doc).
+        out.push_str("{\"id\":");
+        self.id.serialize_json(out);
+        out.push_str(",\"status\":");
+        self.status.serialize_json(out);
+        out.push_str(",\"solved\":");
+        self.solved.serialize_json(out);
+        out.push_str(",\"goal_fitness\":");
+        self.goal_fitness.serialize_json(out);
+        out.push_str(",\"plan\":");
+        self.plan.serialize_json(out);
+        out.push_str(",\"plan_ops\":");
+        self.plan_ops.serialize_json(out);
+        out.push_str(",\"plan_len\":");
+        self.plan_len.serialize_json(out);
+        out.push_str(",\"total_generations\":");
+        self.total_generations.serialize_json(out);
+        out.push_str(",\"wall_ms\":");
+        self.wall_ms.serialize_json(out);
+        out.push_str(",\"cache_hit\":");
+        self.cache_hit.serialize_json(out);
+        out.push_str(",\"error\":");
+        self.error.serialize_json(out);
+        if self.degraded {
+            out.push_str(",\"degraded\":true");
+        }
+        out.push('}');
+    }
+}
+
+impl Deserialize for PlanResponse {
+    fn deserialize_json(v: &serde::json::Value) -> Result<Self, serde::json::DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::json::DeError::new(format!("expected object for PlanResponse, found {}", v.kind()))
+        })?;
+        Ok(PlanResponse {
+            id: serde::de::field(obj, "id")?,
+            status: serde::de::field(obj, "status")?,
+            solved: serde::de::field(obj, "solved")?,
+            goal_fitness: serde::de::field(obj, "goal_fitness")?,
+            plan: serde::de::field(obj, "plan")?,
+            plan_ops: serde::de::field(obj, "plan_ops")?,
+            plan_len: serde::de::field(obj, "plan_len")?,
+            total_generations: serde::de::field(obj, "total_generations")?,
+            wall_ms: serde::de::field(obj, "wall_ms")?,
+            cache_hit: serde::de::field(obj, "cache_hit")?,
+            error: serde::de::field(obj, "error")?,
+            degraded: serde::de::field::<Option<bool>>(obj, "degraded")?.unwrap_or(false),
+        })
+    }
 }
 
 impl PlanResponse {
@@ -452,6 +523,7 @@ impl PlanResponse {
             wall_ms: 0,
             cache_hit: false,
             error: Some(error.into()),
+            degraded: false,
         }
     }
 }
@@ -481,6 +553,23 @@ mod tests {
         let back: PlanRequest = serde_json::from_str(r#"{"id":1,"problem":{"Hanoi":{"disks":3}}}"#).unwrap();
         assert_eq!(back.deadline_ms, None);
         assert!(back.ga.is_none());
+    }
+
+    #[test]
+    fn degraded_flag_is_omitted_when_false_and_roundtrips_when_set() {
+        let mut resp = PlanResponse::failure(3, JobStatus::Done, "x");
+        resp.error = None;
+        let plain = serde_json::to_string(&resp).unwrap();
+        assert!(!plain.contains("degraded"), "unset flag must not appear on the wire: {plain}");
+
+        resp.degraded = true;
+        let flagged = serde_json::to_string(&resp).unwrap();
+        assert!(flagged.contains("\"degraded\":true"), "missing flag in {flagged}");
+        let back: PlanResponse = serde_json::from_str(&flagged).unwrap();
+        assert!(back.degraded);
+        // Pre-brownout journal entries (no field at all) read as false.
+        let old: PlanResponse = serde_json::from_str(&plain).unwrap();
+        assert!(!old.degraded);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use gaplan_obs::{self as obs, Event};
 
 use crate::cache::{CachedPlan, PlanCache};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::overload::{OverloadConfig, OverloadControl};
 use crate::request::{GaOverrides, JobStatus, PlanRequest, PlanResponse, ProblemSpec};
 
 /// A cloneable handle to a trace [`Subscriber`](obs::Subscriber) the
@@ -85,6 +86,10 @@ pub struct ServiceConfig {
     /// loop). `None` (the default) disables tracing entirely: every
     /// instrumentation site reduces to one thread-local flag check.
     pub obs: Option<ObsHandle>,
+    /// Adaptive overload control (deadline-aware admission, CoDel head
+    /// shedding, anytime brownout). The default disables all of it,
+    /// preserving the fixed-admission-timeout behavior exactly.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +101,7 @@ impl Default for ServiceConfig {
             admission_timeout: Duration::ZERO,
             max_job_retries: 1,
             obs: None,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -111,6 +117,10 @@ pub enum SubmitError {
     DuplicateId,
     /// The service has shut down.
     ShutDown,
+    /// Deadline-aware admission turned the job away: the estimated queue
+    /// wait already exceeds the job's deadline, so accepting it could only
+    /// waste a worker on a provably dead answer.
+    WouldMissDeadline,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -120,6 +130,9 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Shed => write!(f, "shed: queue full past admission timeout"),
             SubmitError::DuplicateId => write!(f, "duplicate job id"),
             SubmitError::ShutDown => write!(f, "service shut down"),
+            SubmitError::WouldMissDeadline => {
+                write!(f, "would_miss_deadline: estimated queue wait exceeds the request deadline")
+            }
         }
     }
 }
@@ -198,6 +211,19 @@ pub struct HealthReport {
     pub frames_oversize: u64,
     /// Inbound frames rejected as malformed (bad UTF-8 / unparseable).
     pub frames_malformed: u64,
+    /// Idle/stalled connections reaped by the per-connection read timeout.
+    pub conns_reaped: u64,
+    /// Submissions rejected at admission as deadline-unmeetable.
+    pub jobs_rejected_deadline: u64,
+    /// Jobs fast-failed at dequeue because their deadline had passed.
+    pub jobs_expired_in_queue: u64,
+    /// Jobs run with a brownout-scaled (degraded) GA budget.
+    pub jobs_degraded: u64,
+    /// Jobs shed from the queue head by the CoDel controller.
+    pub codel_drops: u64,
+    /// Queue-wait EWMA, milliseconds (the overload controllers' pressure
+    /// signal).
+    pub queue_wait_ewma_ms: u64,
 }
 
 /// What a worker plans: a wire-level spec, or an in-process grid world with
@@ -255,6 +281,8 @@ struct Shared {
     max_job_retries: u32,
     /// Trace subscriber workers install on their threads.
     obs: Option<ObsHandle>,
+    /// Overload controllers (deadline admission, CoDel, brownout).
+    overload: OverloadControl,
 }
 
 impl Shared {
@@ -302,6 +330,7 @@ impl PlanService {
             shutting_down: AtomicBool::new(false),
             max_job_retries: cfg.max_job_retries,
             obs: cfg.obs.clone(),
+            overload: OverloadControl::new(cfg.overload.clone(), workers),
         });
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
@@ -378,6 +407,16 @@ impl PlanService {
         let Some(tx) = self.tx.as_ref() else {
             return Err(SubmitError::ShutDown);
         };
+        if let Some(job_deadline) = job.deadline {
+            // Deadline-aware admission (off by default): if the estimated
+            // queue wait alone already blows the deadline, reject now —
+            // cheaper for the caller than a dead answer later, and the
+            // queue slot goes to a job that can still make it.
+            if self.shared.overload.would_miss_deadline(&self.shared.metrics, job_deadline, Instant::now()) {
+                self.shared.metrics.on_rejected_deadline();
+                return Err(SubmitError::WouldMissDeadline);
+            }
+        }
         let token = job.token.clone();
         {
             let mut active = self.shared.active.lock();
@@ -466,6 +505,12 @@ impl PlanService {
             conns_dropped: snapshot.conns_dropped,
             frames_oversize: snapshot.frames_oversize,
             frames_malformed: snapshot.frames_malformed,
+            conns_reaped: snapshot.conns_reaped,
+            jobs_rejected_deadline: snapshot.jobs_rejected_deadline,
+            jobs_expired_in_queue: snapshot.jobs_expired_in_queue,
+            jobs_degraded: snapshot.jobs_degraded,
+            codel_drops: snapshot.codel_drops,
+            queue_wait_ewma_ms: snapshot.queue_wait_ewma_ms,
         }
     }
 
@@ -642,27 +687,64 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
             shared.metrics.on_fault_injected();
             panic!("chaos job {} killed this worker on request", job.id);
         }
+        // Feed every sojourn to the CoDel controller, whether or not the
+        // job runs — its state machine needs the below-target samples too.
+        let codel_drop = shared.overload.codel_on_dequeue(queue_wait_ms);
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
         let mut response = PlanResponse::failure(job.id, JobStatus::Error, "job never produced a response");
-        for attempt in 0..=shared.max_job_retries {
-            match catch_unwind(AssertUnwindSafe(|| run_job(&job, shared, attempt))) {
-                Ok(resp) => {
-                    response = resp;
-                    break;
-                }
-                Err(payload) => {
-                    shared.metrics.on_panic();
-                    if attempt < shared.max_job_retries {
-                        shared.metrics.on_retry();
-                        continue;
+        if expired {
+            // Fast-fail: the deadline passed while the job sat queued, so
+            // a GA run could only produce a dead answer. Reply immediately
+            // and give the worker to a job that can still make it.
+            shared.metrics.on_expired_in_queue();
+            response =
+                PlanResponse::failure(job.id, JobStatus::DeadlineExpired, "deadline expired while queued; job not run");
+            response.wall_ms = job.wall_ms();
+            shared.metrics.on_complete(response.wall_ms, false);
+        } else if codel_drop {
+            // Controlled-delay head shedding: sojourn has been above target
+            // for a full interval, so drop from the head (oldest first) to
+            // pull the standing queue back under target.
+            shared.metrics.on_codel_drop();
+            shared.metrics.on_shed();
+            obs::emit(|| Event::new("svc.codel").u64("id", job.id).u64("sojourn_ms", queue_wait_ms));
+            response = PlanResponse::failure(
+                job.id,
+                JobStatus::Shed,
+                "shed from the queue head: sojourn above the controlled-delay target",
+            );
+            response.wall_ms = job.wall_ms();
+            shared.metrics.on_complete(response.wall_ms, false);
+        } else {
+            for attempt in 0..=shared.max_job_retries {
+                match catch_unwind(AssertUnwindSafe(|| run_job(&job, shared, attempt))) {
+                    Ok(resp) => {
+                        response = resp;
+                        break;
                     }
-                    shared.metrics.on_error();
-                    response = PlanResponse::failure(
-                        job.id,
-                        JobStatus::Error,
-                        format!("job panicked on all {} attempts: {}", attempt + 1, panic_message(payload.as_ref())),
-                    );
+                    Err(payload) => {
+                        shared.metrics.on_panic();
+                        if attempt < shared.max_job_retries {
+                            shared.metrics.on_retry();
+                            continue;
+                        }
+                        shared.metrics.on_error();
+                        response = PlanResponse::failure(
+                            job.id,
+                            JobStatus::Error,
+                            format!(
+                                "job panicked on all {} attempts: {}",
+                                attempt + 1,
+                                panic_message(payload.as_ref())
+                            ),
+                        );
+                    }
                 }
             }
+            // On-worker execution time (reply minus queue wait) feeds the
+            // EWMA the admission estimate scales queue depth by. Shed and
+            // expired jobs cost no worker time, so only run paths sample.
+            shared.metrics.on_exec(job.wall_ms().saturating_sub(queue_wait_ms));
         }
         if response.wall_ms == 0 {
             // The fallback and panic-exhausted responses are built without
@@ -735,6 +817,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
             wall_ms,
             cache_hit: false,
             error: None,
+            degraded: false,
         };
     }
 
@@ -757,16 +840,31 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
             wall_ms,
             cache_hit: true,
             error: None,
+            degraded: false,
         };
     }
     shared.metrics.on_cache_miss();
+
+    // Anytime brownout: under queue pressure, run a scaled-down GA budget
+    // and mark the response degraded. Cache lookups above still use the
+    // *unscaled* config key, so a full-quality cached plan keeps answering
+    // during a brownout; conversely a degraded run is never cached under
+    // that key (it would poison identical full-budget requests).
+    let factor = shared.overload.brownout_factor(&shared.metrics);
+    let degraded = factor < 1.0;
+    let run_cfg = if degraded {
+        shared.metrics.on_degraded();
+        cfg.scale_budget(factor)
+    } else {
+        cfg
+    };
 
     let mut budget = Budget::unlimited().with_token(job.token.clone());
     if let Some(deadline) = job.deadline {
         budget = budget.with_deadline(deadline);
     }
-    let succ = shared.succ_cache_for(built.signature(), &cfg);
-    let outcome = built.solve_with(&cfg, budget, succ);
+    let succ = shared.succ_cache_for(built.signature(), &run_cfg);
+    let outcome = built.solve_with(&run_cfg, budget, succ);
 
     let status = match outcome.stopped {
         None => JobStatus::Done,
@@ -779,7 +877,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
             JobStatus::Cancelled
         }
     };
-    if outcome.stopped.is_none() {
+    if outcome.stopped.is_none() && !degraded {
         let evicted = shared.cache.lock().insert(
             key,
             CachedPlan {
@@ -808,6 +906,7 @@ fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
         wall_ms,
         cache_hit: false,
         error: None,
+        degraded,
     }
 }
 
@@ -1099,6 +1198,161 @@ mod tests {
         assert_eq!(h.queue_depth, 0);
         assert_eq!(h.active_jobs, 0);
         assert_eq!(h.workers_respawned, 0);
+        assert_eq!(h.jobs_expired_in_queue, 0);
+        assert_eq!(h.codel_drops, 0);
+        service.shutdown();
+    }
+
+    /// A slow-ish request with a unique cache key per id (distinct seed).
+    fn slow_request(id: u64) -> PlanRequest {
+        PlanRequest {
+            id,
+            problem: ProblemSpec::Hanoi { disks: 6 },
+            deadline_ms: None,
+            ga: Some(GaOverrides {
+                population: Some(120),
+                generations: Some(80),
+                phases: Some(2),
+                seed: Some(id),
+                ..GaOverrides::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn expired_in_queue_jobs_fast_fail_without_running() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // Pin the single worker, then queue a job whose deadline expires
+        // while it waits.
+        service.submit(slow_request(1)).unwrap();
+        let mut doomed = tiny_request(2);
+        doomed.deadline_ms = Some(1);
+        service.submit(doomed).unwrap();
+        let mut statuses = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let resp = responses.recv().unwrap();
+            statuses.insert(resp.id, (resp.status, resp.total_generations));
+        }
+        let (status, gens) = statuses[&2];
+        assert_eq!(status, JobStatus::DeadlineExpired, "{statuses:?}");
+        assert_eq!(gens, 0, "the GA must never run for an expired job");
+        let m = service.metrics();
+        assert_eq!(m.jobs_expired_in_queue, 1);
+        assert_eq!(m.jobs_completed, 2, "expired jobs still count as completed");
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_admission_rejects_provably_unmeetable_jobs() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+            overload: OverloadConfig { deadline_admission: true, ..OverloadConfig::default() },
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // Warm the exec EWMA with a couple of completed slow jobs.
+        for id in 1..=2 {
+            service.submit(slow_request(id)).unwrap();
+            responses.recv().unwrap();
+        }
+        assert!(service.metrics().exec_ewma_ms > 0, "exec EWMA never warmed: {:?}", service.metrics());
+        // Pin the worker and keep one job queued so the backlog estimate is
+        // nonzero, then ask for a deadline the queue alone already blows.
+        service.submit(slow_request(3)).unwrap();
+        service.submit(slow_request(4)).unwrap();
+        assert!(wait_until(2000, || service.metrics().queue_depth >= 1), "{:?}", service.metrics());
+        let mut hopeless = tiny_request(5);
+        hopeless.deadline_ms = Some(1);
+        assert_eq!(service.submit(hopeless).err(), Some(SubmitError::WouldMissDeadline));
+        let m = service.metrics();
+        assert_eq!(m.jobs_rejected_deadline, 1);
+        assert_eq!(m.jobs_rejected, 1, "deadline rejections count as rejections");
+        // A feasible deadline is still admitted.
+        let mut fine = tiny_request(6);
+        fine.deadline_ms = Some(60_000);
+        service.submit(fine).unwrap();
+        for _ in 0..3 {
+            responses.recv().unwrap();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn codel_sheds_from_the_queue_head_under_sustained_overload() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 0,
+            overload: OverloadConfig { codel_target_ms: 1, codel_interval_ms: 10, ..OverloadConfig::default() },
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // Far more queued work than one worker can clear under target:
+        // sojourns rise past the target and stay there, so the controller
+        // must enter its dropping state and shed from the head.
+        let jobs = 24;
+        for id in 1..=jobs {
+            service.submit(slow_request(id)).unwrap();
+        }
+        let mut shed = 0;
+        let mut replies = 0;
+        for _ in 0..jobs {
+            let resp = responses.recv().unwrap();
+            replies += 1;
+            if resp.status == JobStatus::Shed {
+                shed += 1;
+                assert_eq!(resp.total_generations, 0, "shed jobs must not run the GA: {resp:?}");
+            }
+        }
+        assert_eq!(replies, jobs, "every accepted job must be answered");
+        let m = service.metrics();
+        assert!(m.codel_drops >= 1, "sustained overload never triggered a head drop: {m:?}");
+        assert_eq!(m.codel_drops, shed as u64);
+        assert_eq!(m.jobs_completed, jobs);
+        service.shutdown();
+    }
+
+    #[test]
+    fn brownout_degrades_under_pressure_and_degraded_runs_are_not_cached() {
+        let (service, responses) = PlanService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 64,
+            overload: OverloadConfig {
+                brownout_floor: 0.25,
+                brownout_enter_ms: 5,
+                brownout_exit_ms: 1,
+                ..OverloadConfig::default()
+            },
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let jobs = 12;
+        for id in 1..=jobs {
+            service.submit(slow_request(id)).unwrap();
+        }
+        let mut degraded = 0;
+        for _ in 0..jobs {
+            let resp = responses.recv().unwrap();
+            assert_eq!(resp.status, JobStatus::Done);
+            if resp.degraded {
+                degraded += 1;
+            }
+        }
+        assert!(degraded >= 1, "queue pressure never engaged the brownout: {:?}", service.metrics());
+        let m = service.metrics();
+        assert_eq!(m.jobs_degraded, degraded as u64);
+        // Every id has a distinct seed (distinct cache key); only the
+        // full-budget runs may populate the cache.
+        assert_eq!(service.cache_len(), jobs as usize - degraded, "degraded plans must never be cached");
         service.shutdown();
     }
 }

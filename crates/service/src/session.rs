@@ -360,6 +360,9 @@ impl<'h> Session<'h> {
         if let Err(err) = self.host.service.submit(*request) {
             let status = match err {
                 SubmitError::Shed => JobStatus::Shed,
+                // WouldMissDeadline rejects at admission; the error string
+                // carries `would_miss_deadline` so clients can tell it from
+                // a full queue.
                 _ => JobStatus::Rejected,
             };
             let resp = PlanResponse::failure(id, status, err.to_string());

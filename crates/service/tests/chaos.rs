@@ -114,8 +114,8 @@ fn chaos_transient_panics_are_retried_to_success_in_process() {
 
 /// Every `"status":"..."` carried by a wire response must have a matching
 /// `svc.reply` trace event with the same id and status — across Done,
-/// Error, Timeout, Cancelled, Shed and Rejected — and every dequeued job
-/// runs inside a balanced `svc.request` span.
+/// Error, Timeout, DeadlineExpired, Cancelled, Shed and Rejected — and
+/// every dequeued job runs inside a balanced `svc.request` span.
 #[test]
 fn chaos_every_response_status_has_a_matching_reply_event() {
     let statuses_of = |trace: &str, lines: &[String], wanted: &[(u64, &str)]| {
@@ -134,9 +134,11 @@ fn chaos_every_response_status_has_a_matching_reply_event() {
         }
     };
 
-    // Session A — Done, Error (panic-exhausted), Timeout, Cancelled. One
-    // worker keeps ordering predictable: job 4 is cancelled while queued or
-    // shortly after it starts; either way it must answer Cancelled.
+    // Session A — Timeout (deadline hits mid-run), Done, Error
+    // (panic-exhausted), DeadlineExpired (deadline passed while queued
+    // behind job 5's long run), Cancelled. One worker keeps ordering
+    // predictable: job 4 is cancelled while queued or shortly after it
+    // starts; either way it must answer Cancelled.
     let sink = obs::SharedBuf::default();
     let cfg = ServiceConfig {
         workers: 1,
@@ -147,6 +149,8 @@ fn chaos_every_response_status_has_a_matching_reply_event() {
         ..ServiceConfig::default()
     };
     let input = concat!(
+        r#"{"cmd":"plan","id":5,"problem":{"Hanoi":{"disks":10}},"deadline_ms":500,"ga":{"population":400,"generations":400,"phases":5}}"#,
+        "\n",
         r#"{"cmd":"plan","id":1,"problem":{"Hanoi":{"disks":3}},"ga":{"population":40,"generations":30,"phases":3}}"#,
         "\n",
         r#"{"cmd":"plan","id":2,"problem":{"Chaos":{"fail_attempts":3,"kill_worker":false}}}"#,
@@ -162,13 +166,13 @@ fn chaos_every_response_status_has_a_matching_reply_event() {
     );
     let lines = run_session(cfg, input);
     let trace = sink.contents();
-    statuses_of(&trace, &lines, &[(1, "Done"), (2, "Error"), (3, "Timeout"), (4, "Cancelled")]);
+    statuses_of(&trace, &lines, &[(5, "Timeout"), (1, "Done"), (2, "Error"), (3, "DeadlineExpired"), (4, "Cancelled")]);
     let enters = trace.lines().filter(|l| l.starts_with(r#"{"ev":"span_enter","span":"svc.request""#)).count();
     let exits = trace.lines().filter(|l| l.starts_with(r#"{"ev":"span_exit","span":"svc.request""#)).count();
-    assert_eq!(enters, 4, "one request span per dequeued job:\n{trace}");
+    assert_eq!(enters, 5, "one request span per dequeued job:\n{trace}");
     assert_eq!(enters, exits, "request spans must balance:\n{trace}");
     // Each traced reply echoes into a dequeue event for the same id.
-    for id in 1..=4u64 {
+    for id in 1..=5u64 {
         assert!(
             trace.contains(&format!(r#"{{"ev":"svc.dequeue","id":{id},"#)),
             "missing svc.dequeue for {id}:\n{trace}"

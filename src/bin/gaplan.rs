@@ -11,10 +11,12 @@
 //! gaplan serve  [--workers N] [--queue N] [--cache N]
 //!               [--admission-ms N] [--job-retries N] [--journal DIR]
 //!               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce]
-//!               [--backlog N]
+//!               [--backlog N] [--idle-ms N]
+//!               [--target-ms N] [--codel-interval-ms N] [--brownout F]
+//!               [--brownout-enter-ms N] [--brownout-exit-ms N]
 //! gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N]
 //!               [--keys N] [--skew F] [--deadline-ms N] [--seed N]
-//!               [--shutdown-after] [--out FILE]
+//!               [--rate R] [--burst B] [--shutdown-after] [--out FILE]
 //! gaplan trace-report <file> [--top K]
 //! ```
 //!
@@ -23,6 +25,16 @@
 //! singleflight coalescing of identical in-flight requests unless
 //! `--no-coalesce`). `loadgen` drives a TCP server with skewed-key traffic
 //! and writes throughput/latency results to `BENCH_service.json`.
+//!
+//! Overload control (see DESIGN.md §12): `--target-ms N` enables the
+//! CoDel-style controlled-delay queue (head shedding when sojourn stays
+//! above N ms) *and* deadline-aware admission; `--brownout F` (0 < F < 1)
+//! enables anytime GA brownout with budget floor F — under queue pressure
+//! jobs run a scaled-down GA and replies carry `"degraded":true`.
+//! `--idle-ms N` reaps TCP connections idle longer than N ms (slowloris
+//! defense; 0 disables). `loadgen --rate R` switches from closed-loop to
+//! open-loop (paced arrivals at R jobs/s overall, bursts of B), reporting
+//! goodput within deadline and shed/rejected/degraded/expired counts.
 //!
 //! Every planning command also accepts `--trace FILE`, writing a JSON-lines
 //! event trace (see `gaplan-obs`) that `gaplan trace-report` analyzes.
@@ -55,7 +67,7 @@ use ga_grid_planner::grid::{
 use ga_grid_planner::net::{self as gaplan_net, LoadgenConfig, NetOptions, TcpServer};
 use ga_grid_planner::obs;
 use ga_grid_planner::service::{
-    serve_with_journal, JobJournal, ObsHandle, PlanService, ServiceConfig, ServiceReplanner,
+    serve_with_journal, JobJournal, ObsHandle, OverloadConfig, PlanService, ServiceConfig, ServiceReplanner,
 };
 use gaplan_core::{Domain, Plan, SigBuilder};
 
@@ -94,7 +106,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N]    (same protocol over TCP)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--shutdown-after] [--out FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -397,6 +409,33 @@ fn grid_cmd(args: &[String]) {
     }
 }
 
+/// Build the overload-control config from `serve` flags.
+///
+/// `--target-ms N` (N > 0) is the single opt-in switch: it enables the
+/// CoDel queue controller at that sojourn target *and* deadline-aware
+/// admission, and derives brownout hysteresis thresholds (enter = 2×target,
+/// exit = target/2) so `--brownout F` composes without extra flags.
+/// Everything stays off by default, preserving pre-overload behavior.
+fn overload_config_from_flags(args: &[String]) -> OverloadConfig {
+    let defaults = OverloadConfig::default();
+    let target_ms: u64 = parse_or(flag_value(args, "--target-ms"), 0);
+    let brownout: f64 = parse_or(flag_value(args, "--brownout"), 1.0);
+    if !(0.0..=1.0).contains(&brownout) {
+        usage("--brownout F must be in [0, 1] (0 or 1 disables brownout)");
+    }
+    let enter_default = if target_ms > 0 { target_ms * 2 } else { defaults.brownout_enter_ms };
+    let exit_default = if target_ms > 0 { (target_ms / 2).max(1) } else { defaults.brownout_exit_ms };
+    OverloadConfig {
+        codel_target_ms: target_ms,
+        codel_interval_ms: parse_or(flag_value(args, "--codel-interval-ms"), defaults.codel_interval_ms),
+        deadline_admission: target_ms > 0,
+        // 0.0 and 1.0 both mean "off" (brownout_enabled() needs floor in (0,1)).
+        brownout_floor: if brownout == 0.0 { 1.0 } else { brownout },
+        brownout_enter_ms: parse_or(flag_value(args, "--brownout-enter-ms"), enter_default),
+        brownout_exit_ms: parse_or(flag_value(args, "--brownout-exit-ms"), exit_default),
+    }
+}
+
 fn serve_cmd(args: &[String]) {
     let cfg = ServiceConfig {
         workers: parse_or(flag_value(args, "--workers"), 2),
@@ -404,6 +443,7 @@ fn serve_cmd(args: &[String]) {
         cache_capacity: parse_or(flag_value(args, "--cache"), 128),
         admission_timeout: std::time::Duration::from_millis(parse_or(flag_value(args, "--admission-ms"), 0)),
         max_job_retries: parse_or(flag_value(args, "--job-retries"), 1),
+        overload: overload_config_from_flags(args),
         obs: trace_handle(args),
     };
     let journal = flag_value(args, "--journal").map(|dir| {
@@ -414,10 +454,12 @@ fn serve_cmd(args: &[String]) {
         JobJournal::new(storage)
     });
     if let Some(addr) = flag_value(args, "--listen") {
+        let idle_ms: u64 = parse_or(flag_value(args, "--idle-ms"), 300_000);
         let opts = NetOptions {
             max_frame: parse_or(flag_value(args, "--max-frame"), gaplan_net::DEFAULT_MAX_FRAME),
             coalesce: !flag_present(args, "--no-coalesce"),
             backlog_limit: parse_or(flag_value(args, "--backlog"), 1024),
+            idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
         };
         let server = TcpServer::bind(cfg, journal, opts, addr).unwrap_or_else(|e| {
             eprintln!("serve: cannot listen on {addr}: {e}");
@@ -450,6 +492,8 @@ fn loadgen_cmd(args: &[String]) {
         skew: parse_or(flag_value(args, "--skew"), 0.5),
         deadline_ms: flag_value(args, "--deadline-ms").map(|v| parse_or(Some(v), 0)),
         seed: parse_or(flag_value(args, "--seed"), 42),
+        rate: flag_value(args, "--rate").and_then(|v| v.parse::<f64>().ok()).filter(|r| *r > 0.0),
+        burst: parse_or(flag_value(args, "--burst"), 1),
         shutdown_after: flag_present(args, "--shutdown-after"),
     };
     let report = gaplan_net::loadgen::run(&cfg).unwrap_or_else(|e| {
@@ -465,10 +509,22 @@ fn loadgen_cmd(args: &[String]) {
         report.latency_us_p90,
         report.latency_us_p99
     );
+    if cfg.rate.is_some() {
+        println!(
+            "loadgen: open loop at {:.0} jobs/s — goodput {} within deadline, rejected {}, expired {}, degraded {}, done p50 {}µs p99 {}µs",
+            report.offered_rate_jobs_per_sec,
+            report.goodput,
+            report.rejected,
+            report.expired,
+            report.degraded,
+            report.done_latency_us_p50,
+            report.done_latency_us_p99
+        );
+    }
     println!(
         "loadgen: lost {}, errors {}, shed {}, coalesced {}, cache hits {}, {} keys, plans_hash {:#018x}{}",
         report.lost,
-        report.errors,
+        report.errors + report.rejected,
         report.shed,
         report.coalesced_jobs,
         report.cache_hits,

@@ -60,6 +60,12 @@ pub struct TraceSummary {
     /// `svc.conn` counts: opens, closes, total waiters abandoned by
     /// disconnects.
     pub conns: [u64; 3],
+    /// `svc.conn` reap events: idle connections cut by the server.
+    pub conns_reaped: u64,
+    /// `svc.brownout` transitions: engagements, recoveries.
+    pub brownout: [u64; 2],
+    /// `svc.codel` events: jobs head-dropped by the controlled-delay queue.
+    pub codel_drops: u64,
     /// `svc.coalesced` events: jobs that joined an identical in-flight
     /// computation instead of running their own.
     pub coalesced: u64,
@@ -118,9 +124,18 @@ impl TraceSummary {
                         s.conns[1] += 1;
                         s.conns[2] += num_u64(&value, "abandoned").unwrap_or(0);
                     }
+                    Some("reap") => s.conns_reaped += 1,
                     _ => {}
                 },
                 "svc.coalesced" => s.coalesced += 1,
+                "svc.brownout" => {
+                    if matches!(value.get("on"), Some(Value::Bool(true))) {
+                        s.brownout[0] += 1;
+                    } else {
+                        s.brownout[1] += 1;
+                    }
+                }
+                "svc.codel" => s.codel_drops += 1,
                 name if name.starts_with("grid.") => {
                     *s.grid_events.entry(name.to_string()).or_insert(0) += 1;
                     if name == "grid.done" {
@@ -258,12 +273,18 @@ pub fn render(text: &str, top_k: usize) -> String {
         }
     }
 
+    if s.codel_drops > 0 || s.brownout[0] > 0 || s.brownout[1] > 0 {
+        let _ = writeln!(out, "\noverload control:");
+        let _ = writeln!(out, "  codel head drops {}", s.codel_drops);
+        let _ = writeln!(out, "  brownout engaged {}x, recovered {}x", s.brownout[0], s.brownout[1]);
+    }
+
     if s.conns[0] > 0 || s.conns[1] > 0 {
         let _ = writeln!(out, "\nconnections:");
         let _ = writeln!(
             out,
-            "  opened {}, closed {}, waiters abandoned by disconnects {}",
-            s.conns[0], s.conns[1], s.conns[2]
+            "  opened {}, closed {}, reaped idle {}, waiters abandoned by disconnects {}",
+            s.conns[0], s.conns[1], s.conns_reaped, s.conns[2]
         );
     }
 
@@ -303,13 +324,21 @@ mod tests {
         "\n",
         r#"{"ev":"svc.conn","op":"close","peer":"127.0.0.1:9999","abandoned":2}"#,
         "\n",
+        r#"{"ev":"svc.conn","op":"reap","peer":"127.0.0.1:8888","idle_ms":4000}"#,
+        "\n",
+        r#"{"ev":"svc.brownout","on":true,"queue_wait_ewma_ms":80}"#,
+        "\n",
+        r#"{"ev":"svc.brownout","on":false,"queue_wait_ewma_ms":4}"#,
+        "\n",
+        r#"{"ev":"svc.codel","id":9,"sojourn_ms":150}"#,
+        "\n",
         "not json at all\n",
     );
 
     #[test]
     fn summary_extracts_every_section() {
         let s = TraceSummary::parse(SAMPLE);
-        assert_eq!(s.events, 14);
+        assert_eq!(s.events, 18);
         assert_eq!(s.unparseable, 1);
         assert_eq!(s.cache, [2, 150, 50, 2]);
         assert!((s.cache_hit_rate().unwrap() - 0.75).abs() < 1e-12);
@@ -321,6 +350,9 @@ mod tests {
         assert_eq!(s.grid_done, Some((42.5, false)));
         assert_eq!(s.replies["Done"], 1);
         assert_eq!(s.conns, [1, 1, 2]);
+        assert_eq!(s.conns_reaped, 1);
+        assert_eq!(s.brownout, [1, 1]);
+        assert_eq!(s.codel_drops, 1);
         assert_eq!(s.coalesced, 1);
     }
 
@@ -342,7 +374,9 @@ mod tests {
         assert!(report.contains("hits 150, misses 50, evictions 2 across 2 phases"), "{report}");
         assert!(report.contains("hit rate: 75.0%"), "{report}");
         assert!(report.contains("coalesced  1"), "{report}");
-        assert!(report.contains("opened 1, closed 1, waiters abandoned by disconnects 2"), "{report}");
+        assert!(report.contains("codel head drops 1"), "{report}");
+        assert!(report.contains("brownout engaged 1x, recovered 1x"), "{report}");
+        assert!(report.contains("opened 1, closed 1, reaped idle 1, waiters abandoned by disconnects 2"), "{report}");
     }
 
     #[test]

@@ -31,9 +31,10 @@ fn concurrent_jobs_with_mixed_deadlines_all_terminate() {
     })
     .unwrap();
 
-    // Eight solvable jobs across two domains, plus two that cannot finish
-    // inside an already-expired deadline.
-    let mut expected_timeout = Vec::new();
+    // Eight solvable jobs across two domains, plus two whose deadline has
+    // already expired at submit time — workers fast-fail those without
+    // running the GA.
+    let mut expected_expired = Vec::new();
     let mut submitted = Vec::new();
     for id in 1..=8u64 {
         let problem = if id % 2 == 0 {
@@ -45,12 +46,13 @@ fn concurrent_jobs_with_mixed_deadlines_all_terminate() {
         submitted.push(id);
     }
     for id in 9..=10u64 {
-        // deadline_ms: 0 expires before generation 1, so the budget check
-        // fires deterministically after exactly one generation.
+        // deadline_ms: 0 is expired before a worker ever dequeues the job,
+        // so the expired-in-queue fast path replies DeadlineExpired without
+        // building the problem or running a single generation.
         let mut req = request(id, ProblemSpec::Hanoi { disks: 12 }, Some(0));
         req.ga = None;
         service.submit(req).unwrap();
-        expected_timeout.push(id);
+        expected_expired.push(id);
         submitted.push(id);
     }
 
@@ -63,9 +65,10 @@ fn concurrent_jobs_with_mixed_deadlines_all_terminate() {
 
     for id in &submitted {
         let resp = &by_id[id];
-        if expected_timeout.contains(id) {
-            assert_eq!(resp.status, JobStatus::Timeout, "job {id}: {resp:?}");
-            assert!(!resp.plan.is_empty(), "timeout must carry best-so-far plan: {resp:?}");
+        if expected_expired.contains(id) {
+            assert_eq!(resp.status, JobStatus::DeadlineExpired, "job {id}: {resp:?}");
+            assert!(resp.plan.is_empty(), "fast-failed job must not have run: {resp:?}");
+            assert_eq!(resp.total_generations, 0, "fast-failed job must not have run: {resp:?}");
             assert!(!resp.solved);
         } else {
             assert_eq!(resp.status, JobStatus::Done, "job {id}: {resp:?}");
@@ -77,7 +80,8 @@ fn concurrent_jobs_with_mixed_deadlines_all_terminate() {
     let metrics = service.metrics();
     assert_eq!(metrics.jobs_submitted, 10);
     assert_eq!(metrics.jobs_completed, 10);
-    assert_eq!(metrics.jobs_timed_out, 2);
+    assert_eq!(metrics.jobs_expired_in_queue, 2);
+    assert_eq!(metrics.jobs_timed_out, 0);
     assert_eq!(metrics.queue_depth, 0);
     service.shutdown();
 }
@@ -139,8 +143,8 @@ fn wire_protocol_handles_eight_concurrent_jobs() {
         ));
         input.push('\n');
     }
-    // A short-deadline job on a big instance: must report Timeout with a
-    // non-empty best-so-far plan.
+    // An already-expired deadline on a big instance: the worker fast-fails
+    // it as DeadlineExpired without running the GA at all.
     input.push_str(r#"{"cmd":"plan","id":9,"problem":{"Hanoi":{"disks":12}},"deadline_ms":0}"#);
     input.push('\n');
     input.push_str("{\"cmd\":\"metrics\"}\n{\"cmd\":\"shutdown\"}\n");
@@ -174,10 +178,10 @@ fn wire_protocol_handles_eight_concurrent_jobs() {
         let status = seen[&id].get("status").and_then(|s| s.as_str()).unwrap();
         assert_eq!(status, "Done", "job {id}:\n{output}");
     }
-    let timeout = &seen[&9];
-    assert_eq!(timeout.get("status").and_then(|s| s.as_str()), Some("Timeout"));
-    match timeout.get("plan_len") {
-        Some(serde_json::Value::Int(n)) => assert!(*n > 0, "best-so-far plan must be non-empty"),
+    let expired = &seen[&9];
+    assert_eq!(expired.get("status").and_then(|s| s.as_str()), Some("DeadlineExpired"));
+    match expired.get("plan_len") {
+        Some(serde_json::Value::Int(n)) => assert_eq!(*n, 0, "fast-failed job must not have run"),
         other => panic!("bad plan_len: {other:?}"),
     }
 }
