@@ -61,6 +61,15 @@ pub trait Domain: Send + Sync {
     /// Apply a valid operation, producing the successor state.
     fn apply(&self, state: &Self::State, op: OpId) -> Self::State;
 
+    /// [`Domain::apply`] into a caller-provided buffer. The default
+    /// overwrites `out` with a freshly built successor; domains whose states
+    /// own heap storage should override it to reuse `out`'s allocation (the
+    /// GA's decode loop ping-pongs two state buffers through this method, so
+    /// an override makes stepping allocation-free).
+    fn apply_into(&self, state: &Self::State, op: OpId, out: &mut Self::State) {
+        *out = self.apply(state, op);
+    }
+
     /// Does `state` satisfy every condition of the goal `G`?
     fn is_goal(&self, state: &Self::State) -> bool {
         self.goal_fitness(state) >= 1.0
@@ -142,6 +151,9 @@ impl<D: Domain + ?Sized> Domain for &D {
     }
     fn apply(&self, state: &Self::State, op: OpId) -> Self::State {
         (**self).apply(state, op)
+    }
+    fn apply_into(&self, state: &Self::State, op: OpId, out: &mut Self::State) {
+        (**self).apply_into(state, op, out)
     }
     fn is_goal(&self, state: &Self::State) -> bool {
         (**self).is_goal(state)
@@ -229,6 +241,17 @@ mod tests {
         assert_eq!(r.num_operations(), 2);
         assert_eq!(r.initial_state(), 0);
         assert_eq!(r.valid_ops_vec(&5), vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn apply_into_default_matches_apply() {
+        let d = Counter { target: 3 };
+        let mut out = 99i64;
+        d.apply_into(&5, OpId(1), &mut out);
+        assert_eq!(out, d.apply(&5, OpId(1)));
+        let r: &Counter = &d;
+        r.apply_into(&5, OpId(0), &mut out);
+        assert_eq!(out, 6);
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub trait ErasedState: Any + Send + Sync {
     fn hash_dyn(&self, hasher: &mut dyn Hasher);
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support (in-place [`Domain::apply_into`]).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 impl<T> ErasedState for T
@@ -54,6 +56,9 @@ where
         self.hash(&mut hasher);
     }
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 }
@@ -74,6 +79,11 @@ impl DynState {
     /// Borrow the inner state as `T`, if that is its concrete type.
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
         self.0.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrow the inner state as `T`, if that is its concrete type.
+    pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.0.as_any_mut().downcast_mut::<T>()
     }
 }
 
@@ -119,6 +129,9 @@ pub trait ErasedDomain: Send + Sync {
     fn valid_operations_dyn(&self, state: &DynState, out: &mut Vec<OpId>);
     /// See [`Domain::apply`].
     fn apply_dyn(&self, state: &DynState, op: OpId) -> DynState;
+    /// See [`Domain::apply_into`]: writes the successor into `out`'s inner
+    /// box when the concrete types line up, avoiding a fresh allocation.
+    fn apply_into_dyn(&self, state: &DynState, op: OpId, out: &mut DynState);
     /// See [`Domain::is_goal`].
     fn is_goal_dyn(&self, state: &DynState) -> bool;
     /// See [`Domain::goal_fitness`].
@@ -151,6 +164,12 @@ where
     }
     fn apply_dyn(&self, state: &DynState, op: OpId) -> DynState {
         DynState::new(self.apply(unwrap_state(state), op))
+    }
+    fn apply_into_dyn(&self, state: &DynState, op: OpId, out: &mut DynState) {
+        match out.downcast_mut::<D::State>() {
+            Some(slot) => self.apply_into(unwrap_state(state), op, slot),
+            None => *out = self.apply_dyn(state, op),
+        }
     }
     fn is_goal_dyn(&self, state: &DynState) -> bool {
         self.is_goal(unwrap_state(state))
@@ -210,6 +229,9 @@ impl Domain for DynDomain<'_> {
     }
     fn apply(&self, state: &DynState, op: OpId) -> DynState {
         self.inner.apply_dyn(state, op)
+    }
+    fn apply_into(&self, state: &DynState, op: OpId, out: &mut DynState) {
+        self.inner.apply_into_dyn(state, op, out)
     }
     fn is_goal(&self, state: &DynState) -> bool {
         self.inner.is_goal_dyn(state)
@@ -284,6 +306,17 @@ mod tests {
         assert_eq!(dd.op_name(OpId(1)), d.op_name(OpId(1)));
         assert_eq!(dd.op_cost(OpId(1)), d.op_cost(OpId(1)));
         assert!(!dd.is_goal(&s1));
+    }
+
+    #[test]
+    fn apply_into_reuses_erased_slot() {
+        let d = Counter { target: 3 };
+        let dd = DynDomain::new(&d);
+        let s = DynState::new(4i64);
+        let mut out = DynState::new(0i64);
+        dd.apply_into(&s, OpId(0), &mut out);
+        assert_eq!(out.downcast_ref::<i64>(), Some(&5));
+        assert_eq!(out, dd.apply(&s, OpId(0)));
     }
 
     #[test]

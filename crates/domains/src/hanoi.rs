@@ -165,6 +165,14 @@ impl Domain for Hanoi {
         next
     }
 
+    fn apply_into(&self, state: &HanoiState, op: OpId, out: &mut HanoiState) {
+        let (from, to) = MOVES[op.index()];
+        let disk = Self::top_disk(state, from).expect("apply_into() requires a valid move");
+        debug_assert!(Self::top_disk(state, to).is_none_or(|t| disk < t), "cannot place disk {disk} on a smaller disk");
+        out.clone_from(state);
+        out[disk] = to;
+    }
+
     fn goal_fitness(&self, state: &HanoiState) -> f64 {
         let on_goal: f64 =
             state.iter().enumerate().filter(|&(_, &p)| p == self.goal_peg).map(|(i, _)| self.weights[i]).sum();
@@ -265,6 +273,21 @@ mod tests {
         state[n - 1] = 1;
         let f = h.goal_fitness(&state);
         assert!(f > 0.5, "f = {f}");
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let h = Hanoi::new(4);
+        let mut state = h.initial_state();
+        let mut out = h.initial_state();
+        // walk a deterministic trajectory, checking every step both ways
+        for pick in 0..20 {
+            let ops = h.valid_ops_vec(&state);
+            let op = ops[pick % ops.len()];
+            h.apply_into(&state, op, &mut out);
+            assert_eq!(out, h.apply(&state, op));
+            state = out.clone();
+        }
     }
 
     #[test]

@@ -245,6 +245,20 @@ impl Domain for SlidingTile {
         next
     }
 
+    fn apply_into(&self, state: &TileState, op: OpId, out: &mut TileState) {
+        let blank = Self::blank_pos(state);
+        let (r, c) = ((blank / self.n) as i32, (blank % self.n) as i32);
+        let (dr, dc, _) = DIRS[op.index()];
+        let (nr, nc) = (r + dr, c + dc);
+        debug_assert!(
+            nr >= 0 && nr < self.n as i32 && nc >= 0 && nc < self.n as i32,
+            "apply_into() requires a valid move"
+        );
+        let target = (nr as usize) * self.n + nc as usize;
+        out.clone_from(state);
+        out.swap(blank, target);
+    }
+
     fn goal_fitness(&self, state: &TileState) -> f64 {
         // paper Eq. 6
         1.0 - f64::from(self.manhattan(state)) / self.upper
@@ -305,6 +319,20 @@ mod tests {
         // "left": swap with tile to the left (3)
         let left = p.apply(&vec![1, 2, 3, 0], OpId(2));
         assert_eq!(left, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let p = SlidingTile::new(3, SlidingTile::standard_goal(3));
+        let mut state = p.initial_state();
+        let mut out = p.initial_state();
+        for pick in 0..20 {
+            let ops = p.valid_ops_vec(&state);
+            let op = ops[pick % ops.len()];
+            p.apply_into(&state, op, &mut out);
+            assert_eq!(out, p.apply(&state, op));
+            state = out.clone();
+        }
     }
 
     #[test]

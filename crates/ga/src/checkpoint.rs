@@ -54,6 +54,11 @@ pub struct PhaseSnapshot {
     pub history: Vec<GenStats>,
     /// First generation of this phase at which some individual solved.
     pub first_solution_gen: Option<u32>,
+    /// Island count the snapshot was taken under; `None` (a pre-island
+    /// checkpoint) means 1. With `K` islands, `rng` holds `4·K` words (one
+    /// xoshiro256** state per island, in island order) and `genomes` holds
+    /// `K` equal contiguous blocks in island order.
+    pub islands: Option<u32>,
 }
 
 /// A complete multi-phase checkpoint: everything needed to resume a run at a
@@ -119,6 +124,14 @@ pub enum ResumeError {
         /// The configured phase budget.
         max_phases: u32,
     },
+    /// The embedded snapshot was taken under a different island count than
+    /// the resuming configuration runs with.
+    IslandMismatch {
+        /// Island count recorded in the checkpoint.
+        found: u32,
+        /// Island count of the resuming configuration.
+        expected: u32,
+    },
     /// The embedded [`PhaseSnapshot`] is internally inconsistent.
     BadSnapshot(String),
 }
@@ -138,6 +151,9 @@ impl fmt::Display for ResumeError {
             ResumeError::PhaseOutOfRange { next_phase, max_phases } => {
                 write!(f, "checkpoint next phase {next_phase} out of range (max_phases {max_phases})")
             }
+            ResumeError::IslandMismatch { found, expected } => {
+                write!(f, "checkpoint taken with {found} island(s) cannot resume under {expected}")
+            }
             ResumeError::BadSnapshot(why) => write!(f, "bad phase snapshot: {why}"),
         }
     }
@@ -149,8 +165,16 @@ impl PhaseSnapshot {
     /// Structural validation (field consistency only; config/problem checks
     /// happen at the [`MultiPhaseCheckpoint`] level).
     pub fn validate(&self) -> Result<(), ResumeError> {
-        if self.rng.len() != 4 {
-            return Err(ResumeError::BadSnapshot(format!("rng state has {} words, expected 4", self.rng.len())));
+        let islands = self.islands();
+        if islands == 0 {
+            return Err(ResumeError::BadSnapshot("islands must be >= 1".into()));
+        }
+        if self.rng.len() != 4 * islands as usize {
+            return Err(ResumeError::BadSnapshot(format!(
+                "rng state has {} words, expected {} for {islands} island(s)",
+                self.rng.len(),
+                4 * islands as usize
+            )));
         }
         if self.next_gen == 0 {
             return Err(ResumeError::BadSnapshot("next_gen must be >= 1".into()));
@@ -165,6 +189,12 @@ impl PhaseSnapshot {
         if self.genomes.is_empty() {
             return Err(ResumeError::BadSnapshot("empty population".into()));
         }
+        if !self.genomes.len().is_multiple_of(islands as usize) {
+            return Err(ResumeError::BadSnapshot(format!(
+                "population of {} does not split into {islands} equal islands",
+                self.genomes.len()
+            )));
+        }
         let in_unit = |genes: &[f64]| genes.iter().all(|g| (0.0..1.0).contains(g));
         if !self.genomes.iter().all(|g| in_unit(g)) || !in_unit(&self.best) {
             return Err(ResumeError::BadSnapshot("gene outside [0, 1)".into()));
@@ -172,9 +202,21 @@ impl PhaseSnapshot {
         Ok(())
     }
 
+    /// Island count the snapshot was taken under (pre-island checkpoints
+    /// deserialize with `islands: None` and mean a single population).
+    pub fn islands(&self) -> u32 {
+        self.islands.unwrap_or(1)
+    }
+
     /// The raw RNG state as a fixed-size array (validated to 4 words).
+    /// Single-island accessor; for `K > 1` use [`PhaseSnapshot::rng_states`].
     pub fn rng_state(&self) -> [u64; 4] {
         [self.rng[0], self.rng[1], self.rng[2], self.rng[3]]
+    }
+
+    /// Per-island RNG states, in island order (validated to `4·K` words).
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        self.rng.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect()
     }
 }
 
@@ -203,6 +245,7 @@ mod tests {
             best: vec![0.25],
             history: vec![gs(0), gs(1), gs(2)],
             first_solution_gen: None,
+            islands: None,
         }
     }
 
@@ -232,6 +275,50 @@ mod tests {
         let mut s = snapshot();
         s.genomes[0][0] = 1.0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn island_snapshot_validates_per_island_state() {
+        // K islands need 4·K rng words and a K-divisible population.
+        let mut s = snapshot();
+        s.islands = Some(2);
+        s.rng = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        s.validate().unwrap();
+        assert_eq!(s.islands(), 2);
+        assert_eq!(s.rng_states(), vec![[1, 2, 3, 4], [5, 6, 7, 8]]);
+
+        let mut short = s.clone();
+        short.rng.pop();
+        assert!(matches!(short.validate(), Err(ResumeError::BadSnapshot(_))));
+
+        let mut odd = s.clone();
+        odd.genomes.push(vec![0.5]); // 3 genomes don't split into 2 islands
+        assert!(odd.validate().is_err());
+
+        let mut zero = s.clone();
+        zero.islands = Some(0);
+        assert!(zero.validate().is_err());
+
+        // pre-island snapshots (islands: None) still validate as K=1
+        let legacy = snapshot();
+        assert_eq!(legacy.islands(), 1);
+        legacy.validate().unwrap();
+        assert_eq!(legacy.rng_states(), vec![[1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn islands_field_is_optional_in_serialized_form() {
+        // A checkpoint written before the island model (no `islands` key)
+        // must deserialize as a single-population snapshot.
+        let s = snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        // simulate an old writer by dropping the islands key entirely
+        let legacy_json = json.replace(",\"islands\":null", "");
+        assert_ne!(legacy_json, json, "islands key not found in serialized snapshot");
+        let back: PhaseSnapshot = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(back.islands, None);
+        assert_eq!(back.islands(), 1);
+        back.validate().unwrap();
     }
 
     #[test]
@@ -268,6 +355,7 @@ mod tests {
             ResumeError::ConfigMismatch { found: 1, expected: 2 }.to_string(),
             ResumeError::ProblemMismatch { found: 1, expected: 2 }.to_string(),
             ResumeError::PhaseOutOfRange { next_phase: 8, max_phases: 5 }.to_string(),
+            ResumeError::IslandMismatch { found: 4, expected: 1 }.to_string(),
             ResumeError::BadSnapshot("x".into()).to_string(),
         ];
         for m in msgs {

@@ -247,6 +247,17 @@ pub struct GaConfig {
     pub succ_cache_capacity: usize,
     /// Master RNG seed; every run derived from a config is reproducible.
     pub seed: u64,
+    /// Number of islands (independently evolving sub-populations) per
+    /// phase. `1` is the paper's single-population GA and the default; `K >
+    /// 1` splits `population_size` into `K` equal blocks, each with its own
+    /// seed-derived RNG stream, exchanging individuals by deterministic
+    /// ring migration every [`GaConfig::migration_interval`] generations.
+    pub islands: u32,
+    /// Generations between migrations (ignored when `islands == 1`).
+    pub migration_interval: u32,
+    /// Individuals each island emits to its ring neighbour per migration
+    /// (its top-E by fitness replace the neighbour's worst-E).
+    pub emigrants: usize,
 }
 
 impl Default for GaConfig {
@@ -274,6 +285,9 @@ impl Default for GaConfig {
             succ_cache: true,
             succ_cache_capacity: gaplan_core::succ::DEFAULT_CAPACITY,
             seed: 0x9a_9a_9a,
+            islands: 1,
+            migration_interval: 10,
+            emigrants: 2,
         }
     }
 }
@@ -319,6 +333,34 @@ impl GaConfig {
         }
         if self.max_len < self.initial_len {
             return Err(format!("max_len ({}) must be >= initial_len ({})", self.max_len, self.initial_len));
+        }
+        if self.islands == 0 {
+            return Err("islands must be at least 1".into());
+        }
+        if self.islands > 1 {
+            let k = self.islands as usize;
+            if !self.population_size.is_multiple_of(k) {
+                return Err(format!("population_size ({}) must be divisible by islands ({k})", self.population_size));
+            }
+            let per_island = self.population_size / k;
+            if per_island < 2 {
+                return Err(format!("per-island population ({per_island}) must be at least 2"));
+            }
+            if self.elitism >= per_island {
+                return Err(format!(
+                    "elitism ({}) must be smaller than the per-island population ({per_island})",
+                    self.elitism
+                ));
+            }
+            if self.migration_interval == 0 {
+                return Err("migration_interval must be positive".into());
+            }
+            if self.emigrants >= per_island {
+                return Err(format!(
+                    "emigrants ({}) must be smaller than the per-island population ({per_island})",
+                    self.emigrants
+                ));
+            }
         }
         Ok(())
     }
@@ -395,6 +437,14 @@ impl GaConfig {
         s.tag("state-match").bool(self.state_match == StateMatchMode::ValidOpSet);
         s.tag("early-stop").bool(self.early_stop_on_solution);
         s.tag("seed").u64(self.seed);
+        // Island knobs participate only when the model is actually on:
+        // `islands == 1` must keep the signature every existing cache entry
+        // and checkpoint was stamped with (migration knobs are inert there).
+        if self.islands > 1 {
+            s.tag("islands").u32(self.islands);
+            s.tag("migrate-every").u32(self.migration_interval);
+            s.tag("emigrants").usize(self.emigrants);
+        }
         s.finish()
     }
 }
@@ -492,6 +542,48 @@ mod tests {
         assert_eq!(base.signature(), uncached.signature());
         let different = GaConfig { seed: base.seed + 1, ..base.clone() };
         assert_ne!(base.signature(), different.signature());
+    }
+
+    #[test]
+    fn validate_rejects_bad_island_configs() {
+        let ok = GaConfig { islands: 4, ..GaConfig::default() };
+        ok.validate().unwrap();
+        let c = GaConfig { islands: 0, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        // 200 % 3 != 0
+        let c = GaConfig { islands: 3, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        // per-island population of 1
+        let c = GaConfig { islands: 4, population_size: 4, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        // elitism must fit inside one island
+        let c = GaConfig { islands: 4, population_size: 8, elitism: 2, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GaConfig { islands: 2, migration_interval: 0, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        // emigrants must leave at least one resident per island
+        let c = GaConfig { islands: 2, population_size: 8, emigrants: 4, ..GaConfig::default() };
+        assert!(c.validate().is_err());
+        // all island knobs are inert at islands == 1
+        let c = GaConfig { islands: 1, migration_interval: 0, emigrants: 10_000, ..GaConfig::default() };
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn signature_island_knobs() {
+        let base = GaConfig::default();
+        // islands == 1 keeps the pre-island signature regardless of the
+        // (inert) migration knobs, so existing cache keys stay valid.
+        let one = GaConfig { islands: 1, migration_interval: 99, emigrants: 7, ..base.clone() };
+        assert_eq!(base.signature(), one.signature());
+        // K > 1 changes results, so it must change the signature...
+        let four = GaConfig { islands: 4, ..base.clone() };
+        assert_ne!(base.signature(), four.signature());
+        // ...and so do the migration knobs once islands are on.
+        let faster = GaConfig { migration_interval: 5, ..four.clone() };
+        assert_ne!(four.signature(), faster.signature());
+        let heavier = GaConfig { emigrants: 5, ..four.clone() };
+        assert_ne!(four.signature(), heavier.signature());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use rand::Rng;
 
+use crate::arena::{PopulationArena, Provenance};
 use crate::config::CrossoverKind;
 use crate::genome::Genome;
 use crate::individual::Evaluated;
@@ -41,6 +42,125 @@ impl CrossoverOutcome {
     }
 }
 
+/// All RNG decisions of one crossover attempt, separated from child
+/// construction so children can be materialized either as [`Genome`]s or
+/// directly into a [`PopulationArena`] without touching the draw sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossoverPlan {
+    /// Single-cut splice: child1 = `a[..c1] ++ b[c2..]`, child2 =
+    /// `b[..c2] ++ a[c1..]`. `fallback` marks mixed crossover's random-cut
+    /// fallback (no matching state was found).
+    Splice {
+        /// Cut on parent `a`.
+        c1: usize,
+        /// Cut on parent `b`.
+        c2: usize,
+        /// True when mixed crossover fell back to a random second cut.
+        fallback: bool,
+    },
+    /// Two-point swap of `a[a1..a2]` with `b[b1..b2]`.
+    TwoPoint {
+        /// First cut on parent `a`.
+        a1: usize,
+        /// Second cut on parent `a`.
+        a2: usize,
+        /// First cut on parent `b`.
+        b1: usize,
+        /// Second cut on parent `b`.
+        b2: usize,
+    },
+    /// No matching cut point existed (state-aware only); parents pass
+    /// through unchanged.
+    Unchanged,
+}
+
+impl CrossoverPlan {
+    /// Each child's unchanged-prefix length (`None` for [`CrossoverPlan::Unchanged`]).
+    pub fn cuts(&self) -> Option<(usize, usize)> {
+        match *self {
+            CrossoverPlan::Splice { c1, c2, .. } => Some((c1, c2)),
+            // Only the flanks before the first cut of each parent survive
+            // unchanged in the corresponding child.
+            CrossoverPlan::TwoPoint { a1, b1, .. } => Some((a1, b1)),
+            CrossoverPlan::Unchanged => None,
+        }
+    }
+
+    /// Append this plan's two children (or the unchanged parents) to
+    /// `arena`, recording prefix-reuse provenance against parent indices
+    /// `pa` / `pb` in the evaluated parent generation.
+    pub fn materialize_into<S>(
+        &self,
+        arena: &mut PopulationArena,
+        a: &Evaluated<S>,
+        pa: usize,
+        b: &Evaluated<S>,
+        pb: usize,
+        max_len: usize,
+    ) {
+        let (ga, gb) = (a.genome.genes(), b.genome.genes());
+        match *self {
+            CrossoverPlan::Splice { c1, c2, .. } => {
+                arena.push_splice(ga, c1, gb, c2, max_len, Provenance::prefix(pa, c1));
+                arena.push_splice(gb, c2, ga, c1, max_len, Provenance::prefix(pb, c2));
+            }
+            CrossoverPlan::TwoPoint { a1, a2, b1, b2 } => {
+                arena.push_concat3(&ga[..a1], &gb[b1..b2], &ga[a2..], max_len, Provenance::prefix(pa, a1));
+                arena.push_concat3(&gb[..b1], &ga[a1..a2], &gb[b2..], max_len, Provenance::prefix(pb, b1));
+            }
+            CrossoverPlan::Unchanged => {
+                arena.push(ga, Provenance::full(pa));
+                arena.push(gb, Provenance::full(pb));
+            }
+        }
+    }
+}
+
+/// Draw the RNG decisions for one crossover of `kind` between evaluated
+/// parents `a` and `b`. Consumes exactly the draws [`crossover`] consumes.
+pub fn crossover_plan<R: Rng + ?Sized, S>(
+    rng: &mut R,
+    kind: CrossoverKind,
+    a: &Evaluated<S>,
+    b: &Evaluated<S>,
+) -> CrossoverPlan {
+    match kind {
+        CrossoverKind::Random => {
+            let c1 = rng.gen_range(0..=a.genome.len());
+            let c2 = rng.gen_range(0..=b.genome.len());
+            CrossoverPlan::Splice { c1, c2, fallback: false }
+        }
+        CrossoverKind::StateAware => {
+            // Cut points must lie in the decoded region: match keys identify
+            // decode states, which only exist for decoded loci.
+            let c1 = rng.gen_range(0..=a.decoded_len);
+            match matching_cut(rng, a.match_keys[c1], b) {
+                Some(c2) => CrossoverPlan::Splice { c1, c2, fallback: false },
+                None => CrossoverPlan::Unchanged,
+            }
+        }
+        CrossoverKind::Mixed => {
+            // "We randomly select the first crossover point and check if
+            // state-aware crossover can be performed. … Otherwise, we
+            // randomly select the second crossover point and carry out a
+            // random crossover."
+            let c1 = rng.gen_range(0..=a.decoded_len);
+            match matching_cut(rng, a.match_keys[c1], b) {
+                Some(c2) => CrossoverPlan::Splice { c1, c2, fallback: false },
+                None => {
+                    let c2 = rng.gen_range(0..=b.genome.len());
+                    CrossoverPlan::Splice { c1, c2, fallback: true }
+                }
+            }
+        }
+        CrossoverKind::TwoPoint => {
+            let (a1, a2) = sorted_pair(rng, a.genome.len());
+            let (b1, b2) = sorted_pair(rng, b.genome.len());
+            CrossoverPlan::TwoPoint { a1, a2, b1, b2 }
+        }
+    }
+}
+
 /// Apply crossover `kind` to two evaluated parents, producing children
 /// truncated to `max_len`.
 pub fn crossover<R: Rng + ?Sized, S>(
@@ -60,8 +180,9 @@ pub fn crossover<R: Rng + ?Sized, S>(
 /// `None` accompanies [`CrossoverOutcome::Unchanged`] (the parents pass
 /// through whole, so their entire decode is reusable).
 ///
-/// The RNG draw sequence is identical to [`crossover`]'s by construction —
-/// `crossover` is this function minus the cut report.
+/// The RNG draw sequence is identical to [`crossover`]'s and
+/// [`crossover_plan`]'s by construction — all draws happen in the plan,
+/// materialization here is draw-free.
 pub fn crossover_with_cuts<R: Rng + ?Sized, S>(
     rng: &mut R,
     kind: CrossoverKind,
@@ -69,42 +190,14 @@ pub fn crossover_with_cuts<R: Rng + ?Sized, S>(
     b: &Evaluated<S>,
     max_len: usize,
 ) -> (CrossoverOutcome, Option<(usize, usize)>) {
-    match kind {
-        CrossoverKind::Random => {
-            let c1 = rng.gen_range(0..=a.genome.len());
-            let c2 = rng.gen_range(0..=b.genome.len());
-            (children(a, c1, b, c2, max_len), Some((c1, c2)))
-        }
-        CrossoverKind::StateAware => {
-            // Cut points must lie in the decoded region: match keys identify
-            // decode states, which only exist for decoded loci.
-            let c1 = rng.gen_range(0..=a.decoded_len);
-            match matching_cut(rng, a.match_keys[c1], b) {
-                Some(c2) => (children(a, c1, b, c2, max_len), Some((c1, c2))),
-                None => (CrossoverOutcome::Unchanged, None),
-            }
-        }
-        CrossoverKind::Mixed => {
-            // "We randomly select the first crossover point and check if
-            // state-aware crossover can be performed. … Otherwise, we
-            // randomly select the second crossover point and carry out a
-            // random crossover."
-            let c1 = rng.gen_range(0..=a.decoded_len);
-            match matching_cut(rng, a.match_keys[c1], b) {
-                Some(c2) => (children(a, c1, b, c2, max_len), Some((c1, c2))),
-                None => {
-                    let c2 = rng.gen_range(0..=b.genome.len());
-                    let outcome = match children(a, c1, b, c2, max_len) {
-                        CrossoverOutcome::Children(g1, g2) => CrossoverOutcome::FallbackChildren(g1, g2),
-                        other => other,
-                    };
-                    (outcome, Some((c1, c2)))
-                }
-            }
-        }
-        CrossoverKind::TwoPoint => {
-            let (a1, a2) = sorted_pair(rng, a.genome.len());
-            let (b1, b2) = sorted_pair(rng, b.genome.len());
+    let plan = crossover_plan(rng, kind, a, b);
+    let cuts = plan.cuts();
+    let outcome = match plan {
+        CrossoverPlan::Splice { c1, c2, fallback } => match children(a, c1, b, c2, max_len) {
+            CrossoverOutcome::Children(g1, g2) if fallback => CrossoverOutcome::FallbackChildren(g1, g2),
+            other => other,
+        },
+        CrossoverPlan::TwoPoint { a1, a2, b1, b2 } => {
             let mid_a = &a.genome.genes()[a1..a2];
             let mid_b = &b.genome.genes()[b1..b2];
             let mut g1 = Vec::with_capacity(a.genome.len() - mid_a.len() + mid_b.len());
@@ -117,11 +210,11 @@ pub fn crossover_with_cuts<R: Rng + ?Sized, S>(
             g2.extend_from_slice(mid_a);
             g2.extend_from_slice(&b.genome.genes()[b2..]);
             g2.truncate(max_len);
-            // Only the flanks before the first cut of each parent survive
-            // unchanged in the corresponding child.
-            (CrossoverOutcome::Children(Genome::from_genes(g1), Genome::from_genes(g2)), Some((a1, b1)))
+            CrossoverOutcome::Children(Genome::from_genes(g1), Genome::from_genes(g2))
         }
-    }
+        CrossoverPlan::Unchanged => CrossoverOutcome::Unchanged,
+    };
+    (outcome, cuts)
 }
 
 fn children<S>(a: &Evaluated<S>, c1: usize, b: &Evaluated<S>, c2: usize, max_len: usize) -> CrossoverOutcome {
@@ -168,6 +261,7 @@ mod tests {
             genome: Genome::from_genes(genes),
             ops: vec![],
             match_keys: keys,
+            step_goals: vec![],
             final_state: (),
             decoded_len,
             best_prefix_at: 0,
@@ -341,6 +435,43 @@ mod tests {
                 assert_eq!(plain, cut, "{kind:?} diverged");
             }
             // streams still aligned afterwards
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn arena_materialization_matches_genome_path() {
+        let a = ind(vec![0.11, 0.12, 0.13, 0.14, 0.15], vec![1, 2, 7, 4, 9, 5]);
+        let b = ind(vec![0.91, 0.92, 0.93, 0.94], vec![5, 7, 6, 9, 8]);
+        for kind in [CrossoverKind::Random, CrossoverKind::StateAware, CrossoverKind::Mixed, CrossoverKind::TwoPoint] {
+            let mut r1 = StdRng::seed_from_u64(17);
+            let mut r2 = StdRng::seed_from_u64(17);
+            for max_len in [3usize, 7, 100] {
+                for _ in 0..50 {
+                    let (outcome, cuts) = crossover_with_cuts(&mut r1, kind, &a, &b, max_len);
+                    let plan = crossover_plan(&mut r2, kind, &a, &b);
+                    assert_eq!(plan.cuts(), cuts, "{kind:?}");
+                    let mut arena = PopulationArena::new();
+                    plan.materialize_into(&mut arena, &a, 3, &b, 5, max_len);
+                    assert_eq!(arena.len(), 2);
+                    match outcome.into_children() {
+                        Some((c1, c2)) => {
+                            assert_eq!(arena.genes(0), c1.genes(), "{kind:?} child1 max {max_len}");
+                            assert_eq!(arena.genes(1), c2.genes(), "{kind:?} child2 max {max_len}");
+                            let (p1, p2) = cuts.unwrap();
+                            assert_eq!(arena.prov(0), Provenance::prefix(3, p1));
+                            assert_eq!(arena.prov(1), Provenance::prefix(5, p2));
+                        }
+                        None => {
+                            assert_eq!(arena.genes(0), a.genome.genes());
+                            assert_eq!(arena.genes(1), b.genome.genes());
+                            assert_eq!(arena.prov(0), Provenance::full(3));
+                            assert_eq!(arena.prov(1), Provenance::full(5));
+                        }
+                    }
+                }
+            }
+            // plan and materialized paths consumed identical draw sequences
             assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
         }
     }

@@ -27,7 +27,7 @@ use crate::Fitness;
 /// match-key hash — and resumes ordinary decoding at the first changed locus.
 ///
 /// Invariants (upheld by construction, checked in tests):
-/// * `ops.len() == keys.len()`, one entry per replayed gene;
+/// * `ops.len() == keys.len() == goals.len()`, one entry per replayed gene;
 /// * the hint covers at most the donor's `decoded_len` (genes the donor never
 ///   decoded — past a goal truncation or dead end — are not replayable);
 /// * a hint is only attached to a child sharing the donor's start state and
@@ -36,16 +36,19 @@ use crate::Fitness;
 pub struct PrefixHint {
     ops: Vec<OpId>,
     keys: Vec<u64>,
+    goals: Vec<f64>,
 }
 
 impl PrefixHint {
     /// Checkpoint of the first `prefix_genes` genes of a donor individual,
-    /// given the donor's decode outputs. Capped at the donor's decoded
-    /// length: genes the donor never decoded cannot be replayed.
-    pub fn new(donor_ops: &[OpId], donor_keys: &[u64], prefix_genes: usize) -> PrefixHint {
-        let k = prefix_genes.min(donor_ops.len());
+    /// given the donor's decode outputs (including its per-step goal memo,
+    /// so replay never re-computes goal fitness). Capped at the donor's
+    /// decoded length: genes the donor never decoded cannot be replayed.
+    pub fn new(donor_ops: &[OpId], donor_keys: &[u64], donor_goals: &[f64], prefix_genes: usize) -> PrefixHint {
+        let k = prefix_genes.min(donor_ops.len()).min(donor_goals.len());
         debug_assert!(donor_keys.len() > donor_ops.len(), "match_keys must have decoded_len + 1 entries");
-        PrefixHint { ops: donor_ops[..k].to_vec(), keys: donor_keys[..k].to_vec() }
+        debug_assert_eq!(donor_goals.len(), donor_ops.len(), "step_goals must have one entry per op");
+        PrefixHint { ops: donor_ops[..k].to_vec(), keys: donor_keys[..k].to_vec(), goals: donor_goals[..k].to_vec() }
     }
 
     /// Number of replayable genes.
@@ -63,6 +66,50 @@ impl PrefixHint {
     pub fn truncate(&mut self, prefix_genes: usize) {
         self.ops.truncate(prefix_genes);
         self.keys.truncate(prefix_genes);
+        self.goals.truncate(prefix_genes);
+    }
+
+    /// Borrow this hint as a [`PrefixRef`].
+    pub fn as_ref(&self) -> PrefixRef<'_> {
+        PrefixRef { ops: &self.ops, keys: &self.keys, goals: &self.goals }
+    }
+}
+
+/// A borrowed [`PrefixHint`]: the same replayable `(ops, keys)` prefix, but
+/// sliced straight out of the donor's `Evaluated` instead of cloned into
+/// owned vectors. The arena-backed engine resolves each child's provenance
+/// `(parent index, prefix length)` to a `PrefixRef` at evaluation time, so
+/// breeding allocates nothing for hints.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixRef<'a> {
+    ops: &'a [OpId],
+    keys: &'a [u64],
+    goals: &'a [f64],
+}
+
+impl<'a> PrefixRef<'a> {
+    /// Borrow the first `prefix_genes` genes of a donor's decode outputs,
+    /// capped at the donor's decoded length exactly like [`PrefixHint::new`].
+    pub fn new(
+        donor_ops: &'a [OpId],
+        donor_keys: &'a [u64],
+        donor_goals: &'a [f64],
+        prefix_genes: usize,
+    ) -> PrefixRef<'a> {
+        let k = prefix_genes.min(donor_ops.len()).min(donor_goals.len());
+        debug_assert!(donor_keys.len() > donor_ops.len(), "match_keys must have decoded_len + 1 entries");
+        debug_assert_eq!(donor_goals.len(), donor_ops.len(), "step_goals must have one entry per op");
+        PrefixRef { ops: &donor_ops[..k], keys: &donor_keys[..k], goals: &donor_goals[..k] }
+    }
+
+    /// Number of replayable genes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the hint replays nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
     }
 }
 
@@ -75,6 +122,11 @@ pub struct Decoded<S> {
     /// *before* gene `i`; the final entry identifies the final state. Used
     /// by state-aware crossover (two loci match iff their keys are equal).
     pub match_keys: Vec<u64>,
+    /// Goal fitness after each decoded op (`step_goals[i]` is the goal of
+    /// the state reached by `ops[..=i]`). A memo for prefix replay: a child
+    /// sharing this decode's prefix reads these values instead of
+    /// re-computing (or re-hashing) goal fitness along the prefix.
+    pub step_goals: Vec<f64>,
     /// The state after applying every decoded operation.
     pub final_state: S,
     /// Total cost of the decoded operations.
@@ -115,6 +167,12 @@ pub struct Decoder {
     l1_of: usize,
     /// L1 hits not yet credited to the shared cache's counters.
     l1_hits: u64,
+    /// Recycled output buffers (see [`Decoder::recycle`]): capacity handed
+    /// back by a caller done with a `Decoded`, refilled by the next decode
+    /// instead of fresh allocations.
+    spare_ops: Vec<OpId>,
+    spare_keys: Vec<u64>,
+    spare_goals: Vec<f64>,
     /// Signature of the state about to be probed, pre-computed by
     /// [`Decoder::goal_of`] so the decode loop hashes each state once, not
     /// twice (once for the goal lookup, once for the successor probe).
@@ -152,6 +210,17 @@ impl Decoder {
         Decoder::default()
     }
 
+    /// Hand a spent [`Decoded`] back to the decoder. Its output vectors
+    /// become the scratch the next decode refills (cleared first), so a
+    /// worker that decodes in a loop and discards or strips each result pays
+    /// for its output allocations once, not per individual. Purely an
+    /// allocation recycler — decode results are unaffected.
+    pub fn recycle<S>(&mut self, decoded: Decoded<S>) {
+        self.spare_ops = decoded.ops;
+        self.spare_keys = decoded.match_keys;
+        self.spare_goals = decoded.step_goals;
+    }
+
     /// Decode `genome` against `domain`, starting from `start`.
     ///
     /// * `truncate_at_goal`: stop decoding at the first goal state reached
@@ -185,14 +254,48 @@ impl Decoder {
         cache: Option<&SuccessorCache<D::State>>,
         hint: Option<&PrefixHint>,
     ) -> Decoded<D::State> {
-        let genes = genome.genes();
+        self.decode_ref(
+            domain,
+            start,
+            genome.genes(),
+            truncate_at_goal,
+            match_mode,
+            cache,
+            hint.map(PrefixHint::as_ref),
+        )
+    }
+
+    /// [`Decoder::decode_with`] over a raw gene slice and a borrowed hint —
+    /// the arena-backed engine path. Bitwise-identical results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_ref<D: Domain>(
+        &mut self,
+        domain: &D,
+        start: &D::State,
+        genes: &[f64],
+        truncate_at_goal: bool,
+        match_mode: StateMatchMode,
+        cache: Option<&SuccessorCache<D::State>>,
+        hint: Option<PrefixRef<'_>>,
+    ) -> Decoded<D::State> {
         self.pending_sig = None;
         if let Some(cache) = cache {
             self.ensure_l1(domain, cache);
         }
-        let mut ops = Vec::with_capacity(genes.len());
-        let mut match_keys = Vec::with_capacity(genes.len() + 1);
+        let mut ops = std::mem::take(&mut self.spare_ops);
+        ops.clear();
+        ops.reserve(genes.len());
+        let mut match_keys = std::mem::take(&mut self.spare_keys);
+        match_keys.clear();
+        match_keys.reserve(genes.len() + 1);
+        let mut step_goals = std::mem::take(&mut self.spare_goals);
+        step_goals.clear();
+        step_goals.reserve(genes.len());
         let mut state = start.clone();
+        // Ping-pong buffer: `apply_into` writes the successor here, then the
+        // buffers swap. States are never allocated per step — domains that
+        // override `apply_into` reuse the buffer's storage.
+        let mut next = start.clone();
         let mut cost = 0.0;
         let mut best_prefix_goal =
             if cache.is_some() { self.goal_of(domain, &state) } else { domain.goal_fitness(&state) };
@@ -201,30 +304,62 @@ impl Decoder {
         let mut reached_goal = best_prefix_goal >= 1.0;
 
         // Replay the unchanged prefix: the donor decoded these exact genes
-        // from this exact start, so its ops and match keys are this decode's
-        // ops and match keys. Costs, goal fitness and break conditions are
-        // re-accumulated in the same order as a full decode (bitwise
-        // determinism); only `valid_operations` and the key hashing are
-        // skipped. Dead ends cannot occur inside the prefix — the donor
-        // decoded an op at each of these states, so none was a dead end.
+        // from this exact start, so its ops, match keys and step goals are
+        // this decode's ops, match keys and step goals — copied over
+        // verbatim. `valid_operations`, key hashing and goal evaluation are
+        // all skipped; only the state evolution (one `apply_into` per op)
+        // and the float cost accumulation are re-run, in the original order
+        // (bitwise determinism). Dead ends cannot occur inside the prefix —
+        // the donor decoded an op at each of these states, so none was a
+        // dead end.
         if let Some(hint) = hint {
-            for (&op, &key) in hint.ops.iter().zip(&hint.keys).take(genes.len()) {
-                if truncate_at_goal && reached_goal {
-                    break;
+            // Pass 1, over the memoized goals only: how far the replay runs
+            // (the donor may have decoded past a goal state this decode must
+            // truncate at), the best-prefix argmax, and goal attainment —
+            // all without touching any state.
+            let avail = hint.ops.len().min(genes.len());
+            let mut k = avail;
+            if truncate_at_goal && reached_goal {
+                k = 0;
+            } else if truncate_at_goal {
+                if let Some(i) = hint.goals[..avail].iter().position(|&g| g >= 1.0) {
+                    k = i + 1;
                 }
-                match_keys.push(key);
-                cost += domain.op_cost(op);
-                state = domain.apply(&state, op);
-                ops.push(op);
-                let g = if cache.is_some() { self.goal_of(domain, &state) } else { domain.goal_fitness(&state) };
+            }
+            let goals = &hint.goals[..k];
+            for (i, &g) in goals.iter().enumerate() {
                 if g > best_prefix_goal {
                     best_prefix_goal = g;
-                    best_prefix_at = ops.len();
-                    best_prefix_state = state.clone();
+                    best_prefix_at = i + 1;
                 }
-                if !reached_goal && g >= 1.0 {
-                    reached_goal = true;
+            }
+            if !reached_goal && goals.iter().any(|&g| g >= 1.0) {
+                reached_goal = true;
+            }
+            // Pass 2: evolve the state through the replayed ops, capturing
+            // the best-prefix state as it goes by.
+            for (i, &op) in hint.ops[..k].iter().enumerate() {
+                cost += domain.op_cost(op);
+                domain.apply_into(&state, op, &mut next);
+                std::mem::swap(&mut state, &mut next);
+                debug_assert_eq!(
+                    hint.goals[i].to_bits(),
+                    domain.goal_fitness(&state).to_bits(),
+                    "stale memoized step goal"
+                );
+                if i + 1 == best_prefix_at {
+                    best_prefix_state.clone_from(&state);
                 }
+            }
+            // Pass 3: bulk-copy the donor's outputs for the replayed genes.
+            ops.extend_from_slice(&hint.ops[..k]);
+            match_keys.extend_from_slice(&hint.keys[..k]);
+            step_goals.extend_from_slice(goals);
+            // The goal probe before the replay stashed the *start* state's
+            // signature for the next pick; if the replay moved the state,
+            // that memo is stale and the next probe must re-hash.
+            if k > 0 {
+                self.pending_sig = None;
             }
         }
 
@@ -235,13 +370,17 @@ impl Decoder {
             // One cache probe yields the valid-op list *and* this state's
             // match key (the signature it was keyed by, or the memoized
             // valid-op-set hash); the uncached path enumerates and hashes.
-            let key = match cache {
+            // `None` for the op means a dead-end state: the paper's domains
+            // always have valid operations, but STRIPS/grid domains may not.
+            // Remaining genes are ignored.
+            let (key, op) = match cache {
                 Some(cache) => {
-                    let (sig, ops_key) = self.probe(domain, &state, cache);
-                    match match_mode {
+                    let (sig, ops_key, op) = self.pick(domain, &state, cache, gene);
+                    let key = match match_mode {
                         StateMatchMode::ExactState => sig,
                         StateMatchMode::ValidOpSet => ops_key,
-                    }
+                    };
+                    (key, op)
                 }
                 None => {
                     self.scratch.clear();
@@ -249,25 +388,24 @@ impl Decoder {
                     if self.scratch.is_empty() {
                         break;
                     }
-                    self.match_key(domain, &state, match_mode)
+                    let key = self.match_key(domain, &state, match_mode);
+                    (key, Some(self.scratch[gene_to_index(gene, self.scratch.len())]))
                 }
             };
-            if self.scratch.is_empty() {
-                // dead-end state: the paper's domains always have valid
-                // operations, but STRIPS/grid domains may not. Remaining
-                // genes are ignored.
+            let Some(op) = op else {
                 break;
-            }
+            };
             match_keys.push(key);
-            let op = self.scratch[gene_to_index(gene, self.scratch.len())];
             cost += domain.op_cost(op);
-            state = domain.apply(&state, op);
+            domain.apply_into(&state, op, &mut next);
+            std::mem::swap(&mut state, &mut next);
             ops.push(op);
             let g = if cache.is_some() { self.goal_of(domain, &state) } else { domain.goal_fitness(&state) };
+            step_goals.push(g);
             if g > best_prefix_goal {
                 best_prefix_goal = g;
                 best_prefix_at = ops.len();
-                best_prefix_state = state.clone();
+                best_prefix_state.clone_from(&state);
             }
             if !reached_goal && g >= 1.0 {
                 reached_goal = true;
@@ -293,6 +431,7 @@ impl Decoder {
             decoded_len: ops.len(),
             ops,
             match_keys,
+            step_goals,
             final_state: state,
             cost,
             reached_goal,
@@ -318,9 +457,10 @@ impl Decoder {
         }
     }
 
-    /// Probe the L1 front cache, falling back to the shared cache. Fills
-    /// `self.scratch` with the state's valid operations and returns
-    /// `(state_signature, memoized ValidOpSet key)`.
+    /// Probe the L1 front cache for the state's match keys, falling back to
+    /// the shared cache. Returns `(state_signature, memoized ValidOpSet
+    /// key)`. On an L1 hit nothing is copied; on a miss the shared cache
+    /// fills `self.scratch` as a side effect.
     fn probe<D: Domain>(&mut self, domain: &D, state: &D::State, cache: &SuccessorCache<D::State>) -> (u64, u64) {
         let sig = match self.pending_sig.take() {
             Some(sig) => sig,
@@ -333,8 +473,6 @@ impl Decoder {
         let slot = sig as usize % L1_SLOTS;
         if let Some(e) = &self.l1[slot] {
             if e.sig == sig {
-                self.scratch.clear();
-                self.scratch.extend_from_slice(&e.ops);
                 self.l1_hits += 1;
                 return (sig, e.key);
             }
@@ -342,6 +480,38 @@ impl Decoder {
         let key = cache.successors(domain, state, sig, &mut self.scratch);
         self.l1[slot] = Some(L1Entry { sig, key, ops: self.scratch.clone(), goal: None });
         (sig, key)
+    }
+
+    /// [`Decoder::probe`] fused with the gene→op pick: on an L1 hit the op
+    /// is read straight out of the resident entry — no copy of the valid-op
+    /// list into scratch (the former per-step cost of the cached decode
+    /// loop). Returns `(state_signature, ValidOpSet key, op)`; `op` is
+    /// `None` at a dead-end state.
+    fn pick<D: Domain>(
+        &mut self,
+        domain: &D,
+        state: &D::State,
+        cache: &SuccessorCache<D::State>,
+        gene: f64,
+    ) -> (u64, u64, Option<OpId>) {
+        let sig = match self.pending_sig.take() {
+            Some(sig) => sig,
+            None => domain.state_signature(state),
+        };
+        debug_assert_eq!(sig, domain.state_signature(state), "stale pending signature");
+        let slot = sig as usize % L1_SLOTS;
+        if let Some(e) = &self.l1[slot] {
+            if e.sig == sig {
+                self.l1_hits += 1;
+                let op = if e.ops.is_empty() { None } else { Some(e.ops[gene_to_index(gene, e.ops.len())]) };
+                return (sig, e.key, op);
+            }
+        }
+        let key = cache.successors(domain, state, sig, &mut self.scratch);
+        let op =
+            if self.scratch.is_empty() { None } else { Some(self.scratch[gene_to_index(gene, self.scratch.len())]) };
+        self.l1[slot] = Some(L1Entry { sig, key, ops: self.scratch.clone(), goal: None });
+        (sig, key, op)
     }
 
     /// Goal fitness of `state`, memoized in the L1 alongside the state's
@@ -403,6 +573,27 @@ impl Decoder {
         hint: Option<&PrefixHint>,
     ) -> (Decoded<D::State>, Fitness) {
         let decoded = self.decode_with(domain, start, genome, cfg.truncate_at_goal, cfg.state_match, cache, hint);
+        let goal = match cfg.goal_eval {
+            GoalEval::FinalState => domain.goal_fitness(&decoded.final_state),
+            GoalEval::BestPrefix => decoded.best_prefix_goal,
+        };
+        let fitness =
+            Fitness::compute(goal, decoded.ops.len(), decoded.cost, cfg.weights, cfg.cost_fitness, cfg.max_len);
+        (decoded, fitness)
+    }
+
+    /// [`Decoder::evaluate_with`] over a raw gene slice and a borrowed hint —
+    /// the arena-backed evaluation path. Bitwise-identical results.
+    pub fn evaluate_ref<D: Domain>(
+        &mut self,
+        domain: &D,
+        start: &D::State,
+        genes: &[f64],
+        cfg: &crate::GaConfig,
+        cache: Option<&SuccessorCache<D::State>>,
+        hint: Option<PrefixRef<'_>>,
+    ) -> (Decoded<D::State>, Fitness) {
+        let decoded = self.decode_ref(domain, start, genes, cfg.truncate_at_goal, cfg.state_match, cache, hint);
         let goal = match cfg.goal_eval {
             GoalEval::FinalState => domain.goal_fitness(&decoded.final_state),
             GoalEval::BestPrefix => decoded.best_prefix_goal,
@@ -620,7 +811,7 @@ mod tests {
             let mut child_genes = donor_genes[..cut].to_vec();
             child_genes.extend([0.7, 0.05, 0.6]);
             let g = Genome::from_genes(child_genes);
-            let hint = PrefixHint::new(&donor.ops, &donor.match_keys, cut);
+            let hint = PrefixHint::new(&donor.ops, &donor.match_keys, &donor.step_goals, cut);
             assert!(hint.len() <= cut);
             let plain = Decoder::new().decode(&d, &d.initial_state(), &g, false, StateMatchMode::ValidOpSet);
             let hinted = Decoder::new().decode_with(
@@ -652,7 +843,7 @@ mod tests {
         assert_eq!(donor.decoded_len, 4);
         // A hint "covering" 6 genes is capped at the donor's 4 decoded ops;
         // replaying it against the same genome reproduces the truncation.
-        let hint = PrefixHint::new(&donor.ops, &donor.match_keys, 6);
+        let hint = PrefixHint::new(&donor.ops, &donor.match_keys, &donor.step_goals, 6);
         assert_eq!(hint.len(), 4);
         let replayed = Decoder::new().decode_with(
             &d,
@@ -677,7 +868,7 @@ mod tests {
             false,
             StateMatchMode::ExactState,
         );
-        let mut hint = PrefixHint::new(&donor.ops, &donor.match_keys, 4);
+        let mut hint = PrefixHint::new(&donor.ops, &donor.match_keys, &donor.step_goals, 4);
         hint.truncate(2);
         assert_eq!(hint.len(), 2);
         assert!(!hint.is_empty());
@@ -708,7 +899,7 @@ mod tests {
         let mut child_genes = donor_genes[..3].to_vec();
         child_genes.extend([0.99, 0.0]);
         let g = Genome::from_genes(child_genes);
-        let hint = PrefixHint::new(&donor.ops, &donor.match_keys, 3);
+        let hint = PrefixHint::new(&donor.ops, &donor.match_keys, &donor.step_goals, 3);
         let plain = Decoder::new().decode(&d, &d.initial_state(), &g, false, StateMatchMode::ValidOpSet);
         let both = Decoder::new().decode_with(
             &d,

@@ -11,14 +11,14 @@ use gaplan_obs as obs;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::arena::{PopulationArena, Provenance};
 use crate::checkpoint::PhaseSnapshot;
 use crate::config::GaConfig;
-use crate::crossover::{crossover_with_cuts, CrossoverOutcome};
-use crate::decode::PrefixHint;
+use crate::crossover::{crossover_plan, CrossoverPlan};
 use crate::genome::Genome;
 use crate::individual::Evaluated;
-use crate::mutation::{length_mutate, mutate};
-use crate::population::{evaluate_candidates, init_population, phase_rng, Candidate};
+use crate::mutation::{length_mutate_plan, mutate_slice, LengthEdit};
+use crate::population::{evaluate_arena, evaluate_candidates, init_population, island_rng, Candidate};
 use crate::seeding::{seeded_population, SeedStrategy};
 use crate::selection::select_parent;
 use crate::stats::GenStats;
@@ -141,8 +141,18 @@ impl<'d, D: Domain> Phase<'d, D> {
         };
         let cache_start = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
 
-        let mut rng;
-        let mut candidates: Vec<Candidate>;
+        // Island layout: the population is partitioned into `islands` equal
+        // blocks, each with its own RNG stream. `islands == 1` reduces to
+        // the historical single-population engine, byte for byte.
+        let islands = cfg.islands.max(1) as usize;
+        let island_pop = cfg.population_size / islands;
+
+        let mut rngs: Vec<StdRng>;
+        let mut arena: PopulationArena;
+        // Previous generation's evaluated individuals; arena provenance
+        // indexes into this. Empty for fresh or resumed populations (whose
+        // provenance is `NONE`).
+        let mut parents: Vec<Evaluated<D::State>> = Vec::new();
         let mut best: Option<Evaluated<D::State>>;
         let mut history;
         let mut first_solution_gen;
@@ -153,9 +163,12 @@ impl<'d, D: Domain> Phase<'d, D> {
                 snap.validate().expect("invalid phase snapshot");
                 assert_eq!(snap.phase_index, self.phase_index, "snapshot belongs to another phase");
                 assert!(snap.next_gen < cfg.generations_per_phase, "snapshot next_gen {} out of range", snap.next_gen);
-                rng = StdRng::from_state(snap.rng_state());
-                candidates =
-                    snap.genomes.iter().map(|genes| Candidate::fresh(Genome::from_genes(genes.clone()))).collect();
+                assert_eq!(snap.islands(), cfg.islands, "snapshot island count mismatch");
+                rngs = snap.rng_states().into_iter().map(StdRng::from_state).collect();
+                arena = PopulationArena::with_capacity(snap.genomes.len(), snap.genomes.iter().map(Vec::len).sum());
+                for genes in &snap.genomes {
+                    arena.push(genes, Provenance::NONE);
+                }
                 // Rebuild the best-so-far individual by re-evaluating its
                 // genome: decoding is deterministic and RNG-free, so the
                 // result is identical to the pre-crash individual.
@@ -174,16 +187,21 @@ impl<'d, D: Domain> Phase<'d, D> {
                 start_gen = snap.next_gen;
             }
             None => {
-                rng = phase_rng(cfg, self.phase_index);
-                candidates = match &self.seeder {
-                    Some((strategy, fraction)) => {
-                        seeded_population(self.domain, &self.start, cfg, strategy, *fraction, &mut rng)
+                rngs = (0..cfg.islands.max(1)).map(|i| island_rng(cfg, self.phase_index, i)).collect();
+                arena = PopulationArena::new();
+                let mut icfg = cfg.clone();
+                icfg.population_size = island_pop;
+                for rng in &mut rngs {
+                    let genomes = match &self.seeder {
+                        Some((strategy, fraction)) => {
+                            seeded_population(self.domain, &self.start, &icfg, strategy, *fraction, rng)
+                        }
+                        None => init_population(rng, &icfg),
+                    };
+                    for g in &genomes {
+                        arena.push(g.genes(), Provenance::NONE);
                     }
-                    None => init_population(&mut rng, cfg),
                 }
-                .into_iter()
-                .map(Candidate::fresh)
-                .collect();
                 best = None;
                 history = Vec::with_capacity(cfg.generations_per_phase as usize);
                 first_solution_gen = None;
@@ -214,8 +232,8 @@ impl<'d, D: Domain> Phase<'d, D> {
                 sink(PhaseSnapshot {
                     phase_index: self.phase_index,
                     next_gen: gen,
-                    rng: rng.state().to_vec(),
-                    genomes: candidates.iter().map(|c| c.genome.genes().to_vec()).collect(),
+                    rng: rngs.iter().flat_map(|r| r.state().to_vec()).collect(),
+                    genomes: arena.iter().map(|g| g.to_vec()).collect(),
                     best: best
                         .as_ref()
                         .expect("gen > start_gen implies an evaluated generation")
@@ -224,6 +242,7 @@ impl<'d, D: Domain> Phase<'d, D> {
                         .to_vec(),
                     history: history.clone(),
                     first_solution_gen,
+                    islands: Some(cfg.islands),
                 });
             }
 
@@ -231,7 +250,7 @@ impl<'d, D: Domain> Phase<'d, D> {
             // trace subscriber is installed: eval wall time is telemetry,
             // and the disabled path must stay free of syscalls.
             let eval_started = if obs::enabled() { Some(Instant::now()) } else { None };
-            let evaluated = evaluate_candidates(self.domain, &self.start, candidates, cfg, cache.as_deref());
+            let mut evaluated = evaluate_arena(self.domain, &self.start, &arena, &parents, cfg, cache.as_deref());
             let eval_wall_ns = eval_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
             generations_executed = gen + 1;
 
@@ -269,101 +288,59 @@ impl<'d, D: Domain> Phase<'d, D> {
                 break;
             }
 
-            // (ii) select individuals for the next generation
-            let fitnesses: Vec<f64> = evaluated.iter().map(|e| e.fitness.total).collect();
-            let parents: Vec<usize> =
-                (0..cfg.population_size).map(|_| select_parent(&mut rng, &fitnesses, cfg.selection)).collect();
-
-            // (iii) crossover and mutation; children replace their parents.
-            // Outcomes are tallied per generation so the trace exposes how
-            // often the state-aware mechanism actually fires vs. falls back.
-            let (mut xo_children, mut xo_fallback, mut xo_unchanged, mut xo_skipped) = (0u64, 0u64, 0u64, 0u64);
-            let mut next: Vec<Candidate> = Vec::with_capacity(cfg.population_size);
-            // Every child's decode checkpoint: crossover children reuse the
-            // donor parent's decode up to their cut; pass-through individuals
-            // reuse the parent's entire decode.
-            let full_hint = |e: &Evaluated<D::State>| Some(PrefixHint::new(&e.ops, &e.match_keys, e.ops.len()));
-            let cut_hint = |e: &Evaluated<D::State>, cut: usize| Some(PrefixHint::new(&e.ops, &e.match_keys, cut));
-            let mut i = 0;
-            while i + 1 < parents.len() {
-                let (pa, pb) = (&evaluated[parents[i]], &evaluated[parents[i + 1]]);
-                if rng.gen::<f64>() < cfg.crossover_rate {
-                    match crossover_with_cuts(&mut rng, cfg.crossover, pa, pb, cfg.max_len) {
-                        (CrossoverOutcome::Children(c1, c2), cuts) => {
-                            xo_children += 1;
-                            let (p1, p2) = cuts.unwrap_or((0, 0));
-                            next.push(Candidate { hint: cut_hint(pa, p1), genome: c1 });
-                            next.push(Candidate { hint: cut_hint(pb, p2), genome: c2 });
-                        }
-                        (CrossoverOutcome::FallbackChildren(c1, c2), cuts) => {
-                            // mixed crossover found no matching cut and fell
-                            // back to a random second cut
-                            xo_fallback += 1;
-                            let (p1, p2) = cuts.unwrap_or((0, 0));
-                            next.push(Candidate { hint: cut_hint(pa, p1), genome: c1 });
-                            next.push(Candidate { hint: cut_hint(pb, p2), genome: c2 });
-                        }
-                        (CrossoverOutcome::Unchanged, _) => {
-                            // state-aware found no matching cut: "both
-                            // parents are included in the population of the
-                            // next generation"
-                            xo_unchanged += 1;
-                            next.push(Candidate { hint: full_hint(pa), genome: pa.genome.clone() });
-                            next.push(Candidate { hint: full_hint(pb), genome: pb.genome.clone() });
-                        }
-                    }
-                } else {
-                    xo_skipped += 1;
-                    next.push(Candidate { hint: full_hint(pa), genome: pa.genome.clone() });
-                    next.push(Candidate { hint: full_hint(pb), genome: pb.genome.clone() });
+            // Deterministic ring migration (paper-style island model): every
+            // `migration_interval` generations the top `emigrants` of island
+            // `i` replace the worst individuals of island `i + 1`, with all
+            // ranking done against the pre-migration population and ties
+            // broken by genome bytes — zero RNG draws, so the per-island
+            // streams are untouched. The budget is re-checked immediately
+            // before committing: a deadline or cancellation that lands here
+            // stops the phase with its proper cause rather than committing a
+            // partial migration.
+            if islands > 1 && cfg.emigrants > 0 && gen > 0 && gen % cfg.migration_interval == 0 {
+                if let Some(cause) = self.budget.check() {
+                    stopped = Some(cause);
+                    break;
                 }
-                i += 2;
+                let mig_started = if obs::enabled() { Some(Instant::now()) } else { None };
+                let moved = migrate(&mut evaluated, islands, island_pop, cfg.emigrants);
+                obs::emit(|| {
+                    obs::Event::new("ga.migration")
+                        .u64("phase", self.phase_index as u64)
+                        .u64("gen", gen as u64)
+                        .u64("islands", islands as u64)
+                        .u64("emigrants", cfg.emigrants as u64)
+                        .u64("moved", moved)
+                        .u64("wall_ns", mig_started.map_or(0, |t| t.elapsed().as_nanos() as u64))
+                });
+            }
+
+            // (ii) + (iii) select, cross over, and mutate each island
+            // independently, appending children into a fresh arena. Each
+            // island draws only from its own RNG stream, so island outcomes
+            // are independent of evaluation order and of each other.
+            // Crossover outcomes are tallied across islands so the trace
+            // exposes how often the state-aware mechanism fires vs. falls
+            // back, exactly as in the single-population engine.
+            let mut next = PopulationArena::with_capacity(cfg.population_size, arena.total_genes());
+            let mut tallies = XoTallies::default();
+            for (isl, rng) in rngs.iter_mut().enumerate() {
+                let base = isl * island_pop;
+                breed_island(rng, &evaluated[base..base + island_pop], base, cfg, &mut next, &mut tallies);
             }
             obs::emit(|| {
                 obs::Event::new("ga.xover")
                     .u64("phase", self.phase_index as u64)
                     .u64("gen", gen as u64)
-                    .u64("children", xo_children)
-                    .u64("fallback", xo_fallback)
-                    .u64("unchanged", xo_unchanged)
-                    .u64("skipped", xo_skipped)
+                    .u64("children", tallies.children)
+                    .u64("fallback", tallies.fallback)
+                    .u64("unchanged", tallies.unchanged)
+                    .u64("skipped", tallies.skipped)
             });
-            if i < parents.len() {
-                let leftover = &evaluated[parents[i]];
-                next.push(Candidate { hint: full_hint(leftover), genome: leftover.genome.clone() });
-            }
-            for cand in &mut next {
-                let m = mutate(&mut rng, &mut cand.genome, cfg.mutation_rate);
-                let lm = length_mutate(&mut rng, &mut cand.genome, cfg.length_mutation_rate, cfg.max_len);
-                // The checkpoint stays valid only up to the first locus any
-                // mutation touched.
-                if let Some(first_changed) = [m, lm].into_iter().flatten().min() {
-                    if let Some(hint) = &mut cand.hint {
-                        hint.truncate(first_changed);
-                    }
-                }
-            }
-
-            // elitism: the best `elitism` individuals survive unchanged,
-            // overwriting the tail of the offspring pool
-            if cfg.elitism > 0 {
-                let mut order: Vec<usize> = (0..evaluated.len()).collect();
-                order.sort_by(|&a, &b| {
-                    evaluated[b]
-                        .fitness
-                        .total
-                        .partial_cmp(&evaluated[a].fitness.total)
-                        .expect("fitness values are never NaN")
-                });
-                let n = next.len();
-                for (slot, &idx) in order.iter().take(cfg.elitism.min(n)).enumerate() {
-                    let elite = &evaluated[idx];
-                    next[n - 1 - slot] = Candidate { hint: full_hint(elite), genome: elite.genome.clone() };
-                }
-            }
 
             // (iv) replace old with new population
-            candidates = next;
+            arena = next;
+            parents = evaluated;
         }
 
         // Cache telemetry for the phase. Emitted even with the cache off
@@ -390,6 +367,137 @@ impl<'d, D: Domain> Phase<'d, D> {
             stopped,
         }
     }
+}
+
+/// Per-generation crossover outcome tallies, summed across islands for the
+/// `ga.xover` trace event.
+#[derive(Debug, Default)]
+struct XoTallies {
+    children: u64,
+    fallback: u64,
+    unchanged: u64,
+    skipped: u64,
+}
+
+/// Breed one island's next generation into `next`, drawing only from that
+/// island's RNG: selection, crossover, mutation, then elitism — the same
+/// operator sequence (and, with one island, the same RNG draw order) as the
+/// historical single-population loop. `block` is the island's slice of the
+/// evaluated population and `base` its offset, so recorded provenance
+/// indexes the *global* parent generation.
+fn breed_island<S: Clone>(
+    rng: &mut StdRng,
+    block: &[Evaluated<S>],
+    base: usize,
+    cfg: &GaConfig,
+    next: &mut PopulationArena,
+    t: &mut XoTallies,
+) {
+    let n = block.len();
+    let block_start = next.len();
+    let fitnesses: Vec<f64> = block.iter().map(|e| e.fitness.total).collect();
+    let sel: Vec<usize> = (0..n).map(|_| select_parent(rng, &fitnesses, cfg.selection)).collect();
+    let mut i = 0;
+    while i + 1 < sel.len() {
+        let (ia, ib) = (sel[i], sel[i + 1]);
+        let (pa, pb) = (&block[ia], &block[ib]);
+        if rng.gen::<f64>() < cfg.crossover_rate {
+            let plan = crossover_plan(rng, cfg.crossover, pa, pb);
+            match plan {
+                CrossoverPlan::Splice { fallback: false, .. } | CrossoverPlan::TwoPoint { .. } => t.children += 1,
+                // mixed crossover found no matching cut and fell back to a
+                // random second cut
+                CrossoverPlan::Splice { fallback: true, .. } => t.fallback += 1,
+                // state-aware found no matching cut: "both parents are
+                // included in the population of the next generation"
+                CrossoverPlan::Unchanged => t.unchanged += 1,
+            }
+            plan.materialize_into(next, pa, base + ia, pb, base + ib, cfg.max_len);
+        } else {
+            t.skipped += 1;
+            next.push(pa.genome.genes(), Provenance::full(base + ia));
+            next.push(pb.genome.genes(), Provenance::full(base + ib));
+        }
+        i += 2;
+    }
+    if i < sel.len() {
+        next.push(block[sel[i]].genome.genes(), Provenance::full(base + sel[i]));
+    }
+    for j in block_start..next.len() {
+        let m = mutate_slice(rng, next.genes_mut(j), cfg.mutation_rate);
+        let lm = match length_mutate_plan(rng, next.genes(j).len(), cfg.length_mutation_rate, cfg.max_len) {
+            Some(LengthEdit::Insert { at, v }) => {
+                next.insert_gene(j, at, v);
+                Some(at)
+            }
+            Some(LengthEdit::Remove { at }) => {
+                next.remove_gene(j, at);
+                Some(at)
+            }
+            None => None,
+        };
+        // The prefix-reuse provenance stays valid only up to the first
+        // locus any mutation touched.
+        if let Some(first_changed) = [m, lm].into_iter().flatten().min() {
+            next.prov_mut(j).truncate(first_changed);
+        }
+    }
+
+    // elitism: the island's best `elitism` individuals survive unchanged,
+    // overwriting the tail of its offspring block
+    if cfg.elitism > 0 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            block[b].fitness.total.partial_cmp(&block[a].fitness.total).expect("fitness values are never NaN")
+        });
+        let produced = next.len() - block_start;
+        for (slot, &idx) in order.iter().take(cfg.elitism.min(produced)).enumerate() {
+            next.replace(block_start + produced - 1 - slot, block[idx].genome.genes(), Provenance::full(base + idx));
+        }
+    }
+}
+
+/// Rank an island block best-first by `(goal, total)` fitness, with a fully
+/// deterministic tie-break: genome gene bits lexicographically, then index.
+/// Migration must not depend on the incidental order of equal-fitness
+/// individuals, or island runs would stop being reproducible.
+fn ranked_indices<S>(block: &[Evaluated<S>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..block.len()).collect();
+    order.sort_by(|&x, &y| {
+        let (a, b) = (&block[x], &block[y]);
+        (b.fitness.goal, b.fitness.total)
+            .partial_cmp(&(a.fitness.goal, a.fitness.total))
+            .expect("fitness values are never NaN")
+            .then_with(|| {
+                a.genome.genes().iter().map(|g| g.to_bits()).cmp(b.genome.genes().iter().map(|g| g.to_bits()))
+            })
+            .then_with(|| x.cmp(&y))
+    });
+    order
+}
+
+/// Ring migration: clone the top `emigrants` of every island (ranked
+/// against the pre-migration population), then overwrite the worst
+/// individuals of each island's ring successor. All emigrants are captured
+/// before any island is modified, so a migration never forwards an
+/// individual that itself just migrated in. Returns the number moved.
+fn migrate<S: Clone>(pop: &mut [Evaluated<S>], islands: usize, island_pop: usize, emigrants: usize) -> u64 {
+    let ranked: Vec<Vec<usize>> =
+        (0..islands).map(|i| ranked_indices(&pop[i * island_pop..(i + 1) * island_pop])).collect();
+    let emigrant_pool: Vec<Vec<Evaluated<S>>> = (0..islands)
+        .map(|i| ranked[i][..emigrants].iter().map(|&x| pop[i * island_pop + x].clone()).collect())
+        .collect();
+    let mut moved = 0u64;
+    for (i, emis) in emigrant_pool.into_iter().enumerate() {
+        let dest = (i + 1) % islands;
+        let dest_base = dest * island_pop;
+        let worst = &ranked[dest][island_pop - emigrants..];
+        for (e, &slot) in emis.into_iter().zip(worst) {
+            pop[dest_base + slot] = e;
+            moved += 1;
+        }
+    }
+    moved
 }
 
 #[cfg(test)]
@@ -749,6 +857,195 @@ mod tests {
             "warm-start phase should mostly hit: hits {} misses {}",
             second.hits,
             second.misses
+        );
+    }
+
+    fn island_cfg() -> GaConfig {
+        let mut c = cfg();
+        c.islands = 4;
+        c.migration_interval = 5;
+        c.emigrants = 2;
+        c
+    }
+
+    fn assert_results_identical(
+        a: &PhaseResult<<StripsProblem as gaplan_core::Domain>::State>,
+        b: &PhaseResult<<StripsProblem as gaplan_core::Domain>::State>,
+        what: &str,
+    ) {
+        assert_eq!(a.best.genome, b.best.genome, "{what}: genome");
+        assert_eq!(a.best.ops, b.best.ops, "{what}: ops");
+        assert_eq!(a.best.fitness.total.to_bits(), b.best.fitness.total.to_bits(), "{what}: fitness");
+        assert_eq!(a.generations_executed, b.generations_executed, "{what}: generations");
+        assert_eq!(a.first_solution_gen, b.first_solution_gen, "{what}: first solution");
+        assert_eq!(a.history.len(), b.history.len(), "{what}: history length");
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha.best_total.to_bits(), hb.best_total.to_bits(), "{what}: history best");
+            assert_eq!(ha.mean_total.to_bits(), hb.mean_total.to_bits(), "{what}: history mean");
+        }
+    }
+
+    #[test]
+    fn island_run_is_bitwise_reproducible() {
+        let d = chain(6);
+        let a = Phase::new(&d, island_cfg()).run();
+        let b = Phase::new(&d, island_cfg()).run();
+        assert_results_identical(&a, &b, "run-to-run");
+    }
+
+    #[test]
+    fn island_run_identical_serial_and_parallel() {
+        let d = chain(6);
+        let mut par = island_cfg();
+        par.eval = EvalMode::Parallel;
+        let a = Phase::new(&d, island_cfg()).run();
+        let b = Phase::new(&d, par).run();
+        assert_results_identical(&a, &b, "serial vs parallel");
+    }
+
+    #[test]
+    fn island_run_identical_with_cache_on_and_off() {
+        let d = chain(6);
+        let mut off = island_cfg();
+        off.succ_cache = false;
+        let a = Phase::new(&d, island_cfg()).run();
+        let b = Phase::new(&d, off).run();
+        assert_results_identical(&a, &b, "cache on vs off");
+    }
+
+    #[test]
+    fn islands_diverge_from_single_population() {
+        let d = chain(6);
+        let one = Phase::new(&d, cfg()).run();
+        let four = Phase::new(&d, island_cfg()).run();
+        // different RNG streams per island: overwhelmingly likely to diverge
+        assert!(
+            one.best.genome != four.best.genome || one.first_solution_gen != four.first_solution_gen,
+            "4-island run coincided with the single-population run"
+        );
+    }
+
+    #[test]
+    fn migration_fires_on_schedule_and_is_traced() {
+        use gaplan_obs::RecordingSubscriber;
+        let d = chain(12); // hard enough that no early stop interferes
+        let mut c = island_cfg();
+        c.generations_per_phase = 18; // migrations at gens 5, 10, 15
+        let rec = Arc::new(RecordingSubscriber::default());
+        let guard = obs::install(rec.clone());
+        Phase::new(&d, c).run();
+        drop(guard);
+        let migrations: Vec<String> =
+            rec.lines().into_iter().filter(|l| l.contains(r#""ev":"ga.migration""#)).collect();
+        assert_eq!(migrations.len(), 3, "{migrations:?}");
+        for (line, gen) in migrations.iter().zip([5u32, 10, 15]) {
+            assert!(line.contains(&format!(r#""gen":{gen}"#)), "{line}");
+            assert!(line.contains(r#""islands":4"#), "{line}");
+            assert!(line.contains(r#""moved":8"#), "4 islands x 2 emigrants: {line}");
+        }
+    }
+
+    #[test]
+    fn migrate_moves_best_over_ring_and_replaces_worst() {
+        // Two islands of three; fitness identifies individuals.
+        let genome = |v: f64| Genome::from_genes(vec![v]);
+        let mut pop: Vec<Evaluated<()>> = (0..6)
+            .map(|i| {
+                let mut e = Evaluated {
+                    genome: genome(i as f64 / 10.0),
+                    ops: vec![],
+                    match_keys: vec![0],
+                    step_goals: vec![],
+                    final_state: (),
+                    decoded_len: 0,
+                    best_prefix_at: 0,
+                    best_prefix_state: (),
+                    fitness: Default::default(),
+                };
+                e.fitness.total = i as f64;
+                e
+            })
+            .collect();
+        // island 0 = fitness [0,1,2], island 1 = fitness [3,4,5]
+        let moved = migrate(&mut pop, 2, 3, 1);
+        assert_eq!(moved, 2);
+        // island 1's best (5) replaced island 0's worst (0); island 0's
+        // best (2) replaced island 1's worst (3) — ranked pre-migration.
+        let totals: Vec<f64> = pop.iter().map(|e| e.fitness.total).collect();
+        assert_eq!(totals, vec![5.0, 1.0, 2.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn mid_phase_island_snapshot_resume_is_identical() {
+        let d = chain(8);
+        let mut c = island_cfg();
+        c.generations_per_phase = 30;
+        let mut snaps: Vec<PhaseSnapshot> = Vec::new();
+        let full = Phase::new(&d, c.clone()).run_snapshotting(None, 7, &mut |s| snaps.push(s));
+        assert!(!snaps.is_empty(), "expected mid-phase snapshots");
+        let snap = snaps.last().unwrap();
+        assert_eq!(snap.islands(), 4);
+        assert_eq!(snap.rng.len(), 16, "4 islands x 4 words of RNG state");
+        let resumed = Phase::new(&d, c).run_snapshotting(Some(snap), 0, &mut |_| {});
+        assert_results_identical(&full, &resumed, "resume");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot island count mismatch")]
+    fn resume_with_wrong_island_count_panics() {
+        let d = chain(6);
+        let mut snaps: Vec<PhaseSnapshot> = Vec::new();
+        Phase::new(&d, island_cfg()).run_snapshotting(None, 7, &mut |s| snaps.push(s));
+        let mut two = island_cfg();
+        two.islands = 2;
+        Phase::new(&d, two).run_snapshotting(Some(&snaps[0]), 0, &mut |_| {});
+    }
+
+    /// Regression test for the masked-stop bug class: a cancellation that
+    /// lands *inside* a migration step (between evaluation and the ring
+    /// exchange) must surface as the phase's stop cause, and the migration
+    /// must not be committed partially (here: not at all).
+    #[test]
+    fn cancel_inside_migration_step_propagates_stop_cause() {
+        use gaplan_core::budget::{Budget, CancelToken, StopCause};
+        use std::sync::Mutex;
+
+        /// Records every event and cancels the token the moment evaluation
+        /// of `cancel_at` finishes (its `ga.gen` event) — exactly the window
+        /// in which the engine is about to migrate.
+        struct CancelOnGen {
+            token: CancelToken,
+            cancel_at: u64,
+            lines: Mutex<Vec<String>>,
+        }
+        impl obs::Subscriber for CancelOnGen {
+            fn on_event(&self, event: &obs::Event) {
+                self.lines.lock().unwrap().push(event.to_json());
+                if event.name() == "ga.gen"
+                    && event.fields().iter().any(|(k, v)| *k == "gen" && *v == obs::FieldValue::U64(self.cancel_at))
+                {
+                    self.token.cancel();
+                }
+            }
+        }
+
+        let d = chain(12);
+        let mut c = island_cfg();
+        c.migration_interval = 10;
+        c.generations_per_phase = 30;
+        let token = CancelToken::new();
+        let sub = Arc::new(CancelOnGen { token: token.clone(), cancel_at: 10, lines: Mutex::new(Vec::new()) });
+        let guard = obs::install(sub.clone());
+        let r = Phase::new(&d, c).with_budget(Budget::unlimited().with_token(token)).run();
+        drop(guard);
+
+        assert_eq!(r.stopped, Some(StopCause::Cancelled), "stop cause must survive the migration path");
+        assert_eq!(r.generations_executed, 11, "generation 10 evaluated, then the cut landed");
+        assert_eq!(r.history.len() as u32, r.generations_executed);
+        let lines = sub.lines.lock().unwrap();
+        assert!(
+            !lines.iter().any(|l| l.contains(r#""ev":"ga.migration""#)),
+            "a cancelled migration step must not commit (even partially)"
         );
     }
 }

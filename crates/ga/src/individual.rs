@@ -17,6 +17,9 @@ pub struct Evaluated<S> {
     pub ops: Vec<OpId>,
     /// Per-locus state match keys (`decoded_len + 1` entries).
     pub match_keys: Vec<u64>,
+    /// Goal fitness after each decoded op (`decoded_len` entries), the
+    /// donor-side memo consumed by prefix replay.
+    pub step_goals: Vec<f64>,
     /// State after executing the decoded plan.
     pub final_state: S,
     /// Number of genes decoded (≤ genome length).
@@ -36,6 +39,7 @@ impl<S> Evaluated<S> {
             genome,
             ops: decoded.ops,
             match_keys: decoded.match_keys,
+            step_goals: decoded.step_goals,
             final_state: decoded.final_state,
             decoded_len: decoded.decoded_len,
             best_prefix_at: decoded.best_prefix_at,

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod annealing;
+pub mod arena;
 pub mod checkpoint;
 pub mod config;
 pub mod crossover;
@@ -74,11 +75,12 @@ pub mod selection;
 pub mod stats;
 
 pub use annealing::{one_plus_one, simulated_annealing, AnnealConfig, AnnealResult};
+pub use arena::{PopulationArena, Provenance};
 pub use checkpoint::{MultiPhaseCheckpoint, PhaseSnapshot, ResumeError, CHECKPOINT_VERSION};
 pub use config::{
     CostFitnessMode, CrossoverKind, EvalMode, FitnessWeights, GaConfig, GoalEval, SelectionScheme, StateMatchMode,
 };
-pub use decode::{Decoded, Decoder, PrefixHint};
+pub use decode::{Decoded, Decoder, PrefixHint, PrefixRef};
 pub use encode::{encode_plan, EncodeError};
 pub use engine::{Phase, PhaseResult};
 pub use fitness::Fitness;

@@ -155,6 +155,14 @@ impl<'d, D: Domain> MultiPhase<'d, D> {
             if cp.version != CHECKPOINT_VERSION {
                 return Err(ResumeError::VersionMismatch { found: cp.version, expected: CHECKPOINT_VERSION });
             }
+            // Checked before the config signature so a mid-phase snapshot
+            // taken under a different island count gets the specific error
+            // (the signature would also differ, but says only "config").
+            if let Some(snap) = &cp.phase_snapshot {
+                if snap.islands() != self.cfg.islands {
+                    return Err(ResumeError::IslandMismatch { found: snap.islands(), expected: self.cfg.islands });
+                }
+            }
             if cp.config_sig != config_sig {
                 return Err(ResumeError::ConfigMismatch { found: cp.config_sig, expected: config_sig });
             }
@@ -743,6 +751,74 @@ mod tests {
             assert!(resumed[0].starts_with("{\"ev\":\"span_enter\",\"span\":\"ga.run\""), "{}", resumed[0]);
             assert_eq!(&resumed[1..], suffix, "trace suffix diverged for resume at phase {}", cp.next_phase);
         }
+    }
+
+    fn island_cfg() -> GaConfig {
+        let mut c = cfg();
+        c.population_size = 32; // divisible by 4 islands
+        c.islands = 4;
+        c.migration_interval = 5;
+        c.emigrants = 2;
+        c
+    }
+
+    #[test]
+    fn island_multiphase_is_deterministic_and_traces_migrations() {
+        let d = chain(60); // unsolvable: all 4 phases run their full budget
+        let run = || {
+            let rec = std::sync::Arc::new(obs::RecordingSubscriber::default());
+            let guard = obs::install(rec.clone());
+            let r = MultiPhase::new(&d, island_cfg()).run();
+            drop(guard);
+            (r, rec.lines())
+        };
+        let (ra, la) = run();
+        let (rb, lb) = run();
+        assert_eq!(ra.plan.ops(), rb.plan.ops());
+        let mask = |lines: &[String]| lines.iter().map(|l| obs::golden::mask_line(l)).collect::<Vec<_>>();
+        assert_eq!(mask(&la), mask(&lb), "island trace must be run-to-run deterministic");
+        let count = |needle: &str| la.iter().filter(|l| l.starts_with(&format!("{{\"ev\":\"{needle}\""))).count();
+        // the aggregated per-generation xover event keeps the single-
+        // population trace shape: one per breeding generation
+        assert_eq!(count("ga.xover") as u32, ra.total_generations - ra.phases.len() as u32);
+        // migrations at gens 5/10/15/20 of each 25-generation phase
+        assert_eq!(count("ga.migration"), 4 * ra.phases.len());
+        // and masking blanks the migration wall field like any other
+        assert!(
+            mask(&la).iter().any(|l| l.starts_with("{\"ev\":\"ga.migration\"") && l.contains(r#""wall_ns":0"#)),
+            "migration wall_ns must be masked"
+        );
+    }
+
+    #[test]
+    fn island_midphase_resume_is_bitwise_identical() {
+        let d = chain(60);
+        let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+        let full = MultiPhase::new(&d, island_cfg()).run_checkpointed(None, 7, &mut |cp| cps.push(cp.clone())).unwrap();
+        let mid: Vec<&MultiPhaseCheckpoint> = cps.iter().filter(|c| c.phase_snapshot.is_some()).collect();
+        assert!(!mid.is_empty());
+        for cp in mid {
+            let json = serde_json::to_string(cp).unwrap();
+            let cp: MultiPhaseCheckpoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(cp.phase_snapshot.as_ref().unwrap().islands(), 4);
+            let resumed = MultiPhase::new(&d, island_cfg()).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap();
+            assert_bitwise_equal(&resumed, &full);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_island_count_mismatch() {
+        let d = chain(60);
+        let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+        MultiPhase::new(&d, island_cfg()).run_checkpointed(None, 7, &mut |cp| cps.push(cp.clone())).unwrap();
+        let cp = cps.iter().find(|c| c.phase_snapshot.is_some()).expect("mid-phase checkpoint").clone();
+        let mut two = island_cfg();
+        two.islands = 2;
+        let err = MultiPhase::new(&d, two).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap_err();
+        assert!(
+            matches!(err, ResumeError::IslandMismatch { found: 4, expected: 2 }),
+            "want the specific island error, got {err:?}"
+        );
     }
 
     #[test]

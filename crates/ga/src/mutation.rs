@@ -13,11 +13,18 @@ use crate::genome::Genome;
 /// it to truncate the individual's prefix-reuse checkpoint (genes before the
 /// first flipped locus still decode identically).
 pub fn mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64) -> Option<usize> {
+    mutate_slice(rng, genome.genes_mut(), rate)
+}
+
+/// [`mutate`] over a raw gene slice — the arena-backed engine path, where
+/// genomes are windows of one contiguous buffer rather than `Genome`s.
+/// Identical draw sequence and semantics.
+pub fn mutate_slice<R: Rng + ?Sized>(rng: &mut R, genes: &mut [f64], rate: f64) -> Option<usize> {
     if rate <= 0.0 {
         return None;
     }
     let mut first_changed = None;
-    for (i, g) in genome.genes_mut().iter_mut().enumerate() {
+    for (i, g) in genes.iter_mut().enumerate() {
         if rng.gen::<f64>() < rate {
             *g = rng.gen::<f64>();
             if first_changed.is_none() {
@@ -28,6 +35,53 @@ pub fn mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64) -> O
     first_changed
 }
 
+/// A planned length mutation: the edit [`length_mutate_plan`] decided on,
+/// to be applied by the caller (to a `Genome` or an arena individual).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthEdit {
+    /// Insert gene value `v` at locus `at`.
+    Insert {
+        /// Insertion locus.
+        at: usize,
+        /// The new gene value.
+        v: f64,
+    },
+    /// Remove the gene at locus `at`.
+    Remove {
+        /// Removal locus.
+        at: usize,
+    },
+}
+
+impl LengthEdit {
+    /// The first modified locus (everything from there on shifts).
+    pub fn at(&self) -> usize {
+        match *self {
+            LengthEdit::Insert { at, .. } | LengthEdit::Remove { at } => at,
+        }
+    }
+}
+
+/// Draw the RNG decisions for one length mutation of a genome of `len`
+/// genes, without applying it. Consumes exactly the draws [`length_mutate`]
+/// consumes.
+pub fn length_mutate_plan<R: Rng + ?Sized>(rng: &mut R, len: usize, rate: f64, max_len: usize) -> Option<LengthEdit> {
+    if rate <= 0.0 || rng.gen::<f64>() >= rate {
+        return None;
+    }
+    let insert = len < max_len && (len <= 1 || rng.gen::<bool>());
+    if insert {
+        let at = rng.gen_range(0..=len);
+        let v = rng.gen::<f64>();
+        Some(LengthEdit::Insert { at, v })
+    } else if len > 1 {
+        let at = rng.gen_range(0..len);
+        Some(LengthEdit::Remove { at })
+    } else {
+        None
+    }
+}
+
 /// Extension: with probability `rate`, insert a random gene at a random
 /// locus or delete a random gene (50/50), respecting `max_len` and never
 /// deleting the last gene of a single-gene individual.
@@ -35,23 +89,15 @@ pub fn mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64) -> O
 /// Returns the first modified locus (the insertion/deletion point: every
 /// gene from there on shifted), if the genome changed.
 pub fn length_mutate<R: Rng + ?Sized>(rng: &mut R, genome: &mut Genome, rate: f64, max_len: usize) -> Option<usize> {
-    if rate <= 0.0 || rng.gen::<f64>() >= rate {
-        return None;
-    }
+    let edit = length_mutate_plan(rng, genome.len(), rate, max_len)?;
     let genes = genome.genes_mut();
-    let insert = genes.len() < max_len && (genes.len() <= 1 || rng.gen::<bool>());
-    if insert {
-        let at = rng.gen_range(0..=genes.len());
-        let v = rng.gen::<f64>();
-        genes.insert(at, v);
-        Some(at)
-    } else if genes.len() > 1 {
-        let at = rng.gen_range(0..genes.len());
-        genes.remove(at);
-        Some(at)
-    } else {
-        None
+    match edit {
+        LengthEdit::Insert { at, v } => genes.insert(at, v),
+        LengthEdit::Remove { at } => {
+            genes.remove(at);
+        }
     }
+    Some(edit.at())
 }
 
 #[cfg(test)]
@@ -147,6 +193,41 @@ mod tests {
         // unchanged genomes report None
         let mut g = Genome::from_genes(vec![0.25; 5]);
         assert_eq!(mutate(&mut rng, &mut g, 0.0), None);
+    }
+
+    #[test]
+    fn slice_mutation_matches_genome_mutation() {
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let mut g = Genome::from_genes(vec![0.25; 17]);
+            let mut flat = vec![0.25f64; 17];
+            let a = mutate(&mut r1, &mut g, 0.2);
+            let b = mutate_slice(&mut r2, &mut flat, 0.2);
+            assert_eq!(a, b);
+            assert_eq!(g.genes(), &flat[..]);
+        }
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn length_plan_matches_applied_mutation() {
+        let mut r1 = StdRng::seed_from_u64(12);
+        let mut r2 = StdRng::seed_from_u64(12);
+        for len in [1usize, 2, 5, 8] {
+            for _ in 0..200 {
+                let mut g = Genome::from_genes(vec![0.25; len]);
+                let applied = length_mutate(&mut r1, &mut g, 0.7, 8);
+                let plan = length_mutate_plan(&mut r2, len, 0.7, 8);
+                assert_eq!(applied, plan.map(|e| e.at()));
+                match plan {
+                    Some(LengthEdit::Insert { .. }) => assert_eq!(g.len(), len + 1),
+                    Some(LengthEdit::Remove { .. }) => assert_eq!(g.len(), len - 1),
+                    None => assert_eq!(g.len(), len),
+                }
+            }
+        }
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
     }
 
     #[test]

@@ -5,8 +5,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use crate::arena::{PopulationArena, NO_PARENT};
 use crate::config::{EvalMode, GaConfig};
-use crate::decode::{Decoder, PrefixHint};
+use crate::decode::{Decoder, PrefixHint, PrefixRef};
 use crate::genome::Genome;
 use crate::individual::Evaluated;
 
@@ -90,10 +91,58 @@ pub fn evaluate_candidates<D: Domain>(
     }
 }
 
+/// Evaluate an arena-backed generation: each individual's genes live in the
+/// shared flat buffer, and its provenance is resolved to a *borrowed* prefix
+/// hint against `parents` (the previous, already-evaluated generation) — no
+/// per-individual hint allocation. Results are bitwise-identical to
+/// [`evaluate_candidates`] over equivalent candidates, in both eval modes.
+pub fn evaluate_arena<D: Domain>(
+    domain: &D,
+    start: &D::State,
+    arena: &PopulationArena,
+    parents: &[Evaluated<D::State>],
+    cfg: &GaConfig,
+    cache: Option<&SuccessorCache<D::State>>,
+) -> Vec<Evaluated<D::State>> {
+    let eval_one = |dec: &mut Decoder, i: usize| {
+        let genes = arena.genes(i);
+        let prov = arena.prov(i);
+        let hint = if prov.parent == NO_PARENT {
+            None
+        } else {
+            let donor = &parents[prov.parent as usize];
+            Some(PrefixRef::new(&donor.ops, &donor.match_keys, &donor.step_goals, prov.prefix as usize))
+        };
+        let (decoded, fitness) = dec.evaluate_ref(domain, start, genes, cfg, cache, hint);
+        Evaluated::new(Genome::from_genes(genes.to_vec()), decoded, fitness)
+    };
+    if cfg.eval == EvalMode::Parallel {
+        (0..arena.len()).into_par_iter().map_init(Decoder::new, |dec, i| eval_one(dec, i)).collect()
+    } else {
+        let mut dec = Decoder::new();
+        (0..arena.len()).map(|i| eval_one(&mut dec, i)).collect()
+    }
+}
+
 /// Deterministic RNG for a phase, derived from the config seed and phase
 /// index.
 pub fn phase_rng(cfg: &GaConfig, phase: u32) -> StdRng {
     StdRng::seed_from_u64(crate::rng::derive_seed(cfg.seed, u64::from(phase)))
+}
+
+/// Deterministic RNG for one island of a phase. With a single island this is
+/// exactly [`phase_rng`] — the island-model run is byte-identical to the
+/// historical single-population path. With `K > 1` islands, each island gets
+/// an independent stream split off the phase seed (`derive_seed(phase_seed,
+/// island + 1)`; the `+ 1` keeps island 0 distinct from the phase stream
+/// itself, so no island aliases the K=1 run).
+pub fn island_rng(cfg: &GaConfig, phase: u32, island: u32) -> StdRng {
+    if cfg.islands <= 1 {
+        phase_rng(cfg, phase)
+    } else {
+        let phase_seed = crate::rng::derive_seed(cfg.seed, u64::from(phase));
+        StdRng::seed_from_u64(crate::rng::derive_seed(phase_seed, u64::from(island) + 1))
+    }
 }
 
 #[cfg(test)]

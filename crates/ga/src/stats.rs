@@ -68,6 +68,7 @@ mod tests {
             genome: Genome::from_genes(vec![0.5; len]),
             ops: vec![gaplan_core::OpId(0); len],
             match_keys: vec![0; len + 1],
+            step_goals: vec![0.0; len],
             final_state: 0,
             decoded_len: len,
             best_prefix_at: len,

@@ -21,6 +21,7 @@ fn evaluated(genes: Vec<f64>, key_salt: u64) -> Evaluated<()> {
         genome: Genome::from_genes(genes),
         ops: vec![],
         match_keys,
+        step_goals: vec![],
         final_state: (),
         decoded_len,
         best_prefix_at: 0,

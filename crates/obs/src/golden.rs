@@ -123,6 +123,15 @@ mod tests {
     }
 
     #[test]
+    fn migration_wall_ns_is_masked_but_tallies_survive() {
+        let line = r#"{"ev":"ga.migration","phase":0,"gen":5,"islands":4,"emigrants":2,"moved":8,"wall_ns":123456}"#;
+        assert_eq!(
+            mask_line(line),
+            r#"{"ev":"ga.migration","phase":0,"gen":5,"islands":4,"emigrants":2,"moved":8,"wall_ns":0}"#
+        );
+    }
+
+    #[test]
     fn cache_counters_masked_only_on_cache_lines() {
         let line = r#"{"ev":"ga.cache","phase":1,"hits":901,"misses":14,"evictions":2,"capacity":65536}"#;
         assert_eq!(mask_line(line), r#"{"ev":"ga.cache","phase":1,"hits":0,"misses":0,"evictions":0,"capacity":0}"#);

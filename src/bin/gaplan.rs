@@ -3,6 +3,7 @@
 //! ```text
 //! gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2]
 //!                      [--seed N] [--pop N] [--gens N] [--phases N]
+//!                      [--islands K] [--migrate-every M] [--emigrants E]
 //! gaplan grid   <file> [--planner ga|greedy] [--simulate]
 //!                      [--overload SITE:TIME:LOAD] [--faults SEED]
 //!                      [--fault-rate F]
@@ -38,6 +39,12 @@
 //!
 //! Every planning command also accepts `--trace FILE`, writing a JSON-lines
 //! event trace (see `gaplan-obs`) that `gaplan trace-report` analyzes.
+//!
+//! GA commands accept `--islands K [--migrate-every M] [--emigrants E]`: the
+//! population is split into K independently-seeded islands with
+//! deterministic ring migration of the top E individuals every M
+//! generations (`--islands 1`, the default, is byte-identical to the
+//! pre-island engine — see DESIGN.md §13).
 //!
 //! GA commands accept `--checkpoint FILE [--checkpoint-gens N]`: the run
 //! snapshots its full state to FILE after every phase (and every N
@@ -106,7 +113,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--islands K [--migrate-every M] [--emigrants E] (island-model GA with deterministic ring migration),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -125,7 +132,7 @@ fn parse_or<T: std::str::FromStr>(v: Option<&str>, default: T) -> T {
 
 fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
     let defaults = GaConfig::default();
-    GaConfig {
+    let cfg = GaConfig {
         population_size: parse_or(flag_value(args, "--pop"), 200),
         generations_per_phase: parse_or(flag_value(args, "--gens"), 100),
         max_phases: parse_or(flag_value(args, "--phases"), 5),
@@ -134,8 +141,17 @@ fn ga_config_from_flags(args: &[String], initial_len: usize) -> GaConfig {
         seed: parse_or(flag_value(args, "--seed"), 2003),
         succ_cache: !flag_present(args, "--no-succ-cache"),
         succ_cache_capacity: parse_or(flag_value(args, "--succ-cache"), defaults.succ_cache_capacity),
+        // Island model: `--islands 1` (the default) is byte-identical to a
+        // run without any island flags.
+        islands: parse_or(flag_value(args, "--islands"), defaults.islands),
+        migration_interval: parse_or(flag_value(args, "--migrate-every"), defaults.migration_interval),
+        emigrants: parse_or(flag_value(args, "--emigrants"), defaults.emigrants),
         ..defaults
+    };
+    if let Err(e) = cfg.validate() {
+        usage(&format!("invalid GA configuration: {e}"));
     }
+    cfg
 }
 
 /// Run the multi-phase GA for `domain`, honoring `--checkpoint FILE` and

@@ -72,6 +72,12 @@ pub struct TraceSummary {
     /// Successor-cache totals from `ga.cache` events: events, hits, misses,
     /// evictions.
     pub cache: [u64; 4],
+    /// Island-migration totals from `ga.migration` events: steps,
+    /// individuals moved, total wall ns.
+    pub migrations: [u64; 3],
+    /// Largest island count reported by a `ga.migration` event (0 when the
+    /// run was single-population).
+    pub islands: u64,
 }
 
 impl TraceSummary {
@@ -108,6 +114,12 @@ impl TraceSummary {
                     for (slot, key) in s.xover.iter_mut().zip(["children", "fallback", "unchanged", "skipped"]) {
                         *slot += num_u64(&value, key).unwrap_or(0);
                     }
+                }
+                "ga.migration" => {
+                    s.migrations[0] += 1;
+                    s.migrations[1] += num_u64(&value, "moved").unwrap_or(0);
+                    s.migrations[2] += num_u64(&value, "wall_ns").unwrap_or(0);
+                    s.islands = s.islands.max(num_u64(&value, "islands").unwrap_or(0));
                 }
                 "ga.cache" => {
                     s.cache[0] += 1;
@@ -253,6 +265,18 @@ pub fn render(text: &str, top_k: usize) -> String {
         }
     }
 
+    if s.migrations[0] > 0 {
+        let _ = writeln!(out, "\nisland migrations:");
+        let _ = writeln!(
+            out,
+            "  {} migration steps across {} islands, {} individuals moved, {:.3} ms total",
+            s.migrations[0],
+            s.islands,
+            s.migrations[1],
+            ms(s.migrations[2])
+        );
+    }
+
     if !s.grid_events.is_empty() {
         let _ = writeln!(out, "\ngrid timeline:");
         for (name, count) in &s.grid_events {
@@ -310,6 +334,10 @@ mod tests {
         "\n",
         r#"{"ev":"ga.cache","phase":2,"hits":60,"misses":40,"evictions":0,"capacity":65536}"#,
         "\n",
+        r#"{"ev":"ga.migration","phase":1,"gen":5,"islands":4,"emigrants":2,"moved":8,"wall_ns":500000}"#,
+        "\n",
+        r#"{"ev":"ga.migration","phase":1,"gen":10,"islands":4,"emigrants":2,"moved":8,"wall_ns":300000}"#,
+        "\n",
         r#"{"ev":"span_exit","span":"ga.run","wall_ns":12000000}"#,
         "\n",
         r#"{"ev":"grid.dispatch","t":0.0,"task":"a","site":"s","eta":1.5}"#,
@@ -338,9 +366,11 @@ mod tests {
     #[test]
     fn summary_extracts_every_section() {
         let s = TraceSummary::parse(SAMPLE);
-        assert_eq!(s.events, 18);
+        assert_eq!(s.events, 20);
         assert_eq!(s.unparseable, 1);
         assert_eq!(s.cache, [2, 150, 50, 2]);
+        assert_eq!(s.migrations, [2, 16, 800_000]);
+        assert_eq!(s.islands, 4);
         assert!((s.cache_hit_rate().unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(s.spans["ga.run"], (1, 12_000_000));
         assert_eq!(s.generations.len(), 3);
@@ -373,6 +403,10 @@ mod tests {
         assert!(report.contains("Done"), "{report}");
         assert!(report.contains("hits 150, misses 50, evictions 2 across 2 phases"), "{report}");
         assert!(report.contains("hit rate: 75.0%"), "{report}");
+        assert!(
+            report.contains("2 migration steps across 4 islands, 16 individuals moved, 0.800 ms total"),
+            "{report}"
+        );
         assert!(report.contains("coalesced  1"), "{report}");
         assert!(report.contains("codel head drops 1"), "{report}");
         assert!(report.contains("brownout engaged 1x, recovered 1x"), "{report}");

@@ -103,6 +103,54 @@ fn tile_checkpoints_resume_bitwise_identical() {
     check_domain(&puzzle, small_cfg(30, 5), 0x713e);
 }
 
+/// K=4 islands with migration firing (gens 20, migrate every 5): every
+/// checkpoint — including mid-phase snapshots straddling a migration step —
+/// resumes bitwise-identically, exactly like the single-population runs
+/// above.
+#[test]
+fn island_checkpoints_resume_bitwise_identical() {
+    let hanoi = Hanoi::new(5);
+    let mut cfg = small_cfg(hanoi.optimal_len(), 23).multi_phase();
+    cfg.islands = 4;
+    cfg.migration_interval = 5;
+    cfg.emigrants = 2;
+    cfg.validate().expect("island test config is valid");
+    check_domain(&hanoi, cfg, 0x15a5);
+}
+
+/// Resuming an island run under a different island count fails with the
+/// *typed* island error, not a generic config mismatch — the caller can
+/// tell "re-run with --islands 4" apart from "wrong config entirely".
+#[test]
+fn island_count_mismatch_is_rejected_with_typed_error() {
+    use ga_grid_planner::ga::ResumeError;
+    let hanoi = Hanoi::new(5);
+    let mut cfg = small_cfg(hanoi.optimal_len(), 23).multi_phase();
+    cfg.islands = 4;
+    cfg.migration_interval = 5;
+    cfg.emigrants = 2;
+
+    let mut cps: Vec<MultiPhaseCheckpoint> = Vec::new();
+    MultiPhase::new(&hanoi, cfg.clone())
+        .with_problem_sig(0x15a5)
+        .run_checkpointed(None, 7, &mut |cp| cps.push(cp.clone()))
+        .unwrap();
+    let cp = cps.iter().find(|c| c.phase_snapshot.is_some()).expect("mid-phase checkpoint").clone();
+
+    // JSON round-trip first: the persisted form must carry the island count.
+    let json = serde_json::to_string(&cp).unwrap();
+    let cp: MultiPhaseCheckpoint = serde_json::from_str(&json).unwrap();
+
+    let mut two = cfg;
+    two.islands = 2;
+    let err =
+        MultiPhase::new(&hanoi, two).with_problem_sig(0x15a5).run_checkpointed(Some(&cp), 0, &mut |_| {}).unwrap_err();
+    assert!(
+        matches!(err, ResumeError::IslandMismatch { found: 4, expected: 2 }),
+        "want the typed island error, got {err:?}"
+    );
+}
+
 #[test]
 fn grid_checkpoints_resume_bitwise_identical() {
     let text = std::fs::read_to_string("data/pipeline.grid").unwrap();

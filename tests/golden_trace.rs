@@ -103,6 +103,31 @@ fn tile_multiphase_trace_is_golden() {
 }
 
 #[test]
+fn islands_trace_is_golden() {
+    golden_case(
+        "islands",
+        &[
+            "tile",
+            "3",
+            "--pop",
+            "60",
+            "--gens",
+            "15",
+            "--phases",
+            "2",
+            "--seed",
+            "7",
+            "--islands",
+            "4",
+            "--migrate-every",
+            "5",
+            "--emigrants",
+            "2",
+        ],
+    );
+}
+
+#[test]
 fn grid_simulate_trace_is_golden() {
     let grid_file = repo_path("data/pipeline.grid");
     let grid_file = grid_file.to_str().expect("utf-8 path");
