@@ -1,0 +1,76 @@
+//! Abstract syntax for the planning DSL, with spans on every name so the
+//! checker can point diagnostics at the exact source token.
+
+use crate::span::Span;
+
+/// An identifier with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Name {
+    pub text: String,
+    pub span: Span,
+}
+
+/// A typed parameter in a predicate or action declaration: `p: package`.
+/// Predicate declarations may omit the parameter name (`pred at(package)`),
+/// in which case `name` is `None` and only the type matters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    pub name: Option<Name>,
+    pub ty: Name,
+}
+
+/// `pred at(p: package, l: location)`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredDecl {
+    pub name: Name,
+    pub params: Vec<Param>,
+}
+
+/// An applied predicate: `at(box1, depot)` — in action bodies the arguments
+/// are parameter names, in `init:`/`goal:` they are object names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    pub pred: Name,
+    pub args: Vec<Name>,
+    /// Span of the whole atom, `pred(` through `)`.
+    pub span: Span,
+}
+
+/// `action drive(t: truck, from: location, to: location)` with its body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionDecl {
+    pub name: Name,
+    pub params: Vec<Param>,
+    pub pre: Vec<Atom>,
+    pub add: Vec<Atom>,
+    pub del: Vec<Atom>,
+    /// Cost with the span of its number token; defaults to 1 when absent.
+    pub cost: Option<(u32, Span)>,
+}
+
+/// A parsed domain file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainAst {
+    pub name: Name,
+    pub types: Vec<Name>,
+    pub preds: Vec<PredDecl>,
+    pub actions: Vec<ActionDecl>,
+}
+
+/// One `objects a b c: type` line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectDecl {
+    pub names: Vec<Name>,
+    pub ty: Name,
+}
+
+/// A parsed problem file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProblemAst {
+    pub name: Name,
+    /// The `domain NAME` reference this problem targets.
+    pub domain: Name,
+    pub objects: Vec<ObjectDecl>,
+    pub init: Vec<Atom>,
+    pub goal: Vec<Atom>,
+}

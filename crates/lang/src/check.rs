@@ -1,0 +1,421 @@
+//! Name resolution and type checking for parsed domain/problem pairs.
+//!
+//! Produces index-resolved [`CheckedDomain`]/[`CheckedProblem`] structures
+//! for the grounder: predicates and types become dense indices, action
+//! bodies refer to parameters by position, and init/goal atoms refer to
+//! objects by index. All diagnostics carry spans; unknown-name errors get a
+//! "did you mean" hint when a declared name is close.
+
+use rustc_hash::FxHashMap;
+
+use crate::ast::*;
+use crate::span::{did_you_mean, Diagnostic, FileId, Span};
+
+/// A resolved predicate: name plus parameter type indices.
+#[derive(Clone, Debug)]
+pub struct CheckedPred {
+    pub name: String,
+    pub param_types: Vec<usize>,
+}
+
+/// An atom in an action body, arguments resolved to parameter positions.
+#[derive(Clone, Debug)]
+pub struct ParamAtom {
+    pub pred: usize,
+    pub args: Vec<usize>,
+    pub span: Span,
+}
+
+/// A resolved action schema.
+#[derive(Clone, Debug)]
+pub struct CheckedAction {
+    pub name: String,
+    /// Parameter names (for ground-op naming) and their type indices.
+    pub param_names: Vec<String>,
+    pub param_types: Vec<usize>,
+    pub pre: Vec<ParamAtom>,
+    pub add: Vec<ParamAtom>,
+    pub del: Vec<ParamAtom>,
+    pub cost: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct CheckedDomain {
+    pub name: String,
+    pub types: Vec<String>,
+    pub preds: Vec<CheckedPred>,
+    pub actions: Vec<CheckedAction>,
+}
+
+/// An atom over object indices (init/goal).
+#[derive(Clone, Debug)]
+pub struct GroundAtom {
+    pub pred: usize,
+    pub args: Vec<usize>,
+    pub span: Span,
+}
+
+#[derive(Clone, Debug)]
+pub struct CheckedProblem {
+    pub name: String,
+    /// Object names and their type indices, in declaration order.
+    pub objects: Vec<String>,
+    pub object_types: Vec<usize>,
+    pub init: Vec<GroundAtom>,
+    pub goal: Vec<GroundAtom>,
+}
+
+struct Ctx<'a> {
+    file: FileId,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Ctx<'_> {
+    fn error(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.push(Diagnostic::error(self.file, span, msg));
+    }
+
+    fn unknown<'n>(&mut self, span: Span, what: &str, name: &str, known: impl IntoIterator<Item = &'n str>) {
+        let mut d = Diagnostic::error(self.file, span, format!("unknown {what} `{name}`"));
+        if let Some(hint) = did_you_mean(name, known) {
+            d = d.with_help(format!("did you mean `{hint}`?"));
+        }
+        self.diags.push(d);
+    }
+}
+
+/// Check a domain AST. Appends diagnostics; returns `None` if any were
+/// errors (warnings alone do not fail the check).
+pub fn check_domain(ast: &DomainAst, diags: &mut Vec<Diagnostic>) -> Option<CheckedDomain> {
+    let before = diags.len();
+    let mut ctx = Ctx { file: FileId::Domain, diags };
+
+    let mut types: Vec<String> = Vec::new();
+    let mut type_idx: FxHashMap<&str, usize> = FxHashMap::default();
+    for ty in &ast.types {
+        if type_idx.contains_key(ty.text.as_str()) {
+            ctx.error(ty.span, format!("duplicate type `{}`", ty.text));
+            continue;
+        }
+        type_idx.insert(&ty.text, types.len());
+        types.push(ty.text.clone());
+    }
+
+    let mut preds: Vec<CheckedPred> = Vec::new();
+    let mut pred_idx: FxHashMap<&str, usize> = FxHashMap::default();
+    for p in &ast.preds {
+        if pred_idx.contains_key(p.name.text.as_str()) {
+            ctx.error(p.name.span, format!("duplicate predicate `{}`", p.name.text));
+            continue;
+        }
+        let mut param_types = Vec::new();
+        for param in &p.params {
+            match type_idx.get(param.ty.text.as_str()) {
+                Some(&t) => param_types.push(t),
+                None => {
+                    ctx.unknown(param.ty.span, "type", &param.ty.text, types.iter().map(|s| s.as_str()));
+                    param_types.push(usize::MAX); // placeholder; check already failed
+                }
+            }
+        }
+        pred_idx.insert(&p.name.text, preds.len());
+        preds.push(CheckedPred { name: p.name.text.clone(), param_types });
+    }
+
+    let mut actions: Vec<CheckedAction> = Vec::new();
+    let mut action_names: FxHashMap<&str, ()> = FxHashMap::default();
+    for a in &ast.actions {
+        if action_names.contains_key(a.name.text.as_str()) {
+            ctx.error(a.name.span, format!("duplicate action `{}`", a.name.text));
+            continue;
+        }
+        action_names.insert(&a.name.text, ());
+
+        let mut param_names = Vec::new();
+        let mut param_types = Vec::new();
+        let mut param_pos: FxHashMap<&str, usize> = FxHashMap::default();
+        for param in &a.params {
+            let Some(name) = &param.name else {
+                ctx.error(param.ty.span, format!("action parameter in `{}` must be written `name: type`", a.name.text));
+                continue;
+            };
+            if param_pos.contains_key(name.text.as_str()) {
+                ctx.error(name.span, format!("duplicate parameter `{}` in action `{}`", name.text, a.name.text));
+                continue;
+            }
+            let t = match type_idx.get(param.ty.text.as_str()) {
+                Some(&t) => t,
+                None => {
+                    ctx.unknown(param.ty.span, "type", &param.ty.text, types.iter().map(|s| s.as_str()));
+                    usize::MAX
+                }
+            };
+            param_pos.insert(&name.text, param_names.len());
+            param_names.push(name.text.clone());
+            param_types.push(t);
+        }
+
+        let resolve_body = |atoms: &[Atom], ctx: &mut Ctx| -> Vec<ParamAtom> {
+            let mut out = Vec::new();
+            for atom in atoms {
+                let Some(&pi) = pred_idx.get(atom.pred.text.as_str()) else {
+                    ctx.unknown(atom.pred.span, "predicate", &atom.pred.text, preds.iter().map(|p| p.name.as_str()));
+                    continue;
+                };
+                let pred = &preds[pi];
+                if atom.args.len() != pred.param_types.len() {
+                    ctx.error(
+                        atom.span,
+                        format!(
+                            "predicate `{}` takes {} argument{}, got {}",
+                            pred.name,
+                            pred.param_types.len(),
+                            if pred.param_types.len() == 1 { "" } else { "s" },
+                            atom.args.len()
+                        ),
+                    );
+                    continue;
+                }
+                let mut args = Vec::new();
+                let mut ok = true;
+                for (ai, arg) in atom.args.iter().enumerate() {
+                    let Some(&pos) = param_pos.get(arg.text.as_str()) else {
+                        ctx.unknown(arg.span, "parameter", &arg.text, param_names.iter().map(|s| s.as_str()));
+                        ok = false;
+                        continue;
+                    };
+                    let want = pred.param_types[ai];
+                    let got = param_types[pos];
+                    if want != got && want != usize::MAX && got != usize::MAX {
+                        ctx.error(
+                            arg.span,
+                            format!(
+                                "argument {} of `{}` must be of type `{}`, but `{}` is a `{}`",
+                                ai + 1,
+                                pred.name,
+                                types[want],
+                                arg.text,
+                                types[got]
+                            ),
+                        );
+                        ok = false;
+                    }
+                    args.push(pos);
+                }
+                if ok {
+                    out.push(ParamAtom { pred: pi, args, span: atom.span });
+                }
+            }
+            out
+        };
+
+        let pre = resolve_body(&a.pre, &mut ctx);
+        let add = resolve_body(&a.add, &mut ctx);
+        let del = resolve_body(&a.del, &mut ctx);
+        actions.push(CheckedAction {
+            name: a.name.text.clone(),
+            param_names,
+            param_types,
+            pre,
+            add,
+            del,
+            cost: a.cost.map(|(c, _)| c).unwrap_or(1),
+        });
+    }
+
+    if ast.actions.is_empty() {
+        ctx.diags.push(Diagnostic::error(
+            FileId::Domain,
+            ast.name.span,
+            format!("domain `{}` declares no actions", ast.name.text),
+        ));
+    }
+
+    if diags[before..].iter().any(|d| d.severity == crate::span::Severity::Error) {
+        None
+    } else {
+        Some(CheckedDomain { name: ast.name.text.clone(), types, preds, actions })
+    }
+}
+
+/// Check a problem AST against a checked domain.
+pub fn check_problem(ast: &ProblemAst, dom: &CheckedDomain, diags: &mut Vec<Diagnostic>) -> Option<CheckedProblem> {
+    let before = diags.len();
+    let mut ctx = Ctx { file: FileId::Problem, diags };
+
+    if ast.domain.text != dom.name {
+        ctx.error(
+            ast.domain.span,
+            format!("problem targets domain `{}`, but the domain file declares `{}`", ast.domain.text, dom.name),
+        );
+    }
+
+    let type_idx: FxHashMap<&str, usize> = dom.types.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+    let pred_idx: FxHashMap<&str, usize> = dom.preds.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+
+    let mut objects: Vec<String> = Vec::new();
+    let mut object_types: Vec<usize> = Vec::new();
+    let mut obj_idx: FxHashMap<&str, usize> = FxHashMap::default();
+    for decl in &ast.objects {
+        let ty = match type_idx.get(decl.ty.text.as_str()) {
+            Some(&t) => t,
+            None => {
+                ctx.unknown(decl.ty.span, "type", &decl.ty.text, dom.types.iter().map(|s| s.as_str()));
+                usize::MAX
+            }
+        };
+        for name in &decl.names {
+            if obj_idx.contains_key(name.text.as_str()) {
+                ctx.error(name.span, format!("duplicate object `{}`", name.text));
+                continue;
+            }
+            obj_idx.insert(&name.text, objects.len());
+            objects.push(name.text.clone());
+            object_types.push(ty);
+        }
+    }
+
+    let resolve = |atoms: &[Atom], ctx: &mut Ctx| -> Vec<GroundAtom> {
+        let mut out = Vec::new();
+        for atom in atoms {
+            let Some(&pi) = pred_idx.get(atom.pred.text.as_str()) else {
+                ctx.unknown(atom.pred.span, "predicate", &atom.pred.text, dom.preds.iter().map(|p| p.name.as_str()));
+                continue;
+            };
+            let pred = &dom.preds[pi];
+            if atom.args.len() != pred.param_types.len() {
+                ctx.error(
+                    atom.span,
+                    format!(
+                        "predicate `{}` takes {} argument{}, got {}",
+                        pred.name,
+                        pred.param_types.len(),
+                        if pred.param_types.len() == 1 { "" } else { "s" },
+                        atom.args.len()
+                    ),
+                );
+                continue;
+            }
+            let mut args = Vec::new();
+            let mut ok = true;
+            for (ai, arg) in atom.args.iter().enumerate() {
+                let Some(&oi) = obj_idx.get(arg.text.as_str()) else {
+                    ctx.unknown(arg.span, "object", &arg.text, objects.iter().map(|s| s.as_str()));
+                    ok = false;
+                    continue;
+                };
+                let want = pred.param_types[ai];
+                let got = object_types[oi];
+                if want != got && want != usize::MAX && got != usize::MAX {
+                    ctx.error(
+                        arg.span,
+                        format!(
+                            "argument {} of `{}` must be of type `{}`, but `{}` is a `{}`",
+                            ai + 1,
+                            pred.name,
+                            dom.types[want],
+                            arg.text,
+                            dom.types[got]
+                        ),
+                    );
+                    ok = false;
+                }
+                args.push(oi);
+            }
+            if ok {
+                out.push(GroundAtom { pred: pi, args, span: atom.span });
+            }
+        }
+        out
+    };
+
+    let init = resolve(&ast.init, &mut ctx);
+    let goal = resolve(&ast.goal, &mut ctx);
+
+    if ast.goal.is_empty() {
+        ctx.error(ast.name.span, format!("problem `{}` has an empty goal", ast.name.text));
+    }
+
+    if diags[before..].iter().any(|d| d.severity == crate::span::Severity::Error) {
+        None
+    } else {
+        Some(CheckedProblem { name: ast.name.text.clone(), objects, object_types, init, goal })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_domain, parse_problem};
+
+    const DOM: &str = "\
+domain log
+type location
+type truck
+pred at(t: truck, l: location)
+pred road(location, location)
+action drive(t: truck, a: location, b: location)
+  pre: at(t, a) road(a, b)
+  add: at(t, b)
+  del: at(t, a)
+";
+
+    fn checked_dom() -> CheckedDomain {
+        let ast = parse_domain(DOM).unwrap();
+        let mut diags = Vec::new();
+        let dom = check_domain(&ast, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        dom.unwrap()
+    }
+
+    #[test]
+    fn checks_clean_domain_and_problem() {
+        let dom = checked_dom();
+        assert_eq!(dom.actions[0].cost, 1);
+        let past = parse_problem(
+            "problem p domain log\nobjects t: truck\nobjects a b: location\ninit: at(t, a) road(a, b)\ngoal: at(t, b)\n",
+        )
+        .unwrap();
+        let mut diags = Vec::new();
+        let prob = check_problem(&past, &dom, &mut diags).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(prob.objects, vec!["t", "a", "b"]);
+        assert_eq!(prob.init.len(), 2);
+    }
+
+    #[test]
+    fn unknown_type_gets_hint() {
+        let ast = parse_domain("domain d\ntype location\npred at(l: locaton)\naction a()\n").unwrap();
+        let mut diags = Vec::new();
+        assert!(check_domain(&ast, &mut diags).is_none());
+        let d = diags.iter().find(|d| d.message.contains("unknown type")).unwrap();
+        assert_eq!(d.help.as_deref(), Some("did you mean `location`?"));
+    }
+
+    #[test]
+    fn arity_mismatch_caught() {
+        let src = "domain d\ntype t\npred p(t)\naction a(x: t)\n  pre: p(x, x)\n";
+        let ast = parse_domain(src).unwrap();
+        let mut diags = Vec::new();
+        assert!(check_domain(&ast, &mut diags).is_none());
+        assert!(diags.iter().any(|d| d.message.contains("takes 1 argument, got 2")), "{diags:?}");
+    }
+
+    #[test]
+    fn type_mismatch_caught() {
+        let src = "domain d\ntype a\ntype b\npred p(a)\naction act(x: b)\n  pre: p(x)\n";
+        let ast = parse_domain(src).unwrap();
+        let mut diags = Vec::new();
+        assert!(check_domain(&ast, &mut diags).is_none());
+        assert!(diags.iter().any(|d| d.message.contains("must be of type `a`")), "{diags:?}");
+    }
+
+    #[test]
+    fn undeclared_object_caught() {
+        let dom = checked_dom();
+        let past = parse_problem("problem p domain log\nobjects t: truck\ngoal: at(t, nowhere)\n").unwrap();
+        let mut diags = Vec::new();
+        assert!(check_problem(&past, &dom, &mut diags).is_none());
+        assert!(diags.iter().any(|d| d.message.contains("unknown object `nowhere`")), "{diags:?}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Grounding: instantiate action schemas over a problem's objects and emit a
+//! ground [`StripsProblem`].
+//!
+//! The grounder runs a delete-relaxed reachability fixpoint: starting from
+//! the init facts, it repeatedly enumerates typed parameter bindings for
+//! each action (objects in declaration order, parameters varying
+//! rightmost-fastest) and fires every binding whose preconditions are all
+//! reachable, adding its add-effects. Only ground actions that fired during
+//! the fixpoint are emitted, which prunes operators that can never become
+//! applicable (e.g. `drive` over disconnected locations). The enumeration
+//! order is fully deterministic, so the same two files always produce a
+//! byte-identical [`StripsProblem`] (and thus an identical signature).
+//!
+//! Ground names use call syntax without spaces: condition `at(box1,depot)`,
+//! operator `drive(truck1,depot,port)`.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use gaplan_core::strips::{StripsBuilder, StripsProblem};
+
+use crate::check::{CheckedAction, CheckedDomain, CheckedProblem, GroundAtom};
+use crate::span::{Diagnostic, FileId, Severity};
+
+/// Safety caps: grounding is user-driven, so refuse to explode rather than
+/// OOM the service. Generous for blocks/logistics-scale domains.
+const MAX_BINDINGS_PER_ACTION: u64 = 1_000_000;
+const MAX_GROUND_OPS: usize = 100_000;
+const MAX_CONDITIONS: usize = 8_192;
+
+/// Size accounting from a grounding run, surfaced by `gaplan check`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroundStats {
+    /// Objects declared by the problem.
+    pub objects: usize,
+    /// Distinct ground facts that appeared in init, goal, or a fired effect.
+    pub conditions: usize,
+    /// Ground operators emitted (fired during reachability).
+    pub ops: usize,
+    /// Total typed bindings enumerated across all actions.
+    pub candidates: u64,
+    /// Bindings discarded because their preconditions were unreachable.
+    pub pruned: u64,
+}
+
+/// Name of a ground fact: `pred(obj,obj)`.
+fn fact_name(dom: &CheckedDomain, prob: &CheckedProblem, pred: usize, args: &[usize]) -> String {
+    let mut s = dom.preds[pred].name.clone();
+    s.push('(');
+    for (i, &a) in args.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&prob.objects[a]);
+    }
+    s.push(')');
+    s
+}
+
+/// Name of a ground operator: `action(obj,obj)`.
+fn op_name(act: &CheckedAction, prob: &CheckedProblem, binding: &[usize]) -> String {
+    let mut s = act.name.clone();
+    s.push('(');
+    for (i, &o) in binding.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&prob.objects[o]);
+    }
+    s.push(')');
+    s
+}
+
+/// A fact as (pred, args) — hashable key during the fixpoint.
+type Fact = (usize, Vec<usize>);
+
+fn atom_fact(atom: &GroundAtom) -> Fact {
+    (atom.pred, atom.args.clone())
+}
+
+/// Ground `prob` over `dom`. On success returns the STRIPS problem plus
+/// warnings (e.g. goal atoms that are provably unreachable) and stats.
+pub fn ground(
+    dom: &CheckedDomain,
+    prob: &CheckedProblem,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<(StripsProblem, GroundStats)> {
+    let mut stats = GroundStats { objects: prob.objects.len(), ..GroundStats::default() };
+
+    // Objects per type, in declaration order.
+    let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); dom.types.len()];
+    for (oi, &ty) in prob.object_types.iter().enumerate() {
+        by_type[ty].push(oi);
+    }
+
+    // Reachable fact set; insertion order is recorded so condition indices
+    // are deterministic. Init and goal facts are always declared.
+    let mut facts: FxHashSet<Fact> = FxHashSet::default();
+    let mut fact_order: Vec<Fact> = Vec::new();
+    let declare = |f: Fact, facts: &mut FxHashSet<Fact>, order: &mut Vec<Fact>| {
+        if facts.insert(f.clone()) {
+            order.push(f);
+        }
+    };
+    for atom in &prob.init {
+        declare(atom_fact(atom), &mut facts, &mut fact_order);
+    }
+
+    /// One ground operator retained from the fixpoint.
+    struct GOp {
+        name: String,
+        pre: Vec<Fact>,
+        add: Vec<Fact>,
+        del: Vec<Fact>,
+        cost: u32,
+    }
+    let mut ops: Vec<GOp> = Vec::new();
+    let mut fired: FxHashSet<String> = FxHashSet::default();
+
+    // Fixpoint: keep sweeping actions until no new facts appear.
+    loop {
+        let facts_before = fact_order.len();
+        for act in &dom.actions {
+            // Typed cartesian product over parameters, rightmost-fastest.
+            let domains: Vec<&[usize]> = act.param_types.iter().map(|&t| by_type[t].as_slice()).collect();
+            let total = domains.iter().try_fold(1u64, |a, d| a.checked_mul(d.len() as u64));
+            if total.is_none_or(|t| t > MAX_BINDINGS_PER_ACTION) {
+                diags.push(Diagnostic::bare(
+                    Severity::Error,
+                    FileId::Problem,
+                    format!(
+                        "action `{}` has {} possible bindings (limit {MAX_BINDINGS_PER_ACTION}); \
+                         reduce object counts",
+                        act.name,
+                        total.map(|t| t.to_string()).unwrap_or_else(|| "over 2^64".to_string())
+                    ),
+                ));
+                return None;
+            }
+            if domains.iter().any(|d| d.is_empty()) {
+                continue; // some parameter type has no objects
+            }
+            let mut binding: Vec<usize> = vec![0; domains.len()];
+            'enumerate: loop {
+                stats.candidates += 1;
+                let objs: Vec<usize> = binding.iter().enumerate().map(|(i, &j)| domains[i][j]).collect();
+                let pre_ok = act.pre.iter().all(|p| {
+                    let f: Fact = (p.pred, p.args.iter().map(|&a| objs[a]).collect());
+                    facts.contains(&f)
+                });
+                if pre_ok {
+                    let name = op_name(act, prob, &objs);
+                    if fired.insert(name.clone()) {
+                        let inst = |atoms: &[crate::check::ParamAtom]| -> Vec<Fact> {
+                            atoms.iter().map(|p| (p.pred, p.args.iter().map(|&a| objs[a]).collect())).collect()
+                        };
+                        let add = inst(&act.add);
+                        for f in &add {
+                            declare(f.clone(), &mut facts, &mut fact_order);
+                        }
+                        ops.push(GOp { name, pre: inst(&act.pre), add, del: inst(&act.del), cost: act.cost });
+                        if ops.len() > MAX_GROUND_OPS {
+                            diags.push(Diagnostic::bare(
+                                Severity::Error,
+                                FileId::Problem,
+                                format!("grounding produced more than {MAX_GROUND_OPS} operators; reduce the problem"),
+                            ));
+                            return None;
+                        }
+                    }
+                } else {
+                    stats.pruned += 1;
+                }
+                // Advance rightmost-fastest.
+                let mut k = binding.len();
+                loop {
+                    if k == 0 {
+                        break 'enumerate;
+                    }
+                    k -= 1;
+                    binding[k] += 1;
+                    if binding[k] < domains[k].len() {
+                        break;
+                    }
+                    binding[k] = 0;
+                }
+            }
+        }
+        if fact_order.len() == facts_before {
+            break;
+        }
+    }
+
+    // Goal facts are declared as conditions even when unreachable, but the
+    // user gets a warning: the GA can never satisfy such a goal.
+    for atom in &prob.goal {
+        let f = atom_fact(atom);
+        if !facts.contains(&f) {
+            diags.push(
+                Diagnostic::warning(
+                    FileId::Problem,
+                    atom.span,
+                    format!(
+                        "goal `{}` is unreachable from init under any action sequence",
+                        fact_name(dom, prob, f.0, &f.1)
+                    ),
+                )
+                .with_help("the problem is unsolvable as written; check init facts and action effects"),
+            );
+            declare(f, &mut facts, &mut fact_order);
+        }
+    }
+
+    if ops.is_empty() {
+        diags.push(Diagnostic::bare(
+            Severity::Error,
+            FileId::Problem,
+            "no ground action is applicable from the initial state (grounding produced zero operators)",
+        ));
+        return None;
+    }
+    if fact_order.len() > MAX_CONDITIONS {
+        diags.push(Diagnostic::bare(
+            Severity::Error,
+            FileId::Problem,
+            format!("grounding produced {} conditions (limit {MAX_CONDITIONS}); reduce the problem", fact_order.len()),
+        ));
+        return None;
+    }
+
+    // Emit through StripsBuilder in deterministic order. Fact names are
+    // unique (fact_order is deduplicated), so none of these calls can fail;
+    // any error here is an internal invariant break and is surfaced as such.
+    let emit = || -> gaplan_core::Result<StripsProblem> {
+        let mut names: FxHashMap<&Fact, String> = FxHashMap::default();
+        let mut builder = StripsBuilder::new();
+        for f in &fact_order {
+            let name = fact_name(dom, prob, f.0, &f.1);
+            builder.condition(&name)?;
+            names.insert(f, name);
+        }
+        for op in &ops {
+            let pre: Vec<&str> = op.pre.iter().map(|f| names[f].as_str()).collect();
+            let add: Vec<&str> = op.add.iter().map(|f| names[f].as_str()).collect();
+            // Deletes of facts that never become reachable can't be true at
+            // execution time either; drop them rather than declaring dead
+            // conditions.
+            let del: Vec<&str> = op.del.iter().filter_map(|f| names.get(f).map(|s| s.as_str())).collect();
+            builder.op(&op.name, &pre, &add, &del, op.cost as f64)?;
+        }
+        let init: Vec<String> = prob.init.iter().map(|a| fact_name(dom, prob, a.pred, &a.args)).collect();
+        let goal: Vec<String> = prob.goal.iter().map(|a| fact_name(dom, prob, a.pred, &a.args)).collect();
+        builder.init(&init.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
+        builder.goal(&goal.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
+        builder.build()
+    };
+
+    stats.conditions = fact_order.len();
+    stats.ops = ops.len();
+    match emit() {
+        Ok(p) => Some((p, stats)),
+        Err(e) => {
+            diags.push(Diagnostic::bare(Severity::Error, FileId::Problem, format!("internal grounding error: {e}")));
+            None
+        }
+    }
+}

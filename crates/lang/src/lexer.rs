@@ -1,0 +1,143 @@
+//! Hand-written lexer for the planning DSL.
+//!
+//! Tokens are identifiers (letters, digits, `-`, `_`; must start with a
+//! letter or `_`), non-negative integers, and the punctuation `( ) , :`.
+//! `#` starts a comment running to end of line. Whitespace is insignificant.
+
+use crate::span::{Diagnostic, FileId, Span};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Eof,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub span: Span,
+}
+
+impl Token {
+    /// The source text of this token.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.span.start..self.span.end]
+    }
+}
+
+/// Human-readable token description for error messages.
+pub fn describe(tok: Token, src: &str) -> String {
+    match tok.kind {
+        TokKind::Eof => "end of file".to_string(),
+        _ => format!("`{}`", tok.text(src)),
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
+}
+
+/// Tokenize `src`, returning the token stream (always Eof-terminated) or a
+/// diagnostic for the first unexpected byte.
+pub fn lex(src: &str, file: FileId) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push(Token { kind: TokKind::LParen, span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            b')' => {
+                toks.push(Token { kind: TokKind::RParen, span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            b',' => {
+                toks.push(Token { kind: TokKind::Comma, span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            b':' => {
+                toks.push(Token { kind: TokKind::Colon, span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // `12abc` is one bad token, not a number then an ident.
+                if i < bytes.len() && is_ident_start(bytes[i]) {
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    return Err(Diagnostic::error(
+                        file,
+                        Span::new(start, i),
+                        format!("malformed number `{}`", &src[start..i]),
+                    )
+                    .with_help("identifiers must start with a letter or `_`"));
+                }
+                toks.push(Token { kind: TokKind::Number, span: Span::new(start, i) });
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Token { kind: TokKind::Ident, span: Span::new(start, i) });
+            }
+            _ => {
+                // Show printable bytes literally, others as \xNN.
+                let shown = if b.is_ascii_graphic() { format!("`{}`", b as char) } else { format!("byte 0x{b:02x}") };
+                return Err(Diagnostic::error(file, Span::new(i, i + 1), format!("unexpected character {shown}")));
+            }
+        }
+    }
+    toks.push(Token { kind: TokKind::Eof, span: Span::point(src.len()) });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_mixed_tokens() {
+        let src = "action drive(t: truck) # comment\n  cost: 2\n";
+        let toks = lex(src, FileId::Domain).unwrap();
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        use TokKind::*;
+        assert_eq!(kinds, vec![Ident, Ident, LParen, Ident, Colon, Ident, RParen, Ident, Colon, Number, Eof]);
+        assert_eq!(toks[1].text(src), "drive");
+        assert_eq!(toks[9].text(src), "2");
+    }
+
+    #[test]
+    fn rejects_stray_bytes() {
+        let err = lex("type a$b", FileId::Domain).unwrap_err();
+        assert!(err.message.contains('$'), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_malformed_number() {
+        let err = lex("cost: 12abc", FileId::Domain).unwrap_err();
+        assert!(err.message.contains("12abc"), "{}", err.message);
+    }
+}

@@ -1,0 +1,204 @@
+//! gaplan-lang: a small typed planning DSL compiled to ground STRIPS.
+//!
+//! The language is PDDL-flavored but line-light: a *domain* file declares
+//! types, predicates over typed parameters, and parameterized actions with
+//! `pre:/add:/del:/cost:` sections; a *problem* file declares typed objects,
+//! an initial state, and a goal. [`compile`] parses both, type-checks them,
+//! grounds the actions over the problem's objects with delete-relaxed
+//! reachability pruning, and returns a [`gaplan_core::strips::StripsProblem`]
+//! that plugs into every existing layer (decode caches, signatures,
+//! checkpoints, islands, the TCP service) unchanged.
+//!
+//! ```text
+//! domain logistics                          problem logistics-1
+//! type location                             domain logistics
+//! type truck                                objects depot port: location
+//! pred at(t: truck, l: location)            objects t1: truck
+//! pred road(location, location)             init: at(t1, depot) road(depot, port)
+//! action drive(t: truck, a: location,       goal: at(t1, port)
+//!              b: location)
+//!   pre: at(t, a) road(a, b)
+//!   add: at(t, b)
+//!   del: at(t, a)
+//!   cost: 2
+//! ```
+//!
+//! All failures are reported as span-carrying [`Diagnostic`]s with caret
+//! snippets and "did you mean" hints; [`CompileError::render`] formats the
+//! whole batch against the two sources.
+
+pub mod ast;
+pub mod check;
+pub mod ground;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+
+pub use check::{CheckedDomain, CheckedProblem};
+pub use ground::GroundStats;
+pub use parser::{parse_domain, parse_problem};
+pub use span::{render_legacy_parse, Diagnostic, FileId, Severity, Span};
+
+use gaplan_core::strips::StripsProblem;
+
+/// A successful compilation: the ground problem plus any warnings.
+#[derive(Debug)]
+pub struct Compiled {
+    pub strips: StripsProblem,
+    pub warnings: Vec<Diagnostic>,
+    pub stats: GroundStats,
+}
+
+/// A failed compilation: every diagnostic gathered before the failing stage
+/// stopped (errors and warnings, in source order per stage).
+#[derive(Debug)]
+pub struct CompileError {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileError {
+    /// Render all diagnostics against their sources, separated by blank
+    /// lines. `domain_name`/`problem_name` are display names (paths).
+    pub fn render(&self, domain_name: &str, domain_src: &str, problem_name: &str, problem_src: &str) -> String {
+        render_diagnostics(&self.diagnostics, domain_name, domain_src, problem_name, problem_src)
+    }
+
+    /// Single-line summary (first error message), for wire errors.
+    pub fn summary(&self) -> String {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .or(self.diagnostics.first())
+            .map(|d| d.message.clone())
+            .unwrap_or_else(|| "compilation failed".to_string())
+    }
+}
+
+/// Render a batch of diagnostics against the two compilation sources.
+pub fn render_diagnostics(
+    diags: &[Diagnostic],
+    domain_name: &str,
+    domain_src: &str,
+    problem_name: &str,
+    problem_src: &str,
+) -> String {
+    let mut out = String::new();
+    for d in diags {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        match d.file {
+            FileId::Domain => out.push_str(&d.render(domain_name, domain_src)),
+            FileId::Problem => out.push_str(&d.render(problem_name, problem_src)),
+        }
+    }
+    out
+}
+
+/// Parse, check, and ground a domain/problem pair.
+pub fn compile(domain_src: &str, problem_src: &str) -> Result<Compiled, CompileError> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    let dom_ast = match parse_domain(domain_src) {
+        Ok(a) => Some(a),
+        Err(d) => {
+            diags.push(d);
+            None
+        }
+    };
+    let prob_ast = match parse_problem(problem_src) {
+        Ok(a) => Some(a),
+        Err(d) => {
+            diags.push(d);
+            None
+        }
+    };
+    let (Some(dom_ast), Some(prob_ast)) = (dom_ast, prob_ast) else {
+        return Err(CompileError { diagnostics: diags });
+    };
+
+    let Some(dom) = check::check_domain(&dom_ast, &mut diags) else {
+        return Err(CompileError { diagnostics: diags });
+    };
+    let Some(prob) = check::check_problem(&prob_ast, &dom, &mut diags) else {
+        return Err(CompileError { diagnostics: diags });
+    };
+
+    let Some((strips, stats)) = ground::ground(&dom, &prob, &mut diags) else {
+        return Err(CompileError { diagnostics: diags });
+    };
+    // Anything left at this point is warnings (errors would have bailed).
+    Ok(Compiled { strips, warnings: diags, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaplan_core::domain::{Domain, DomainExt};
+
+    const DOM: &str = "\
+domain log
+type location
+type truck
+pred at(t: truck, l: location)
+pred road(location, location)
+action drive(t: truck, a: location, b: location)
+  pre: at(t, a) road(a, b)
+  add: at(t, b)
+  del: at(t, a)
+  cost: 2
+";
+    const PROB: &str = "\
+problem p1
+domain log
+objects depot port: location
+objects t1: truck
+init: at(t1, depot) road(depot, port) road(port, depot)
+goal: at(t1, port)
+";
+
+    #[test]
+    fn compiles_and_grounds() {
+        let c = compile(DOM, PROB).unwrap();
+        assert!(c.warnings.is_empty(), "{:?}", c.warnings);
+        assert_eq!(c.stats.objects, 3);
+        // drive fires for (t1, depot, port) and (t1, port, depot); identity
+        // moves like (t1, depot, depot) are pruned (no road(depot, depot)).
+        assert_eq!(c.stats.ops, 2);
+        let ops: Vec<&str> = c.strips.operators().iter().map(|o| o.name.as_str()).collect();
+        assert!(ops.contains(&"drive(t1,depot,port)"), "{ops:?}");
+        // The one-step plan reaches the goal.
+        let init = c.strips.initial_state();
+        assert!(!c.strips.valid_ops_vec(&init).is_empty());
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let a = compile(DOM, PROB).unwrap().strips.signature();
+        let b = compile(DOM, PROB).unwrap().strips.signature();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unreachable_goal_warns() {
+        let prob = "\
+problem p2
+domain log
+objects depot port island: location
+objects t1: truck
+init: at(t1, depot) road(depot, port)
+goal: at(t1, island)
+";
+        let c = compile(DOM, prob).unwrap();
+        assert_eq!(c.warnings.len(), 1);
+        assert!(c.warnings[0].message.contains("unreachable"), "{:?}", c.warnings);
+    }
+
+    #[test]
+    fn errors_accumulate_across_files() {
+        let err = compile("domain d\n!", "problem p domain d\n!").unwrap_err();
+        assert_eq!(err.diagnostics.len(), 2);
+        assert!(!err.summary().is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! Recursive-descent parser for the planning DSL.
+//!
+//! Domain grammar:
+//!
+//! ```text
+//! domain    := "domain" IDENT decl*
+//! decl      := "type" IDENT
+//!            | "pred" IDENT "(" params? ")"
+//!            | "action" IDENT "(" params? ")" body*
+//! params    := param ("," param)*
+//! param     := IDENT (":" IDENT)?          # bare IDENT = unnamed, type-only
+//! body      := ("pre" | "add" | "del") ":" atom*
+//!            | "cost" ":" NUMBER
+//! atom      := IDENT "(" (IDENT ("," IDENT)*)? ")"
+//! ```
+//!
+//! Problem grammar:
+//!
+//! ```text
+//! problem   := "problem" IDENT "domain" IDENT section*
+//! section   := "objects" IDENT+ ":" IDENT
+//!            | "init" ":" atom*
+//!            | "goal" ":" atom*
+//! ```
+//!
+//! Atom lists are delimited by lookahead: an `IDENT` starts a new atom only
+//! if the next token is `(`; otherwise it begins the next declaration or
+//! section. Keywords (`domain`, `type`, `pred`, `action`, `problem`,
+//! `objects`, `init`, `goal`, `pre`, `add`, `del`, `cost`) are reserved and
+//! rejected as names.
+
+use crate::ast::*;
+use crate::lexer::{describe, lex, TokKind, Token};
+use crate::span::{Diagnostic, FileId, Span};
+
+const RESERVED: &[&str] =
+    &["domain", "problem", "type", "pred", "action", "objects", "init", "goal", "pre", "add", "del", "cost"];
+
+pub fn is_reserved(word: &str) -> bool {
+    RESERVED.contains(&word)
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    file: FileId,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diagnostic>;
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> Token {
+        self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> Token {
+        self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn text(&self, tok: Token) -> &'s str {
+        tok.text(self.src)
+    }
+
+    /// Is the upcoming token the keyword `kw`?
+    fn at_keyword(&self, kw: &str) -> bool {
+        let t = self.peek();
+        t.kind == TokKind::Ident && self.text(t) == kw
+    }
+
+    fn expect(&mut self, kind: TokKind, what: &str) -> PResult<Token> {
+        let t = self.peek();
+        if t.kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::error(self.file, t.span, format!("expected {what}, found {}", describe(t, self.src))))
+        }
+    }
+
+    /// Expect a non-reserved identifier used as a name.
+    fn name(&mut self, what: &str) -> PResult<Name> {
+        let t = self.expect(TokKind::Ident, what)?;
+        let text = self.text(t);
+        if is_reserved(text) {
+            return Err(Diagnostic::error(
+                self.file,
+                t.span,
+                format!("`{text}` is a reserved word and cannot be used as {what}"),
+            ));
+        }
+        Ok(Name { text: text.to_string(), span: t.span })
+    }
+
+    /// Consume the keyword `kw` (already checked via `at_keyword`).
+    fn keyword(&mut self, kw: &str) -> PResult<Token> {
+        let t = self.peek();
+        if t.kind == TokKind::Ident && self.text(t) == kw {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::error(self.file, t.span, format!("expected `{kw}`, found {}", describe(t, self.src))))
+        }
+    }
+
+    /// `( param ("," param)* )` — trailing comma not allowed.
+    fn params(&mut self) -> PResult<Vec<Param>> {
+        self.expect(TokKind::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if self.peek().kind == TokKind::RParen {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            let first = self.name("a parameter")?;
+            if self.peek().kind == TokKind::Colon {
+                self.bump();
+                let ty = self.name("a type name")?;
+                out.push(Param { name: Some(first), ty });
+            } else {
+                // Bare ident: unnamed, type-only parameter (pred decls).
+                out.push(Param { name: None, ty: first });
+            }
+            match self.peek().kind {
+                TokKind::Comma => {
+                    self.bump();
+                }
+                TokKind::RParen => {
+                    self.bump();
+                    return Ok(out);
+                }
+                _ => {
+                    let t = self.peek();
+                    return Err(Diagnostic::error(
+                        self.file,
+                        t.span,
+                        format!("expected `,` or `)`, found {}", describe(t, self.src)),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// One atom: `IDENT ( args )`. Caller has verified IDENT `(` lookahead.
+    fn atom(&mut self) -> PResult<Atom> {
+        let pred = self.name("a predicate name")?;
+        self.expect(TokKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokKind::RParen {
+            loop {
+                args.push(self.name("an argument")?);
+                match self.peek().kind {
+                    TokKind::Comma => {
+                        self.bump();
+                    }
+                    TokKind::RParen => break,
+                    _ => {
+                        let t = self.peek();
+                        return Err(Diagnostic::error(
+                            self.file,
+                            t.span,
+                            format!("expected `,` or `)`, found {}", describe(t, self.src)),
+                        ));
+                    }
+                }
+            }
+        }
+        let close = self.bump(); // RParen
+        let span = Span::new(pred.span.start, close.span.end);
+        Ok(Atom { pred, args, span })
+    }
+
+    /// Zero or more atoms: stops when the next token is not `IDENT (`.
+    fn atom_list(&mut self) -> PResult<Vec<Atom>> {
+        let mut out = Vec::new();
+        while self.peek().kind == TokKind::Ident
+            && !is_reserved(self.text(self.peek()))
+            && self.peek2().kind == TokKind::LParen
+        {
+            out.push(self.atom()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_domain(&mut self) -> PResult<DomainAst> {
+        self.keyword("domain")?;
+        let name = self.name("a domain name")?;
+        let mut dom = DomainAst { name, types: Vec::new(), preds: Vec::new(), actions: Vec::new() };
+        loop {
+            let t = self.peek();
+            if t.kind == TokKind::Eof {
+                break;
+            }
+            if self.at_keyword("type") {
+                self.bump();
+                dom.types.push(self.name("a type name")?);
+            } else if self.at_keyword("pred") {
+                self.bump();
+                let name = self.name("a predicate name")?;
+                let params = self.params()?;
+                dom.preds.push(PredDecl { name, params });
+            } else if self.at_keyword("action") {
+                self.bump();
+                dom.actions.push(self.action()?);
+            } else {
+                return Err(Diagnostic::error(
+                    self.file,
+                    t.span,
+                    format!("expected `type`, `pred` or `action`, found {}", describe(t, self.src)),
+                ));
+            }
+        }
+        Ok(dom)
+    }
+
+    fn action(&mut self) -> PResult<ActionDecl> {
+        let name = self.name("an action name")?;
+        let params = self.params()?;
+        let mut act = ActionDecl { name, params, pre: Vec::new(), add: Vec::new(), del: Vec::new(), cost: None };
+        loop {
+            // A body section is `pre:` / `add:` / `del:` / `cost:`.
+            let t = self.peek();
+            if t.kind != TokKind::Ident || self.peek2().kind != TokKind::Colon {
+                break;
+            }
+            let kw = self.text(t);
+            match kw {
+                "pre" | "add" | "del" => {
+                    self.bump();
+                    self.bump(); // colon
+                    let atoms = self.atom_list()?;
+                    match kw {
+                        "pre" => act.pre.extend(atoms),
+                        "add" => act.add.extend(atoms),
+                        _ => act.del.extend(atoms),
+                    }
+                }
+                "cost" => {
+                    let kw_tok = self.bump();
+                    self.bump(); // colon
+                    let num = self.expect(TokKind::Number, "a cost number")?;
+                    let text = self.text(num);
+                    let value: u32 = text.parse().map_err(|_| {
+                        Diagnostic::error(self.file, num.span, format!("cost `{text}` does not fit in u32"))
+                    })?;
+                    if value == 0 {
+                        return Err(Diagnostic::error(self.file, num.span, "cost must be at least 1"));
+                    }
+                    if act.cost.is_some() {
+                        return Err(Diagnostic::error(
+                            self.file,
+                            kw_tok.span,
+                            format!("duplicate `cost:` for action `{}`", act.name.text),
+                        ));
+                    }
+                    act.cost = Some((value, num.span));
+                }
+                _ => break,
+            }
+        }
+        Ok(act)
+    }
+
+    fn parse_problem(&mut self) -> PResult<ProblemAst> {
+        self.keyword("problem")?;
+        let name = self.name("a problem name")?;
+        self.keyword("domain")?;
+        let domain = self.name("a domain name")?;
+        let mut prob = ProblemAst { name, domain, objects: Vec::new(), init: Vec::new(), goal: Vec::new() };
+        let mut seen_init: Option<Span> = None;
+        let mut seen_goal: Option<Span> = None;
+        loop {
+            let t = self.peek();
+            if t.kind == TokKind::Eof {
+                break;
+            }
+            if self.at_keyword("objects") {
+                self.bump();
+                let mut names = vec![self.name("an object name")?];
+                while self.peek().kind == TokKind::Ident && !is_reserved(self.text(self.peek())) {
+                    names.push(self.name("an object name")?);
+                }
+                self.expect(TokKind::Colon, "`:` and a type name")?;
+                let ty = self.name("a type name")?;
+                prob.objects.push(ObjectDecl { names, ty });
+            } else if self.at_keyword("init") {
+                let kw = self.bump();
+                if seen_init.is_some() {
+                    return Err(Diagnostic::error(self.file, kw.span, "duplicate `init:` section"));
+                }
+                seen_init = Some(kw.span);
+                self.expect(TokKind::Colon, "`:`")?;
+                prob.init = self.atom_list()?;
+            } else if self.at_keyword("goal") {
+                let kw = self.bump();
+                if seen_goal.is_some() {
+                    return Err(Diagnostic::error(self.file, kw.span, "duplicate `goal:` section"));
+                }
+                seen_goal = Some(kw.span);
+                self.expect(TokKind::Colon, "`:`")?;
+                prob.goal = self.atom_list()?;
+            } else {
+                return Err(Diagnostic::error(
+                    self.file,
+                    t.span,
+                    format!("expected `objects`, `init` or `goal`, found {}", describe(t, self.src)),
+                ));
+            }
+        }
+        if seen_goal.is_none() {
+            return Err(Diagnostic::error(self.file, self.peek().span, "problem has no `goal:` section"));
+        }
+        Ok(prob)
+    }
+}
+
+/// Parse a domain file.
+pub fn parse_domain(src: &str) -> Result<DomainAst, Diagnostic> {
+    let toks = lex(src, FileId::Domain)?;
+    Parser { src, file: FileId::Domain, toks, pos: 0 }.parse_domain()
+}
+
+/// Parse a problem file.
+pub fn parse_problem(src: &str) -> Result<ProblemAst, Diagnostic> {
+    let toks = lex(src, FileId::Problem)?;
+    Parser { src, file: FileId::Problem, toks, pos: 0 }.parse_problem()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOM: &str = "\
+domain logistics
+type location
+type truck
+pred at(p: truck, l: location)
+pred road(location, location)
+action drive(t: truck, from: location, to: location)
+  pre: at(t, from) road(from, to)
+  add: at(t, to)
+  del: at(t, from)
+  cost: 2
+";
+
+    #[test]
+    fn parses_domain() {
+        let d = parse_domain(DOM).unwrap();
+        assert_eq!(d.name.text, "logistics");
+        assert_eq!(d.types.len(), 2);
+        assert_eq!(d.preds.len(), 2);
+        assert_eq!(d.preds[1].params[0].name, None);
+        let a = &d.actions[0];
+        assert_eq!(a.pre.len(), 2);
+        assert_eq!(a.add.len(), 1);
+        assert_eq!(a.del.len(), 1);
+        assert_eq!(a.cost.map(|(c, _)| c), Some(2));
+    }
+
+    #[test]
+    fn parses_problem() {
+        let p = parse_problem(
+            "problem p1 domain logistics\nobjects t1: truck\nobjects a b: location\ninit: at(t1, a) road(a, b)\ngoal: at(t1, b)\n",
+        )
+        .unwrap();
+        assert_eq!(p.objects.len(), 2);
+        assert_eq!(p.objects[1].names.len(), 2);
+        assert_eq!(p.init.len(), 2);
+        assert_eq!(p.goal.len(), 1);
+    }
+
+    #[test]
+    fn reserved_word_as_name_errors() {
+        let err = parse_domain("domain goal").unwrap_err();
+        assert!(err.message.contains("reserved"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_cost_errors() {
+        let src = "domain d\naction a()\n  cost: 1\n  cost: 2\n";
+        let err = parse_domain(src).unwrap_err();
+        assert!(err.message.contains("duplicate `cost:`"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_goal_errors() {
+        let err = parse_problem("problem p domain d\ninit: \n").unwrap_err();
+        assert!(err.message.contains("no `goal:`"), "{}", err.message);
+    }
+}

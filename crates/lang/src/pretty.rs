@@ -1,0 +1,176 @@
+//! Canonical pretty-printer for DSL ASTs.
+//!
+//! Printing then reparsing yields a structurally identical AST (modulo
+//! spans), which the property tests rely on; it is also what
+//! `gaplan check --print` shows so users can see the canonical form.
+
+use crate::ast::*;
+
+fn atom(out: &mut String, a: &Atom) {
+    out.push_str(&a.pred.text);
+    out.push('(');
+    for (i, arg) in a.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&arg.text);
+    }
+    out.push(')');
+}
+
+fn atoms(out: &mut String, label: &str, list: &[Atom]) {
+    if list.is_empty() {
+        return;
+    }
+    out.push_str("  ");
+    out.push_str(label);
+    out.push(':');
+    for a in list {
+        out.push(' ');
+        atom(out, a);
+    }
+    out.push('\n');
+}
+
+fn params(out: &mut String, list: &[Param]) {
+    out.push('(');
+    for (i, p) in list.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if let Some(name) = &p.name {
+            out.push_str(&name.text);
+            out.push_str(": ");
+        }
+        out.push_str(&p.ty.text);
+    }
+    out.push(')');
+}
+
+/// Canonical text of a domain AST.
+pub fn print_domain(d: &DomainAst) -> String {
+    let mut out = format!("domain {}\n", d.name.text);
+    for ty in &d.types {
+        out.push_str(&format!("type {}\n", ty.text));
+    }
+    for p in &d.preds {
+        out.push_str(&format!("pred {}", p.name.text));
+        params(&mut out, &p.params);
+        out.push('\n');
+    }
+    for a in &d.actions {
+        out.push_str(&format!("action {}", a.name.text));
+        params(&mut out, &a.params);
+        out.push('\n');
+        atoms(&mut out, "pre", &a.pre);
+        atoms(&mut out, "add", &a.add);
+        atoms(&mut out, "del", &a.del);
+        if let Some((c, _)) = a.cost {
+            out.push_str(&format!("  cost: {c}\n"));
+        }
+    }
+    out
+}
+
+/// Canonical text of a problem AST.
+pub fn print_problem(p: &ProblemAst) -> String {
+    let mut out = format!("problem {}\ndomain {}\n", p.name.text, p.domain.text);
+    for decl in &p.objects {
+        out.push_str("objects");
+        for n in &decl.names {
+            out.push(' ');
+            out.push_str(&n.text);
+        }
+        out.push_str(&format!(": {}\n", decl.ty.text));
+    }
+    let mut section = |label: &str, list: &[Atom]| {
+        out.push_str(label);
+        out.push(':');
+        for a in list {
+            out.push(' ');
+            atom(&mut out, a);
+        }
+        out.push('\n');
+    };
+    if !p.init.is_empty() {
+        section("init", &p.init);
+    }
+    section("goal", &p.goal);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_domain, parse_problem};
+
+    /// Strip spans so reparse comparison ignores layout.
+    fn despan_domain(mut d: DomainAst) -> DomainAst {
+        use crate::span::Span;
+        let z = Span::new(0, 0);
+        d.name.span = z;
+        for t in &mut d.types {
+            t.span = z;
+        }
+        for p in &mut d.preds {
+            p.name.span = z;
+            for param in &mut p.params {
+                if let Some(n) = &mut param.name {
+                    n.span = z;
+                }
+                param.ty.span = z;
+            }
+        }
+        for a in &mut d.actions {
+            a.name.span = z;
+            for param in &mut a.params {
+                if let Some(n) = &mut param.name {
+                    n.span = z;
+                }
+                param.ty.span = z;
+            }
+            for atoms in [&mut a.pre, &mut a.add, &mut a.del] {
+                for at in atoms.iter_mut() {
+                    at.pred.span = z;
+                    at.span = z;
+                    for arg in &mut at.args {
+                        arg.span = z;
+                    }
+                }
+            }
+            if let Some((_, s)) = &mut a.cost {
+                *s = z;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn domain_roundtrips() {
+        let src = "\
+domain log
+type location
+pred road(location, location)
+action hop(a: location, b: location)
+  pre: road(a, b)
+  add: road(b, a)
+  cost: 3
+";
+        let ast = parse_domain(src).unwrap();
+        let printed = print_domain(&ast);
+        let reparsed = parse_domain(&printed).unwrap();
+        assert_eq!(despan_domain(ast), despan_domain(reparsed));
+        // Printing is a fixpoint: print(parse(print(x))) == print(x).
+        assert_eq!(printed, print_domain(&parse_domain(&printed).unwrap()));
+    }
+
+    #[test]
+    fn problem_print_parses_back() {
+        let src = "problem p domain log\nobjects a b: location\ninit: road(a, b)\ngoal: road(b, a)\n";
+        let ast = parse_problem(src).unwrap();
+        let printed = print_problem(&ast);
+        let reparsed = parse_problem(&printed).unwrap();
+        assert_eq!(ast.objects.len(), reparsed.objects.len());
+        assert_eq!(printed, print_problem(&reparsed));
+    }
+}

@@ -1,0 +1,249 @@
+//! Source spans and rustc-style diagnostics for the planning DSL.
+//!
+//! A [`Span`] is a half-open byte range into one of the two source files of a
+//! compilation (domain or problem). [`Diagnostic`] carries a severity, the
+//! file it points at, an optional span, a message, and an optional `help`
+//! line ("did you mean ...?"). Rendering produces a caret snippet:
+//!
+//! ```text
+//! error: unknown type `locaton`
+//!   --> logistics.gap:4:12
+//!    |
+//!  4 | pred at(p: locaton)
+//!    |            ^^^^^^^
+//!    = help: did you mean `location`?
+//! ```
+
+/// Half-open byte range `[start, end)` into a source string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Zero-width span at a byte offset (end-of-file errors).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+}
+
+/// Which of the two compilation inputs a diagnostic points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileId {
+    Domain,
+    Problem,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One diagnostic message, optionally anchored to a source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub file: FileId,
+    pub span: Option<Span>,
+    pub message: String,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(file: FileId, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, file, span: Some(span), message: message.into(), help: None }
+    }
+
+    pub fn warning(file: FileId, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, file, span: Some(span), message: message.into(), help: None }
+    }
+
+    /// Diagnostic with no source anchor (e.g. grounding blow-up).
+    pub fn bare(severity: Severity, file: FileId, message: impl Into<String>) -> Self {
+        Diagnostic { severity, file, span: None, message: message.into(), help: None }
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render this diagnostic against its source text.
+    ///
+    /// `name` is the display name of the file (path or synthetic like
+    /// `<domain>`), `src` its full contents.
+    pub fn render(&self, name: &str, src: &str) -> String {
+        let label = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut out = format!("{label}: {}\n", self.message);
+        if let Some(span) = self.span {
+            let (line, col) = line_col(src, span.start);
+            out.push_str(&format!("  --> {name}:{line}:{col}\n"));
+            out.push_str(&snippet(src, span));
+        } else {
+            out.push_str(&format!("  --> {name}\n"));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("   = help: {help}\n"));
+        }
+        out
+    }
+}
+
+/// 1-based (line, column) of a byte offset. Columns count bytes (the DSL is
+/// effectively ASCII); offsets past the end clamp to the last position.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    (line, offset - line_start + 1)
+}
+
+/// The full text of the line containing `offset` (without trailing newline).
+fn line_text(src: &str, offset: usize) -> &str {
+    let offset = offset.min(src.len());
+    let start = src[..offset].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let end = src[offset..].find('\n').map(|i| offset + i).unwrap_or(src.len());
+    &src[start..end]
+}
+
+/// Caret snippet for a span: gutter, source line, underline.
+fn snippet(src: &str, span: Span) -> String {
+    let (line, col) = line_col(src, span.start);
+    let text = line_text(src, span.start);
+    // Underline width: span bytes on this line, at least 1, never past EOL.
+    let on_line = span.end.saturating_sub(span.start).max(1);
+    let avail = text.len().saturating_sub(col - 1).max(1);
+    let width = on_line.min(avail);
+    let gut = line.to_string();
+    let pad = " ".repeat(gut.len());
+    let mut out = String::new();
+    out.push_str(&format!(" {pad} |\n"));
+    out.push_str(&format!(" {gut} | {text}\n"));
+    out.push_str(&format!(" {pad} | {}{}\n", " ".repeat(col - 1), "^".repeat(width)));
+    out
+}
+
+/// Closest declared name to `unknown` within an edit-distance budget of
+/// `max(1, len/3)`, for "did you mean" hints. Ties break toward the earliest
+/// candidate so output is deterministic.
+pub fn did_you_mean<'a>(unknown: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let budget = (unknown.len() / 3).max(1);
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        if cand == unknown {
+            continue;
+        }
+        let d = edit_distance(unknown, cand);
+        if d <= budget && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Restricted Damerau-Levenshtein (optimal string alignment) distance:
+/// Levenshtein plus adjacent transposition at cost 1, so `blokc → block`
+/// counts as one edit — typos swap letters far more often than they need
+/// two independent substitutions. O(len(a)·len(b)) with three rolling rows.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    let mut prev2: Vec<usize> = vec![0; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let mut d = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                d = d.min(prev2[j - 1] + 1);
+            }
+            cur.push(d);
+        }
+        prev2 = std::mem::replace(&mut prev, cur);
+    }
+    prev[b.len()]
+}
+
+/// Render a legacy ground-STRIPS `Error::Parse { line, msg }` with a caret
+/// snippet, for the CLI. The legacy parser reports 1-based lines and often
+/// backticks the offending token in `msg`; when that token occurs on the
+/// line we underline it, otherwise the whole line.
+pub fn render_legacy_parse(name: &str, src: &str, line: usize, msg: &str) -> String {
+    let mut out = format!("error: {msg}\n");
+    if line == 0 || line > src.lines().count() {
+        out.push_str(&format!("  --> {name}:{line}\n"));
+        return out;
+    }
+    let line_start: usize = src.lines().take(line - 1).map(|l| l.len() + 1).sum();
+    let text = src.lines().nth(line - 1).unwrap_or("");
+    // Pull `token` out of the message, if present, and find it on the line.
+    let token = msg.split('`').nth(1).filter(|t| !t.is_empty());
+    let (col, width) = match token.and_then(|t| text.find(t).map(|i| (i, t.len()))) {
+        Some((i, w)) => (i + 1, w),
+        None => (1, text.len().max(1)),
+    };
+    out.push_str(&format!("  --> {name}:{line}:{col}\n"));
+    out.push_str(&snippet(src, Span::new(line_start + col - 1, line_start + col - 1 + width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "abc\ndef\n";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (1, 3));
+        assert_eq!(line_col(src, 4), (2, 1));
+        assert_eq!(line_col(src, 6), (2, 3));
+        // past-the-end clamps
+        assert_eq!(line_col(src, 999), (3, 1));
+    }
+
+    #[test]
+    fn render_has_caret_and_location() {
+        let src = "type truck\npred at(p: pkg)\n";
+        let d = Diagnostic::error(FileId::Domain, Span::new(22, 25), "unknown type `pkg`")
+            .with_help("did you mean `package`?");
+        let r = d.render("d.gap", src);
+        assert!(r.contains("error: unknown type `pkg`"), "{r}");
+        assert!(r.contains("--> d.gap:2:12"), "{r}");
+        assert!(r.contains("^^^"), "{r}");
+        assert!(r.contains("help: did you mean"), "{r}");
+    }
+
+    #[test]
+    fn did_you_mean_picks_close_name() {
+        assert_eq!(did_you_mean("locaton", ["truck", "location", "package"]), Some("location"));
+        assert_eq!(did_you_mean("zzz", ["truck", "location"]), None);
+    }
+
+    #[test]
+    fn legacy_render_underlines_token() {
+        let src = "conditions: a b\nop mv\n  cost: x\n";
+        let r = render_legacy_parse("p.strips", src, 3, "bad cost `x`");
+        assert!(r.contains("--> p.strips:3:9"), "{r}");
+        assert!(r.contains("  cost: x"), "{r}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Every shipped example domain/problem pair must compile cleanly (no
+//! errors, no warnings) and ground to a plausibly-sized problem.
+
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel)
+}
+
+fn compile_pair(domain: &str, problem: &str) -> gaplan_lang::Compiled {
+    let dsrc = std::fs::read_to_string(repo_path(domain)).unwrap_or_else(|e| panic!("read {domain}: {e}"));
+    let psrc = std::fs::read_to_string(repo_path(problem)).unwrap_or_else(|e| panic!("read {problem}: {e}"));
+    match gaplan_lang::compile(&dsrc, &psrc) {
+        Ok(c) => {
+            assert!(
+                c.warnings.is_empty(),
+                "{domain} + {problem} compiled with warnings:\n{}",
+                gaplan_lang::render_diagnostics(&c.warnings, domain, &dsrc, problem, &psrc)
+            );
+            c
+        }
+        Err(e) => panic!("{domain} + {problem} failed:\n{}", e.render(domain, &dsrc, problem, &psrc)),
+    }
+}
+
+/// (domain, problem) pairs shipped in the repo.
+pub const SHIPPED: &[(&str, &str)] = &[
+    ("examples/domains/blocks.gap", "data/blocks-1.gap"),
+    ("examples/domains/blocks.gap", "data/blocks-2.gap"),
+    ("examples/domains/logistics.gap", "data/logistics-1.gap"),
+    ("examples/domains/logistics.gap", "data/logistics-2.gap"),
+    ("examples/domains/elevator.gap", "data/elevator-1.gap"),
+    ("examples/domains/elevator.gap", "data/elevator-2.gap"),
+    ("examples/domains/gridflow.gap", "data/gridflow-1.gap"),
+    ("examples/domains/gridflow.gap", "data/gridflow-2.gap"),
+];
+
+#[test]
+fn all_shipped_examples_compile() {
+    for (domain, problem) in SHIPPED {
+        let c = compile_pair(domain, problem);
+        assert!(c.stats.ops > 0, "{problem}: no ground ops");
+        assert!(c.stats.ops < 2_000, "{problem}: unexpectedly large grounding ({} ops)", c.stats.ops);
+        assert!(c.stats.conditions < 2_000, "{problem}: unexpectedly many conditions ({})", c.stats.conditions);
+    }
+}
+
+#[test]
+fn shipped_examples_ground_deterministically() {
+    for (domain, problem) in SHIPPED {
+        let a = compile_pair(domain, problem).strips.signature();
+        let b = compile_pair(domain, problem).strips.signature();
+        assert_eq!(a, b, "{problem}: signature not deterministic");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the DSL front end: total parsing (diagnostics,
+//! never panics), deterministic grounding, and pretty-print/reparse
+//! roundtripping.
+
+use gaplan_lang::ast::{DomainAst, ProblemAst};
+use gaplan_lang::pretty::{print_domain, print_problem};
+use gaplan_lang::{compile, parse_domain, parse_problem};
+use proptest::prelude::*;
+
+/// Strip spans so roundtripped ASTs compare structurally: the pretty
+/// printer re-lays-out the source, so offsets legitimately move.
+fn despan_domain(ast: &DomainAst) -> String {
+    // Debug output with every `span:`/`Span {..}` chunk erased is a cheap
+    // span-free structural fingerprint.
+    erase_spans(&format!("{ast:?}"))
+}
+
+fn despan_problem(ast: &ProblemAst) -> String {
+    erase_spans(&format!("{ast:?}"))
+}
+
+fn erase_spans(debug: &str) -> String {
+    let mut out = String::with_capacity(debug.len());
+    let mut rest = debug;
+    while let Some(idx) = rest.find("Span {") {
+        out.push_str(&rest[..idx]);
+        let tail = &rest[idx..];
+        let end = tail.find('}').map(|e| e + 1).unwrap_or(tail.len());
+        out.push_str("Span");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Tokens that tend to hit interesting parser paths much more often than
+/// uniform bytes do.
+const TOKENS: &[&str] = &[
+    "domain",
+    "problem",
+    "type",
+    "pred",
+    "action",
+    "objects",
+    "init:",
+    "goal:",
+    "pre:",
+    "add:",
+    "del:",
+    "cost:",
+    "(",
+    ")",
+    ",",
+    ":",
+    "x",
+    "t1",
+    "at",
+    "7",
+    "\n",
+    "# comment",
+];
+
+fn arb_token() -> impl Strategy<Value = String> {
+    (0..TOKENS.len()).prop_map(|i| TOKENS[i].to_string())
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the front end — every failure is a
+    /// rendered diagnostic. (Input goes through `from_utf8_lossy`, matching
+    /// what the CLI does with file contents.)
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        match parse_domain(&src) {
+            Ok(_) => {}
+            Err(d) => { let _ = d.render("fuzz.gap", &src); }
+        }
+        match parse_problem(&src) {
+            Ok(_) => {}
+            Err(d) => { let _ = d.render("fuzz.gap", &src); }
+        }
+    }
+
+    /// Token soup (keyword-dense input) never panics the whole pipeline —
+    /// parse, check, ground. Much better at reaching checker/grounder code
+    /// than raw bytes.
+    #[test]
+    fn token_soup_never_panics(dom in proptest::collection::vec(arb_token(), 0..64),
+                               prob in proptest::collection::vec(arb_token(), 0..64)) {
+        let dsrc = dom.join(" ");
+        let psrc = prob.join(" ");
+        match compile(&dsrc, &psrc) {
+            Ok(_) => {}
+            Err(e) => { let _ = e.render("d.gap", &dsrc, "p.gap", &psrc); }
+        }
+    }
+
+    /// Compiling the same pair twice yields byte-identical ground problems
+    /// (witnessed by the signature), even for generated chain domains.
+    #[test]
+    fn grounding_is_deterministic(n in 1usize..6, cost in 1u32..9) {
+        let mut dom = String::from("domain chain\ntype node\npred at(n: node)\n");
+        for i in 0..n {
+            dom.push_str(&format!(
+                "action hop{i}(a: node, b: node)\n  pre: at(a)\n  add: at(b)\n  del: at(a)\n  cost: {cost}\n"
+            ));
+        }
+        let mut prob = String::from("problem p domain chain\nobjects");
+        for i in 0..=n {
+            prob.push_str(&format!(" n{i}"));
+        }
+        prob.push_str(": node\ninit: at(n0)\n");
+        prob.push_str(&format!("goal: at(n{n})\n"));
+
+        let a = compile(&dom, &prob).unwrap();
+        let b = compile(&dom, &prob).unwrap();
+        prop_assert_eq!(a.strips.signature(), b.strips.signature());
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}
+
+/// Pretty-printing a parsed AST and reparsing it reproduces the AST
+/// (modulo spans), and the printer is a fixpoint on its own output. Run
+/// over every shipped example rather than generated input: the examples
+/// exercise every syntactic form the printer handles.
+#[test]
+fn pretty_print_roundtrips_shipped_examples() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for (dom_rel, prob_rel) in [
+        ("examples/domains/blocks.gap", "data/blocks-1.gap"),
+        ("examples/domains/logistics.gap", "data/logistics-2.gap"),
+        ("examples/domains/elevator.gap", "data/elevator-1.gap"),
+        ("examples/domains/gridflow.gap", "data/gridflow-2.gap"),
+    ] {
+        let dsrc = std::fs::read_to_string(root.join(dom_rel)).unwrap();
+        let psrc = std::fs::read_to_string(root.join(prob_rel)).unwrap();
+
+        let dom = parse_domain(&dsrc).unwrap();
+        let printed = print_domain(&dom);
+        let reparsed = parse_domain(&printed).unwrap_or_else(|d| panic!("{}", d.render(dom_rel, &printed)));
+        assert_eq!(despan_domain(&dom), despan_domain(&reparsed), "{dom_rel} AST changed across print/reparse");
+        assert_eq!(printed, print_domain(&reparsed), "{dom_rel} printer is not a fixpoint");
+
+        let prob = parse_problem(&psrc).unwrap();
+        let printed = print_problem(&prob);
+        let reparsed = parse_problem(&printed).unwrap_or_else(|d| panic!("{}", d.render(prob_rel, &printed)));
+        assert_eq!(despan_problem(&prob), despan_problem(&reparsed), "{prob_rel} AST changed across print/reparse");
+        assert_eq!(printed, print_problem(&reparsed), "{prob_rel} printer is not a fixpoint");
+    }
+}

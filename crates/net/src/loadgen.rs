@@ -65,6 +65,11 @@ pub struct LoadgenConfig {
     pub burst: u64,
     /// Send `{"cmd":"shutdown"}` when done, stopping the server.
     pub shutdown_after: bool,
+    /// Optional DSL `(domain, problem)` source pair: when set, every job
+    /// submits a `ProblemSpec::Dsl` with these texts instead of the Hanoi
+    /// instance, exercising the server's grounded-domain cache. Keys still
+    /// vary the GA seed, so coalescing/caching behave as with Hanoi.
+    pub dsl: Option<(String, String)>,
 }
 
 impl Default for LoadgenConfig {
@@ -81,6 +86,7 @@ impl Default for LoadgenConfig {
             rate: None,
             burst: 1,
             shutdown_after: false,
+            dsl: None,
         }
     }
 }
@@ -255,15 +261,26 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// The request line for `id` under `key`: a fixed small Hanoi instance
-/// whose GA seed is derived from the key, so distinct keys are distinct
-/// cache/coalesce entries and equal keys plan identically.
-fn plan_line(id: u64, key: u64, deadline_ms: Option<u64>) -> String {
-    let deadline = match deadline_ms {
+/// (or the configured DSL pair) whose GA seed is derived from the key, so
+/// distinct keys are distinct cache/coalesce entries and equal keys plan
+/// identically.
+fn plan_line(cfg: &LoadgenConfig, id: u64, key: u64) -> String {
+    let deadline = match cfg.deadline_ms {
         Some(ms) => format!(",\"deadline_ms\":{ms}"),
         None => String::new(),
     };
+    let problem = match &cfg.dsl {
+        Some((domain, prob)) => {
+            let mut d = String::new();
+            write_value(&mut d, &Value::Str(domain.clone()));
+            let mut p = String::new();
+            write_value(&mut p, &Value::Str(prob.clone()));
+            format!("{{\"Dsl\":{{\"domain\":{d},\"problem\":{p}}}}}")
+        }
+        None => "{\"Hanoi\":{\"disks\":4}}".to_string(),
+    };
     format!(
-        "{{\"cmd\":\"plan\",\"id\":{id},\"problem\":{{\"Hanoi\":{{\"disks\":4}}}}{deadline},\
+        "{{\"cmd\":\"plan\",\"id\":{id},\"problem\":{problem}{deadline},\
          \"ga\":{{\"population\":48,\"generations\":40,\"phases\":2,\"seed\":{}}}}}",
         key.wrapping_mul(2_654_435_761).wrapping_add(1)
     )
@@ -298,7 +315,7 @@ fn run_conn(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64) -> io::Result<ConnSta
         while sent < jobs && pending.len() < cfg.inflight.max(1) {
             let key = pick_key(&mut rng, cfg);
             let id = base + sent;
-            crate::codec::write_frame(&mut writer, &plan_line(id, key, cfg.deadline_ms))?;
+            crate::codec::write_frame(&mut writer, &plan_line(cfg, id, key))?;
             pending.insert(id, (Instant::now(), key));
             sent += 1;
         }
@@ -352,7 +369,7 @@ fn run_conn_open(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64, rate_per_conn: f
             for _ in 0..burst.min(jobs - sent) {
                 let key = pick_key(&mut rng, cfg);
                 let id = base + sent;
-                crate::codec::write_frame(&mut writer, &plan_line(id, key, cfg.deadline_ms))?;
+                crate::codec::write_frame(&mut writer, &plan_line(cfg, id, key))?;
                 pending.insert(id, (Instant::now(), key));
                 sent += 1;
             }

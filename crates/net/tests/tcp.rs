@@ -233,6 +233,7 @@ fn coalesced_plans_are_byte_identical_to_uncoalesced() {
             rate: None,
             burst: 1,
             shutdown_after: false,
+            dsl: None,
         };
         loadgen::run(&cfg).expect("loadgen run")
     };

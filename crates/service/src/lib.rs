@@ -41,6 +41,7 @@
 
 pub mod cache;
 pub(crate) mod coalesce;
+pub mod ground;
 pub mod journal;
 pub mod metrics;
 pub mod overload;

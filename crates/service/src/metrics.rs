@@ -26,6 +26,8 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    ground_cache_hits: AtomicU64,
+    ground_cache_misses: AtomicU64,
     journal_appends: AtomicU64,
     journal_replayed: AtomicU64,
     journal_truncated_bytes: AtomicU64,
@@ -152,6 +154,16 @@ impl Metrics {
     /// The plan cache evicted its least-recently-used entry to make room.
     pub fn on_cache_eviction(&self) {
         self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `Dsl` job reused an already-grounded domain from the ground cache.
+    pub fn on_ground_cache_hit(&self) {
+        self.ground_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `Dsl` job parsed, checked and grounded its domain from scratch.
+    pub fn on_ground_cache_miss(&self) {
+        self.ground_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One record was appended (and flushed) to the job journal.
@@ -299,6 +311,8 @@ impl Metrics {
             cache_misses: misses,
             cache_hit_rate: if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 },
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            ground_cache_hits: self.ground_cache_hits.load(Ordering::Relaxed),
+            ground_cache_misses: self.ground_cache_misses.load(Ordering::Relaxed),
             journal_appends: self.journal_appends.load(Ordering::Relaxed),
             journal_replayed: self.journal_replayed.load(Ordering::Relaxed),
             journal_truncated_bytes: self.journal_truncated_bytes.load(Ordering::Relaxed),
@@ -407,6 +421,10 @@ pub struct MetricsSnapshot {
     pub cache_hit_rate: f64,
     /// Plan-cache entries evicted (LRU) to make room for new plans.
     pub cache_evictions: u64,
+    /// `Dsl` jobs that reused an already-grounded domain.
+    pub ground_cache_hits: u64,
+    /// `Dsl` jobs that parsed, checked and grounded from scratch.
+    pub ground_cache_misses: u64,
     /// Records appended to the job journal (submits + terminal replies).
     pub journal_appends: u64,
     /// Intact journal records decoded during startup replay.
@@ -485,6 +503,9 @@ mod tests {
         m.on_complete(10, false);
         m.on_reject();
         m.on_cache_eviction();
+        m.on_ground_cache_miss();
+        m.on_ground_cache_hit();
+        m.on_ground_cache_hit();
         m.on_journal_append();
         m.on_journal_append();
         m.on_journal_replayed(5);
@@ -519,6 +540,8 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
         assert_eq!(s.cache_evictions, 1);
+        assert_eq!(s.ground_cache_hits, 2);
+        assert_eq!(s.ground_cache_misses, 1);
         assert_eq!(s.journal_appends, 2);
         assert_eq!(s.journal_replayed, 5);
         assert_eq!(s.journal_truncated_bytes, 17);

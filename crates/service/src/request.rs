@@ -48,6 +48,16 @@ pub enum ProblemSpec {
         /// World source text.
         text: String,
     },
+    /// A typed `gaplan-lang` DSL pair: domain and problem source texts,
+    /// compiled (parse → type check → ground) into a STRIPS problem. The
+    /// service memoizes grounding per source-text signature (see
+    /// [`crate::ground`]), so resubmitting a hot domain skips the compile.
+    Dsl {
+        /// Domain file source text.
+        domain: String,
+        /// Problem file source text.
+        problem: String,
+    },
     /// Fault-injection job for chaos testing the service itself: panics on
     /// the first `fail_attempts` execution attempts, then succeeds
     /// trivially. With `kill_worker` the panic is raised *outside* the
@@ -65,6 +75,14 @@ impl ProblemSpec {
     /// Build the concrete domain value. Errors are parse/validation
     /// messages suitable for an [`super::JobStatus::Error`] response.
     pub fn build(&self) -> Result<BuiltProblem, String> {
+        self.build_with(None)
+    }
+
+    /// [`ProblemSpec::build`], counting `Dsl` ground-cache traffic on
+    /// `metrics` when provided. Workers pass the service metrics; probe
+    /// paths (cache-key computation on the session thread) pass `None` so
+    /// one request is not counted twice.
+    pub fn build_with(&self, metrics: Option<&crate::metrics::Metrics>) -> Result<BuiltProblem, String> {
         match self {
             ProblemSpec::Hanoi { disks } => {
                 if *disks == 0 || *disks > 20 {
@@ -90,6 +108,9 @@ impl ProblemSpec {
             ProblemSpec::Grid { text } => {
                 let world = parse_grid(text).map_err(|e| e.to_string())?;
                 Ok(BuiltProblem::Grid(Box::new(world)))
+            }
+            ProblemSpec::Dsl { domain, problem } => {
+                Ok(BuiltProblem::Dsl(crate::ground::ground_cached(domain, problem, metrics)?))
             }
             ProblemSpec::Chaos { fail_attempts, kill_worker } => {
                 Ok(BuiltProblem::Chaos { fail_attempts: *fail_attempts, kill_worker: *kill_worker })
@@ -121,6 +142,9 @@ pub enum BuiltProblem {
     Strips(Box<StripsProblem>),
     /// Parsed (or in-process) grid world.
     Grid(Box<GridWorld>),
+    /// A DSL pair compiled to ground STRIPS; the `Arc` is shared with the
+    /// process-wide ground cache, so cloning a built problem is cheap.
+    Dsl(Arc<StripsProblem>),
     /// Fault-injection job (see [`ProblemSpec::Chaos`]); handled specially
     /// by the worker, never cached.
     Chaos {
@@ -151,6 +175,9 @@ impl BuiltProblem {
             }
             BuiltProblem::Strips(p) => p.signature(),
             BuiltProblem::Grid(w) => w.signature(),
+            // Structural, like Strips: a DSL pair and a ground text file
+            // that produce the same problem share one plan-cache slot.
+            BuiltProblem::Dsl(p) => p.signature(),
             BuiltProblem::Chaos { fail_attempts, kill_worker } => {
                 let mut s = SigBuilder::new();
                 s.tag("chaos-v1").u32(*fail_attempts).bool(*kill_worker);
@@ -172,6 +199,7 @@ impl BuiltProblem {
                 cfg
             }
             BuiltProblem::Strips(p) => base_config(16.max(Domain::num_operations(p.as_ref()))),
+            BuiltProblem::Dsl(p) => base_config(16.max(Domain::num_operations(p.as_ref()))),
             BuiltProblem::Grid(_) => {
                 let mut cfg = base_config(12);
                 cfg.max_len = 32;
@@ -190,6 +218,7 @@ impl BuiltProblem {
             BuiltProblem::Tile { domain, .. } => Some(DynDomain::new(domain)),
             BuiltProblem::Strips(p) => Some(DynDomain::new(p.as_ref())),
             BuiltProblem::Grid(w) => Some(DynDomain::new(w.as_ref())),
+            BuiltProblem::Dsl(p) => Some(DynDomain::new(p.as_ref())),
             BuiltProblem::Chaos { .. } => None,
         }
     }
@@ -636,6 +665,27 @@ mod tests {
             assert_eq!(plain.goal_fitness.to_bits(), run.goal_fitness.to_bits());
         }
         assert!(cache.stats().hits > 0, "second job over the same problem must reuse successors");
+    }
+
+    #[test]
+    fn dsl_spec_builds_and_roundtrips() {
+        let dom = "domain d\ntype t\npred p(x: t)\npred q(x: t)\naction go(x: t)\n  pre: p(x)\n  add: q(x)\n";
+        let prob = "problem pr domain d\nobjects a: t\ninit: p(a)\ngoal: q(a)\n";
+        let spec = ProblemSpec::Dsl { domain: dom.into(), problem: prob.into() };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ProblemSpec = serde_json::from_str(&json).unwrap();
+        let built = back.build().unwrap();
+        assert!(built.as_dyn().is_some(), "Dsl problems must plan");
+        assert_eq!(built.signature(), spec.build().unwrap().signature());
+        let req = PlanRequest { id: 1, problem: spec, deadline_ms: None, ga: None };
+        assert!(req.cache_key().is_some(), "Dsl requests are cacheable");
+    }
+
+    #[test]
+    fn dsl_compile_error_reports_as_build_error() {
+        let spec = ProblemSpec::Dsl { domain: "domain d\ntype t\naction a()".into(), problem: "nope".into() };
+        let err = spec.build().unwrap_err();
+        assert!(!err.is_empty());
     }
 
     #[test]

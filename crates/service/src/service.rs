@@ -193,6 +193,10 @@ pub struct HealthReport {
     pub cache_misses: u64,
     /// Plan-cache entries evicted (LRU) to make room.
     pub cache_evictions: u64,
+    /// `Dsl` jobs that reused an already-grounded domain.
+    pub ground_cache_hits: u64,
+    /// `Dsl` jobs that parsed, checked and grounded from scratch.
+    pub ground_cache_misses: u64,
     /// Records appended to the job journal (0 when serving unjournaled).
     pub journal_appends: u64,
     /// Intact journal records decoded during startup replay.
@@ -496,6 +500,8 @@ impl PlanService {
             cache_hits: snapshot.cache_hits,
             cache_misses: snapshot.cache_misses,
             cache_evictions: snapshot.cache_evictions,
+            ground_cache_hits: snapshot.ground_cache_hits,
+            ground_cache_misses: snapshot.ground_cache_misses,
             journal_appends: snapshot.journal_appends,
             journal_replayed: snapshot.journal_replayed,
             journal_truncated_bytes: snapshot.journal_truncated_bytes,
@@ -776,7 +782,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 fn run_job(job: &Job, shared: &Shared, attempt: u32) -> PlanResponse {
     let (built, cfg) = match &job.problem {
-        JobProblem::Spec(spec) => match spec.build() {
+        JobProblem::Spec(spec) => match spec.build_with(Some(&shared.metrics)) {
             Ok(built) => {
                 let defaults = built.default_config();
                 let cfg = match &job.overrides {

@@ -1,0 +1,11 @@
+# Three blocks on the table; build the tower a-on-b-on-c.
+
+problem blocks-1
+domain blocks
+
+objects a b c: block
+
+init: on-table(a) on-table(b) on-table(c)
+      clear(a) clear(b) clear(c) hand-empty()
+
+goal: on(a, b) on(b, c)

@@ -1,0 +1,11 @@
+# Four blocks stacked d-c-b-a; reverse the tower to a-b-c-d.
+
+problem blocks-2
+domain blocks
+
+objects a b c d: block
+
+init: on(d, c) on(c, b) on(b, a)
+      on-table(a) clear(d) hand-empty()
+
+goal: on(a, b) on(b, c) on(c, d)

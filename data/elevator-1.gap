@@ -1,0 +1,14 @@
+# Three floors, two passengers going opposite directions.
+
+problem elevator-1
+domain elevator
+
+objects f1 f2 f3: floor
+objects alice bob: passenger
+
+init: lift-at(f1)
+      next(f1, f2) next(f2, f3)
+      origin(alice, f1) destin(alice, f3)
+      origin(bob, f3) destin(bob, f1)
+
+goal: served(alice) served(bob)

@@ -1,0 +1,15 @@
+# Four floors, three passengers with interleaved trips.
+
+problem elevator-2
+domain elevator
+
+objects f1 f2 f3 f4: floor
+objects p1 p2 p3: passenger
+
+init: lift-at(f2)
+      next(f1, f2) next(f2, f3) next(f3, f4)
+      origin(p1, f1) destin(p1, f4)
+      origin(p2, f3) destin(p2, f1)
+      origin(p3, f2) destin(p3, f3)
+
+goal: served(p1) served(p2) served(p3)

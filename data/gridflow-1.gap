@@ -1,0 +1,17 @@
+# Two-stage pipeline across three machines: raw data on the edge node must
+# be filtered on the compute node, and the result archived on the store node.
+
+problem gridflow-1
+domain gridflow
+
+objects edge compute store: machine
+objects raw filtered: dataset
+objects filterer: program
+
+init: stored(raw, edge)
+      link(edge, compute) link(compute, edge)
+      link(compute, store) link(store, compute)
+      installed(filterer, compute)
+      input(filterer, raw) produces(filterer, filtered)
+
+goal: ran(filterer) stored(filtered, store)

@@ -1,0 +1,21 @@
+# Diamond workflow: two analysis programs on different machines both
+# consume the raw dataset; a merger on a fourth machine needs both outputs
+# staged locally before it can run.
+
+problem gridflow-2
+domain gridflow
+
+objects src fast slow sink: machine
+objects raw stats logs report: dataset
+objects analyze summarize merge: program
+
+init: stored(raw, src)
+      link(src, fast) link(src, slow)
+      link(fast, sink) link(slow, sink)
+      link(sink, src)
+      installed(analyze, fast) installed(summarize, slow) installed(merge, sink)
+      input(analyze, raw) produces(analyze, stats)
+      input(summarize, raw) produces(summarize, logs)
+      input(merge, stats) produces(merge, report)
+
+goal: ran(analyze) ran(summarize) ran(merge) stored(report, sink) stored(logs, sink)

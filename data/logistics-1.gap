@@ -1,0 +1,15 @@
+# One truck, two packages, three locations on a line.
+
+problem logistics-1
+domain logistics
+
+objects depot port market: location
+objects truck1: truck
+objects box1 box2: package
+
+init: truck-at(truck1, depot)
+      at(box1, depot) at(box2, port)
+      road(depot, port) road(port, depot)
+      road(port, market) road(market, port)
+
+goal: at(box1, port) at(box2, market)

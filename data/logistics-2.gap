@@ -1,0 +1,17 @@
+# Two trucks on a diamond network; swap packages between far corners.
+
+problem logistics-2
+domain logistics
+
+objects north south east west: location
+objects t1 t2: truck
+objects pkg1 pkg2 pkg3: package
+
+init: truck-at(t1, north) truck-at(t2, south)
+      at(pkg1, north) at(pkg2, south) at(pkg3, east)
+      road(north, east) road(east, north)
+      road(north, west) road(west, north)
+      road(south, east) road(east, south)
+      road(south, west) road(west, south)
+
+goal: at(pkg1, south) at(pkg2, north) at(pkg3, west)

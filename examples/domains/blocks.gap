@@ -1,0 +1,32 @@
+# Blocks world: a one-armed robot stacks blocks on a table.
+# The classic STRIPS benchmark — good first domain for the DSL.
+
+domain blocks
+
+type block
+
+pred on(a: block, b: block)        # a sits directly on b
+pred on-table(b: block)
+pred clear(b: block)               # nothing on top of b
+pred holding(b: block)
+pred hand-empty()
+
+action pickup(b: block)
+  pre: clear(b) on-table(b) hand-empty()
+  add: holding(b)
+  del: clear(b) on-table(b) hand-empty()
+
+action putdown(b: block)
+  pre: holding(b)
+  add: clear(b) on-table(b) hand-empty()
+  del: holding(b)
+
+action stack(a: block, b: block)
+  pre: holding(a) clear(b)
+  add: on(a, b) clear(a) hand-empty()
+  del: holding(a) clear(b)
+
+action unstack(a: block, b: block)
+  pre: on(a, b) clear(a) hand-empty()
+  add: holding(a) clear(b)
+  del: on(a, b) clear(a) hand-empty()

@@ -1,0 +1,34 @@
+# Elevator (miconic-style): a lift moves between adjacent floors,
+# passengers board at their origin and leave at their destination.
+
+domain elevator
+
+type floor
+type passenger
+
+pred lift-at(f: floor)
+pred next(a: floor, b: floor)         # b is directly above a
+pred origin(p: passenger, f: floor)
+pred destin(p: passenger, f: floor)
+pred boarded(p: passenger)
+pred served(p: passenger)
+
+action up(a: floor, b: floor)
+  pre: lift-at(a) next(a, b)
+  add: lift-at(b)
+  del: lift-at(a)
+
+action down(a: floor, b: floor)
+  pre: lift-at(b) next(a, b)
+  add: lift-at(a)
+  del: lift-at(b)
+
+action board(p: passenger, f: floor)
+  pre: lift-at(f) origin(p, f)
+  add: boarded(p)
+  del: origin(p, f)
+
+action leave(p: passenger, f: floor)
+  pre: lift-at(f) boarded(p) destin(p, f)
+  add: served(p)
+  del: boarded(p)

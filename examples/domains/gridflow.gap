@@ -1,0 +1,27 @@
+# Grid workflow: the paper's setting as a DSL domain. Machines hold
+# datasets and installed programs; datasets move over network links, and a
+# program runs on a machine once its input dataset is stored there,
+# producing its output dataset on that machine.
+
+domain gridflow
+
+type machine
+type dataset
+type program
+
+pred stored(d: dataset, m: machine)
+pred link(a: machine, b: machine)
+pred installed(p: program, m: machine)
+pred input(p: program, d: dataset)     # p consumes d
+pred produces(p: program, d: dataset)  # p emits d
+pred ran(p: program)
+
+action transfer(d: dataset, from: machine, to: machine)
+  pre: stored(d, from) link(from, to)
+  add: stored(d, to)
+  cost: 3
+
+action run(p: program, d: dataset, out: dataset, m: machine)
+  pre: installed(p, m) input(p, d) produces(p, out) stored(d, m)
+  add: ran(p) stored(out, m)
+  cost: 5

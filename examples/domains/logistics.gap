@@ -1,0 +1,29 @@
+# Logistics: trucks carry packages along a road network.
+# Roads are directed; declare both directions for two-way travel.
+
+domain logistics
+
+type location
+type truck
+type package
+
+pred at(p: package, l: location)
+pred truck-at(t: truck, l: location)
+pred in(p: package, t: truck)
+pred road(a: location, b: location)
+
+action drive(t: truck, from: location, to: location)
+  pre: truck-at(t, from) road(from, to)
+  add: truck-at(t, to)
+  del: truck-at(t, from)
+  cost: 2
+
+action load(p: package, t: truck, l: location)
+  pre: at(p, l) truck-at(t, l)
+  add: in(p, t)
+  del: at(p, l)
+
+action unload(p: package, t: truck, l: location)
+  pre: in(p, t) truck-at(t, l)
+  add: at(p, l)
+  del: in(p, t)

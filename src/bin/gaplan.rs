@@ -4,6 +4,8 @@
 //! gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2]
 //!                      [--seed N] [--pop N] [--gens N] [--phases N]
 //!                      [--islands K] [--migrate-every M] [--emigrants E]
+//! gaplan solve  --domain FILE --problem FILE [--planner ...] [GA flags]
+//! gaplan check  --domain FILE [--problem FILE] [--print]
 //! gaplan grid   <file> [--planner ga|greedy] [--simulate]
 //!                      [--overload SITE:TIME:LOAD] [--faults SEED]
 //!                      [--fault-rate F]
@@ -18,6 +20,7 @@
 //! gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N]
 //!               [--keys N] [--skew F] [--deadline-ms N] [--seed N]
 //!               [--rate R] [--burst B] [--shutdown-after] [--out FILE]
+//!               [--domain FILE --problem FILE]
 //! gaplan trace-report <file> [--top K]
 //! ```
 //!
@@ -53,6 +56,12 @@
 //! write-ahead journals every accepted job and terminal reply under DIR, so
 //! a killed service replays unfinished work on restart (see `gaplan-durable`).
 //!
+//! `solve` compiles a typed-DSL domain/problem pair (see `gaplan-lang` and
+//! DESIGN.md §14) into ground STRIPS and plans it with the same planners and
+//! flags as `strips`; `check` stops after parse/typecheck/grounding and
+//! reports diagnostics (exit 0 clean, 1 with errors). Example domains live
+//! in `examples/domains/` with problems in `data/`.
+//!
 //! STRIPS files use the `gaplan-core` text format; grid files use the
 //! `gaplan-grid` format (see `data/` for samples).
 
@@ -71,6 +80,7 @@ use ga_grid_planner::ga::{
 use ga_grid_planner::grid::{
     chaos_schedule, greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, FaultPlan, ReplanPolicy,
 };
+use ga_grid_planner::lang;
 use ga_grid_planner::net::{self as gaplan_net, LoadgenConfig, NetOptions, TcpServer};
 use ga_grid_planner::obs;
 use ga_grid_planner::service::{
@@ -83,6 +93,8 @@ fn main() {
     let Some(cmd) = args.first() else { usage("no command") };
     match cmd.as_str() {
         "strips" => strips_cmd(&args[1..]),
+        "solve" => solve_cmd(&args[1..]),
+        "check" => check_cmd(&args[1..]),
         "grid" => grid_cmd(&args[1..]),
         "hanoi" => hanoi_cmd(&args[1..]),
         "tile" => tile_cmd(&args[1..]),
@@ -113,7 +125,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--islands K [--migrate-every M] [--emigrants E] (island-model GA with deterministic ring migration),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan solve --domain FILE --problem FILE [--planner ...] [GA flags]    (typed DSL → ground STRIPS → plan)\n  gaplan check --domain FILE [--problem FILE] [--print]    (parse/typecheck/ground only; exit 1 on errors)\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE] [--domain FILE --problem FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--islands K [--migrate-every M] [--emigrants E] (island-model GA with deterministic ring migration),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -231,17 +243,10 @@ fn report_plan<D: Domain>(domain: &D, plan: &Plan, elapsed: f64, extra: &str) {
     print!("{}", plan.display(domain));
 }
 
-fn strips_cmd(args: &[String]) {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else { usage("strips needs a file") };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1);
-    });
-    let problem = gaplan_core::strips::parse_strips(&text).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        exit(1);
-    });
-    println!("{path}: {} conditions, {} ground operators", problem.num_conditions(), problem.num_operations());
+/// Plan a ground STRIPS problem with the planner selected by `--planner`
+/// (GA by default, with checkpoint/island/trace flags honored), printing
+/// the plan. Shared by `strips` (legacy text format) and `solve` (DSL).
+fn plan_strips(problem: &gaplan_core::strips::StripsProblem, args: &[String]) {
     let planner = flag_value(args, "--planner").unwrap_or("ga");
     let limits = SearchLimits::default();
     let _trace = install_trace(args);
@@ -249,25 +254,25 @@ fn strips_cmd(args: &[String]) {
     match planner {
         "ga" => {
             let cfg = ga_config_from_flags(args, 16.max(problem.num_operations()));
-            let r = run_with_checkpoint(&problem, cfg, problem.signature(), args);
+            let r = run_with_checkpoint(problem, cfg, problem.signature(), args);
             println!(
                 "GA: solved={} goal-fitness={:.3} generations={}",
                 r.solved, r.goal_fitness, r.generations_to_solution
             );
-            report_plan(&problem, &r.plan, started.elapsed().as_secs_f64(), "");
+            report_plan(problem, &r.plan, started.elapsed().as_secs_f64(), "");
         }
         other => {
             let result = match other {
-                "bfs" => bfs(&problem, limits),
-                "graphplan" => graphplan(&problem, limits),
-                "forward" => forward_chain(&problem, limits),
-                "backward" => backward_chain(&problem, limits),
-                "hsp2" => greedy_best_first(&problem, &HAdd, limits),
+                "bfs" => bfs(problem, limits),
+                "graphplan" => graphplan(problem, limits),
+                "forward" => forward_chain(problem, limits),
+                "backward" => backward_chain(problem, limits),
+                "hsp2" => greedy_best_first(problem, &HAdd, limits),
                 _ => usage(&format!("unknown planner `{other}`")),
             };
             match result.plan {
                 Some(plan) => report_plan(
-                    &problem,
+                    problem,
                     &plan,
                     started.elapsed().as_secs_f64(),
                     &format!(", {} nodes expanded", result.expanded),
@@ -276,6 +281,121 @@ fn strips_cmd(args: &[String]) {
                     println!("{other}: no plan found ({:?}, {} expanded)", result.outcome, result.expanded);
                     exit(1);
                 }
+            }
+        }
+    }
+}
+
+fn strips_cmd(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else { usage("strips needs a file") };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let problem = gaplan_core::strips::parse_strips(&text).unwrap_or_else(|e| {
+        // Parse failures get the full caret treatment from the DSL's
+        // diagnostic renderer; other errors print as before.
+        match &e {
+            gaplan_core::Error::Parse { line, msg } => {
+                eprint!("{}", lang::render_legacy_parse(path, &text, *line, msg))
+            }
+            other => eprintln!("{other}"),
+        }
+        exit(1);
+    });
+    println!("{path}: {} conditions, {} ground operators", problem.num_conditions(), problem.num_operations());
+    plan_strips(&problem, args);
+}
+
+/// Read `--domain FILE` and `--problem FILE` sources for `solve`/`check`.
+fn read_dsl_sources(args: &[String], problem_required: bool) -> (String, String, Option<String>) {
+    let Some(dpath) = flag_value(args, "--domain") else { usage("needs --domain FILE") };
+    let dsrc = std::fs::read_to_string(dpath).unwrap_or_else(|e| {
+        eprintln!("cannot read {dpath}: {e}");
+        exit(1);
+    });
+    let ppath = flag_value(args, "--problem");
+    if problem_required && ppath.is_none() {
+        usage("needs --problem FILE");
+    }
+    let psrc = ppath.map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            exit(1);
+        })
+    });
+    (dpath.to_string(), dsrc, psrc)
+}
+
+fn solve_cmd(args: &[String]) {
+    let (dpath, dsrc, psrc) = read_dsl_sources(args, true);
+    let ppath = flag_value(args, "--problem").unwrap().to_string();
+    let psrc = psrc.unwrap();
+    let compiled = match lang::compile(&dsrc, &psrc) {
+        Ok(c) => c,
+        Err(e) => {
+            eprint!("{}", e.render(&dpath, &dsrc, &ppath, &psrc));
+            exit(1);
+        }
+    };
+    // Warnings (e.g. unreachable goals) still plan, but the user should
+    // know the GA may be chasing an unsatisfiable goal.
+    eprint!("{}", lang::render_diagnostics(&compiled.warnings, &dpath, &dsrc, &ppath, &psrc));
+    let s = &compiled.stats;
+    println!(
+        "{ppath}: {} objects, {} conditions, {} ground operators ({} bindings enumerated, {} pruned)",
+        s.objects, s.conditions, s.ops, s.candidates, s.pruned
+    );
+    plan_strips(&compiled.strips, args);
+}
+
+fn check_cmd(args: &[String]) {
+    let (dpath, dsrc, psrc) = read_dsl_sources(args, false);
+    match psrc {
+        // Full pipeline: parse both, typecheck, ground.
+        Some(psrc) => {
+            let ppath = flag_value(args, "--problem").unwrap().to_string();
+            match lang::compile(&dsrc, &psrc) {
+                Ok(c) => {
+                    eprint!("{}", lang::render_diagnostics(&c.warnings, &dpath, &dsrc, &ppath, &psrc));
+                    let s = &c.stats;
+                    println!(
+                        "ok: {} objects, {} conditions, {} ground operators ({} warning{})",
+                        s.objects,
+                        s.conditions,
+                        s.ops,
+                        c.warnings.len(),
+                        if c.warnings.len() == 1 { "" } else { "s" }
+                    );
+                }
+                Err(e) => {
+                    eprint!("{}", e.render(&dpath, &dsrc, &ppath, &psrc));
+                    exit(1);
+                }
+            }
+        }
+        // Domain only: parse + typecheck, no grounding possible.
+        None => {
+            let ast = lang::parse_domain(&dsrc).unwrap_or_else(|d| {
+                eprint!("{}", d.render(&dpath, &dsrc));
+                exit(1);
+            });
+            let mut diags = Vec::new();
+            let checked = lang::check::check_domain(&ast, &mut diags);
+            for d in &diags {
+                eprint!("{}", d.render(&dpath, &dsrc));
+            }
+            let Some(dom) = checked else { exit(1) };
+            if flag_present(args, "--print") {
+                print!("{}", lang::pretty::print_domain(&ast));
+            } else {
+                println!(
+                    "ok: domain `{}` — {} types, {} predicates, {} actions",
+                    dom.name,
+                    dom.types.len(),
+                    dom.preds.len(),
+                    dom.actions.len()
+                );
             }
         }
     }
@@ -511,6 +631,19 @@ fn loadgen_cmd(args: &[String]) {
         rate: flag_value(args, "--rate").and_then(|v| v.parse::<f64>().ok()).filter(|r| *r > 0.0),
         burst: parse_or(flag_value(args, "--burst"), 1),
         shutdown_after: flag_present(args, "--shutdown-after"),
+        dsl: match (flag_value(args, "--domain"), flag_value(args, "--problem")) {
+            (Some(d), Some(p)) => {
+                let read = |path: &str| {
+                    std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        exit(1);
+                    })
+                };
+                Some((read(d), read(p)))
+            }
+            (None, None) => None,
+            _ => usage("loadgen --domain and --problem must be given together"),
+        },
     };
     let report = gaplan_net::loadgen::run(&cfg).unwrap_or_else(|e| {
         eprintln!("loadgen: {e}");

@@ -7,6 +7,7 @@ pub use gaplan_domains as domains;
 pub use gaplan_durable as durable;
 pub use gaplan_ga as ga;
 pub use gaplan_grid as grid;
+pub use gaplan_lang as lang;
 pub use gaplan_net as net;
 pub use gaplan_obs as obs;
 pub use gaplan_service as service;

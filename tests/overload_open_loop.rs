@@ -32,6 +32,7 @@ fn load(server: &TcpServer, jobs: u64, rate: Option<f64>, deadline_ms: Option<u6
         rate,
         burst: 2,
         shutdown_after: false,
+        dsl: None,
     };
     loadgen::run(&cfg).expect("loadgen run")
 }
