@@ -15,16 +15,26 @@
 //! - [`loadgen`] — a closed-loop load generator ([`loadgen::run`]) that
 //!   drives skewed-key traffic at configurable concurrency and reports
 //!   throughput and latency quantiles to `BENCH_service.json`.
+//! - [`chaos`] — [`ChaosProxy`], a seeded fault-injecting TCP proxy
+//!   (resets, refusals, latency, throttling, partial writes, mid-frame
+//!   cuts) for wire-level chaos testing.
+//! - [`client`] — [`ResilientClient`], a reconnecting client with
+//!   exponential backoff, idempotent retry keyed on request id, optional
+//!   hedged requests, and a per-endpoint circuit breaker.
 //!
 //! The same JSON-lines wire protocol the stdin loop speaks works verbatim
 //! over TCP; `nc localhost 4500` is a usable client.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod client;
 pub mod codec;
 pub mod loadgen;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ProxyStatsSnapshot};
+pub use client::{BackoffPolicy, CircuitBreaker, ClientConfig, ClientStats, HedgeMode, ResilientClient};
 pub use codec::{write_frame, Frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{NetOptions, TcpServer};

@@ -37,6 +37,8 @@ use rand::{Rng, SeedableRng};
 use serde::json::{parse, write_value, Value};
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::{ChaosConfig, ChaosProxy, ProxyStatsSnapshot};
+use crate::client::{BackoffPolicy, ClientConfig, HedgeMode, ResilientClient};
 use crate::codec::{Frame, FrameReader, DEFAULT_MAX_FRAME};
 
 /// Traffic shape for one [`run`].
@@ -70,6 +72,20 @@ pub struct LoadgenConfig {
     /// instance, exercising the server's grounded-domain cache. Keys still
     /// vary the GA seed, so coalescing/caching behave as with Hanoi.
     pub dsl: Option<(String, String)>,
+    /// Route job traffic through an external proxy at this address while
+    /// metrics/shutdown still go straight to `addr`. Implies the
+    /// resilient client.
+    pub proxy: Option<String>,
+    /// Start an in-process [`ChaosProxy`] in front of `addr` and route job
+    /// traffic through it (its `upstream` field is overwritten with
+    /// `addr`). Implies the resilient client; the report embeds the
+    /// proxy's per-toxic counters.
+    pub chaos: Option<ChaosConfig>,
+    /// Use the reconnecting/retrying [`ResilientClient`] even without a
+    /// proxy (closed loop only).
+    pub resilient: bool,
+    /// Hedging policy for the resilient client.
+    pub hedge: HedgeMode,
 }
 
 impl Default for LoadgenConfig {
@@ -87,6 +103,10 @@ impl Default for LoadgenConfig {
             burst: 1,
             shutdown_after: false,
             dsl: None,
+            proxy: None,
+            chaos: None,
+            resilient: false,
+            hedge: HedgeMode::Off,
         }
     }
 }
@@ -147,6 +167,37 @@ pub struct LoadgenReport {
     /// Order-independent fingerprint over (key, plan) pairs; equal runs
     /// (coalesced or not) must produce equal fingerprints.
     pub plans_hash: u64,
+    /// Pending requests the resilient client resubmitted after reconnects.
+    pub client_retries: u64,
+    /// Successful client reconnects after a dropped connection.
+    pub client_reconnects: u64,
+    /// Hedge requests sent on a second connection.
+    pub client_hedges: u64,
+    /// Hedges whose connection delivered the winning reply.
+    pub hedges_won: u64,
+    /// Times a client circuit breaker transitioned to open.
+    pub breaker_opens: u64,
+    /// Dial attempts skipped because a breaker was open.
+    pub breaker_rejections: u64,
+    /// Reply lines that matched no pending request (true duplicates; must
+    /// be 0 — hedge echoes are accounted separately and swallowed).
+    pub duplicates: u64,
+    /// In-process chaos proxy: connections accepted (0 without `chaos`).
+    pub proxy_conns: u64,
+    /// Chaos proxy: connections refused before forwarding.
+    pub proxy_refused: u64,
+    /// Chaos proxy: connections killed by the reset toxic.
+    pub proxy_resets: u64,
+    /// Chaos proxy: connections killed mid-frame by the cut toxic.
+    pub proxy_cuts: u64,
+    /// Chaos proxy: chunks delayed by the latency toxic.
+    pub proxy_delays: u64,
+    /// Chaos proxy: total injected latency, milliseconds.
+    pub proxy_delay_ms: u64,
+    /// Chaos proxy: chunks dribbled out by the partial-write toxic.
+    pub proxy_partial_writes: u64,
+    /// Chaos proxy: pauses taken to hold the bandwidth cap.
+    pub proxy_throttle_sleeps: u64,
 }
 
 struct ConnStats {
@@ -165,6 +216,8 @@ struct ConnStats {
     /// First-seen plan fingerprint per key, plus mismatch count.
     plans: HashMap<u64, u64>,
     mismatches: u64,
+    duplicates: u64,
+    client: crate::client::ClientStats,
 }
 
 impl ConnStats {
@@ -184,6 +237,8 @@ impl ConnStats {
             done_latency_us: Histogram::default(),
             plans: HashMap::new(),
             mismatches: 0,
+            duplicates: 0,
+            client: crate::client::ClientStats::default(),
         }
     }
 
@@ -204,7 +259,10 @@ impl ConnStats {
             return false;
         };
         let Some((sent_at, key)) = pending.remove(&id) else {
-            return false; // duplicate or stray reply
+            // Duplicate or stray reply: a second answer for an id already
+            // settled, or an id never sent. Must stay 0 on every run.
+            self.duplicates += 1;
+            return false;
         };
         self.replies += 1;
         let latency_us = sent_at.elapsed().as_micros() as u64;
@@ -336,6 +394,63 @@ fn run_conn(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64) -> io::Result<ConnSta
     Ok(stats)
 }
 
+/// Closed-loop connection driven through a [`ResilientClient`]: same
+/// traffic shape as [`run_conn`], but connection drops trigger reconnect +
+/// idempotent resubmission instead of counting everything as lost, and
+/// slow replies may be hedged per `cfg.hedge`. `cfg.addr` here is the
+/// *connect* address (proxy when one is in play); the client's retry
+/// guarantees make the resulting report comparable bit-for-bit
+/// (`plans_hash`) with a fault-free run.
+fn run_conn_resilient(cfg: &LoadgenConfig, conn_idx: u64, jobs: u64) -> io::Result<ConnStats> {
+    let mut client = ResilientClient::connect(ClientConfig {
+        addr: cfg.addr.clone(),
+        backoff: BackoffPolicy { base_ms: 10, max_ms: 500, seed: cfg.seed ^ conn_idx },
+        hedge: cfg.hedge,
+        ..ClientConfig::default()
+    })?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(conn_idx.wrapping_mul(0x9e37_79b9)));
+    let mut stats = ConnStats::new();
+    let base = (conn_idx + 1) << 40;
+    // Submit-time + key per id; the client holds the request lines.
+    let mut meta: HashMap<u64, (Instant, u64)> = HashMap::new();
+    let mut sent = 0u64;
+    let mut last_progress = Instant::now();
+
+    'drive: while stats.replies + stats.lost < jobs {
+        while sent < jobs && client.pending_len() < cfg.inflight.max(1) {
+            let key = pick_key(&mut rng, cfg);
+            let id = base + sent;
+            if client.submit(id, &plan_line(cfg, id, key)).is_err() {
+                // Reconnect attempts exhausted: the server is gone.
+                stats.lost += meta.len() as u64 + (jobs - sent);
+                break 'drive;
+            }
+            meta.insert(id, (Instant::now(), key));
+            sent += 1;
+        }
+        match client.next_reply(Duration::from_millis(50)) {
+            Ok(Some((_, line))) => {
+                if stats.record_reply(&mut meta, &line, cfg.deadline_ms) {
+                    last_progress = Instant::now();
+                }
+            }
+            Ok(None) => {
+                if last_progress.elapsed() >= DRAIN_IDLE {
+                    stats.lost += meta.len() as u64 + (jobs - sent);
+                    break;
+                }
+            }
+            Err(_) => {
+                stats.lost += meta.len() as u64 + (jobs - sent);
+                break;
+            }
+        }
+    }
+    stats.client = client.stats();
+    stats.duplicates += stats.client.duplicates;
+    Ok(stats)
+}
+
 /// How long the open-loop drain waits without any reply before declaring
 /// the remaining pending jobs lost.
 const DRAIN_IDLE: Duration = Duration::from_secs(20);
@@ -452,15 +567,40 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let conns = cfg.conns.max(1) as u64;
     let per_conn = cfg.jobs / conns;
     let remainder = cfg.jobs % conns;
+
+    // Chaos/proxy routing: job traffic goes through the proxy, while
+    // metrics and shutdown keep talking straight to the server.
+    let proxy = match &cfg.chaos {
+        Some(chaos_cfg) => {
+            let mut chaos_cfg = chaos_cfg.clone();
+            chaos_cfg.upstream = cfg.addr.clone();
+            Some(ChaosProxy::start("127.0.0.1:0", chaos_cfg)?)
+        }
+        None => None,
+    };
+    let connect_addr = match (&proxy, &cfg.proxy) {
+        (Some(p), _) => p.local_addr().to_string(),
+        (None, Some(addr)) => addr.clone(),
+        (None, None) => cfg.addr.clone(),
+    };
+    let resilient = cfg.resilient || proxy.is_some() || cfg.proxy.is_some() || cfg.hedge != HedgeMode::Off;
+    if resilient && cfg.rate.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "the resilient client is closed-loop only; drop --rate or the proxy/chaos/hedge flags",
+        ));
+    }
     let started = Instant::now();
 
     let rate_per_conn = cfg.rate.map(|r| r / conns as f64);
     let mut handles = Vec::new();
     for conn_idx in 0..conns {
-        let cfg = cfg.clone();
+        let mut cfg = cfg.clone();
+        cfg.addr = connect_addr.clone();
         let jobs = per_conn + u64::from(conn_idx < remainder);
         handles.push(std::thread::spawn(move || match rate_per_conn {
             Some(rate) => run_conn_open(&cfg, conn_idx, jobs, rate),
+            None if resilient => run_conn_resilient(&cfg, conn_idx, jobs),
             None => run_conn(&cfg, conn_idx, jobs),
         }));
     }
@@ -479,6 +619,8 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let mut done_latency = Histogram::default();
     let mut plans: HashMap<u64, u64> = HashMap::new();
     let mut mismatches = 0u64;
+    let mut duplicates = 0u64;
+    let mut client = crate::client::ClientStats::default();
     for handle in handles {
         let stats = handle.join().map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
         replies += stats.replies;
@@ -492,6 +634,13 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         solved += stats.solved;
         bad_frames += stats.bad_frames;
         mismatches += stats.mismatches;
+        duplicates += stats.duplicates;
+        client.retries += stats.client.retries;
+        client.reconnects += stats.client.reconnects;
+        client.hedges += stats.client.hedges;
+        client.hedges_won += stats.client.hedges_won;
+        client.breaker_opens += stats.client.breaker_opens;
+        client.breaker_rejections += stats.client.breaker_rejections;
         latency.merge(&stats.latency_us);
         done_latency.merge(&stats.done_latency_us);
         for (key, fp) in stats.plans {
@@ -505,6 +654,8 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         }
     }
     let wall_ms = started.elapsed().as_millis() as u64;
+
+    let proxy_stats = proxy.map(ChaosProxy::stop).unwrap_or_else(ProxyStatsSnapshot::default);
 
     let (coalesced_jobs, cache_hits) = fetch_metrics(cfg).unwrap_or((0, 0));
 
@@ -538,6 +689,21 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         distinct_keys: plans.len() as u64,
         plan_mismatches: mismatches,
         plans_hash,
+        client_retries: client.retries,
+        client_reconnects: client.reconnects,
+        client_hedges: client.hedges,
+        hedges_won: client.hedges_won,
+        breaker_opens: client.breaker_opens,
+        breaker_rejections: client.breaker_rejections,
+        duplicates,
+        proxy_conns: proxy_stats.conns,
+        proxy_refused: proxy_stats.refused,
+        proxy_resets: proxy_stats.resets,
+        proxy_cuts: proxy_stats.cuts,
+        proxy_delays: proxy_stats.delays,
+        proxy_delay_ms: proxy_stats.delay_ms_total,
+        proxy_partial_writes: proxy_stats.partial_writes,
+        proxy_throttle_sleeps: proxy_stats.throttle_sleeps,
     })
 }
 
@@ -586,6 +752,21 @@ mod tests {
             distinct_keys: 2,
             plan_mismatches: 0,
             plans_hash: 99,
+            client_retries: 5,
+            client_reconnects: 2,
+            client_hedges: 3,
+            hedges_won: 1,
+            breaker_opens: 1,
+            breaker_rejections: 4,
+            duplicates: 0,
+            proxy_conns: 12,
+            proxy_refused: 1,
+            proxy_resets: 2,
+            proxy_cuts: 3,
+            proxy_delays: 40,
+            proxy_delay_ms: 200,
+            proxy_partial_writes: 6,
+            proxy_throttle_sleeps: 7,
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: LoadgenReport = serde_json::from_str(&json).unwrap();
@@ -596,5 +777,13 @@ mod tests {
         assert_eq!(back.goodput, 4);
         assert_eq!(back.offered_rate_jobs_per_sec, 120.0);
         assert_eq!(back.plans_hash, 99);
+        assert_eq!(back.client_retries, 5);
+        assert_eq!(back.client_hedges, 3);
+        assert_eq!(back.hedges_won, 1);
+        assert_eq!(back.breaker_opens, 1);
+        assert_eq!(back.duplicates, 0);
+        assert_eq!(back.proxy_resets, 2);
+        assert_eq!(back.proxy_cuts, 3);
+        assert_eq!(back.proxy_partial_writes, 6);
     }
 }

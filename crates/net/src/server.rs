@@ -100,9 +100,16 @@ impl TcpServer {
             let conns = Arc::clone(&conns);
             let opts = opts.clone();
             std::thread::Builder::new().name("gaplan-accept".to_string()).spawn(move || {
+                // Transient accept failures (EINTR, EMFILE/ENFILE when the
+                // fd table is exhausted, ECONNABORTED races) must never kill
+                // the accept loop: back off briefly — escalating while the
+                // condition persists so a stuck fd table doesn't spin — and
+                // retry. The backoff resets on any successful accept.
+                let mut accept_backoff = 0u32;
                 while !stop.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, peer)) => {
+                            accept_backoff = 0;
                             host.metrics().on_conn_accept();
                             let conn_stream = match stream.try_clone() {
                                 Ok(s) => s,
@@ -122,7 +129,15 @@ impl TcpServer {
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
                         }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                            // EINTR: retry immediately, no budget consumed.
+                            host.metrics().on_accept_retried();
+                        }
+                        Err(_) => {
+                            host.metrics().on_accept_retried();
+                            std::thread::sleep(accept_retry_backoff(accept_backoff));
+                            accept_backoff = accept_backoff.saturating_add(1);
+                        }
                     }
                 }
             })?
@@ -170,6 +185,12 @@ impl TcpServer {
         }
         Ok(())
     }
+}
+
+/// Escalating accept-retry backoff: 5 ms doubling to a 200 ms cap, so a
+/// persistent EMFILE doesn't spin the accept thread but recovery is quick.
+fn accept_retry_backoff(consecutive: u32) -> Duration {
+    Duration::from_millis(5u64.saturating_mul(1 << consecutive.min(6)).min(200))
 }
 
 fn run_conn(host: &Arc<SessionHost>, stream: TcpStream, peer: SocketAddr, opts: &NetOptions, stop: &AtomicBool) {
@@ -275,4 +296,18 @@ fn write_loop(stream: TcpStream, out_rx: &std::sync::mpsc::Receiver<String>, dep
         }
     }
     let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_escalates_and_caps() {
+        assert_eq!(accept_retry_backoff(0), Duration::from_millis(5));
+        assert_eq!(accept_retry_backoff(1), Duration::from_millis(10));
+        assert_eq!(accept_retry_backoff(3), Duration::from_millis(40));
+        assert_eq!(accept_retry_backoff(6), Duration::from_millis(200));
+        assert_eq!(accept_retry_backoff(u32::MAX), Duration::from_millis(200));
+    }
 }

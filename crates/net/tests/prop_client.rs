@@ -1,0 +1,154 @@
+//! Property tests for the resilient client's state machines: the backoff
+//! schedule is bounded, strictly positive, and deterministic per seed; the
+//! circuit breaker matches an independently-written reference model over
+//! arbitrary allow/success/failure event sequences.
+
+use std::time::Duration;
+
+use gaplan_net::client::{BackoffPolicy, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+
+/// Reference breaker model, written straight from the spec: `threshold`
+/// consecutive failures open it; after `cooldown` it admits one probe;
+/// the probe's outcome closes or re-opens it.
+#[derive(Debug, Clone, PartialEq)]
+enum Model {
+    Closed { failures: u32 },
+    Open { since: u64 },
+    HalfOpen,
+}
+
+impl Model {
+    fn allow(&mut self, threshold: u32, cooldown: u64, now: u64) -> bool {
+        let _ = threshold;
+        match *self {
+            Model::Closed { .. } => true,
+            Model::HalfOpen => false,
+            Model::Open { since } => {
+                if now.saturating_sub(since) >= cooldown {
+                    *self = Model::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&mut self) {
+        *self = Model::Closed { failures: 0 };
+    }
+
+    fn on_failure(&mut self, threshold: u32, now: u64) {
+        match *self {
+            Model::HalfOpen => *self = Model::Open { since: now },
+            Model::Closed { failures } => {
+                if failures + 1 >= threshold {
+                    *self = Model::Open { since: now };
+                } else {
+                    *self = Model::Closed { failures: failures + 1 };
+                }
+            }
+            Model::Open { .. } => *self = Model::Open { since: now },
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        match self {
+            Model::Closed { .. } => BreakerState::Closed,
+            Model::Open { .. } => BreakerState::Open,
+            Model::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Allow,
+    Success,
+    Failure,
+    Tick(u64),
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    (any::<u8>(), 1u64..300).prop_map(|(op, ms)| match op % 4 {
+        0 => Event::Allow,
+        1 => Event::Success,
+        2 => Event::Failure,
+        _ => Event::Tick(ms),
+    })
+}
+
+proptest! {
+    /// Every delay is deterministic per (seed, attempt), at most `max_ms`,
+    /// at least half the uncapped exponential (so it really does back off),
+    /// and never zero.
+    #[test]
+    fn backoff_is_bounded_deterministic_and_nonzero(
+        base in 1u64..100,
+        max in 1u64..5000,
+        seed in any::<u64>(),
+        attempts in 0u32..40,
+    ) {
+        let policy = BackoffPolicy { base_ms: base, max_ms: max, seed };
+        let replay = BackoffPolicy { base_ms: base, max_ms: max, seed };
+        for attempt in 0..attempts {
+            let d = policy.delay(attempt);
+            prop_assert_eq!(d, replay.delay(attempt), "attempt {} not deterministic", attempt);
+            prop_assert!(d > Duration::ZERO);
+            prop_assert!(d <= Duration::from_millis(base.max(1).saturating_mul(1 << attempt.min(32)).min(max.max(1))));
+            let exp = base.max(1).saturating_mul(1 << attempt.min(32)).min(max.max(1));
+            prop_assert!(d >= Duration::from_millis(exp.div_ceil(2)), "attempt {}: {:?} below half of {}", attempt, d, exp);
+        }
+    }
+
+    /// Two policies differing only in seed produce different schedules
+    /// somewhere (for any base small enough that jitter has room).
+    #[test]
+    fn backoff_seeds_desynchronise(base in 2u64..50, s1 in any::<u64>(), delta in any::<u64>()) {
+        let s2 = s1 ^ (delta | 1); // always a different seed
+        let a = BackoffPolicy { base_ms: base, max_ms: 10_000, seed: s1 };
+        let b = BackoffPolicy { base_ms: base, max_ms: 10_000, seed: s2 };
+        let differs = (0..24).any(|n| a.delay(n) != b.delay(n));
+        prop_assert!(differs, "48 draws from different seeds never differed");
+    }
+
+    /// The breaker agrees with the reference model on every observable —
+    /// state, allow decisions, and open count — over arbitrary event
+    /// sequences and arbitrary clocks.
+    #[test]
+    fn breaker_matches_the_reference_model(
+        threshold in 1u32..6,
+        cooldown in 1u64..500,
+        events in proptest::collection::vec(event(), 0..80),
+    ) {
+        let mut real = CircuitBreaker::new(threshold, cooldown);
+        let mut model = Model::Closed { failures: 0 };
+        let mut now = 0u64;
+        let mut opens = 0u64;
+        for ev in events {
+            match ev {
+                Event::Tick(ms) => now += ms,
+                Event::Allow => {
+                    let got = real.allow(now);
+                    let want = model.allow(threshold, cooldown, now);
+                    prop_assert_eq!(got, want, "allow diverged at t={}", now);
+                }
+                Event::Success => {
+                    real.on_success();
+                    model.on_success();
+                }
+                Event::Failure => {
+                    let was_open = model.state() == BreakerState::Open;
+                    real.on_failure(now);
+                    model.on_failure(threshold, now);
+                    if model.state() == BreakerState::Open && !was_open {
+                        opens += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(real.state(), model.state(), "state diverged at t={}", now);
+        }
+        prop_assert_eq!(real.opens(), opens, "open-transition count diverged");
+    }
+}

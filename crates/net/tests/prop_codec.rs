@@ -3,8 +3,38 @@
 //! classification on arbitrary (malformed, truncated, oversize) byte
 //! streams.
 
+use std::io::Read;
+
 use gaplan_net::codec::{write_frame, Frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
 use proptest::prelude::*;
+
+/// A reader that hands out the underlying bytes in arbitrary seeded
+/// segment sizes (including plenty of 1-byte reads) — the shape TCP
+/// delivers under Nagle-off, tiny windows, or a byte-dribbling proxy.
+struct SegmentedReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    seed: u64,
+    max_segment: usize,
+}
+
+impl Read for SegmentedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        // SplitMix64 step: deterministic segment sizes per seed.
+        self.seed = self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = self.seed;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        let want = 1 + (x as usize % self.max_segment.max(1));
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
 
 /// Decode an entire byte stream into frames with the given cap.
 fn decode(input: &[u8], cap: usize) -> Vec<Frame> {
@@ -91,6 +121,35 @@ proptest! {
             prop_assert_eq!(**frame, Frame::Reject(FrameError::Truncated));
             prop_assert!(matches!(got.last(), Some(Frame::Reject(_))));
         }
+    }
+
+    /// Frames split at arbitrary TCP segment boundaries — down to 1-byte
+    /// reads — decode byte-identically to the whole-stream decode, for
+    /// valid and garbage input alike.
+    #[test]
+    fn segmented_reads_decode_identically_to_whole_stream(
+        lines in proptest::collection::vec(line(), 0..12),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+        max_segment in 1usize..9,
+        cap in 64usize..512,
+    ) {
+        let mut wire = Vec::new();
+        for l in &lines {
+            write_frame(&mut wire, l).unwrap();
+        }
+        wire.extend_from_slice(&garbage);
+
+        let whole = decode(&wire, cap);
+        let mut segmented = FrameReader::new(
+            SegmentedReader { data: &wire, pos: 0, seed, max_segment },
+            cap,
+        );
+        let mut got = Vec::new();
+        while let Some(frame) = segmented.read_frame().expect("in-memory reads cannot fail") {
+            got.push(frame);
+        }
+        prop_assert_eq!(got, whole);
     }
 
     /// Invalid UTF-8 within the cap is rejected as malformed; the stream

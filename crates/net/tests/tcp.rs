@@ -111,11 +111,12 @@ fn rejected_frames_answer_errors_and_do_not_kill_the_connection() {
 }
 
 #[test]
-fn duplicate_ids_on_one_connection_are_rejected_with_the_request_id() {
+fn duplicate_id_with_different_payload_is_rejected_as_a_conflict() {
     let server = start(NetOptions::default(), 1);
     let (mut stream, mut reader) = connect(&server);
 
-    // A slow leader keeps id 5 in flight while the duplicate arrives.
+    // A slow leader keeps id 5 in flight while the conflicting resend
+    // (same id, different problem) arrives.
     send(
         &mut stream,
         r#"{"cmd":"plan","id":5,"problem":{"Hanoi":{"disks":10}},"ga":{"population":400,"generations":400,"phases":5}}"#,
@@ -125,11 +126,58 @@ fn duplicate_ids_on_one_connection_are_rejected_with_the_request_id() {
     assert_eq!(num(&first, "id"), 5);
     assert_eq!(first.get("status").and_then(Value::as_str), Some("Rejected"));
     let msg = first.get("error").and_then(Value::as_str).unwrap_or("");
-    assert!(msg.contains("duplicate id"), "{msg}");
+    assert!(msg.contains("payload differs"), "conflicting resend needs its own reason: {msg}");
+
+    send(&mut stream, r#"{"cmd":"metrics"}"#);
+    let metrics = recv(&mut reader);
+    let m = metrics.get("metrics").expect("metrics body");
+    assert_eq!(num(m, "retries_conflict"), 1);
+    assert_eq!(num(m, "retries_joined"), 0);
 
     send(&mut stream, r#"{"cmd":"cancel","id":5}"#);
     let ack = recv(&mut reader);
     assert_eq!(ack.get("ack").and_then(Value::as_str), Some("cancel"));
+
+    drop(stream);
+    drop(reader);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn duplicate_id_with_identical_payload_joins_and_answers_exactly_once() {
+    let server = start(NetOptions::default(), 1);
+    let (mut stream, mut reader) = connect(&server);
+
+    // An idempotent retry: the same request line twice. The resend folds
+    // into the in-flight job instead of being rejected — exactly what a
+    // reconnecting client needs after an un-acked send.
+    let line = r#"{"cmd":"plan","id":6,"problem":{"Hanoi":{"disks":10}},"ga":{"population":400,"generations":400,"phases":5}}"#;
+    send(&mut stream, line);
+    send(&mut stream, line);
+
+    // The next reply on this ordered connection is the metrics answer:
+    // the resend produced no duplicate-id rejection.
+    send(&mut stream, r#"{"cmd":"metrics"}"#);
+    let metrics = recv(&mut reader);
+    let m = metrics.get("metrics").expect("metrics body");
+    assert_eq!(num(m, "retries_joined"), 1, "identical resend must join, not reject: {m:?}");
+    assert_eq!(num(m, "retries_conflict"), 0);
+
+    // Cancelling the job yields exactly one terminal reply for id 6, not
+    // one per submission.
+    send(&mut stream, r#"{"cmd":"cancel","id":6}"#);
+    let ack = recv(&mut reader);
+    assert_eq!(ack.get("ack").and_then(Value::as_str), Some("cancel"));
+    let terminal = recv(&mut reader);
+    assert_eq!(num(&terminal, "id"), 6);
+    assert_eq!(terminal.get("status").and_then(Value::as_str), Some("Cancelled"));
+
+    // A follow-up command answers next: no second terminal reply ahead of it.
+    send(&mut stream, r#"{"cmd":"health"}"#);
+    let health = recv(&mut reader);
+    let h = health.get("health").expect("health body");
+    assert_eq!(num(h, "retries_joined"), 1);
+    assert_eq!(num(h, "retries_conflict"), 0);
 
     drop(stream);
     drop(reader);
@@ -234,6 +282,7 @@ fn coalesced_plans_are_byte_identical_to_uncoalesced() {
             burst: 1,
             shutdown_after: false,
             dsl: None,
+            ..LoadgenConfig::default()
         };
         loadgen::run(&cfg).expect("loadgen run")
     };

@@ -109,7 +109,21 @@ impl Inner {
 
 /// What a coalescing submission turned into under the lock.
 enum Submitted {
-    /// The connection already has this client id in flight (or vanished).
+    /// The connection already has this client id in flight with the same
+    /// coalesce key: an idempotent retry. The original waiter entry stands
+    /// and will deliver exactly one answer when the job completes.
+    Rejoined {
+        /// Internal id of the in-flight job the retry folded into.
+        leader: u64,
+        /// The shared coalesce key.
+        key: u64,
+    },
+    /// The connection already has this client id in flight but the payload
+    /// provably differs (both keys known, unequal).
+    Conflict,
+    /// The connection already has this client id in flight and identity
+    /// cannot be verified (coalescing off, uncoalescable problem, or the
+    /// connection vanished mid-submit).
     Duplicate,
     /// Joined an existing in-flight job as an extra waiter.
     Joined {
@@ -216,11 +230,24 @@ impl Dispatch {
             let mut guard = self.inner.lock();
             let inner = &mut *guard;
             let already = match inner.conns.get(&conn) {
-                Some(m) => m.contains_key(&client_id),
-                None => true, // disconnect raced the submission
+                Some(m) => m.get(&client_id).copied().map(Some),
+                None => Some(None), // disconnect raced the submission
             };
-            if already {
-                Submitted::Duplicate
+            if let Some(existing) = already {
+                // Same id + same coalesce key is an idempotent client
+                // retry: the registered waiter already covers it, so the
+                // retry folds into the in-flight job without a new waiter
+                // (exactly one answer will fan out). Anything else is a
+                // genuine duplicate and gets a typed rejection.
+                let in_flight_key =
+                    existing.and_then(|(_, internal)| inner.inflight.get(&internal)).and_then(|e| e.key);
+                match (existing, key, in_flight_key) {
+                    (Some((_, internal)), Some(k), Some(ik)) if k == ik => {
+                        Submitted::Rejoined { leader: internal, key: k }
+                    }
+                    (Some(_), Some(_), Some(_)) => Submitted::Conflict,
+                    _ => Submitted::Duplicate,
+                }
             } else {
                 let ticket = inner.next_ticket;
                 inner.next_ticket += 1;
@@ -258,6 +285,25 @@ impl Dispatch {
         };
 
         let internal = match outcome {
+            Submitted::Rejoined { leader, key } => {
+                self.metrics.on_retry_joined();
+                obs::emit(|| {
+                    Event::new("svc.idem").str("op", "join").u64("id", client_id).u64("leader", leader).u64("key", key)
+                });
+                return;
+            }
+            Submitted::Conflict => {
+                self.metrics.on_retry_conflict();
+                obs::emit(|| Event::new("svc.idem").str("op", "conflict").u64("id", client_id));
+                let resp = PlanResponse::failure(
+                    client_id,
+                    JobStatus::Rejected,
+                    "duplicate id: payload differs from the in-flight request with this id",
+                );
+                emit_reply(&resp);
+                send_line(sink, depth, response_line(&resp));
+                return;
+            }
             Submitted::Duplicate => {
                 let resp = PlanResponse::failure(
                     client_id,

@@ -52,6 +52,9 @@ pub struct Metrics {
     jobs_expired_in_queue: AtomicU64,
     jobs_degraded: AtomicU64,
     codel_drops: AtomicU64,
+    retries_joined: AtomicU64,
+    retries_conflict: AtomicU64,
+    accepts_retried: AtomicU64,
     /// EWMA of queue wait, microseconds (α = 1/4); 0 until the first
     /// nonzero sample. Stored as plain bits — the racy read-modify-write
     /// is fine for a statistical signal.
@@ -248,6 +251,25 @@ impl Metrics {
         self.coalesced_jobs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A resubmission of an in-flight request id with an identical payload
+    /// was folded into the existing computation (idempotent client retry).
+    pub fn on_retry_joined(&self) {
+        self.retries_joined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A resubmission reused an in-flight request id with a *different*
+    /// payload and was rejected. Also counts toward `jobs_rejected`.
+    pub fn on_retry_conflict(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        self.retries_conflict.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The accept loop hit a transient error (EINTR/EMFILE/...) and
+    /// retried with backoff instead of exiting.
+    pub fn on_accept_retried(&self) {
+        self.accepts_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A TCP connection was accepted.
     pub fn on_conn_accept(&self) {
         self.conns_accepted.fetch_add(1, Ordering::Relaxed);
@@ -338,6 +360,9 @@ impl Metrics {
             jobs_expired_in_queue: self.jobs_expired_in_queue.load(Ordering::Relaxed),
             jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
             codel_drops: self.codel_drops.load(Ordering::Relaxed),
+            retries_joined: self.retries_joined.load(Ordering::Relaxed),
+            retries_conflict: self.retries_conflict.load(Ordering::Relaxed),
+            accepts_retried: self.accepts_retried.load(Ordering::Relaxed),
             queue_wait_ewma_ms: self.queue_wait_ewma_ms(),
             exec_ewma_ms: self.exec_ewma_ms(),
             wall_ms_hist: HistogramSummary::of(&self.wall_ms_hist.lock()),
@@ -476,6 +501,14 @@ pub struct MetricsSnapshot {
     pub jobs_degraded: u64,
     /// Jobs shed from the queue head by the CoDel controller.
     pub codel_drops: u64,
+    /// In-flight request-id resubmissions with an identical payload folded
+    /// into the existing computation (idempotent client retries).
+    pub retries_joined: u64,
+    /// In-flight request-id resubmissions rejected because the payload
+    /// differed (subset of `jobs_rejected`).
+    pub retries_conflict: u64,
+    /// Transient accept-loop errors retried with backoff.
+    pub accepts_retried: u64,
     /// Queue-wait EWMA at snapshot time, milliseconds (gauge).
     pub queue_wait_ewma_ms: u64,
     /// Execution-time EWMA at snapshot time, milliseconds (gauge).
@@ -521,18 +554,25 @@ mod tests {
         m.on_degraded();
         m.on_codel_drop();
         m.on_conn_reaped();
+        m.on_retry_joined();
+        m.on_retry_conflict();
+        m.on_accept_retried();
         m.on_exec(20);
         let s = m.snapshot();
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 2);
         assert_eq!(s.jobs_solved, 1);
-        // on_reject + on_rejected_deadline (which also counts as a reject).
-        assert_eq!(s.jobs_rejected, 2);
+        // on_reject + on_rejected_deadline + on_retry_conflict (the latter
+        // two also count as rejects).
+        assert_eq!(s.jobs_rejected, 3);
         assert_eq!(s.jobs_rejected_deadline, 1);
         assert_eq!(s.jobs_expired_in_queue, 1);
         assert_eq!(s.jobs_degraded, 1);
         assert_eq!(s.codel_drops, 1);
         assert_eq!(s.conns_reaped, 1);
+        assert_eq!(s.retries_joined, 1);
+        assert_eq!(s.retries_conflict, 1);
+        assert_eq!(s.accepts_retried, 1);
         // EWMA (α = 1/4): waits 3 then 7 → 3 then (3·3+7)/4 = 4 ms.
         assert_eq!(s.queue_wait_ewma_ms, 4);
         assert_eq!(s.exec_ewma_ms, 20);

@@ -225,6 +225,11 @@ pub struct HealthReport {
     pub jobs_degraded: u64,
     /// Jobs shed from the queue head by the CoDel controller.
     pub codel_drops: u64,
+    /// In-flight request-id resubmissions folded into the existing
+    /// computation (idempotent client retries).
+    pub retries_joined: u64,
+    /// In-flight request-id resubmissions rejected for a differing payload.
+    pub retries_conflict: u64,
     /// Queue-wait EWMA, milliseconds (the overload controllers' pressure
     /// signal).
     pub queue_wait_ewma_ms: u64,
@@ -516,6 +521,8 @@ impl PlanService {
             jobs_expired_in_queue: snapshot.jobs_expired_in_queue,
             jobs_degraded: snapshot.jobs_degraded,
             codel_drops: snapshot.codel_drops,
+            retries_joined: snapshot.retries_joined,
+            retries_conflict: snapshot.retries_conflict,
             queue_wait_ewma_ms: snapshot.queue_wait_ewma_ms,
         }
     }

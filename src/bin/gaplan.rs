@@ -81,7 +81,9 @@ use ga_grid_planner::grid::{
     chaos_schedule, greedy_plan, parse_grid, ActivityGraph, Coordinator, ExternalEvent, FaultPlan, ReplanPolicy,
 };
 use ga_grid_planner::lang;
-use ga_grid_planner::net::{self as gaplan_net, LoadgenConfig, NetOptions, TcpServer};
+use ga_grid_planner::net::{
+    self as gaplan_net, ChaosConfig, ChaosProxy, HedgeMode, LoadgenConfig, NetOptions, TcpServer,
+};
 use ga_grid_planner::obs;
 use ga_grid_planner::service::{
     serve_with_journal, JobJournal, ObsHandle, OverloadConfig, PlanService, ServiceConfig, ServiceReplanner,
@@ -100,6 +102,7 @@ fn main() {
         "tile" => tile_cmd(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
         "loadgen" => loadgen_cmd(&args[1..]),
+        "chaosproxy" => chaosproxy_cmd(&args[1..]),
         "trace-report" => trace_report_cmd(&args[1..]),
         other => usage(&format!("unknown command `{other}`")),
     }
@@ -125,7 +128,7 @@ fn install_trace(args: &[String]) -> Option<obs::InstallGuard> {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan solve --domain FILE --problem FILE [--planner ...] [GA flags]    (typed DSL → ground STRIPS → plan)\n  gaplan check --domain FILE [--problem FILE] [--print]    (parse/typecheck/ground only; exit 1 on errors)\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE] [--domain FILE --problem FILE]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--islands K [--migrate-every M] [--emigrants E] (island-model GA with deterministic ring migration),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
+        "usage:\n  gaplan strips <file> [--planner ga|bfs|graphplan|forward|backward|hsp2] [--seed N] [--pop N] [--gens N] [--phases N]\n  gaplan solve --domain FILE --problem FILE [--planner ...] [GA flags]    (typed DSL → ground STRIPS → plan)\n  gaplan check --domain FILE [--problem FILE] [--print]    (parse/typecheck/ground only; exit 1 on errors)\n  gaplan grid <file> [--planner ga|greedy] [--simulate] [--overload SITE:TIME:LOAD] [--faults SEED] [--fault-rate F]\n  gaplan hanoi [<disks>] [--disks N] [--single] [--seed N]\n  gaplan tile <side> [--crossover random|state-aware|mixed] [--seed N]\n  gaplan serve [--workers N] [--queue N] [--cache N] [--admission-ms N] [--job-retries N] [--journal DIR]    (JSON lines on stdin/stdout)\n               [--listen HOST:PORT] [--max-frame BYTES] [--no-coalesce] [--backlog N] [--idle-ms N]    (same protocol over TCP)\n               [--target-ms N] [--codel-interval-ms N] [--brownout F] [--brownout-enter-ms N] [--brownout-exit-ms N]    (overload control)\n  gaplan loadgen --addr HOST:PORT [--jobs N] [--conns N] [--inflight N] [--keys N] [--skew F] [--deadline-ms N] [--seed N] [--rate R] [--burst B] [--shutdown-after] [--out FILE] [--domain FILE --problem FILE]\n                 [--retry] [--hedge | --hedge-ms N] [--proxy HOST:PORT | --chaos [chaos flags]]    (resilient client / fault injection)\n  gaplan chaosproxy --upstream HOST:PORT [--listen HOST:PORT] [chaos flags]    (standalone fault-injecting proxy)\n    chaos flags: [--chaos-seed N] [--chaos-resets F] [--chaos-cuts F] [--chaos-refuse F] [--chaos-latency-ms N] [--chaos-jitter-ms N] [--chaos-partial F] [--chaos-throttle BYTES_PER_SEC]\n  gaplan trace-report <file> [--top K]\nevery planning command also accepts --trace FILE (JSON-lines event trace)\nGA commands also accept --checkpoint FILE [--checkpoint-gens N] (crash-safe snapshot/resume),\n--islands K [--migrate-every M] [--emigrants E] (island-model GA with deterministic ring migration),\n--no-succ-cache (disable the successor cache; identical plans, slower decode)\nand --succ-cache N (successor-cache capacity in entries, default 65536)"
     );
     exit(2);
 }
@@ -644,6 +647,15 @@ fn loadgen_cmd(args: &[String]) {
             (None, None) => None,
             _ => usage("loadgen --domain and --problem must be given together"),
         },
+        proxy: flag_value(args, "--proxy").map(str::to_string),
+        // The proxy upstream is filled in by loadgen::run with --addr.
+        chaos: flag_present(args, "--chaos").then(|| chaos_cfg_from_flags(args, String::new())),
+        resilient: flag_present(args, "--retry"),
+        hedge: match flag_value(args, "--hedge-ms") {
+            Some(ms) => HedgeMode::After(parse_or(Some(ms), 100)),
+            None if flag_present(args, "--hedge") => HedgeMode::AutoP99 { floor_ms: 10 },
+            None => HedgeMode::Off,
+        },
     };
     let report = gaplan_net::loadgen::run(&cfg).unwrap_or_else(|e| {
         eprintln!("loadgen: {e}");
@@ -685,14 +697,71 @@ fn loadgen_cmd(args: &[String]) {
             String::new()
         }
     );
+    if cfg.resilient || cfg.proxy.is_some() || cfg.chaos.is_some() || cfg.hedge != HedgeMode::Off {
+        println!(
+            "loadgen: retries {}, reconnects {}, hedges {} (won {}), breaker opens {}, duplicates {}",
+            report.client_retries,
+            report.client_reconnects,
+            report.client_hedges,
+            report.hedges_won,
+            report.breaker_opens,
+            report.duplicates
+        );
+    }
+    if cfg.chaos.is_some() {
+        println!(
+            "chaosproxy: conns {} refused {} resets {} cuts {} delays {} ({} ms) partial {} throttled {}",
+            report.proxy_conns,
+            report.proxy_refused,
+            report.proxy_resets,
+            report.proxy_cuts,
+            report.proxy_delays,
+            report.proxy_delay_ms,
+            report.proxy_partial_writes,
+            report.proxy_throttle_sleeps
+        );
+    }
     let out = flag_value(args, "--out").unwrap_or("BENCH_service.json");
     if let Err(e) = gaplan_net::loadgen::write_report(std::path::Path::new(out), &report) {
         eprintln!("loadgen: cannot write {out}: {e}");
         exit(1);
     }
     println!("loadgen: report written to {out}");
-    if report.lost > 0 || report.plan_mismatches > 0 {
+    if report.lost > 0 || report.plan_mismatches > 0 || report.duplicates > 0 {
         exit(2);
+    }
+}
+
+/// Build a [`ChaosConfig`] from the shared `--chaos-*` flags.
+fn chaos_cfg_from_flags(args: &[String], upstream: String) -> ChaosConfig {
+    ChaosConfig {
+        upstream,
+        seed: parse_or(flag_value(args, "--chaos-seed"), 42),
+        refuse_rate: parse_or(flag_value(args, "--chaos-refuse"), 0.0),
+        reset_rate: parse_or(flag_value(args, "--chaos-resets"), 0.0),
+        cut_rate: parse_or(flag_value(args, "--chaos-cuts"), 0.0),
+        latency_ms: parse_or(flag_value(args, "--chaos-latency-ms"), 0),
+        jitter_ms: parse_or(flag_value(args, "--chaos-jitter-ms"), 0),
+        partial_rate: parse_or(flag_value(args, "--chaos-partial"), 0.0),
+        throttle_bytes_per_sec: flag_value(args, "--chaos-throttle").and_then(|v| v.parse().ok()),
+    }
+}
+
+/// Standalone fault-injecting proxy: forwards `--listen` to `--upstream`
+/// with the configured toxics until killed, printing its stats line every
+/// 10 seconds on stderr.
+fn chaosproxy_cmd(args: &[String]) {
+    let Some(upstream) = flag_value(args, "--upstream") else { usage("chaosproxy needs --upstream HOST:PORT") };
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
+    let cfg = chaos_cfg_from_flags(args, upstream.to_string());
+    let proxy = ChaosProxy::start(listen, cfg).unwrap_or_else(|e| {
+        eprintln!("chaosproxy: cannot listen on {listen}: {e}");
+        exit(1);
+    });
+    eprintln!("gaplan: chaosproxy listening on {} -> {}", proxy.local_addr(), upstream);
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        eprintln!("{}", proxy.stats_line());
     }
 }
 

@@ -69,6 +69,8 @@ pub struct TraceSummary {
     /// `svc.coalesced` events: jobs that joined an identical in-flight
     /// computation instead of running their own.
     pub coalesced: u64,
+    /// `svc.idem` events: idempotent duplicate-id joins, payload conflicts.
+    pub idem: [u64; 2],
     /// Successor-cache totals from `ga.cache` events: events, hits, misses,
     /// evictions.
     pub cache: [u64; 4],
@@ -140,6 +142,11 @@ impl TraceSummary {
                     _ => {}
                 },
                 "svc.coalesced" => s.coalesced += 1,
+                "svc.idem" => match str_of(&value, "op") {
+                    Some("join") => s.idem[0] += 1,
+                    Some("conflict") => s.idem[1] += 1,
+                    _ => {}
+                },
                 "svc.brownout" => {
                     if matches!(value.get("on"), Some(Value::Bool(true))) {
                         s.brownout[0] += 1;
@@ -295,6 +302,13 @@ pub fn render(text: &str, top_k: usize) -> String {
         if s.coalesced > 0 {
             let _ = writeln!(out, "  coalesced  {} (joined an identical in-flight job)", s.coalesced);
         }
+        if s.idem[0] > 0 || s.idem[1] > 0 {
+            let _ = writeln!(
+                out,
+                "  idempotent retries: {} joined the in-flight id, {} rejected (payload differs)",
+                s.idem[0], s.idem[1]
+            );
+        }
     }
 
     if s.codel_drops > 0 || s.brownout[0] > 0 || s.brownout[1] > 0 {
@@ -350,6 +364,10 @@ mod tests {
         "\n",
         r#"{"ev":"svc.coalesced","id":7,"leader":3,"key":123}"#,
         "\n",
+        r#"{"ev":"svc.idem","op":"join","id":5,"leader":3,"key":123}"#,
+        "\n",
+        r#"{"ev":"svc.idem","op":"conflict","id":5}"#,
+        "\n",
         r#"{"ev":"svc.conn","op":"close","peer":"127.0.0.1:9999","abandoned":2}"#,
         "\n",
         r#"{"ev":"svc.conn","op":"reap","peer":"127.0.0.1:8888","idle_ms":4000}"#,
@@ -366,7 +384,7 @@ mod tests {
     #[test]
     fn summary_extracts_every_section() {
         let s = TraceSummary::parse(SAMPLE);
-        assert_eq!(s.events, 20);
+        assert_eq!(s.events, 22);
         assert_eq!(s.unparseable, 1);
         assert_eq!(s.cache, [2, 150, 50, 2]);
         assert_eq!(s.migrations, [2, 16, 800_000]);
@@ -384,6 +402,7 @@ mod tests {
         assert_eq!(s.brownout, [1, 1]);
         assert_eq!(s.codel_drops, 1);
         assert_eq!(s.coalesced, 1);
+        assert_eq!(s.idem, [1, 1]);
     }
 
     #[test]
@@ -408,6 +427,10 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("coalesced  1"), "{report}");
+        assert!(
+            report.contains("idempotent retries: 1 joined the in-flight id, 1 rejected (payload differs)"),
+            "{report}"
+        );
         assert!(report.contains("codel head drops 1"), "{report}");
         assert!(report.contains("brownout engaged 1x, recovered 1x"), "{report}");
         assert!(report.contains("opened 1, closed 1, reaped idle 1, waiters abandoned by disconnects 2"), "{report}");

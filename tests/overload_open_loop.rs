@@ -33,6 +33,7 @@ fn load(server: &TcpServer, jobs: u64, rate: Option<f64>, deadline_ms: Option<u6
         burst: 2,
         shutdown_after: false,
         dsl: None,
+        ..LoadgenConfig::default()
     };
     loadgen::run(&cfg).expect("loadgen run")
 }
